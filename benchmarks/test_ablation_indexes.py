@@ -1,0 +1,56 @@
+"""A4 — reachability-index ablation (paper §2, ref [4]).
+
+The paper's companion facility: "indexes based on the reachability of an
+object (to speed up queries such as 'Find all documents referenced
+directly or indirectly by this document that in addition have a given
+keyword')".  We compare answering the canonical closure query by engine
+traversal vs. by reachability-index lookup — in *host* time, measured by
+pytest-benchmark, since both run in the same process with no network.
+"""
+
+import pytest
+
+from repro.core.program import compile_query
+from repro.engine.local import run_local
+from repro.storage.indexes import build_index
+from repro.storage.memstore import MemStore
+from repro.storage.reachability import answer_closure_query, build_reachability
+from repro.workload import closure_query, materialize
+
+from .conftest import SPEC, report
+
+
+@pytest.fixture(scope="module")
+def loaded(paper_graph):
+    store = MemStore("solo")
+    workload = materialize(SPEC, [store], graph=paper_graph)
+    program = compile_query(closure_query("Tree", "Rand10p", 5))
+    reach = build_reachability([store], "Tree")
+    tuples = build_index(store)
+    reach.closure([workload.root])  # warm the closure cache, as a server would
+    return store, workload, program, reach, tuples
+
+
+def test_engine_traversal(benchmark, loaded):
+    store, workload, program, reach, tuples = loaded
+    result = benchmark(lambda: run_local(program, [workload.root], store.get))
+    expected = answer_closure_query(program, [workload.root], reach, tuples)
+    assert result.oid_keys() == expected.oid_keys()
+    report(
+        benchmark,
+        "A4: engine traversal",
+        [{"mode": "engine traversal", "results": len(result.oids)}],
+    )
+
+
+def test_index_lookup(benchmark, loaded):
+    store, workload, program, reach, tuples = loaded
+    result = benchmark(
+        lambda: answer_closure_query(program, [workload.root], reach, tuples)
+    )
+    assert result is not None and len(result.oids) > 0
+    report(
+        benchmark,
+        "A4: reachability-index lookup",
+        [{"mode": "index lookup", "results": len(result.oids)}],
+    )

@@ -1,0 +1,57 @@
+"""A3 — termination-detector ablation (paper §4).
+
+The paper picks the weighted-messages algorithm as "particularly
+appropriate to HyperFile": its credit rides on messages the query sends
+anyway, so detection is free in message count.  The classic alternative,
+Dijkstra–Scholten, acknowledges every work message.  We measure both
+detectors' message overhead and response-time impact on the same
+workloads.
+"""
+
+import pytest
+
+from repro.workload import pointer_key_for
+
+from .conftest import make_cluster, report, run_script
+
+
+def test_termination_strategies(benchmark, paper_graph):
+    def experiment():
+        measured = {}
+        for strategy in ("weighted", "dijkstra-scholten"):
+            for pointer in ("Tree", pointer_key_for(0.50)):
+                cluster, workload = make_cluster(3, paper_graph, termination=strategy)
+                series = run_script(cluster, workload, pointer, "Rand10p")
+                stats = cluster.total_stats()
+                measured[(strategy, pointer)] = {
+                    "rt": series.mean,
+                    "work_msgs": stats.messages_sent.get("DerefRequest", 0)
+                    + stats.messages_sent.get("ResultBatch", 0),
+                    "control_msgs": stats.messages_sent.get("ControlMessage", 0),
+                }
+        return measured
+
+    measured = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    rows = [
+        {
+            "strategy": strategy,
+            "pointer": pointer,
+            "mean_rt_s": m["rt"],
+            "work_messages": m["work_msgs"],
+            "control_messages": m["control_msgs"],
+            "overhead_pct": 100.0 * m["control_msgs"] / m["work_msgs"],
+        }
+        for (strategy, pointer), m in measured.items()
+    ]
+    report(benchmark, "A3: weighted credit vs Dijkstra-Scholten (3 machines)", rows)
+
+    for pointer in ("Tree", pointer_key_for(0.50)):
+        weighted = measured[("weighted", pointer)]
+        ds = measured[("dijkstra-scholten", pointer)]
+        # The weighted scheme adds zero control messages...
+        assert weighted["control_msgs"] == 0
+        # ...while Dijkstra-Scholten acks a large share of work messages...
+        assert ds["control_msgs"] > 0
+        # ...and is never faster.
+        assert ds["rt"] >= weighted["rt"] * 0.999

@@ -1,0 +1,53 @@
+"""A6 — wide-area deployment ablation (extension).
+
+Paper §1 motivates distribution with "two geographically distant
+institutions may want to (transparently) share information".  The
+experiments run on one Ethernet; here we ask what happens when one site
+sits behind a long-haul link (25x the LAN latency): how much does the
+pointer-locality requirement tighten?
+"""
+
+import pytest
+
+from repro.workload import pointer_key_for
+
+from .conftest import make_cluster, report, run_script
+
+WAN_LATENCY_S = 0.500  # vs the 20 ms LAN default
+
+
+def test_wan_link(benchmark, paper_graph):
+    def experiment():
+        measured = {}
+        for deployment in ("lan", "wan"):
+            for p in (0.50, 0.80, 0.95):
+                cluster, workload = make_cluster(3, paper_graph)
+                if deployment == "wan":
+                    cluster.set_link_latency("site0", "site2", WAN_LATENCY_S)
+                    cluster.set_link_latency("site1", "site2", WAN_LATENCY_S)
+                series = run_script(cluster, workload, pointer_key_for(p), "Rand10p")
+                measured[(deployment, p)] = series
+        return measured
+
+    measured = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    rows = [
+        {
+            "p_local": p,
+            "lan_s": measured[("lan", p)].mean,
+            "wan_s": measured[("wan", p)].mean,
+            "wan_penalty_s": measured[("wan", p)].mean - measured[("lan", p)].mean,
+        }
+        for p in (0.50, 0.80, 0.95)
+    ]
+    report(benchmark, "A6: one site behind a 500 ms long-haul link", rows)
+
+    # The long-haul penalty in absolute seconds shrinks as locality rises
+    # (fewer dereferences cross the slow link), but never vanishes: even
+    # at 95% locality the distant site's result returns cross it, leaving
+    # a near-constant floor of a couple of round trips.  Wide-area
+    # deployments therefore want *both* high pointer locality and result
+    # batching.
+    penalties = [row["wan_penalty_s"] for row in rows]
+    assert penalties[0] > penalties[1] > penalties[2] > 0.5
+    assert measured[("wan", 0.50)].mean > 1.3 * measured[("lan", 0.50)].mean

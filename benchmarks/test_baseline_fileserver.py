@@ -1,0 +1,59 @@
+"""A5 — HyperFile vs the file-server interface (paper §1, §5).
+
+    "Performing similar queries in a distributed file system would
+    require searching entire files; this in effect results in sending
+    all data to a central site. ... Our messages send only the query
+    (about 40 bytes) versus potentially huge messages required to send
+    a complete file."
+
+We run the same closure query three ways — HyperFile distributed,
+HyperFile single-site, and a caching file-server client that must fetch
+every object it inspects — and compare both response time and bytes
+moved.
+"""
+
+import pytest
+
+from repro.baselines.fileserver import FileServerBaseline
+from repro.core.program import compile_query
+from repro.storage.memstore import MemStore
+from repro.workload import closure_query, materialize
+
+from .conftest import SPEC, make_cluster, report, run_script
+
+
+def test_fileserver_baseline(benchmark, paper_graph):
+    program = compile_query(closure_query("Tree", "Rand10p", 5))
+
+    def experiment():
+        # HyperFile, distributed over 3 machines.
+        cluster, workload = make_cluster(3, paper_graph)
+        hyperfile = run_script(cluster, workload, "Tree", "Rand10p")
+        hf_bytes = cluster.total_stats().bytes_sent
+
+        # File-server client fetching whole objects.
+        store = MemStore("solo")
+        w1 = materialize(SPEC, [store], graph=paper_graph)
+        fs = FileServerBaseline([store]).run(program, [w1.root])
+        return hyperfile, hf_bytes, fs
+
+    hyperfile, hf_bytes, fs = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    rows = [
+        {
+            "system": "HyperFile (3 machines)",
+            "mean_rt_s": hyperfile.mean,
+            "bytes_moved": hf_bytes // max(hyperfile.count, 1),
+        },
+        {
+            "system": "file server (whole-object fetch)",
+            "mean_rt_s": fs.response_time_s,
+            "bytes_moved": fs.bytes_transferred,
+        },
+    ]
+    report(benchmark, "A5: send-the-query vs send-the-data", rows)
+
+    # The paper's headline trade-off: HyperFile moves kilobytes of query
+    # text; the file interface moves the database.
+    assert fs.response_time_s > 3 * hyperfile.mean
+    assert fs.bytes_transferred > 20 * (hf_bytes / hyperfile.count)

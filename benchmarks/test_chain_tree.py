@@ -1,0 +1,63 @@
+"""E3/E4 — the two distribution extremes (§5).
+
+    "In the worst case delay scenario (following chain pointers) in the
+    distributed case (on either three or nine machines) the query took
+    15 seconds. ... When we instead followed tree pointers a query
+    averaged 1.5 seconds using three machines, and 1 second using nine
+    machines."
+"""
+
+import pytest
+
+from .conftest import make_cluster, report, run_script
+
+PAPER = {
+    ("Chain", 1): 2.7,
+    ("Chain", 3): 15.0,
+    ("Chain", 9): 15.0,
+    ("Tree", 1): 2.7,
+    ("Tree", 3): 1.5,
+    ("Tree", 9): 1.0,
+}
+
+
+def test_chain_and_tree_extremes(benchmark, paper_graph):
+    def experiment():
+        measured = {}
+        for machines in (1, 3, 9):
+            cluster, workload = make_cluster(machines, paper_graph)
+            for key in ("Chain", "Tree"):
+                measured[(key, machines)] = run_script(cluster, workload, key, "Rand10p")
+        return measured
+
+    measured = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    rows = [
+        {
+            "pointer": key,
+            "machines": machines,
+            "paper_s": PAPER[(key, machines)],
+            "measured_s": measured[(key, machines)].mean,
+            "stdev_s": measured[(key, machines)].stdev,
+        }
+        for key in ("Chain", "Tree")
+        for machines in (1, 3, 9)
+    ]
+    report(benchmark, "E3/E4: chain (max delay) vs tree (max parallelism)", rows)
+
+    chain1 = measured[("Chain", 1)].mean
+    chain3 = measured[("Chain", 3)].mean
+    chain9 = measured[("Chain", 9)].mean
+    tree1 = measured[("Tree", 1)].mean
+    tree3 = measured[("Tree", 3)].mean
+    tree9 = measured[("Tree", 9)].mean
+
+    # Shape assertions (paper's qualitative findings):
+    # 1. the distributed chain pays every hop: ~5.5x the single site.
+    assert chain3 > 4 * chain1
+    # 2. the chain gains nothing from more machines.
+    assert chain9 == pytest.approx(chain3, rel=0.15)
+    # 3. the tree gains from parallelism: distributed beats single site...
+    assert tree3 < tree1
+    # 4. ...and nine machines do at least as well as three.
+    assert tree9 <= tree3 * 1.05

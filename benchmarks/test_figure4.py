@@ -1,0 +1,73 @@
+"""Figure 4 — response time vs probability of a pointer being local (§5).
+
+The paper plots mean response time for queries following the
+randomly-constructed pointers of each locality class (P(local) = .05 ..
+.95, two pointers per object), on 3 and 9 machines, against the
+single-site base case.  Its findings:
+
+* at the far left "the cases ... generate too much message traffic";
+* "the system operates best with at least 80% local references";
+* "with more machines we are more capable of handling a higher
+  percentage of remote references".
+"""
+
+import pytest
+
+from repro.workload import pointer_key_for
+
+from .conftest import SPEC, make_cluster, report, run_script
+
+
+def test_figure4_locality_sweep(benchmark, paper_graph):
+    def experiment():
+        measured = {}
+        for machines in (1, 3, 9):
+            cluster, workload = make_cluster(machines, paper_graph)
+            for p in SPEC.locality_classes:
+                series = run_script(cluster, workload, pointer_key_for(p), "Rand10p")
+                measured[(machines, p)] = series
+        return measured
+
+    measured = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    rows = [
+        {
+            "p_local": p,
+            "1_machine_s": measured[(1, p)].mean,
+            "3_machines_s": measured[(3, p)].mean,
+            "9_machines_s": measured[(9, p)].mean,
+        }
+        for p in SPEC.locality_classes
+    ]
+    report(benchmark, "Figure 4: response time vs fraction of local pointers", rows)
+
+    from repro.metrics.charts import render_chart
+
+    print()
+    print(
+        render_chart(
+            list(SPEC.locality_classes),
+            {
+                "1 machine": [measured[(1, p)].mean for p in SPEC.locality_classes],
+                "3 machines": [measured[(3, p)].mean for p in SPEC.locality_classes],
+                "9 machines": [measured[(9, p)].mean for p in SPEC.locality_classes],
+            },
+            title="Figure 4 (reproduced)",
+            x_label="P(pointer is local)",
+            y_label="response time (s)",
+        )
+    )
+
+    # Shape assertions:
+    # 1. low locality: distribution much worse than one site.
+    assert measured[(3, 0.05)].mean > 1.5 * measured[(1, 0.05)].mean
+    # 2. distributed times fall monotonically as locality rises.
+    sweep3 = [measured[(3, p)].mean for p in SPEC.locality_classes]
+    sweep9 = [measured[(9, p)].mean for p in SPEC.locality_classes]
+    assert all(a >= b * 0.95 for a, b in zip(sweep3, sweep3[1:]))
+    assert all(a >= b * 0.95 for a, b in zip(sweep9, sweep9[1:]))
+    # 3. crossover by ~80-95% local: distribution stops losing.
+    assert measured[(3, 0.95)].mean <= measured[(1, 0.95)].mean * 1.02
+    # 4. nine machines tolerate remote references better than three.
+    mid = [0.20, 0.35, 0.50, 0.65]
+    assert all(measured[(9, p)].mean < measured[(3, p)].mean for p in mid)

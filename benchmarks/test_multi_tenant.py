@@ -1,0 +1,56 @@
+"""A7 — multi-tenant service ablation (extension).
+
+Paper §1: "HyperFile represents a shared resource so it is important to
+offload as much work as possible."  The prototype's client ran one query
+at a time; a shared back-end serves many applications concurrently.  We
+measure how mean response time degrades as N identical tree-closure
+queries run simultaneously against the same 3 sites — perfect sharing
+would scale latency by the load factor (CPU-bound sites), and the
+round-robin scheduler should keep the spread between the luckiest and
+unluckiest query small (fairness).
+"""
+
+import pytest
+
+from repro.workload import closure_query
+
+from .conftest import make_cluster, report
+
+
+def test_multi_tenant(benchmark, paper_graph):
+    def experiment():
+        measured = {}
+        for load in (1, 2, 4, 8):
+            cluster, workload = make_cluster(3, paper_graph)
+            qids = [
+                cluster.submit(closure_query("Tree", "Rand10p", 1 + (i % 10)), [workload.root])
+                for i in range(load)
+            ]
+            cluster.run()
+            times = [cluster.outcome(q).response_time for q in qids]
+            measured[load] = times
+        return measured
+
+    measured = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    base = sum(measured[1]) / len(measured[1])
+    rows = [
+        {
+            "concurrent_queries": load,
+            "mean_rt_s": sum(times) / len(times),
+            "max_rt_s": max(times),
+            "slowdown_vs_alone": (sum(times) / len(times)) / base,
+            "fairness_spread": max(times) / min(times),
+        }
+        for load, times in measured.items()
+    ]
+    report(benchmark, "A7: concurrent queries on a 3-site service", rows)
+
+    # Latency grows with load (shared CPUs)...
+    means = [row["mean_rt_s"] for row in rows]
+    assert means == sorted(means)
+    # ...roughly proportionally (no super-linear interference)...
+    assert rows[-1]["slowdown_vs_alone"] < 8 * 1.4
+    # ...and the round-robin scheduler keeps queries within ~2x of each
+    # other even at 8-way load.
+    assert rows[-1]["fairness_spread"] < 2.0

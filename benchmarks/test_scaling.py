@@ -1,0 +1,56 @@
+"""E6 — linearity in database size (§5).
+
+    "As the algorithm is linear we expect using a different number of
+    items in the query would result in a linear change in the response
+    time.  We did construct a data set with half the number of items;
+    this didn't quite cut the query time in half.  This is as we would
+    expect (since there is some constant overhead associated with the
+    query, regardless of size.)"
+"""
+
+import pytest
+
+from repro.cluster import SimCluster
+from repro.workload import WorkloadSpec, build_graph, generate_into_cluster
+
+from .conftest import SPEC, report, run_script
+
+
+def _mean_time(n_objects: int, machines: int) -> float:
+    spec = SPEC.scaled(n_objects)
+    graph = build_graph(n=n_objects)
+    cluster = SimCluster(machines)
+    workload = generate_into_cluster(cluster, spec, graph)
+    return run_script(cluster, workload, "Tree", "Rand10p").mean
+
+
+def test_scaling_linearity(benchmark):
+    sizes = (68, 135, 270, 540)
+
+    def experiment():
+        return {
+            (n, machines): _mean_time(n, machines)
+            for n in sizes
+            for machines in (1, 3)
+        }
+
+    measured = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    rows = [
+        {
+            "objects": n,
+            "1_machine_s": measured[(n, 1)],
+            "3_machines_s": measured[(n, 3)],
+            "ratio_vs_270_1m": measured[(n, 1)] / measured[(270, 1)],
+        }
+        for n in sizes
+    ]
+    report(benchmark, "E6: response time vs database size (tree closure)", rows)
+
+    half, full = measured[(135, 1)], measured[(270, 1)]
+    # "didn't quite cut the query time in half": between 50% and ~65%.
+    assert 0.50 < half / full < 0.68
+    # Larger sizes keep scaling linearly (ratio ~2 for double size).
+    assert measured[(540, 1)] / full == pytest.approx(2.0, rel=0.12)
+    # Distributed runs scale linearly too.
+    assert measured[(540, 3)] / measured[(270, 3)] == pytest.approx(2.0, rel=0.25)

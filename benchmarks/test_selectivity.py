@@ -1,0 +1,70 @@
+"""E5 — the effect of result-set size (§5).
+
+    "Given two queries that follow the same pointers, a highly selective
+    query may be faster in the distributed case, while a less selective
+    query may run faster when the entire database is on a single server.
+    For example, the case in Figure 4 where 95% of the pointers are
+    local takes an average 1.1 seconds when run on three or nine
+    machines, and 1.5 seconds when run at a single site ...  If we
+    instead select all of the items ... the single site time jumps to
+    5.1 seconds.  For three and nine sites we have 6.4 and 5.7 seconds."
+"""
+
+import pytest
+
+from repro.workload import COMMON_TYPE, pointer_key_for
+
+from .conftest import make_cluster, report, run_script
+
+POINTER = pointer_key_for(0.95)
+
+PAPER = {
+    ("Rand10p", 1): 1.5,
+    ("Rand10p", 3): 1.1,
+    ("Rand10p", 9): 1.1,
+    (COMMON_TYPE, 1): 5.1,
+    (COMMON_TYPE, 3): 6.4,
+    (COMMON_TYPE, 9): 5.7,
+}
+
+
+def test_selectivity(benchmark, paper_graph):
+    def experiment():
+        measured = {}
+        for machines in (1, 3, 9):
+            cluster, workload = make_cluster(machines, paper_graph)
+            for search in ("Rand10p", COMMON_TYPE):
+                measured[(search, machines)] = run_script(
+                    cluster, workload, POINTER, search
+                )
+        return measured
+
+    measured = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    rows = [
+        {
+            "selectivity": "~10% (Rand10p)" if search == "Rand10p" else "100% (Common)",
+            "machines": machines,
+            "paper_s": PAPER[(search, machines)],
+            "measured_s": measured[(search, machines)].mean,
+        }
+        for search in ("Rand10p", COMMON_TYPE)
+        for machines in (1, 3, 9)
+    ]
+    report(benchmark, "E5: selectivity vs distribution (95%-local pointers)", rows)
+
+    sel1 = measured[("Rand10p", 1)].mean
+    sel3 = measured[("Rand10p", 3)].mean
+    all1 = measured[(COMMON_TYPE, 1)].mean
+    all3 = measured[(COMMON_TYPE, 3)].mean
+    all9 = measured[(COMMON_TYPE, 9)].mean
+
+    # Selective: distribution wins (or at worst ties).
+    assert sel3 <= sel1 * 1.02
+    # Unselective: "sending results is expensive" — distribution loses.
+    assert all3 > all1
+    # Returning everything costs far more than returning 10%.
+    assert all1 > 2 * sel1 and all3 > 2 * sel3
+    # Nine sites ship the same results with more parallel senders:
+    # no worse than three (the paper: 5.7 < 6.4).
+    assert all9 <= all3 * 1.05

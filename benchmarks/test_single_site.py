@@ -1,0 +1,39 @@
+"""E2 — the single-site base case (§5).
+
+    "Running the query shown above (a transitive closure over 270 items,
+    with approximately 27 in the result set) took 2.7 seconds when all
+    the objects were at a single site, when following either tree or
+    chain pointers."
+"""
+
+import pytest
+
+from .conftest import make_cluster, report, run_script
+
+PAPER_SINGLE_SITE_S = 2.7
+
+
+def test_single_site_closure(benchmark, paper_graph):
+    def experiment():
+        cluster, workload = make_cluster(1, paper_graph)
+        tree = run_script(cluster, workload, "Tree", "Rand10p")
+        chain = run_script(cluster, workload, "Chain", "Rand10p")
+        return tree, chain
+
+    tree, chain = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    rows = [
+        {
+            "pointer": name,
+            "paper_s": PAPER_SINGLE_SITE_S,
+            "measured_s": series.mean,
+            "stdev_s": series.stdev,
+            "queries": series.count,
+        }
+        for name, series in (("Tree", tree), ("Chain", chain))
+    ]
+    report(benchmark, "E2: transitive closure over 270 objects, 1 site", rows)
+
+    # The cost model reproduces the 2.7 s figure: 270 x 8 ms + ~27 x 20 ms.
+    for series in (tree, chain):
+        assert series.mean == pytest.approx(PAPER_SINGLE_SITE_S, rel=0.15)

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Reproduce the paper's §5 experiment suite, fast, in one script.
+
+A console-friendly tour of the evaluation: single-site base case, the
+chain/tree extremes, the Figure-4 locality sweep, and the selectivity
+trade-off — each printed as a paper-vs-measured table.  (The pytest
+benchmarks in benchmarks/ are the rigorous version; this script trades
+query-script length for interactivity.)
+
+Run:  python examples/paper_experiments.py  [queries-per-config, default 5]
+"""
+
+import sys
+
+from repro.cluster import SimCluster
+from repro.metrics.collect import Series
+from repro.metrics.report import render_table
+from repro.workload import (
+    COMMON_TYPE,
+    WorkloadSpec,
+    build_graph,
+    generate_into_cluster,
+    pointer_key_for,
+    query_script,
+)
+
+SPEC = WorkloadSpec()  # the paper's 270-object database
+
+
+def measure(cluster, workload, pointer_key, search_type, n):
+    series = Series(pointer_key)
+    for query in query_script(pointer_key, search_type, count=n, spec=SPEC):
+        series.add(cluster.run_query(query, [workload.root]).response_time)
+    return series.mean
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 5
+    graph = build_graph(n=SPEC.n_objects)
+    clusters = {}
+    for machines in (1, 3, 9):
+        cluster = SimCluster(machines)
+        workload = generate_into_cluster(cluster, SPEC, graph)
+        clusters[machines] = (cluster, workload)
+
+    print(f"HyperFile §5 experiments — 270 objects, {n} queries per configuration\n")
+
+    # E2/E3/E4: single site vs distributed extremes.
+    rows = []
+    paper = {("Tree", 1): 2.7, ("Tree", 3): 1.5, ("Tree", 9): 1.0,
+             ("Chain", 1): 2.7, ("Chain", 3): 15.0, ("Chain", 9): 15.0}
+    for pointer in ("Tree", "Chain"):
+        for machines in (1, 3, 9):
+            cluster, workload = clusters[machines]
+            rows.append({
+                "pointer": pointer,
+                "machines": machines,
+                "paper_s": paper[(pointer, machines)],
+                "measured_s": measure(cluster, workload, pointer, "Rand10p", n),
+            })
+    print(render_table(rows, title="E2-E4: closure over chain/tree pointers"))
+    print()
+
+    # Figure 4: locality sweep.
+    rows = []
+    for p in SPEC.locality_classes:
+        row = {"p_local": p}
+        for machines in (1, 3, 9):
+            cluster, workload = clusters[machines]
+            row[f"{machines}m_s"] = measure(cluster, workload, pointer_key_for(p), "Rand10p", n)
+        rows.append(row)
+    print(render_table(rows, title="Figure 4: response time vs pointer locality"))
+    print("(distribution wins to the right of the ~80% crossover)")
+    print()
+
+    # E5: selectivity.
+    rows = []
+    for search, label in (("Rand10p", "~10%"), (COMMON_TYPE, "100%")):
+        for machines in (1, 3):
+            cluster, workload = clusters[machines]
+            rows.append({
+                "selectivity": label,
+                "machines": machines,
+                "measured_s": measure(cluster, workload, pointer_key_for(0.95), search, n),
+            })
+    print(render_table(rows, title="E5: selectivity (95%-local pointers)"))
+    print("(selective queries favour distribution; select-everything favours one site)")
+
+
+if __name__ == "__main__":
+    main()

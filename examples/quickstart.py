@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Quickstart: a three-site HyperFile service in ~40 lines.
+
+Creates a few documents spread over three sites, links them with
+hypertext pointers, and runs the paper's flagship query shape — "follow
+Reference pointers transitively and keep the documents carrying a
+keyword" — with a single request.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.client import HyperFile
+from repro.core import keyword_tuple, pointer_tuple, string_tuple
+
+
+def main() -> None:
+    hf = HyperFile(sites=3)
+
+    # Three documents on three different machines.
+    survey = hf.create(
+        "site2",
+        string_tuple("Title", "A Survey of Distributed Query Processing"),
+        keyword_tuple("Distributed"),
+    )
+    systems = hf.create(
+        "site1",
+        string_tuple("Title", "Notes on Document Servers"),
+        keyword_tuple("Distributed"),
+        pointer_tuple("Reference", survey),
+    )
+    intro = hf.create(
+        "site0",
+        string_tuple("Title", "HyperFile: A Data Server for Documents"),
+        keyword_tuple("Distributed"),
+        keyword_tuple("Hypertext"),
+        pointer_tuple("Reference", systems),
+    )
+    # Give the reference chain's last document a self-link so closure
+    # traversals can still check it (see DESIGN.md finding 2).
+    hf.update(survey, pointer_tuple("Reference", survey))
+
+    # Start from the paper we are reading...
+    hf.define_set("S", [intro])
+
+    # ...and ask the server (not the user!) to chase the references.
+    results = hf.query(
+        'S [ (Pointer, "Reference", ?X) | ^^X ]* '
+        '(Keyword, "Distributed", ?) (String, "Title", ->title) -> T'
+    )
+
+    print(f"{len(results)} documents found in {hf.last_response_time * 1000:.0f} ms "
+          "(simulated response time):")
+    for title in hf.retrieve("title"):
+        print(f"  - {title}")
+
+    # The result set T is a first-class set: refine it with another query.
+    hypertexty = hf.query('T (Keyword, "Hypertext", ?) -> U')
+    print(f"of which {len(hypertexty)} also mention Hypertext.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim for environments without the `wheel` package.
+
+The project is fully described by pyproject.toml; this file exists so
+`pip install -e .` can fall back to the legacy develop path where PEP 660
+editable wheels cannot be built (setuptools < 70 without `wheel`).
+"""
+
+from setuptools import setup
+
+setup()

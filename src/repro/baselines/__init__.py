@@ -1,0 +1,14 @@
+"""Comparator systems: centralized single-site and file-server baselines."""
+
+from .centralized import CentralizedRun, centralized_cluster, run_centralized, union_fetcher
+from .fileserver import FileServerBaseline, FileServerCosts, FileServerRun
+
+__all__ = [
+    "CentralizedRun",
+    "FileServerBaseline",
+    "FileServerCosts",
+    "FileServerRun",
+    "centralized_cluster",
+    "run_centralized",
+    "union_fetcher",
+]

@@ -1,0 +1,237 @@
+"""Command-line interface: explore HyperFile from a terminal.
+
+Three subcommands::
+
+    python -m repro demo                 # one-minute guided tour
+    python -m repro repl [--sites N]     # interactive query shell over the §5 workload
+    python -m repro experiments [-n Q]   # quick paper-vs-measured tables
+
+The REPL loads the paper's synthetic database, binds ``Root`` to its
+root object and ``All`` to every object, and evaluates one query per
+line.  Meta-commands start with a colon::
+
+    :help               this text
+    :sets               list named sets and sizes
+    :members NAME [k]   show up to k member ids of a set
+    :trace on|off       record / stop recording a query timeline
+    :timeline [k]       print the last recorded timeline (k events)
+    :lanes              per-site swim-lane view of the trace
+    :stats              cluster message counters
+    :quit
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import IO, List, Optional
+
+from .client.session import Session
+from .cluster import SimCluster
+from .errors import HyperFileError
+from .metrics.report import render_table
+from .tracing import QueryTracer
+from .workload import WorkloadSpec, build_graph, generate_into_cluster
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="HyperFile distributed filtering queries (ICDCS '91 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("demo", help="one-minute guided tour")
+
+    repl = sub.add_parser("repl", help="interactive query shell over the paper's workload")
+    repl.add_argument("--sites", type=int, default=3, choices=(1, 3, 9))
+    repl.add_argument("--objects", type=int, default=270)
+
+    experiments = sub.add_parser("experiments", help="quick paper-vs-measured tables")
+    experiments.add_argument("-n", "--queries", type=int, default=3)
+
+    args = parser.parse_args(argv)
+    if args.command == "demo":
+        return run_demo()
+    if args.command == "repl":
+        return run_repl(sites=args.sites, n_objects=args.objects)
+    if args.command == "experiments":
+        return run_experiments(args.queries)
+    return 2  # pragma: no cover - argparse enforces the choices
+
+
+# --------------------------------------------------------------------------
+# demo
+# --------------------------------------------------------------------------
+
+
+def run_demo(out: Optional[IO[str]] = None) -> int:
+    out = out if out is not None else sys.stdout
+    from .client import HyperFile
+    from .core import keyword_tuple, pointer_tuple, string_tuple
+
+    print("Building a 3-site HyperFile service...", file=out)
+    hf = HyperFile(sites=3)
+    survey = hf.create("site2", string_tuple("Title", "A Survey"), keyword_tuple("Distributed"))
+    hf.update(survey, pointer_tuple("Reference", survey))
+    notes = hf.create("site1", string_tuple("Title", "Server Notes"),
+                      keyword_tuple("Distributed"), pointer_tuple("Reference", survey))
+    intro = hf.create("site0", string_tuple("Title", "HyperFile"),
+                      keyword_tuple("Distributed"), pointer_tuple("Reference", notes))
+    hf.define_set("S", [intro])
+    print("Query: follow Reference pointers transitively, keep 'Distributed':", file=out)
+    query = ('S [ (Pointer, "Reference", ?X) | ^^X ]* '
+             '(Keyword, "Distributed", ?) (String, "Title", ->title) -> T')
+    print(f"  {query}", file=out)
+    hf.query(query)
+    for title in hf.retrieve("title"):
+        print(f"  found: {title}", file=out)
+    print(f"simulated response time: {hf.last_response_time * 1000:.0f} ms", file=out)
+    print("(try `python -m repro repl` for the full 270-object workload)", file=out)
+    return 0
+
+
+# --------------------------------------------------------------------------
+# repl
+# --------------------------------------------------------------------------
+
+
+def run_repl(
+    sites: int = 3,
+    n_objects: int = 270,
+    stdin: Optional[IO[str]] = None,
+    out: Optional[IO[str]] = None,
+) -> int:
+    stdin = stdin if stdin is not None else sys.stdin
+    out = out if out is not None else sys.stdout
+    cluster = SimCluster(sites)
+    spec = WorkloadSpec().scaled(n_objects)
+    workload = generate_into_cluster(cluster, spec, build_graph(n=n_objects, seed=spec.seed))
+    session = Session(cluster)
+    session.define_set("Root", [workload.root])
+    session.define_set("All", list(workload.oids))
+    tracer: Optional[QueryTracer] = None
+
+    print(
+        f"HyperFile repl: {n_objects} objects on {sites} site(s); "
+        "sets Root and All are bound.  :help for commands.",
+        file=out,
+    )
+    for raw in stdin:
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith(":"):
+            if not _meta_command(line, session, cluster, out, tracer_box := [tracer]):
+                return 0
+            tracer = tracer_box[0]
+            continue
+        try:
+            results = session.query(line)
+        except HyperFileError as exc:
+            print(f"error: {exc}", file=out)
+            continue
+        rt = session.last_response_time or 0.0
+        print(f"{len(results)} objects in {rt * 1000:.0f} ms (simulated)", file=out)
+        for oid in results[:10]:
+            print(f"  {oid}", file=out)
+        if len(results) > 10:
+            print(f"  ... {len(results) - 10} more", file=out)
+        for target in list(session.bindings):
+            values = session.bindings.pop(target)
+            preview = ", ".join(repr(v)[:40] for v in values[:5])
+            print(f"  ->{target}: {preview}" + (" ..." if len(values) > 5 else ""), file=out)
+    return 0
+
+
+def _meta_command(line: str, session: Session, cluster: SimCluster, out: IO[str], tracer_box) -> bool:
+    """Handle a ':' command; returns False to exit the repl."""
+    parts = line.split()
+    command = parts[0]
+    if command in (":quit", ":q", ":exit"):
+        print("bye", file=out)
+        return False
+    if command == ":help":
+        print(__doc__, file=out)
+    elif command == ":sets":
+        for name in sorted(session._sets):
+            print(f"  {name}: {session.count_set(name)} objects", file=out)
+    elif command == ":members":
+        if len(parts) < 2:
+            print("usage: :members NAME [k]", file=out)
+        else:
+            limit = int(parts[2]) if len(parts) > 2 else 10
+            try:
+                for oid in session.set_members(parts[1])[:limit]:
+                    print(f"  {oid}", file=out)
+            except HyperFileError as exc:
+                print(f"error: {exc}", file=out)
+    elif command == ":trace":
+        if len(parts) > 1 and parts[1] == "on":
+            tracer_box[0] = QueryTracer()
+            cluster.attach_tracer(tracer_box[0])
+            print("tracing on", file=out)
+        else:
+            cluster.detach_tracer()
+            tracer_box[0] = None
+            print("tracing off", file=out)
+    elif command == ":lanes":
+        tracer = tracer_box[0]
+        if tracer is None:
+            print("tracing is off (:trace on)", file=out)
+        else:
+            print(tracer.render_lanes(), file=out)
+    elif command == ":timeline":
+        tracer = tracer_box[0]
+        if tracer is None:
+            print("tracing is off (:trace on)", file=out)
+        else:
+            limit = int(parts[1]) if len(parts) > 1 else 40
+            print(tracer.render(limit=limit), file=out)
+    elif command == ":stats":
+        totals = cluster.total_stats()
+        print(f"  messages sent: {totals.messages_sent}", file=out)
+        print(f"  bytes sent: {totals.bytes_sent}", file=out)
+        print(f"  objects processed: {totals.objects_processed}", file=out)
+    else:
+        print(f"unknown command {command} (:help)", file=out)
+    return True
+
+
+# --------------------------------------------------------------------------
+# experiments
+# --------------------------------------------------------------------------
+
+
+def run_experiments(n_queries: int, out: Optional[IO[str]] = None) -> int:
+    out = out if out is not None else sys.stdout
+    from .metrics.collect import Series
+    from .workload import query_script
+
+    spec = WorkloadSpec()
+    graph = build_graph(n=spec.n_objects)
+    paper = {("Tree", 1): 2.7, ("Tree", 3): 1.5, ("Tree", 9): 1.0,
+             ("Chain", 1): 2.7, ("Chain", 3): 15.0, ("Chain", 9): 15.0}
+    rows = []
+    for machines in (1, 3, 9):
+        cluster = SimCluster(machines)
+        workload = generate_into_cluster(cluster, spec, graph)
+        for pointer in ("Tree", "Chain"):
+            series = Series(pointer)
+            for query in query_script(pointer, "Rand10p", count=n_queries, spec=spec):
+                series.add(cluster.run_query(query, [workload.root]).response_time)
+            rows.append(
+                {
+                    "pointer": pointer,
+                    "machines": machines,
+                    "paper_s": paper[(pointer, machines)],
+                    "measured_s": series.mean,
+                }
+            )
+    print(render_table(rows, title="chain/tree closure, paper vs measured"), file=out)
+    print("(full suite: pytest benchmarks/ --benchmark-only)", file=out)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

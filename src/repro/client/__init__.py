@@ -1,0 +1,7 @@
+"""Application-facing client API (the embedded query language, paper §2)."""
+
+from .api import HyperFile
+from .session import Session
+from .sets import combine_sets, difference, intersection, union
+
+__all__ = ["HyperFile", "Session", "combine_sets", "difference", "intersection", "union"]

@@ -1,0 +1,87 @@
+"""Convenience facade: build a working HyperFile deployment in one call.
+
+This is the "five-minute quickstart" layer used by the examples; power
+users assemble :class:`~repro.cluster.SimCluster` pieces directly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Union
+
+from ..cluster import SimCluster
+from ..core.oid import Oid
+from ..core.tuples import HFTuple
+from ..sim.costs import CostModel, PAPER_COSTS
+from .session import Session
+
+
+class HyperFile:
+    """A ready-to-use HyperFile service (simulated cluster + session).
+
+    Example::
+
+        hf = HyperFile(sites=3)
+        paper = hf.create("site0",
+                          string_tuple("Title", "HyperFile"),
+                          keyword_tuple("Distributed"))
+        hf.define_set("S", [paper])
+        hf.query('S (Keyword, "Distributed", ?) -> T')
+        hf.members("T")   # -> [paper]
+    """
+
+    def __init__(
+        self,
+        sites: Union[int, Sequence[str]] = 1,
+        costs: CostModel = PAPER_COSTS,
+        termination: str = "weighted",
+        result_mode: str = "ship",
+    ) -> None:
+        self.cluster = SimCluster(
+            sites, costs=costs, termination=termination, result_mode=result_mode
+        )
+        self.session = Session(self.cluster)
+
+    # -- data --------------------------------------------------------------
+
+    @property
+    def sites(self) -> List[str]:
+        return self.cluster.sites
+
+    def create(self, site: str, *tuples: HFTuple) -> Oid:
+        """Store a new object at ``site``; returns its id."""
+        return self.cluster.store(site).create(list(tuples)).oid
+
+    def update(self, oid: Oid, *tuples: HFTuple) -> None:
+        """Add tuples to an existing object (functional replace)."""
+        site = self.cluster.node(self.session.home_site).locate(oid)
+        store = self.cluster.store(site)
+        store.replace(store.get(oid).with_tuples(tuples))
+
+    def get(self, oid: Oid):
+        """Read an object back (application-side debugging aid)."""
+        site = self.cluster.node(self.session.home_site).locate(oid)
+        return self.cluster.store(site).get(oid)
+
+    def migrate(self, oid: Oid, to_site: str) -> Oid:
+        return self.cluster.migrate(oid, to_site)
+
+    # -- sets & queries -----------------------------------------------------
+
+    def define_set(self, name: str, members: Iterable[Oid]) -> None:
+        self.session.define_set(name, members)
+
+    def members(self, name: str) -> List[Oid]:
+        return self.session.set_members(name)
+
+    def query(self, text: str) -> List[Oid]:
+        """Run a query in the textual language; returns result oids."""
+        return self.session.query(text)
+
+    def retrieve(self, var: str) -> List[object]:
+        """Values shipped by ``->var`` retrieval filters."""
+        return self.session.retrieve(var)
+
+    @property
+    def last_response_time(self) -> Optional[float]:
+        """Virtual response time of the most recent query (seconds)."""
+        return self.session.last_response_time

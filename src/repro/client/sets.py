@@ -1,0 +1,87 @@
+"""Set algebra over named result sets.
+
+HyperFile sets are first-class: query results bind to names and feed
+later queries (paper §2).  Applications composing searches need the
+classic combinators over those names — union, intersection, difference —
+which the paper leaves to the application layer.  This module provides
+them over a :class:`~repro.client.session.Session`'s local sets, with
+hint-insensitive identity (two ids naming the same object never count
+twice) and stable, first-operand-first ordering.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from ..core.oid import Oid
+from ..errors import HyperFileError
+
+
+def union(*collections: Iterable[Oid]) -> List[Oid]:
+    """All objects appearing in any collection, first occurrence kept."""
+    seen = set()
+    out: List[Oid] = []
+    for collection in collections:
+        for oid in collection:
+            if oid.key() not in seen:
+                seen.add(oid.key())
+                out.append(oid)
+    return out
+
+
+def intersection(first: Iterable[Oid], *others: Iterable[Oid]) -> List[Oid]:
+    """Objects present in every collection, in first-collection order."""
+    keep = None
+    for other in others:
+        keys = {oid.key() for oid in other}
+        keep = keys if keep is None else keep & keys
+    out: List[Oid] = []
+    seen = set()
+    for oid in first:
+        if (keep is None or oid.key() in keep) and oid.key() not in seen:
+            seen.add(oid.key())
+            out.append(oid)
+    return out
+
+
+def difference(first: Iterable[Oid], *others: Iterable[Oid]) -> List[Oid]:
+    """Objects of the first collection absent from all the others."""
+    exclude = set()
+    for other in others:
+        exclude |= {oid.key() for oid in other}
+    out: List[Oid] = []
+    seen = set()
+    for oid in first:
+        if oid.key() not in exclude and oid.key() not in seen:
+            seen.add(oid.key())
+            out.append(oid)
+    return out
+
+
+OPERATIONS = {
+    "union": union,
+    "intersection": intersection,
+    "difference": difference,
+}
+
+
+def combine_sets(session, result_name: str, operation: str, *set_names: str) -> List[Oid]:
+    """Combine named session sets and bind the result to ``result_name``.
+
+    ``operation`` is ``"union"``, ``"intersection"`` or ``"difference"``
+    (difference is left-associative: first minus the rest).  Distributed
+    sets must be materialised (queried into a local set) first — their
+    members live at the sites.
+    """
+    try:
+        op = OPERATIONS[operation]
+    except KeyError:
+        raise HyperFileError(
+            f"unknown set operation {operation!r}; choose from {sorted(OPERATIONS)}"
+        ) from None
+    if not set_names:
+        raise HyperFileError("set operation needs at least one operand")
+    members = [session.set_members(name) for name in set_names]
+    combined = op(*members)
+    session.define_set(result_name, combined)
+    return combined

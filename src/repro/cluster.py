@@ -1,0 +1,315 @@
+"""Cluster assembly: a complete simulated HyperFile deployment.
+
+:class:`SimCluster` wires together everything the paper's prototype had —
+per-site stores and server nodes, the (simulated) network, termination
+detection — and exposes the operations the experimental client performed:
+load objects, submit a query at an originating site, wait for completion,
+read the response time off the (virtual) wall clock.
+
+Typical use::
+
+    cluster = SimCluster(3)
+    s0 = cluster.store("site0")
+    a = s0.create([keyword_tuple("Distributed")])
+    ...
+    outcome = cluster.run_query(
+        "S [ (Pointer, \\"Reference\\", ?X) | ^^X ]* (Keyword, \\"Distributed\\", ?) -> T",
+        initial=[a.oid],
+    )
+    outcome.result.oids, outcome.response_time
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Union
+
+from .core.ast import Query
+from .core.oid import Oid
+from .core.parser import parse_query
+from .core.program import Program, compile_query
+from .core.validate import validate_query
+from .engine.results import QueryResult
+from .errors import HyperFileError, UnknownSite
+from .naming.directory import ForwardingTable
+from .naming.names import migrate_object
+from .net.messages import QueryId
+from .net.simnet import SimNetwork
+from .server.node import ServerNode
+from .server.stats import NodeStats
+from .sim.costs import CostModel, PAPER_COSTS
+from .sim.kernel import Simulator
+from .termination.base import TerminationStrategy, make_strategy
+
+#: Anything we can turn into an executable program.
+QueryLike = Union[str, Query, Program]
+
+
+@dataclass
+class QueryOutcome:
+    """A completed query, with client-visible timing."""
+
+    qid: QueryId
+    result: QueryResult
+    submitted_at: float
+    completed_at: float
+    client_link_s: float = 0.0
+    partition_counts: Optional[Dict[str, int]] = None
+
+    @property
+    def response_time(self) -> float:
+        """Virtual wall-clock at the client: submit → results in hand."""
+        return (self.completed_at - self.submitted_at) + 2 * self.client_link_s
+
+
+def site_name(index: int) -> str:
+    """Canonical site naming used throughout benchmarks: site0, site1, ..."""
+    return f"site{index}"
+
+
+class SimCluster:
+    """A set of HyperFile sites over a simulated network."""
+
+    def __init__(
+        self,
+        sites: Union[int, Iterable[str]] = 3,
+        costs: CostModel = PAPER_COSTS,
+        termination: Union[str, TerminationStrategy] = "weighted",
+        discipline: str = "fifo",
+        result_mode: str = "ship",
+        mark_granularity: str = "iteration",
+        gc_contexts: bool = False,
+    ) -> None:
+        if isinstance(sites, int):
+            names = [site_name(i) for i in range(sites)]
+        else:
+            names = list(sites)
+        if not names:
+            raise ValueError("a cluster needs at least one site")
+        if len(set(names)) != len(names):
+            raise ValueError("site names must be unique")
+
+        self.sim = Simulator()
+        self.network = SimNetwork(self.sim)
+        self.costs = costs
+        strategy = termination if isinstance(termination, TerminationStrategy) else make_strategy(termination)
+        self.termination = strategy
+
+        from .storage.memstore import MemStore
+
+        self.stores: Dict[str, MemStore] = {}
+        self.forwarding: Dict[str, ForwardingTable] = {}
+        self.nodes: Dict[str, ServerNode] = {}
+        for name in names:
+            store = MemStore(name)
+            table = ForwardingTable(name)
+            node = ServerNode(
+                name,
+                store,
+                costs=costs,
+                termination=strategy,
+                discipline=discipline,
+                result_mode=result_mode,
+                mark_granularity=mark_granularity,
+                gc_contexts=gc_contexts,
+                forwarding=table,
+            )
+            self.stores[name] = store
+            self.forwarding[name] = table
+            self.nodes[name] = node
+            host = self.network.attach(node)
+            host.completion_sink = self._on_complete
+
+        self._seq = 0
+        self._submitted_at: Dict[QueryId, float] = {}
+        self._completed: Dict[QueryId, QueryOutcome] = {}
+
+    # ------------------------------------------------------------------
+    # topology / data management
+    # ------------------------------------------------------------------
+
+    @property
+    def sites(self) -> List[str]:
+        return list(self.nodes)
+
+    def store(self, site: str):
+        try:
+            return self.stores[site]
+        except KeyError:
+            raise UnknownSite(site) from None
+
+    def node(self, site: str) -> ServerNode:
+        try:
+            return self.nodes[site]
+        except KeyError:
+            raise UnknownSite(site) from None
+
+    def migrate(self, oid: Oid, to_site: str) -> Oid:
+        """Move an object between sites, maintaining naming invariants."""
+        return migrate_object(oid, self.stores, self.forwarding, to_site)
+
+    def set_down(self, site: str) -> None:
+        self.network.set_down(site)
+
+    def set_up(self, site: str) -> None:
+        self.network.set_up(site)
+
+    def set_link_latency(self, a: str, b: str, seconds: float) -> None:
+        """Override one link's wire latency (heterogeneous deployments)."""
+        self.network.set_link_latency(a, b, seconds)
+
+    def attach_tracer(self, tracer) -> None:
+        """Record a :class:`~repro.tracing.QueryTracer` timeline of every
+        node's work, timestamped with virtual time."""
+        tracer.now_fn = lambda: self.sim.now
+        for node in self.nodes.values():
+            node.tracer = tracer
+
+    def detach_tracer(self) -> None:
+        for node in self.nodes.values():
+            node.tracer = None
+
+    def total_objects(self) -> int:
+        return sum(len(s) for s in self.stores.values())
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def compile(self, query: QueryLike) -> Program:
+        """Accept query text, AST, or a compiled program."""
+        if isinstance(query, str):
+            query = parse_query(query)
+        if isinstance(query, Query):
+            validate_query(query)
+            return compile_query(query)
+        if isinstance(query, Program):
+            return query
+        raise TypeError(f"cannot compile {type(query).__name__} into a query program")
+
+    def submit(
+        self,
+        query: QueryLike,
+        initial: Iterable[Oid],
+        originator: Optional[str] = None,
+    ) -> QueryId:
+        """Install a query at its originating site (non-blocking)."""
+        program = self.compile(query)
+        origin = originator if originator is not None else self.sites[0]
+        if origin not in self.nodes:
+            raise UnknownSite(origin)
+        qid = self._next_qid(origin)
+        self._submitted_at[qid] = self.sim.now
+        self.network.hosts[origin].submit(qid, program, list(initial))
+        return qid
+
+    def submit_followup(
+        self,
+        query: QueryLike,
+        source_qid: QueryId,
+        originator: Optional[str] = None,
+    ) -> QueryId:
+        """Start a query whose initial set is a *distributed set* held at
+        the sites (paper §5's optimisation)."""
+        program = self.compile(query)
+        origin = originator if originator is not None else source_qid.originator
+        qid = self._next_qid(origin)
+        self._submitted_at[qid] = self.sim.now
+        self.network.hosts[origin].submit_from_saved(qid, program, source_qid, self.sites)
+        return qid
+
+    def run(self, until: Optional[float] = None, max_events: int = 50_000_000) -> float:
+        """Drain the simulation; returns the final virtual time."""
+        return self.sim.run(until=until, max_events=max_events)
+
+    def wait(self, qid: QueryId, max_events: int = 50_000_000) -> QueryOutcome:
+        """Run the simulation until ``qid`` completes."""
+        fired = 0
+        while qid not in self._completed:
+            if not self.sim.step():
+                raise HyperFileError(
+                    f"simulation went idle before query {qid} completed "
+                    "(termination detector never fired — likely lost credit)"
+                )
+            fired += 1
+            if fired > max_events:
+                raise HyperFileError(f"query {qid} exceeded {max_events} simulation events")
+        return self._completed[qid]
+
+    def run_query(
+        self,
+        query: QueryLike,
+        initial: Iterable[Oid],
+        originator: Optional[str] = None,
+    ) -> QueryOutcome:
+        """Submit, run to completion, and return the outcome."""
+        qid = self.submit(query, initial, originator)
+        return self.wait(qid)
+
+    def run_followup(
+        self,
+        query: QueryLike,
+        source_qid: QueryId,
+        originator: Optional[str] = None,
+    ) -> QueryOutcome:
+        qid = self.submit_followup(query, source_qid, originator)
+        return self.wait(qid)
+
+    def outcome(self, qid: QueryId) -> Optional[QueryOutcome]:
+        return self._completed.get(qid)
+
+    def fetch_object(self, oid: Oid, via: Optional[str] = None):
+        """Retrieve a whole object through a server site (file-interface
+        style), paying real message + transfer costs.
+
+        Returns ``(object_or_None, elapsed_virtual_seconds)``.
+        """
+        site = via if via is not None else self.sites[0]
+        node = self.node(site)
+        started = self.sim.now
+        request_id, report = node.request_fetch(oid)
+        self.network.hosts[site].dispatch(report)
+        guard = 0
+        while request_id not in node.fetch_results:
+            if not self.sim.step():
+                raise HyperFileError(f"fetch of {oid} never completed (holder down?)")
+            guard += 1
+            if guard > 1_000_000:
+                raise HyperFileError(f"fetch of {oid} exceeded event budget")
+        obj = node.fetch_results.pop(request_id)
+        return obj, (self.sim.now - started) + 2 * self.costs.client_link_s
+
+    # ------------------------------------------------------------------
+    # metrics
+    # ------------------------------------------------------------------
+
+    def total_stats(self) -> NodeStats:
+        """Cluster-wide node counters, merged."""
+        merged = NodeStats()
+        for node in self.nodes.values():
+            merged.merge(node.stats)
+        return merged
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _next_qid(self, originator: str) -> QueryId:
+        self._seq += 1
+        return QueryId(self._seq, originator)
+
+    def _on_complete(self, qid: QueryId, result: QueryResult) -> None:
+        node = self.nodes[qid.originator]
+        ctx = node.contexts[qid]
+        for other in self.nodes.values():
+            other_ctx = other.contexts.get(qid)
+            if other_ctx is not None:
+                result.stats.merge(other_ctx.execution.result.stats)
+        self._completed[qid] = QueryOutcome(
+            qid=qid,
+            result=result,
+            submitted_at=self._submitted_at.get(qid, 0.0),
+            completed_at=self.sim.now,
+            client_link_s=self.costs.client_link_s,
+            partition_counts=dict(ctx.partition_counts) if ctx.partition_counts else None,
+        )

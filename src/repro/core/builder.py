@@ -1,0 +1,113 @@
+"""Fluent builder for queries, for applications that prefer a Python API.
+
+The textual language (:mod:`repro.core.parser`) is what the paper presents;
+this builder produces identical :class:`~repro.core.ast.Query` values while
+reading naturally in application code::
+
+    query = (
+        QueryBuilder("S")
+        .begin_loop()
+        .select("Pointer", "Reference", "?X")
+        .deref_keep("X")
+        .end_loop()              # '*' — transitive closure
+        .select("Keyword", "Distributed", "?")
+        .into("T")
+    )
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .ast import Deref, FilterNode, Iterate, Query, Retrieve, Select
+from .patterns import as_pattern
+
+
+class QueryBuilder:
+    """Accumulates filters, supporting nested iterator scopes.
+
+    Iterator scopes opened with :meth:`begin_loop` must be closed with
+    :meth:`end_loop` before :meth:`into` is called; :meth:`into` raises if
+    a scope is left open (catching the mistake at build time rather than
+    at the server).
+    """
+
+    def __init__(self, source: str) -> None:
+        if not source:
+            raise ValueError("query source set name must be non-empty")
+        self._source = source
+        # Stack of filter lists: the bottom is the top-level pipeline, one
+        # extra level per open iterator scope.
+        self._scopes: List[List[FilterNode]] = [[]]
+
+    # -- filters -----------------------------------------------------------
+
+    def select(self, type_pattern: object, key_pattern: object = "?", data_pattern: object = "?") -> "QueryBuilder":
+        """Append a selection filter ``(type, key, data)``."""
+        self._current().append(
+            Select(as_pattern(type_pattern), as_pattern(key_pattern), as_pattern(data_pattern))
+        )
+        return self
+
+    def deref(self, var: str) -> "QueryBuilder":
+        """Append ``^X``: follow pointers bound to ``var``, dropping the source."""
+        self._current().append(Deref(var, keep_source=False))
+        return self
+
+    def deref_keep(self, var: str) -> "QueryBuilder":
+        """Append ``^^X``: follow pointers bound to ``var``, keeping the source."""
+        self._current().append(Deref(var, keep_source=True))
+        return self
+
+    def retrieve(self, type_pattern: object, key_pattern: object, target: str) -> "QueryBuilder":
+        """Append ``(type, key, ->target)``: ship matching data fields back."""
+        self._current().append(Retrieve(as_pattern(type_pattern), as_pattern(key_pattern), target))
+        return self
+
+    # -- iterator scopes -----------------------------------------------------
+
+    def begin_loop(self) -> "QueryBuilder":
+        """Open an iterator scope (``[``)."""
+        self._scopes.append([])
+        return self
+
+    def end_loop(self, count: Optional[int] = None) -> "QueryBuilder":
+        """Close the innermost iterator scope.
+
+        ``count=None`` produces ``[...]*`` (transitive closure);
+        ``count=k`` produces ``[...]^k``.
+        """
+        if len(self._scopes) == 1:
+            raise ValueError("end_loop() without matching begin_loop()")
+        body = self._scopes.pop()
+        self._current().append(Iterate(tuple(body), count))
+        return self
+
+    def follow(self, pointer_key: object, var: str = "X", count: Optional[int] = None, keep_source: bool = True) -> "QueryBuilder":
+        """Shorthand for the paper's canonical traversal idiom.
+
+        Appends ``[ (Pointer, pointer_key, ?var) | ^^var ]^count`` (or
+        ``*`` when count is None) — i.e. "follow this category of pointer
+        for up to ``count`` levels".
+        """
+        body = (
+            Select(as_pattern("Pointer"), as_pattern(pointer_key), as_pattern(f"?{var}")),
+            Deref(var, keep_source=keep_source),
+        )
+        self._current().append(Iterate(body, count))
+        return self
+
+    # -- completion ------------------------------------------------------------
+
+    def into(self, result: str = "_") -> Query:
+        """Finish the build and return the :class:`~repro.core.ast.Query`."""
+        if len(self._scopes) != 1:
+            raise ValueError(f"{len(self._scopes) - 1} iterator scope(s) left open")
+        if not self._scopes[0]:
+            raise ValueError("query has no filters")
+        return Query(self._source, tuple(self._scopes[0]), result)
+
+    # -- internals ---------------------------------------------------------------
+
+    def _current(self) -> List[FilterNode]:
+        return self._scopes[-1]

@@ -1,0 +1,190 @@
+"""HyperFile objects: sets of tuples (paper §2).
+
+An object is an unordered collection of :class:`~repro.core.tuples.HFTuple`
+values identified by an :class:`~repro.core.oid.Oid`.  There is no schema
+and no object classes — the model is deliberately as elementary as a file
+with self-describing records.
+
+Objects are immutable once constructed; "editing" produces a new object
+with the same id (stores swap the binding).  Immutability is what lets the
+shared-memory engine of paper §6 process objects without locking.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, List, Optional, Tuple
+
+from .oid import Oid
+from .tuples import HFTuple, pointer_tuple
+
+
+class HFObject:
+    """An immutable HyperFile object.
+
+    Duplicate tuples are collapsed (the model is a *set* of tuples) while
+    first-seen order is preserved for deterministic iteration, which keeps
+    query traces and tests reproducible.
+    """
+
+    __slots__ = ("_oid", "_tuples", "_size_hint")
+
+    def __init__(self, oid: Oid, tuples: Iterable[HFTuple] = (), size_hint: Optional[int] = None) -> None:
+        if not isinstance(oid, Oid):
+            raise TypeError(f"oid must be an Oid, got {type(oid).__name__}")
+        seen = set()
+        ordered: List[HFTuple] = []
+        for t in tuples:
+            if not isinstance(t, HFTuple):
+                raise TypeError(f"expected HFTuple, got {type(t).__name__}")
+            marker = _marker(t)
+            if marker not in seen:
+                seen.add(marker)
+                ordered.append(t)
+        self._oid = oid
+        self._tuples = tuple(ordered)
+        self._size_hint = size_hint
+
+    @property
+    def oid(self) -> Oid:
+        """This object's identifier."""
+        return self._oid
+
+    @property
+    def tuples(self) -> Tuple[HFTuple, ...]:
+        """All tuples, in first-insertion order."""
+        return self._tuples
+
+    @property
+    def size_bytes(self) -> int:
+        """Approximate wire size of the object.
+
+        Used by the file-server baseline (which must ship whole objects)
+        and by the blob store's spill policy.  An explicit ``size_hint``
+        wins; otherwise a cheap structural estimate is used.
+        """
+        if self._size_hint is not None:
+            return self._size_hint
+        total = 16  # header
+        for t in self._tuples:
+            total += 8 + _value_size(t.type) + _value_size(t.key) + _value_size(t.data)
+        return total
+
+    # -- tuple access helpers -------------------------------------------------
+
+    def tuples_of_type(self, type_name: str) -> List[HFTuple]:
+        """All tuples whose type field equals ``type_name``."""
+        return [t for t in self._tuples if t.type == type_name]
+
+    def tuples_with_key(self, key: Any) -> List[HFTuple]:
+        """All tuples whose key field equals ``key``."""
+        return [t for t in self._tuples if t.key == key]
+
+    def first(self, type_name: str, key: Any) -> Optional[HFTuple]:
+        """First tuple matching ``(type_name, key, *)``, or ``None``."""
+        for t in self._tuples:
+            if t.type == type_name and t.key == key:
+                return t
+        return None
+
+    def values(self, type_name: str, key: Any) -> List[Any]:
+        """Data fields of every tuple matching ``(type_name, key, *)``."""
+        return [t.data for t in self._tuples if t.type == type_name and t.key == key]
+
+    def pointers(self, key: Any = None) -> List[Oid]:
+        """All pointer-valued data fields, optionally restricted to one key.
+
+        Follows the structural definition (data field is an Oid) so that
+        application-defined pointer types are included.
+        """
+        out: List[Oid] = []
+        for t in self._tuples:
+            if isinstance(t.data, Oid) and (key is None or t.key == key):
+                out.append(t.data)
+        return out
+
+    # -- functional update helpers --------------------------------------------
+
+    def with_tuple(self, new: HFTuple) -> "HFObject":
+        """Return a copy of this object with one tuple added."""
+        return HFObject(self._oid, self._tuples + (new,), size_hint=self._size_hint)
+
+    def with_tuples(self, extra: Iterable[HFTuple]) -> "HFObject":
+        """Return a copy of this object with several tuples added."""
+        return HFObject(self._oid, self._tuples + tuple(extra), size_hint=self._size_hint)
+
+    def without(self, type_name: str, key: Any = None) -> "HFObject":
+        """Return a copy with matching tuples removed (all keys if key is None)."""
+        kept = [
+            t
+            for t in self._tuples
+            if not (t.type == type_name and (key is None or t.key == key))
+        ]
+        return HFObject(self._oid, kept, size_hint=self._size_hint)
+
+    def relocated(self, oid: Oid) -> "HFObject":
+        """Return a copy carrying a different id (used by migration tooling)."""
+        return HFObject(oid, self._tuples, size_hint=self._size_hint)
+
+    # -- dunder protocol -------------------------------------------------------
+
+    def __iter__(self) -> Iterator[HFTuple]:
+        return iter(self._tuples)
+
+    def __len__(self) -> int:
+        return len(self._tuples)
+
+    def __contains__(self, item: HFTuple) -> bool:
+        return item in self._tuples
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, HFObject):
+            return NotImplemented
+        return self._oid == other._oid and frozenset(map(_marker, self._tuples)) == frozenset(
+            map(_marker, other._tuples)
+        )
+
+    def __hash__(self) -> int:
+        return hash(self._oid)
+
+    def __repr__(self) -> str:
+        return f"HFObject({self._oid}, {len(self._tuples)} tuples)"
+
+
+def make_set_object(oid: Oid, members: Iterable[Oid], key: str = "Member") -> HFObject:
+    """Build a *set object* (paper §2).
+
+    HyperFile represents a set of objects as an ordinary object whose
+    tuples point at the members: "The set of objects {A, B, C} is simply an
+    object containing three tuples, one of which points to each of A, B,
+    and C."  Query initial sets and query results are both stored this way.
+    """
+    return HFObject(oid, [pointer_tuple(key, m) for m in members])
+
+
+def set_members(obj: HFObject, key: str = "Member") -> List[Oid]:
+    """Extract the member ids from a set object built by :func:`make_set_object`."""
+    return obj.pointers(key=key)
+
+
+def _marker(t: HFTuple) -> tuple:
+    """Hashable identity for set-semantics dedup, tolerant of unhashable
+    keys/payloads (which fall back to their repr)."""
+    key = t.key if _hashable(t.key) else repr(t.key)
+    data = t.data if _hashable(t.data) else repr(t.data)
+    return (t.type, key, data)
+
+
+def _hashable(value: Any) -> bool:
+    try:
+        hash(value)
+    except TypeError:
+        return False
+    return True
+
+
+def _value_size(value: Any) -> int:
+    if isinstance(value, (bytes, bytearray, str)):
+        return len(value)
+    if isinstance(value, Oid):
+        return len(value.birth_site) + 12
+    return 8

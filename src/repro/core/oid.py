@@ -1,0 +1,108 @@
+"""Object identifiers with birth-site / presumed-site naming (paper §4).
+
+The paper adopts a variant of the R* naming scheme: an object id embeds the
+*birth site* (the site where the object was created, which remains the final
+arbiter of its location forever) and a *presumed site* hint (where the object
+was last known to live).  Dereferencing first tries the presumed site; on a
+miss it falls back to the birth site, which either holds the object or a
+forwarding record.
+
+Identity is determined by ``(birth_site, local_id)`` only.  The presumed
+site is a routing hint: two ids naming the same object compare and hash
+equal even when their hints disagree, which is essential because hints go
+stale as objects migrate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class Oid:
+    """Globally unique object identifier.
+
+    Parameters
+    ----------
+    birth_site:
+        Identifier of the site where the object was created.  Never changes.
+    local_id:
+        Sequence number unique within the birth site.
+    presumed_site:
+        Hint naming the site currently believed to hold the object.  May be
+        ``None`` (meaning "assume the birth site") and may be stale.
+        Excluded from equality and hashing.
+    """
+
+    birth_site: str
+    local_id: int
+    presumed_site: Optional[str] = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.birth_site, str) or not self.birth_site:
+            raise ValueError("birth_site must be a non-empty string")
+        if not isinstance(self.local_id, int) or self.local_id < 0:
+            raise ValueError("local_id must be a non-negative integer")
+
+    @property
+    def hint(self) -> str:
+        """Site to try first when dereferencing this id."""
+        return self.presumed_site if self.presumed_site is not None else self.birth_site
+
+    def with_hint(self, site: str) -> "Oid":
+        """Return a copy of this id whose presumed site is ``site``."""
+        return Oid(self.birth_site, self.local_id, presumed_site=site)
+
+    def without_hint(self) -> "Oid":
+        """Return the canonical form of this id (no presumed-site hint)."""
+        if self.presumed_site is None:
+            return self
+        return Oid(self.birth_site, self.local_id)
+
+    def key(self) -> tuple:
+        """Hashable identity key, independent of the routing hint."""
+        return (self.birth_site, self.local_id)
+
+    def __str__(self) -> str:
+        if self.presumed_site is not None and self.presumed_site != self.birth_site:
+            return f"{self.birth_site}:{self.local_id}@{self.presumed_site}"
+        return f"{self.birth_site}:{self.local_id}"
+
+    @classmethod
+    def parse(cls, text: str) -> "Oid":
+        """Parse the ``birth:seq[@hint]`` form produced by :meth:`__str__`."""
+        hint: Optional[str] = None
+        if "@" in text:
+            text, hint = text.rsplit("@", 1)
+        try:
+            birth, seq = text.rsplit(":", 1)
+            return cls(birth, int(seq), presumed_site=hint)
+        except (ValueError, TypeError) as exc:
+            raise ValueError(f"malformed oid {text!r}") from exc
+
+
+class OidAllocator:
+    """Per-site allocator handing out fresh :class:`Oid` values.
+
+    Each site owns one allocator; ids it mints carry the site as both birth
+    and presumed site.
+    """
+
+    def __init__(self, site: str, start: int = 0) -> None:
+        self._site = site
+        self._next = start
+
+    @property
+    def site(self) -> str:
+        return self._site
+
+    def allocate(self) -> Oid:
+        """Mint the next id for this site."""
+        oid = Oid(self._site, self._next, presumed_site=self._site)
+        self._next += 1
+        return oid
+
+    def peek(self) -> int:
+        """Sequence number the next :meth:`allocate` call will use."""
+        return self._next

@@ -1,0 +1,342 @@
+"""Parser for the textual HyperFile query language.
+
+The paper writes queries like::
+
+    S [ (Pointer, "Reference", ?X) | ^^X ]* (Keyword, "Distributed", ?) -> T
+
+This module accepts an ASCII rendering of that syntax:
+
+===========================  ====================================================
+Paper notation               ASCII form accepted here
+===========================  ====================================================
+``(type, key, data)``        ``(type, key, data)`` — selection filter
+``↑X`` (keep referenced)     ``^X``
+``⇑X`` (keep both)           ``^^X``
+``[ body ]^k``               ``[ body ]^k``
+``[ body ]*``                ``[ body ]*``
+``→var`` (retrieval)         ``->var`` in the data position
+``?`` / ``?X``               ``?`` / ``?X``
+use of variable ``X``        ``$X``
+``-> T`` (result binding)    ``-> T``
+===========================  ====================================================
+
+Patterns may additionally be double-quoted strings (with ``\\"`` and ``\\\\``
+escapes), bare identifiers (treated as literal strings — handy for type
+names), numbers, numeric ranges ``lo..hi`` (either side open), and regular
+expressions ``/re/``.  The ``|`` separators the paper draws between filters
+inside iterator brackets are accepted anywhere and ignored.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple, Union
+
+from ..errors import QuerySyntaxError
+from .ast import Deref, FilterNode, Iterate, Query, Retrieve, Select
+from .patterns import ANY, Bind, Literal, Pattern, Range, Regex, Use
+
+# --------------------------------------------------------------------------
+# Lexer
+# --------------------------------------------------------------------------
+
+_PUNCT = {
+    "(": "LPAREN",
+    ")": "RPAREN",
+    "[": "LBRACK",
+    "]": "RBRACK",
+    ",": "COMMA",
+    "|": "PIPE",
+    "*": "STAR",
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    value: object
+    pos: int
+
+    def __repr__(self) -> str:
+        return f"{self.kind}({self.value!r})@{self.pos}"
+
+
+def tokenize(text: str) -> List[Token]:
+    """Split ``text`` into tokens; raises :class:`QuerySyntaxError` on junk."""
+    tokens: List[Token] = []
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch in _PUNCT:
+            tokens.append(Token(_PUNCT[ch], ch, i))
+            i += 1
+            continue
+        if text.startswith("->", i):
+            tokens.append(Token("ARROW", "->", i))
+            i += 2
+            continue
+        if text.startswith("^^", i):
+            tokens.append(Token("DDEREF", "^^", i))
+            i += 2
+            continue
+        if ch == "^":
+            tokens.append(Token("CARET", "^", i))
+            i += 1
+            continue
+        if text.startswith("..", i):
+            tokens.append(Token("DOTDOT", "..", i))
+            i += 2
+            continue
+        if ch == "?":
+            j = i + 1
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            name = text[i + 1 : j]
+            tokens.append(Token("QMARK", name, i))  # name may be ""
+            i = j
+            continue
+        if ch == "$":
+            j = i + 1
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            if j == i + 1:
+                raise QuerySyntaxError("expected variable name after '$'", i, text)
+            tokens.append(Token("DOLLAR", text[i + 1 : j], i))
+            i = j
+            continue
+        if ch == '"':
+            value, i = _scan_string(text, i)
+            tokens.append(Token("STRING", value, i))
+            continue
+        if ch == "/":
+            j = i + 1
+            out = []
+            while j < n and text[j] != "/":
+                if text[j] == "\\" and j + 1 < n and text[j + 1] == "/":
+                    out.append("/")
+                    j += 2
+                else:
+                    out.append(text[j])
+                    j += 1
+            if j >= n:
+                raise QuerySyntaxError("unterminated regular expression", i, text)
+            tokens.append(Token("REGEX", "".join(out), i))
+            i = j + 1
+            continue
+        if ch.isdigit() or (ch == "-" and i + 1 < n and text[i + 1].isdigit()):
+            value, i2 = _scan_number(text, i)
+            tokens.append(Token("NUMBER", value, i))
+            i = i2
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            tokens.append(Token("IDENT", text[i:j], i))
+            i = j
+            continue
+        raise QuerySyntaxError(f"unexpected character {ch!r}", i, text)
+    tokens.append(Token("EOF", None, n))
+    return tokens
+
+
+def _scan_string(text: str, start: int) -> Tuple[str, int]:
+    out = []
+    i = start + 1
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch == "\\" and i + 1 < n:
+            nxt = text[i + 1]
+            if nxt in ('"', "\\"):
+                out.append(nxt)
+                i += 2
+                continue
+            if nxt == "n":
+                out.append("\n")
+                i += 2
+                continue
+            if nxt == "t":
+                out.append("\t")
+                i += 2
+                continue
+            out.append(nxt)
+            i += 2
+            continue
+        if ch == '"':
+            return "".join(out), i + 1
+        out.append(ch)
+        i += 1
+    raise QuerySyntaxError("unterminated string literal", start, text)
+
+
+def _scan_number(text: str, start: int) -> Tuple[Union[int, float], int]:
+    i = start
+    n = len(text)
+    if text[i] == "-":
+        i += 1
+    while i < n and text[i].isdigit():
+        i += 1
+    is_float = False
+    # A '.' begins a fraction only if NOT part of a '..' range operator.
+    if i < n and text[i] == "." and not text.startswith("..", i):
+        is_float = True
+        i += 1
+        while i < n and text[i].isdigit():
+            i += 1
+    literal = text[start:i]
+    return (float(literal) if is_float else int(literal)), i
+
+
+# --------------------------------------------------------------------------
+# Parser
+# --------------------------------------------------------------------------
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token], text: str) -> None:
+        self.tokens = tokens
+        self.text = text
+        self.pos = 0
+
+    # -- token plumbing ------------------------------------------------------
+
+    def peek(self, offset: int = 0) -> Token:
+        return self.tokens[min(self.pos + offset, len(self.tokens) - 1)]
+
+    def next(self) -> Token:
+        tok = self.tokens[self.pos]
+        if tok.kind != "EOF":
+            self.pos += 1
+        return tok
+
+    def expect(self, kind: str) -> Token:
+        tok = self.next()
+        if tok.kind != kind:
+            raise QuerySyntaxError(f"expected {kind}, found {tok.kind}", tok.pos, self.text)
+        return tok
+
+    def error(self, message: str) -> QuerySyntaxError:
+        tok = self.peek()
+        return QuerySyntaxError(message, tok.pos, self.text)
+
+    # -- grammar ---------------------------------------------------------------
+
+    def parse_query(self) -> Query:
+        source = self.expect("IDENT").value
+        filters = self.parse_filter_sequence(stop_kinds=("ARROW", "EOF"))
+        result = "_"
+        if self.peek().kind == "ARROW":
+            self.next()
+            result = self.expect("IDENT").value
+        self.expect("EOF")
+        return Query(str(source), tuple(filters), str(result))
+
+    def parse_filter_sequence(self, stop_kinds: Tuple[str, ...]) -> List[FilterNode]:
+        filters: List[FilterNode] = []
+        while True:
+            tok = self.peek()
+            if tok.kind in stop_kinds:
+                return filters
+            if tok.kind == "PIPE":
+                self.next()  # separators are decorative
+                continue
+            filters.append(self.parse_filter())
+
+    def parse_filter(self) -> FilterNode:
+        tok = self.peek()
+        if tok.kind == "LPAREN":
+            return self.parse_selection_or_retrieve()
+        if tok.kind == "DDEREF":
+            self.next()
+            return Deref(self._deref_var(), keep_source=True)
+        if tok.kind == "CARET":
+            self.next()
+            return Deref(self._deref_var(), keep_source=False)
+        if tok.kind == "LBRACK":
+            return self.parse_iterator()
+        raise self.error(f"expected a filter, found {tok.kind}")
+
+    def _deref_var(self) -> str:
+        tok = self.next()
+        if tok.kind == "IDENT":
+            return str(tok.value)
+        if tok.kind == "QMARK" and tok.value:
+            # Tolerate '^?X' — some writers carry the '?' into the deref.
+            return str(tok.value)
+        raise QuerySyntaxError("expected matching-variable name after dereference", tok.pos, self.text)
+
+    def parse_iterator(self) -> Iterate:
+        self.expect("LBRACK")
+        body = self.parse_filter_sequence(stop_kinds=("RBRACK",))
+        close = self.expect("RBRACK")
+        if not body:
+            raise QuerySyntaxError("iterator body is empty", close.pos, self.text)
+        tok = self.peek()
+        if tok.kind == "STAR":
+            self.next()
+            return Iterate(tuple(body), None)
+        if tok.kind == "CARET":
+            self.next()
+            count_tok = self.expect("NUMBER")
+            count = count_tok.value
+            if not isinstance(count, int):
+                raise QuerySyntaxError("iterator count must be an integer", count_tok.pos, self.text)
+            return Iterate(tuple(body), count)
+        raise QuerySyntaxError("iterator must end with '*' or '^k'", tok.pos, self.text)
+
+    def parse_selection_or_retrieve(self) -> FilterNode:
+        self.expect("LPAREN")
+        type_pattern = self.parse_pattern()
+        self.expect("COMMA")
+        key_pattern = self.parse_pattern()
+        self.expect("COMMA")
+        if self.peek().kind == "ARROW":
+            self.next()
+            target = self.expect("IDENT").value
+            self.expect("RPAREN")
+            return Retrieve(type_pattern, key_pattern, str(target))
+        data_pattern = self.parse_pattern()
+        self.expect("RPAREN")
+        return Select(type_pattern, key_pattern, data_pattern)
+
+    def parse_pattern(self) -> Pattern:
+        tok = self.next()
+        if tok.kind == "QMARK":
+            return Bind(str(tok.value)) if tok.value else ANY
+        if tok.kind == "DOLLAR":
+            return Use(str(tok.value))
+        if tok.kind == "STRING" or tok.kind == "IDENT":
+            return Literal(str(tok.value))
+        if tok.kind == "REGEX":
+            return Regex(str(tok.value))
+        if tok.kind == "NUMBER":
+            if self.peek().kind == "DOTDOT":
+                self.next()
+                if self.peek().kind == "NUMBER":
+                    hi = self.next().value
+                    return Range(tok.value, hi)  # type: ignore[arg-type]
+                return Range(tok.value, None)  # type: ignore[arg-type]
+            return Literal(tok.value)
+        if tok.kind == "DOTDOT":
+            hi_tok = self.expect("NUMBER")
+            return Range(None, hi_tok.value)  # type: ignore[arg-type]
+        raise QuerySyntaxError(f"expected a pattern, found {tok.kind}", tok.pos, self.text)
+
+
+def parse_query(text: str) -> Query:
+    """Parse a complete query string into a :class:`~repro.core.ast.Query`."""
+    return _Parser(tokenize(text), text).parse_query()
+
+
+def parse_filters(text: str) -> Tuple[FilterNode, ...]:
+    """Parse a bare filter pipeline (no source set, no ``-> T`` binding)."""
+    parser = _Parser(tokenize(text), text)
+    filters = parser.parse_filter_sequence(stop_kinds=("EOF",))
+    parser.expect("EOF")
+    if not filters:
+        raise QuerySyntaxError("no filters found", 0, text)
+    return tuple(filters)

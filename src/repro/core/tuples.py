@@ -1,0 +1,105 @@
+"""The HyperFile tuple: ``(type, key, data)`` (paper §2).
+
+Objects are modelled as sets of tuples.  A tuple has three parts:
+
+* a **type**, identifying the data types of the remaining fields;
+* a **key**, used by the application to state the tuple's purpose
+  (e.g. ``"Title"``, ``"Author"``, ``"Called Routine"``);
+* a **data** field, which may be a simple value the server understands
+  (string, number, pointer) or an opaque payload (text, object code,
+  bitmaps) the server treats as a sequence of bits.
+
+Tuples are immutable value objects; object updates replace tuples rather
+than mutating them, which keeps concurrent query processing safe without
+locks (paper §6 relies on operations being idempotent).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from .oid import Oid
+
+
+@dataclass(frozen=True)
+class HFTuple:
+    """One immutable ``(type, key, data)`` tuple.
+
+    ``data`` may be any hashable Python value; by convention it is a
+    ``str`` for string/keyword types, ``int``/``float`` for numbers, an
+    :class:`~repro.core.oid.Oid` for pointer types, and ``bytes`` for
+    opaque payloads.  The server enforces nothing here — interpretation is
+    driven by the :class:`~repro.core.types.TypeRegistry` at match time —
+    but :func:`tuple_of` below offers checked constructors for the common
+    cases.
+    """
+
+    type: str
+    key: Any
+    data: Any
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.type, str) or not self.type:
+            raise ValueError("tuple type must be a non-empty string")
+
+    @property
+    def is_pointer(self) -> bool:
+        """True when the data field holds an object id.
+
+        This is a structural check (is the payload an Oid), used by the
+        engine as a fast path; authoritative interpretation goes through
+        the type registry.
+        """
+        return isinstance(self.data, Oid)
+
+    def __str__(self) -> str:
+        return f"({self.type}, {self.key!r}, {self.data!r})"
+
+
+def string_tuple(key: str, value: str) -> HFTuple:
+    """Build a ``String`` tuple, e.g. ``("String", "Title", "Main Program")``."""
+    if not isinstance(value, str):
+        raise TypeError(f"String tuple data must be str, got {type(value).__name__}")
+    return HFTuple("String", key, value)
+
+
+def text_tuple(key: str, value: str) -> HFTuple:
+    """Build a ``Text`` tuple holding a body of text the server treats as opaque."""
+    return HFTuple("Text", key, value)
+
+
+def keyword_tuple(keyword: str, value: Any = "") -> HFTuple:
+    """Build a ``Keyword`` tuple.
+
+    The paper's queries match keywords by *key* — e.g.
+    ``(keyword, "Distributed", ?)`` — so the keyword itself goes in the key
+    field and the data field is free for application use.
+    """
+    return HFTuple("Keyword", keyword, value)
+
+
+def number_tuple(key: str, value: float) -> HFTuple:
+    """Build a ``Number`` tuple, e.g. a chip's clock speed."""
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise TypeError(f"Number tuple data must be int or float, got {type(value).__name__}")
+    return HFTuple("Number", key, value)
+
+
+def pointer_tuple(key: str, target: Oid) -> HFTuple:
+    """Build a ``Pointer`` tuple referencing another object (hypertext link)."""
+    if not isinstance(target, Oid):
+        raise TypeError(f"Pointer tuple data must be an Oid, got {type(target).__name__}")
+    return HFTuple("Pointer", key, target)
+
+
+def blob_tuple(key: str, payload: bytes) -> HFTuple:
+    """Build a ``Blob`` tuple holding arbitrary bits (images, object code...)."""
+    if not isinstance(payload, (bytes, bytearray)):
+        raise TypeError(f"Blob tuple data must be bytes, got {type(payload).__name__}")
+    return HFTuple("Blob", key, bytes(payload))
+
+
+def tuple_of(type_name: str, key: Any, data: Any) -> HFTuple:
+    """Build a tuple of an arbitrary (possibly application-defined) type."""
+    return HFTuple(type_name, key, data)

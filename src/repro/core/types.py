@@ -1,0 +1,125 @@
+"""Tuple-type registry (paper §2).
+
+HyperFile tuples have a *type* field that tells the server how to interpret
+the key and data fields.  The set of types is open: "the possible entries in
+the type field are not fixed; applications can define new types."  The
+server only understands a handful of built-in interpretations (strings,
+numbers, keywords, pointers, opaque blobs); an application-defined type maps
+onto one of those interpretations by convention.
+
+A :class:`TypeRegistry` records, per type name, which *kind* of value the
+key and data fields hold.  The engine consults the registry only for the
+things the paper says HyperFile understands: whether a data field is a
+pointer (so dereference filters know what to follow) and how to compare
+values during pattern matching.  Everything else is opaque.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, Iterator, Optional
+
+
+class FieldKind(Enum):
+    """Interpretation the server applies to a tuple field."""
+
+    STRING = "string"    #: text compared with string semantics / regex
+    NUMBER = "number"    #: int/float compared with numeric semantics / ranges
+    POINTER = "pointer"  #: an Oid; eligible for dereference filters
+    OPAQUE = "opaque"    #: arbitrary bits; only ``?``/bind patterns match
+
+
+@dataclass(frozen=True)
+class TupleType:
+    """Declaration of one tuple type.
+
+    ``name`` is the value applications place in the tuple's type field;
+    ``key_kind``/``data_kind`` say how the server interprets the other two
+    fields.
+    """
+
+    name: str
+    key_kind: FieldKind
+    data_kind: FieldKind
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("tuple type name must be non-empty")
+
+
+#: Built-in types mirroring the examples used throughout the paper.
+BUILTIN_TYPES = (
+    TupleType("String", FieldKind.STRING, FieldKind.STRING),
+    TupleType("Text", FieldKind.STRING, FieldKind.OPAQUE),
+    TupleType("Keyword", FieldKind.STRING, FieldKind.STRING),
+    TupleType("Number", FieldKind.STRING, FieldKind.NUMBER),
+    TupleType("Pointer", FieldKind.STRING, FieldKind.POINTER),
+    TupleType("Blob", FieldKind.STRING, FieldKind.OPAQUE),
+)
+
+
+class TypeRegistry:
+    """Mutable mapping from type name to :class:`TupleType`.
+
+    Lookups are case-sensitive, matching the paper's treatment of type
+    names as opaque labels agreed between applications.  Unknown types are
+    permitted in stored tuples (the server does not reject data it does not
+    understand); they behave as ``OPAQUE``/``OPAQUE`` during matching.
+    """
+
+    def __init__(self, include_builtins: bool = True) -> None:
+        self._types: Dict[str, TupleType] = {}
+        if include_builtins:
+            for t in BUILTIN_TYPES:
+                self._types[t.name] = t
+
+    def define(
+        self,
+        name: str,
+        key_kind: FieldKind = FieldKind.STRING,
+        data_kind: FieldKind = FieldKind.OPAQUE,
+    ) -> TupleType:
+        """Register an application-defined type.
+
+        Redefinition with identical kinds is an idempotent no-op;
+        redefinition with different kinds raises ``ValueError`` because
+        silently changing interpretation would corrupt pattern matching for
+        other applications sharing the server.
+        """
+        new = TupleType(name, key_kind, data_kind)
+        existing = self._types.get(name)
+        if existing is not None and existing != new:
+            raise ValueError(
+                f"type {name!r} already defined as {existing}, cannot redefine as {new}"
+            )
+        self._types[name] = new
+        return new
+
+    def get(self, name: str) -> Optional[TupleType]:
+        """Return the declaration for ``name``, or ``None`` if unknown."""
+        return self._types.get(name)
+
+    def lookup(self, name: str) -> TupleType:
+        """Return the declaration for ``name``, defaulting unknown types to opaque."""
+        found = self._types.get(name)
+        if found is not None:
+            return found
+        return TupleType(name, FieldKind.OPAQUE, FieldKind.OPAQUE)
+
+    def is_pointer_type(self, name: str) -> bool:
+        """True if tuples of this type carry an object pointer in the data field."""
+        return self.lookup(name).data_kind is FieldKind.POINTER
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._types
+
+    def __iter__(self) -> Iterator[TupleType]:
+        return iter(self._types.values())
+
+    def __len__(self) -> int:
+        return len(self._types)
+
+
+#: Shared default registry used when callers do not supply their own.
+DEFAULT_REGISTRY = TypeRegistry()

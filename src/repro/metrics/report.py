@@ -1,0 +1,69 @@
+"""Plain-text table rendering for experiment output.
+
+Benchmarks print paper-style tables to stdout (captured by pytest's
+``-s`` or the bench harness) and optionally append them to a report file
+so EXPERIMENTS.md can be regenerated from real runs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from .collect import Recorder
+
+
+def format_value(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 100:
+            return f"{value:.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def render_table(
+    rows: Sequence[Dict[str, Any]],
+    columns: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+) -> str:
+    """Render rows as an aligned monospace table."""
+    if not rows:
+        return f"{title or 'table'}: (no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    cells = [[format_value(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(str(col)), *(len(row[i]) for row in cells)) for i, col in enumerate(columns)
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = "  ".join(str(col).ljust(widths[i]) for i, col in enumerate(columns))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(columns))))
+    return "\n".join(lines)
+
+
+def render_recorder(recorder: Recorder, columns: Optional[Sequence[str]] = None) -> str:
+    return render_table(recorder.rows, columns=columns, title=f"== {recorder.experiment} ==")
+
+
+def render_comparison(
+    title: str,
+    paper: Dict[str, float],
+    measured: Dict[str, float],
+    unit: str = "s",
+) -> str:
+    """Side-by-side paper-vs-measured block for EXPERIMENTS.md."""
+    lines = [f"== {title} ==", f"{'configuration':<28}{'paper':>10}{'measured':>10}"]
+    for key in paper:
+        ours = measured.get(key)
+        ours_text = format_value(ours) if ours is not None else "-"
+        lines.append(f"{key:<28}{format_value(paper[key]):>10}{ours_text:>10}")
+    lines.append(f"(units: {unit})")
+    return "\n".join(lines)

@@ -1,0 +1,6 @@
+"""Birth-site object naming and migration (paper §4)."""
+
+from .directory import ForwardingTable
+from .names import find_holder, migrate_object, resolution_path
+
+__all__ = ["ForwardingTable", "find_holder", "migrate_object", "resolution_path"]

@@ -1,0 +1,66 @@
+"""Per-site forwarding tables for migrated objects (paper §4).
+
+The paper adopts a variant of R*'s naming: an object id names its birth
+site and a presumed current site.  "The birth site is the final arbiter of
+the actual location of the object."  Concretely, when an object migrates:
+
+* the site it *leaves* records a forwarding entry, so requests that chase
+  a stale presumed-site hint get re-routed in one extra hop;
+* the **birth site** updates its authoritative entry, so the fallback path
+  (presumed site unknown or wrong) always converges.
+
+There is deliberately no global name server — "name servers can add to the
+cost of dereferencing a pointer" — and pointers embedded in objects are
+never rewritten on migration, which is the whole point of the scheme
+("the obvious alternative of including the host site as part of the
+pointer seriously increases the cost of moving an object").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..core.oid import Oid
+
+
+class ForwardingTable:
+    """One site's knowledge of where departed objects went."""
+
+    def __init__(self, site: str) -> None:
+        self._site = site
+        self._entries: Dict[Tuple[str, int], str] = {}
+        self.lookups = 0
+        self.hits = 0
+
+    @property
+    def site(self) -> str:
+        return self._site
+
+    def record(self, oid: Oid, new_site: str) -> None:
+        """Note that ``oid`` now lives at ``new_site``.
+
+        Recording a forward to this same site removes the entry (the
+        object came back).
+        """
+        if new_site == self._site:
+            self._entries.pop(oid.key(), None)
+        else:
+            self._entries[oid.key()] = new_site
+
+    def lookup(self, oid: Oid) -> Optional[str]:
+        """Where did ``oid`` go?  ``None`` if this site has no forward."""
+        self.lookups += 1
+        found = self._entries.get(oid.key())
+        if found is not None:
+            self.hits += 1
+        return found
+
+    def drop(self, oid: Oid) -> None:
+        """Forget a forwarding entry (e.g. after the object was deleted)."""
+        self._entries.pop(oid.key(), None)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:
+        return f"ForwardingTable(site={self._site!r}, {len(self._entries)} entries)"

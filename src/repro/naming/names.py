@@ -1,0 +1,104 @@
+"""Object migration under birth-site naming (paper §4).
+
+:func:`migrate_object` moves one object between two sites' stores while
+maintaining the naming invariants the query processor's
+:meth:`~repro.server.node.ServerNode.locate` relies on:
+
+1. the object is stored at exactly one site;
+2. the departed site forwards to the object's new site;
+3. the birth site's entry always points at the true current site (it is
+   the final arbiter, consulted when hints go stale);
+4. pointers to the object held inside other objects are *not* touched.
+
+The paper treats the birth-site update as part of the move protocol; we
+perform it synchronously (the move itself is an administrative operation,
+not part of query processing, so its cost model is out of scope).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..core.oid import Oid
+from ..errors import ObjectNotFound
+from ..naming.directory import ForwardingTable
+from ..storage.memstore import MemStore
+
+
+def migrate_object(
+    oid: Oid,
+    stores: Dict[str, MemStore],
+    forwarding: Dict[str, ForwardingTable],
+    to_site: str,
+) -> Oid:
+    """Move ``oid`` to ``to_site``; returns the id re-hinted to its new home.
+
+    ``stores`` and ``forwarding`` map site names to that site's store and
+    forwarding table.  Raises :class:`~repro.errors.ObjectNotFound` if no
+    site holds the object, ``KeyError`` if ``to_site`` is unknown.
+    """
+    if to_site not in stores:
+        raise KeyError(f"unknown destination site {to_site!r}")
+    from_site = find_holder(oid, stores)
+    if from_site is None:
+        raise ObjectNotFound(oid)
+    if from_site == to_site:
+        return oid.with_hint(to_site)
+
+    obj = stores[from_site].remove(oid)
+    stores[to_site].put(obj)
+
+    # The departed site forwards; every *other* stale forward is updated
+    # opportunistically if it exists; the birth site is always updated —
+    # it is the final arbiter.
+    forwarding[from_site].record(oid, to_site)
+    for site, table in forwarding.items():
+        if site != to_site and table.lookup(oid) is not None:
+            table.record(oid, to_site)
+    if oid.birth_site in forwarding:
+        forwarding[oid.birth_site].record(oid, to_site)
+    # The new home needs no entry (locate() finds it in the store);
+    # clear any leftover forward from a previous residence here.
+    forwarding[to_site].drop(oid)
+    return oid.with_hint(to_site)
+
+
+def find_holder(oid: Oid, stores: Dict[str, MemStore]) -> Optional[str]:
+    """Which site actually stores ``oid`` right now?  (Test/admin helper.)"""
+    for site, store in stores.items():
+        if store.contains(oid):
+            return site
+    return None
+
+
+def resolution_path(
+    oid: Oid,
+    start_site: str,
+    stores: Dict[str, MemStore],
+    forwarding: Dict[str, ForwardingTable],
+    max_hops: int = 8,
+) -> List[str]:
+    """The chain of sites a dereference from ``start_site`` would visit.
+
+    Mirrors :meth:`ServerNode.locate` hop by hop; used by tests to assert
+    that resolution converges (and in how many hops) after migrations.
+    """
+    path = [start_site]
+    site = start_site
+    for _ in range(max_hops):
+        if stores[site].contains(oid):
+            return path
+        forwarded = forwarding[site].lookup(oid)
+        if forwarded is not None:
+            nxt = forwarded
+        elif oid.birth_site == site:
+            return path  # arbiter says it does not exist
+        elif oid.hint != site and len(path) == 1:
+            nxt = oid.hint
+        else:
+            nxt = oid.birth_site
+        if nxt == site:
+            return path
+        site = nxt
+        path.append(site)
+    return path

@@ -1,0 +1,26 @@
+"""Transports: message types, simulated network, threaded in-process cluster."""
+
+from .messages import (
+    ControlMessage,
+    DerefRequest,
+    Envelope,
+    FetchReply,
+    FetchRequest,
+    QueryId,
+    ResultBatch,
+    SeedFromSaved,
+)
+from .simnet import SimHost, SimNetwork
+
+__all__ = [
+    "ControlMessage",
+    "DerefRequest",
+    "Envelope",
+    "FetchReply",
+    "FetchRequest",
+    "QueryId",
+    "ResultBatch",
+    "SeedFromSaved",
+    "SimHost",
+    "SimNetwork",
+]

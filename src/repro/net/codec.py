@@ -1,0 +1,547 @@
+"""Binary wire codec for HyperFile messages.
+
+The paper's prototype spoke UDP/TCP between PC/RTs; the in-process
+transports pass Python objects by reference, but the socket transport
+(:mod:`repro.net.sockets`) needs real bytes.  This codec serialises the
+four inter-site message types — and everything reachable from them:
+programs, patterns, work items, oids, credit fractions — into a compact
+tag-length-value format.
+
+Design notes:
+
+* no pickle: only the closed set of types below decodes, so a malicious
+  peer cannot instantiate arbitrary objects;
+* integers are zig-zag varints, so the common small values (filter
+  indices, iteration counts) cost one byte;
+* the format is self-describing enough for :func:`decode_message` to
+  reject truncated or corrupt frames with :class:`CodecError` rather
+  than mis-reading them.
+"""
+
+from __future__ import annotations
+
+import struct
+from fractions import Fraction
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..core.oid import Oid
+from ..core.patterns import ANY, Any_, Bind, Literal, OneOf, Pattern, Range, Regex, Use
+from ..core.program import DerefOp, LoopOp, Op, Program, RetrieveOp, SelectOp
+from ..engine.items import WorkItem
+from ..errors import HyperFileError
+from ..storage.blobstore import BlobRef
+from ..core.objects import HFObject
+from ..core.tuples import HFTuple
+from .messages import (
+    ControlMessage,
+    DerefRequest,
+    FetchReply,
+    FetchRequest,
+    PurgeContext,
+    QueryId,
+    ResultBatch,
+    SeedFromSaved,
+)
+
+
+class CodecError(HyperFileError, ValueError):
+    """Raised on malformed, truncated, or unsupported wire data."""
+
+
+# -- value tags -------------------------------------------------------------
+
+_T_NONE = 0x00
+_T_FALSE = 0x01
+_T_TRUE = 0x02
+_T_INT = 0x03
+_T_FLOAT = 0x04
+_T_STR = 0x05
+_T_BYTES = 0x06
+_T_TUPLE = 0x07
+_T_OID = 0x08
+_T_FRACTION = 0x09
+_T_BLOBREF = 0x0A
+
+# -- pattern tags ------------------------------------------------------------
+
+_P_ANY = 0x20
+_P_LITERAL = 0x21
+_P_REGEX = 0x22
+_P_RANGE = 0x23
+_P_ONEOF = 0x24
+_P_BIND = 0x25
+_P_USE = 0x26
+
+# -- op tags -------------------------------------------------------------------
+
+_O_SELECT = 0x30
+_O_DEREF = 0x31
+_O_LOOP = 0x32
+_O_RETRIEVE = 0x33
+
+# -- message tags ----------------------------------------------------------------
+
+_M_DEREF_REQUEST = 0x40
+_M_RESULT_BATCH = 0x41
+_M_CONTROL = 0x42
+_M_SEED_FROM_SAVED = 0x43
+_M_PURGE_CONTEXT = 0x44
+_M_FETCH_REQUEST = 0x45
+_M_FETCH_REPLY = 0x46
+
+
+class _Writer:
+    __slots__ = ("chunks",)
+
+    def __init__(self) -> None:
+        self.chunks: List[bytes] = []
+
+    def byte(self, value: int) -> None:
+        self.chunks.append(bytes((value,)))
+
+    def varint(self, value: int) -> None:
+        # zig-zag then LEB128.
+        encoded = (value << 1) ^ (value >> 63) if -(2**63) <= value < 2**63 else None
+        if encoded is None:
+            raise CodecError(f"integer out of range: {value}")
+        out = bytearray()
+        while True:
+            bits = encoded & 0x7F
+            encoded >>= 7
+            if encoded:
+                out.append(bits | 0x80)
+            else:
+                out.append(bits)
+                break
+        self.chunks.append(bytes(out))
+
+    def raw(self, payload: bytes) -> None:
+        self.varint(len(payload))
+        self.chunks.append(payload)
+
+    def text(self, value: str) -> None:
+        self.raw(value.encode("utf-8"))
+
+    def getvalue(self) -> bytes:
+        return b"".join(self.chunks)
+
+
+class _Reader:
+    __slots__ = ("data", "pos")
+
+    def __init__(self, data: bytes) -> None:
+        self.data = data
+        self.pos = 0
+
+    def byte(self) -> int:
+        if self.pos >= len(self.data):
+            raise CodecError("truncated frame (tag expected)")
+        value = self.data[self.pos]
+        self.pos += 1
+        return value
+
+    def varint(self) -> int:
+        shift = 0
+        encoded = 0
+        while True:
+            if self.pos >= len(self.data):
+                raise CodecError("truncated varint")
+            b = self.data[self.pos]
+            self.pos += 1
+            encoded |= (b & 0x7F) << shift
+            if not b & 0x80:
+                break
+            shift += 7
+            if shift > 70:
+                raise CodecError("varint too long")
+        return (encoded >> 1) ^ -(encoded & 1)
+
+    def raw(self) -> bytes:
+        length = self.varint()
+        if length < 0 or self.pos + length > len(self.data):
+            raise CodecError("truncated byte string")
+        payload = self.data[self.pos : self.pos + length]
+        self.pos += length
+        return payload
+
+    def text(self) -> str:
+        return self.raw().decode("utf-8")
+
+    def done(self) -> bool:
+        return self.pos == len(self.data)
+
+
+# --------------------------------------------------------------------------
+# values
+# --------------------------------------------------------------------------
+
+
+def _write_value(w: _Writer, value: Any) -> None:
+    if value is None:
+        w.byte(_T_NONE)
+    elif value is True:
+        w.byte(_T_TRUE)
+    elif value is False:
+        w.byte(_T_FALSE)
+    elif isinstance(value, int):
+        w.byte(_T_INT)
+        w.varint(value)
+    elif isinstance(value, float):
+        w.byte(_T_FLOAT)
+        w.chunks.append(struct.pack(">d", value))
+    elif isinstance(value, str):
+        w.byte(_T_STR)
+        w.text(value)
+    elif isinstance(value, (bytes, bytearray)):
+        w.byte(_T_BYTES)
+        w.raw(bytes(value))
+    elif isinstance(value, Oid):
+        w.byte(_T_OID)
+        w.text(value.birth_site)
+        w.varint(value.local_id)
+        w.text(value.presumed_site if value.presumed_site is not None else "")
+    elif isinstance(value, Fraction):
+        w.byte(_T_FRACTION)
+        w.varint(value.numerator)
+        w.varint(value.denominator)
+    elif isinstance(value, BlobRef):
+        w.byte(_T_BLOBREF)
+        _write_value(w, value.oid)
+        _write_value(w, value.key)
+        w.varint(value.size)
+    elif isinstance(value, (tuple, list)):
+        w.byte(_T_TUPLE)
+        w.varint(len(value))
+        for element in value:
+            _write_value(w, element)
+    else:
+        raise CodecError(f"cannot encode value of type {type(value).__name__}")
+
+
+def _read_value(r: _Reader) -> Any:
+    tag = r.byte()
+    if tag == _T_NONE:
+        return None
+    if tag == _T_TRUE:
+        return True
+    if tag == _T_FALSE:
+        return False
+    if tag == _T_INT:
+        return r.varint()
+    if tag == _T_FLOAT:
+        if r.pos + 8 > len(r.data):
+            raise CodecError("truncated float")
+        value = struct.unpack_from(">d", r.data, r.pos)[0]
+        r.pos += 8
+        return value
+    if tag == _T_STR:
+        return r.text()
+    if tag == _T_BYTES:
+        return r.raw()
+    if tag == _T_OID:
+        birth = r.text()
+        local_id = r.varint()
+        hint = r.text()
+        return Oid(birth, local_id, presumed_site=hint or None)
+    if tag == _T_FRACTION:
+        return Fraction(r.varint(), r.varint())
+    if tag == _T_BLOBREF:
+        oid = _read_value(r)
+        key = _read_value(r)
+        size = r.varint()
+        return BlobRef(oid, key, size)
+    if tag == _T_TUPLE:
+        length = r.varint()
+        if length < 0 or length > 1_000_000:
+            raise CodecError(f"implausible tuple length {length}")
+        return tuple(_read_value(r) for _ in range(length))
+    raise CodecError(f"unknown value tag 0x{tag:02x}")
+
+
+# --------------------------------------------------------------------------
+# patterns
+# --------------------------------------------------------------------------
+
+
+def _write_pattern(w: _Writer, pattern: Pattern) -> None:
+    if isinstance(pattern, Any_):
+        w.byte(_P_ANY)
+    elif isinstance(pattern, Literal):
+        w.byte(_P_LITERAL)
+        _write_value(w, pattern.value)
+    elif isinstance(pattern, Regex):
+        w.byte(_P_REGEX)
+        w.text(pattern.pattern)
+    elif isinstance(pattern, Range):
+        w.byte(_P_RANGE)
+        _write_value(w, pattern.lo)
+        _write_value(w, pattern.hi)
+    elif isinstance(pattern, OneOf):
+        w.byte(_P_ONEOF)
+        _write_value(w, pattern.values)
+    elif isinstance(pattern, Bind):
+        w.byte(_P_BIND)
+        w.text(pattern.name)
+    elif isinstance(pattern, Use):
+        w.byte(_P_USE)
+        w.text(pattern.name)
+    else:
+        raise CodecError(f"cannot encode pattern {type(pattern).__name__}")
+
+
+def _read_pattern(r: _Reader) -> Pattern:
+    tag = r.byte()
+    if tag == _P_ANY:
+        return ANY
+    if tag == _P_LITERAL:
+        return Literal(_read_value(r))
+    if tag == _P_REGEX:
+        return Regex(r.text())
+    if tag == _P_RANGE:
+        return Range(_read_value(r), _read_value(r))
+    if tag == _P_ONEOF:
+        return OneOf(list(_read_value(r)))
+    if tag == _P_BIND:
+        return Bind(r.text())
+    if tag == _P_USE:
+        return Use(r.text())
+    raise CodecError(f"unknown pattern tag 0x{tag:02x}")
+
+
+# --------------------------------------------------------------------------
+# programs
+# --------------------------------------------------------------------------
+
+
+def _write_program(w: _Writer, program: Program) -> None:
+    w.text(program.source)
+    w.text(program.result)
+    w.varint(program.size)
+    for op in program.ops:
+        if isinstance(op, SelectOp):
+            w.byte(_O_SELECT)
+            _write_pattern(w, op.type_pattern)
+            _write_pattern(w, op.key_pattern)
+            _write_pattern(w, op.data_pattern)
+        elif isinstance(op, DerefOp):
+            w.byte(_O_DEREF)
+            w.text(op.var)
+            w.byte(1 if op.keep_source else 0)
+        elif isinstance(op, LoopOp):
+            w.byte(_O_LOOP)
+            w.varint(op.start)
+            w.varint(-1 if op.count is None else op.count)
+        elif isinstance(op, RetrieveOp):
+            w.byte(_O_RETRIEVE)
+            _write_pattern(w, op.type_pattern)
+            _write_pattern(w, op.key_pattern)
+            w.text(op.target)
+        else:
+            raise CodecError(f"cannot encode op {type(op).__name__}")
+    # Enclosing-loop chains (needed for iteration bookkeeping).
+    for chain in program.enclosing:
+        w.varint(len(chain))
+        for idx in chain:
+            w.varint(idx)
+
+
+def _read_program(r: _Reader) -> Program:
+    source = r.text()
+    result = r.text()
+    size = r.varint()
+    if size < 0 or size > 10_000:
+        raise CodecError(f"implausible program size {size}")
+    ops: List[Op] = []
+    for index in range(1, size + 1):
+        tag = r.byte()
+        if tag == _O_SELECT:
+            ops.append(SelectOp(index, _read_pattern(r), _read_pattern(r), _read_pattern(r)))
+        elif tag == _O_DEREF:
+            var = r.text()
+            keep = r.byte() == 1
+            ops.append(DerefOp(index, var, keep))
+        elif tag == _O_LOOP:
+            start = r.varint()
+            count = r.varint()
+            ops.append(LoopOp(index, start, None if count == -1 else count))
+        elif tag == _O_RETRIEVE:
+            ops.append(RetrieveOp(index, _read_pattern(r), _read_pattern(r), r.text()))
+        else:
+            raise CodecError(f"unknown op tag 0x{tag:02x}")
+    enclosing: List[Tuple[int, ...]] = []
+    for _ in range(size):
+        chain_len = r.varint()
+        if chain_len < 0 or chain_len > 64:
+            raise CodecError("implausible loop-chain length")
+        enclosing.append(tuple(r.varint() for _ in range(chain_len)))
+    return Program(source, result, ops, enclosing)
+
+
+# --------------------------------------------------------------------------
+# work items, query ids, termination attachments
+# --------------------------------------------------------------------------
+
+
+def _write_item(w: _Writer, item: WorkItem) -> None:
+    _write_value(w, item.oid)
+    w.varint(item.start)
+    w.varint(len(item.iters))
+    for loop_index, count in item.iters:
+        w.varint(loop_index)
+        w.varint(count)
+
+
+def _read_item(r: _Reader) -> WorkItem:
+    oid = _read_value(r)
+    if not isinstance(oid, Oid):
+        raise CodecError("work item oid expected")
+    start = r.varint()
+    n = r.varint()
+    if n < 0 or n > 64:
+        raise CodecError("implausible iteration-stack size")
+    iters = tuple((r.varint(), r.varint()) for _ in range(n))
+    return WorkItem(oid=oid, start=start, iters=iters)
+
+
+def _write_qid(w: _Writer, qid: QueryId) -> None:
+    w.varint(qid.seq)
+    w.text(qid.originator)
+
+
+def _read_qid(r: _Reader) -> QueryId:
+    return QueryId(r.varint(), r.text())
+
+
+def _write_term(w: _Writer, term) -> None:
+    items = sorted(term.items())
+    w.varint(len(items))
+    for key, value in items:
+        w.text(key)
+        _write_value(w, value)
+
+
+def _read_term(r: _Reader) -> Dict[str, Any]:
+    n = r.varint()
+    if n < 0 or n > 64:
+        raise CodecError("implausible attachment size")
+    return {r.text(): _read_value(r) for _ in range(n)}
+
+
+# --------------------------------------------------------------------------
+# messages
+# --------------------------------------------------------------------------
+
+
+def _write_object(w: _Writer, obj: Optional[HFObject]) -> None:
+    if obj is None:
+        w.byte(0)
+        return
+    w.byte(1)
+    _write_value(w, obj.oid)
+    w.varint(obj.size_bytes)
+    w.varint(len(obj.tuples))
+    for t in obj.tuples:
+        w.text(t.type)
+        _write_value(w, t.key)
+        _write_value(w, t.data)
+
+
+def _read_object(r: _Reader) -> Optional[HFObject]:
+    if r.byte() == 0:
+        return None
+    oid = _read_value(r)
+    if not isinstance(oid, Oid):
+        raise CodecError("object record must start with an oid")
+    size_hint = r.varint()
+    n = r.varint()
+    if n < 0 or n > 1_000_000:
+        raise CodecError(f"implausible tuple count {n}")
+    tuples = [HFTuple(r.text(), _read_value(r), _read_value(r)) for _ in range(n)]
+    return HFObject(oid, tuples, size_hint=size_hint)
+
+
+def encode_message(message: Any) -> bytes:
+    """Serialise one inter-site message to bytes."""
+    w = _Writer()
+    if isinstance(message, DerefRequest):
+        w.byte(_M_DEREF_REQUEST)
+        _write_qid(w, message.qid)
+        _write_program(w, message.program)
+        _write_item(w, message.item)
+        _write_term(w, message.term)
+    elif isinstance(message, ResultBatch):
+        w.byte(_M_RESULT_BATCH)
+        _write_qid(w, message.qid)
+        _write_value(w, tuple(message.oids))
+        _write_value(w, tuple(message.emissions))
+        w.byte(1 if message.count_only else 0)
+        w.varint(message.count)
+        _write_term(w, message.term)
+    elif isinstance(message, ControlMessage):
+        w.byte(_M_CONTROL)
+        _write_qid(w, message.qid)
+        w.text(message.kind)
+        _write_value(w, message.payload)
+    elif isinstance(message, SeedFromSaved):
+        w.byte(_M_SEED_FROM_SAVED)
+        _write_qid(w, message.qid)
+        _write_program(w, message.program)
+        _write_qid(w, message.source_qid)
+        _write_term(w, message.term)
+    elif isinstance(message, PurgeContext):
+        w.byte(_M_PURGE_CONTEXT)
+        _write_qid(w, message.qid)
+    elif isinstance(message, FetchRequest):
+        w.byte(_M_FETCH_REQUEST)
+        w.varint(message.request_id)
+        _write_value(w, message.oid)
+        w.text(message.reply_to)
+    elif isinstance(message, FetchReply):
+        w.byte(_M_FETCH_REPLY)
+        w.varint(message.request_id)
+        _write_object(w, message.obj)
+    else:
+        raise CodecError(f"cannot encode message {type(message).__name__}")
+    return w.getvalue()
+
+
+def decode_message(frame: bytes) -> Any:
+    """Deserialise one inter-site message; raises :class:`CodecError`."""
+    r = _Reader(frame)
+    tag = r.byte()
+    if tag == _M_DEREF_REQUEST:
+        message: Any = DerefRequest(_read_qid(r), _read_program(r), _read_item(r), _read_term(r))
+    elif tag == _M_RESULT_BATCH:
+        qid = _read_qid(r)
+        oids = _read_value(r)
+        emissions = _read_value(r)
+        count_only = r.byte() == 1
+        count = r.varint()
+        term = _read_term(r)
+        message = ResultBatch(
+            qid,
+            oids=tuple(oids),
+            emissions=tuple(tuple(e) for e in emissions),
+            count_only=count_only,
+            count=count,
+            term=term,
+        )
+    elif tag == _M_CONTROL:
+        message = ControlMessage(_read_qid(r), r.text(), _read_value(r))
+    elif tag == _M_SEED_FROM_SAVED:
+        message = SeedFromSaved(_read_qid(r), _read_program(r), _read_qid(r), _read_term(r))
+    elif tag == _M_PURGE_CONTEXT:
+        message = PurgeContext(_read_qid(r))
+    elif tag == _M_FETCH_REQUEST:
+        request_id = r.varint()
+        oid = _read_value(r)
+        if not isinstance(oid, Oid):
+            raise CodecError("fetch request oid expected")
+        message = FetchRequest(request_id, oid, reply_to=r.text())
+    elif tag == _M_FETCH_REPLY:
+        message = FetchReply(r.varint(), _read_object(r))
+    else:
+        raise CodecError(f"unknown message tag 0x{tag:02x}")
+    if not r.done():
+        raise CodecError(f"{len(r.data) - r.pos} trailing bytes after message")
+    return message

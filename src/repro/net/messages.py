@@ -1,0 +1,216 @@
+"""Message types exchanged between HyperFile sites (paper §3.2).
+
+The distributed algorithm needs only two kinds of message:
+
+* :class:`DerefRequest` — "process this object for this query".  Carries
+  the query identity and body (``Q.id``, ``Q.originator``, ``Q.body``,
+  ``Q.size``) plus the dereferenced object's ``(id, start, iter#)``.  The
+  query body is resent with every message — contexts make the *setup*
+  cheap, not the message; the paper measures these at ~40 bytes.
+* :class:`ResultBatch` — results flowing back to the originating site:
+  object ids that passed all filters, values shipped by ``→`` retrievals,
+  or (under the distributed-set optimisation of §5) just a local count.
+
+Both carry an opaque ``term`` attachment owned by the termination detector
+(credit fractions for the weighted scheme; nothing for Dijkstra–Scholten,
+which uses explicit :class:`ControlMessage` acks instead).
+
+An :class:`Envelope` wraps a payload with routing and an estimated wire
+size, which the metrics layer aggregates into bytes-on-the-wire.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Optional, Tuple
+
+from ..core.objects import HFObject
+from ..core.oid import Oid
+from ..core.program import Program
+from ..engine.items import WorkItem
+
+#: Termination-detector attachment (opaque to the transport).
+TermAttachment = Mapping[str, Any]
+
+_EMPTY_TERM: TermAttachment = {}
+
+
+@dataclass(frozen=True)
+class QueryId:
+    """Globally unique query identity: ``Q.id @ Q.originator``."""
+
+    seq: int
+    originator: str
+
+    def __str__(self) -> str:
+        return f"q{self.seq}@{self.originator}"
+
+
+@dataclass(frozen=True)
+class DerefRequest:
+    """Ship the query to the site holding a dereferenced object."""
+
+    qid: QueryId
+    program: Program
+    item: WorkItem
+    term: TermAttachment = field(default_factory=dict)
+
+    def wire_size(self) -> int:
+        # qid + (oid, start, iter#) + encoded body.  Matches the paper's
+        # observation that its experiment queries were ~40 bytes.
+        return 12 + 16 + self.item.start.bit_length() // 8 + self.program.wire_size()
+
+
+@dataclass(frozen=True)
+class ResultBatch:
+    """Results (or a count) flowing back to ``Q.originator``.
+
+    ``oids`` — objects that passed every filter; ``emissions`` — values
+    produced by ``→`` retrieval filters, tagged with their target variable
+    so the originator can bind them; ``count_only``/``count`` — the
+    distributed-set optimisation: the site reports how many results it is
+    holding instead of shipping them.
+    """
+
+    qid: QueryId
+    oids: Tuple[Oid, ...] = ()
+    emissions: Tuple[Tuple[str, Any], ...] = ()
+    count_only: bool = False
+    count: int = 0
+    term: TermAttachment = field(default_factory=dict)
+
+    @property
+    def item_count(self) -> int:
+        """Entries the originator must integrate (drives the cost model)."""
+        if self.count_only:
+            return 1
+        return len(self.oids) + len(self.emissions)
+
+    def wire_size(self) -> int:
+        if self.count_only:
+            return 20
+        size = 16
+        for oid in self.oids:
+            size += len(oid.birth_site) + 12
+        for target, value in self.emissions:
+            size += len(target) + _value_wire_size(value)
+        return size
+
+
+@dataclass(frozen=True)
+class SeedFromSaved:
+    """Distributed-set follow-up (paper §5's proposed optimisation).
+
+    Asks a site to seed a *new* query's working set from the result
+    partition it retained for a previous query — "the portion of this set
+    at each site would be used to initialize the working set at that site
+    for the new query".  No object ids cross the network.
+    """
+
+    qid: QueryId
+    program: Program
+    source_qid: QueryId
+    term: TermAttachment = field(default_factory=dict)
+
+    def wire_size(self) -> int:
+        return 24 + self.program.wire_size()
+
+
+@dataclass(frozen=True)
+class ControlMessage:
+    """Termination-detector control traffic (e.g. Dijkstra–Scholten acks)."""
+
+    qid: QueryId
+    kind: str
+    payload: Any = None
+
+    def wire_size(self) -> int:
+        return 24
+
+
+@dataclass(frozen=True)
+class PurgeContext:
+    """Originator -> participant: the query terminated; drop its context.
+
+    The paper: "The context Q is discarded only on global termination of
+    the query" — which the originator alone detects, so it must tell the
+    participants.  Sent to every site that contributed results (the
+    originator learns participants from ResultBatch sources).  Purging is
+    best-effort: a lost purge leaves a stale context, never a wrong
+    answer.
+    """
+
+    qid: QueryId
+
+    def wire_size(self) -> int:
+        return 16
+
+
+@dataclass(frozen=True)
+class FetchRequest:
+    """Whole-object retrieval: "retrieve a file given its name".
+
+    ``reply_to`` names the requesting site; forwarding hops (stale hints,
+    migrated objects) preserve it so the reply goes straight back to the
+    requester, not to the last forwarder.
+    """
+
+    request_id: int
+    oid: Oid
+    reply_to: str = ""
+
+    def wire_size(self) -> int:
+        return 12 + len(self.oid.birth_site) + 12 + len(self.reply_to)
+
+
+@dataclass(frozen=True)
+class FetchReply:
+    """File-server baseline: the whole object (or None) shipped back."""
+
+    request_id: int
+    obj: Optional[HFObject]
+
+    def wire_size(self) -> int:
+        return 12 + (self.obj.size_bytes if self.obj is not None else 0)
+
+
+@dataclass(frozen=True)
+class Undeliverable:
+    """A work message bounced back to its sender: the destination site was
+    down when it arrived (think TCP RST / ICMP unreachable).
+
+    Carrying the original envelope lets the sender's termination detector
+    re-absorb the credit/deficit it attached, so queries survive mid-query
+    site failures with partial results instead of hanging (the paper's
+    autonomy requirement taken one step further than its prototype).
+    """
+
+    original: "Envelope"
+
+    def wire_size(self) -> int:
+        return 16
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """A routed message: source site, destination site, payload."""
+
+    src: str
+    dst: str
+    payload: Any
+
+    @property
+    def size_bytes(self) -> int:
+        wire = getattr(self.payload, "wire_size", None)
+        return wire() if callable(wire) else 64
+
+    def __repr__(self) -> str:
+        return f"Envelope({self.src} -> {self.dst}: {type(self.payload).__name__})"
+
+
+def _value_wire_size(value: Any) -> int:
+    if isinstance(value, (bytes, bytearray, str)):
+        return len(value)
+    if isinstance(value, Oid):
+        return len(value.birth_site) + 12
+    return 8

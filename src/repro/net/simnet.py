@@ -1,0 +1,189 @@
+"""Simulated network and hosts (the paper's PC/RT cluster, virtualised).
+
+Each :class:`SimHost` wraps one :class:`~repro.server.node.ServerNode`
+and maps its step costs onto the discrete-event clock:
+
+* a site's CPU is serial — one work loop per host; each
+  :meth:`ServerNode.step` occupies the CPU for the reported virtual cost;
+* messages leave at the *end* of the step that produced them and arrive
+  ``msg_latency_s`` later (sender/receiver CPU overheads are inside the
+  node's cost accounting, the wire occupies nobody);
+* delivery enqueues instantly at the destination and kicks its work loop.
+
+:class:`SimNetwork` owns the host map plus an availability table so the
+autonomy scenarios ("Node A is down, pose the query to Node B") can be
+scripted; messages to down sites are counted and dropped by the sender.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..errors import UnknownSite
+from ..server.node import ServerNode, StepReport
+from ..sim.kernel import Simulator
+from .messages import DerefRequest, Envelope, SeedFromSaved, Undeliverable
+
+
+class SimNetwork:
+    """Routes envelopes between simulated hosts."""
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self.hosts: Dict[str, "SimHost"] = {}
+        self._down: set = set()
+        self._link_latency: Dict[frozenset, float] = {}
+        self.messages_delivered = 0
+        self.messages_dropped = 0
+        self.bytes_delivered = 0
+
+    def attach(self, node: ServerNode) -> "SimHost":
+        """Create and register a host for ``node``."""
+        host = SimHost(self.sim, self, node)
+        self.hosts[node.site] = host
+        return host
+
+    def is_up(self, site: str) -> bool:
+        return site not in self._down
+
+    def set_link_latency(self, a: str, b: str, seconds: float) -> None:
+        """Override the wire latency of one (symmetric) link.
+
+        Models heterogeneous deployments — e.g. the paper's "two
+        geographically distant institutions" sharing documents over a
+        slow long-haul link while campus links stay fast.
+        """
+        if a not in self.hosts or b not in self.hosts:
+            raise UnknownSite(a if a not in self.hosts else b)
+        if seconds < 0:
+            raise ValueError("latency must be non-negative")
+        self._link_latency[frozenset((a, b))] = seconds
+
+    def latency(self, src: str, dst: str, default: float) -> float:
+        """Wire latency for the (src, dst) link (override or default)."""
+        return self._link_latency.get(frozenset((src, dst)), default)
+
+    def set_down(self, site: str) -> None:
+        """Mark a site unavailable (its queued work is frozen, not lost)."""
+        if site not in self.hosts:
+            raise UnknownSite(site)
+        self._down.add(site)
+
+    def set_up(self, site: str) -> None:
+        if site not in self.hosts:
+            raise UnknownSite(site)
+        self._down.discard(site)
+        self.hosts[site].kick()
+
+    def deliver(self, env: Envelope, at: float) -> None:
+        """Schedule delivery of ``env`` at absolute virtual time ``at``."""
+        host = self.hosts.get(env.dst)
+        if host is None:
+            raise UnknownSite(env.dst)
+
+        def arrive() -> None:
+            if not self.is_up(env.dst):
+                self.messages_dropped += 1
+                self._bounce(env)
+                return
+            self.messages_delivered += 1
+            self.bytes_delivered += env.size_bytes
+            host.node.on_message(env)
+            host.kick()
+
+        self.sim.schedule_at(at, arrive)
+
+    def _bounce(self, env: Envelope) -> None:
+        """Return an undeliverable *work* message to its sender.
+
+        Only DerefRequest/SeedFromSaved carry detector state that must be
+        recovered; results and control traffic addressed to a dead site
+        belong to a query whose originator is gone, and are simply lost.
+        """
+        if not isinstance(env.payload, (DerefRequest, SeedFromSaved)):
+            return
+        if not self.is_up(env.src):
+            return
+        latency = self.latency(env.dst, env.src, self.hosts[env.src].node.costs.msg_latency_s)
+        bounce = Envelope(env.dst, env.src, Undeliverable(env))
+        self.sim.schedule_at(self.sim.now + latency, lambda: self._deliver_now(bounce))
+
+    def _deliver_now(self, env: Envelope) -> None:
+        host = self.hosts.get(env.dst)
+        if host is None or not self.is_up(env.dst):
+            self.messages_dropped += 1
+            return
+        self.messages_delivered += 1
+        host.node.on_message(env)
+        host.kick()
+
+
+class SimHost:
+    """One site's serial CPU, driven by the event queue."""
+
+    def __init__(self, sim: Simulator, network: SimNetwork, node: ServerNode) -> None:
+        self.sim = sim
+        self.network = network
+        self.node = node
+        self._running = False
+        node.is_site_up = network.is_up
+        #: Called with (qid, result) when a query completes here; fired
+        #: only after the completing step's cost has elapsed, so the
+        #: virtual completion timestamp includes that work.
+        self.completion_sink = None
+
+    @property
+    def site(self) -> str:
+        return self.node.site
+
+    def kick(self) -> None:
+        """Ensure the work loop is scheduled (idempotent)."""
+        if self._running or not self.network.is_up(self.site):
+            return
+        if not self.node.has_work:
+            return
+        self._running = True
+        self.sim.schedule(0.0, self._work)
+
+    def dispatch(self, report: StepReport) -> None:
+        """Account a step's cost and ship its outgoing messages.
+
+        Messages depart when the step's CPU work completes and arrive one
+        wire latency later.
+        """
+        self.node.stats.busy_seconds += report.elapsed
+        depart = self.sim.now + report.elapsed
+        for env in report.outgoing:
+            wire = self.network.latency(env.src, env.dst, self.node.costs.msg_latency_s)
+            wire += env.size_bytes / self.node.costs.bandwidth_bytes_per_s
+            self.network.deliver(env, depart + wire)
+        if self.completion_sink is not None:
+            for qid, result in report.completed:
+                self.sim.schedule_at(depart, lambda q=qid, r=result: self.completion_sink(q, r))
+
+    def submit(self, qid, program, initial) -> None:
+        """Client-side entry: install a query at this (originating) site."""
+        report = self.node.submit(qid, program, initial)
+        self.dispatch(report)
+        self.kick()
+
+    def submit_from_saved(self, qid, program, source_qid, sites) -> None:
+        report = self.node.submit_from_saved(qid, program, source_qid, sites)
+        self.dispatch(report)
+        self.kick()
+
+    def _work(self) -> None:
+        if not self.network.is_up(self.site):
+            self._running = False
+            return
+        if not self.node.has_work:
+            self._running = False
+            return
+        report = self.node.step()
+        self.dispatch(report)
+        # Occupy the CPU for the step's duration, then continue.
+        self.sim.schedule(report.elapsed, self._continue)
+
+    def _continue(self) -> None:
+        self._running = False
+        self.kick()

@@ -1,0 +1,194 @@
+"""Real-concurrency in-process cluster (threads + queues).
+
+The simulated cluster (:mod:`repro.net.simnet`) gives deterministic
+virtual-time measurements; this transport runs the *same*
+:class:`~repro.server.node.ServerNode` logic under genuine concurrency —
+one daemon thread per site, queue-based message delivery — to demonstrate
+that the algorithm (contexts, mark tables, credit recovery) is correct
+outside the simulator, not just inside it.
+
+No virtual costs are applied; the node-reported costs are ignored and
+response times here are real wall-clock, useful only for smoke checks.
+Correctness (result sets, termination) is the point.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Dict, Iterable, List, Optional, Union
+
+from ..core.oid import Oid
+from ..core.program import Program
+from ..engine.results import QueryResult
+from ..errors import HyperFileError, TransportClosed, UnknownSite
+from ..naming.directory import ForwardingTable
+from ..net.messages import Envelope, QueryId
+from ..server.node import ServerNode
+from ..sim.costs import FREE_COSTS
+from ..storage.memstore import MemStore
+from ..termination.base import make_strategy
+
+
+class _SiteThread:
+    """One site's server loop: drain the inbox queue, step the node."""
+
+    def __init__(self, node: ServerNode, router: "ThreadedCluster") -> None:
+        self.node = node
+        self.router = router
+        self.inbox: "queue.Queue[Optional[Envelope]]" = queue.Queue()
+        self._lock = threading.Lock()  # guards node state across submit/step
+        self.thread = threading.Thread(target=self._run, name=f"hf-{node.site}", daemon=True)
+        self._stop = False
+
+    def start(self) -> None:
+        self.thread.start()
+
+    def stop(self) -> None:
+        self._stop = True
+        self.inbox.put(None)  # wake the loop
+
+    def submit(self, qid: QueryId, program: Program, initial: List[Oid]) -> None:
+        with self._lock:
+            report = self.node.submit(qid, program, initial)
+        for env in report.outgoing:
+            self.router.route(env)
+        self.inbox.put(None)  # nudge: local work may now exist
+
+    def _run(self) -> None:
+        while not self._stop:
+            try:
+                env = self.inbox.get(timeout=0.05)
+            except queue.Empty:
+                env = None
+            if self._stop:
+                return
+            with self._lock:
+                if env is not None:
+                    self.node.on_message(env)
+                outgoing: List[Envelope] = []
+                # Drain everything currently available; new inbox entries
+                # will nudge us again.
+                while self.node.has_work:
+                    report = self.node.step()
+                    outgoing.extend(report.outgoing)
+            for out in outgoing:
+                self.router.route(out)
+
+
+class ThreadedCluster:
+    """A HyperFile deployment where every site is a real thread.
+
+    API mirrors the simulated :class:`~repro.cluster.SimCluster` closely
+    enough for tests to run the same scenarios on both.
+    """
+
+    def __init__(
+        self,
+        sites: Union[int, Iterable[str]] = 3,
+        termination: str = "weighted",
+        discipline: str = "fifo",
+        result_mode: str = "ship",
+    ) -> None:
+        if isinstance(sites, int):
+            names = [f"site{i}" for i in range(sites)]
+        else:
+            names = list(sites)
+        self.stores: Dict[str, MemStore] = {}
+        self.forwarding: Dict[str, ForwardingTable] = {}
+        self.nodes: Dict[str, ServerNode] = {}
+        self._threads: Dict[str, _SiteThread] = {}
+        self._completions: "queue.Queue" = queue.Queue()
+        self._closed = False
+        strategy = make_strategy(termination)
+        for name in names:
+            store = MemStore(name)
+            table = ForwardingTable(name)
+            node = ServerNode(
+                name,
+                store,
+                costs=FREE_COSTS,
+                termination=strategy,
+                discipline=discipline,
+                result_mode=result_mode,
+                forwarding=table,
+                on_query_complete=self._on_complete,
+            )
+            self.stores[name] = store
+            self.forwarding[name] = table
+            self.nodes[name] = node
+            self._threads[name] = _SiteThread(node, self)
+        self._seq = 0
+        self._seq_lock = threading.Lock()
+        for t in self._threads.values():
+            t.start()
+
+    # -- lifecycle -----------------------------------------------------
+
+    def close(self) -> None:
+        self._closed = True
+        for t in self._threads.values():
+            t.stop()
+
+    def __enter__(self) -> "ThreadedCluster":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- data ------------------------------------------------------------
+
+    @property
+    def sites(self) -> List[str]:
+        return list(self.nodes)
+
+    def store(self, site: str) -> MemStore:
+        try:
+            return self.stores[site]
+        except KeyError:
+            raise UnknownSite(site) from None
+
+    # -- queries -----------------------------------------------------------
+
+    def run_query(
+        self,
+        program: Program,
+        initial: Iterable[Oid],
+        originator: Optional[str] = None,
+        timeout_s: float = 30.0,
+    ) -> QueryResult:
+        """Submit a compiled program and block until completion."""
+        if self._closed:
+            raise TransportClosed("cluster is closed")
+        origin = originator if originator is not None else self.sites[0]
+        with self._seq_lock:
+            self._seq += 1
+            qid = QueryId(self._seq, origin)
+        self._threads[origin].submit(qid, program, list(initial))
+        deadline = threading.Event()
+        import time
+
+        end = time.monotonic() + timeout_s
+        while True:
+            remaining = end - time.monotonic()
+            if remaining <= 0:
+                raise HyperFileError(f"query {qid} did not complete within {timeout_s}s")
+            try:
+                done_qid, result = self._completions.get(timeout=min(remaining, 0.25))
+            except queue.Empty:
+                continue
+            if done_qid == qid:
+                return result
+            # A different query finished first (concurrent use): requeue.
+            self._completions.put((done_qid, result))
+
+    # -- internals ------------------------------------------------------------
+
+    def route(self, env: Envelope) -> None:
+        target = self._threads.get(env.dst)
+        if target is None:
+            raise UnknownSite(env.dst)
+        target.inbox.put(env)
+
+    def _on_complete(self, qid: QueryId, result: QueryResult) -> None:
+        self._completions.put((qid, result))

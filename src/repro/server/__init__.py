@@ -1,0 +1,7 @@
+"""HyperFile server sites: per-site node logic, contexts, statistics."""
+
+from .context import QueryContext
+from .node import ServerNode, StepReport
+from .stats import NodeStats
+
+__all__ = ["NodeStats", "QueryContext", "ServerNode", "StepReport"]

@@ -1,0 +1,76 @@
+"""Per-site query contexts (paper §3.2).
+
+"Each site keeps a local context for queries it is processing", holding
+``Q.id``, ``Q.originator``, ``Q.body``, ``Q.size``, ``Q.mark_table``,
+``Q.W`` and ``Q.result``.  Here the mark table, working set and result
+live inside the embedded :class:`~repro.engine.local.QueryExecution`;
+the context adds the originator-side aggregation state, the termination
+detector's ledger, and flush cursors (a site ships only results
+accumulated since its previous drain — "Q.result is sent to
+Q.originator, and Q.result is reset to {}").
+
+The context survives across drains: "after a site has emptied Q.W and
+sent results, another dereference message for Q may arrive.  Since the
+context Q is still in place, the setup cost is only required once at
+each involved site."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..core.oid import Oid
+from ..engine.local import QueryExecution
+from ..engine.results import QueryResult
+from ..net.messages import QueryId
+
+
+@dataclass
+class QueryContext:
+    """Everything one site knows about one in-flight query."""
+
+    qid: QueryId
+    execution: QueryExecution
+    is_originator: bool
+    term_state: Any
+
+    #: Originator only: the aggregated, application-visible result.
+    final: Optional[QueryResult] = None
+
+    #: Originator only: True once the termination detector has fired.
+    done: bool = False
+
+    #: Originator only (distributed-set mode): per-site result counts.
+    partition_counts: Dict[str, int] = field(default_factory=dict)
+
+    #: Originator only: sites that sent results (context-GC recipients).
+    participants: set = field(default_factory=set)
+
+    #: Flush cursors into the execution's cumulative result.
+    _oid_cursor: int = 0
+    _emission_cursor: Dict[str, int] = field(default_factory=dict)
+
+    #: Number of local drains (result messages sent / credit returns).
+    drains: int = 0
+
+    @property
+    def busy(self) -> bool:
+        """Does this site still hold work for the query?"""
+        return self.execution.has_work
+
+    def take_unflushed(self) -> Tuple[Tuple[Oid, ...], Tuple[Tuple[str, Any], ...]]:
+        """Results accumulated since the last drain (and advance cursors)."""
+        oids = tuple(self.execution.result.oids.as_list()[self._oid_cursor :])
+        self._oid_cursor += len(oids)
+        emissions: List[Tuple[str, Any]] = []
+        for target, values in self.execution.result.retrieved.items():
+            start = self._emission_cursor.get(target, 0)
+            for value in values[start:]:
+                emissions.append((target, value))
+            self._emission_cursor[target] = len(values)
+        return oids, tuple(emissions)
+
+    def local_partition(self) -> List[Oid]:
+        """This site's full local result partition (distributed-set mode)."""
+        return self.execution.result.oids.as_list()

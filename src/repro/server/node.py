@@ -1,0 +1,600 @@
+"""A HyperFile server site (paper §3.2).
+
+"All sites run an identical algorithm."  A :class:`ServerNode` owns one
+site's object store and a table of query contexts, and exposes a
+step-driven interface so different drivers can run it:
+
+* the **simulated cluster** (:mod:`repro.net.simnet`) calls :meth:`step`
+  from discrete events and converts the reported costs into virtual time;
+* the **threaded cluster** (:mod:`repro.net.threaded`) calls it from a
+  real worker thread;
+* tests call it directly.
+
+Each step does exactly one unit of work — ingest one message or push one
+object through the filters — and reports its cost (per the
+:class:`~repro.sim.costs.CostModel`) plus any outgoing envelopes.  The
+node never blocks: remote dereferences become messages ("send the query,
+not the data") and the site keeps processing whatever else is in its
+working sets, which is where the algorithm's parallelism comes from.
+
+Naming (§4) is folded into :meth:`locate`: try the local store, then the
+site's forwarding table (objects that migrated away), then fall back to
+the id's presumed site or birth site.  A :class:`DerefRequest` that
+arrives for an object that moved is re-forwarded rather than failed.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Deque, Dict, Iterable, List, Optional, Tuple
+
+from ..core.oid import Oid
+from ..core.program import Program
+from ..engine.items import WorkItem
+from ..engine.local import QueryExecution
+from ..engine.results import QueryResult
+from ..errors import HyperFileError, ObjectNotFound, TerminationProtocolError
+from ..naming.directory import ForwardingTable
+from ..net.messages import (
+    ControlMessage,
+    DerefRequest,
+    Envelope,
+    FetchReply,
+    FetchRequest,
+    PurgeContext,
+    QueryId,
+    ResultBatch,
+    SeedFromSaved,
+    Undeliverable,
+)
+from ..sim.costs import CostModel, PAPER_COSTS
+from ..storage.memstore import MemStore
+from ..termination.base import TerminationStrategy
+from ..termination.weights import WeightedStrategy
+from .context import QueryContext
+from .stats import NodeStats
+
+#: Callback fired at the originator when a query completes.
+CompletionCallback = Callable[[QueryId, QueryResult], None]
+
+
+@dataclass
+class StepReport:
+    """Outcome of one node step: virtual cost plus outbound messages.
+
+    ``completed`` carries queries whose termination detector fired during
+    this step; drivers deliver them to the client *after* charging the
+    step's cost, so completion timestamps include the work that produced
+    them.
+    """
+
+    elapsed: float = 0.0
+    outgoing: List[Envelope] = field(default_factory=list)
+    completed: List[tuple] = field(default_factory=list)
+
+
+class ServerNode:
+    """One HyperFile site: store + query contexts + message handlers."""
+
+    def __init__(
+        self,
+        site: str,
+        store: MemStore,
+        costs: CostModel = PAPER_COSTS,
+        termination: Optional[TerminationStrategy] = None,
+        discipline: str = "fifo",
+        result_mode: str = "ship",
+        mark_granularity: str = "iteration",
+        forwarding: Optional[ForwardingTable] = None,
+        is_site_up: Optional[Callable[[str], bool]] = None,
+        on_query_complete: Optional[CompletionCallback] = None,
+        gc_contexts: bool = False,
+    ) -> None:
+        """
+        Parameters
+        ----------
+        result_mode:
+            ``"ship"`` — drains send result oids to the originator (the
+            paper's base algorithm).  ``"count"`` — the distributed-set
+            optimisation of §5: drains report only a count, each site
+            retains its result partition for follow-up queries.
+        forwarding:
+            This site's forwarding table for migrated objects (naming §4).
+        is_site_up:
+            Availability oracle; sends to down sites are dropped and
+            counted so partial results still terminate cleanly.
+        """
+        if result_mode not in ("ship", "count"):
+            raise ValueError(f"result_mode must be 'ship' or 'count', got {result_mode!r}")
+        self.site = site
+        self.store = store
+        self.costs = costs
+        self.termination = termination if termination is not None else WeightedStrategy()
+        self.discipline = discipline
+        self.result_mode = result_mode
+        self.mark_granularity = mark_granularity
+        self.forwarding = forwarding if forwarding is not None else ForwardingTable(site)
+        self.is_site_up = is_site_up if is_site_up is not None else (lambda _site: True)
+        self.on_query_complete = on_query_complete
+        #: When True, the originator broadcasts PurgeContext on completion
+        #: so participants free their per-query state.  Off by default:
+        #: retained contexts are what distributed sets seed from.
+        self.gc_contexts = gc_contexts
+        self.contexts: Dict[QueryId, QueryContext] = {}
+        self.inbox: Deque[Envelope] = deque()
+        self.stats = NodeStats()
+        self._rr: Deque[QueryId] = deque()  # round-robin order over busy contexts
+        #: Optional QueryTracer (see repro.tracing); None = zero overhead.
+        self.tracer = None
+        #: Completed client fetches: request_id -> HFObject | None.
+        self.fetch_results: Dict[int, Any] = {}
+        self._next_fetch_id = 0
+
+    # ------------------------------------------------------------------
+    # naming
+    # ------------------------------------------------------------------
+
+    def locate(self, oid: Oid) -> str:
+        """Resolve an object id to the site that should process it.
+
+        Order of authority: the local store (object is here), this site's
+        forwarding table (it was here and moved), birth-site arbitration
+        (if born here and unknown, it does not exist — treat as local so
+        the miss is recorded), and finally the id's presumed-site hint.
+        """
+        if self.store.contains(oid):
+            return self.site
+        forwarded = self.forwarding.lookup(oid)
+        if forwarded is not None:
+            return forwarded
+        if oid.birth_site == self.site:
+            return self.site
+        hint = oid.hint
+        if hint == self.site:
+            # The hint is stale (object believed here but absent); the
+            # birth site is the final arbiter.
+            return oid.birth_site
+        return hint
+
+    # ------------------------------------------------------------------
+    # client-facing entry points (used at the originating site)
+    # ------------------------------------------------------------------
+
+    def submit(self, qid: QueryId, program: Program, initial: Iterable[Oid]) -> StepReport:
+        """Install an originator context and seed the initial set ``S_i``."""
+        if qid.originator != self.site:
+            raise HyperFileError(f"query {qid} submitted at non-originating site {self.site}")
+        report = StepReport()
+        ctx = self._ensure_context(qid, program)
+        self.termination.on_start(ctx.term_state)
+        if self.tracer is not None:
+            self.tracer.emit(self.site, "submit", qid, filters=program.size)
+        for oid in initial:
+            target = self.locate(oid)
+            if target == self.site:
+                ctx.execution.admit(WorkItem(oid=oid, start=1))
+            else:
+                self._send_work(ctx, target, WorkItem(oid=oid, start=1), report)
+        self._enqueue_rr(qid)
+        self._drain_if_idle(ctx, report)
+        return report
+
+    def submit_from_saved(
+        self,
+        qid: QueryId,
+        program: Program,
+        source_qid: QueryId,
+        sites: Iterable[str],
+    ) -> StepReport:
+        """Start a follow-up query over a distributed set (paper §5).
+
+        Each site that holds a partition of ``source_qid``'s result is
+        asked to seed its working set from it; no oids cross the network.
+        """
+        if qid.originator != self.site:
+            raise HyperFileError(f"query {qid} submitted at non-originating site {self.site}")
+        report = StepReport()
+        ctx = self._ensure_context(qid, program)
+        self.termination.on_start(ctx.term_state)
+        for site in sites:
+            if site == self.site:
+                for oid in self.saved_partition(source_qid):
+                    ctx.execution.admit(WorkItem(oid=oid, start=1))
+            else:
+                attach = self.termination.on_send_work(ctx.term_state)
+                self._emit(report, site, SeedFromSaved(qid, program, source_qid, dict(attach)))
+        self._enqueue_rr(qid)
+        self._drain_if_idle(ctx, report)
+        return report
+
+    def saved_partition(self, qid: QueryId) -> List[Oid]:
+        """This site's retained result partition for a finished query."""
+        ctx = self.contexts.get(qid)
+        if ctx is None:
+            return []
+        return ctx.local_partition()
+
+    def request_fetch(self, oid: Oid) -> Tuple[int, StepReport]:
+        """Client-facing whole-object retrieval (the file-interface half
+        of the paper's spectrum: "retrieve a file given its name").
+
+        Local objects complete immediately; remote ones send a
+        :class:`FetchRequest` to the holder and complete when the
+        :class:`FetchReply` lands in :attr:`fetch_results`.
+        """
+        self._next_fetch_id += 1
+        request_id = self._next_fetch_id
+        report = StepReport()
+        target = self.locate(oid)
+        if target == self.site:
+            try:
+                self.fetch_results[request_id] = self.store.get(oid)
+            except ObjectNotFound:
+                self.fetch_results[request_id] = None
+            report.elapsed += self.costs.mark_check_s
+        else:
+            self._emit(report, target, FetchRequest(request_id, oid, reply_to=self.site))
+        return request_id, report
+
+    # ------------------------------------------------------------------
+    # transport-facing entry points
+    # ------------------------------------------------------------------
+
+    def on_message(self, env: Envelope) -> None:
+        """Enqueue an arriving message (costed when handled, not here)."""
+        self.inbox.append(env)
+
+    @property
+    def has_work(self) -> bool:
+        if self.inbox:
+            return True
+        return any(ctx.busy for ctx in self.contexts.values())
+
+    def step(self) -> StepReport:
+        """Do one unit of work: handle one message, or process one object."""
+        if self.inbox:
+            return self._handle_message(self.inbox.popleft())
+        ctx = self._next_busy_context()
+        if ctx is None:
+            return StepReport()
+        return self._process_one(ctx)
+
+    def run_to_idle(self, max_steps: int = 1_000_000) -> StepReport:
+        """Drive steps until idle, merging reports (single-node use/tests)."""
+        total = StepReport()
+        for _ in range(max_steps):
+            if not self.has_work:
+                return total
+            report = self.step()
+            total.elapsed += report.elapsed
+            total.outgoing.extend(report.outgoing)
+            total.completed.extend(report.completed)
+        raise HyperFileError(f"node {self.site} did not go idle in {max_steps} steps")
+
+    # ------------------------------------------------------------------
+    # message handling
+    # ------------------------------------------------------------------
+
+    def _handle_message(self, env: Envelope) -> StepReport:
+        payload = env.payload
+        self.stats.count_received(type(payload).__name__, env.size_bytes)
+        if self.tracer is not None:
+            self.tracer.emit(
+                self.site, "recv", getattr(payload, "qid", ""),
+                msg=type(payload).__name__, src=env.src,
+            )
+        if isinstance(payload, DerefRequest):
+            return self._handle_deref(env, payload)
+        if isinstance(payload, ResultBatch):
+            return self._handle_result(env, payload)
+        if isinstance(payload, ControlMessage):
+            return self._handle_control(env, payload)
+        if isinstance(payload, SeedFromSaved):
+            return self._handle_seed_from_saved(env, payload)
+        if isinstance(payload, Undeliverable):
+            return self._handle_undeliverable(payload)
+        if isinstance(payload, PurgeContext):
+            return self._handle_purge(payload)
+        if isinstance(payload, FetchRequest):
+            return self._handle_fetch_request(env, payload)
+        if isinstance(payload, FetchReply):
+            return self._handle_fetch_reply(payload)
+        raise HyperFileError(f"site {self.site}: unhandled message {type(payload).__name__}")
+
+    def _handle_deref(self, env: Envelope, msg: DerefRequest) -> StepReport:
+        report = StepReport(elapsed=self.costs.msg_recv_s)
+        ctx = self._ensure_context(msg.qid, msg.program)
+        target = self.locate(msg.item.oid)
+        if target != self.site and self.is_site_up(target):
+            # The object migrated away (or the sender used a stale hint):
+            # absorb the detector state, then re-forward the request.
+            self._absorb_controls(
+                report,
+                self.termination.on_recv_work(ctx.term_state, dict(msg.term), env.src, ctx.busy),
+                msg.qid,
+            )
+            self._send_work(ctx, target, msg.item, report)
+            self.stats.forwarded_requests += 1
+        else:
+            if not ctx.execution.mark_table.should_process(
+                msg.item.oid, msg.item.start, msg.item.iters
+            ):
+                # This request asks us to re-process something we already
+                # did — the message a global mark table would have saved
+                # (paper §3.2 argues the savings are not worth the
+                # coordination; ablation A1 quantifies them).
+                self.stats.duplicate_requests += 1
+            ctx.execution.admit(msg.item)
+            self._enqueue_rr(msg.qid)
+            self._absorb_controls(
+                report,
+                self.termination.on_recv_work(ctx.term_state, dict(msg.term), env.src, ctx.busy),
+                msg.qid,
+            )
+        self._drain_if_idle(ctx, report)
+        return report
+
+    def _handle_result(self, env: Envelope, msg: ResultBatch) -> StepReport:
+        ctx = self.contexts.get(msg.qid)
+        if ctx is None or not ctx.is_originator or ctx.final is None:
+            raise HyperFileError(
+                f"site {self.site} received results for {msg.qid} it did not originate"
+            )
+        elapsed = self.costs.result_msg_fixed_s + self.costs.result_item_s * msg.item_count
+        report = StepReport(elapsed=elapsed)
+        ctx.participants.add(env.src)
+        if msg.count_only:
+            ctx.partition_counts[env.src] = ctx.partition_counts.get(env.src, 0) + msg.count
+        else:
+            for oid in msg.oids:
+                ctx.final.oids.add(oid)
+        for target, value in msg.emissions:
+            ctx.final.retrieved.setdefault(target, []).append(value)
+        self.termination.on_result(ctx.term_state, dict(msg.term))
+        self._check_termination(ctx, report)
+        return report
+
+    def _handle_control(self, env: Envelope, msg: ControlMessage) -> StepReport:
+        ctx = self.contexts.get(msg.qid)
+        if ctx is None:
+            raise TerminationProtocolError(
+                f"site {self.site} got control {msg.kind!r} for unknown query {msg.qid}"
+            )
+        report = StepReport(elapsed=self.costs.msg_recv_s)
+        outs = self.termination.on_control(ctx.term_state, msg.kind, msg.payload, env.src, ctx.busy)
+        self._absorb_controls(report, outs, msg.qid)
+        if ctx.is_originator:
+            self._check_termination(ctx, report)
+        return report
+
+    def _handle_seed_from_saved(self, env: Envelope, msg: SeedFromSaved) -> StepReport:
+        report = StepReport(elapsed=self.costs.msg_recv_s)
+        ctx = self._ensure_context(msg.qid, msg.program)
+        for oid in self.saved_partition(msg.source_qid):
+            ctx.execution.admit(WorkItem(oid=oid, start=1))
+        self._enqueue_rr(msg.qid)
+        self._absorb_controls(
+            report,
+            self.termination.on_recv_work(ctx.term_state, dict(msg.term), env.src, ctx.busy),
+            msg.qid,
+        )
+        self._drain_if_idle(ctx, report)
+        return report
+
+    def _handle_fetch_request(self, env: Envelope, msg: FetchRequest) -> StepReport:
+        report = StepReport(elapsed=self.costs.msg_recv_s)
+        target = self.locate(msg.oid)
+        if target != self.site and self.is_site_up(target):
+            # Stale hint or migrated object: chase it (naming §4).
+            self._emit(report, target, msg)
+            self.stats.forwarded_requests += 1
+            return report
+        try:
+            obj = self.store.get(msg.oid)
+        except ObjectNotFound:
+            obj = None
+        self._emit(report, msg.reply_to or env.src, FetchReply(msg.request_id, obj))
+        return report
+
+    def _handle_fetch_reply(self, msg: FetchReply) -> StepReport:
+        self.fetch_results[msg.request_id] = msg.obj
+        return StepReport(elapsed=self.costs.msg_recv_s)
+
+    def _handle_purge(self, msg: PurgeContext) -> StepReport:
+        report = StepReport(elapsed=self.costs.msg_recv_s)
+        ctx = self.contexts.get(msg.qid)
+        if ctx is not None and not ctx.busy and not ctx.is_originator:
+            del self.contexts[msg.qid]
+            if msg.qid in self._rr:
+                self._rr.remove(msg.qid)
+        return report
+
+    def _handle_undeliverable(self, msg: Undeliverable) -> StepReport:
+        """A work message we sent bounced off a down site.
+
+        Recover the termination state it carried and abandon that branch
+        of the traversal (partial results, clean termination)."""
+        report = StepReport(elapsed=self.costs.msg_recv_s)
+        original = msg.original.payload
+        ctx = self.contexts.get(original.qid)
+        if ctx is None:
+            raise HyperFileError(
+                f"site {self.site} got a bounce for unknown query {original.qid}"
+            )
+        self.stats.failed_sends += 1
+        outs = self.termination.on_send_failed(ctx.term_state, dict(original.term), ctx.busy)
+        self._absorb_controls(report, outs, original.qid)
+        self._drain_if_idle(ctx, report)
+        if ctx.is_originator:
+            self._check_termination(ctx, report)
+        return report
+
+    # ------------------------------------------------------------------
+    # object processing
+    # ------------------------------------------------------------------
+
+    def _process_one(self, ctx: QueryContext) -> StepReport:
+        report = StepReport()
+        outcome = ctx.execution.step()
+        if self.tracer is not None:
+            if outcome.admitted and not outcome.missing:
+                self.tracer.emit(
+                    self.site, "process", ctx.qid,
+                    oid=str(outcome.item.oid), start=outcome.item.start,
+                    passed=outcome.into_result, remote=len(outcome.remote),
+                )
+            elif not outcome.admitted:
+                self.tracer.emit(self.site, "skip", ctx.qid, oid=str(outcome.item.oid))
+        if not outcome.admitted:
+            report.elapsed += self.costs.mark_check_s
+            self.stats.marked_skips += 1
+        elif outcome.missing:
+            report.elapsed += self.costs.mark_check_s
+        else:
+            report.elapsed += self.costs.object_process_s
+            self.stats.objects_processed += 1
+            if outcome.into_result:
+                report.elapsed += self.costs.result_insert_s
+        for dst, item in outcome.remote:
+            self._send_work(ctx, dst, item, report)
+        self._drain_if_idle(ctx, report)
+        return report
+
+    # ------------------------------------------------------------------
+    # drains, sends, termination
+    # ------------------------------------------------------------------
+
+    def _send_work(self, ctx: QueryContext, dst: str, item: WorkItem, report: StepReport) -> None:
+        if not self.is_site_up(dst):
+            # Autonomy requirement: a down site must not hang the query.
+            # The dereference is abandoned (partial results) and, because
+            # no detector state was split off, termination stays exact.
+            self.stats.failed_sends += 1
+            return
+        attach = self.termination.on_send_work(ctx.term_state)
+        self._emit(report, dst, DerefRequest(ctx.qid, ctx.execution.program, item, dict(attach)))
+
+    def _drain_if_idle(self, ctx: QueryContext, report: StepReport) -> None:
+        if ctx.busy:
+            return
+        if ctx.is_originator:
+            self._merge_local_results(ctx)
+            self.termination.on_originator_drain(ctx.term_state)
+            ctx.drains += 1
+            self.stats.drains += 1
+            if self.tracer is not None:
+                assert ctx.final is not None
+                self.tracer.emit(self.site, "drain", ctx.qid, results=len(ctx.final.oids))
+            self._check_termination(ctx, report)
+            return
+        oids, emissions = ctx.take_unflushed()
+        attach, controls = self.termination.on_drain(ctx.term_state)
+        ctx.drains += 1
+        self.stats.drains += 1
+        if self.tracer is not None:
+            self.tracer.emit(self.site, "drain", ctx.qid, results=len(oids))
+        if self.result_mode == "count":
+            batch = ResultBatch(
+                ctx.qid,
+                oids=(),
+                emissions=emissions,
+                count_only=True,
+                count=len(oids),
+                term=dict(attach),
+            )
+        else:
+            batch = ResultBatch(ctx.qid, oids=oids, emissions=emissions, term=dict(attach))
+        self._emit(report, ctx.qid.originator, batch)
+        self._absorb_controls(report, controls, ctx.qid)
+
+    def _merge_local_results(self, ctx: QueryContext) -> None:
+        assert ctx.final is not None
+        oids, emissions = ctx.take_unflushed()
+        if self.result_mode == "count" and oids:
+            ctx.partition_counts[self.site] = ctx.partition_counts.get(self.site, 0) + len(oids)
+        else:
+            for oid in oids:
+                ctx.final.oids.add(oid)
+        for target, value in emissions:
+            ctx.final.retrieved.setdefault(target, []).append(value)
+
+    def _check_termination(self, ctx: QueryContext, report: StepReport) -> None:
+        if ctx.done or not ctx.is_originator:
+            return
+        if self.termination.is_terminated(ctx.term_state, ctx.busy):
+            ctx.done = True
+            assert ctx.final is not None
+            if self.tracer is not None:
+                self.tracer.emit(
+                    self.site, "complete", ctx.qid, results=len(ctx.final.oids)
+                )
+            if self.gc_contexts:
+                for participant in sorted(ctx.participants):
+                    if participant != self.site:
+                        self._emit(report, participant, PurgeContext(ctx.qid))
+            # Per-site execution counters are aggregated by the cluster at
+            # completion (it can reach every context); merging here would
+            # double-count the originator's own.
+            report.completed.append((ctx.qid, ctx.final))
+            if self.on_query_complete is not None:
+                self.on_query_complete(ctx.qid, ctx.final)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _ensure_context(self, qid: QueryId, program: Program) -> QueryContext:
+        ctx = self.contexts.get(qid)
+        if ctx is not None:
+            return ctx
+        is_originator = qid.originator == self.site
+        execution = QueryExecution(
+            program,
+            self.store.get,
+            site=self.site,
+            locate=self.locate,
+            discipline=self.discipline,
+            mark_granularity=self.mark_granularity,
+        )
+        ctx = QueryContext(
+            qid=qid,
+            execution=execution,
+            is_originator=is_originator,
+            term_state=self.termination.new_state(self.site, is_originator),
+            final=QueryResult() if is_originator else None,
+        )
+        self.contexts[qid] = ctx
+        self.stats.contexts_created += 1
+        return ctx
+
+    def _emit(self, report: StepReport, dst: str, payload: Any) -> None:
+        if not self.is_site_up(dst):
+            self.stats.failed_sends += 1
+            return
+        env = Envelope(self.site, dst, payload)
+        self.stats.count_sent(type(payload).__name__, env.size_bytes)
+        if self.tracer is not None:
+            self.tracer.emit(
+                self.site, "send", getattr(payload, "qid", ""),
+                msg=type(payload).__name__, dst=dst, bytes=env.size_bytes,
+            )
+        report.elapsed += self.costs.msg_send_s
+        report.outgoing.append(env)
+
+    def _absorb_controls(self, report: StepReport, outs, qid: QueryId) -> None:
+        for dst, kind, payload in outs:
+            self._emit(report, dst, ControlMessage(qid, kind, payload))
+
+    def _enqueue_rr(self, qid: QueryId) -> None:
+        if qid not in self._rr:
+            self._rr.append(qid)
+
+    def _next_busy_context(self) -> Optional[QueryContext]:
+        for _ in range(len(self._rr)):
+            qid = self._rr[0]
+            self._rr.rotate(-1)
+            ctx = self.contexts.get(qid)
+            if ctx is not None and ctx.busy:
+                return ctx
+        return None

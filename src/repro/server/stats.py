@@ -1,0 +1,64 @@
+"""Per-node operational statistics.
+
+Counters every server node maintains, independent of any single query.
+The metrics layer (:mod:`repro.metrics`) aggregates these across a
+cluster; benchmarks read them to report message counts and bytes moved,
+the quantities the paper's trade-off discussion revolves around
+(message cost vs. parallelism vs. delay).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class NodeStats:
+    """Counters for one site."""
+
+    messages_sent: Dict[str, int] = field(default_factory=dict)
+    messages_received: Dict[str, int] = field(default_factory=dict)
+    bytes_sent: int = 0
+    bytes_received: int = 0
+    failed_sends: int = 0          #: messages dropped because the target was down
+    duplicate_requests: int = 0    #: arriving DerefRequests the local mark table suppressed
+                                   #: (the messages a hypothetical global table would save)
+    forwarded_requests: int = 0    #: DerefRequests re-routed via naming (migrations)
+    objects_processed: int = 0
+    marked_skips: int = 0
+    busy_seconds: float = 0.0      #: virtual CPU time consumed at this site
+    drains: int = 0                #: local working-set drain events
+    contexts_created: int = 0
+
+    def count_sent(self, kind: str, size: int) -> None:
+        self.messages_sent[kind] = self.messages_sent.get(kind, 0) + 1
+        self.bytes_sent += size
+
+    def count_received(self, kind: str, size: int) -> None:
+        self.messages_received[kind] = self.messages_received.get(kind, 0) + 1
+        self.bytes_received += size
+
+    @property
+    def total_sent(self) -> int:
+        return sum(self.messages_sent.values())
+
+    @property
+    def total_received(self) -> int:
+        return sum(self.messages_received.values())
+
+    def merge(self, other: "NodeStats") -> None:
+        for kind, n in other.messages_sent.items():
+            self.messages_sent[kind] = self.messages_sent.get(kind, 0) + n
+        for kind, n in other.messages_received.items():
+            self.messages_received[kind] = self.messages_received.get(kind, 0) + n
+        self.bytes_sent += other.bytes_sent
+        self.bytes_received += other.bytes_received
+        self.failed_sends += other.failed_sends
+        self.duplicate_requests += other.duplicate_requests
+        self.forwarded_requests += other.forwarded_requests
+        self.objects_processed += other.objects_processed
+        self.marked_skips += other.marked_skips
+        self.busy_seconds += other.busy_seconds
+        self.drains += other.drains
+        self.contexts_created += other.contexts_created

@@ -1,0 +1,6 @@
+"""Discrete-event simulation kernel and the paper's cost model."""
+
+from .costs import FREE_COSTS, PAPER_COSTS, CostModel
+from .kernel import EventHandle, Simulator
+
+__all__ = ["CostModel", "EventHandle", "FREE_COSTS", "PAPER_COSTS", "Simulator"]

@@ -1,0 +1,120 @@
+"""Discrete-event simulation kernel.
+
+The paper's experiments ran on a network of IBM PC/RTs; we substitute a
+deterministic discrete-event simulator (see DESIGN.md §2).  The kernel is
+deliberately tiny: a virtual clock, a binary-heap event queue, and stable
+FIFO tie-breaking so that runs are exactly reproducible — equal-time events
+fire in schedule order.
+
+Nothing in here knows about HyperFile; hosts and networks are built on top
+in :mod:`repro.net.simnet`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+#: An event action is any zero-argument callable; it runs at its scheduled
+#: virtual time and may schedule further events.
+Action = Callable[[], None]
+
+
+@dataclass(order=True)
+class _Entry:
+    time: float
+    seq: int
+    action: Action = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventHandle:
+    """Returned by :meth:`Simulator.schedule`; lets the caller cancel."""
+
+    __slots__ = ("_entry",)
+
+    def __init__(self, entry: _Entry) -> None:
+        self._entry = entry
+
+    def cancel(self) -> None:
+        """Prevent the event from firing (no-op if it already fired)."""
+        self._entry.cancelled = True
+
+    @property
+    def time(self) -> float:
+        return self._entry.time
+
+    @property
+    def cancelled(self) -> bool:
+        return self._entry.cancelled
+
+
+class Simulator:
+    """A virtual clock plus an ordered event queue."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._queue: List[_Entry] = []
+        self._seq = itertools.count()
+        self.events_fired = 0
+
+    @property
+    def now(self) -> float:
+        """Current virtual time, in seconds."""
+        return self._now
+
+    def schedule(self, delay: float, action: Action) -> EventHandle:
+        """Run ``action`` at ``now + delay`` virtual seconds."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        entry = _Entry(self._now + delay, next(self._seq), action)
+        heapq.heappush(self._queue, entry)
+        return EventHandle(entry)
+
+    def schedule_at(self, time: float, action: Action) -> EventHandle:
+        """Run ``action`` at absolute virtual time ``time``."""
+        return self.schedule(time - self._now, action)
+
+    def step(self) -> bool:
+        """Fire the next event; returns False when the queue is empty."""
+        while self._queue:
+            entry = heapq.heappop(self._queue)
+            if entry.cancelled:
+                continue
+            self._now = entry.time
+            self.events_fired += 1
+            entry.action()
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Drain the event queue.
+
+        Stops when the queue empties, when virtual time would pass
+        ``until``, or after ``max_events`` (a runaway-simulation guard).
+        Returns the final virtual time.
+        """
+        fired = 0
+        while self._queue:
+            head = self._queue[0]
+            if head.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            if until is not None and head.time > until:
+                self._now = until
+                break
+            if max_events is not None and fired >= max_events:
+                break
+            self.step()
+            fired += 1
+        return self._now
+
+    @property
+    def pending(self) -> int:
+        """Number of not-yet-fired, not-cancelled events."""
+        return sum(1 for e in self._queue if not e.cancelled)
+
+    def __repr__(self) -> str:
+        return f"Simulator(now={self._now:.6f}, pending={self.pending})"

@@ -1,0 +1,118 @@
+"""Large-item segregation (paper §2, §5).
+
+"We take advantage of large memories to cache all of the pointers,
+keywords, and other such search information so that disk access is only
+required to obtain large items."  The prototype was a main-memory
+database; large payloads lived on disk and none of the test queries
+touched them.
+
+:class:`BlobStore` models that split: bulk payloads (text bodies, images,
+object code) are moved out of the in-memory tuples and replaced by a
+:class:`BlobRef` handle.  Filtering operates on the handle (an opaque
+value — only ``?``/bind patterns match it, like any payload the server
+does not understand); the payload is read back only when a ``→``
+retrieval or an application actually needs the bits, and every such read
+is counted as a simulated disk access.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from ..core.objects import HFObject
+from ..core.oid import Oid
+from ..core.tuples import HFTuple
+from ..errors import ObjectNotFound
+
+#: Data smaller than this stays inline in the tuple (searchable values
+#: such as strings, numbers and pointers are never spilled regardless).
+DEFAULT_SPILL_THRESHOLD = 256
+
+
+@dataclass(frozen=True)
+class BlobRef:
+    """Handle to a payload held in a :class:`BlobStore`."""
+
+    oid: Oid
+    key: Any
+    size: int
+
+    def __str__(self) -> str:
+        return f"<blob {self.oid}/{self.key!r}: {self.size} bytes>"
+
+
+class BlobStore:
+    """Simulated on-disk payload store for one site."""
+
+    def __init__(self, site: str) -> None:
+        self._site = site
+        self._blobs: Dict[Tuple[Tuple[str, int], Any], Any] = {}
+        self.disk_reads = 0
+        self.disk_writes = 0
+        self.bytes_stored = 0
+
+    @property
+    def site(self) -> str:
+        return self._site
+
+    def put(self, oid: Oid, key: Any, payload: Any) -> BlobRef:
+        """Write a payload to 'disk'; returns the handle to store inline."""
+        size = _payload_size(payload)
+        self._blobs[(oid.key(), key)] = payload
+        self.disk_writes += 1
+        self.bytes_stored += size
+        return BlobRef(oid.without_hint(), key, size)
+
+    def get(self, ref: BlobRef) -> Any:
+        """Read a payload back (counts as one disk access)."""
+        try:
+            payload = self._blobs[(ref.oid.key(), ref.key)]
+        except KeyError:
+            raise ObjectNotFound(ref.oid, self._site) from None
+        self.disk_reads += 1
+        return payload
+
+    def __len__(self) -> int:
+        return len(self._blobs)
+
+
+def spill_large_tuples(
+    obj: HFObject,
+    blobs: BlobStore,
+    threshold: int = DEFAULT_SPILL_THRESHOLD,
+) -> HFObject:
+    """Move an object's bulky payloads into ``blobs``.
+
+    Returns a new object in which every tuple whose data is a str/bytes
+    payload of at least ``threshold`` bytes carries a :class:`BlobRef`
+    instead.  Pointers, numbers and short strings (the search
+    information) stay inline, so queries never touch the blob store.
+    """
+    replaced = []
+    changed = False
+    for t in obj.tuples:
+        if isinstance(t.data, (str, bytes, bytearray)) and _payload_size(t.data) >= threshold:
+            ref = blobs.put(obj.oid, t.key, t.data)
+            replaced.append(HFTuple(t.type, t.key, ref))
+            changed = True
+        else:
+            replaced.append(t)
+    if not changed:
+        return obj
+    return HFObject(obj.oid, replaced, size_hint=obj.size_bytes)
+
+
+def resolve_value(value: Any, blobs: Optional[BlobStore]) -> Any:
+    """Dereference a retrieved value if it is a blob handle."""
+    if isinstance(value, BlobRef):
+        if blobs is None:
+            raise ObjectNotFound(value.oid)
+        return blobs.get(value)
+    return value
+
+
+def _payload_size(payload: Any) -> int:
+    if isinstance(payload, (bytes, bytearray, str)):
+        return len(payload)
+    return 8

@@ -1,0 +1,99 @@
+"""Conventional (inverted) indexes over tuple keys.
+
+Paper §2: "In addition to the distributed server, we have developed
+facilities for indexing [4].  These support conventional indexes (say for
+keywords in documents) ..."  The companion reachability index lives in
+:mod:`repro.storage.reachability`.
+
+A :class:`TupleIndex` maps ``(tuple type, key value)`` to the set of
+objects carrying such a tuple, letting a site answer pure selection
+filters without scanning every object.  Indexes are site-local (each
+site indexes only its own store), consistent with the paper's autonomy
+requirements.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
+
+from ..core.objects import HFObject
+from ..core.oid import Oid
+from ..storage.memstore import MemStore
+
+_Key = Tuple[str, Any]
+
+
+class TupleIndex:
+    """Inverted index: (type, key) -> object ids."""
+
+    def __init__(self, indexed_types: Optional[Iterable[str]] = None) -> None:
+        """
+        Parameters
+        ----------
+        indexed_types:
+            Restrict indexing to these tuple types (``None`` = index all).
+            Applications typically index only search-key types; indexing
+            opaque payload tuples would waste memory for no query benefit.
+        """
+        self._types = set(indexed_types) if indexed_types is not None else None
+        self._entries: Dict[_Key, Set[Tuple[str, int]]] = {}
+        self._oids: Dict[Tuple[str, int], Oid] = {}
+        self.lookups = 0
+
+    def add_object(self, obj: HFObject) -> None:
+        """Index every eligible tuple of ``obj``."""
+        self._oids[obj.oid.key()] = obj.oid
+        for t in obj.tuples:
+            if self._types is not None and t.type not in self._types:
+                continue
+            if not _hashable(t.key):
+                continue
+            self._entries.setdefault((t.type, t.key), set()).add(obj.oid.key())
+
+    def remove_object(self, obj: HFObject) -> None:
+        """Drop every entry for ``obj`` (call before replacing it)."""
+        for t in obj.tuples:
+            bucket = self._entries.get((t.type, t.key))
+            if bucket is not None:
+                bucket.discard(obj.oid.key())
+                if not bucket:
+                    del self._entries[(t.type, t.key)]
+        self._oids.pop(obj.oid.key(), None)
+
+    def find(self, type_name: str, key: Any) -> List[Oid]:
+        """Objects carrying a ``(type_name, key, *)`` tuple."""
+        self.lookups += 1
+        keys = self._entries.get((type_name, key), ())
+        return [self._oids[k] for k in keys]
+
+    def find_keys(self, type_name: str, key: Any) -> Set[Tuple[str, int]]:
+        """Identity keys of matching objects (cheap set-algebra form)."""
+        self.lookups += 1
+        return set(self._entries.get((type_name, key), ()))
+
+    def postings(self, type_name: str) -> Dict[Any, int]:
+        """Key-value histogram for one type (selectivity estimation)."""
+        out: Dict[Any, int] = {}
+        for (t, key), bucket in self._entries.items():
+            if t == type_name:
+                out[key] = len(bucket)
+        return out
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+def build_index(store: MemStore, indexed_types: Optional[Iterable[str]] = None) -> TupleIndex:
+    """Index an entire store in one pass."""
+    index = TupleIndex(indexed_types)
+    for obj in store.objects():
+        index.add_object(obj)
+    return index
+
+
+def _hashable(value: Any) -> bool:
+    try:
+        hash(value)
+    except TypeError:
+        return False
+    return True

@@ -1,0 +1,138 @@
+"""Main-memory object store (paper §2, §5).
+
+The prototype in the paper is "a main memory database"; all pointers,
+keywords and other search information are cached in RAM so that disk access
+is only required for large items.  :class:`MemStore` is that RAM-resident
+store for one site.  Large opaque payloads can be segregated into a
+:class:`~repro.storage.blobstore.BlobStore` so filtering never touches
+them (see :meth:`MemStore.put` with ``spill``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
+
+from ..core.objects import HFObject
+from ..core.oid import Oid, OidAllocator
+from ..core.tuples import HFTuple
+from ..errors import DuplicateObject, ObjectNotFound
+
+
+class MemStore:
+    """Per-site in-memory store mapping object ids to objects.
+
+    Lookups are hint-insensitive: an :class:`~repro.core.oid.Oid` with a
+    stale presumed site still finds the object as long as it truly lives
+    here (the identity is ``(birth_site, local_id)``).
+    """
+
+    def __init__(self, site: str) -> None:
+        self._site = site
+        self._objects: Dict[Tuple[str, int], HFObject] = {}
+        self._allocator = OidAllocator(site)
+        self.fetch_count = 0  # reads, for metrics and cache experiments
+
+    @property
+    def site(self) -> str:
+        return self._site
+
+    # -- creation --------------------------------------------------------
+
+    def create(self, tuples: Iterable[HFTuple] = (), size_hint: Optional[int] = None) -> HFObject:
+        """Mint a fresh id at this site and store a new object under it."""
+        oid = self._allocator.allocate()
+        obj = HFObject(oid, tuples, size_hint=size_hint)
+        self._objects[oid.key()] = obj
+        return obj
+
+    def put(self, obj: HFObject, overwrite: bool = False) -> None:
+        """Store ``obj`` under its existing id.
+
+        Used when objects are generated elsewhere (workload generator,
+        migration).  Without ``overwrite``, storing a second object under
+        an existing id raises :class:`~repro.errors.DuplicateObject` —
+        ids are immutable identities, not slots.
+        """
+        key = obj.oid.key()
+        if not overwrite and key in self._objects:
+            raise DuplicateObject(f"object {obj.oid} already stored at {self._site}")
+        self._objects[key] = obj
+
+    def replace(self, obj: HFObject) -> None:
+        """Swap in a new version of an existing object (functional update)."""
+        key = obj.oid.key()
+        if key not in self._objects:
+            raise ObjectNotFound(obj.oid, self._site)
+        self._objects[key] = obj
+
+    # -- access ------------------------------------------------------------
+
+    def get(self, oid: Oid) -> HFObject:
+        """Fetch an object; raises :class:`~repro.errors.ObjectNotFound`."""
+        self.fetch_count += 1
+        try:
+            return self._objects[oid.key()]
+        except KeyError:
+            raise ObjectNotFound(oid, self._site) from None
+
+    def contains(self, oid: Oid) -> bool:
+        return oid.key() in self._objects
+
+    def remove(self, oid: Oid) -> HFObject:
+        """Delete and return an object (used by migration)."""
+        try:
+            return self._objects.pop(oid.key())
+        except KeyError:
+            raise ObjectNotFound(oid, self._site) from None
+
+    def oids(self) -> List[Oid]:
+        """Ids of every object stored here, in insertion order."""
+        return [obj.oid for obj in self._objects.values()]
+
+    def objects(self) -> Iterator[HFObject]:
+        return iter(self._objects.values())
+
+    def scan(self, predicate: Callable[[HFObject], bool]) -> Iterator[HFObject]:
+        """Full scan with a predicate — what a file server would have to do."""
+        for obj in self._objects.values():
+            self.fetch_count += 1
+            if predicate(obj):
+                yield obj
+
+    def __len__(self) -> int:
+        return len(self._objects)
+
+    def __contains__(self, oid: object) -> bool:
+        return isinstance(oid, Oid) and oid.key() in self._objects
+
+    def __repr__(self) -> str:
+        return f"MemStore(site={self._site!r}, {len(self._objects)} objects)"
+
+
+class UnionStore:
+    """Read-only view over several sites' stores as one database.
+
+    The centralized baseline uses this to run "all objects at a single
+    site" without copying the data set between configurations.
+    """
+
+    def __init__(self, stores: Iterable[MemStore]) -> None:
+        self._stores = list(stores)
+
+    def get(self, oid: Oid) -> HFObject:
+        for store in self._stores:
+            if store.contains(oid):
+                return store.get(oid)
+        raise ObjectNotFound(oid)
+
+    def contains(self, oid: Oid) -> bool:
+        return any(store.contains(oid) for store in self._stores)
+
+    def oids(self) -> List[Oid]:
+        out: List[Oid] = []
+        for store in self._stores:
+            out.extend(store.oids())
+        return out
+
+    def __len__(self) -> int:
+        return sum(len(store) for store in self._stores)

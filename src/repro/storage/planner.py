@@ -1,0 +1,104 @@
+"""Index-aware query planning.
+
+The paper separates mechanism from policy: the distributed engine answers
+*every* query, and the indexing facilities (ref [4]) accelerate the
+common shapes.  :class:`QueryPlanner` is the policy layer gluing them
+together for a set of stores:
+
+* the canonical closure shape ``S [ (Pointer,key,?X) ^^X ]* (t,v,?) -> T``
+  is answered from a reachability index intersected with a tuple index —
+  O(closure ∩ posting) instead of a full traversal;
+* everything else falls back to engine traversal;
+* indexes are built lazily per pointer key and invalidated on updates.
+
+The planner is deliberately single-authority (it sees all stores), which
+models the paper's suggestion of index facilities at the server; keeping
+distributed indexes coherent across autonomous sites is beyond the
+paper's scope and ours.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..core.oid import Oid
+from ..core.program import Program
+from ..engine.local import run_local
+from ..engine.results import QueryResult
+from ..storage.indexes import TupleIndex
+from ..storage.memstore import MemStore, UnionStore
+from ..storage.reachability import (
+    ReachabilityIndex,
+    answer_closure_query,
+    build_reachability,
+    match_closure_shape,
+)
+
+
+class QueryPlanner:
+    """Choose between index answering and engine traversal."""
+
+    def __init__(self, stores: Iterable[MemStore]) -> None:
+        self._stores: List[MemStore] = list(stores)
+        self._union = UnionStore(self._stores)
+        self._tuple_index: Optional[TupleIndex] = None
+        self._reach: Dict[str, ReachabilityIndex] = {}
+        self.index_answers = 0
+        self.engine_answers = 0
+
+    # -- planning ----------------------------------------------------------
+
+    def plan(self, program: Program) -> str:
+        """``"index"`` when the program matches the accelerated shape."""
+        return "index" if match_closure_shape(program) is not None else "engine"
+
+    def execute(self, program: Program, initial: Iterable[Oid]) -> QueryResult:
+        """Answer the query by the cheapest available route."""
+        initial = list(initial)
+        shape = match_closure_shape(program)
+        if shape is not None:
+            pointer_key = shape[0]
+            result = answer_closure_query(
+                program, initial, self._reachability(pointer_key), self._tuples()
+            )
+            if result is not None:
+                self.index_answers += 1
+                return result
+        self.engine_answers += 1
+        return run_local(program, initial, self._union.get)
+
+    # -- index lifecycle ------------------------------------------------------
+
+    def _tuples(self) -> TupleIndex:
+        if self._tuple_index is None:
+            index = TupleIndex()
+            for store in self._stores:
+                for obj in store.objects():
+                    index.add_object(obj)
+            self._tuple_index = index
+        return self._tuple_index
+
+    def _reachability(self, pointer_key: str) -> ReachabilityIndex:
+        index = self._reach.get(pointer_key)
+        if index is None:
+            index = build_reachability(self._stores, pointer_key)
+            self._reach[pointer_key] = index
+        return index
+
+    def notify_update(self, oid: Oid) -> None:
+        """An object changed: refresh its index entries.
+
+        Tuple-index maintenance is incremental; reachability closures are
+        cache-invalidated by re-adding the object's edges.
+        """
+        obj = self._union.get(oid)
+        if self._tuple_index is not None:
+            self._tuple_index.remove_object(obj)
+            self._tuple_index.add_object(obj)
+        for index in self._reach.values():
+            index.add_object(obj)
+
+    def invalidate_all(self) -> None:
+        """Bulk-load escape hatch: drop every index and rebuild lazily."""
+        self._tuple_index = None
+        self._reach.clear()

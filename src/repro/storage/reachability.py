@@ -1,0 +1,159 @@
+"""Reachability indexes (paper §2, ref [4]).
+
+"... as well as indexes based on the reachability of an object (to speed
+up queries such as 'Find all documents referenced directly or indirectly
+by this document that in addition have a given keyword')."
+
+A :class:`ReachabilityIndex` precomputes, per pointer key, the transitive
+closure of the pointer graph, so the canonical HyperFile query shape
+
+    Root [ (Pointer, key, ?X) | ^^X ]* (type, value, ?) -> T
+
+can be answered by one closure lookup intersected with a
+:class:`~repro.storage.indexes.TupleIndex` posting — no traversal at all.
+
+:func:`answer_closure_query` reproduces the *engine's* semantics exactly,
+including the subtlety that an object reached by the closure still has to
+pass the iterator body (i.e. carry at least one pointer of the followed
+key) before the trailing selection applies; ablation bench A4 property-
+checks this equivalence against the real engine.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Dict, FrozenSet, Iterable, Optional, Set, Tuple
+
+from ..core.objects import HFObject
+from ..core.oid import Oid
+from ..core.patterns import Literal
+from ..core.program import DerefOp, LoopOp, Program, SelectOp
+from ..engine.results import QueryResult
+from ..storage.indexes import TupleIndex
+from ..storage.memstore import MemStore
+
+_IdKey = Tuple[str, int]
+
+
+class ReachabilityIndex:
+    """Per-pointer-key transitive-closure index over one (logical) store.
+
+    Built over the *union* of sites when used for whole-database planning
+    (index maintenance across sites is out of the paper's scope; it notes
+    the facility exists and cites the companion report).
+    """
+
+    def __init__(self, pointer_key: str) -> None:
+        self.pointer_key = pointer_key
+        self._edges: Dict[_IdKey, Tuple[Oid, ...]] = {}
+        self._oids: Dict[_IdKey, Oid] = {}
+        self._closure_cache: Dict[_IdKey, FrozenSet[_IdKey]] = {}
+        self.lookups = 0
+
+    def add_object(self, obj: HFObject) -> None:
+        self._oids[obj.oid.key()] = obj.oid
+        self._edges[obj.oid.key()] = tuple(obj.pointers(key=self.pointer_key))
+        self._closure_cache.clear()  # graph changed; cached closures are stale
+
+    def successors(self, oid: Oid) -> Tuple[Oid, ...]:
+        return self._edges.get(oid.key(), ())
+
+    def has_outgoing(self, oid: Oid) -> bool:
+        return bool(self._edges.get(oid.key()))
+
+    def closure(self, roots: Iterable[Oid]) -> FrozenSet[_IdKey]:
+        """Everything reachable from ``roots`` (inclusive) along this key."""
+        self.lookups += 1
+        root_keys = tuple(sorted(oid.key() for oid in roots))
+        cache_key = root_keys[0] if len(root_keys) == 1 else None
+        if cache_key is not None and cache_key in self._closure_cache:
+            return self._closure_cache[cache_key]
+        seen: Set[_IdKey] = set()
+        frontier = deque(root_keys)
+        seen.update(root_keys)
+        while frontier:
+            key = frontier.popleft()
+            for target in self._edges.get(key, ()):
+                tkey = target.key()
+                if tkey not in seen:
+                    seen.add(tkey)
+                    frontier.append(tkey)
+        result = frozenset(seen)
+        if cache_key is not None:
+            self._closure_cache[cache_key] = result
+        return result
+
+    def oid_for(self, key: _IdKey) -> Oid:
+        return self._oids[key]
+
+    def __len__(self) -> int:
+        return len(self._edges)
+
+
+def build_reachability(stores: Iterable[MemStore], pointer_key: str) -> ReachabilityIndex:
+    """Index the pointer graph of one key across a set of stores."""
+    index = ReachabilityIndex(pointer_key)
+    for store in stores:
+        for obj in store.objects():
+            index.add_object(obj)
+    return index
+
+
+def match_closure_shape(program: Program) -> Optional[Tuple[str, str, Any]]:
+    """Detect the canonical shape ``[ (Pointer,key,?X) ^^X ]* (t,v,?)``.
+
+    Returns ``(pointer_key, search_type, search_value)`` when the program
+    is exactly a closure traversal followed by one literal selection, or
+    ``None`` when the planner must fall back to the engine.
+    """
+    ops = program.ops
+    if len(ops) != 4:
+        return None
+    sel, der, loop, search = ops
+    if not (isinstance(sel, SelectOp) and isinstance(der, DerefOp) and isinstance(loop, LoopOp)):
+        return None
+    if not isinstance(search, SelectOp):
+        return None
+    if loop.count is not None or loop.start != 1 or not der.keep_source:
+        return None
+    if not isinstance(sel.type_pattern, Literal) or sel.type_pattern.value != "Pointer":
+        return None
+    if not isinstance(sel.key_pattern, Literal):
+        return None
+    if not (isinstance(search.type_pattern, Literal) and isinstance(search.key_pattern, Literal)):
+        return None
+    return (
+        str(sel.key_pattern.value),
+        str(search.type_pattern.value),
+        search.key_pattern.value,
+    )
+
+
+def answer_closure_query(
+    program: Program,
+    initial: Iterable[Oid],
+    reach: ReachabilityIndex,
+    tuples: TupleIndex,
+) -> Optional[QueryResult]:
+    """Answer a canonical closure query from the indexes alone.
+
+    Engine-equivalent semantics: a result object must (a) be in the
+    closure of the initial set, (b) carry at least one pointer of the
+    followed key (it must pass the iterator body — see the leaf-drop
+    subtlety in :mod:`repro.workload.graphs`), and (c) carry the search
+    tuple.  Returns ``None`` when the program does not match the shape.
+    """
+    shape = match_closure_shape(program)
+    if shape is None:
+        return None
+    pointer_key, search_type, search_value = shape
+    if pointer_key != reach.pointer_key:
+        return None
+    closure = reach.closure(list(initial))
+    matching = tuples.find_keys(search_type, search_value)
+    result = QueryResult()
+    for key in closure:
+        if key in matching and reach.has_outgoing(reach.oid_for(key)):
+            if result.oids.add(reach.oid_for(key)):
+                result.stats.results_added += 1
+    return result

@@ -1,0 +1,14 @@
+"""Distributed termination detection (paper §4)."""
+
+from .base import TerminationStrategy, make_strategy
+from .dijkstra_scholten import DijkstraScholtenStrategy, DSState
+from .weights import WeightedState, WeightedStrategy
+
+__all__ = [
+    "DijkstraScholtenStrategy",
+    "DSState",
+    "TerminationStrategy",
+    "WeightedState",
+    "WeightedStrategy",
+    "make_strategy",
+]

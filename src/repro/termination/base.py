@@ -1,0 +1,101 @@
+"""Distributed termination detection — strategy interface (paper §4).
+
+"With only a single site, a query terminates when its working set is
+empty.  With multiple sites, however, all of the working sets must be
+empty.  Determining when this has happened is an instance of the
+Distributed Termination Problem."
+
+The paper implements the *weighted messages* algorithm
+(:mod:`repro.termination.weights`); we additionally provide
+Dijkstra–Scholten (:mod:`repro.termination.dijkstra_scholten`) so the
+ablation bench can compare control-message overhead.
+
+A strategy is a set of callbacks the server node invokes at the relevant
+protocol points.  Strategies are stateless; all per-query, per-site state
+lives in the object returned by :meth:`TerminationStrategy.new_state`, so
+one strategy instance can serve an entire cluster.
+
+Callback contract (all ``busy`` flags mean "this site still has work
+queued for this query"):
+
+* ``on_start`` — at the originator, when the query context is created.
+* ``on_send_work`` — a :class:`~repro.net.messages.DerefRequest` is about
+  to leave this site; returns the ``term`` attachment to embed.
+* ``on_recv_work`` — a DerefRequest arrived; may emit control messages.
+* ``on_drain`` — this site's working set just emptied and it is about to
+  ship a :class:`~repro.net.messages.ResultBatch`; returns the ``term``
+  attachment plus any control messages.
+* ``on_originator_drain`` — the originator's own working set emptied
+  (it ships no result message to itself).
+* ``on_result`` — the originator ingested a ResultBatch's attachment.
+* ``on_control`` — a :class:`~repro.net.messages.ControlMessage` arrived.
+* ``is_terminated`` — asked at the originator after every event.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Dict, List, Tuple
+
+#: (destination site, control kind, payload) emitted by a strategy.
+ControlOut = Tuple[str, str, Any]
+
+
+class TerminationStrategy(ABC):
+    """Pluggable distributed-termination detector."""
+
+    #: Registry/config name (e.g. ``"weighted"``).
+    name: str = "abstract"
+
+    @abstractmethod
+    def new_state(self, site: str, is_originator: bool) -> Any:
+        """Create this strategy's per-(site, query) state."""
+
+    @abstractmethod
+    def on_start(self, state: Any) -> None: ...
+
+    @abstractmethod
+    def on_send_work(self, state: Any) -> Dict[str, Any]: ...
+
+    @abstractmethod
+    def on_recv_work(self, state: Any, attach: Dict[str, Any], src: str, busy: bool) -> List[ControlOut]: ...
+
+    @abstractmethod
+    def on_drain(self, state: Any) -> Tuple[Dict[str, Any], List[ControlOut]]: ...
+
+    @abstractmethod
+    def on_originator_drain(self, state: Any) -> None: ...
+
+    @abstractmethod
+    def on_result(self, state: Any, attach: Dict[str, Any]) -> None: ...
+
+    @abstractmethod
+    def on_control(self, state: Any, kind: str, payload: Any, src: str, busy: bool) -> List[ControlOut]: ...
+
+    @abstractmethod
+    def on_send_failed(self, state: Any, attach: Dict[str, Any], busy: bool) -> List[ControlOut]:
+        """A work message this site sent was returned undeliverable.
+
+        The detector must re-absorb whatever it attached (credit, deficit)
+        so the query can still terminate — with partial results — after a
+        mid-query site failure."""
+
+    @abstractmethod
+    def is_terminated(self, state: Any, busy: bool) -> bool: ...
+
+
+def make_strategy(name: str) -> TerminationStrategy:
+    """Instantiate a termination strategy by configuration name."""
+    from .dijkstra_scholten import DijkstraScholtenStrategy
+    from .weights import WeightedStrategy
+
+    registry = {
+        "weighted": WeightedStrategy,
+        "dijkstra-scholten": DijkstraScholtenStrategy,
+    }
+    try:
+        return registry[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown termination strategy {name!r}; choose from {sorted(registry)}"
+        ) from None

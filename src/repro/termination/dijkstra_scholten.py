@@ -1,0 +1,116 @@
+"""Dijkstra–Scholten diffusing-computation termination detection.
+
+Provided as the comparator for ablation A3 (DESIGN.md): the weighted
+scheme piggybacks credit on messages the query sends anyway, whereas
+Dijkstra–Scholten sends an explicit acknowledgement for *every* work
+message, building a dynamic spanning tree of the computation:
+
+* The originator is the root of the tree and is always *engaged*.
+* When a passive site receives work, it becomes engaged and records the
+  sender as its **parent**; every other work message is acknowledged
+  immediately.
+* Each site counts its unacknowledged outgoing work messages (its
+  **deficit**).
+* A non-root site *disengages* — acknowledges its parent — once it is
+  passive (working set drained) with deficit 0.
+* The root detects termination when it is passive with deficit 0.
+
+The ack-per-message overhead is exactly what the bench measures against
+the weighted scheme's zero extra messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..errors import TerminationProtocolError
+from .base import ControlOut, TerminationStrategy
+
+ACK = "ds-ack"
+
+
+@dataclass
+class DSState:
+    """Per-(site, query) Dijkstra–Scholten bookkeeping."""
+
+    site: str
+    is_originator: bool
+    engaged: bool = False
+    parent: Optional[str] = None
+    deficit: int = 0       #: sent work messages not yet acknowledged
+    acks_sent: int = 0     #: control-message overhead counter
+
+
+class DijkstraScholtenStrategy(TerminationStrategy):
+    """Explicit-ack termination detection."""
+
+    name = "dijkstra-scholten"
+
+    def new_state(self, site: str, is_originator: bool) -> DSState:
+        return DSState(site=site, is_originator=is_originator, engaged=is_originator)
+
+    def on_start(self, state: DSState) -> None:
+        state.engaged = True
+
+    def on_send_work(self, state: DSState) -> Dict[str, Any]:
+        state.deficit += 1
+        return {}
+
+    def on_recv_work(self, state: DSState, attach: Dict[str, Any], src: str, busy: bool) -> List[ControlOut]:
+        if not state.engaged:
+            state.engaged = True
+            state.parent = src
+            return []
+        # Already in the tree: acknowledge immediately.
+        state.acks_sent += 1
+        return [(src, ACK, None)]
+
+    def on_drain(self, state: DSState) -> Tuple[Dict[str, Any], List[ControlOut]]:
+        return {}, self._maybe_disengage(state, busy=False)
+
+    def on_originator_drain(self, state: DSState) -> None:
+        # The root never disengages; termination is checked directly.
+        pass
+
+    def on_result(self, state: DSState, attach: Dict[str, Any]) -> None:
+        # Results carry no detector state in this scheme.
+        pass
+
+    def on_control(self, state: DSState, kind: str, payload: Any, src: str, busy: bool) -> List[ControlOut]:
+        if kind != ACK:
+            raise TerminationProtocolError(f"unexpected control kind {kind!r}")
+        if state.deficit <= 0:
+            raise TerminationProtocolError(
+                f"site {state.site} received an ack with deficit {state.deficit}"
+            )
+        state.deficit -= 1
+        return self._maybe_disengage(state, busy)
+
+    def on_send_failed(self, state: DSState, attach: Dict[str, Any], busy: bool) -> List[ControlOut]:
+        if state.deficit <= 0:
+            raise TerminationProtocolError(
+                f"site {state.site} got an undeliverable bounce with deficit {state.deficit}"
+            )
+        # The child never existed: erase its edge and disengage if that
+        # was the last thing keeping this site in the tree.
+        state.deficit -= 1
+        return self._maybe_disengage(state, busy)
+
+    def is_terminated(self, state: DSState, busy: bool) -> bool:
+        if not state.is_originator:
+            return False
+        return not busy and state.deficit == 0
+
+    def _maybe_disengage(self, state: DSState, busy: bool) -> List[ControlOut]:
+        if state.is_originator or not state.engaged:
+            return []
+        if busy or state.deficit > 0:
+            return []
+        parent = state.parent
+        if parent is None:
+            raise TerminationProtocolError(f"engaged site {state.site} has no parent")
+        state.engaged = False
+        state.parent = None
+        state.acks_sent += 1
+        return [(parent, ACK, None)]

@@ -1,0 +1,117 @@
+"""The weighted-messages (credit-recovery) termination detector.
+
+This is the algorithm the paper's prototype implements ("One that is
+particularly appropriate to HyperFile is the weighted messages algorithm
+[9, 13]"), due independently to Huang and to Mattern.  The idea:
+
+* The originator starts with credit **1**.
+* Every work message carries half of the sending site's current credit
+  (the sender keeps the other half).
+* A site receiving work adds the incoming credit to its own.
+* When a site's working set drains, it returns its entire credit to the
+  originator, piggybacked on the result message it sends anyway — so in
+  the common case the detector adds **zero** extra messages.
+* The originator declares termination when it is idle and the recovered
+  credit sums to exactly 1.
+
+Credits are exact :class:`fractions.Fraction` values, so conservation is
+checkable: at every instant, (credit held at sites) + (credit in flight)
++ (credit recovered) == 1.  Violations raise
+:class:`~repro.errors.TerminationProtocolError` instead of silently
+mis-detecting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Any, Dict, List, Tuple
+
+from ..errors import TerminationProtocolError
+from .base import ControlOut, TerminationStrategy
+
+ONE = Fraction(1)
+ZERO = Fraction(0)
+HALF = Fraction(1, 2)
+
+
+@dataclass
+class WeightedState:
+    """Per-(site, query) credit ledger."""
+
+    site: str
+    is_originator: bool
+    credit: Fraction = ZERO      #: credit currently held by this site
+    recovered: Fraction = ZERO   #: originator only: credit returned so far
+    splits: int = 0              #: number of times this site split its credit
+
+
+class WeightedStrategy(TerminationStrategy):
+    """Credit-recovery termination (the paper's choice)."""
+
+    name = "weighted"
+
+    def new_state(self, site: str, is_originator: bool) -> WeightedState:
+        return WeightedState(site=site, is_originator=is_originator)
+
+    def on_start(self, state: WeightedState) -> None:
+        state.credit = ONE
+
+    def on_send_work(self, state: WeightedState) -> Dict[str, Any]:
+        if state.credit <= ZERO:
+            raise TerminationProtocolError(
+                f"site {state.site} sending work with no credit to split"
+            )
+        half = state.credit * HALF
+        state.credit -= half
+        state.splits += 1
+        return {"credit": half}
+
+    def on_recv_work(self, state: WeightedState, attach: Dict[str, Any], src: str, busy: bool) -> List[ControlOut]:
+        credit = attach.get("credit")
+        if not isinstance(credit, Fraction) or credit <= ZERO:
+            raise TerminationProtocolError(
+                f"work message from {src} carried invalid credit {credit!r}"
+            )
+        state.credit += credit
+        return []
+
+    def on_drain(self, state: WeightedState) -> Tuple[Dict[str, Any], List[ControlOut]]:
+        returned = state.credit
+        state.credit = ZERO
+        return {"credit": returned}, []
+
+    def on_originator_drain(self, state: WeightedState) -> None:
+        state.recovered += state.credit
+        state.credit = ZERO
+
+    def on_result(self, state: WeightedState, attach: Dict[str, Any]) -> None:
+        credit = attach.get("credit", ZERO)
+        if not isinstance(credit, Fraction) or credit < ZERO:
+            raise TerminationProtocolError(f"result message carried invalid credit {credit!r}")
+        state.recovered += credit
+        if state.recovered > ONE:
+            raise TerminationProtocolError(
+                f"credit over-recovered: {state.recovered} > 1 (duplication bug)"
+            )
+
+    def on_control(self, state: WeightedState, kind: str, payload: Any, src: str, busy: bool) -> List[ControlOut]:
+        raise TerminationProtocolError(
+            f"weighted strategy received unexpected control message {kind!r}"
+        )
+
+    def on_send_failed(self, state: WeightedState, attach: Dict[str, Any], busy: bool) -> List[ControlOut]:
+        credit = attach.get("credit")
+        if not isinstance(credit, Fraction) or credit <= ZERO:
+            raise TerminationProtocolError(
+                f"undeliverable work message carried invalid credit {credit!r}"
+            )
+        # Take the in-flight credit back; the node's drain-if-idle will
+        # forward it to the originator if this site is already passive.
+        state.credit += credit
+        return []
+
+    def is_terminated(self, state: WeightedState, busy: bool) -> bool:
+        if not state.is_originator:
+            return False
+        return not busy and state.credit == ZERO and state.recovered == ONE

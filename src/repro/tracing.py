@@ -1,0 +1,172 @@
+"""Structured query tracing.
+
+Understanding a distributed traversal ("why did this query visit that
+site twice?") needs more than aggregate counters.  A :class:`QueryTracer`
+attached to a cluster records one event per interesting step — message
+sends/receives, object processing, drains, completions — with virtual
+timestamps, and renders them as a readable timeline.
+
+Usage::
+
+    cluster = SimCluster(3)
+    tracer = QueryTracer()
+    cluster.attach_tracer(tracer)
+    cluster.run_query(...)
+    print(tracer.render())
+
+Tracing is strictly optional: nodes check a single attribute before
+emitting, so the untraced fast path costs one `is None` test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional
+
+#: Event kinds emitted by the server nodes.
+KINDS = (
+    "submit",      #: query installed at its originator
+    "send",        #: a message left a site
+    "recv",        #: a message was ingested by a site
+    "process",     #: one object pushed through the filters
+    "skip",        #: an admission the mark table suppressed
+    "drain",       #: a site's working set emptied (results/credit shipped)
+    "complete",    #: the originator's termination detector fired
+)
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One step of a traced run."""
+
+    time: float
+    site: str
+    kind: str
+    qid: str = ""
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        detail = " ".join(f"{k}={v}" for k, v in self.detail.items())
+        return f"[{self.time:9.4f}s] {self.site:<8} {self.kind:<8} {self.qid:<12} {detail}"
+
+
+class QueryTracer:
+    """Collects :class:`TraceEvent` records from an instrumented cluster."""
+
+    def __init__(self, kinds: Optional[Iterable[str]] = None, capacity: int = 100_000) -> None:
+        """
+        Parameters
+        ----------
+        kinds:
+            Restrict recording to these event kinds (default: all).
+        capacity:
+            Hard cap on stored events; beyond it, recording stops and
+            :attr:`dropped` counts the overflow (tracing a runaway query
+            must not exhaust memory).
+        """
+        chosen = set(kinds) if kinds is not None else set(KINDS)
+        unknown = chosen - set(KINDS)
+        if unknown:
+            raise ValueError(f"unknown trace kinds: {sorted(unknown)}")
+        self._kinds = chosen
+        self._capacity = capacity
+        self.events: List[TraceEvent] = []
+        self.dropped = 0
+        #: Supplies timestamps; the cluster points this at the simulator.
+        self.now_fn: Callable[[], float] = lambda: 0.0
+
+    # -- recording ---------------------------------------------------------
+
+    def emit(self, site: str, kind: str, qid: Any = "", **detail: Any) -> None:
+        if kind not in self._kinds:
+            return
+        if len(self.events) >= self._capacity:
+            self.dropped += 1
+            return
+        self.events.append(
+            TraceEvent(time=self.now_fn(), site=site, kind=kind, qid=str(qid), detail=detail)
+        )
+
+    def clear(self) -> None:
+        self.events.clear()
+        self.dropped = 0
+
+    # -- analysis -------------------------------------------------------------
+
+    def count(self, kind: Optional[str] = None, site: Optional[str] = None) -> int:
+        return sum(
+            1
+            for e in self.events
+            if (kind is None or e.kind == kind) and (site is None or e.site == site)
+        )
+
+    def for_query(self, qid: Any) -> List[TraceEvent]:
+        wanted = str(qid)
+        return [e for e in self.events if e.qid == wanted]
+
+    def sites_touched(self, qid: Any) -> List[str]:
+        """Sites that did work for a query, in first-touch order."""
+        seen: List[str] = []
+        for event in self.for_query(qid):
+            if event.kind in ("process", "recv", "submit") and event.site not in seen:
+                seen.append(event.site)
+        return seen
+
+    def completion_time(self, qid: Any) -> Optional[float]:
+        for event in self.for_query(qid):
+            if event.kind == "complete":
+                return event.time
+        return None
+
+    def busy_intervals(self) -> Dict[str, int]:
+        """Processing-step counts per site (a cheap utilisation view)."""
+        out: Dict[str, int] = {}
+        for event in self.events:
+            if event.kind == "process":
+                out[event.site] = out.get(event.site, 0) + 1
+        return out
+
+    # -- rendering --------------------------------------------------------------
+
+    def render_lanes(self, buckets: int = 48) -> str:
+        """Per-site swim lanes: what each site was doing, over time.
+
+        Each column is one time bucket; the glyph is the bucket's most
+        significant event at that site (completion > processing > message
+        traffic > drain > skip).
+        """
+        if not self.events:
+            return "(no events recorded)"
+        precedence = {"complete": "C", "submit": "Q", "process": "#",
+                      "send": ">", "recv": "<", "drain": "d", "skip": "."}
+        order = ["complete", "submit", "process", "send", "recv", "drain", "skip"]
+        t0 = self.events[0].time
+        t1 = max(e.time for e in self.events)
+        span = max(t1 - t0, 1e-9)
+        sites = sorted({e.site for e in self.events})
+        grid = {site: [" "] * buckets for site in sites}
+        for event in self.events:
+            bucket = min(buckets - 1, int((event.time - t0) / span * buckets))
+            cell = grid[event.site][bucket]
+            current_rank = next((i for i, k in enumerate(order) if precedence[k] == cell), len(order))
+            new_rank = order.index(event.kind) if event.kind in precedence else len(order)
+            if new_rank < current_rank:
+                grid[event.site][bucket] = precedence[event.kind]
+        width = max(len(s) for s in sites)
+        lines = [f"{site:>{width}} |{''.join(grid[site])}|" for site in sites]
+        lines.append(f"{'':>{width}}  {t0:.3f}s{'':<{max(1, buckets - 14)}}{t1:.3f}s")
+        lines.append(f"{'':>{width}}  Q=submit #=process >=send <=recv d=drain .=skip C=complete")
+        return "\n".join(lines)
+
+    def render(self, limit: Optional[int] = None) -> str:
+        """Chronological, human-readable timeline."""
+        events = self.events if limit is None else self.events[:limit]
+        lines = [str(e) for e in events]
+        if self.dropped:
+            lines.append(f"... {self.dropped} events dropped (capacity {self._capacity})")
+        elif limit is not None and len(self.events) > limit:
+            lines.append(f"... {len(self.events) - limit} more events")
+        return "\n".join(lines) if lines else "(no events recorded)"
+
+    def __len__(self) -> int:
+        return len(self.events)

@@ -1,0 +1,188 @@
+"""A realistic document corpus: power-law hypertext beyond §5's synthetic.
+
+The paper's evaluation uses a parameterised synthetic database built for
+controlled locality experiments.  Real hypertext looks different:
+keyword popularity is Zipfian, citation in-degree is heavy-tailed
+(preferential attachment), and documents cluster by topic — which is
+what drives locality in a deployment that places documents near the
+community that writes them.
+
+:func:`build_corpus` generates such a corpus:
+
+* ``n_docs`` documents, each with a title, a publication year, a body
+  payload, and 1–``max_keywords`` keywords drawn Zipf-style from a
+  vocabulary;
+* citations by preferential attachment within a recency window, so early
+  documents become hubs;
+* one topic per document; topics map onto sites (community placement),
+  and a tunable fraction of citations deliberately crosses topics —
+  giving the same local/remote dial as §5's random pointers, but grown
+  from a plausible process rather than imposed per edge;
+* every document carries a ``Cites`` self-pointer when it cites nothing
+  (the leaf rule — see :mod:`repro.workload.graphs`).
+
+The corpus materialises into any cluster whose site count divides the
+topic count, mirroring :func:`repro.workload.generator.materialize`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from ..core.oid import Oid
+from ..core.tuples import keyword_tuple, number_tuple, pointer_tuple, string_tuple, text_tuple
+from ..storage.memstore import MemStore
+
+#: A compact topic vocabulary; keywords are per-topic plus shared terms.
+DEFAULT_TOPICS = ("systems", "theory", "graphics", "databases", "networks", "languages")
+
+SHARED_VOCABULARY = (
+    "survey", "performance", "distributed", "novel", "framework",
+    "evaluation", "optimal", "parallel", "storage", "hypertext",
+)
+
+
+@dataclass(frozen=True)
+class CorpusSpec:
+    """Parameters of the generated corpus."""
+
+    n_docs: int = 300
+    topics: Sequence[str] = DEFAULT_TOPICS
+    max_keywords: int = 4
+    zipf_s: float = 1.3              #: keyword skew (higher = more skewed)
+    cites_mean: int = 3              #: mean citations per document
+    cross_topic_fraction: float = 0.2  #: citations that leave the topic
+    recency_window: int = 120        #: preferential attachment looks back this far
+    payload_bytes: int = 1024
+    seed: int = 2024
+
+
+@dataclass
+class Corpus:
+    """The materialised corpus."""
+
+    spec: CorpusSpec
+    sites: List[str]
+    oids: List[Oid]
+    topic_of: List[int]
+    keywords_of: List[List[str]]
+    cites: List[List[int]]
+
+    def docs_with_keyword(self, keyword: str) -> List[int]:
+        """Ground truth for selectivity checks."""
+        return [i for i, kws in enumerate(self.keywords_of) if keyword in kws]
+
+    def hubs(self, top: int = 5) -> List[int]:
+        """Most-cited documents (preferential-attachment winners)."""
+        indegree: Dict[int, int] = {}
+        for targets in self.cites:
+            for t in targets:
+                indegree[t] = indegree.get(t, 0) + 1
+        ranked = sorted(indegree, key=lambda i: (-indegree[i], i))
+        return ranked[:top]
+
+    def measured_locality(self) -> float:
+        """Fraction of citations staying on the citing document's site."""
+        n_sites = len(self.sites)
+        local = total = 0
+        for i, targets in enumerate(self.cites):
+            for t in targets:
+                total += 1
+                if self.topic_of[i] % n_sites == self.topic_of[t] % n_sites:
+                    local += 1
+        return local / total if total else 1.0
+
+
+def _zipf_choice(rng: random.Random, items: Sequence[str], s: float) -> str:
+    """Draw from ``items`` with P(rank r) proportional to 1/r^s."""
+    weights = [1.0 / ((rank + 1) ** s) for rank in range(len(items))]
+    return rng.choices(items, weights=weights, k=1)[0]
+
+
+def build_corpus(spec: CorpusSpec, stores: Sequence[MemStore]) -> Corpus:
+    """Generate the corpus into ``stores`` (topics map onto sites)."""
+    n_sites = len(stores)
+    if n_sites < 1:
+        raise ValueError("need at least one store")
+    if len(spec.topics) % n_sites != 0:
+        raise ValueError(
+            f"site count {n_sites} must divide the topic count {len(spec.topics)} "
+            "so communities map cleanly onto sites"
+        )
+    rng = random.Random(spec.seed)
+    n = spec.n_docs
+    topic_of = [rng.randrange(len(spec.topics)) for _ in range(n)]
+
+    # Per-topic vocabularies: topic-specific terms first (most popular),
+    # shared terms after.
+    vocab: Dict[int, List[str]] = {
+        t: [f"{name}-{k}" for k in range(6)] + list(SHARED_VOCABULARY)
+        for t, name in enumerate(spec.topics)
+    }
+
+    keywords_of: List[List[str]] = []
+    for i in range(n):
+        count = rng.randint(1, spec.max_keywords)
+        chosen: List[str] = []
+        while len(chosen) < count:
+            kw = _zipf_choice(rng, vocab[topic_of[i]], spec.zipf_s)
+            if kw not in chosen:
+                chosen.append(kw)
+        keywords_of.append(chosen)
+
+    # Citations: preferential attachment within a recency window, with a
+    # cross-topic fraction.
+    cites: List[List[int]] = []
+    indegree = [1] * n  # +1 smoothing so new docs can be cited at all
+    for i in range(n):
+        targets: List[int] = []
+        if i > 0:
+            window_start = max(0, i - spec.recency_window)
+            k = min(i, max(0, int(rng.gauss(spec.cites_mean, 1.0))))
+            same_topic = [j for j in range(window_start, i) if topic_of[j] == topic_of[i]]
+            other_topic = [j for j in range(window_start, i) if topic_of[j] != topic_of[i]]
+            for _ in range(k):
+                cross = rng.random() < spec.cross_topic_fraction
+                pool = other_topic if cross and other_topic else same_topic or other_topic
+                if not pool:
+                    break
+                weights = [indegree[j] for j in pool]
+                j = rng.choices(pool, weights=weights, k=1)[0]
+                if j not in targets:
+                    targets.append(j)
+                    indegree[j] += 1
+        cites.append(targets)
+
+    # Materialise: two passes (ids first, then tuples with pointers).
+    site_names = [store.site for store in stores]
+    oids: List[Oid] = []
+    for i in range(n):
+        store = stores[topic_of[i] % n_sites]
+        oids.append(store.create([]).oid)
+    payload = "lorem " * (spec.payload_bytes // 6)
+    from ..core.objects import HFObject
+
+    for i in range(n):
+        tuples = [
+            string_tuple("Title", f"{spec.topics[topic_of[i]].title()} Paper #{i}"),
+            number_tuple("Year", 1970 + (i * 50) // max(n, 1)),
+            text_tuple("Body", payload),
+        ]
+        for kw in keywords_of[i]:
+            tuples.append(keyword_tuple(kw))
+        targets = cites[i] if cites[i] else [i]  # leaf rule: self-cite
+        for j in targets:
+            tuples.append(pointer_tuple("Cites", oids[j]))
+        store = stores[topic_of[i] % n_sites]
+        store.replace(HFObject(oids[i], tuples, size_hint=128 + spec.payload_bytes))
+
+    return Corpus(
+        spec=spec,
+        sites=site_names,
+        oids=oids,
+        topic_of=topic_of,
+        keywords_of=keywords_of,
+        cites=cites,
+    )

@@ -1,0 +1,208 @@
+"""Abstract pointer-graph construction for the §5 synthetic database.
+
+The paper stresses that "the pointers were constructed such that the
+desired properties (likelihood of a pointer being remote, etc.) were the
+same in both cases; i.e., the graph formed by the pointers in these
+objects was identical regardless of the number of machines."
+
+We achieve that by generating the graph over *canonical groups* rather
+than sites: objects are partitioned into ``G`` groups (G = 9, the largest
+machine count used), and a cluster of ``M`` machines maps group ``g`` to
+site ``g mod M``.  A pointer is **local** when source and target share a
+group, and **remote** when their groups differ *mod 3* — which guarantees
+different sites under both the 3-way and the 9-way mapping (and, a
+fortiori, the 9-way).  Local/remote character is therefore invariant
+across all machine counts the paper uses (1, 3, 9), exactly as claimed.
+
+Three pointer families are generated (paper §5):
+
+* **chain** — a linked list of all items, consecutive items always in
+  different groups ("these pointers were always to a remote machine"),
+  closed into a cycle so every object has an outgoing chain pointer;
+* **tree** — a spanning tree whose root has one pointer to a subtree root
+  in every other group ("a single remote pointer to all other machines"),
+  each of which roots a group-local k-ary tree; leaves carry a self
+  pointer (see note below);
+* **random-with-locality** — per locality class ``p``, every object gets
+  two pointers, each local (same group) with probability ``p`` and
+  otherwise remote (group differing mod 3).
+
+Self-pointer note: the paper's iterator semantics (§3.1's ``E`` function)
+drop an object that fails a filter *inside* the iterator body, so an
+object with no outgoing pointer of the followed kind would never reach
+the filters after the loop.  The paper's own experiments check a search
+key on every object of the closure, so its data set cannot have had
+pointerless objects on the traversal paths; we make that property explicit
+by giving tree leaves a self-pointer.  Self-pointers are free: the mark
+table suppresses them locally and they generate no messages.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+
+@dataclass
+class AbstractGraph:
+    """Pointer structure over object indices ``0..n-1``.
+
+    ``chain_next[i]`` — the chain successor of object ``i``;
+    ``tree_children[i]`` — tree pointers out of ``i`` (leaves: ``[i]``);
+    ``random_targets[p][i]`` — the targets of ``i``'s two pointers in
+    locality class ``p``.
+    """
+
+    n: int
+    groups: int
+    group_of: List[int]
+    chain_next: List[int]
+    tree_children: List[List[int]]
+    random_targets: Dict[float, List[Tuple[int, ...]]] = field(default_factory=dict)
+
+    def site_of(self, index: int, machines: int) -> int:
+        """Site hosting object ``index`` in an ``machines``-way deployment."""
+        return self.group_of[index] % machines
+
+    def members_of_group(self, group: int) -> List[int]:
+        return [i for i in range(self.n) if self.group_of[i] == group]
+
+    def is_remote(self, src: int, dst: int, machines: int) -> bool:
+        return self.site_of(src, machines) != self.site_of(dst, machines)
+
+    def locality_fraction(self, key: float, machines: int) -> float:
+        """Measured fraction of class-``key`` pointers that are local."""
+        total = 0
+        local = 0
+        for i, targets in enumerate(self.random_targets[key]):
+            for t in targets:
+                total += 1
+                if not self.is_remote(i, t, machines):
+                    local += 1
+        return local / total if total else 1.0
+
+
+def build_graph(
+    n: int = 270,
+    groups: int = 9,
+    locality_classes: Sequence[float] = (0.05, 0.20, 0.35, 0.50, 0.65, 0.80, 0.95),
+    pointers_per_class: int = 2,
+    tree_arity: int = 2,
+    seed: int = 42,
+) -> AbstractGraph:
+    """Generate the paper's synthetic pointer graph.
+
+    Objects are dealt round-robin into ``groups`` groups ("divided
+    evenly"); all structure is then derived from the group partition so
+    it survives any compatible machine mapping.
+    """
+    if groups % 3 != 0:
+        raise ValueError("groups must be a multiple of 3 to support 1/3/9-way deployments")
+    if n < groups:
+        raise ValueError(f"need at least {groups} objects for {groups} groups")
+    rng = random.Random(seed)
+    group_of = [i % groups for i in range(n)]
+
+    graph = AbstractGraph(
+        n=n,
+        groups=groups,
+        group_of=group_of,
+        chain_next=_build_chain(n, group_of),
+        tree_children=_build_tree(n, groups, group_of, tree_arity),
+    )
+    by_residue = _indices_by_residue(n, group_of)
+    by_group = [[] for _ in range(groups)]
+    for i in range(n):
+        by_group[group_of[i]].append(i)
+    for p in locality_classes:
+        graph.random_targets[p] = _build_random_class(
+            n, group_of, by_group, by_residue, p, pointers_per_class, rng
+        )
+    return graph
+
+
+def _build_chain(n: int, group_of: List[int]) -> List[int]:
+    """Cyclic linked list in index order.
+
+    Round-robin grouping makes consecutive indices fall in consecutive
+    groups, so every hop crosses groups (and residues mod 3): chain
+    pointers are always remote in any multi-machine deployment, giving
+    the paper's maximum-delay structure.
+    """
+    chain = [(i + 1) % n for i in range(n)]
+    for i in range(n):
+        if group_of[i] == group_of[chain[i]]:  # pragma: no cover - structural guarantee
+            raise AssertionError("chain hop stayed inside a group")
+    return chain
+
+
+def _build_tree(n: int, groups: int, group_of: List[int], arity: int) -> List[List[int]]:
+    """Spanning tree: root -> per-group roots -> local k-ary subtrees.
+
+    The global root is object 0 (group 0).  It points at the first object
+    of every other group; within each group the members form a k-ary heap
+    layout.  Leaves point at themselves (see module docstring).
+    """
+    children: List[List[int]] = [[] for _ in range(n)]
+    by_group: List[List[int]] = [[] for _ in range(groups)]
+    for i in range(n):
+        by_group[group_of[i]].append(i)
+    root = 0
+    for g in range(groups):
+        members = by_group[g]
+        if not members:
+            continue
+        group_root = members[0]
+        if group_root != root:
+            children[root].append(group_root)
+        for pos, node in enumerate(members):
+            for c in range(1, arity + 1):
+                child_pos = pos * arity + c
+                if child_pos < len(members):
+                    children[node].append(members[child_pos])
+    for i in range(n):
+        if not children[i]:
+            children[i] = [i]  # leaf self-pointer
+    return children
+
+
+def _indices_by_residue(n: int, group_of: List[int]) -> List[List[int]]:
+    by_residue: List[List[int]] = [[], [], []]
+    for i in range(n):
+        by_residue[group_of[i] % 3].append(i)
+    return by_residue
+
+
+def _build_random_class(
+    n: int,
+    group_of: List[int],
+    by_group: List[List[int]],
+    by_residue: List[List[int]],
+    p_local: float,
+    pointers: int,
+    rng: random.Random,
+) -> List[Tuple[int, ...]]:
+    """Two (by default) pointers per object, local with probability p.
+
+    Local  = same group  (same site under every mapping).
+    Remote = group with a different residue mod 3 (different site under
+    both the 3-way and 9-way mapping).
+    """
+    out: List[Tuple[int, ...]] = []
+    for i in range(n):
+        g = group_of[i]
+        residue = g % 3
+        targets = []
+        for _ in range(pointers):
+            if rng.random() < p_local:
+                pool = by_group[g]
+                t = rng.choice(pool)
+                while t == i and len(pool) > 1:
+                    t = rng.choice(pool)
+            else:
+                pool = by_residue[(residue + rng.choice((1, 2))) % 3]
+                t = rng.choice(pool)
+            targets.append(t)
+        out.append(tuple(targets))
+    return out

@@ -1,0 +1,95 @@
+"""Query builders for the §5 experiments.
+
+The paper's test queries all have the same shape::
+
+    Root [ (Pointer, "Tree", ?X) | ^^X ]* (Rand10p, 5, ?) -> T
+
+— traverse the transitive closure of one pointer family starting at the
+root, selecting objects carrying a given search key.  "For each test we
+timed 100 queries which followed the same pointers and looked for the
+same type of search key tuple, but randomly varied the key searched for
+(so the 100 queries were comparable, but not identical)."
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from ..core.ast import Query
+from ..core.builder import QueryBuilder
+from .generator import (
+    COMMON_TYPE,
+    COMMON_VALUE,
+    SEARCH_KEY_SPACES,
+    UNIQUE_TYPE,
+    WorkloadSpec,
+)
+
+
+def closure_query(pointer_key: str, search_type: str, search_value: object) -> Query:
+    """``Root [ (Pointer, key, ?X) | ^^X ]* (search_type, value, ?) -> T``."""
+    return (
+        QueryBuilder("Root")
+        .begin_loop()
+        .select("Pointer", pointer_key, "?X")
+        .deref_keep("X")
+        .end_loop()  # '*' — transitive closure
+        .select(search_type, search_value, "?")
+        .into("T")
+    )
+
+
+def bounded_query(pointer_key: str, depth: int, search_type: str, search_value: object) -> Query:
+    """Same traversal, but following pointers for only ``depth`` levels."""
+    return (
+        QueryBuilder("Root")
+        .begin_loop()
+        .select("Pointer", pointer_key, "?X")
+        .deref_keep("X")
+        .end_loop(count=depth)
+        .select(search_type, search_value, "?")
+        .into("T")
+    )
+
+
+def traversal_only_query(pointer_key: str) -> Query:
+    """Closure traversal selecting everything it visits (``Common`` key).
+
+    This is the paper's low-selectivity extreme: "If we instead select all
+    of the items (using a key which is found in all of the objects)".
+    """
+    return closure_query(pointer_key, COMMON_TYPE, COMMON_VALUE)
+
+
+def unique_query(pointer_key: str, object_index: int) -> Query:
+    """Highest selectivity: find the single object with a given Unique key."""
+    return closure_query(pointer_key, UNIQUE_TYPE, object_index)
+
+
+def query_script(
+    pointer_key: str,
+    search_type: str,
+    count: int = 100,
+    seed: int = 7,
+    spec: Optional[WorkloadSpec] = None,
+) -> List[Query]:
+    """The paper's experimental script: ``count`` comparable queries.
+
+    All queries follow the same pointers and search the same key *type*;
+    the key *value* is drawn uniformly from that type's space, so runs
+    are comparable but not identical.
+    """
+    rng = random.Random(seed)
+    queries: List[Query] = []
+    for _ in range(count):
+        if search_type == COMMON_TYPE:
+            value: object = COMMON_VALUE
+        elif search_type == UNIQUE_TYPE:
+            n = spec.n_objects if spec is not None else 270
+            value = rng.randrange(n)
+        else:
+            space = SEARCH_KEY_SPACES[search_type]
+            value = rng.randint(1, space)
+        queries.append(closure_query(pointer_key, search_type, value))
+    return queries

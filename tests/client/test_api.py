@@ -1,0 +1,71 @@
+"""Tests for the HyperFile convenience facade."""
+
+import pytest
+
+from repro.client import HyperFile
+from repro.core import keyword_tuple, pointer_tuple, string_tuple
+from repro.errors import HyperFileError
+
+
+@pytest.fixture
+def hf():
+    service = HyperFile(sites=3)
+    paper = service.create(
+        "site0",
+        string_tuple("Title", "HyperFile"),
+        keyword_tuple("Distributed"),
+    )
+    other = service.create(
+        "site1",
+        string_tuple("Title", "Other Paper"),
+        pointer_tuple("Reference", paper),
+    )
+    service.define_set("S", [other])
+    return service, paper, other
+
+
+class TestFacade:
+    def test_create_and_get(self, hf):
+        service, paper, _ = hf
+        obj = service.get(paper)
+        assert obj.first("String", "Title").data == "HyperFile"
+
+    def test_query_text(self, hf):
+        service, paper, other = hf
+        result = service.query(
+            'S (Pointer, "Reference", ?X) ^X (Keyword, "Distributed", ?) -> T'
+        )
+        assert [o.key() for o in result] == [paper.key()]
+        assert [o.key() for o in service.members("T")] == [paper.key()]
+
+    def test_retrieval(self, hf):
+        service, _, _ = hf
+        service.query('S (String, "Title", ->title) -> T')
+        assert service.retrieve("title") == ["Other Paper"]
+
+    def test_update_adds_tuples(self, hf):
+        service, paper, _ = hf
+        service.update(paper, keyword_tuple("Hypertext"))
+        service.define_set("P", [paper])
+        result = service.query('P (Keyword, "Hypertext", ?) -> U')
+        assert len(result) == 1
+
+    def test_migrate_preserves_queryability(self, hf):
+        service, paper, other = hf
+        service.migrate(paper, "site2")
+        result = service.query('S (Pointer, "Reference", ?X) ^X -> T')
+        assert [o.key() for o in result] == [paper.key()]
+
+    def test_response_time_available(self, hf):
+        service, _, _ = hf
+        service.query('S (String, "Title", ?) -> T')
+        assert service.last_response_time is not None and service.last_response_time > 0
+
+    def test_sites_listing(self, hf):
+        service, _, _ = hf
+        assert service.sites == ["site0", "site1", "site2"]
+
+    def test_unknown_set_query(self, hf):
+        service, _, _ = hf
+        with pytest.raises(HyperFileError):
+            service.query('Missing (Keyword, "X", ?) -> T')

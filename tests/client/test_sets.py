@@ -1,0 +1,82 @@
+"""Tests for client-side set algebra."""
+
+import pytest
+
+from repro.client.sets import difference, intersection, union
+from repro.cluster import SimCluster
+from repro.client.session import Session
+from repro.core import keyword_tuple
+from repro.core.oid import Oid
+from repro.errors import HyperFileError
+
+A = Oid("s1", 0)
+B = Oid("s1", 1)
+C = Oid("s1", 2)
+A_HINTED = Oid("s1", 0, presumed_site="s9")
+
+
+class TestOperators:
+    def test_union_dedupes_and_preserves_order(self):
+        assert union([A, B], [B, C]) == [A, B, C]
+
+    def test_union_is_hint_insensitive(self):
+        assert union([A], [A_HINTED]) == [A]
+
+    def test_intersection(self):
+        assert intersection([A, B, C], [C, B]) == [B, C]
+        assert intersection([A], [B]) == []
+
+    def test_intersection_of_three(self):
+        assert intersection([A, B, C], [B, C], [C]) == [C]
+
+    def test_difference(self):
+        assert difference([A, B, C], [B]) == [A, C]
+        assert difference([A, B, C], [A], [C]) == [B]
+
+    def test_single_operand_passthrough(self):
+        assert union([A, B]) == [A, B]
+        assert intersection([A, B]) == [A, B]
+        assert difference([A, B]) == [A, B]
+
+
+class TestSessionCombine:
+    @pytest.fixture
+    def session(self):
+        cluster = SimCluster(1)
+        store = cluster.store("site0")
+        docs = {
+            "red": store.create([keyword_tuple("red")]).oid,
+            "blue": store.create([keyword_tuple("blue")]).oid,
+            "both": store.create([keyword_tuple("red"), keyword_tuple("blue")]).oid,
+        }
+        session = Session(cluster)
+        session.define_set("All", list(docs.values()))
+        session.query('All (Keyword, "red", ?) -> Red')
+        session.query('All (Keyword, "blue", ?) -> Blue')
+        return session, docs
+
+    def test_combine_union(self, session):
+        session, docs = session
+        result = session.combine("Either", "union", "Red", "Blue")
+        assert {o.key() for o in result} == {d.key() for d in docs.values()}
+
+    def test_combine_intersection_feeds_further_queries(self, session):
+        session, docs = session
+        session.combine("Both", "intersection", "Red", "Blue")
+        found = session.query('Both (Keyword, "red", ?) -> Check')
+        assert [o.key() for o in found] == [docs["both"].key()]
+
+    def test_combine_difference(self, session):
+        session, docs = session
+        result = session.combine("OnlyRed", "difference", "Red", "Blue")
+        assert [o.key() for o in result] == [docs["red"].key()]
+
+    def test_unknown_operation(self, session):
+        session, _ = session
+        with pytest.raises(HyperFileError, match="unknown set operation"):
+            session.combine("X", "xor", "Red", "Blue")
+
+    def test_no_operands(self, session):
+        session, _ = session
+        with pytest.raises(HyperFileError, match="at least one"):
+            session.combine("X", "union")

@@ -1,0 +1,77 @@
+"""Shared fixtures for the HyperFile reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import keyword_tuple, pointer_tuple, string_tuple
+from repro.core.oid import Oid
+from repro.core.parser import parse_query
+from repro.core.program import compile_query
+from repro.storage.memstore import MemStore
+from repro.workload import WorkloadSpec, build_graph, materialize
+
+
+@pytest.fixture
+def store():
+    """An empty single-site store."""
+    return MemStore("s1")
+
+
+@pytest.fixture
+def chain_store():
+    """A store holding the paper's worked example: A -> B -> C -> D.
+
+    A, B and D carry the keyword ``Distributed``; C does not.  D (the
+    chain's leaf) carries a self-referential pointer so closure queries
+    can check it (see the leaf-drop subtlety in repro.workload.graphs).
+    """
+    store = MemStore("s1")
+    d = store.create([keyword_tuple("Distributed")])
+    store.replace(store.get(d.oid).with_tuple(pointer_tuple("Reference", d.oid)))
+    c = store.create([pointer_tuple("Reference", d.oid)])
+    b = store.create([pointer_tuple("Reference", c.oid), keyword_tuple("Distributed")])
+    a = store.create([pointer_tuple("Reference", b.oid), keyword_tuple("Distributed")])
+    store.chain = {"a": a.oid, "b": b.oid, "c": c.oid, "d": d.oid}  # type: ignore[attr-defined]
+    return store
+
+
+@pytest.fixture
+def closure_program():
+    """``S [ (Pointer,"Reference",?X) | ^^X ]* (Keyword,"Distributed",?) -> T``"""
+    return compile_query(
+        parse_query('S [ (Pointer, "Reference", ?X) | ^^X ]* (Keyword, "Distributed", ?) -> T')
+    )
+
+
+@pytest.fixture
+def depth3_program():
+    """Same traversal bounded at three levels (the paper's ^3 example)."""
+    return compile_query(
+        parse_query('S [ (Pointer, "Reference", ?X) | ^^X ]^3 (Keyword, "Distributed", ?) -> T')
+    )
+
+
+@pytest.fixture(scope="session")
+def small_graph():
+    """A small (n=90) instance of the paper's synthetic pointer graph."""
+    return build_graph(n=90)
+
+
+@pytest.fixture(scope="session")
+def small_spec():
+    return WorkloadSpec(n_objects=90)
+
+
+@pytest.fixture
+def single_site_workload(small_spec, small_graph):
+    """The small workload materialised into one store."""
+    store = MemStore("solo")
+    workload = materialize(small_spec, [store], graph=small_graph)
+    return store, workload
+
+
+def oid_indices(workload, oid_keys):
+    """Map a set of oid identity keys back to abstract object indices."""
+    lookup = {oid.key(): i for i, oid in enumerate(workload.oids)}
+    return sorted(lookup[k] for k in oid_keys)

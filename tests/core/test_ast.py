@@ -1,0 +1,109 @@
+"""Tests for the query AST and its helper constructors."""
+
+import pytest
+
+from repro.core.ast import (
+    Deref,
+    Iterate,
+    Query,
+    Retrieve,
+    Select,
+    closure,
+    deref,
+    deref_keep,
+    iterate,
+    retrieve,
+    select,
+)
+from repro.core.patterns import ANY, Bind
+
+
+class TestSelect:
+    def test_of_coerces_patterns(self):
+        s = Select.of("Keyword", "Distributed", "?X")
+        assert s.data_pattern == Bind("X")
+        assert s.key_pattern.value == "Distributed"  # type: ignore[attr-defined]
+
+    def test_defaults_are_wildcards(self):
+        s = select("Keyword")
+        assert s.key_pattern is ANY and s.data_pattern is ANY
+
+
+class TestDeref:
+    def test_helpers_set_keep_source(self):
+        assert deref("X").keep_source is False
+        assert deref_keep("X").keep_source is True
+
+    def test_requires_variable(self):
+        with pytest.raises(ValueError):
+            Deref("")
+
+    def test_str_forms(self):
+        assert str(deref("X")) == "^X"
+        assert str(deref_keep("X")) == "^^X"
+
+
+class TestIterate:
+    def test_closure_flag(self):
+        assert closure(select("K")).is_closure
+        assert not iterate(select("K"), count=3).is_closure
+
+    def test_rejects_empty_body(self):
+        with pytest.raises(ValueError):
+            Iterate((), 3)
+
+    def test_rejects_nonpositive_count(self):
+        with pytest.raises(ValueError):
+            iterate(select("K"), count=0)
+
+    def test_walk_visits_nested(self):
+        node = iterate(iterate(select("K"), count=2), deref_keep("X"), count=3)
+        kinds = [type(n).__name__ for n in node.walk()]
+        assert kinds == ["Iterate", "Iterate", "Select", "Deref"]
+
+
+class TestRetrieve:
+    def test_requires_target(self):
+        with pytest.raises(ValueError):
+            Retrieve(ANY, ANY, "")
+
+    def test_of_coerces(self):
+        r = retrieve("String", "Title", "title")
+        assert r.target == "title"
+
+
+class TestQuery:
+    def build(self):
+        return Query(
+            "S",
+            (
+                closure(select("Pointer", "Reference", "?X"), deref_keep("X")),
+                select("Keyword", "Distributed"),
+                retrieve("String", "Title", "title"),
+            ),
+            "T",
+        )
+
+    def test_requires_source(self):
+        with pytest.raises(ValueError):
+            Query("", (select("K"),))
+
+    def test_rejects_nested_query(self):
+        with pytest.raises(ValueError):
+            Query("S", (self.build(),))
+
+    def test_variables_bound(self):
+        assert self.build().variables_bound() == frozenset({"X"})
+
+    def test_retrieval_targets(self):
+        assert self.build().retrieval_targets() == frozenset({"title"})
+
+    def test_str_round_trips_through_parser(self):
+        from repro.core.parser import parse_query
+
+        q = self.build()
+        # str() renders with repr'd literals; the parse of that string
+        # must produce a structurally identical query.
+        reparsed = parse_query(str(q))
+        assert str(reparsed) == str(q)
+        assert reparsed.variables_bound() == q.variables_bound()

@@ -1,0 +1,80 @@
+"""Tests for the fluent query builder."""
+
+import pytest
+
+from repro.core.builder import QueryBuilder
+from repro.core.parser import parse_query
+
+
+class TestBuilder:
+    def test_equivalent_to_parser(self):
+        built = (
+            QueryBuilder("S")
+            .begin_loop()
+            .select("Pointer", "Reference", "?X")
+            .deref_keep("X")
+            .end_loop()
+            .select("Keyword", "Distributed", "?")
+            .into("T")
+        )
+        parsed = parse_query(
+            'S [ (Pointer, "Reference", ?X) | ^^X ]* (Keyword, "Distributed", ?) -> T'
+        )
+        assert str(built) == str(parsed)
+
+    def test_bounded_loop(self):
+        q = (
+            QueryBuilder("S")
+            .begin_loop()
+            .select("Pointer", "R", "?X")
+            .deref("X")
+            .end_loop(count=3)
+            .into("T")
+        )
+        loop = q.filters[0]
+        assert loop.count == 3
+        assert loop.body[1].keep_source is False
+
+    def test_follow_shorthand(self):
+        q = QueryBuilder("S").follow("Reference", count=3).select("Keyword", "D").into("T")
+        parsed = parse_query('S [ (Pointer, "Reference", ?X) ^^X ]^3 (Keyword, "D", ?) -> T')
+        assert str(q) == str(parsed)
+
+    def test_retrieve(self):
+        q = QueryBuilder("S").retrieve("String", "Title", "title").into("T")
+        assert q.retrieval_targets() == frozenset({"title"})
+
+    def test_nested_loops(self):
+        q = (
+            QueryBuilder("S")
+            .begin_loop()
+            .begin_loop()
+            .select("Pointer", "R", "?X")
+            .deref_keep("X")
+            .end_loop(count=2)
+            .select("Pointer", "Q", "?Y")
+            .deref_keep("Y")
+            .end_loop(count=3)
+            .into("T")
+        )
+        outer = q.filters[0]
+        assert outer.count == 3 and outer.body[0].count == 2
+
+
+class TestBuilderErrors:
+    def test_unbalanced_end_loop(self):
+        with pytest.raises(ValueError):
+            QueryBuilder("S").end_loop()
+
+    def test_open_scope_at_into(self):
+        builder = QueryBuilder("S").begin_loop().select("Keyword", "A")
+        with pytest.raises(ValueError, match="scope"):
+            builder.into("T")
+
+    def test_empty_query(self):
+        with pytest.raises(ValueError):
+            QueryBuilder("S").into("T")
+
+    def test_empty_source(self):
+        with pytest.raises(ValueError):
+            QueryBuilder("")

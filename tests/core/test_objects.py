@@ -1,0 +1,128 @@
+"""Tests for HyperFile objects (sets of tuples, paper §2)."""
+
+import pytest
+
+from repro.core.objects import HFObject, make_set_object, set_members
+from repro.core.oid import Oid
+from repro.core.tuples import keyword_tuple, pointer_tuple, string_tuple, text_tuple
+
+OID = Oid("s1", 0)
+B = Oid("s1", 1)
+C = Oid("s2", 0)
+
+
+def sample():
+    return HFObject(
+        OID,
+        [
+            string_tuple("Title", "Main Program"),
+            string_tuple("Author", "Joe Programmer"),
+            pointer_tuple("Called Routine", B),
+            pointer_tuple("Library", C),
+        ],
+    )
+
+
+class TestConstruction:
+    def test_requires_oid(self):
+        with pytest.raises(TypeError):
+            HFObject("s1:0", [])  # type: ignore[arg-type]
+
+    def test_rejects_non_tuples(self):
+        with pytest.raises(TypeError):
+            HFObject(OID, ["not a tuple"])  # type: ignore[list-item]
+
+    def test_set_semantics_collapse_duplicates(self):
+        obj = HFObject(OID, [keyword_tuple("X"), keyword_tuple("X")])
+        assert len(obj) == 1
+
+    def test_preserves_first_seen_order(self):
+        obj = sample()
+        assert [t.key for t in obj] == ["Title", "Author", "Called Routine", "Library"]
+
+    def test_empty_object_is_legal(self):
+        assert len(HFObject(OID)) == 0
+
+
+class TestAccessors:
+    def test_tuples_of_type(self):
+        assert len(sample().tuples_of_type("String")) == 2
+        assert len(sample().tuples_of_type("Pointer")) == 2
+        assert sample().tuples_of_type("Missing") == []
+
+    def test_first(self):
+        t = sample().first("String", "Title")
+        assert t is not None and t.data == "Main Program"
+        assert sample().first("String", "Nope") is None
+
+    def test_values(self):
+        assert sample().values("String", "Author") == ["Joe Programmer"]
+
+    def test_pointers_all(self):
+        assert set(sample().pointers()) == {B, C}
+
+    def test_pointers_by_key(self):
+        assert sample().pointers(key="Called Routine") == [B]
+
+    def test_pointers_include_app_defined_pointer_types(self):
+        from repro.core.tuples import tuple_of
+
+        obj = HFObject(OID, [tuple_of("MyLink", "next", B)])
+        assert obj.pointers() == [B]
+
+    def test_contains(self):
+        assert string_tuple("Title", "Main Program") in sample()
+
+
+class TestFunctionalUpdates:
+    def test_with_tuple_returns_new_object(self):
+        obj = sample()
+        updated = obj.with_tuple(keyword_tuple("Sort"))
+        assert len(updated) == len(obj) + 1
+        assert len(obj) == 4  # original untouched
+
+    def test_without_by_type_and_key(self):
+        updated = sample().without("Pointer", "Library")
+        assert updated.pointers() == [B]
+
+    def test_without_all_of_type(self):
+        assert sample().without("Pointer").pointers() == []
+
+    def test_relocated_changes_id_only(self):
+        moved = sample().relocated(Oid("s9", 44))
+        assert moved.oid == Oid("s9", 44)
+        assert len(moved) == len(sample())
+
+
+class TestEqualityAndSize:
+    def test_equality_is_order_insensitive(self):
+        t1, t2 = keyword_tuple("A"), keyword_tuple("B")
+        assert HFObject(OID, [t1, t2]) == HFObject(OID, [t2, t1])
+
+    def test_equality_requires_same_oid(self):
+        assert HFObject(OID, []) != HFObject(B, [])
+
+    def test_size_hint_wins(self):
+        assert HFObject(OID, [], size_hint=12345).size_bytes == 12345
+
+    def test_size_estimate_grows_with_payload(self):
+        small = HFObject(OID, [text_tuple("Body", "x")])
+        large = HFObject(OID, [text_tuple("Body", "x" * 10_000)])
+        assert large.size_bytes > small.size_bytes + 9_000
+
+
+class TestSetObjects:
+    def test_round_trip(self):
+        set_obj = make_set_object(OID, [B, C])
+        assert set_members(set_obj) == [B, C]
+
+    def test_custom_key(self):
+        set_obj = make_set_object(OID, [B], key="Element")
+        assert set_members(set_obj, key="Element") == [B]
+        assert set_members(set_obj) == []  # default key finds nothing
+
+    def test_set_object_is_an_ordinary_object(self):
+        # Paper: "a set of objects is created using a basic object".
+        set_obj = make_set_object(OID, [B, C])
+        assert isinstance(set_obj, HFObject)
+        assert len(set_obj.pointers()) == 2

@@ -1,0 +1,100 @@
+"""Tests for object identifiers (birth-site naming, paper §4)."""
+
+import pytest
+
+from repro.core.oid import Oid, OidAllocator
+
+
+class TestOidIdentity:
+    def test_equality_ignores_presumed_site(self):
+        a = Oid("s1", 7, presumed_site="s2")
+        b = Oid("s1", 7, presumed_site="s3")
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_equality_requires_birth_site_and_id(self):
+        assert Oid("s1", 7) != Oid("s2", 7)
+        assert Oid("s1", 7) != Oid("s1", 8)
+
+    def test_key_is_hint_insensitive(self):
+        assert Oid("s1", 7, presumed_site="s9").key() == ("s1", 7)
+
+    def test_usable_in_sets_across_hints(self):
+        seen = {Oid("s1", 7, presumed_site="s2")}
+        assert Oid("s1", 7, presumed_site="s5") in seen
+
+
+class TestOidHint:
+    def test_hint_defaults_to_birth_site(self):
+        assert Oid("s1", 3).hint == "s1"
+
+    def test_hint_prefers_presumed_site(self):
+        assert Oid("s1", 3, presumed_site="s4").hint == "s4"
+
+    def test_with_hint_round_trip(self):
+        oid = Oid("s1", 3)
+        hinted = oid.with_hint("s9")
+        assert hinted.hint == "s9"
+        assert hinted == oid
+        assert hinted.without_hint().presumed_site is None
+
+
+class TestOidValidation:
+    def test_rejects_empty_birth_site(self):
+        with pytest.raises(ValueError):
+            Oid("", 1)
+
+    def test_rejects_negative_local_id(self):
+        with pytest.raises(ValueError):
+            Oid("s1", -1)
+
+    def test_rejects_non_int_local_id(self):
+        with pytest.raises(ValueError):
+            Oid("s1", "x")  # type: ignore[arg-type]
+
+
+class TestOidText:
+    def test_str_without_hint(self):
+        assert str(Oid("s1", 5)) == "s1:5"
+
+    def test_str_with_foreign_hint(self):
+        assert str(Oid("s1", 5, presumed_site="s2")) == "s1:5@s2"
+
+    def test_str_suppresses_hint_equal_to_birth(self):
+        assert str(Oid("s1", 5, presumed_site="s1")) == "s1:5"
+
+    def test_parse_round_trip(self):
+        for oid in (Oid("s1", 5), Oid("s1", 5, presumed_site="s2")):
+            parsed = Oid.parse(str(oid))
+            assert parsed == oid
+            assert parsed.hint == oid.hint
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            Oid.parse("no-colon-here")
+
+
+class TestOidAllocator:
+    def test_allocates_sequential_ids(self):
+        alloc = OidAllocator("s1")
+        a, b, c = alloc.allocate(), alloc.allocate(), alloc.allocate()
+        assert [a.local_id, b.local_id, c.local_id] == [0, 1, 2]
+        assert len({a, b, c}) == 3
+
+    def test_allocated_ids_carry_home_hint(self):
+        oid = OidAllocator("s1").allocate()
+        assert oid.birth_site == "s1"
+        assert oid.hint == "s1"
+
+    def test_peek_does_not_consume(self):
+        alloc = OidAllocator("s1", start=10)
+        assert alloc.peek() == 10
+        assert alloc.peek() == 10
+        assert alloc.allocate().local_id == 10
+        assert alloc.peek() == 11
+
+    def test_independent_sites_may_reuse_local_ids(self):
+        a = OidAllocator("s1").allocate()
+        b = OidAllocator("s2").allocate()
+        assert a.local_id == b.local_id
+        assert a != b

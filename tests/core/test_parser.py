@@ -1,0 +1,134 @@
+"""Tests for the textual query-language parser."""
+
+import pytest
+
+from repro.core.ast import Deref, Iterate, Query, Retrieve, Select
+from repro.core.parser import parse_filters, parse_query, tokenize
+from repro.core.patterns import ANY, Bind, Literal, Range, Regex, Use
+from repro.errors import QuerySyntaxError
+
+
+class TestTokenizer:
+    def test_basic_tokens(self):
+        kinds = [t.kind for t in tokenize('S ( , ) [ ] | * -> ^ ^^ ?X $Y "str" 42 /re/ ..5')]
+        assert kinds == [
+            "IDENT", "LPAREN", "COMMA", "RPAREN", "LBRACK", "RBRACK", "PIPE",
+            "STAR", "ARROW", "CARET", "DDEREF", "QMARK", "DOLLAR", "STRING",
+            "NUMBER", "REGEX", "DOTDOT", "NUMBER", "EOF",
+        ]
+
+    def test_string_escapes(self):
+        tok = tokenize(r'"a\"b\\c\nd"')[0]
+        assert tok.value == 'a"b\\c\nd'
+
+    def test_unterminated_string(self):
+        with pytest.raises(QuerySyntaxError):
+            tokenize('"never closed')
+
+    def test_numbers(self):
+        values = [t.value for t in tokenize("1 -2 3.5 -4.25") if t.kind == "NUMBER"]
+        assert values == [1, -2, 3.5, -4.25]
+
+    def test_range_not_confused_with_float(self):
+        kinds = [t.kind for t in tokenize("1..10")]
+        assert kinds == ["NUMBER", "DOTDOT", "NUMBER", "EOF"]
+
+    def test_unexpected_character(self):
+        with pytest.raises(QuerySyntaxError):
+            tokenize("S @ T")
+
+
+class TestParseQuery:
+    def test_paper_example_closure(self):
+        q = parse_query('S [ (Pointer, "Reference", ?X) | ^^X ]* (Keyword, "Distributed", ?) -> T')
+        assert q.source == "S" and q.result == "T"
+        loop, search = q.filters
+        assert isinstance(loop, Iterate) and loop.is_closure
+        sel, der = loop.body
+        assert isinstance(sel, Select)
+        assert isinstance(sel.key_pattern, Literal) and sel.key_pattern.value == "Reference"
+        assert isinstance(sel.data_pattern, Bind) and sel.data_pattern.name == "X"
+        assert isinstance(der, Deref) and der.keep_source
+        assert isinstance(search, Select) and search.data_pattern is ANY
+
+    def test_bounded_iterator(self):
+        q = parse_query('S [ (Pointer, "R", ?X) ^X ]^3 -> T')
+        loop = q.filters[0]
+        assert isinstance(loop, Iterate) and loop.count == 3
+        assert not loop.body[1].keep_source  # ^X drops the source
+
+    def test_retrieval_filter(self):
+        q = parse_query('S (String, "Title", ->title) -> T')
+        ret = q.filters[0]
+        assert isinstance(ret, Retrieve) and ret.target == "title"
+
+    def test_default_result_name(self):
+        q = parse_query('S (Keyword, "X", ?)')
+        assert q.result == "_"
+
+    def test_bare_identifiers_are_string_literals(self):
+        q = parse_query("Root (Rand10p, 5, ?) -> T")
+        sel = q.filters[0]
+        assert sel.type_pattern == Literal("Rand10p")
+        assert sel.key_pattern == Literal(5)
+
+    def test_pattern_varieties(self):
+        q = parse_query('S (Number, "Year", 1901..1902) (String, ?, /ab+/) (String, "Author", $X) -> T')
+        year, rx, use = q.filters
+        assert isinstance(year.data_pattern, Range)
+        assert isinstance(rx.data_pattern, Regex)
+        assert isinstance(use.data_pattern, Use) and use.data_pattern.name == "X"
+
+    def test_open_ranges(self):
+        q = parse_query("S (Number, ?, 5..) (Number, ?, ..9) -> T")
+        assert q.filters[0].data_pattern == Range(5, None)
+        assert q.filters[1].data_pattern == Range(None, 9)
+
+    def test_pipes_are_decorative(self):
+        a = parse_query('S [ (Pointer,"R",?X) | ^^X ]* -> T')
+        b = parse_query('S [ (Pointer,"R",?X) ^^X ]* -> T')
+        assert str(a) == str(b)
+
+    def test_nested_iterators(self):
+        q = parse_query('S [ [ (Pointer,"R",?X) ^^X ]^2 (Pointer,"Q",?Y) ^^Y ]^3 -> T')
+        outer = q.filters[0]
+        assert isinstance(outer, Iterate) and outer.count == 3
+        inner = outer.body[0]
+        assert isinstance(inner, Iterate) and inner.count == 2
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",                                   # no source
+            "S [ ]* -> T",                        # empty iterator body
+            "S [ (Keyword, \"X\", ?) ] -> T",     # iterator without * or ^k
+            "S [ (Keyword, \"X\", ?) ]^2.5 -> T", # fractional count
+            "S (Keyword, \"X\") -> T",            # two-field selection
+            "S (Keyword, \"X\", ?) ->",           # dangling arrow
+            "S ^ -> T",                           # deref without variable
+            "S (Keyword, \"X\", ?) extra -> T garbage",  # trailing junk
+        ],
+    )
+    def test_rejects_malformed(self, text):
+        with pytest.raises(QuerySyntaxError):
+            parse_query(text)
+
+    def test_error_carries_position(self):
+        try:
+            parse_query('S [ (Keyword, "X", ?) ] -> T')
+        except QuerySyntaxError as exc:
+            assert exc.position >= 0
+        else:
+            pytest.fail("expected QuerySyntaxError")
+
+
+class TestParseFilters:
+    def test_bare_pipeline(self):
+        filters = parse_filters('(Keyword, "A", ?) ^^X')
+        assert len(filters) == 2
+
+    def test_rejects_empty(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_filters("   ")

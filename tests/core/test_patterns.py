@@ -1,0 +1,147 @@
+"""Tests for field patterns (paper §3.1's matching rules)."""
+
+import pytest
+
+from repro.core.oid import Oid
+from repro.core.patterns import (
+    ANY,
+    Bind,
+    Literal,
+    OneOf,
+    Range,
+    Regex,
+    Use,
+    as_pattern,
+)
+
+NO_VARS = {}
+
+
+def matched(pattern, value, mvars=NO_VARS):
+    ok, _bindings = pattern.match(value, mvars)
+    return ok
+
+
+class TestAny:
+    @pytest.mark.parametrize("value", ["x", 0, None, b"\x00", Oid("s1", 1)])
+    def test_matches_everything(self, value):
+        assert matched(ANY, value)
+
+    def test_never_binds(self):
+        assert ANY.match("x", NO_VARS)[1] == ()
+
+
+class TestLiteral:
+    def test_string_equality(self):
+        assert matched(Literal("abc"), "abc")
+        assert not matched(Literal("abc"), "abd")
+
+    def test_numeric_cross_type(self):
+        assert matched(Literal(5), 5.0)
+
+    def test_bool_is_not_int(self):
+        assert not matched(Literal(1), True)
+        assert not matched(Literal(True), 1)
+
+    def test_oid_hint_insensitive(self):
+        assert matched(Literal(Oid("s1", 1, presumed_site="s2")), Oid("s1", 1, presumed_site="s3"))
+
+    def test_no_bindings(self):
+        assert Literal("x").match("x", NO_VARS)[1] == ()
+
+
+class TestRegex:
+    def test_fullmatch_semantics(self):
+        assert matched(Regex("ab+"), "abbb")
+        assert not matched(Regex("ab+"), "xabbb")  # not a substring search
+
+    def test_non_string_never_matches(self):
+        assert not matched(Regex(".*"), 42)
+
+    def test_invalid_regex_fails_fast(self):
+        with pytest.raises(Exception):
+            Regex("(unclosed")
+
+
+class TestRange:
+    def test_closed_range(self):
+        r = Range(1901, 1902)
+        assert matched(r, 1901) and matched(r, 1902) and matched(r, 1901.5)
+        assert not matched(r, 1900) and not matched(r, 1903)
+
+    def test_open_ends(self):
+        assert matched(Range(lo=10, hi=None), 1e9)
+        assert matched(Range(lo=None, hi=10), -1e9)
+
+    def test_rejects_unbounded_both_sides(self):
+        with pytest.raises(ValueError):
+            Range(None, None)
+
+    def test_rejects_empty_range(self):
+        with pytest.raises(ValueError):
+            Range(5, 4)
+
+    def test_non_numeric_never_matches(self):
+        assert not matched(Range(0, 10), "5")
+        assert not matched(Range(0, 10), True)  # bools excluded
+
+
+class TestOneOf:
+    def test_membership(self):
+        p = OneOf(["a", "b"])
+        assert matched(p, "a") and not matched(p, "c")
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            OneOf([])
+
+
+class TestBind:
+    def test_matches_anything_and_binds(self):
+        ok, bindings = Bind("X").match("value", NO_VARS)
+        assert ok and bindings == (("X", "value"),)
+
+    def test_requires_name(self):
+        with pytest.raises(ValueError):
+            Bind("")
+
+    def test_reports_bound_variable(self):
+        assert Bind("X").variables_bound() == frozenset({"X"})
+
+
+class TestUse:
+    def test_matches_against_bindings(self):
+        mvars = {"X": {"a", "b"}}
+        assert matched(Use("X"), "a", mvars)
+        assert not matched(Use("X"), "c", mvars)
+
+    def test_unbound_variable_never_matches(self):
+        assert not matched(Use("X"), "anything", NO_VARS)
+
+    def test_oid_bindings_hint_insensitive(self):
+        mvars = {"X": {Oid("s1", 1, presumed_site="s2")}}
+        assert matched(Use("X"), Oid("s1", 1, presumed_site="s9"), mvars)
+
+    def test_reports_used_variable(self):
+        assert Use("X").variables_used() == frozenset({"X"})
+
+
+class TestAsPattern:
+    def test_question_mark_is_any(self):
+        assert as_pattern("?") is ANY
+
+    def test_question_name_is_bind(self):
+        p = as_pattern("?X")
+        assert isinstance(p, Bind) and p.name == "X"
+
+    def test_dollar_name_is_use(self):
+        p = as_pattern("$X")
+        assert isinstance(p, Use) and p.name == "X"
+
+    def test_plain_values_become_literals(self):
+        assert isinstance(as_pattern("abc"), Literal)
+        assert isinstance(as_pattern(42), Literal)
+
+    def test_existing_patterns_pass_through(self):
+        p = Range(0, 1)
+        assert as_pattern(p) is p

@@ -1,0 +1,88 @@
+"""Tests for the tuple model and typed constructors (paper §2)."""
+
+import pytest
+
+from repro.core.oid import Oid
+from repro.core.tuples import (
+    HFTuple,
+    blob_tuple,
+    keyword_tuple,
+    number_tuple,
+    pointer_tuple,
+    string_tuple,
+    text_tuple,
+    tuple_of,
+)
+
+
+class TestHFTuple:
+    def test_fields(self):
+        t = HFTuple("String", "Title", "Main Program")
+        assert (t.type, t.key, t.data) == ("String", "Title", "Main Program")
+
+    def test_is_immutable(self):
+        t = HFTuple("String", "Title", "x")
+        with pytest.raises(AttributeError):
+            t.data = "y"  # type: ignore[misc]
+
+    def test_rejects_empty_type(self):
+        with pytest.raises(ValueError):
+            HFTuple("", "k", "v")
+
+    def test_rejects_non_string_type(self):
+        with pytest.raises(ValueError):
+            HFTuple(7, "k", "v")  # type: ignore[arg-type]
+
+    def test_value_semantics(self):
+        assert HFTuple("A", "k", 1) == HFTuple("A", "k", 1)
+        assert HFTuple("A", "k", 1) != HFTuple("A", "k", 2)
+
+    def test_is_pointer_flag(self):
+        assert pointer_tuple("Ref", Oid("s1", 1)).is_pointer
+        assert not string_tuple("Title", "x").is_pointer
+
+    def test_str_rendering(self):
+        assert "Title" in str(string_tuple("Title", "x"))
+
+
+class TestTypedConstructors:
+    def test_string_tuple_checks_type(self):
+        with pytest.raises(TypeError):
+            string_tuple("Title", 42)  # type: ignore[arg-type]
+
+    def test_number_tuple_accepts_int_and_float(self):
+        assert number_tuple("Clock", 25).data == 25
+        assert number_tuple("Clock", 2.5).data == 2.5
+
+    def test_number_tuple_rejects_bool_and_str(self):
+        with pytest.raises(TypeError):
+            number_tuple("Clock", True)
+        with pytest.raises(TypeError):
+            number_tuple("Clock", "25")  # type: ignore[arg-type]
+
+    def test_pointer_tuple_requires_oid(self):
+        with pytest.raises(TypeError):
+            pointer_tuple("Ref", "s1:1")  # type: ignore[arg-type]
+
+    def test_blob_tuple_normalises_bytearray(self):
+        t = blob_tuple("Image", bytearray(b"\x00\x01"))
+        assert isinstance(t.data, bytes)
+
+    def test_blob_tuple_rejects_str(self):
+        with pytest.raises(TypeError):
+            blob_tuple("Image", "not-bytes")  # type: ignore[arg-type]
+
+    def test_keyword_goes_in_key_field(self):
+        # Matching the paper's (keyword, "Distributed", ?) convention.
+        t = keyword_tuple("Distributed")
+        assert t.type == "Keyword"
+        assert t.key == "Distributed"
+
+    def test_application_defined_type(self):
+        # The paper's Object_Code example: key = target machine.
+        t = tuple_of("Object_Code", "vax", b"\x01\x02")
+        assert t.type == "Object_Code"
+        assert t.key == "vax"
+
+    def test_text_tuple(self):
+        assert text_tuple("Description", "some prose").type == "Text"

@@ -1,0 +1,66 @@
+"""Tests for the extensible tuple-type registry (paper §2)."""
+
+import pytest
+
+from repro.core.types import BUILTIN_TYPES, DEFAULT_REGISTRY, FieldKind, TupleType, TypeRegistry
+
+
+class TestBuiltins:
+    def test_builtins_registered(self):
+        reg = TypeRegistry()
+        for t in BUILTIN_TYPES:
+            assert t.name in reg
+
+    def test_pointer_type_recognised(self):
+        assert TypeRegistry().is_pointer_type("Pointer")
+        assert not TypeRegistry().is_pointer_type("String")
+
+    def test_empty_registry_option(self):
+        assert len(TypeRegistry(include_builtins=False)) == 0
+
+
+class TestApplicationTypes:
+    def test_define_new_type(self):
+        # The paper's example: Object_Code with a string key (the target
+        # machine) and arbitrary bits as data.
+        reg = TypeRegistry()
+        t = reg.define("Object_Code", FieldKind.STRING, FieldKind.OPAQUE)
+        assert reg.get("Object_Code") == t
+
+    def test_redefinition_identical_is_noop(self):
+        reg = TypeRegistry()
+        reg.define("X", FieldKind.STRING, FieldKind.NUMBER)
+        reg.define("X", FieldKind.STRING, FieldKind.NUMBER)  # fine
+        assert len([t for t in reg if t.name == "X"]) == 1
+
+    def test_conflicting_redefinition_rejected(self):
+        reg = TypeRegistry()
+        reg.define("X", FieldKind.STRING, FieldKind.NUMBER)
+        with pytest.raises(ValueError):
+            reg.define("X", FieldKind.STRING, FieldKind.POINTER)
+
+    def test_application_pointer_type(self):
+        reg = TypeRegistry()
+        reg.define("MyLink", FieldKind.STRING, FieldKind.POINTER)
+        assert reg.is_pointer_type("MyLink")
+
+
+class TestUnknownTypes:
+    def test_unknown_type_is_opaque_not_error(self):
+        # The server stores data it does not understand.
+        reg = TypeRegistry()
+        t = reg.lookup("NeverDefined")
+        assert t.key_kind is FieldKind.OPAQUE
+        assert t.data_kind is FieldKind.OPAQUE
+
+    def test_get_returns_none_for_unknown(self):
+        assert TypeRegistry().get("NeverDefined") is None
+
+
+class TestTupleTypeValue:
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValueError):
+            TupleType("", FieldKind.STRING, FieldKind.STRING)
+
+    def test_default_registry_is_usable(self):
+        assert "Pointer" in DEFAULT_REGISTRY

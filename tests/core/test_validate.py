@@ -1,0 +1,75 @@
+"""Tests for static query validation."""
+
+import pytest
+
+from repro.core.parser import parse_query
+from repro.core.validate import MAX_NESTING_DEPTH, validate_query
+from repro.errors import QueryValidationError
+
+
+def check(text, strict=True):
+    return validate_query(parse_query(text), strict=strict)
+
+
+class TestValidQueries:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            'S (Keyword, "A", ?) -> T',
+            'S [ (Pointer, "R", ?X) ^^X ]* (Keyword, "A", ?) -> T',
+            'S (Pointer, "R", ?X) ^X -> T',
+            'S (String, "Author", ?A) (String, "Maintainer", $A) -> T',
+            'S (String, "Title", ->title) -> T',
+        ],
+    )
+    def test_accepts(self, text):
+        assert check(text).ok
+
+
+class TestVariableChecks:
+    def test_deref_of_never_bound_variable(self):
+        with pytest.raises(QueryValidationError, match="dereference"):
+            check("S ^^X -> T")
+
+    def test_use_of_never_bound_variable(self):
+        with pytest.raises(QueryValidationError, match="use of variable"):
+            check('S (String, "Author", $X) -> T')
+
+    def test_use_before_binding_in_sequence(self):
+        # $A appears before ?A can have bound anything.
+        with pytest.raises(QueryValidationError):
+            check('S (String, "Maintainer", $A) (String, "Author", ?A) -> T')
+
+    def test_loop_body_binding_counts_for_whole_body(self):
+        # Inside an iterator the deref may run on a later pass, after the
+        # selection bound X — legal even though ^^X precedes nothing here.
+        assert check('S [ ^^X (Pointer, "R", ?X) ]* -> T', strict=False).ok
+
+    def test_binding_from_enclosing_scope_visible_inside_loop(self):
+        assert check('S (Pointer, "R", ?X) [ ^^X (Pointer, "R", ?X) ]^2 -> T').ok
+
+
+class TestLimits:
+    def test_nesting_limit(self):
+        inner = '(Pointer, "R", ?X) ^^X'
+        text = inner
+        for _ in range(MAX_NESTING_DEPTH + 1):
+            text = f"[ {text} ]^2"
+        with pytest.raises(QueryValidationError, match="nesting"):
+            check(f"S {text} -> T")
+
+    def test_huge_iteration_count(self):
+        with pytest.raises(QueryValidationError, match="sanity"):
+            check('S [ (Pointer, "R", ?X) ^^X ]^999999 -> T')
+
+
+class TestNonStrictMode:
+    def test_reports_instead_of_raising(self):
+        report = check("S ^^X -> T", strict=False)
+        assert not report.ok
+        assert any("X" in p for p in report.problems)
+
+    def test_raise_if_invalid(self):
+        report = check("S ^^X -> T", strict=False)
+        with pytest.raises(QueryValidationError):
+            report.raise_if_invalid()

@@ -1,0 +1,130 @@
+"""Regression tests for the order-dependence anomaly in the paper's
+position-only mark table (found by property testing; see
+repro/engine/marktable.py).
+
+The minimal counterexample: seed 7 points at objects 0 and 2; 2 -> 4 -> 0.
+Under ``[ (Pointer,Edge,?X) ^X ]^4 (Keyword,alpha,?)``, object 0 is
+reachable both at chain length 2 (too short to exit the iterator — it
+loops back and dies at the selection, having no edges) and at chain
+length 4 (exits the iterator and passes the keyword check).  With the
+paper's position-only marks, whichever admission is processed first wins:
+
+* breadth-first (FIFO) processes the length-2 admission first and marks
+  position 3, suppressing the length-4 admission — result: {}.
+* depth-first (LIFO) reaches the length-4 admission first — result: {0}.
+
+The default iteration-aware marks key admissions by (position, chain
+state), so both are processed and every order yields {0}.
+"""
+
+import pytest
+
+from repro.core.builder import QueryBuilder
+from repro.core.program import compile_query
+from repro.core.tuples import keyword_tuple, pointer_tuple
+from repro.engine.local import run_local
+from repro.engine.marktable import MarkTable
+from repro.storage.memstore import MemStore
+
+
+def build_counterexample():
+    """The falsifying graph: 7 -> {0, 2}, 2 -> 4, 4 -> 0."""
+    store = MemStore("solo")
+    oids = [store.create([keyword_tuple("alpha")]).oid for _ in range(8)]
+    edges = {7: [0, 2], 2: [4], 4: [0]}
+    for src, targets in edges.items():
+        store.replace(
+            store.get(oids[src]).with_tuples(
+                pointer_tuple("Edge", oids[t]) for t in targets
+            )
+        )
+    query = (
+        QueryBuilder("S")
+        .begin_loop()
+        .select("Pointer", "Edge", "?X")
+        .deref("X")
+        .end_loop(count=4)
+        .select("Keyword", "alpha", "?")
+        .into("T")
+    )
+    return store, oids, compile_query(query)
+
+
+class TestPaperModeAnomaly:
+    def test_position_marks_are_order_dependent(self):
+        store, oids, program = build_counterexample()
+        results = {
+            d: run_local(program, [oids[7]], store.get, discipline=d,
+                         mark_granularity="position").oid_keys()
+            for d in ("fifo", "lifo")
+        }
+        # The anomaly: the two orders disagree.
+        assert results["fifo"] != results["lifo"]
+        assert results["fifo"] == set()
+        assert results["lifo"] == {oids[0].key()}
+
+    def test_iteration_marks_are_confluent(self):
+        store, oids, program = build_counterexample()
+        results = {
+            d: run_local(program, [oids[7]], store.get, discipline=d).oid_keys()
+            for d in ("fifo", "lifo", "priority")
+        }
+        assert results["fifo"] == results["lifo"] == results["priority"] == {oids[0].key()}
+
+    def test_granularities_agree_on_closure_queries(self):
+        # Everything the paper evaluates uses '*' iterators, where the two
+        # tables are indistinguishable.
+        store, oids, _ = build_counterexample()
+        query = (
+            QueryBuilder("S")
+            .begin_loop()
+            .select("Pointer", "Edge", "?X")
+            .deref_keep("X")
+            .end_loop()
+            .select("Keyword", "alpha", "?")
+            .into("T")
+        )
+        program = compile_query(query)
+        paper = run_local(program, [oids[7]], store.get, mark_granularity="position")
+        ours = run_local(program, [oids[7]], store.get, mark_granularity="iteration")
+        assert paper.oid_keys() == ours.oid_keys()
+        assert paper.stats.objects_processed == ours.stats.objects_processed
+
+
+class TestMarkTableGranularity:
+    def test_rejects_unknown_granularity(self):
+        with pytest.raises(ValueError):
+            MarkTable(granularity="vibes")
+
+    def test_iteration_marks_distinguish_chain_states(self):
+        from repro.core.oid import Oid
+
+        table = MarkTable(granularity="iteration")
+        oid = Oid("s1", 0)
+        table.mark(oid, 3, ((3, 2),))
+        assert not table.should_process(oid, 3, ((3, 2),))
+        assert table.should_process(oid, 3, ((3, 4),))
+
+    def test_position_marks_conflate_chain_states(self):
+        from repro.core.oid import Oid
+
+        table = MarkTable(granularity="position")
+        oid = Oid("s1", 0)
+        table.mark(oid, 3, ((3, 2),))
+        assert not table.should_process(oid, 3, ((3, 4),))
+
+    def test_closure_items_carry_no_chain_state(self):
+        # bump_iters drops closure-loop counts entirely, so iteration
+        # granularity degenerates to position granularity there.
+        from repro.engine.items import bump_iters
+
+        assert bump_iters((), (3,), caps={3: None}) == ()
+        assert bump_iters(((3, 1),), (3,), caps={3: None}) == ()
+
+    def test_bounded_counts_saturate_at_k(self):
+        from repro.engine.items import bump_iters, iter_count
+
+        iters = ()
+        for _ in range(10):
+            iters = bump_iters(iters, (3,), caps={3: 4})
+        assert iter_count(iters, 3) == 4

@@ -1,0 +1,154 @@
+"""Engine edge cases: operator interactions the basic tests don't reach."""
+
+import pytest
+
+from repro.core.oid import Oid
+from repro.core.parser import parse_query
+from repro.core.program import compile_query
+from repro.core.tuples import keyword_tuple, pointer_tuple, string_tuple, tuple_of
+from repro.engine.local import run_local
+from repro.storage.memstore import MemStore
+
+
+def prog(text):
+    return compile_query(parse_query(text))
+
+
+class TestRetrieveInteractions:
+    def test_retrieve_inside_iterator_emits_per_visit(self):
+        # Each object passing the body emits its title once; the closure
+        # visits everything exactly once, so titles arrive exactly once.
+        store = MemStore("s1")
+        b = store.create([string_tuple("Title", "B")])
+        store.replace(store.get(b.oid).with_tuple(pointer_tuple("Ref", b.oid)))
+        a = store.create([string_tuple("Title", "A"), pointer_tuple("Ref", b.oid)])
+        result = run_local(
+            prog('S [ (String,"Title",->t) (Pointer,"Ref",?X) ^^X ]* -> T'),
+            [a.oid],
+            store.get,
+        )
+        assert sorted(result.retrieved["t"]) == ["A", "B"]
+
+    def test_two_targets_kept_separate(self):
+        store = MemStore("s1")
+        obj = store.create([string_tuple("Title", "T"), string_tuple("Author", "A")])
+        result = run_local(
+            prog('S (String,"Title",->title) (String,"Author",->author) -> T'),
+            [obj.oid],
+            store.get,
+        )
+        assert result.retrieved == {"title": ["T"], "author": ["A"]}
+
+    def test_same_target_accumulates(self):
+        store = MemStore("s1")
+        obj = store.create([string_tuple("Title", "One"), string_tuple("Subtitle", "Two")])
+        result = run_local(
+            prog('S (String,"Title",->text) (String,"Subtitle",->text) -> T'),
+            [obj.oid],
+            store.get,
+        )
+        assert sorted(result.retrieved["text"]) == ["One", "Two"]
+
+    def test_retrieve_key_can_bind_variable(self):
+        store = MemStore("s1")
+        lib = store.create([keyword_tuple("lib")])
+        obj = store.create([tuple_of("Module", "core", lib.oid)])
+        result = run_local(
+            prog('S (Module, ?name, ->ptr) -> T'),
+            [obj.oid],
+            store.get,
+        )
+        assert result.retrieved["ptr"] == [lib.oid]
+
+
+class TestPatternPlacement:
+    def test_bind_on_type_field(self):
+        store = MemStore("s1")
+        obj = store.create([tuple_of("Object_Code", "vax", b"\x01")])
+        result = run_local(prog("S (?T, vax, ?) -> Out"), [obj.oid], store.get)
+        assert len(result.oids) == 1
+
+    def test_wildcard_type_matches_any_tuple(self):
+        store = MemStore("s1")
+        a = store.create([keyword_tuple("anything")])
+        empty = store.create([])
+        result = run_local(prog("S (?, ?, ?) -> Out"), [a.oid, empty.oid], store.get)
+        # The empty object has no tuple to match: even (?,?,?) fails it.
+        assert result.oid_keys() == {a.oid.key()}
+
+    def test_variable_use_on_type_field(self):
+        store = MemStore("s1")
+        obj = store.create(
+            [string_tuple("Kind", "Keyword"), keyword_tuple("self-describing")]
+        )
+        result = run_local(
+            prog('S (String, "Kind", ?K) ($K, "self-describing", ?) -> Out'),
+            [obj.oid],
+            store.get,
+        )
+        assert len(result.oids) == 1
+
+    def test_deref_of_mixed_bindings_follows_only_pointers(self):
+        store = MemStore("s1")
+        target = store.create([keyword_tuple("K")])
+        obj = store.create(
+            [
+                tuple_of("Mixed", "a", "just a string"),
+                tuple_of("Mixed", "b", target.oid),
+                tuple_of("Mixed", "c", 42),
+            ]
+        )
+        result = run_local(
+            prog('S (Mixed, ?, ?X) ^X (Keyword,"K",?) -> Out'), [obj.oid], store.get
+        )
+        assert result.oid_keys() == {target.oid.key()}
+
+
+class TestResultSemantics:
+    def test_result_order_is_first_pass_order(self):
+        store = MemStore("s1")
+        oids = [store.create([keyword_tuple("K")]).oid for _ in range(5)]
+        result = run_local(prog('S (Keyword,"K",?) -> Out'), [oids[2], oids[0], oids[4]], store.get)
+        assert result.oids.as_list() == [oids[2], oids[0], oids[4]]
+
+    def test_object_passing_twice_counted_once(self):
+        # Reached at two different start positions, passes both times.
+        store = MemStore("s1")
+        shared = store.create([keyword_tuple("Early"), keyword_tuple("Late")])
+        seed = store.create([keyword_tuple("Early"), pointer_tuple("Ref", shared.oid)])
+        program = prog('S (Keyword,"Early",?) (Pointer,"Ref",?X) ^^X (Keyword,"Late",?) -> T')
+        # seed lacks Late... wait: seed passes F1, F2 binds, F3 spawns shared and
+        # continues, F4 fails for seed; shared admitted at F1 (as initial) AND at F4.
+        result = run_local(program, [shared.oid, seed.oid], store.get)
+        assert shared.oid.key() in result.oid_keys()
+        assert len([o for o in result.oids if o.key() == shared.oid.key()]) == 1
+
+    def test_filterless_query_copies_the_set(self):
+        # "S -> T" has zero filters: every seed passes vacuously.  The
+        # session layer uses this as a set rename/copy.
+        store = MemStore("s1")
+        oids = [store.create([]).oid for _ in range(3)]
+        result = run_local(prog("S -> T"), oids, store.get)
+        assert result.oids.as_list() == oids
+
+
+class TestDanglingAndHints:
+    def test_pointer_with_stale_hint_still_resolves_locally(self):
+        store = MemStore("s1")
+        target = store.create([keyword_tuple("K")])
+        stale = target.oid.with_hint("elsewhere")
+        seed = store.create([pointer_tuple("Ref", stale)])
+        result = run_local(prog('S (Pointer,"Ref",?X) ^X (Keyword,"K",?) -> T'), [seed.oid], store.get)
+        assert result.oid_keys() == {target.oid.key()}
+
+    def test_self_pointer_via_different_hint_suppressed(self):
+        store = MemStore("s1")
+        a = store.create([keyword_tuple("K")])
+        store.replace(
+            store.get(a.oid).with_tuple(pointer_tuple("Ref", a.oid.with_hint("other")))
+        )
+        result = run_local(
+            prog('S [ (Pointer,"Ref",?X) ^^X ]* (Keyword,"K",?) -> T'), [a.oid], store.get
+        )
+        assert len(result.oids) == 1
+        assert result.stats.objects_processed == 1

@@ -1,0 +1,77 @@
+"""Tests for work items and iteration-number bookkeeping (paper §3.1)."""
+
+import pytest
+
+from repro.core.oid import Oid
+from repro.engine.items import EMPTY_ITERS, ActiveItem, WorkItem, bump_iters, iter_count
+
+OID = Oid("s1", 0)
+
+
+class TestWorkItem:
+    def test_defaults_match_initial_set(self):
+        item = WorkItem(oid=OID)
+        assert item.start == 1 and item.iters == EMPTY_ITERS
+
+    def test_rejects_invalid_start(self):
+        with pytest.raises(ValueError):
+            WorkItem(oid=OID, start=0)
+
+    def test_hashable_for_set_membership(self):
+        assert len({WorkItem(OID, 1), WorkItem(OID, 1)}) == 1
+        assert len({WorkItem(OID, 1), WorkItem(OID, 3)}) == 2
+
+    def test_activate_initialises_next_and_mvars(self):
+        # Paper: "O.next is initially equal to O.start" and "O.mvars
+        # always starts as {}".
+        active = WorkItem(oid=OID, start=3).activate()
+        assert active.next == 3 and active.start == 3 and active.mvars == {}
+
+    def test_round_trip_through_active(self):
+        item = WorkItem(oid=OID, start=3, iters=((3, 2),))
+        assert item.activate().to_work_item() == item
+
+
+class TestActiveItem:
+    def test_bind_accumulates_sets(self):
+        active = ActiveItem(oid=OID, start=1, next=1)
+        active.bind("X", "a")
+        active.bind("X", "b")
+        active.bind("X", "a")  # union semantics
+        assert active.bindings("X") == {"a", "b"}
+
+    def test_unbound_variable_is_empty(self):
+        assert ActiveItem(oid=OID, start=1, next=1).bindings("X") == set()
+
+
+class TestIterCounts:
+    def test_default_chain_length_is_one(self):
+        # Initial-set objects have iter# = 1 (paper's initialisation).
+        assert iter_count(EMPTY_ITERS, loop_index=3) == 1
+
+    def test_bump_increments_innermost_only(self):
+        # Nested loops at markers 6 (outer) and 3 (inner); a deref inside
+        # the inner loop bumps only the inner counter.
+        iters = ((6, 2), (3, 5))
+        bumped = bump_iters(iters, enclosing=(6, 3))
+        assert dict(bumped) == {6: 2, 3: 6}
+
+    def test_bump_starts_fresh_counters_at_two(self):
+        # O.iter# = 1 for the parent, so a dereferenced child is at 2.
+        bumped = bump_iters(EMPTY_ITERS, enclosing=(3,))
+        assert dict(bumped) == {3: 2}
+
+    def test_bump_outside_any_loop_clears_counts(self):
+        assert bump_iters(((3, 7),), enclosing=()) == EMPTY_ITERS
+
+    def test_bump_drops_unrelated_loop_counts(self):
+        # A deref inside loop 9 only; counts for loop 3 are irrelevant at
+        # the new object's start position and are dropped.
+        bumped = bump_iters(((3, 4),), enclosing=(9,))
+        assert dict(bumped) == {9: 2}
+
+    def test_chain_length_growth_along_a_path(self):
+        iters = EMPTY_ITERS
+        for expected in (2, 3, 4):
+            iters = bump_iters(iters, enclosing=(3,))
+            assert iter_count(iters, 3) == expected

@@ -1,0 +1,163 @@
+"""Tests for the local processing algorithm (paper Figure 3)."""
+
+import pytest
+
+from repro.core.oid import Oid
+from repro.core.parser import parse_query
+from repro.core.program import compile_query
+from repro.core.tuples import keyword_tuple, pointer_tuple, string_tuple
+from repro.engine.items import WorkItem
+from repro.engine.local import QueryExecution, run_local
+from repro.errors import QueryLimitExceeded
+from repro.storage.memstore import MemStore
+
+
+def prog(text):
+    return compile_query(parse_query(text))
+
+
+class TestPaperWalkthrough:
+    """The worked example of §3.1: chain A→B→C→D, depth-3 iterator."""
+
+    def run_walkthrough(self, chain_store, depth3_program):
+        ids = chain_store.chain
+        return run_local(depth3_program, [ids["a"]], chain_store.get), ids
+
+    def test_result_is_a_and_b(self, chain_store, depth3_program):
+        result, ids = self.run_walkthrough(chain_store, depth3_program)
+        assert result.oid_keys() == {ids["a"].key(), ids["b"].key()}
+
+    def test_d_is_never_examined(self, chain_store, depth3_program):
+        # "the query terminates before examining D (which is 4 levels deep)"
+        result, ids = self.run_walkthrough(chain_store, depth3_program)
+        assert result.stats.objects_processed == 3  # A, B, C only
+
+    def test_c_is_examined_but_lacks_keyword(self, chain_store, depth3_program):
+        result, ids = self.run_walkthrough(chain_store, depth3_program)
+        assert ids["c"].key() not in result.oid_keys()
+
+
+class TestClosureAndCycles:
+    def test_closure_reaches_whole_chain(self, chain_store, closure_program):
+        ids = chain_store.chain
+        result = run_local(closure_program, [ids["a"]], chain_store.get)
+        # D carries the keyword and a self-pointer, so it passes too.
+        assert result.oid_keys() == {ids["a"].key(), ids["b"].key(), ids["d"].key()}
+
+    def test_cycle_terminates(self):
+        store = MemStore("s1")
+        a = store.create([keyword_tuple("K")])
+        b = store.create([pointer_tuple("Ref", a.oid), keyword_tuple("K")])
+        store.replace(store.get(a.oid).with_tuple(pointer_tuple("Ref", b.oid)))
+        result = run_local(prog('S [ (Pointer,"Ref",?X) ^^X ]* (Keyword,"K",?) -> T'), [a.oid], store.get)
+        assert len(result.oids) == 2
+
+    def test_self_loop_terminates(self):
+        store = MemStore("s1")
+        a = store.create([keyword_tuple("K")])
+        store.replace(store.get(a.oid).with_tuple(pointer_tuple("Ref", a.oid)))
+        result = run_local(prog('S [ (Pointer,"Ref",?X) ^^X ]* (Keyword,"K",?) -> T'), [a.oid], store.get)
+        assert len(result.oids) == 1
+
+    def test_diamond_graph_deduplicates(self):
+        # a -> b, a -> c, b -> d, c -> d: d reached twice, processed once.
+        store = MemStore("s1")
+        d = store.create([keyword_tuple("K"), ])
+        store.replace(store.get(d.oid).with_tuple(pointer_tuple("Ref", d.oid)))
+        b = store.create([pointer_tuple("Ref", d.oid), keyword_tuple("K")])
+        c = store.create([pointer_tuple("Ref", d.oid), keyword_tuple("K")])
+        a = store.create([pointer_tuple("Ref", b.oid), pointer_tuple("Ref", c.oid), keyword_tuple("K")])
+        result = run_local(prog('S [ (Pointer,"Ref",?X) ^^X ]* (Keyword,"K",?) -> T'), [a.oid], store.get)
+        assert len(result.oids) == 4
+        assert result.stats.objects_processed == 4
+        # Two suppressed admissions: d's second reaching (via c) and the
+        # self-spawn from d's own self-pointer.
+        assert result.stats.objects_skipped_marked == 2
+
+
+class TestMarkTableSubtlety:
+    def test_failed_object_reprocessed_at_later_position(self):
+        # O fails F1, but is reached by a dereference and must still be
+        # processed from F3 (the paper's mark-table subtlety).
+        store = MemStore("s1")
+        o = store.create([keyword_tuple("Late")])  # fails F1 (no Early)
+        p = store.create([keyword_tuple("Early"), pointer_tuple("Ref", o.oid)])
+        program = prog('S (Keyword,"Early",?) (Pointer,"Ref",?X) ^^X (Keyword,"Late",?) -> T')
+        result = run_local(program, [o.oid, p.oid], store.get)
+        assert o.oid.key() in result.oid_keys()
+        assert p.oid.key() not in result.oid_keys()  # p lacks "Late"
+
+
+class TestInitialSets:
+    def test_multiple_seeds(self, chain_store, closure_program):
+        ids = chain_store.chain
+        result = run_local(closure_program, [ids["a"], ids["c"]], chain_store.get)
+        assert ids["d"].key() in result.oid_keys()
+
+    def test_empty_initial_set(self, closure_program, store):
+        result = run_local(closure_program, [], store.get)
+        assert len(result.oids) == 0
+
+    def test_duplicate_seeds_processed_once(self, chain_store, closure_program):
+        ids = chain_store.chain
+        result = run_local(closure_program, [ids["a"], ids["a"]], chain_store.get)
+        # One suppression for the duplicate seed, one for d's self-spawn.
+        assert result.stats.objects_skipped_marked == 2
+        assert result.stats.objects_processed == 4
+
+
+class TestDanglingPointers:
+    def test_missing_object_counted_not_fatal(self):
+        store = MemStore("s1")
+        ghost = Oid("s1", 999)
+        a = store.create([pointer_tuple("Ref", ghost), keyword_tuple("K")])
+        result = run_local(prog('S [ (Pointer,"Ref",?X) ^^X ]* (Keyword,"K",?) -> T'), [a.oid], store.get)
+        assert len(result.oids) == 1
+        assert result.stats.objects_missing == 1
+
+    def test_repeated_dangling_reference_fetched_once(self):
+        store = MemStore("s1")
+        ghost = Oid("s1", 999)
+        a = store.create([pointer_tuple("Ref", ghost), keyword_tuple("K")])
+        b = store.create([pointer_tuple("Ref", ghost), pointer_tuple("Ref", a.oid), keyword_tuple("K")])
+        result = run_local(prog('S [ (Pointer,"Ref",?X) ^^X ]* (Keyword,"K",?) -> T'), [b.oid], store.get)
+        assert result.stats.objects_missing == 1
+        assert result.stats.objects_skipped_marked >= 1
+
+
+class TestLimitsAndGuards:
+    def test_max_objects_guard(self, chain_store, closure_program):
+        ids = chain_store.chain
+        with pytest.raises(QueryLimitExceeded):
+            run_local(closure_program, [ids["a"]], chain_store.get, max_objects=2)
+
+    def test_run_refuses_remote_items(self, chain_store, closure_program):
+        ids = chain_store.chain
+        execution = QueryExecution(
+            closure_program,
+            chain_store.get,
+            site="s1",
+            locate=lambda oid: "elsewhere",  # everything looks remote
+        )
+        execution.seed([ids["a"]])
+        with pytest.raises(RuntimeError, match="remote"):
+            execution.run()
+
+
+class TestRetrievalIntegration:
+    def test_titles_bound_in_result(self):
+        store = MemStore("s1")
+        t1 = store.create([string_tuple("Author", "Chris Clifton"), string_tuple("Title", "HyperFile")])
+        t2 = store.create([string_tuple("Author", "Someone Else"), string_tuple("Title", "Other")])
+        program = prog('S (String,"Author","Chris Clifton") (String,"Title",->title) -> T')
+        result = run_local(program, [t1.oid, t2.oid], store.get)
+        assert result.retrieved == {"title": ["HyperFile"]}
+        assert result.oid_keys() == {t1.oid.key()}
+
+
+class TestDisciplineIndependence:
+    @pytest.mark.parametrize("discipline", ["fifo", "lifo", "priority"])
+    def test_same_results_any_order(self, chain_store, closure_program, discipline):
+        ids = chain_store.chain
+        result = run_local(closure_program, [ids["a"]], chain_store.get, discipline=discipline)
+        assert result.oid_keys() == {ids["a"].key(), ids["b"].key(), ids["d"].key()}

@@ -1,0 +1,63 @@
+"""Tests for the position-aware mark table (paper §3.1)."""
+
+from repro.core.oid import Oid
+from repro.engine.marktable import MarkTable
+
+O = Oid("s1", 0)
+P = Oid("s1", 1)
+
+
+class TestAdmission:
+    def test_fresh_object_is_processed(self):
+        assert MarkTable().should_process(O, 1)
+
+    def test_marked_position_suppresses(self):
+        mt = MarkTable()
+        mt.mark(O, 1)
+        assert not mt.should_process(O, 1)
+
+    def test_paper_subtlety_different_position_still_processed(self):
+        # "even though O was seen earlier (at F1), it still needs to be
+        # processed starting at F3."
+        mt = MarkTable()
+        mt.mark(O, 1)
+        assert mt.should_process(O, 3)
+        mt.mark(O, 3)
+        assert not mt.should_process(O, 3)
+        assert mt.positions(O) == {1, 3}
+
+    def test_hint_insensitive(self):
+        mt = MarkTable()
+        mt.mark(Oid("s1", 0, presumed_site="s2"), 1)
+        assert not mt.should_process(Oid("s1", 0, presumed_site="s9"), 1)
+
+    def test_objects_are_independent(self):
+        mt = MarkTable()
+        mt.mark(O, 1)
+        assert mt.should_process(P, 1)
+
+
+class TestCounters:
+    def test_seen_and_sizes(self):
+        mt = MarkTable()
+        assert not mt.seen(O)
+        mt.mark(O, 1)
+        mt.mark(O, 2)
+        mt.mark(P, 1)
+        assert mt.seen(O) and len(mt) == 2
+        assert mt.objects_seen == 2
+        assert mt.total_marks == 3
+
+    def test_mark_operations_count_re_marks(self):
+        mt = MarkTable()
+        mt.mark(O, 1)
+        mt.mark(O, 1)  # same pair again (loop-back re-mark)
+        assert mt.total_marks == 1
+        assert mt.mark_operations == 2
+
+    def test_clear(self):
+        mt = MarkTable()
+        mt.mark(O, 1)
+        mt.clear()
+        assert mt.should_process(O, 1)
+        assert mt.objects_seen == 0

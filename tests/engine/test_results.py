@@ -1,0 +1,74 @@
+"""Direct tests for result containers and execution statistics."""
+
+import pytest
+
+from repro.core.oid import Oid
+from repro.engine.results import ExecutionStats, QueryResult, ResultSet
+
+A = Oid("s1", 0)
+B = Oid("s1", 1)
+A_HINTED = Oid("s1", 0, presumed_site="s9")
+
+
+class TestResultSet:
+    def test_add_reports_novelty(self):
+        rs = ResultSet()
+        assert rs.add(A) is True
+        assert rs.add(A) is False
+        assert len(rs) == 1
+
+    def test_hint_insensitive_dedup(self):
+        rs = ResultSet()
+        rs.add(A)
+        assert rs.add(A_HINTED) is False
+        assert A_HINTED in rs
+
+    def test_insertion_order_preserved(self):
+        rs = ResultSet()
+        rs.extend([B, A])
+        assert rs.as_list() == [B, A]
+        assert [o for o in rs] == [B, A]
+
+    def test_extend_counts_new_only(self):
+        rs = ResultSet()
+        rs.add(A)
+        assert rs.extend([A, B, B]) == 1
+
+    def test_key_set_projection(self):
+        rs = ResultSet()
+        rs.extend([A, B])
+        assert rs.as_key_set() == {("s1", 0), ("s1", 1)}
+
+
+class TestExecutionStats:
+    def test_merge_accumulates_every_counter(self):
+        a = ExecutionStats(objects_processed=3, remote_derefs=2, emissions=1)
+        b = ExecutionStats(objects_processed=4, results_added=5, objects_missing=1)
+        a.merge(b)
+        assert a.objects_processed == 7
+        assert a.remote_derefs == 2
+        assert a.results_added == 5
+        assert a.objects_missing == 1
+        assert a.emissions == 1
+
+
+class TestQueryResult:
+    def test_record_emission_groups_by_target(self):
+        result = QueryResult()
+        result.record_emission("title", "A")
+        result.record_emission("title", "B")
+        result.record_emission("year", 1991)
+        assert result.retrieved == {"title": ["A", "B"], "year": [1991]}
+        assert result.stats.emissions == 3
+
+    def test_oid_keys_shortcut(self):
+        result = QueryResult()
+        result.oids.add(A)
+        assert result.oid_keys() == {("s1", 0)}
+
+    def test_repr_is_informative(self):
+        result = QueryResult()
+        result.oids.add(A)
+        result.record_emission("t", "v")
+        text = repr(result)
+        assert "1 objects" in text and "t" in text

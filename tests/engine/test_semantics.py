@@ -1,0 +1,196 @@
+"""Deeper semantic tests: unrolling equivalence, nested iterators,
+operator interactions (paper §2–§3)."""
+
+import pytest
+
+from repro.core.parser import parse_query
+from repro.core.program import compile_query
+from repro.core.tuples import keyword_tuple, pointer_tuple
+from repro.engine.local import run_local
+from repro.storage.memstore import MemStore
+
+
+def prog(text):
+    return compile_query(parse_query(text))
+
+
+def make_path(store, length, keyword="K", pointer="Ref"):
+    """A simple path o0 -> o1 -> ... -> o(length-1), all carrying keyword.
+
+    The last node gets a self-pointer so it can pass iterator bodies.
+    """
+    oids = [store.create([keyword_tuple(keyword)]).oid for _ in range(length)]
+    for i in range(length - 1):
+        store.replace(store.get(oids[i]).with_tuple(pointer_tuple(pointer, oids[i + 1])))
+    store.replace(store.get(oids[-1]).with_tuple(pointer_tuple(pointer, oids[-1])))
+    return oids
+
+
+class TestUnrollingEquivalence:
+    """The paper describes ``[parts]^k`` as "repeat k times, as if the loop
+    was unrolled" — but its own walkthrough and E-function pseudocode bound
+    the pointer-chain *length* at k objects (the ^3 example explicitly
+    never examines D, at depth 4).  The algorithm is normative: ``^k``
+    over a chain behaves like the body unrolled k-1 times (and ``^1``
+    coincides with ``^2``, since the body always executes at least once
+    on the way to the marker)."""
+
+    @pytest.mark.parametrize("k", [2, 3, 4])
+    def test_bounded_iterator_equals_body_unrolled_k_minus_1(self, k):
+        store = MemStore("s1")
+        oids = make_path(store, 8)
+        body = '(Pointer,"Ref",?X) ^^X'
+        looped = prog(f'S [ {body} ]^{k} (Keyword,"K",?) -> T')
+        unrolled = prog("S " + " ".join([body] * (k - 1)) + ' (Keyword,"K",?) -> T')
+        r_loop = run_local(looped, [oids[0]], store.get)
+        r_flat = run_local(unrolled, [oids[0]], store.get)
+        assert r_loop.oid_keys() == r_flat.oid_keys()
+
+    def test_k1_coincides_with_k2(self):
+        store = MemStore("s1")
+        oids = make_path(store, 8)
+        body = '(Pointer,"Ref",?X) ^^X'
+        r1 = run_local(prog(f'S [ {body} ]^1 (Keyword,"K",?) -> T'), [oids[0]], store.get)
+        r2 = run_local(prog(f'S [ {body} ]^2 (Keyword,"K",?) -> T'), [oids[0]], store.get)
+        assert r1.oid_keys() == r2.oid_keys()
+
+    @pytest.mark.parametrize("k", [2, 3, 5])
+    def test_chain_length_bounded_at_k(self, k):
+        # The walkthrough's rule: objects at chain length <= k are
+        # examined; anything deeper is never spawned.
+        store = MemStore("s1")
+        oids = make_path(store, 10)
+        result = run_local(
+            prog(f'S [ (Pointer,"Ref",?X) ^^X ]^{k} (Keyword,"K",?) -> T'),
+            [oids[0]],
+            store.get,
+        )
+        expected = {oids[i].key() for i in range(k)}
+        assert result.oid_keys() == expected
+
+
+class TestClosureVsBounded:
+    def test_closure_covers_everything(self):
+        store = MemStore("s1")
+        oids = make_path(store, 12)
+        result = run_local(
+            prog('S [ (Pointer,"Ref",?X) ^^X ]* (Keyword,"K",?) -> T'), [oids[0]], store.get
+        )
+        assert result.oid_keys() == {o.key() for o in oids}
+
+    def test_large_k_equals_closure_on_acyclic_graph(self):
+        store = MemStore("s1")
+        oids = make_path(store, 6)
+        closure = run_local(
+            prog('S [ (Pointer,"Ref",?X) ^^X ]* (Keyword,"K",?) -> T'), [oids[0]], store.get
+        )
+        bounded = run_local(
+            prog('S [ (Pointer,"Ref",?X) ^^X ]^50 (Keyword,"K",?) -> T'), [oids[0]], store.get
+        )
+        assert closure.oid_keys() == bounded.oid_keys()
+
+
+class TestDerefVariants:
+    def test_drop_source_excludes_seeds(self):
+        store = MemStore("s1")
+        oids = make_path(store, 3)
+        result = run_local(
+            prog('S (Pointer,"Ref",?X) ^X (Keyword,"K",?) -> T'), [oids[0]], store.get
+        )
+        # Only o1 (the referenced object) can reach the keyword filter.
+        assert result.oid_keys() == {oids[1].key()}
+
+    def test_keep_source_includes_seeds(self):
+        store = MemStore("s1")
+        oids = make_path(store, 3)
+        result = run_local(
+            prog('S (Pointer,"Ref",?X) ^^X (Keyword,"K",?) -> T'), [oids[0]], store.get
+        )
+        assert result.oid_keys() == {oids[0].key(), oids[1].key()}
+
+
+class TestLeafDropSubtlety:
+    """Objects that fail a filter inside an iterator body are dropped —
+    the strict consequence of the paper's E function (documented in
+    repro.workload.graphs)."""
+
+    def test_leaf_without_pointer_is_dropped(self):
+        store = MemStore("s1")
+        leaf = store.create([keyword_tuple("K")])  # no outgoing pointer
+        root = store.create([pointer_tuple("Ref", leaf.oid), keyword_tuple("K")])
+        result = run_local(
+            prog('S [ (Pointer,"Ref",?X) ^^X ]* (Keyword,"K",?) -> T'), [root.oid], store.get
+        )
+        assert result.oid_keys() == {root.oid.key()}
+
+    def test_self_pointer_rescues_leaf(self):
+        store = MemStore("s1")
+        leaf = store.create([keyword_tuple("K")])
+        store.replace(store.get(leaf.oid).with_tuple(pointer_tuple("Ref", leaf.oid)))
+        root = store.create([pointer_tuple("Ref", leaf.oid), keyword_tuple("K")])
+        result = run_local(
+            prog('S [ (Pointer,"Ref",?X) ^^X ]* (Keyword,"K",?) -> T'), [root.oid], store.get
+        )
+        assert result.oid_keys() == {root.oid.key(), leaf.oid.key()}
+
+    def test_depth_k_object_checked_without_body_pass(self):
+        # An object at exactly depth k exits the iterator immediately
+        # (iter# >= k) and is checked by trailing filters even with no
+        # outgoing pointers — the asymmetry in the paper's walkthrough.
+        store = MemStore("s1")
+        leaf = store.create([keyword_tuple("K")])  # depth 2, no pointers
+        root = store.create([pointer_tuple("Ref", leaf.oid), keyword_tuple("K")])
+        result = run_local(
+            prog('S [ (Pointer,"Ref",?X) ^^X ]^2 (Keyword,"K",?) -> T'), [root.oid], store.get
+        )
+        assert leaf.oid.key() in result.oid_keys()
+
+
+class TestNestedIterators:
+    def test_two_level_traversal_terminates_and_covers_grid(self):
+        # A 2x3 grid: m[i][j] has a Sub pointer to m[i][j+1] (last: self)
+        # and a Part pointer to m[i+1][0] (last row: self).  The nested
+        # closure-over-bounded query terminates and — because the outer
+        # closure re-enters the inner loop, extending inner chains pass by
+        # pass — examines the whole grid.
+        store = MemStore("s1")
+        grid = [[store.create([keyword_tuple("K")]).oid for _ in range(3)] for _ in range(2)]
+        for i in range(2):
+            for j in range(3):
+                sub_target = grid[i][j + 1] if j + 1 < 3 else grid[i][j]
+                part_target = grid[i + 1][0] if i + 1 < 2 else grid[i][j]
+                store.replace(
+                    store.get(grid[i][j])
+                    .with_tuple(pointer_tuple("Sub", sub_target))
+                    .with_tuple(pointer_tuple("Part", part_target))
+                )
+        program = prog(
+            'S [ [ (Pointer,"Sub",?Y) ^^Y ]^2 (Pointer,"Part",?X) ^^X ]* (Keyword,"K",?) -> T'
+        )
+        result = run_local(program, [grid[0][0]], store.get)
+        assert result.oid_keys() == {oid.key() for row in grid for oid in row}
+
+    def test_inner_counter_resets_per_outer_pass(self):
+        # Inner ^1 bound must be enforced per inner-loop chain, not
+        # globally: each part's first sub is reached (depth 1) but its
+        # second sub (depth 2) is not.
+        store = MemStore("s1")
+        deep = store.create([keyword_tuple("K")])
+        mid = store.create([pointer_tuple("Sub", deep.oid), keyword_tuple("K")])
+        part2 = store.create([pointer_tuple("Sub", mid.oid), keyword_tuple("K")])
+        store.replace(store.get(part2.oid).with_tuple(pointer_tuple("Part", part2.oid)))
+        part1 = store.create([pointer_tuple("Sub", mid.oid), pointer_tuple("Part", part2.oid), keyword_tuple("K")])
+        program = prog(
+            'S [ [ (Pointer,"Sub",?Y) ^^Y ]^1 (Pointer,"Part",?X) ^^X ]^2 (Keyword,"K",?) -> T'
+        )
+        result = run_local(program, [part1.oid], store.get)
+        assert deep.oid.key() not in result.oid_keys()
+
+
+class TestIdempotence:
+    def test_reprocessing_same_position_changes_nothing(self, chain_store, closure_program):
+        ids = chain_store.chain
+        once = run_local(closure_program, [ids["a"]], chain_store.get)
+        twice = run_local(closure_program, [ids["a"], ids["a"], ids["b"]], chain_store.get)
+        # Extra admissions of already-reachable objects add nothing.
+        assert once.oid_keys() == twice.oid_keys()

@@ -1,0 +1,91 @@
+"""Tests for the shared-memory multiprocessor engine (paper §6)."""
+
+import pytest
+
+from repro.core.parser import parse_query
+from repro.core.program import compile_query
+from repro.engine.local import run_local
+from repro.engine.shared_memory import SharedMemoryEngine
+from repro.workload import closure_query
+from tests.conftest import oid_indices
+
+
+def prog(text):
+    return compile_query(parse_query(text))
+
+
+@pytest.fixture
+def workload_setup(single_site_workload):
+    store, workload = single_site_workload
+    program = compile_query(closure_query("Tree", "Rand10p", 5))
+    reference = run_local(program, [workload.root], store.get)
+    return store, workload, program, reference
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("workers", [1, 2, 4, 8, 16])
+    def test_same_results_any_worker_count(self, workload_setup, workers):
+        store, workload, program, reference = workload_setup
+        report = SharedMemoryEngine(program, store.get, workers=workers).run([workload.root])
+        assert report.result.oid_keys() == reference.oid_keys()
+
+    def test_late_marking_same_results(self, workload_setup):
+        # Paper: no strict locking needed; duplicates possible, results
+        # identical ("due to the set-based nature of the result").
+        store, workload, program, reference = workload_setup
+        report = SharedMemoryEngine(
+            program, store.get, workers=8, mark_timing="late"
+        ).run([workload.root])
+        assert report.result.oid_keys() == reference.oid_keys()
+
+    def test_retrievals_collected(self, chain_store):
+        program = prog('S (Keyword,"Distributed",?) (Pointer,"Reference",->ref) -> T')
+        ids = chain_store.chain
+        report = SharedMemoryEngine(program, chain_store.get, workers=2).run(
+            [ids["a"], ids["b"], ids["c"], ids["d"]]
+        )
+        assert len(report.result.retrieved["ref"]) == 3  # a, b, d match
+
+
+class TestParallelism:
+    def test_speedup_grows_with_workers(self, workload_setup):
+        store, workload, program, _ = workload_setup
+        mk1 = SharedMemoryEngine(program, store.get, workers=1).run([workload.root]).makespan_s
+        mk4 = SharedMemoryEngine(program, store.get, workers=4).run([workload.root]).makespan_s
+        assert mk4 < mk1 * 0.5  # tree fan-out parallelises well
+
+    def test_total_work_invariant_under_early_marking(self, workload_setup):
+        store, workload, program, _ = workload_setup
+        w1 = SharedMemoryEngine(program, store.get, workers=1).run([workload.root])
+        w8 = SharedMemoryEngine(program, store.get, workers=8).run([workload.root])
+        assert abs(w1.total_work_s - w8.total_work_s) < 1e-9
+
+    def test_speedup_property(self, workload_setup):
+        store, workload, program, _ = workload_setup
+        report = SharedMemoryEngine(program, store.get, workers=4).run([workload.root])
+        assert 1.0 <= report.speedup_vs_serial <= 4.0 + 1e-9
+
+    def test_serial_chain_gets_no_speedup(self, workload_setup):
+        store, workload, program, _ = workload_setup
+        chain_prog = compile_query(closure_query("Chain", "Rand10p", 5))
+        mk1 = SharedMemoryEngine(chain_prog, store.get, workers=1).run([workload.root]).makespan_s
+        mk8 = SharedMemoryEngine(chain_prog, store.get, workers=8).run([workload.root]).makespan_s
+        # A linked list admits no parallelism: one object unlocks the next.
+        assert mk8 >= mk1 * 0.95
+
+
+class TestValidation:
+    def test_rejects_zero_workers(self, workload_setup):
+        store, workload, program, _ = workload_setup
+        with pytest.raises(ValueError):
+            SharedMemoryEngine(program, store.get, workers=0)
+
+    def test_rejects_unknown_mark_timing(self, workload_setup):
+        store, workload, program, _ = workload_setup
+        with pytest.raises(ValueError):
+            SharedMemoryEngine(program, store.get, mark_timing="whenever")
+
+    def test_per_worker_accounting_sums(self, workload_setup):
+        store, workload, program, reference = workload_setup
+        report = SharedMemoryEngine(program, store.get, workers=4).run([workload.root])
+        assert sum(report.per_worker_objects) == reference.stats.objects_processed

@@ -1,0 +1,88 @@
+"""Tests for working-set disciplines (paper §3.1 footnote 4)."""
+
+import pytest
+
+from repro.core.oid import Oid
+from repro.engine.items import WorkItem
+from repro.engine.workset import (
+    DISCIPLINES,
+    FifoWorkSet,
+    LifoWorkSet,
+    PriorityWorkSet,
+    make_workset,
+)
+
+
+def items(*starts_and_depths):
+    out = []
+    for i, (start, depth) in enumerate(starts_and_depths):
+        out.append(WorkItem(Oid("s1", i), start, ((99, depth),)))
+    return out
+
+
+class TestFifo:
+    def test_queue_order(self):
+        ws = FifoWorkSet()
+        a, b, c = items((1, 1), (1, 1), (1, 1))
+        ws.extend([a, b, c])
+        assert [ws.pop(), ws.pop(), ws.pop()] == [a, b, c]
+
+    def test_breadth_first_shape(self):
+        # FIFO processes generation k entirely before generation k+1.
+        ws = FifoWorkSet()
+        gen1 = items((1, 1), (1, 1))
+        gen2 = items((1, 2), (1, 2))
+        ws.extend(gen1)
+        ws.extend(gen2)
+        popped = [ws.pop() for _ in range(4)]
+        assert popped[:2] == gen1
+
+
+class TestLifo:
+    def test_stack_order(self):
+        ws = LifoWorkSet()
+        a, b, c = items((1, 1), (1, 1), (1, 1))
+        ws.extend([a, b, c])
+        assert [ws.pop(), ws.pop(), ws.pop()] == [c, b, a]
+
+
+class TestPriority:
+    def test_default_prefers_shallow_chains(self):
+        ws = PriorityWorkSet()
+        deep, shallow = items((1, 5), (1, 2))
+        ws.add(deep)
+        ws.add(shallow)
+        assert ws.pop() == shallow
+
+    def test_ties_break_by_insertion_order(self):
+        ws = PriorityWorkSet()
+        a, b = items((1, 3), (1, 3))
+        ws.add(a)
+        ws.add(b)
+        assert ws.pop() == a
+
+    def test_custom_key(self):
+        ws = PriorityWorkSet(key=lambda item: -item.start)
+        lo, hi = WorkItem(Oid("s1", 0), 1), WorkItem(Oid("s1", 1), 9)
+        ws.add(lo)
+        ws.add(hi)
+        assert ws.pop() == hi
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            PriorityWorkSet().pop()
+
+
+class TestCommon:
+    @pytest.mark.parametrize("name", sorted(DISCIPLINES))
+    def test_len_and_bool(self, name):
+        ws = make_workset(name)
+        assert not ws and len(ws) == 0
+        ws.add(WorkItem(Oid("s1", 0)))
+        assert ws and len(ws) == 1
+        ws.pop()
+        assert not ws
+
+    def test_unknown_discipline(self):
+        with pytest.raises(ValueError, match="unknown work-set discipline"):
+            make_workset("zigzag")

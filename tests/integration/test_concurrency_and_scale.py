@@ -1,0 +1,112 @@
+"""Concurrent multi-query service and larger-scale runs.
+
+The paper's server is "a shared resource": several applications pose
+queries against the same sites simultaneously.  The node interleaves
+per-query work round-robin; these tests pin the service properties —
+isolation (each query's answer is unaffected by the others), fairness
+(no query starves), and context bookkeeping — plus a 10x-scale run to
+guard against accidental quadratic behaviour.
+"""
+
+import time
+
+import pytest
+
+from repro.cluster import SimCluster
+from repro.workload import (
+    WorkloadSpec,
+    build_graph,
+    closure_query,
+    generate_into_cluster,
+    unique_query,
+)
+from tests.conftest import oid_indices
+
+SPEC = WorkloadSpec(n_objects=90)
+GRAPH = build_graph(n=90)
+
+
+class TestConcurrentQueries:
+    def test_ten_interleaved_queries_all_isolated(self):
+        cluster = SimCluster(3)
+        workload = generate_into_cluster(cluster, SPEC, GRAPH)
+        queries = [closure_query("Tree", "Rand10p", v) for v in range(1, 11)]
+        qids = [cluster.submit(q, [workload.root]) for q in queries]
+        cluster.run()
+
+        # Reference answers from isolated runs on a fresh cluster.
+        for query, qid in zip(queries, qids):
+            outcome = cluster.outcome(qid)
+            assert outcome is not None
+            fresh = SimCluster(3)
+            w2 = generate_into_cluster(fresh, SPEC, GRAPH)
+            expected = fresh.run_query(query, [w2.root])
+            assert oid_indices(workload, outcome.result.oid_keys()) == oid_indices(
+                w2, expected.result.oid_keys()
+            )
+
+    def test_mixed_shapes_share_sites(self):
+        cluster = SimCluster(3)
+        workload = generate_into_cluster(cluster, SPEC, GRAPH)
+        qids = [
+            cluster.submit(closure_query("Chain", "Common", 0), [workload.root]),
+            cluster.submit(unique_query("Tree", 7), [workload.root]),
+            cluster.submit(closure_query("Rand50", "Rand10p", 5), [workload.root]),
+        ]
+        cluster.run()
+        outcomes = [cluster.outcome(q) for q in qids]
+        assert all(o is not None for o in outcomes)
+        assert len(outcomes[0].result.oids) == SPEC.n_objects  # chain + common
+        assert len(outcomes[1].result.oids) <= 1
+
+    def test_concurrent_queries_interleave_rather_than_serialise(self):
+        # Two identical tree queries submitted together: each site
+        # round-robins between them, so the pair finishes far sooner than
+        # twice the single-query time (they overlap on different objects'
+        # processing but share each CPU).
+        single = SimCluster(3)
+        w1 = generate_into_cluster(single, SPEC, GRAPH)
+        alone = single.run_query(closure_query("Tree", "Rand10p", 5), [w1.root])
+
+        cluster = SimCluster(3)
+        w2 = generate_into_cluster(cluster, SPEC, GRAPH)
+        q1 = cluster.submit(closure_query("Tree", "Rand10p", 5), [w2.root])
+        q2 = cluster.submit(closure_query("Tree", "Rand10p", 6), [w2.root])
+        cluster.run()
+        both_done = max(cluster.outcome(q).completed_at for q in (q1, q2))
+        # Sharing a CPU, two queries cost ~2x the work; they must not
+        # cost meaningfully more than that (no interference overhead).
+        assert both_done < 2.3 * alone.response_time
+
+    def test_contexts_tracked_per_query(self):
+        cluster = SimCluster(3)
+        workload = generate_into_cluster(cluster, SPEC, GRAPH)
+        for v in range(1, 6):
+            cluster.run_query(closure_query("Tree", "Rand10p", v), [workload.root])
+        node = cluster.node("site0")
+        assert node.stats.contexts_created == 5
+        assert len(node.contexts) == 5
+
+
+class TestScale:
+    def test_10x_database(self):
+        spec = WorkloadSpec(n_objects=2700)
+        graph = build_graph(n=2700)
+        cluster = SimCluster(9)
+        workload = generate_into_cluster(cluster, spec, graph)
+        started = time.monotonic()
+        outcome = cluster.run_query(closure_query("Tree", "Rand10p", 5), [workload.root])
+        wall = time.monotonic() - started
+        assert outcome.result.stats.objects_processed == 2700
+        assert len(outcome.result.oids) > 150  # ~10% of 2700
+        assert wall < 20.0  # guard against accidental quadratic blow-ups
+
+    def test_scale_response_time_tracks_paper_model(self):
+        # 2700 objects on 9 sites: local work is 300 x 8 ms = 2.4 s per
+        # site in parallel; response time must stay the same order.
+        spec = WorkloadSpec(n_objects=2700)
+        graph = build_graph(n=2700)
+        cluster = SimCluster(9)
+        workload = generate_into_cluster(cluster, spec, graph)
+        outcome = cluster.run_query(closure_query("Tree", "Rand10p", 5), [workload.root])
+        assert 2.4 < outcome.response_time < 15.0

@@ -1,0 +1,67 @@
+"""Tests for query-context garbage collection."""
+
+import pytest
+
+from repro.cluster import SimCluster
+from repro.core import keyword_tuple, pointer_tuple
+
+CLOSURE = 'S [ (Pointer,"Ref",?X) ^^X ]* (Keyword,"K",?) -> T'
+
+
+def build(cluster):
+    s0, s1, s2 = (cluster.store(s) for s in cluster.sites)
+    d = s0.create([keyword_tuple("K")])
+    s0.replace(s0.get(d.oid).with_tuple(pointer_tuple("Ref", d.oid)))
+    c = s2.create([pointer_tuple("Ref", d.oid)])
+    b = s1.create([pointer_tuple("Ref", c.oid), keyword_tuple("K")])
+    a = s0.create([pointer_tuple("Ref", b.oid), keyword_tuple("K")])
+    return a.oid
+
+
+class TestContextGC:
+    def test_participant_contexts_purged(self):
+        cluster = SimCluster(3, gc_contexts=True)
+        seed = build(cluster)
+        outcome = cluster.run_query(CLOSURE, [seed])
+        cluster.run()  # let the purge messages land
+        assert outcome.qid not in cluster.node("site1").contexts
+        assert outcome.qid not in cluster.node("site2").contexts
+        # The originator keeps its context (it holds the final result).
+        assert outcome.qid in cluster.node("site0").contexts
+
+    def test_purge_messages_counted(self):
+        cluster = SimCluster(3, gc_contexts=True)
+        seed = build(cluster)
+        cluster.run_query(CLOSURE, [seed])
+        cluster.run()
+        assert cluster.total_stats().messages_sent.get("PurgeContext") == 2
+
+    def test_default_keeps_contexts_for_distributed_sets(self):
+        cluster = SimCluster(3)
+        seed = build(cluster)
+        outcome = cluster.run_query(CLOSURE, [seed])
+        cluster.run()
+        assert outcome.qid in cluster.node("site1").contexts
+
+    def test_gc_does_not_change_results(self):
+        plain = SimCluster(3)
+        gc = SimCluster(3, gc_contexts=True)
+        expected = None
+        for cluster in (plain, gc):
+            seed = build(cluster)
+            keys = cluster.run_query(CLOSURE, [seed]).result.oid_keys()
+            keys = {(site, lid) for site, lid in keys}
+            if expected is None:
+                expected = keys
+            else:
+                assert keys == expected
+
+    def test_repeat_queries_rebuild_contexts(self):
+        cluster = SimCluster(3, gc_contexts=True)
+        seed = build(cluster)
+        first = cluster.run_query(CLOSURE, [seed])
+        cluster.run()
+        second = cluster.run_query(CLOSURE, [seed])
+        assert second.result.oid_keys() == first.result.oid_keys()
+        # Each run created (and then freed) fresh participant contexts.
+        assert cluster.node("site1").stats.contexts_created == 2

@@ -1,0 +1,87 @@
+"""Tests for whole-object retrieval through the server (fetch protocol).
+
+The file-interface half of the paper's spectrum: "the server ... can
+only retrieve a file given its name or store a new file."  HyperFile
+keeps that capability alongside filtering; fetches pay real message and
+size-dependent transfer costs, which is exactly why queries that *don't*
+ship objects win.
+"""
+
+import pytest
+
+from repro.cluster import SimCluster
+from repro.core import keyword_tuple, text_tuple
+from repro.core.oid import Oid
+from repro.errors import HyperFileError
+from repro.sim.costs import PAPER_COSTS
+
+
+@pytest.fixture
+def cluster():
+    cluster = SimCluster(3)
+    s1 = cluster.store("site1")
+    obj = s1.create([keyword_tuple("K"), text_tuple("Body", "x" * 50_000)])
+    cluster.test_oid = obj.oid  # type: ignore[attr-defined]
+    return cluster
+
+
+class TestFetch:
+    def test_remote_fetch_round_trip(self, cluster):
+        fetched, elapsed = cluster.fetch_object(cluster.test_oid, via="site0")
+        assert fetched is not None
+        assert fetched.first("Text", "Body").data == "x" * 50_000
+        assert elapsed > PAPER_COSTS.remote_pointer_total_s
+
+    def test_transfer_time_scales_with_size(self, cluster):
+        small = cluster.store("site1").create([keyword_tuple("K")])
+        _, t_small = cluster.fetch_object(small.oid, via="site0")
+        _, t_big = cluster.fetch_object(cluster.test_oid, via="site0")
+        expected_extra = 50_000 / PAPER_COSTS.bandwidth_bytes_per_s
+        assert t_big - t_small == pytest.approx(expected_extra, rel=0.25)
+
+    def test_local_fetch_is_nearly_free(self, cluster):
+        local = cluster.store("site0").create([keyword_tuple("K")])
+        obj, elapsed = cluster.fetch_object(local.oid, via="site0")
+        assert obj is not None and elapsed < 0.005
+
+    def test_missing_object_returns_none(self, cluster):
+        ghost, elapsed = cluster.fetch_object(Oid("site1", 999), via="site0")
+        assert ghost is None
+        assert elapsed > 0  # the miss still cost a round trip
+
+    def test_migrated_object_chased_via_forwarding(self, cluster):
+        cluster.migrate(cluster.test_oid, "site2")
+        stale = cluster.test_oid.with_hint("site1")
+        fetched, elapsed = cluster.fetch_object(stale, via="site0")
+        assert fetched is not None
+        # One extra hop versus the direct fetch.
+        _, direct = cluster.fetch_object(cluster.test_oid.with_hint("site2"), via="site0")
+        assert elapsed > direct
+
+    def test_fetch_from_down_holder_raises(self, cluster):
+        cluster.set_down("site1")
+        with pytest.raises(HyperFileError, match="never completed"):
+            cluster.fetch_object(cluster.test_oid, via="site0")
+
+    def test_concurrent_fetches_keep_ids_apart(self, cluster):
+        other = cluster.store("site2").create([keyword_tuple("Other")])
+        a, _ = cluster.fetch_object(cluster.test_oid, via="site0")
+        b, _ = cluster.fetch_object(other.oid, via="site0")
+        assert a.oid.key() == cluster.test_oid.key()
+        assert b.oid.key() == other.oid.key()
+
+    def test_query_vs_fetch_economics(self, cluster):
+        # Fetching all three bulky objects costs more time than asking
+        # the keyword query that touches them server-side — §1's argument.
+        s2 = cluster.store("site2")
+        extra = [
+            s2.create([keyword_tuple("K"), text_tuple("Body", "y" * 50_000)]).oid
+            for _ in range(2)
+        ]
+        oids = [cluster.test_oid] + extra
+        fetch_total = 0.0
+        for oid in oids:
+            _, t = cluster.fetch_object(oid, via="site0")
+            fetch_total += t
+        outcome = cluster.run_query('S (Keyword, "K", ?) -> T', oids)
+        assert outcome.response_time < fetch_total

@@ -1,0 +1,98 @@
+"""Shape-level sanity checks for the paper's §5 findings.
+
+These are the fast (n=90) versions of the claims the full benchmarks
+measure at paper scale (n=270); they pin the qualitative results so a
+regression in the cost model or algorithm shows up in the test suite,
+not just in benchmark output:
+
+* distributed tree traversal beats single-site (parallelism wins);
+* distributed chain traversal is far slower (maximum delay);
+* low-locality pointer graphs are bad for distribution, high-locality
+  good — with the crossover near the paper's ~80%;
+* low-selectivity queries favour the single site, high-selectivity
+  queries favour distribution.
+"""
+
+import pytest
+
+from repro.cluster import SimCluster
+from repro.workload import (
+    WorkloadSpec,
+    build_graph,
+    closure_query,
+    generate_into_cluster,
+    pointer_key_for,
+    traversal_only_query,
+)
+
+SPEC = WorkloadSpec(n_objects=90)
+GRAPH = build_graph(n=90)
+
+#: The locality/selectivity crossovers need the paper's database size —
+#: at n=90 the random-graph closures are too small for parallelism to
+#: amortise the fixed message overheads.
+FULL_SPEC = WorkloadSpec()
+FULL_GRAPH = build_graph()
+
+
+def response_time(machines, query, spec=SPEC, graph=GRAPH):
+    cluster = SimCluster(machines)
+    workload = generate_into_cluster(cluster, spec, graph)
+    return cluster.run_query(query, [workload.root]).response_time
+
+
+def full_response_time(machines, query):
+    return response_time(machines, query, spec=FULL_SPEC, graph=FULL_GRAPH)
+
+
+class TestTreeAndChain:
+    def test_tree_parallelism_beats_single_site(self):
+        query = closure_query("Tree", "Rand10p", 5)
+        assert response_time(3, query) < response_time(1, query)
+
+    def test_more_machines_do_not_hurt_tree(self):
+        query = closure_query("Tree", "Rand10p", 5)
+        assert response_time(9, query) <= response_time(3, query) * 1.10
+
+    def test_chain_is_far_slower_distributed(self):
+        query = closure_query("Chain", "Rand10p", 5)
+        single = response_time(1, query)
+        distributed = response_time(3, query)
+        assert distributed > 3 * single  # paper: 15 s vs 2.7 s (5.5x)
+
+    def test_chain_insensitive_to_machine_count(self):
+        # The chain serialises everything; 3 vs 9 machines is a wash.
+        query = closure_query("Chain", "Rand10p", 5)
+        t3, t9 = response_time(3, query), response_time(9, query)
+        assert t9 == pytest.approx(t3, rel=0.15)
+
+
+class TestLocalitySweep:
+    def test_low_locality_hurts_distribution(self):
+        query = closure_query(pointer_key_for(0.05), "Rand10p", 5)
+        assert full_response_time(3, query) > full_response_time(1, query)
+
+    def test_high_locality_helps_distribution(self):
+        query = closure_query(pointer_key_for(0.95), "Rand10p", 5)
+        assert full_response_time(3, query) <= full_response_time(1, query)
+
+    def test_more_machines_tolerate_more_remote_references(self):
+        # "with more machines we are more capable of handling a higher
+        # percentage of remote references"
+        query = closure_query(pointer_key_for(0.35), "Rand10p", 5)
+        assert full_response_time(9, query) < full_response_time(3, query)
+
+
+class TestSelectivity:
+    def test_unselective_queries_prefer_single_site(self):
+        query = traversal_only_query(pointer_key_for(0.95))
+        assert full_response_time(3, query) > full_response_time(1, query)
+
+    def test_selective_queries_prefer_distribution(self):
+        query = closure_query(pointer_key_for(0.95), "Rand1000p", 7)
+        assert full_response_time(3, query) <= full_response_time(1, query)
+
+    def test_returning_more_items_costs_more(self):
+        selective = closure_query("Tree", "Rand10p", 5)
+        unselective = traversal_only_query("Tree")
+        assert full_response_time(3, unselective) > full_response_time(3, selective)

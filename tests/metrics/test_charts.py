@@ -1,0 +1,54 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.metrics.charts import render_chart
+
+
+class TestRenderChart:
+    def test_basic_structure(self):
+        text = render_chart(
+            [0, 1, 2],
+            {"a": [0.0, 1.0, 2.0], "b": [2.0, 1.0, 0.0]},
+            width=20,
+            height=5,
+            title="demo",
+            x_label="x",
+            y_label="y",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "o=a" in text and "x=b" in text
+        assert "x: x   y: y" in text
+        # axis row present
+        assert any(set(line.strip()) <= {"+", "-"} and "+" in line for line in lines)
+
+    def test_extremes_labelled(self):
+        text = render_chart([0, 1], {"a": [3.5, 7.25]}, width=10, height=4)
+        assert "7.25" in text and "3.50" in text
+
+    def test_markers_placed_at_corners(self):
+        text = render_chart([0, 1], {"a": [0.0, 10.0]}, width=11, height=5)
+        rows = [line for line in text.splitlines() if "|" in line]
+        assert rows[0].rstrip().endswith("o")   # max value, rightmost column
+        assert rows[-1].split("|")[1][0] == "o"  # min value, leftmost column
+
+    def test_flat_series_does_not_divide_by_zero(self):
+        text = render_chart([0, 1, 2], {"a": [5.0, 5.0, 5.0]}, width=12, height=4)
+        assert "o" in text
+
+    def test_single_point(self):
+        text = render_chart([1], {"a": [2.0]}, width=10, height=4)
+        assert "o" in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            render_chart([], {"a": []})
+        with pytest.raises(ValueError):
+            render_chart([0, 1], {"a": [1.0]})
+        with pytest.raises(ValueError):
+            render_chart([0], {str(i): [0.0] for i in range(20)})
+
+    def test_interpolation_dots_between_points(self):
+        text = render_chart([0, 10], {"a": [0.0, 10.0]}, width=30, height=10)
+        assert "." in text  # the connecting line

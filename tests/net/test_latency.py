@@ -1,0 +1,56 @@
+"""Tests for heterogeneous link latencies (wide-area deployments)."""
+
+import pytest
+
+from repro.cluster import SimCluster
+from repro.core import keyword_tuple, pointer_tuple
+from repro.errors import UnknownSite
+
+CLOSURE = 'S [ (Pointer,"Ref",?X) ^^X ]* (Keyword,"K",?) -> T'
+
+
+def build_hop(cluster):
+    s0, s1 = cluster.store("site0"), cluster.store("site1")
+    b = s1.create([keyword_tuple("K")])
+    s1.replace(s1.get(b.oid).with_tuple(pointer_tuple("Ref", b.oid)))
+    a = s0.create([pointer_tuple("Ref", b.oid), keyword_tuple("K")])
+    return a.oid
+
+
+class TestLinkLatency:
+    def test_slow_link_slows_the_query(self):
+        fast = SimCluster(2)
+        slow = SimCluster(2)
+        slow.set_link_latency("site0", "site1", 0.500)  # a long-haul link
+        t = {}
+        for name, cluster in (("fast", fast), ("slow", slow)):
+            seed = build_hop(cluster)
+            t[name] = cluster.run_query(CLOSURE, [seed]).response_time
+        # The slow run pays the extra latency on the deref and the result
+        # return: about 2 x (500 - 20) ms more.
+        assert t["slow"] - t["fast"] == pytest.approx(2 * 0.480, rel=0.05)
+
+    def test_latency_is_symmetric(self):
+        cluster = SimCluster(2)
+        cluster.set_link_latency("site1", "site0", 0.250)
+        assert cluster.network.latency("site0", "site1", 0.020) == 0.250
+        assert cluster.network.latency("site1", "site0", 0.020) == 0.250
+
+    def test_unaffected_links_keep_default(self):
+        cluster = SimCluster(3)
+        cluster.set_link_latency("site0", "site1", 0.250)
+        assert cluster.network.latency("site0", "site2", 0.020) == 0.020
+
+    def test_results_unchanged_by_latency(self):
+        cluster = SimCluster(2)
+        cluster.set_link_latency("site0", "site1", 1.0)
+        seed = build_hop(cluster)
+        out = cluster.run_query(CLOSURE, [seed])
+        assert len(out.result.oids) == 2
+
+    def test_validation(self):
+        cluster = SimCluster(2)
+        with pytest.raises(UnknownSite):
+            cluster.set_link_latency("site0", "siteX", 0.1)
+        with pytest.raises(ValueError):
+            cluster.set_link_latency("site0", "site1", -0.1)

@@ -1,0 +1,96 @@
+"""Tests for inter-site message types (paper §3.2)."""
+
+from repro.core.oid import Oid
+from repro.core.parser import parse_query
+from repro.core.program import compile_query
+from repro.engine.items import WorkItem
+from repro.net.messages import (
+    ControlMessage,
+    DerefRequest,
+    Envelope,
+    FetchReply,
+    FetchRequest,
+    QueryId,
+    ResultBatch,
+    SeedFromSaved,
+)
+
+
+def prog():
+    return compile_query(
+        parse_query('Root [ (Pointer,"Tree",?X) ^^X ]* (Rand10p, 5, ?) -> T')
+    )
+
+
+QID = QueryId(1, "site0")
+
+
+class TestQueryId:
+    def test_globally_unique_identity(self):
+        # "Q.id ... combined with Q.originator forms a globally unique id."
+        assert QueryId(1, "site0") == QueryId(1, "site0")
+        assert QueryId(1, "site0") != QueryId(1, "site1")
+        assert QueryId(1, "site0") != QueryId(2, "site0")
+
+    def test_str(self):
+        assert str(QID) == "q1@site0"
+
+
+class TestDerefRequest:
+    def test_carries_the_three_object_fields(self):
+        # The message includes O.id, O.start and O.iter# — nothing else
+        # about the object (its mvars/next are reconstructed).
+        item = WorkItem(Oid("site1", 3), start=3, iters=((3, 2),))
+        msg = DerefRequest(QID, prog(), item)
+        assert msg.item.oid == Oid("site1", 3)
+        assert msg.item.start == 3
+        assert dict(msg.item.iters) == {3: 2}
+
+    def test_wire_size_is_small(self):
+        # "Our messages send only the query (about 40 bytes ...)".
+        msg = DerefRequest(QID, prog(), WorkItem(Oid("site1", 3)))
+        assert msg.wire_size() < 150
+
+
+class TestResultBatch:
+    def test_item_count_sums_oids_and_emissions(self):
+        batch = ResultBatch(QID, oids=(Oid("s1", 1), Oid("s1", 2)), emissions=(("t", "v"),))
+        assert batch.item_count == 3
+
+    def test_count_only_batch(self):
+        batch = ResultBatch(QID, count_only=True, count=40)
+        assert batch.item_count == 1  # one integration step at originator
+        assert batch.wire_size() < 64  # tiny regardless of count
+
+    def test_wire_size_scales_with_items(self):
+        small = ResultBatch(QID, oids=(Oid("s1", 1),))
+        big = ResultBatch(QID, oids=tuple(Oid("s1", i) for i in range(50)))
+        assert big.wire_size() > small.wire_size() * 10
+
+
+class TestEnvelope:
+    def test_size_uses_payload_wire_size(self):
+        msg = ResultBatch(QID, oids=(Oid("s1", 1),))
+        env = Envelope("site1", "site0", msg)
+        assert env.size_bytes == msg.wire_size()
+
+    def test_unknown_payload_gets_default_size(self):
+        env = Envelope("a", "b", object())
+        assert env.size_bytes == 64
+
+
+class TestOtherMessages:
+    def test_control_message(self):
+        msg = ControlMessage(QID, "ds-ack")
+        assert msg.wire_size() > 0
+
+    def test_seed_from_saved(self):
+        msg = SeedFromSaved(QID, prog(), QueryId(0, "site0"))
+        assert msg.source_qid.seq == 0
+        assert msg.wire_size() > 20
+
+    def test_fetch_round_trip_sizes(self):
+        req = FetchRequest(1, Oid("s1", 2))
+        assert req.wire_size() < 64
+        reply_empty = FetchReply(1, None)
+        assert reply_empty.wire_size() < 64

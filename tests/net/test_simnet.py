@@ -1,0 +1,97 @@
+"""Tests for the simulated network/host layer."""
+
+import pytest
+
+from repro.cluster import SimCluster
+from repro.core import keyword_tuple, pointer_tuple
+from repro.errors import UnknownSite
+from repro.net.messages import Envelope, QueryId, ResultBatch
+from repro.net.simnet import SimNetwork
+from repro.server.node import ServerNode
+from repro.sim.costs import PAPER_COSTS
+from repro.sim.kernel import Simulator
+from repro.storage.memstore import MemStore
+
+
+def two_host_network():
+    sim = Simulator()
+    net = SimNetwork(sim)
+    nodes = [ServerNode(f"site{i}", MemStore(f"site{i}")) for i in range(2)]
+    hosts = [net.attach(n) for n in nodes]
+    return sim, net, nodes, hosts
+
+
+class TestDelivery:
+    def test_latency_applied(self):
+        cluster = SimCluster(2)
+        s0, s1 = cluster.store("site0"), cluster.store("site1")
+        b = s1.create([keyword_tuple("K")])
+        s1.replace(s1.get(b.oid).with_tuple(pointer_tuple("Ref", b.oid)))
+        a = s0.create([pointer_tuple("Ref", b.oid), keyword_tuple("K")])
+        out = cluster.run_query('S [ (Pointer,"Ref",?X) ^^X ]* (Keyword,"K",?) -> T', [a.oid])
+        # Serial path: a processed + 1 remote hop + b processed + results.
+        assert out.response_time > PAPER_COSTS.remote_pointer_total_s
+
+    def test_unknown_destination(self):
+        sim, net, _, _ = two_host_network()
+        with pytest.raises(UnknownSite):
+            net.deliver(Envelope("site0", "siteX", ResultBatch(QueryId(1, "site0"))), at=0.0)
+
+    def test_delivery_counters(self):
+        cluster = SimCluster(2)
+        s0, s1 = cluster.store("site0"), cluster.store("site1")
+        b = s1.create([keyword_tuple("K")])
+        s1.replace(s1.get(b.oid).with_tuple(pointer_tuple("Ref", b.oid)))
+        a = s0.create([pointer_tuple("Ref", b.oid), keyword_tuple("K")])
+        cluster.run_query('S [ (Pointer,"Ref",?X) ^^X ]* (Keyword,"K",?) -> T', [a.oid])
+        assert cluster.network.messages_delivered >= 2  # deref + results
+        assert cluster.network.bytes_delivered > 0
+
+
+class TestAvailability:
+    def test_down_site_drops_in_flight_messages(self):
+        # A message already on the wire to a site that goes down before
+        # arrival is dropped (connection refused), not queued forever.
+        sim, net, nodes, hosts = two_host_network()
+        env = Envelope("site0", "site1", ResultBatch(QueryId(1, "site1")))
+        net.deliver(env, at=1.0)
+        net.set_down("site1")
+        sim.run()
+        assert net.messages_dropped == 1
+        assert not nodes[1].inbox
+
+    def test_set_down_unknown_site(self):
+        _, net, _, _ = two_host_network()
+        with pytest.raises(UnknownSite):
+            net.set_down("siteX")
+        with pytest.raises(UnknownSite):
+            net.set_up("siteX")
+
+    def test_recovery_kicks_pending_work(self):
+        cluster = SimCluster(2)
+        s0 = cluster.store("site0")
+        a = s0.create([keyword_tuple("K")])
+        cluster.set_down("site0")
+        qid = cluster.submit('S (Keyword,"K",?) -> T', [a.oid], originator="site1")
+        cluster.run()
+        # site0 is down: the deref was dropped; query completed empty.
+        out = cluster.outcome(qid)
+        assert out is not None and len(out.result.oids) == 0
+
+
+class TestCpuSerialisation:
+    def test_busy_seconds_accumulate(self):
+        cluster = SimCluster(1)
+        store = cluster.store("site0")
+        oids = [store.create([keyword_tuple("K")]).oid for _ in range(10)]
+        cluster.run_query('S (Keyword,"K",?) -> T', oids)
+        busy = cluster.node("site0").stats.busy_seconds
+        expected_min = 10 * (PAPER_COSTS.object_process_s + PAPER_COSTS.result_insert_s)
+        assert busy >= expected_min
+
+    def test_virtual_time_at_least_busy_time(self):
+        cluster = SimCluster(1)
+        store = cluster.store("site0")
+        oids = [store.create([keyword_tuple("K")]).oid for _ in range(10)]
+        out = cluster.run_query('S (Keyword,"K",?) -> T', oids)
+        assert out.response_time >= cluster.node("site0").stats.busy_seconds * 0.99

@@ -1,0 +1,107 @@
+"""Property-based tests for the core data model (hypothesis)."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.objects import HFObject, make_set_object, set_members
+from repro.core.oid import Oid
+from repro.core.patterns import ANY, Bind, Literal, Range, Use, as_pattern
+from repro.core.tuples import HFTuple
+
+sites = st.text(alphabet=string.ascii_lowercase + string.digits, min_size=1, max_size=8)
+oids = st.builds(Oid, sites, st.integers(min_value=0, max_value=10_000))
+scalars = st.one_of(
+    st.text(max_size=12),
+    st.integers(min_value=-1_000_000, max_value=1_000_000),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    oids,
+)
+tuples_ = st.builds(
+    HFTuple,
+    st.text(alphabet=string.ascii_letters, min_size=1, max_size=10),
+    scalars,
+    scalars,
+)
+
+
+class TestOidProperties:
+    @given(oids)
+    def test_parse_str_round_trip(self, oid):
+        assert Oid.parse(str(oid)) == oid
+
+    @given(oids, sites)
+    def test_hint_never_affects_identity(self, oid, hint):
+        assert oid.with_hint(hint) == oid
+        assert hash(oid.with_hint(hint)) == hash(oid)
+        assert oid.with_hint(hint).key() == oid.key()
+
+
+class TestObjectProperties:
+    @given(st.lists(tuples_, max_size=12), oids)
+    def test_construction_idempotent(self, tuple_list, oid):
+        once = HFObject(oid, tuple_list)
+        twice = HFObject(oid, list(once.tuples))
+        assert once == twice
+        assert len(twice) == len(once)
+
+    @given(st.lists(tuples_, max_size=12), oids)
+    def test_duplicates_never_increase_size(self, tuple_list, oid):
+        base = HFObject(oid, tuple_list)
+        doubled = HFObject(oid, tuple_list + tuple_list)
+        assert len(doubled) == len(base)
+
+    @given(st.lists(tuples_, max_size=12), oids)
+    def test_order_insensitive_equality(self, tuple_list, oid):
+        assert HFObject(oid, tuple_list) == HFObject(oid, list(reversed(tuple_list)))
+
+    @given(st.lists(oids, max_size=10, unique_by=lambda o: o.key()), oids)
+    def test_set_object_round_trip(self, members, container):
+        set_obj = make_set_object(container, members)
+        assert [m.key() for m in set_members(set_obj)] == [m.key() for m in members]
+
+
+class TestPatternProperties:
+    @given(scalars)
+    def test_any_matches_everything(self, value):
+        assert ANY.match(value, {})[0]
+
+    @given(scalars)
+    def test_bind_matches_and_binds_exactly_the_value(self, value):
+        ok, bindings = Bind("X").match(value, {})
+        assert ok and bindings == (("X", value),)
+
+    @given(scalars)
+    def test_literal_is_reflexive(self, value):
+        assert Literal(value).match(value, {})[0]
+
+    @given(scalars, scalars)
+    def test_use_matches_iff_bound(self, bound, probe):
+        ok, _ = Use("X").match(probe, {"X": {bound} if _hashable(bound) else set()})
+        literal_ok = Literal(bound).match(probe, {})[0] if _hashable(bound) else False
+        assert ok == literal_ok
+
+    @given(
+        st.floats(min_value=-1e6, max_value=1e6),
+        st.floats(min_value=-1e6, max_value=1e6),
+        st.floats(min_value=-1e6, max_value=1e6),
+    )
+    def test_range_agrees_with_comparison(self, a, b, probe):
+        lo, hi = min(a, b), max(a, b)
+        ok, _ = Range(lo, hi).match(probe, {})
+        assert ok == (lo <= probe <= hi)
+
+    @given(st.text(min_size=2, max_size=10).filter(lambda s: not s.startswith(("?", "$"))))
+    def test_as_pattern_literal_for_plain_text(self, text):
+        pattern = as_pattern(text)
+        assert isinstance(pattern, Literal)
+        assert pattern.match(text, {})[0]
+
+
+def _hashable(value):
+    try:
+        hash(value)
+    except TypeError:
+        return False
+    return True

@@ -1,0 +1,81 @@
+"""Model-based property tests for the mark table and work sets."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.oid import Oid
+from repro.engine.items import WorkItem
+from repro.engine.marktable import MarkTable
+from repro.engine.workset import make_workset
+
+oids = st.builds(
+    Oid,
+    st.sampled_from(["s0", "s1", "s2"]),
+    st.integers(min_value=0, max_value=20),
+)
+positions = st.integers(min_value=1, max_value=8)
+
+
+class TestMarkTableModel:
+    @given(st.lists(st.tuples(oids, positions), max_size=60))
+    def test_matches_reference_dict_of_sets(self, operations):
+        table = MarkTable()
+        reference = {}
+        for oid, pos in operations:
+            # should_process must agree with the reference before marking.
+            expected = pos not in reference.get(oid.key(), set())
+            assert table.should_process(oid, pos) == expected
+            table.mark(oid, pos)
+            reference.setdefault(oid.key(), set()).add(pos)
+        assert table.objects_seen == len(reference)
+        assert table.total_marks == sum(len(v) for v in reference.values())
+
+    @given(st.lists(st.tuples(oids, positions), min_size=1, max_size=60))
+    def test_marking_is_monotone(self, operations):
+        # Once suppressed, an (oid, position) pair stays suppressed.
+        table = MarkTable()
+        for oid, pos in operations:
+            table.mark(oid, pos)
+            assert not table.should_process(oid, pos)
+
+    @given(oids, positions, positions)
+    def test_positions_independent(self, oid, p1, p2):
+        table = MarkTable()
+        table.mark(oid, p1)
+        if p2 != p1:
+            assert table.should_process(oid, p2)
+
+
+class TestWorkSetModel:
+    @given(
+        st.sampled_from(["fifo", "lifo", "priority"]),
+        st.lists(st.tuples(oids, positions), max_size=40),
+    )
+    def test_every_item_popped_exactly_once(self, discipline, entries):
+        ws = make_workset(discipline)
+        items = [WorkItem(oid, start) for oid, start in entries]
+        ws.extend(items)
+        popped = []
+        while ws:
+            popped.append(ws.pop())
+        assert sorted(popped, key=_sort_key) == sorted(items, key=_sort_key)
+
+    @given(
+        st.sampled_from(["fifo", "lifo", "priority"]),
+        st.lists(st.tuples(oids, positions), min_size=1, max_size=20),
+        st.lists(st.tuples(oids, positions), min_size=1, max_size=20),
+    )
+    def test_interleaved_add_pop(self, discipline, first, second):
+        ws = make_workset(discipline)
+        ws.extend(WorkItem(o, s) for o, s in first)
+        drained = [ws.pop() for _ in range(len(first) // 2)]
+        ws.extend(WorkItem(o, s) for o, s in second)
+        while ws:
+            drained.append(ws.pop())
+        assert len(drained) == len(first) + len(second)
+
+
+def _sort_key(item):
+    return (item.oid.birth_site, item.oid.local_id, item.start)

@@ -1,0 +1,109 @@
+"""Oracle test: the engine's selection semantics vs a naive reference.
+
+A straight-line reimplementation of the paper's selection rule ("an
+object passes when some tuple matches all three field patterns") is
+compared against the real engine over random objects and patterns.  The
+oracle is deliberately simple — no binding machinery — so it can only
+check bind-free patterns; a second block checks the binding rule
+(bindings accumulate exactly from fully-matching tuples).
+"""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.objects import HFObject
+from repro.core.oid import Oid
+from repro.core.parser import parse_query
+from repro.core.patterns import ANY, Literal, Range
+from repro.core.program import compile_query
+from repro.core.tuples import HFTuple
+from repro.engine.efunction import evaluate
+from repro.engine.items import WorkItem
+from repro.engine.local import run_local
+from repro.storage.memstore import MemStore
+
+types = st.sampled_from(["Keyword", "String", "Number", "Doc"])
+keys = st.one_of(
+    st.sampled_from(["a", "b", "c"]),
+    st.integers(min_value=0, max_value=5),
+)
+values = st.one_of(
+    st.sampled_from(["x", "y"]),
+    st.integers(min_value=0, max_value=9),
+)
+tuples_ = st.builds(HFTuple, types, keys, values)
+objects = st.lists(tuples_, max_size=8)
+
+bindfree_patterns = st.one_of(
+    st.just(ANY),
+    st.builds(Literal, st.one_of(keys, values, types)),
+    st.builds(
+        lambda lo, hi: Range(min(lo, hi), max(lo, hi)),
+        st.integers(min_value=0, max_value=9),
+        st.integers(min_value=0, max_value=9),
+    ),
+)
+
+
+def oracle_matches(pattern, value) -> bool:
+    """Reference semantics for bind-free patterns."""
+    if pattern is ANY:
+        return True
+    if isinstance(pattern, Literal):
+        if isinstance(pattern.value, bool) != isinstance(value, bool):
+            return False
+        return pattern.value == value
+    if isinstance(pattern, Range):
+        return (
+            isinstance(value, (int, float))
+            and not isinstance(value, bool)
+            and pattern.lo <= value <= pattern.hi
+        )
+    raise AssertionError("oracle only handles bind-free patterns")
+
+
+def oracle_passes(tuple_list, tp, kp, dp) -> bool:
+    return any(
+        oracle_matches(tp, t.type) and oracle_matches(kp, t.key) and oracle_matches(dp, t.data)
+        for t in tuple_list
+    )
+
+
+class TestSelectionOracle:
+    @settings(max_examples=300, deadline=None)
+    @given(objects, bindfree_patterns, bindfree_patterns, bindfree_patterns)
+    def test_engine_agrees_with_reference(self, tuple_list, tp, kp, dp):
+        from repro.core.ast import Query, Select
+        from repro.core.program import compile_query as compile_
+
+        store = MemStore("s1")
+        obj = store.create(tuple_list)
+        program = compile_(Query("S", (Select(tp, kp, dp),), "T"))
+        result = run_local(program, [obj.oid], store.get)
+        expected = oracle_passes(list(obj.tuples), tp, kp, dp)
+        assert (obj.oid.key() in result.oid_keys()) == expected
+
+
+class TestBindingRule:
+    @settings(max_examples=200, deadline=None)
+    @given(objects, st.sampled_from(["a", "b", "c", 0, 1]))
+    def test_bindings_are_exactly_matching_tuples_data(self, tuple_list, key):
+        # (?, key, ?X): X must end up bound to the data of every tuple
+        # whose key matches — and nothing else.
+        from repro.core.ast import Query, Select
+        from repro.core.patterns import Bind
+
+        store = MemStore("s1")
+        obj = store.create(tuple_list)
+        program = compile_query(Query("S", (Select(ANY, Literal(key), Bind("X")),), "T"))
+        active = WorkItem(obj.oid).activate()
+        spawned, passed = evaluate(program, active, store.get(obj.oid), lambda t, v: None)
+        expected = {
+            t.data for t in obj.tuples
+            if isinstance(t.key, bool) == isinstance(key, bool) and t.key == key
+        }
+        assert active.bindings("X") == expected
+        assert (passed is not None) == bool(expected)
+        assert spawned == []

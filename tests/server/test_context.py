@@ -1,0 +1,86 @@
+"""Direct tests of the per-site query context (flush cursors, partitions)."""
+
+import pytest
+
+from repro.core.oid import Oid
+from repro.core.parser import parse_query
+from repro.core.program import compile_query
+from repro.core.tuples import keyword_tuple, string_tuple
+from repro.engine.local import QueryExecution
+from repro.net.messages import QueryId
+from repro.server.context import QueryContext
+from repro.storage.memstore import MemStore
+from repro.termination.weights import WeightedStrategy
+
+
+def make_context(store, text='S (Keyword,"K",?) (String,"Title",->title) -> T'):
+    program = compile_query(parse_query(text))
+    execution = QueryExecution(program, store.get)
+    strategy = WeightedStrategy()
+    return QueryContext(
+        qid=QueryId(1, "site0"),
+        execution=execution,
+        is_originator=False,
+        term_state=strategy.new_state("site1", False),
+    )
+
+
+class TestFlushCursors:
+    def test_take_unflushed_returns_only_new_results(self, store):
+        a = store.create([keyword_tuple("K"), string_tuple("Title", "A")])
+        b = store.create([keyword_tuple("K"), string_tuple("Title", "B")])
+        ctx = make_context(store)
+
+        ctx.execution.seed([a.oid])
+        while ctx.execution.has_work:
+            ctx.execution.step()
+        oids, emissions = ctx.take_unflushed()
+        assert [o.key() for o in oids] == [a.oid.key()]
+        assert emissions == (("title", "A"),)
+
+        # Nothing new: a second drain ships nothing.
+        assert ctx.take_unflushed() == ((), ())
+
+        # More work arrives; only the delta is flushed.
+        ctx.execution.seed([b.oid])
+        while ctx.execution.has_work:
+            ctx.execution.step()
+        oids, emissions = ctx.take_unflushed()
+        assert [o.key() for o in oids] == [b.oid.key()]
+        assert emissions == (("title", "B"),)
+
+    def test_multiple_targets_tracked_independently(self, store):
+        obj = store.create([keyword_tuple("K"), string_tuple("Title", "T"),
+                            string_tuple("Author", "A")])
+        ctx = make_context(
+            store,
+            'S (Keyword,"K",?) (String,"Title",->t) (String,"Author",->a) -> T',
+        )
+        ctx.execution.seed([obj.oid])
+        while ctx.execution.has_work:
+            ctx.execution.step()
+        _, emissions = ctx.take_unflushed()
+        assert set(emissions) == {("t", "T"), ("a", "A")}
+        assert ctx.take_unflushed() == ((), ())
+
+
+class TestBusyAndPartition:
+    def test_busy_tracks_working_set(self, store):
+        obj = store.create([keyword_tuple("K")])
+        ctx = make_context(store, 'S (Keyword,"K",?) -> T')
+        assert not ctx.busy
+        ctx.execution.seed([obj.oid])
+        assert ctx.busy
+        ctx.execution.step()
+        assert not ctx.busy
+
+    def test_local_partition_accumulates_across_drains(self, store):
+        a = store.create([keyword_tuple("K")])
+        b = store.create([keyword_tuple("K")])
+        ctx = make_context(store, 'S (Keyword,"K",?) -> T')
+        for oid in (a.oid, b.oid):
+            ctx.execution.seed([oid])
+            while ctx.execution.has_work:
+                ctx.execution.step()
+            ctx.take_unflushed()
+        assert [o.key() for o in ctx.local_partition()] == [a.oid.key(), b.oid.key()]

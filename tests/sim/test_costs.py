@@ -1,0 +1,43 @@
+"""Tests for the cost model calibration (paper §5 'basic times')."""
+
+import pytest
+
+from repro.sim.costs import FREE_COSTS, PAPER_COSTS, CostModel
+
+
+class TestPaperConstants:
+    def test_local_object_processing_is_8ms(self):
+        assert PAPER_COSTS.object_process_s == pytest.approx(0.008)
+
+    def test_result_insert_is_20ms(self):
+        assert PAPER_COSTS.result_insert_s == pytest.approx(0.020)
+
+    def test_remote_pointer_total_is_50ms(self):
+        # "The added time to process a remote pointer was roughly 50 ms."
+        assert PAPER_COSTS.remote_pointer_total_s == pytest.approx(0.050)
+
+    def test_single_site_270_object_query_is_2_7s(self):
+        # 270 objects x 8 ms + 27 results x 20 ms = 2.70 s — the paper's
+        # single-site transitive-closure figure drops straight out.
+        total = 270 * PAPER_COSTS.object_process_s + 27 * PAPER_COSTS.result_insert_s
+        assert total == pytest.approx(2.70)
+
+
+class TestModelOperations:
+    def test_scaled_preserves_ratios(self):
+        fast = PAPER_COSTS.scaled(0.5)
+        assert fast.object_process_s == pytest.approx(0.004)
+        assert fast.remote_pointer_total_s == pytest.approx(0.025)
+
+    def test_with_overrides_single_field(self):
+        tweaked = PAPER_COSTS.with_(result_item_s=0.001)
+        assert tweaked.result_item_s == 0.001
+        assert tweaked.object_process_s == PAPER_COSTS.object_process_s
+
+    def test_free_costs_are_all_zero(self):
+        assert FREE_COSTS.object_process_s == 0
+        assert FREE_COSTS.remote_pointer_total_s == 0
+
+    def test_model_is_immutable(self):
+        with pytest.raises(AttributeError):
+            PAPER_COSTS.object_process_s = 1.0  # type: ignore[misc]

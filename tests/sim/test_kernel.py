@@ -1,0 +1,110 @@
+"""Tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.sim.kernel import Simulator
+
+
+class TestScheduling:
+    def test_time_advances_to_event(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.5, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [1.5]
+        assert sim.now == 1.5
+
+    def test_order_by_time(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(2.0, lambda: order.append("b"))
+        sim.schedule(1.0, lambda: order.append("a"))
+        sim.schedule(3.0, lambda: order.append("c"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_fifo_tie_break(self):
+        sim = Simulator()
+        order = []
+        for name in "abc":
+            sim.schedule(1.0, lambda n=name: order.append(n))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_events_may_schedule_events(self):
+        sim = Simulator()
+        log = []
+
+        def first():
+            log.append(("first", sim.now))
+            sim.schedule(0.5, lambda: log.append(("second", sim.now)))
+
+        sim.schedule(1.0, first)
+        sim.run()
+        assert log == [("first", 1.0), ("second", 1.5)]
+
+    def test_zero_delay_runs_at_current_time(self):
+        sim = Simulator()
+        times = []
+        sim.schedule(1.0, lambda: sim.schedule(0.0, lambda: times.append(sim.now)))
+        sim.run()
+        assert times == [1.0]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Simulator().schedule(-0.1, lambda: None)
+
+    def test_schedule_at_absolute_time(self):
+        sim = Simulator()
+        times = []
+        sim.schedule_at(4.0, lambda: times.append(sim.now))
+        sim.run()
+        assert times == [4.0]
+
+
+class TestCancellation:
+    def test_cancelled_events_do_not_fire(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule(1.0, lambda: fired.append(1))
+        handle.cancel()
+        sim.run()
+        assert fired == []
+        assert handle.cancelled
+
+    def test_pending_excludes_cancelled(self):
+        sim = Simulator()
+        h = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        assert sim.pending == 2
+        h.cancel()
+        assert sim.pending == 1
+
+
+class TestRunControls:
+    def test_run_until_stops_clock(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(5.0, lambda: fired.append(5))
+        final = sim.run(until=2.0)
+        assert fired == [1] and final == 2.0
+        sim.run()
+        assert fired == [1, 5]
+
+    def test_max_events_guard(self):
+        sim = Simulator()
+
+        def rearm():
+            sim.schedule(1.0, rearm)
+
+        sim.schedule(1.0, rearm)
+        sim.run(max_events=10)
+        assert sim.events_fired == 10
+
+    def test_step_returns_false_when_empty(self):
+        assert Simulator().step() is False
+
+    def test_run_empty_returns_current_time(self):
+        sim = Simulator()
+        assert sim.run() == 0.0

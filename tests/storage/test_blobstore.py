@@ -1,0 +1,96 @@
+"""Tests for large-item segregation (paper's blob/disk split)."""
+
+import pytest
+
+from repro.core.objects import HFObject
+from repro.core.oid import Oid
+from repro.core.parser import parse_query
+from repro.core.program import compile_query
+from repro.core.tuples import keyword_tuple, text_tuple
+from repro.engine.local import run_local
+from repro.errors import ObjectNotFound
+from repro.storage.blobstore import BlobRef, BlobStore, resolve_value, spill_large_tuples
+from repro.storage.memstore import MemStore
+
+
+@pytest.fixture
+def blobs():
+    return BlobStore("s1")
+
+
+class TestSpill:
+    def test_large_payload_replaced_by_ref(self, blobs):
+        obj = HFObject(Oid("s1", 0), [text_tuple("Body", "x" * 1000), keyword_tuple("K")])
+        spilled = spill_large_tuples(obj, blobs, threshold=256)
+        body = spilled.first("Text", "Body")
+        assert isinstance(body.data, BlobRef)
+        assert body.data.size == 1000
+
+    def test_small_values_stay_inline(self, blobs):
+        obj = HFObject(Oid("s1", 0), [text_tuple("Body", "short"), keyword_tuple("K")])
+        spilled = spill_large_tuples(obj, blobs, threshold=256)
+        assert spilled.first("Text", "Body").data == "short"
+        assert len(blobs) == 0
+
+    def test_unchanged_object_returned_as_is(self, blobs):
+        obj = HFObject(Oid("s1", 0), [keyword_tuple("K")])
+        assert spill_large_tuples(obj, blobs) is obj
+
+    def test_pointers_never_spilled(self, blobs):
+        from repro.core.tuples import pointer_tuple
+
+        obj = HFObject(Oid("s1", 0), [pointer_tuple("Ref", Oid("s1", 1))])
+        spilled = spill_large_tuples(obj, blobs, threshold=0)
+        assert spilled.pointers() == [Oid("s1", 1)]
+
+
+class TestReadBack:
+    def test_resolve_round_trip(self, blobs):
+        payload = "y" * 2000
+        obj = HFObject(Oid("s1", 0), [text_tuple("Body", payload)])
+        spilled = spill_large_tuples(obj, blobs)
+        ref = spilled.first("Text", "Body").data
+        assert resolve_value(ref, blobs) == payload
+
+    def test_disk_access_counted(self, blobs):
+        obj = HFObject(Oid("s1", 0), [text_tuple("Body", "z" * 500)])
+        ref = spill_large_tuples(obj, blobs).first("Text", "Body").data
+        assert blobs.disk_reads == 0
+        blobs.get(ref)
+        blobs.get(ref)
+        assert blobs.disk_reads == 2
+        assert blobs.disk_writes == 1
+
+    def test_plain_values_pass_through_resolve(self, blobs):
+        assert resolve_value("inline", blobs) == "inline"
+        assert resolve_value("inline", None) == "inline"
+
+    def test_missing_blob(self, blobs):
+        ghost = BlobRef(Oid("s1", 9), "Body", 10)
+        with pytest.raises(ObjectNotFound):
+            blobs.get(ghost)
+
+
+class TestQueriesAvoidDisk:
+    def test_filtering_never_touches_blobs(self, blobs):
+        # The paper's design point: searches run on in-memory search
+        # information; disk is only for retrieving large items.
+        store = MemStore("s1")
+        obj = store.create([keyword_tuple("Interesting"), text_tuple("Body", "b" * 4096)])
+        store.replace(spill_large_tuples(store.get(obj.oid), blobs))
+        program = compile_query(parse_query('S (Keyword, "Interesting", ?) -> T'))
+        result = run_local(program, [obj.oid], store.get)
+        assert len(result.oids) == 1
+        assert blobs.disk_reads == 0
+
+    def test_retrieval_ships_the_ref_not_the_bits(self, blobs):
+        store = MemStore("s1")
+        obj = store.create([text_tuple("Body", "b" * 4096)])
+        store.replace(spill_large_tuples(store.get(obj.oid), blobs))
+        program = compile_query(parse_query('S (Text, "Body", ->body) -> T'))
+        result = run_local(program, [obj.oid], store.get)
+        (ref,) = result.retrieved["body"]
+        assert isinstance(ref, BlobRef)
+        assert blobs.disk_reads == 0  # only the application's resolve reads
+        assert resolve_value(ref, blobs) == "b" * 4096
+        assert blobs.disk_reads == 1

@@ -1,0 +1,78 @@
+"""Tests for inverted tuple indexes."""
+
+import pytest
+
+from repro.core.tuples import keyword_tuple, string_tuple, tuple_of
+from repro.storage.indexes import TupleIndex, build_index
+from repro.storage.memstore import MemStore
+
+
+@pytest.fixture
+def indexed_store():
+    store = MemStore("s1")
+    a = store.create([keyword_tuple("Distributed"), string_tuple("Author", "Clifton")])
+    b = store.create([keyword_tuple("Distributed"), string_tuple("Author", "Garcia-Molina")])
+    c = store.create([keyword_tuple("Hypertext")])
+    return store, build_index(store), (a.oid, b.oid, c.oid)
+
+
+class TestLookup:
+    def test_find_by_type_and_key(self, indexed_store):
+        _, index, (a, b, c) = indexed_store
+        found = index.find("Keyword", "Distributed")
+        assert {o.key() for o in found} == {a.key(), b.key()}
+
+    def test_find_missing_key(self, indexed_store):
+        _, index, _ = indexed_store
+        assert index.find("Keyword", "Nonexistent") == []
+
+    def test_find_keys_form(self, indexed_store):
+        _, index, (a, _, _) = indexed_store
+        assert a.key() in index.find_keys("Keyword", "Distributed")
+
+    def test_postings_histogram(self, indexed_store):
+        _, index, _ = indexed_store
+        hist = index.postings("Keyword")
+        assert hist == {"Distributed": 2, "Hypertext": 1}
+
+
+class TestMaintenance:
+    def test_add_after_build(self, indexed_store):
+        store, index, _ = indexed_store
+        d = store.create([keyword_tuple("Distributed")])
+        index.add_object(store.get(d.oid))
+        assert len(index.find("Keyword", "Distributed")) == 3
+
+    def test_remove_object(self, indexed_store):
+        store, index, (a, _, _) = indexed_store
+        index.remove_object(store.get(a))
+        assert {o.key() for o in index.find("Keyword", "Distributed")} != {a.key()}
+        assert len(index.find("Keyword", "Distributed")) == 1
+
+    def test_empty_buckets_deleted(self, indexed_store):
+        store, index, (_, _, c) = indexed_store
+        before = len(index)
+        index.remove_object(store.get(c))
+        assert len(index) == before - 1
+
+
+class TestScoping:
+    def test_type_restriction(self):
+        store = MemStore("s1")
+        store.create([keyword_tuple("K"), string_tuple("Author", "X")])
+        index = build_index(store, indexed_types=["Keyword"])
+        assert index.find("Keyword", "K")
+        assert index.find("String", "Author") == []
+
+    def test_unhashable_keys_skipped(self):
+        index = TupleIndex()
+        store = MemStore("s1")
+        obj = store.create([tuple_of("Odd", ["un", "hashable"], "data"), keyword_tuple("K")])
+        index.add_object(store.get(obj.oid))  # must not raise
+        assert index.find("Keyword", "K")
+
+    def test_lookup_counter(self, indexed_store):
+        _, index, _ = indexed_store
+        before = index.lookups
+        index.find("Keyword", "Distributed")
+        assert index.lookups == before + 1

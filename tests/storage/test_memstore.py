@@ -1,0 +1,103 @@
+"""Tests for the per-site main-memory store."""
+
+import pytest
+
+from repro.core.objects import HFObject
+from repro.core.oid import Oid
+from repro.core.tuples import keyword_tuple, string_tuple
+from repro.errors import DuplicateObject, ObjectNotFound
+from repro.storage.memstore import MemStore, UnionStore
+
+
+class TestCreateAndGet:
+    def test_create_allocates_local_ids(self, store):
+        a = store.create([keyword_tuple("A")])
+        b = store.create([keyword_tuple("B")])
+        assert a.oid.birth_site == "s1" and b.oid.local_id == a.oid.local_id + 1
+
+    def test_get_round_trip(self, store):
+        obj = store.create([string_tuple("Title", "x")])
+        assert store.get(obj.oid) is obj
+
+    def test_get_missing_raises(self, store):
+        with pytest.raises(ObjectNotFound):
+            store.get(Oid("s1", 42))
+
+    def test_get_is_hint_insensitive(self, store):
+        obj = store.create([])
+        assert store.get(obj.oid.with_hint("elsewhere")) is obj
+
+    def test_fetch_counter(self, store):
+        obj = store.create([])
+        before = store.fetch_count
+        store.get(obj.oid)
+        store.get(obj.oid)
+        assert store.fetch_count == before + 2
+
+
+class TestPutReplaceRemove:
+    def test_put_foreign_object(self, store):
+        foreign = HFObject(Oid("other", 7), [keyword_tuple("K")])
+        store.put(foreign)
+        assert store.get(foreign.oid) is foreign
+
+    def test_put_duplicate_rejected(self, store):
+        obj = store.create([])
+        with pytest.raises(DuplicateObject):
+            store.put(HFObject(obj.oid, []))
+
+    def test_put_overwrite_flag(self, store):
+        obj = store.create([])
+        replacement = HFObject(obj.oid, [keyword_tuple("New")])
+        store.put(replacement, overwrite=True)
+        assert store.get(obj.oid) is replacement
+
+    def test_replace_requires_existing(self, store):
+        with pytest.raises(ObjectNotFound):
+            store.replace(HFObject(Oid("s1", 77), []))
+
+    def test_remove_returns_object(self, store):
+        obj = store.create([])
+        removed = store.remove(obj.oid)
+        assert removed is obj
+        assert not store.contains(obj.oid)
+
+    def test_remove_missing(self, store):
+        with pytest.raises(ObjectNotFound):
+            store.remove(Oid("s1", 5))
+
+
+class TestIterationAndScan:
+    def test_oids_in_insertion_order(self, store):
+        created = [store.create([]).oid for _ in range(3)]
+        assert store.oids() == created
+
+    def test_scan_with_predicate(self, store):
+        store.create([keyword_tuple("Match")])
+        store.create([keyword_tuple("Other")])
+        hits = list(store.scan(lambda obj: obj.first("Keyword", "Match") is not None))
+        assert len(hits) == 1
+
+    def test_len_and_contains(self, store):
+        obj = store.create([])
+        assert len(store) == 1
+        assert obj.oid in store
+        assert Oid("s1", 99) not in store
+        assert "not-an-oid" not in store
+
+
+class TestUnionStore:
+    def test_reads_across_sites(self):
+        s0, s1 = MemStore("s0"), MemStore("s1")
+        a = s0.create([keyword_tuple("A")])
+        b = s1.create([keyword_tuple("B")])
+        union = UnionStore([s0, s1])
+        assert union.get(a.oid) is a
+        assert union.get(b.oid) is b
+        assert len(union) == 2
+        assert {o.key() for o in union.oids()} == {a.oid.key(), b.oid.key()}
+
+    def test_missing_everywhere(self):
+        union = UnionStore([MemStore("s0")])
+        with pytest.raises(ObjectNotFound):
+            union.get(Oid("s0", 1))

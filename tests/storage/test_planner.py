@@ -1,0 +1,81 @@
+"""Tests for the index-aware query planner."""
+
+import pytest
+
+from repro.core.parser import parse_query
+from repro.core.program import compile_query
+from repro.core.tuples import keyword_tuple, pointer_tuple
+from repro.engine.local import run_local
+from repro.storage.memstore import MemStore
+from repro.storage.planner import QueryPlanner
+from repro.workload import closure_query, materialize
+
+
+def prog(text):
+    return compile_query(parse_query(text))
+
+
+@pytest.fixture
+def planner_setup(small_spec, small_graph):
+    store = MemStore("solo")
+    workload = materialize(small_spec, [store], graph=small_graph)
+    return store, workload, QueryPlanner([store])
+
+
+class TestRouting:
+    def test_canonical_shape_goes_to_index(self, planner_setup):
+        _, workload, planner = planner_setup
+        program = compile_query(closure_query("Tree", "Rand10p", 5))
+        assert planner.plan(program) == "index"
+        planner.execute(program, [workload.root])
+        assert planner.index_answers == 1 and planner.engine_answers == 0
+
+    def test_other_shapes_fall_back_to_engine(self, planner_setup):
+        _, workload, planner = planner_setup
+        program = prog('S [ (Pointer,"Tree",?X) ^^X ]^3 (Rand10p, 5, ?) -> T')
+        assert planner.plan(program) == "engine"
+        planner.execute(program, [workload.root])
+        assert planner.engine_answers == 1
+
+    def test_both_routes_agree(self, planner_setup):
+        store, workload, planner = planner_setup
+        program = compile_query(closure_query("Chain", "Rand100p", 17))
+        via_planner = planner.execute(program, [workload.root])
+        via_engine = run_local(program, [workload.root], store.get)
+        assert via_planner.oid_keys() == via_engine.oid_keys()
+
+
+class TestMaintenance:
+    def test_update_invalidates(self):
+        store = MemStore("s1")
+        b = store.create([keyword_tuple("K")])
+        store.replace(store.get(b.oid).with_tuple(pointer_tuple("Ref", b.oid)))
+        a = store.create([pointer_tuple("Ref", b.oid), keyword_tuple("K")])
+        planner = QueryPlanner([store])
+        program = prog('S [ (Pointer,"Ref",?X) ^^X ]* (Keyword,"K",?) -> T')
+        first = planner.execute(program, [a.oid])
+        assert len(first.oids) == 2
+
+        # Grow the graph: b -> c.
+        c = store.create([keyword_tuple("K")])
+        store.replace(store.get(c.oid).with_tuple(pointer_tuple("Ref", c.oid)))
+        store.replace(store.get(b.oid).with_tuple(pointer_tuple("Ref", c.oid)))
+        planner.notify_update(b.oid)
+        planner.notify_update(c.oid)
+        second = planner.execute(program, [a.oid])
+        assert len(second.oids) == 3
+
+    def test_invalidate_all_rebuilds(self, planner_setup):
+        store, workload, planner = planner_setup
+        program = compile_query(closure_query("Tree", "Rand10p", 5))
+        first = planner.execute(program, [workload.root])
+        planner.invalidate_all()
+        second = planner.execute(program, [workload.root])
+        assert first.oid_keys() == second.oid_keys()
+
+    def test_lazy_per_key_reachability(self, planner_setup):
+        _, workload, planner = planner_setup
+        planner.execute(compile_query(closure_query("Tree", "Rand10p", 5)), [workload.root])
+        assert set(planner._reach) == {"Tree"}
+        planner.execute(compile_query(closure_query("Chain", "Rand10p", 5)), [workload.root])
+        assert set(planner._reach) == {"Tree", "Chain"}

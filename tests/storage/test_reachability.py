@@ -1,0 +1,118 @@
+"""Tests for reachability indexes (paper ref [4] facilities)."""
+
+import pytest
+
+from repro.core.parser import parse_query
+from repro.core.program import compile_query
+from repro.core.tuples import keyword_tuple, pointer_tuple
+from repro.engine.local import run_local
+from repro.storage.indexes import build_index
+from repro.storage.memstore import MemStore
+from repro.storage.reachability import (
+    answer_closure_query,
+    build_reachability,
+    match_closure_shape,
+)
+from repro.workload import WorkloadSpec, build_graph, closure_query, materialize
+
+
+def prog(text):
+    return compile_query(parse_query(text))
+
+
+class TestClosureComputation:
+    @pytest.fixture
+    def diamond(self):
+        store = MemStore("s1")
+        d = store.create([keyword_tuple("K")])
+        b = store.create([pointer_tuple("Ref", d.oid)])
+        c = store.create([pointer_tuple("Ref", d.oid)])
+        a = store.create([pointer_tuple("Ref", b.oid), pointer_tuple("Ref", c.oid)])
+        return store, (a.oid, b.oid, c.oid, d.oid)
+
+    def test_closure_includes_roots(self, diamond):
+        store, (a, b, c, d) = diamond
+        reach = build_reachability([store], "Ref")
+        assert reach.closure([a]) == {a.key(), b.key(), c.key(), d.key()}
+
+    def test_closure_from_interior(self, diamond):
+        store, (a, b, c, d) = diamond
+        reach = build_reachability([store], "Ref")
+        assert reach.closure([b]) == {b.key(), d.key()}
+
+    def test_closure_handles_cycles(self):
+        store = MemStore("s1")
+        a = store.create([])
+        b = store.create([pointer_tuple("Ref", a.oid)])
+        store.replace(store.get(a.oid).with_tuple(pointer_tuple("Ref", b.oid)))
+        reach = build_reachability([store], "Ref")
+        assert reach.closure([a.oid]) == {a.oid.key(), b.oid.key()}
+
+    def test_single_root_closure_is_cached(self, diamond):
+        store, (a, *_rest) = diamond
+        reach = build_reachability([store], "Ref")
+        first = reach.closure([a])
+        assert reach.closure([a]) is first
+
+    def test_cache_invalidated_by_updates(self, diamond):
+        store, (a, b, c, d) = diamond
+        reach = build_reachability([store], "Ref")
+        reach.closure([a])
+        e = store.create([])
+        store.replace(store.get(d).with_tuple(pointer_tuple("Ref", e.oid)))
+        reach.add_object(store.get(d))
+        reach.add_object(store.get(e.oid))
+        assert e.oid.key() in reach.closure([a])
+
+
+class TestShapeDetection:
+    def test_canonical_shape_matches(self):
+        p = prog('Root [ (Pointer, "Tree", ?X) ^^X ]* (Rand10p, 5, ?) -> T')
+        assert match_closure_shape(p) == ("Tree", "Rand10p", 5)
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            'Root [ (Pointer,"Tree",?X) ^^X ]^3 (Rand10p,5,?) -> T',   # bounded
+            'Root [ (Pointer,"Tree",?X) ^X ]* (Rand10p,5,?) -> T',     # drops source
+            'Root (Rand10p,5,?) -> T',                                  # no loop
+            'Root [ (Pointer,"Tree",?X) ^^X ]* (Rand10p,?,?) -> T',     # non-literal key
+            'Root [ (Pointer,"Tree",?X) ^^X ]* (Rand10p,5,?) (Common,0,?) -> T',  # extra filter
+        ],
+    )
+    def test_non_canonical_shapes_rejected(self, text):
+        assert match_closure_shape(prog(text)) is None
+
+
+class TestEngineEquivalence:
+    def test_index_answer_matches_engine_on_workload(self, single_site_workload):
+        store, workload = single_site_workload
+        reach = build_reachability([store], "Tree")
+        tuples = build_index(store)
+        for value in (1, 5, 10):
+            program = compile_query(closure_query("Tree", "Rand10p", value))
+            engine = run_local(program, [workload.root], store.get)
+            indexed = answer_closure_query(program, [workload.root], reach, tuples)
+            assert indexed is not None
+            assert indexed.oid_keys() == engine.oid_keys(), f"value={value}"
+
+    def test_leaf_drop_replicated(self):
+        # A reached leaf without outgoing pointers is excluded by the
+        # engine (it fails the iterator body) — the index-based answer
+        # must replicate that.
+        store = MemStore("s1")
+        leaf = store.create([keyword_tuple("K")])
+        root = store.create([pointer_tuple("Ref", leaf.oid), keyword_tuple("K")])
+        program = prog('S [ (Pointer,"Ref",?X) ^^X ]* (Keyword,"K",?) -> T')
+        reach = build_reachability([store], "Ref")
+        tuples = build_index(store)
+        engine = run_local(program, [root.oid], store.get)
+        indexed = answer_closure_query(program, [root.oid], reach, tuples)
+        assert indexed.oid_keys() == engine.oid_keys() == {root.oid.key()}
+
+    def test_wrong_pointer_key_returns_none(self, single_site_workload):
+        store, workload = single_site_workload
+        reach = build_reachability([store], "Chain")
+        tuples = build_index(store)
+        program = compile_query(closure_query("Tree", "Rand10p", 5))
+        assert answer_closure_query(program, [workload.root], reach, tuples) is None

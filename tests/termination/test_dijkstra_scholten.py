@@ -1,0 +1,118 @@
+"""Unit tests for the Dijkstra–Scholten termination detector."""
+
+import pytest
+
+from repro.errors import TerminationProtocolError
+from repro.termination.dijkstra_scholten import ACK, DijkstraScholtenStrategy
+
+
+@pytest.fixture
+def strategy():
+    return DijkstraScholtenStrategy()
+
+
+def originator(strategy):
+    state = strategy.new_state("site0", is_originator=True)
+    strategy.on_start(state)
+    return state
+
+
+class TestTreeFormation:
+    def test_first_message_engages_with_parent(self, strategy):
+        state = strategy.new_state("site1", False)
+        controls = strategy.on_recv_work(state, {}, "site0", busy=True)
+        assert controls == []
+        assert state.engaged and state.parent == "site0"
+
+    def test_second_message_is_acked_immediately(self, strategy):
+        state = strategy.new_state("site1", False)
+        strategy.on_recv_work(state, {}, "site0", busy=True)
+        controls = strategy.on_recv_work(state, {}, "site2", busy=True)
+        assert controls == [("site2", ACK, None)]
+
+    def test_originator_is_always_engaged(self, strategy):
+        orig = originator(strategy)
+        controls = strategy.on_recv_work(orig, {}, "site1", busy=True)
+        assert controls == [("site1", ACK, None)]  # root never re-parents
+
+
+class TestDisengagement:
+    def test_leaf_acks_parent_on_drain(self, strategy):
+        state = strategy.new_state("site1", False)
+        strategy.on_recv_work(state, {}, "site0", busy=True)
+        attach, controls = strategy.on_drain(state)
+        assert attach == {}
+        assert controls == [("site0", ACK, None)]
+        assert not state.engaged
+
+    def test_drain_with_outstanding_children_defers_ack(self, strategy):
+        state = strategy.new_state("site1", False)
+        strategy.on_recv_work(state, {}, "site0", busy=True)
+        strategy.on_send_work(state)  # one child outstanding
+        _, controls = strategy.on_drain(state)
+        assert controls == []  # cannot disengage yet
+        controls = strategy.on_control(state, ACK, None, "site2", busy=False)
+        assert controls == [("site0", ACK, None)]
+
+    def test_ack_while_busy_does_not_disengage(self, strategy):
+        state = strategy.new_state("site1", False)
+        strategy.on_recv_work(state, {}, "site0", busy=True)
+        strategy.on_send_work(state)
+        controls = strategy.on_control(state, ACK, None, "site2", busy=True)
+        assert controls == []
+        assert state.engaged
+
+    def test_reengagement_after_disengage(self, strategy):
+        state = strategy.new_state("site1", False)
+        strategy.on_recv_work(state, {}, "site0", busy=True)
+        strategy.on_drain(state)
+        controls = strategy.on_recv_work(state, {}, "site2", busy=True)
+        assert controls == [] and state.parent == "site2"
+
+
+class TestRootTermination:
+    def test_terminates_when_idle_with_zero_deficit(self, strategy):
+        orig = originator(strategy)
+        assert strategy.is_terminated(orig, busy=False)
+        strategy.on_send_work(orig)
+        assert not strategy.is_terminated(orig, busy=False)
+        strategy.on_control(orig, ACK, None, "site1", busy=False)
+        assert strategy.is_terminated(orig, busy=False)
+
+    def test_busy_root_not_terminated(self, strategy):
+        assert not strategy.is_terminated(originator(strategy), busy=True)
+
+    def test_non_root_never_terminates(self, strategy):
+        state = strategy.new_state("site1", False)
+        assert not strategy.is_terminated(state, busy=False)
+
+
+class TestProtocolErrors:
+    def test_ack_without_deficit(self, strategy):
+        state = strategy.new_state("site1", False)
+        with pytest.raises(TerminationProtocolError):
+            strategy.on_control(state, ACK, None, "site0", busy=False)
+
+    def test_unknown_control_kind(self, strategy):
+        state = strategy.new_state("site1", False)
+        with pytest.raises(TerminationProtocolError):
+            strategy.on_control(state, "mystery", None, "site0", busy=False)
+
+
+class TestOverheadCounters:
+    def test_acks_sent_counted(self, strategy):
+        state = strategy.new_state("site1", False)
+        strategy.on_recv_work(state, {}, "site0", busy=True)
+        strategy.on_recv_work(state, {}, "site2", busy=True)  # immediate ack
+        strategy.on_drain(state)  # disengage ack
+        assert state.acks_sent == 2
+
+
+class TestFactory:
+    def test_make_strategy(self):
+        from repro.termination.base import make_strategy
+
+        assert make_strategy("weighted").name == "weighted"
+        assert make_strategy("dijkstra-scholten").name == "dijkstra-scholten"
+        with pytest.raises(ValueError):
+            make_strategy("votes")

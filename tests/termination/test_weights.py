@@ -1,0 +1,121 @@
+"""Unit tests for the weighted-message (credit) termination detector."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import TerminationProtocolError
+from repro.termination.weights import WeightedStrategy
+
+
+@pytest.fixture
+def strategy():
+    return WeightedStrategy()
+
+
+def originator(strategy):
+    state = strategy.new_state("site0", is_originator=True)
+    strategy.on_start(state)
+    return state
+
+
+class TestCreditFlow:
+    def test_originator_starts_with_unit_credit(self, strategy):
+        assert originator(strategy).credit == 1
+
+    def test_send_splits_credit_in_half(self, strategy):
+        state = originator(strategy)
+        attach = strategy.on_send_work(state)
+        assert attach["credit"] == Fraction(1, 2)
+        assert state.credit == Fraction(1, 2)
+
+    def test_repeated_splits_never_exhaust(self, strategy):
+        state = originator(strategy)
+        total_sent = Fraction(0)
+        for _ in range(50):
+            total_sent += strategy.on_send_work(state)["credit"]
+        assert state.credit > 0
+        assert total_sent + state.credit == 1  # conservation
+
+    def test_receive_accumulates(self, strategy):
+        state = strategy.new_state("site1", is_originator=False)
+        strategy.on_recv_work(state, {"credit": Fraction(1, 4)}, "site0", busy=True)
+        strategy.on_recv_work(state, {"credit": Fraction(1, 8)}, "site2", busy=True)
+        assert state.credit == Fraction(3, 8)
+
+    def test_drain_returns_everything(self, strategy):
+        state = strategy.new_state("site1", is_originator=False)
+        strategy.on_recv_work(state, {"credit": Fraction(1, 4)}, "site0", busy=True)
+        attach, controls = strategy.on_drain(state)
+        assert attach["credit"] == Fraction(1, 4)
+        assert state.credit == 0
+        assert controls == []
+
+
+class TestTermination:
+    def test_simple_round_trip(self, strategy):
+        orig = originator(strategy)
+        remote = strategy.new_state("site1", is_originator=False)
+        attach = strategy.on_send_work(orig)
+        strategy.on_recv_work(remote, attach, "site0", busy=True)
+        strategy.on_originator_drain(orig)
+        assert not strategy.is_terminated(orig, busy=False)  # half still out
+        returned, _ = strategy.on_drain(remote)
+        strategy.on_result(orig, returned)
+        assert strategy.is_terminated(orig, busy=False)
+
+    def test_not_terminated_while_busy(self, strategy):
+        orig = originator(strategy)
+        strategy.on_originator_drain(orig)
+        assert strategy.is_terminated(orig, busy=False)
+        assert not strategy.is_terminated(orig, busy=True)
+
+    def test_non_originator_never_terminates(self, strategy):
+        state = strategy.new_state("site1", is_originator=False)
+        assert not strategy.is_terminated(state, busy=False)
+
+    def test_deep_fan_out_conserves(self, strategy):
+        # site0 -> site1 -> site2 -> site3; every hop splits, every site
+        # returns its remainder; the originator recovers exactly 1.
+        orig = originator(strategy)
+        sites = [strategy.new_state(f"site{i}", False) for i in (1, 2, 3)]
+        attach = strategy.on_send_work(orig)
+        strategy.on_originator_drain(orig)
+        prev = None
+        for state in sites:
+            strategy.on_recv_work(state, attach, "prev", busy=True)
+            attach = strategy.on_send_work(state)
+        # last attach goes nowhere: feed it back as if a 4th site drained instantly
+        last = strategy.new_state("site4", False)
+        strategy.on_recv_work(last, attach, "site3", busy=True)
+        ret, _ = strategy.on_drain(last)
+        strategy.on_result(orig, ret)
+        for state in sites:
+            ret, _ = strategy.on_drain(state)
+            strategy.on_result(orig, ret)
+        assert strategy.is_terminated(orig, busy=False)
+
+
+class TestProtocolErrors:
+    def test_send_without_credit(self, strategy):
+        state = strategy.new_state("site1", is_originator=False)
+        with pytest.raises(TerminationProtocolError):
+            strategy.on_send_work(state)
+
+    def test_invalid_incoming_credit(self, strategy):
+        state = strategy.new_state("site1", is_originator=False)
+        with pytest.raises(TerminationProtocolError):
+            strategy.on_recv_work(state, {"credit": 0.5}, "site0", busy=True)  # float, not Fraction
+        with pytest.raises(TerminationProtocolError):
+            strategy.on_recv_work(state, {}, "site0", busy=True)
+
+    def test_over_recovery_detected(self, strategy):
+        orig = originator(strategy)
+        strategy.on_originator_drain(orig)
+        with pytest.raises(TerminationProtocolError, match="over-recovered"):
+            strategy.on_result(orig, {"credit": Fraction(1, 2)})
+
+    def test_unexpected_control_message(self, strategy):
+        orig = originator(strategy)
+        with pytest.raises(TerminationProtocolError):
+            strategy.on_control(orig, "ds-ack", None, "site1", busy=False)

@@ -1,0 +1,100 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import main, run_demo, run_experiments, run_repl
+
+
+def repl(script: str, **kwargs) -> str:
+    out = io.StringIO()
+    code = run_repl(stdin=io.StringIO(script), out=out, **kwargs)
+    assert code == 0
+    return out.getvalue()
+
+
+class TestDemo:
+    def test_demo_runs(self):
+        out = io.StringIO()
+        assert run_demo(out=out) == 0
+        text = out.getvalue()
+        assert "found: HyperFile" in text
+        assert "response time" in text
+
+    def test_demo_via_main(self, capsys):
+        assert main(["demo"]) == 0
+        assert "found:" in capsys.readouterr().out
+
+
+class TestRepl:
+    def test_query_and_quit(self):
+        text = repl(
+            'Root [ (Pointer, "Tree", ?X) | ^^X ]* (Rand10p, 5, ?) -> Hits\n:quit\n',
+            n_objects=90,
+        )
+        assert "objects in" in text
+        assert "bye" in text
+
+    def test_result_sets_persist(self):
+        text = repl(
+            'Root [ (Pointer, "Tree", ?X) | ^^X ]* (Common, 0, ?) -> Everything\n'
+            "Everything (Rand10p, 5, ?) -> Narrow\n"
+            ":sets\n:quit\n",
+            n_objects=90,
+        )
+        assert "Everything: 90 objects" in text
+        assert "Narrow:" in text
+
+    def test_retrieval_bindings_printed(self):
+        text = repl('All (Unique, 3, ?) (Text, "Body", ->body) -> One\n:quit\n', n_objects=90)
+        assert "->body:" in text
+
+    def test_error_reported_not_fatal(self):
+        text = repl("NoSuchSet (Common, 0, ?) -> X\n:quit\n", n_objects=90)
+        assert "error:" in text and "bye" in text
+
+    def test_syntax_error_reported(self):
+        text = repl("Root (((\n:quit\n", n_objects=90)
+        assert "error:" in text
+
+    def test_members_and_stats(self):
+        text = repl(":members Root\n:stats\n:quit\n", n_objects=90)
+        assert "site0:0" in text
+        assert "messages sent" in text
+
+    def test_trace_cycle(self):
+        text = repl(
+            ":trace on\nRoot (Unique, 0, ?) -> Self\n:timeline 3\n:trace off\n:quit\n",
+            n_objects=90,
+        )
+        assert "tracing on" in text
+        assert "submit" in text
+        assert "tracing off" in text
+
+    def test_timeline_without_tracing(self):
+        text = repl(":timeline\n:quit\n", n_objects=90)
+        assert "tracing is off" in text
+
+    def test_unknown_meta_command(self):
+        text = repl(":frobnicate\n:quit\n", n_objects=90)
+        assert "unknown command" in text
+
+    def test_help(self):
+        text = repl(":help\n:quit\n", n_objects=90)
+        assert ":members" in text
+
+    def test_eof_exits_cleanly(self):
+        assert "bye" not in repl("", n_objects=90)
+
+
+class TestExperiments:
+    def test_quick_tables(self):
+        out = io.StringIO()
+        assert run_experiments(1, out=out) == 0
+        text = out.getvalue()
+        assert "paper" in text and "Chain" in text and "Tree" in text
+
+    def test_via_main(self, capsys):
+        assert main(["experiments", "-n", "1"]) == 0
+        assert "measured_s" in capsys.readouterr().out

@@ -1,0 +1,128 @@
+"""Tests for the query-tracing facility."""
+
+import pytest
+
+from repro.cluster import SimCluster
+from repro.core import keyword_tuple, pointer_tuple
+from repro.tracing import QueryTracer
+
+CLOSURE = 'S [ (Pointer,"Ref",?X) ^^X ]* (Keyword,"K",?) -> T'
+
+
+@pytest.fixture
+def traced_run():
+    cluster = SimCluster(3)
+    s0, s1, s2 = (cluster.store(s) for s in cluster.sites)
+    d = s0.create([keyword_tuple("K")])
+    s0.replace(s0.get(d.oid).with_tuple(pointer_tuple("Ref", d.oid)))
+    c = s2.create([pointer_tuple("Ref", d.oid)])
+    b = s1.create([pointer_tuple("Ref", c.oid), keyword_tuple("K")])
+    a = s0.create([pointer_tuple("Ref", b.oid), keyword_tuple("K")])
+    tracer = QueryTracer()
+    cluster.attach_tracer(tracer)
+    outcome = cluster.run_query(CLOSURE, [a.oid])
+    return cluster, tracer, outcome
+
+
+class TestRecording:
+    def test_lifecycle_events_present(self, traced_run):
+        _, tracer, outcome = traced_run
+        assert tracer.count("submit") == 1
+        assert tracer.count("complete") == 1
+        assert tracer.count("process") == 4  # a, b, c, d
+        assert tracer.count("send") >= 3     # the three remote hops
+        assert tracer.count("drain") >= 3
+
+    def test_events_timestamped_monotonically(self, traced_run):
+        _, tracer, _ = traced_run
+        times = [e.time for e in tracer.events]
+        assert times == sorted(times)
+        assert times[-1] > 0
+
+    def test_sites_touched_in_hop_order(self, traced_run):
+        _, tracer, outcome = traced_run
+        touched = tracer.sites_touched(outcome.qid)
+        assert touched[0] == "site0"
+        assert set(touched) == {"site0", "site1", "site2"}
+
+    def test_completion_time_matches_outcome(self, traced_run):
+        _, tracer, outcome = traced_run
+        assert tracer.completion_time(outcome.qid) == pytest.approx(
+            outcome.completed_at, abs=0.05
+        )
+
+    def test_busy_intervals(self, traced_run):
+        _, tracer, _ = traced_run
+        busy = tracer.busy_intervals()
+        assert busy == {"site0": 2, "site1": 1, "site2": 1}
+
+    def test_skip_events_for_suppressed_admissions(self, traced_run):
+        _, tracer, _ = traced_run
+        # d's self-pointer spawn gets suppressed by the mark table.
+        assert tracer.count("skip") >= 1
+
+
+class TestControls:
+    def test_kind_filter(self):
+        tracer = QueryTracer(kinds=["send", "recv"])
+        tracer.emit("site0", "process", "q1", oid="x")
+        tracer.emit("site0", "send", "q1", msg="DerefRequest")
+        assert len(tracer) == 1
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            QueryTracer(kinds=["teleport"])
+
+    def test_capacity_cap(self):
+        tracer = QueryTracer(capacity=3)
+        for i in range(5):
+            tracer.emit("site0", "process", "q1", i=i)
+        assert len(tracer) == 3 and tracer.dropped == 2
+        assert "dropped" in tracer.render()
+
+    def test_clear(self, traced_run):
+        _, tracer, _ = traced_run
+        tracer.clear()
+        assert len(tracer) == 0 and tracer.dropped == 0
+
+    def test_render_is_readable(self, traced_run):
+        _, tracer, _ = traced_run
+        text = tracer.render(limit=5)
+        assert "submit" in text.splitlines()[0]
+        assert "more events" in text
+
+    def test_detach_stops_recording(self, traced_run):
+        cluster, tracer, outcome = traced_run
+        before = len(tracer)
+        cluster.detach_tracer()
+        store = cluster.store("site0")
+        extra = store.create([keyword_tuple("K")])
+        cluster.run_query('S (Keyword,"K",?) -> T', [extra.oid])
+        assert len(tracer) == before
+
+    def test_untraced_cluster_unaffected(self):
+        cluster = SimCluster(1)
+        store = cluster.store("site0")
+        obj = store.create([keyword_tuple("K")])
+        outcome = cluster.run_query('S (Keyword,"K",?) -> T', [obj.oid])
+        assert len(outcome.result.oids) == 1
+
+
+class TestSwimLanes:
+    def test_lanes_show_every_site(self, traced_run):
+        _, tracer, _ = traced_run
+        text = tracer.render_lanes(buckets=30)
+        for site in ("site0", "site1", "site2"):
+            assert site in text
+        assert "Q" in text and "C" in text and "#" in text
+
+    def test_empty_tracer_lanes(self):
+        assert "(no events recorded)" in QueryTracer().render_lanes()
+
+    def test_lane_width_respected(self, traced_run):
+        _, tracer, _ = traced_run
+        lines = tracer.render_lanes(buckets=20).splitlines()
+        lane_lines = [l for l in lines if "|" in l]
+        assert all(l.count("|") == 2 for l in lane_lines)
+        widths = {len(l.split("|")[1]) for l in lane_lines}
+        assert widths == {20}

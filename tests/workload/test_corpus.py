@@ -1,0 +1,122 @@
+"""Tests for the power-law document corpus generator."""
+
+import pytest
+
+from repro.cluster import SimCluster
+from repro.core.program import compile_query
+from repro.engine.local import run_local
+from repro.storage.memstore import MemStore
+from repro.workload import closure_query
+from repro.workload.corpus import DEFAULT_TOPICS, Corpus, CorpusSpec, build_corpus
+
+
+@pytest.fixture(scope="module")
+def corpus_and_store():
+    store = MemStore("solo")
+    spec = CorpusSpec(n_docs=200)
+    corpus = build_corpus(spec, [store])
+    return corpus, store
+
+
+class TestStructure:
+    def test_every_document_materialised(self, corpus_and_store):
+        corpus, store = corpus_and_store
+        assert len(store) == 200
+        for i, oid in enumerate(corpus.oids):
+            obj = store.get(oid)
+            assert obj.first("String", "Title") is not None
+            assert obj.tuples_of_type("Keyword")
+
+    def test_citations_point_backwards(self, corpus_and_store):
+        corpus, _ = corpus_and_store
+        for i, targets in enumerate(corpus.cites):
+            assert all(j < i for j in targets)
+
+    def test_leaf_rule_every_doc_has_outgoing_cites(self, corpus_and_store):
+        corpus, store = corpus_and_store
+        for oid in corpus.oids:
+            assert store.get(oid).pointers(key="Cites")
+
+    def test_keyword_popularity_is_skewed(self, corpus_and_store):
+        # Zipf draw: the most popular keyword appears far more often than
+        # the median one.
+        corpus, _ = corpus_and_store
+        counts = {}
+        for kws in corpus.keywords_of:
+            for kw in kws:
+                counts[kw] = counts.get(kw, 0) + 1
+        ranked = sorted(counts.values(), reverse=True)
+        assert ranked[0] >= 3 * ranked[len(ranked) // 2]
+
+    def test_citation_indegree_is_heavy_tailed(self, corpus_and_store):
+        corpus, _ = corpus_and_store
+        hubs = corpus.hubs(top=3)
+        indegree = {}
+        for targets in corpus.cites:
+            for t in targets:
+                indegree[t] = indegree.get(t, 0) + 1
+        total = sum(indegree.values())
+        hub_share = sum(indegree[h] for h in hubs) / total
+        assert hub_share > 0.08  # 3 documents draw a clearly outsized share
+
+    def test_determinism(self):
+        a = build_corpus(CorpusSpec(n_docs=60), [MemStore("x")])
+        b = build_corpus(CorpusSpec(n_docs=60), [MemStore("x")])
+        assert a.cites == b.cites and a.keywords_of == b.keywords_of
+
+
+class TestPlacement:
+    def test_topics_map_to_sites(self):
+        cluster = SimCluster(3)
+        spec = CorpusSpec(n_docs=120)
+        corpus = build_corpus(spec, [cluster.store(s) for s in cluster.sites])
+        for i, oid in enumerate(corpus.oids):
+            expected = cluster.sites[corpus.topic_of[i] % 3]
+            assert cluster.store(expected).contains(oid)
+
+    def test_cross_topic_fraction_controls_locality(self):
+        low = build_corpus(
+            CorpusSpec(n_docs=150, cross_topic_fraction=0.05),
+            [MemStore(f"s{i}") for i in range(3)],
+        )
+        high = build_corpus(
+            CorpusSpec(n_docs=150, cross_topic_fraction=0.6),
+            [MemStore(f"s{i}") for i in range(3)],
+        )
+        assert low.measured_locality() > high.measured_locality()
+
+    def test_incompatible_site_count_rejected(self):
+        with pytest.raises(ValueError, match="divide"):
+            build_corpus(CorpusSpec(n_docs=30), [MemStore(f"s{i}") for i in range(4)])
+
+
+class TestQueriesOverCorpus:
+    def test_citation_closure_from_hub(self, corpus_and_store):
+        corpus, store = corpus_and_store
+        recent = corpus.oids[-1]
+        program = compile_query(closure_query("Cites", "Keyword", "distributed"))
+        result = run_local(program, [recent], store.get)
+        expected = set(corpus.docs_with_keyword("distributed"))
+        found = {corpus.oids.index(next(o for o in corpus.oids if o.key() == k))
+                 for k in result.oid_keys()}
+        assert found <= expected  # every hit truly carries the keyword
+
+    def test_distributed_equals_local_on_corpus(self):
+        spec = CorpusSpec(n_docs=120)
+        solo_store = MemStore("solo")
+        solo = build_corpus(spec, [solo_store])
+        program = compile_query(closure_query("Cites", "Keyword", "survey"))
+        expected = run_local(program, [solo.oids[-1]], solo_store.get)
+        expected_idx = sorted(
+            next(i for i, o in enumerate(solo.oids) if o.key() == k)
+            for k in expected.oid_keys()
+        )
+
+        cluster = SimCluster(3)
+        dist = build_corpus(spec, [cluster.store(s) for s in cluster.sites])
+        outcome = cluster.run_query(program, [dist.oids[-1]])
+        got_idx = sorted(
+            next(i for i, o in enumerate(dist.oids) if o.key() == k)
+            for k in outcome.result.oid_keys()
+        )
+        assert got_idx == expected_idx

@@ -1,0 +1,141 @@
+"""Tests for workload materialisation into stores (paper §5 schema)."""
+
+import pytest
+
+from repro.cluster import SimCluster
+from repro.storage.memstore import MemStore
+from repro.workload import (
+    CHAIN_KEY,
+    COMMON_TYPE,
+    COMMON_VALUE,
+    RAND10_TYPE,
+    RAND100_TYPE,
+    RAND1000_TYPE,
+    TREE_KEY,
+    UNIQUE_TYPE,
+    WorkloadSpec,
+    build_graph,
+    generate_into_cluster,
+    materialize,
+    pointer_key_for,
+)
+
+
+@pytest.fixture(scope="module")
+def loaded():
+    spec = WorkloadSpec(n_objects=90)
+    graph = build_graph(n=90)
+    store = MemStore("solo")
+    workload = materialize(spec, [store], graph=graph)
+    return spec, graph, store, workload
+
+
+class TestObjectSchema:
+    def test_five_search_key_tuples(self, loaded):
+        _, _, store, workload = loaded
+        obj = store.get(workload.oids[7])
+        for key_type in (UNIQUE_TYPE, COMMON_TYPE, RAND10_TYPE, RAND100_TYPE, RAND1000_TYPE):
+            assert obj.tuples_of_type(key_type), key_type
+
+    def test_unique_key_is_unique(self, loaded):
+        _, _, store, workload = loaded
+        seen = set()
+        for oid in workload.oids:
+            (t,) = store.get(oid).tuples_of_type(UNIQUE_TYPE)
+            assert t.key not in seen
+            seen.add(t.key)
+
+    def test_common_key_in_all_objects(self, loaded):
+        _, _, store, workload = loaded
+        for oid in workload.oids:
+            (t,) = store.get(oid).tuples_of_type(COMMON_TYPE)
+            assert t.key == COMMON_VALUE
+
+    def test_key_spaces_respected(self, loaded):
+        _, _, store, workload = loaded
+        for oid in workload.oids:
+            (t10,) = store.get(oid).tuples_of_type(RAND10_TYPE)
+            assert 1 <= t10.key <= 10
+            (t1000,) = store.get(oid).tuples_of_type(RAND1000_TYPE)
+            assert 1 <= t1000.key <= 1000
+
+    def test_chain_and_tree_pointers_present(self, loaded):
+        _, _, store, workload = loaded
+        for oid in workload.oids:
+            obj = store.get(oid)
+            assert len(obj.pointers(key=CHAIN_KEY)) == 1
+            assert len(obj.pointers(key=TREE_KEY)) >= 1
+
+    def test_fourteen_random_pointers(self, loaded):
+        spec, _, store, workload = loaded
+        # 7 classes x 2 pointers; duplicates (same class, same target)
+        # collapse under set semantics, so count distinct keys instead.
+        obj = store.get(workload.oids[3])
+        keys = {pointer_key_for(p) for p in spec.locality_classes}
+        for key in keys:
+            assert 1 <= len(obj.pointers(key=key)) <= 2
+
+    def test_body_payload_present(self, loaded):
+        spec, _, store, workload = loaded
+        obj = store.get(workload.oids[0])
+        (body,) = obj.tuples_of_type("Text")
+        assert len(body.data) == spec.payload_bytes
+
+
+class TestPlacement:
+    def test_even_placement_across_cluster(self):
+        spec = WorkloadSpec(n_objects=90)
+        cluster = SimCluster(3)
+        generate_into_cluster(cluster, spec)
+        sizes = [len(cluster.store(s)) for s in cluster.sites]
+        assert sizes == [30, 30, 30]
+
+    def test_object_site_matches_graph_mapping(self):
+        spec = WorkloadSpec(n_objects=90)
+        graph = build_graph(n=90)
+        cluster = SimCluster(9)
+        workload = generate_into_cluster(cluster, spec, graph)
+        for i, oid in enumerate(workload.oids):
+            expected_site = cluster.sites[graph.site_of(i, 9)]
+            assert cluster.store(expected_site).contains(oid)
+            assert workload.site_of(i) == expected_site
+
+    def test_incompatible_machine_count_rejected(self):
+        spec = WorkloadSpec(n_objects=90)
+        stores = [MemStore(f"s{i}") for i in range(4)]
+        with pytest.raises(ValueError, match="divide"):
+            materialize(spec, stores)
+
+    def test_no_stores_rejected(self):
+        with pytest.raises(ValueError):
+            materialize(WorkloadSpec(n_objects=90), [])
+
+
+class TestGroundTruth:
+    def test_indices_with_key_matches_stored_tuples(self, loaded):
+        _, _, store, workload = loaded
+        for value in (1, 5, 10):
+            expected = set(workload.indices_with_key(RAND10_TYPE, value))
+            actual = {
+                i
+                for i, oid in enumerate(workload.oids)
+                if store.get(oid).first(RAND10_TYPE, value) is not None
+            }
+            assert expected == actual
+
+    def test_common_ground_truth(self, loaded):
+        _, _, _, workload = loaded
+        assert workload.indices_with_key(COMMON_TYPE, COMMON_VALUE) == list(range(90))
+        assert workload.indices_with_key(COMMON_TYPE, 1) == []
+
+
+class TestSpecHelpers:
+    def test_scaled_changes_size_only(self):
+        spec = WorkloadSpec()
+        half = spec.scaled(135)
+        assert half.n_objects == 135
+        assert half.seed == spec.seed and half.groups == spec.groups
+
+    def test_pointer_key_naming(self):
+        assert pointer_key_for(0.05) == "Rand05"
+        assert pointer_key_for(0.95) == "Rand95"

@@ -1,0 +1,131 @@
+"""Tests for the synthetic pointer-graph generator (paper §5)."""
+
+import pytest
+
+from repro.workload.graphs import build_graph
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return build_graph(n=270)
+
+
+class TestPartition:
+    def test_round_robin_grouping(self, graph):
+        assert graph.group_of[0] == 0
+        assert graph.group_of[10] == 1
+        assert graph.groups == 9
+
+    def test_even_division(self, graph):
+        # "divided evenly among three machines and among nine machines"
+        sizes = {}
+        for i in range(graph.n):
+            sizes[graph.group_of[i]] = sizes.get(graph.group_of[i], 0) + 1
+        assert set(sizes.values()) == {30}
+
+    def test_site_mapping_consistency(self, graph):
+        # Group -> site mapping nests: objects on one 9-way site share a
+        # 3-way site (groups g and g+3k collapse together mod 3).
+        for i in range(graph.n):
+            assert graph.site_of(i, 9) % 3 == graph.site_of(i, 3)
+            assert graph.site_of(i, 1) == 0
+
+    def test_requires_group_multiple_of_three(self):
+        with pytest.raises(ValueError):
+            build_graph(n=30, groups=4)
+
+    def test_requires_enough_objects(self):
+        with pytest.raises(ValueError):
+            build_graph(n=5, groups=9)
+
+
+class TestChain:
+    def test_chain_is_a_single_cycle(self, graph):
+        seen = set()
+        node = 0
+        for _ in range(graph.n):
+            seen.add(node)
+            node = graph.chain_next[node]
+        assert node == 0 and len(seen) == graph.n
+
+    def test_chain_hops_always_remote(self, graph):
+        # "these pointers were always to a remote machine"
+        for machines in (3, 9):
+            for i in range(graph.n):
+                assert graph.is_remote(i, graph.chain_next[i], machines)
+
+
+class TestTree:
+    def test_tree_spans_everything(self, graph):
+        reached = set()
+        frontier = [0]
+        while frontier:
+            node = frontier.pop()
+            if node in reached:
+                continue
+            reached.add(node)
+            frontier.extend(c for c in graph.tree_children[node] if c != node)
+        assert reached == set(range(graph.n))
+
+    def test_root_fans_out_to_every_other_group(self, graph):
+        root_children = graph.tree_children[0]
+        child_groups = {graph.group_of[c] for c in root_children if graph.group_of[c] != 0}
+        assert child_groups == set(range(1, 9))
+
+    def test_non_root_tree_edges_are_group_local(self, graph):
+        for i in range(1, graph.n):
+            for child in graph.tree_children[i]:
+                assert graph.group_of[child] == graph.group_of[i]
+
+    def test_every_object_has_outgoing_tree_pointer(self, graph):
+        # Leaves self-point so closure queries can still check them
+        # (the strict iterator-body semantics documented in the module).
+        for i in range(graph.n):
+            assert graph.tree_children[i]
+
+    def test_each_node_has_at_most_arity_children(self, graph):
+        for i in range(graph.n):
+            real = [c for c in graph.tree_children[i] if c != i]
+            limit = 2 + (8 if i == 0 else 0)  # root also links group roots
+            assert len(real) <= limit
+
+
+class TestRandomPointers:
+    def test_all_locality_classes_present(self, graph):
+        assert set(graph.random_targets) == {0.05, 0.20, 0.35, 0.50, 0.65, 0.80, 0.95}
+
+    def test_two_pointers_per_object(self, graph):
+        for targets in graph.random_targets[0.50]:
+            assert len(targets) == 2
+
+    @pytest.mark.parametrize("p", [0.05, 0.50, 0.95])
+    def test_locality_fraction_near_nominal(self, graph, p):
+        for machines in (3, 9):
+            measured = graph.locality_fraction(p, machines)
+            assert measured == pytest.approx(p, abs=0.05)
+
+    @pytest.mark.parametrize("p", [0.05, 0.50, 0.95])
+    def test_locality_identical_under_3_and_9(self, graph, p):
+        # The construction guarantees local/remote is invariant across
+        # machine mappings — not merely similar.
+        assert graph.locality_fraction(p, 3) == graph.locality_fraction(p, 9)
+
+    def test_local_pointers_share_group_remote_cross_residue(self, graph):
+        for p, per_object in graph.random_targets.items():
+            for i, targets in enumerate(per_object):
+                for t in targets:
+                    same_group = graph.group_of[i] == graph.group_of[t]
+                    same_residue = graph.group_of[i] % 3 == graph.group_of[t] % 3
+                    assert same_group or not same_residue
+
+
+class TestDeterminism:
+    def test_same_seed_same_graph(self):
+        g1, g2 = build_graph(n=45, seed=7), build_graph(n=45, seed=7)
+        assert g1.chain_next == g2.chain_next
+        assert g1.random_targets == g2.random_targets
+
+    def test_different_seed_different_random_pointers(self):
+        g1, g2 = build_graph(n=45, seed=7), build_graph(n=45, seed=8)
+        assert g1.random_targets != g2.random_targets
+        assert g1.chain_next == g2.chain_next  # structural parts are fixed

@@ -1,0 +1,73 @@
+"""Tests for the experimental query builders (paper §5 methodology)."""
+
+from repro.core.ast import Iterate, Query
+from repro.core.program import compile_query
+from repro.core.validate import validate_query
+from repro.workload import (
+    COMMON_TYPE,
+    UNIQUE_TYPE,
+    WorkloadSpec,
+    bounded_query,
+    closure_query,
+    query_script,
+    traversal_only_query,
+    unique_query,
+)
+
+
+class TestQueryShapes:
+    def test_closure_query_matches_paper_example(self):
+        q = closure_query("Tree", "Rand10p", 5)
+        assert isinstance(q, Query) and q.source == "Root" and q.result == "T"
+        loop = q.filters[0]
+        assert isinstance(loop, Iterate) and loop.is_closure
+        assert validate_query(q).ok
+
+    def test_bounded_query_depth(self):
+        q = bounded_query("Chain", 3, "Rand10p", 5)
+        assert q.filters[0].count == 3
+
+    def test_traversal_only_selects_common(self):
+        q = traversal_only_query("Tree")
+        sel = q.filters[1]
+        assert sel.type_pattern.value == COMMON_TYPE  # type: ignore[attr-defined]
+
+    def test_unique_query(self):
+        q = unique_query("Tree", 42)
+        sel = q.filters[1]
+        assert sel.type_pattern.value == UNIQUE_TYPE  # type: ignore[attr-defined]
+        assert sel.key_pattern.value == 42  # type: ignore[attr-defined]
+
+    def test_all_shapes_compile(self):
+        for q in (
+            closure_query("Tree", "Rand10p", 5),
+            bounded_query("Chain", 2, "Common", 0),
+            traversal_only_query("Rand95"),
+            unique_query("Chain", 0),
+        ):
+            assert compile_query(q).size == 4
+
+
+class TestQueryScript:
+    def test_hundred_comparable_queries(self):
+        script = query_script("Tree", "Rand10p", count=100, seed=3)
+        assert len(script) == 100
+        keys = {q.filters[1].key_pattern.value for q in script}  # type: ignore[attr-defined]
+        assert len(keys) > 1  # "randomly varied the key searched for"
+        assert all(1 <= k <= 10 for k in keys)
+
+    def test_script_is_deterministic_per_seed(self):
+        a = query_script("Tree", "Rand10p", count=10, seed=3)
+        b = query_script("Tree", "Rand10p", count=10, seed=3)
+        assert [str(q) for q in a] == [str(q) for q in b]
+
+    def test_common_script_uses_single_value(self):
+        script = query_script("Tree", COMMON_TYPE, count=5)
+        keys = {q.filters[1].key_pattern.value for q in script}  # type: ignore[attr-defined]
+        assert keys == {0}
+
+    def test_unique_script_respects_spec_size(self):
+        spec = WorkloadSpec(n_objects=30)
+        script = query_script("Tree", UNIQUE_TYPE, count=50, seed=1, spec=spec)
+        keys = [q.filters[1].key_pattern.value for q in script]  # type: ignore[attr-defined]
+        assert all(0 <= k < 30 for k in keys)
