@@ -30,7 +30,9 @@ from .core.parser import parse_query
 from .core.program import Program, compile_query
 from .core.validate import validate_query
 from .engine.results import QueryResult
-from .errors import HyperFileError, UnknownSite
+from .errors import HyperFileError, QueryTimeout, UnknownSite
+from .faults.plan import FaultPlan
+from .faults.reliable import ReliableConfig
 from .naming.directory import ForwardingTable
 from .naming.names import migrate_object
 from .net.messages import QueryId
@@ -79,6 +81,8 @@ class SimCluster:
         result_mode: str = "ship",
         mark_granularity: str = "iteration",
         gc_contexts: bool = False,
+        fault_plan: Optional[FaultPlan] = None,
+        reliable: Union[bool, ReliableConfig] = False,
     ) -> None:
         if isinstance(sites, int):
             names = [site_name(i) for i in range(sites)]
@@ -123,6 +127,11 @@ class SimCluster:
         self._seq = 0
         self._submitted_at: Dict[QueryId, float] = {}
         self._completed: Dict[QueryId, QueryOutcome] = {}
+        self._deadline_handles: Dict[QueryId, object] = {}
+        if reliable:
+            self.enable_reliable(reliable if isinstance(reliable, ReliableConfig) else None)
+        if fault_plan is not None:
+            self.use_faults(fault_plan)
 
     # ------------------------------------------------------------------
     # topology / data management
@@ -158,6 +167,22 @@ class SimCluster:
         """Override one link's wire latency (heterogeneous deployments)."""
         self.network.set_link_latency(a, b, seconds)
 
+    def use_faults(self, plan: FaultPlan) -> FaultPlan:
+        """Adopt a chaos schedule: per-message faults apply from now on,
+        and the plan's timed site crashes are scheduled on the clock."""
+        self.network.fault_plan = plan
+        for crash in plan.crashes:
+            if crash.site not in self.nodes:
+                raise UnknownSite(crash.site)
+            self.sim.schedule_at(crash.at, lambda s=crash.site: self.network.set_down(s))
+            if crash.recover_at is not None:
+                self.sim.schedule_at(crash.recover_at, lambda s=crash.site: self.network.set_up(s))
+        return plan
+
+    def enable_reliable(self, config: Optional[ReliableConfig] = None) -> None:
+        """Interpose the ack/retransmit channel on every link."""
+        self.network.enable_reliable(config)
+
     def attach_tracer(self, tracer) -> None:
         """Record a :class:`~repro.tracing.QueryTracer` timeline of every
         node's work, timestamped with virtual time."""
@@ -192,8 +217,14 @@ class SimCluster:
         query: QueryLike,
         initial: Iterable[Oid],
         originator: Optional[str] = None,
+        deadline_s: Optional[float] = None,
     ) -> QueryId:
-        """Install a query at its originating site (non-blocking)."""
+        """Install a query at its originating site (non-blocking).
+
+        ``deadline_s`` arms an originator-side timer: if the query has
+        not terminated after that much virtual time it is force-completed
+        with whatever results arrived, flagged ``partial=True``.
+        """
         program = self.compile(query)
         origin = originator if originator is not None else self.sites[0]
         if origin not in self.nodes:
@@ -201,6 +232,15 @@ class SimCluster:
         qid = self._next_qid(origin)
         self._submitted_at[qid] = self.sim.now
         self.network.hosts[origin].submit(qid, program, list(initial))
+        if deadline_s is not None:
+            if deadline_s <= 0:
+                raise ValueError("deadline_s must be positive")
+
+            def expire() -> None:
+                report = self.nodes[origin].expire_query(qid)
+                self.network.hosts[origin].dispatch(report)
+
+            self._deadline_handles[qid] = self.sim.schedule(deadline_s, expire)
         return qid
 
     def submit_followup(
@@ -241,10 +281,23 @@ class SimCluster:
         query: QueryLike,
         initial: Iterable[Oid],
         originator: Optional[str] = None,
+        deadline_s: Optional[float] = None,
+        on_deadline: str = "partial",
     ) -> QueryOutcome:
-        """Submit, run to completion, and return the outcome."""
-        qid = self.submit(query, initial, originator)
-        return self.wait(qid)
+        """Submit, run to completion (or deadline), and return the outcome.
+
+        ``on_deadline`` selects the client-visible contract when the
+        deadline expires first: ``"partial"`` returns the outcome with
+        ``result.partial`` set; ``"raise"`` raises :class:`QueryTimeout`
+        (the partial result rides on the exception).
+        """
+        if on_deadline not in ("partial", "raise"):
+            raise ValueError(f"on_deadline must be 'partial' or 'raise', got {on_deadline!r}")
+        qid = self.submit(query, initial, originator, deadline_s=deadline_s)
+        outcome = self.wait(qid)
+        if outcome.result.partial and on_deadline == "raise":
+            raise QueryTimeout(qid, deadline_s, outcome.result)
+        return outcome
 
     def run_followup(
         self,
@@ -299,6 +352,9 @@ class SimCluster:
         return QueryId(self._seq, originator)
 
     def _on_complete(self, qid: QueryId, result: QueryResult) -> None:
+        handle = self._deadline_handles.pop(qid, None)
+        if handle is not None:
+            handle.cancel()
         node = self.nodes[qid.originator]
         ctx = node.contexts[qid]
         for other in self.nodes.values():

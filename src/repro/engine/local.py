@@ -188,6 +188,17 @@ class QueryExecution:
                 )
         return self.result
 
+    def abandon(self) -> int:
+        """Discard all pending work (deadline expiry / query cancellation).
+
+        Returns the number of work items dropped.  Results accumulated so
+        far are kept — partial results beat none.
+        """
+        dropped = len(self.workset)
+        while self.workset:
+            self.workset.pop()
+        return dropped
+
     # -- helpers -----------------------------------------------------------
 
     def _emit_collector(self, outcome: StepOutcome):

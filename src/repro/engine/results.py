@@ -92,12 +92,14 @@ class QueryResult:
     ``oids`` is the result set (bindable to a new set name for follow-up
     queries); ``retrieved`` maps each ``→var`` target to the list of data
     values shipped back; ``stats`` aggregates execution counters across
-    sites.
+    sites; ``partial`` is True when the query was cut short (deadline
+    expiry) and the result set may be missing branches.
     """
 
     oids: ResultSet = field(default_factory=ResultSet)
     retrieved: Dict[str, List[Any]] = field(default_factory=dict)
     stats: ExecutionStats = field(default_factory=ExecutionStats)
+    partial: bool = False
 
     def record_emission(self, target: str, value: Any) -> None:
         self.retrieved.setdefault(target, []).append(value)

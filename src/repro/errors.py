@@ -89,6 +89,22 @@ class TransportClosed(HyperFileError):
     """An operation was attempted on a transport after shutdown."""
 
 
+class QueryTimeout(HyperFileError):
+    """A query's originator-side deadline expired before termination.
+
+    The originator reclaims outstanding credit, abandons local work, and
+    completes the query with whatever results arrived, flagged
+    ``partial=True``.  Clients that asked for ``on_deadline="raise"`` get
+    this exception instead; the partial result rides on it.
+    """
+
+    def __init__(self, qid: object, deadline_s: float, result: object = None) -> None:
+        self.qid = qid
+        self.deadline_s = deadline_s
+        self.result = result
+        super().__init__(f"query {qid} exceeded its {deadline_s}s deadline (partial results)")
+
+
 class QueryLimitExceeded(HyperFileError):
     """A query exceeded a configured resource limit.
 

@@ -1,0 +1,38 @@
+"""Fault injection and fault tolerance for the HyperFile transports.
+
+The paper's autonomy requirement — "lack of cooperation from one node
+must not shut down the entire service" — is scripted in the seed repo as
+*known-down* sites only: the sender consults an availability oracle and
+abandons the branch.  Real networks also lose, duplicate, reorder and
+delay messages, and the credit-recovery termination detector silently
+deadlocks (lost credit) or raises (duplicated credit) the moment that
+happens.  This package supplies both halves of the answer:
+
+* :class:`~repro.faults.plan.FaultPlan` — a deterministic, seed-driven
+  chaos schedule (per-message drop/duplicate/reorder/delay decisions,
+  link partitions, timed transient site crashes) that all three
+  transports consult through one injection hook;
+* :class:`~repro.faults.reliable.ReliableEndpoint` — an end-to-end
+  reliable-delivery layer (per-link sequence numbers, acks, capped
+  exponential-backoff retransmit, receive-side dedup) that restores the
+  exactly-once delivery the detectors' conservation invariants assume.
+
+See ``docs/FAULTS.md`` for the failure model: what is recoverable, what
+is not, and why.
+"""
+
+from .plan import FaultDecision, FaultPlan, LinkFaults, SiteCrash
+from .reliable import ReliableAck, ReliableConfig, ReliableData, ReliableEndpoint
+from .timers import TimerThread
+
+__all__ = [
+    "FaultDecision",
+    "FaultPlan",
+    "LinkFaults",
+    "SiteCrash",
+    "ReliableAck",
+    "ReliableConfig",
+    "ReliableData",
+    "ReliableEndpoint",
+    "TimerThread",
+]

@@ -1,0 +1,223 @@
+"""End-to-end reliable delivery over a lossy transport.
+
+The termination detectors assume exactly-once delivery: the weighted
+scheme's credit is *lost* with a dropped message (the query never
+terminates) and *duplicated* with a replayed one (conservation raises).
+This channel restores that assumption the way TCP does, one layer down
+from the query protocol:
+
+* every application envelope on a link ``src → dst`` is wrapped in a
+  :class:`ReliableData` frame carrying a per-link sequence number;
+* the receiver acknowledges every data frame (:class:`ReliableAck`) and
+  delivers each sequence number **once** — replays are acked again (the
+  first ack may itself have been lost) but not re-delivered;
+* the sender buffers unacked frames and retransmits on a capped
+  exponential backoff; after ``max_retries`` attempts it gives up and
+  hands the original envelope to ``on_give_up`` so the sender's node can
+  recover the detector state exactly as it does for an
+  :class:`~repro.net.messages.Undeliverable` bounce.
+
+Acks and retransmits travel through the same faulty wire as everything
+else — a lost ack simply provokes a retransmit, which the dedup absorbs.
+
+The channel deliberately does **not** re-order: per-link FIFO would not
+fix the one known ordering hazard anyway (the Dijkstra–Scholten
+ack/result race crosses *different* links — see docs/FAULTS.md).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable, Dict, Optional, Set, Tuple
+
+if TYPE_CHECKING:  # imported lazily at runtime: repro.net imports this module
+    from ..net.messages import Envelope
+else:
+    Envelope = None  # bound on first ReliableEndpoint construction
+
+
+def _envelope_type():
+    global Envelope
+    if Envelope is None:
+        from ..net.messages import Envelope as _Envelope
+
+        Envelope = _Envelope
+    return Envelope
+
+
+@dataclass(frozen=True)
+class ReliableData:
+    """A sequenced application payload on one ``src → dst`` link."""
+
+    seq: int
+    payload: Any
+
+    def wire_size(self) -> int:
+        wire = getattr(self.payload, "wire_size", None)
+        inner = wire() if callable(wire) else 64
+        return inner + 8  # seq + frame overhead
+
+    @property
+    def qid(self):
+        """Expose the inner query id so tracing stays attributable."""
+        return getattr(self.payload, "qid", "")
+
+
+@dataclass(frozen=True)
+class ReliableAck:
+    """Receiver → sender: sequence number received (possibly again)."""
+
+    seq: int
+
+    def wire_size(self) -> int:
+        return 12
+
+
+@dataclass(frozen=True)
+class ReliableConfig:
+    """Retransmission policy knobs."""
+
+    base_backoff_s: float = 0.05   #: first retransmit delay
+    max_backoff_s: float = 1.0     #: backoff cap (doubling stops here)
+    max_retries: int = 10          #: give up after this many retransmits
+
+    def backoff(self, attempt: int) -> float:
+        return min(self.base_backoff_s * (2 ** attempt), self.max_backoff_s)
+
+
+class _Pending:
+    __slots__ = ("wrapped", "inner", "attempts", "handle")
+
+    def __init__(self, wrapped: Envelope, inner: Envelope) -> None:
+        self.wrapped = wrapped
+        self.inner = inner
+        self.attempts = 0
+        self.handle = None
+
+
+class ReliableEndpoint:
+    """One site's half of the reliable channel.
+
+    The endpoint is transport-agnostic: the owning transport supplies a
+    clock, a scheduler (simulator events or a :class:`TimerThread`), a
+    raw send hook (which applies the fault plan), and a delivery-up hook
+    (which hands deduplicated payloads to the server node).
+    """
+
+    def __init__(
+        self,
+        site: str,
+        clock: Callable[[], float],
+        scheduler: Callable[[float, Callable[[], None]], Any],
+        send_raw: Callable[[Envelope], None],
+        deliver_up: Callable[[Envelope], None],
+        node: Any = None,
+        config: Optional[ReliableConfig] = None,
+        on_give_up: Optional[Callable[[Envelope], None]] = None,
+    ) -> None:
+        _envelope_type()
+        self.site = site
+        self.clock = clock
+        self.scheduler = scheduler
+        self.send_raw = send_raw
+        self.deliver_up = deliver_up
+        self.node = node
+        self.config = config if config is not None else ReliableConfig()
+        self.on_give_up = on_give_up
+        self._lock = threading.Lock()
+        self._next_seq: Dict[str, int] = {}
+        self._pending: Dict[Tuple[str, int], _Pending] = {}
+        self._seen: Dict[str, Set[int]] = {}
+        self._closed = False
+
+    # -- sender side -------------------------------------------------------
+
+    @property
+    def outstanding(self) -> int:
+        """Unacked data frames currently buffered at this endpoint."""
+        with self._lock:
+            return len(self._pending)
+
+    def send(self, env: Envelope) -> None:
+        """Wrap ``env`` in a sequenced frame, transmit, and arm retransmit."""
+        with self._lock:
+            seq = self._next_seq.get(env.dst, 0) + 1
+            self._next_seq[env.dst] = seq
+            wrapped = Envelope(env.src, env.dst, ReliableData(seq, env.payload))
+            pending = _Pending(wrapped, env)
+            self._pending[(env.dst, seq)] = pending
+            self._arm(pending)
+        self.send_raw(wrapped)
+
+    def _arm(self, pending: _Pending) -> None:
+        delay = self.config.backoff(pending.attempts)
+        key = (pending.wrapped.dst, pending.wrapped.payload.seq)
+        pending.handle = self.scheduler(delay, lambda: self._retransmit(key))
+
+    def _retransmit(self, key: Tuple[str, int]) -> None:
+        with self._lock:
+            pending = self._pending.get(key)
+            if pending is None or self._closed:
+                return
+            pending.attempts += 1
+            if pending.attempts > self.config.max_retries:
+                del self._pending[key]
+                give_up, frame = True, None
+            else:
+                give_up, frame = False, pending.wrapped
+                self._arm(pending)
+                if self.node is not None:
+                    self.node.stats.retransmits += 1
+                    if self.node.tracer is not None:
+                        self.node.tracer.emit(
+                            self.site, "retransmit", pending.wrapped.payload.qid,
+                            dst=pending.wrapped.dst, attempt=pending.attempts,
+                        )
+        if give_up:
+            if self.node is not None:
+                self.node.stats.reliable_give_ups += 1
+            if self.on_give_up is not None:
+                self.on_give_up(pending.inner)
+        elif frame is not None:
+            self.send_raw(frame)
+
+    # -- receiver side -----------------------------------------------------
+
+    def on_wire(self, env: Envelope) -> None:
+        """Ingest a :class:`ReliableData` or :class:`ReliableAck` envelope."""
+        payload = env.payload
+        if isinstance(payload, ReliableAck):
+            with self._lock:
+                pending = self._pending.pop((env.src, payload.seq), None)
+                if pending is not None and pending.handle is not None:
+                    pending.handle.cancel()
+            return
+        if isinstance(payload, ReliableData):
+            fresh = False
+            with self._lock:
+                seen = self._seen.setdefault(env.src, set())
+                if payload.seq not in seen:
+                    seen.add(payload.seq)
+                    fresh = True
+                elif self.node is not None:
+                    self.node.stats.duplicates_dropped += 1
+                    if self.node.tracer is not None:
+                        self.node.tracer.emit(
+                            self.site, "dup", payload.qid, src=env.src, seq=payload.seq
+                        )
+            # Always (re-)ack: the previous ack may have been the lost frame.
+            self.send_raw(Envelope(env.dst, env.src, ReliableAck(payload.seq)))
+            if fresh:
+                self.deliver_up(Envelope(env.src, env.dst, payload.payload))
+            return
+        raise TypeError(f"not a reliable-channel frame: {type(payload).__name__}")
+
+    def close(self) -> None:
+        """Drop all buffered state (transport shutdown)."""
+        with self._lock:
+            self._closed = True
+            for pending in self._pending.values():
+                if pending.handle is not None:
+                    pending.handle.cancel()
+            self._pending.clear()

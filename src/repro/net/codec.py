@@ -29,6 +29,7 @@ from ..core.patterns import ANY, Any_, Bind, Literal, OneOf, Pattern, Range, Reg
 from ..core.program import DerefOp, LoopOp, Op, Program, RetrieveOp, SelectOp
 from ..engine.items import WorkItem
 from ..errors import HyperFileError
+from ..faults.reliable import ReliableAck, ReliableData
 from ..storage.blobstore import BlobRef
 from ..core.objects import HFObject
 from ..core.tuples import HFTuple
@@ -88,6 +89,8 @@ _M_SEED_FROM_SAVED = 0x43
 _M_PURGE_CONTEXT = 0x44
 _M_FETCH_REQUEST = 0x45
 _M_FETCH_REPLY = 0x46
+_M_RELIABLE_DATA = 0x47
+_M_RELIABLE_ACK = 0x48
 
 
 class _Writer:
@@ -500,6 +503,13 @@ def encode_message(message: Any) -> bytes:
         w.byte(_M_FETCH_REPLY)
         w.varint(message.request_id)
         _write_object(w, message.obj)
+    elif isinstance(message, ReliableData):
+        w.byte(_M_RELIABLE_DATA)
+        w.varint(message.seq)
+        w.raw(encode_message(message.payload))
+    elif isinstance(message, ReliableAck):
+        w.byte(_M_RELIABLE_ACK)
+        w.varint(message.seq)
     else:
         raise CodecError(f"cannot encode message {type(message).__name__}")
     return w.getvalue()
@@ -540,6 +550,11 @@ def decode_message(frame: bytes) -> Any:
         message = FetchRequest(request_id, oid, reply_to=r.text())
     elif tag == _M_FETCH_REPLY:
         message = FetchReply(r.varint(), _read_object(r))
+    elif tag == _M_RELIABLE_DATA:
+        seq = r.varint()
+        message = ReliableData(seq, decode_message(r.raw()))
+    elif tag == _M_RELIABLE_ACK:
+        message = ReliableAck(r.varint())
     else:
         raise CodecError(f"unknown message tag 0x{tag:02x}")
     if not r.done():

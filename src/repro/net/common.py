@@ -1,0 +1,61 @@
+"""Shared client-side machinery for the wall-clock transports.
+
+The threaded and socket clusters expose the same blocking
+``run_query`` contract; this module holds the completion-wait loop they
+previously each duplicated, now extended with originator-side deadlines.
+"""
+
+from __future__ import annotations
+
+import queue
+import time
+from typing import Callable, Optional
+
+from ..engine.results import QueryResult
+from ..errors import HyperFileError, QueryTimeout
+from .messages import QueryId
+
+
+def await_completion(
+    completions: "queue.Queue",
+    qid: QueryId,
+    timeout_s: float,
+    deadline_s: Optional[float],
+    on_deadline: str,
+    expire: Callable[[], None],
+) -> QueryResult:
+    """Block until ``qid`` completes, expiring it at its deadline.
+
+    ``expire`` is invoked (once) when ``deadline_s`` elapses without a
+    completion; it must force the originator to complete the query with
+    partial results, which then flow back through ``completions`` like
+    any other completion.  ``timeout_s`` stays a hard backstop: if even
+    the expiry path produces nothing, raise rather than hang.
+    """
+    if on_deadline not in ("partial", "raise"):
+        raise ValueError(f"on_deadline must be 'partial' or 'raise', got {on_deadline!r}")
+    start = time.monotonic()
+    end = start + timeout_s
+    deadline = start + deadline_s if deadline_s is not None else None
+    expired = False
+    while True:
+        now = time.monotonic()
+        if deadline is not None and not expired and now >= deadline:
+            expired = True
+            expire()
+        remaining = end - now
+        if remaining <= 0:
+            raise HyperFileError(f"query {qid} did not complete within {timeout_s}s")
+        wait = min(remaining, 0.25)
+        if deadline is not None and not expired:
+            wait = min(wait, max(deadline - now, 0.001))
+        try:
+            done_qid, result = completions.get(timeout=wait)
+        except queue.Empty:
+            continue
+        if done_qid == qid:
+            if result.partial and on_deadline == "raise":
+                raise QueryTimeout(qid, deadline_s, result)
+            return result
+        # A different query finished first (concurrent use): requeue.
+        completions.put((done_qid, result))

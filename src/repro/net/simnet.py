@@ -13,13 +13,21 @@ and maps its step costs onto the discrete-event clock:
 :class:`SimNetwork` owns the host map plus an availability table so the
 autonomy scenarios ("Node A is down, pose the query to Node B") can be
 scripted; messages to down sites are counted and dropped by the sender.
+
+Chaos and fault tolerance plug in here too: an attached
+:class:`~repro.faults.plan.FaultPlan` decides per message whether the
+wire drops, duplicates or delays it, and :meth:`SimNetwork.enable_reliable`
+interposes the ack/retransmit channel so the termination detectors'
+conservation invariants survive that chaos (see docs/FAULTS.md).
 """
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
 from ..errors import UnknownSite
+from ..faults.plan import FaultPlan
+from ..faults.reliable import ReliableAck, ReliableConfig, ReliableData, ReliableEndpoint
 from ..server.node import ServerNode, StepReport
 from ..sim.kernel import Simulator
 from .messages import DerefRequest, Envelope, SeedFromSaved, Undeliverable
@@ -28,7 +36,7 @@ from .messages import DerefRequest, Envelope, SeedFromSaved, Undeliverable
 class SimNetwork:
     """Routes envelopes between simulated hosts."""
 
-    def __init__(self, sim: Simulator) -> None:
+    def __init__(self, sim: Simulator, fault_plan: Optional[FaultPlan] = None) -> None:
         self.sim = sim
         self.hosts: Dict[str, "SimHost"] = {}
         self._down: set = set()
@@ -36,6 +44,36 @@ class SimNetwork:
         self.messages_delivered = 0
         self.messages_dropped = 0
         self.bytes_delivered = 0
+        #: Chaos schedule consulted for every wire transmission (or None).
+        self.fault_plan = fault_plan
+        self._endpoints: Optional[Dict[str, ReliableEndpoint]] = None
+        self._reliable_config: Optional[ReliableConfig] = None
+
+    def enable_reliable(self, config: Optional[ReliableConfig] = None) -> None:
+        """Interpose the reliable-delivery channel on every link."""
+        self._reliable_config = config if config is not None else ReliableConfig()
+        self._endpoints = {}
+
+    @property
+    def reliable_enabled(self) -> bool:
+        return self._endpoints is not None
+
+    def _endpoint(self, site: str) -> ReliableEndpoint:
+        assert self._endpoints is not None
+        endpoint = self._endpoints.get(site)
+        if endpoint is None:
+            endpoint = ReliableEndpoint(
+                site,
+                clock=lambda: self.sim.now,
+                scheduler=self.sim.schedule,
+                send_raw=self._transmit_raw,
+                deliver_up=self._deliver_up,
+                node=self.hosts[site].node,
+                config=self._reliable_config,
+                on_give_up=self._give_up,
+            )
+            self._endpoints[site] = endpoint
+        return endpoint
 
     def attach(self, node: ServerNode) -> "SimHost":
         """Create and register a host for ``node``."""
@@ -75,23 +113,98 @@ class SimNetwork:
         self._down.discard(site)
         self.hosts[site].kick()
 
+    def send(self, env: Envelope, depart: float) -> None:
+        """Hand ``env`` to the wire at virtual time ``depart``.
+
+        The reliable channel (if enabled) and the fault plan (if any)
+        apply from the moment of departure; retransmissions pay wire
+        latency from their own (later) send times.
+        """
+        if env.dst not in self.hosts:
+            raise UnknownSite(env.dst)
+        if self.fault_plan is None and self._endpoints is None:
+            # Clean wire: schedule the arrival directly (and *now*, so
+            # same-timestamp event ordering matches the historical
+            # behaviour the calibrated benchmarks depend on).
+            costs = self.hosts[env.src].node.costs
+            wire = self.latency(env.src, env.dst, costs.msg_latency_s)
+            wire += env.size_bytes / costs.bandwidth_bytes_per_s
+            self.sim.schedule_at(depart + wire, lambda: self._arrive(env))
+            return
+        self.sim.schedule_at(depart, lambda: self._transmit(env))
+
+    def _transmit(self, env: Envelope) -> None:
+        if self._endpoints is not None and not isinstance(
+            env.payload, (ReliableData, ReliableAck, Undeliverable)
+        ):
+            self._endpoint(env.src).send(env)
+        else:
+            self._transmit_raw(env)
+
+    def _transmit_raw(self, env: Envelope) -> None:
+        """One wire transmission: latency + bandwidth + chaos."""
+        if env.dst not in self.hosts:
+            raise UnknownSite(env.dst)
+        costs = self.hosts[env.src].node.costs
+        wire = self.latency(env.src, env.dst, costs.msg_latency_s)
+        wire += env.size_bytes / costs.bandwidth_bytes_per_s
+        if self.fault_plan is not None:
+            decision = self.fault_plan.decide(env.src, env.dst)
+            if decision.dropped:
+                self.messages_dropped += 1
+                return
+            for extra in decision.delays:
+                self.sim.schedule(wire + extra, lambda e=env: self._arrive(e))
+        else:
+            self.sim.schedule(wire, lambda: self._arrive(env))
+
     def deliver(self, env: Envelope, at: float) -> None:
-        """Schedule delivery of ``env`` at absolute virtual time ``at``."""
+        """Schedule delivery of ``env`` at absolute virtual time ``at``.
+
+        Bypasses the fault plan and reliable channel — this is the
+        low-level "the bytes land now" entry, kept for drivers and tests
+        that script exact arrival times.
+        """
+        if env.dst not in self.hosts:
+            raise UnknownSite(env.dst)
+        self.sim.schedule_at(at, lambda: self._arrive(env))
+
+    def _arrive(self, env: Envelope) -> None:
         host = self.hosts.get(env.dst)
         if host is None:
             raise UnknownSite(env.dst)
+        if not self.is_up(env.dst):
+            self.messages_dropped += 1
+            self._bounce(env)
+            return
+        self.messages_delivered += 1
+        self.bytes_delivered += env.size_bytes
+        if self._endpoints is not None and isinstance(env.payload, (ReliableData, ReliableAck)):
+            self._endpoint(env.dst).on_wire(env)
+            return
+        host.node.on_message(env)
+        host.kick()
 
-        def arrive() -> None:
-            if not self.is_up(env.dst):
-                self.messages_dropped += 1
-                self._bounce(env)
-                return
-            self.messages_delivered += 1
-            self.bytes_delivered += env.size_bytes
-            host.node.on_message(env)
-            host.kick()
+    def _deliver_up(self, env: Envelope) -> None:
+        """A deduplicated payload surfaced by the reliable channel."""
+        host = self.hosts[env.dst]
+        host.node.on_message(env)
+        host.kick()
 
-        self.sim.schedule_at(at, arrive)
+    def _give_up(self, env: Envelope) -> None:
+        """The reliable channel exhausted its retries for ``env``.
+
+        Recover exactly as an :class:`Undeliverable` bounce would: hand
+        the original envelope back to the sender's node so the detector
+        re-absorbs its credit/deficit.  Non-work traffic is simply lost.
+        """
+        if not isinstance(env.payload, (DerefRequest, SeedFromSaved)):
+            return
+        host = self.hosts.get(env.src)
+        if host is None or not self.is_up(env.src):
+            return
+        host.node.on_message(Envelope(env.dst, env.src, Undeliverable(env)))
+        host.kick()
 
     def _bounce(self, env: Envelope) -> None:
         """Return an undeliverable *work* message to its sender.
@@ -148,15 +261,13 @@ class SimHost:
     def dispatch(self, report: StepReport) -> None:
         """Account a step's cost and ship its outgoing messages.
 
-        Messages depart when the step's CPU work completes and arrive one
-        wire latency later.
+        Messages depart when the step's CPU work completes; the network
+        adds wire latency (and any chaos) from the departure instant.
         """
         self.node.stats.busy_seconds += report.elapsed
         depart = self.sim.now + report.elapsed
         for env in report.outgoing:
-            wire = self.network.latency(env.src, env.dst, self.node.costs.msg_latency_s)
-            wire += env.size_bytes / self.node.costs.bandwidth_bytes_per_s
-            self.network.deliver(env, depart + wire)
+            self.network.send(env, depart)
         if self.completion_sink is not None:
             for qid, result in report.completed:
                 self.sim.schedule_at(depart, lambda q=qid, r=result: self.completion_sink(q, r))

@@ -11,6 +11,14 @@ convenience, but nothing in the protocol depends on that.)
 This is the correctness-under-real-IO validation layer; timing
 experiments use the simulated cluster, whose cost model the paper's
 constants calibrate.
+
+Fault tolerance matches the other transports: a
+:class:`~repro.faults.plan.FaultPlan` drops/duplicates/delays frames at
+the sender, ``set_down``/``set_up`` freeze a site's worker (frames *to*
+a down site are dropped at the sender — unlike the simulated cluster
+there is no availability oracle here, so peers only notice through loss),
+and ``enable_reliable`` interposes the ack/retransmit channel, whose
+frames travel the wire through the same codec as everything else.
 """
 
 from __future__ import annotations
@@ -26,12 +34,16 @@ from ..core.oid import Oid
 from ..core.program import Program
 from ..engine.results import QueryResult
 from ..errors import HyperFileError, TransportClosed, UnknownSite
+from ..faults.plan import FaultPlan
+from ..faults.reliable import ReliableAck, ReliableConfig, ReliableData, ReliableEndpoint
+from ..faults.timers import TimerThread
 from ..net.codec import decode_message, encode_message
-from ..net.messages import Envelope, QueryId
+from ..net.messages import DerefRequest, Envelope, QueryId, SeedFromSaved, Undeliverable
 from ..server.node import ServerNode
 from ..sim.costs import FREE_COSTS
 from ..storage.memstore import MemStore
 from ..termination.base import make_strategy
+from .common import await_completion
 
 _HEADER = struct.Struct(">I")
 
@@ -154,6 +166,11 @@ class _SocketSite:
 
     def _work_loop(self) -> None:
         while not self._stop.is_set():
+            if self.cluster.is_down(self.node.site):
+                # Crashed: freeze.  Frames already queued (or still being
+                # enqueued by reader threads) are processed after set_up.
+                time.sleep(0.01)
+                continue
             try:
                 env = self.inbox.get(timeout=0.05)
             except queue.Empty:
@@ -163,7 +180,10 @@ class _SocketSite:
             outgoing: List[Envelope] = []
             with self._node_lock:
                 if env is not None:
-                    self.node.on_message(env)
+                    if isinstance(env.payload, (ReliableData, ReliableAck)):
+                        self.cluster._reliable_ingest(env)
+                    else:
+                        self.node.on_message(env)
                 while self.node.has_work:
                     report = self.node.step()
                     outgoing.extend(report.outgoing)
@@ -180,16 +200,53 @@ class _SocketSite:
     # -- outbound -----------------------------------------------------------------
 
     def _send(self, env: Envelope) -> None:
+        endpoint = self.cluster._endpoint_for(env.src)
+        if endpoint is not None and not isinstance(
+            env.payload, (ReliableData, ReliableAck, Undeliverable)
+        ):
+            endpoint.send(env)
+            return
+        self._send_raw(env)
+
+    def _send_raw(self, env: Envelope) -> None:
+        """One wire transmission: availability + fault plan, then bytes."""
+        if self.cluster.is_down(env.dst):
+            # A "crashed" peer: the frame is lost at the wire.  The
+            # reliable channel (if any) keeps retransmitting until the
+            # peer recovers or retries run out.
+            self.cluster.messages_dropped += 1
+            return
+        plan = self.cluster.fault_plan
+        if plan is None:
+            self._send_frame(env)
+            return
+        decision = plan.decide(env.src, env.dst)
+        if decision.dropped:
+            self.cluster.messages_dropped += 1
+            return
+        for extra in decision.delays:
+            if extra > 0:
+                self.cluster._timer_thread().schedule(extra, lambda e=env: self._send_frame(e))
+            else:
+                self._send_frame(env)
+
+    def _send_frame(self, env: Envelope) -> None:
         frame = encode_message(env.payload)
         # Prefix with the sender site (needed by e.g. DS parent tracking);
         # encode it as a tiny frame header: len + utf8 name.
         name = env.src.encode("utf-8")
         payload = bytes((len(name),)) + name + frame
-        sock = self._connection_to(env.dst)
         try:
+            sock = self._connection_to(env.dst)
             send_frame(sock, payload)
             self.bytes_sent += len(payload)
         except OSError as exc:
+            if self.cluster.reliable_enabled:
+                # The channel will retransmit; treat as wire loss.
+                self.cluster.messages_dropped += 1
+                with self._out_lock:
+                    self._outbound.pop(env.dst, None)
+                return
             raise HyperFileError(f"send to {env.dst} failed: {exc}") from exc
 
     def _connection_to(self, site: str) -> socket.socket:
@@ -219,6 +276,8 @@ class SocketCluster:
         sites: Union[int, Iterable[str]] = 3,
         termination: str = "weighted",
         result_mode: str = "ship",
+        fault_plan: Optional[FaultPlan] = None,
+        reliable: Union[bool, ReliableConfig] = False,
     ) -> None:
         names = [f"site{i}" for i in range(sites)] if isinstance(sites, int) else list(sites)
         strategy = make_strategy(termination)
@@ -229,6 +288,14 @@ class SocketCluster:
         self._closed = False
         self._seq = 0
         self._seq_lock = threading.Lock()
+        self._down: set = set()
+        self._down_lock = threading.Lock()
+        self._timers: Optional[TimerThread] = None
+        self._timers_lock = threading.Lock()
+        self.fault_plan: Optional[FaultPlan] = None
+        self._endpoints: Optional[Dict[str, ReliableEndpoint]] = None
+        self._reliable_config: Optional[ReliableConfig] = None
+        self.messages_dropped = 0
         for name in names:
             store = MemStore(name)
             node = ServerNode(
@@ -244,11 +311,20 @@ class SocketCluster:
             self._sites[name] = _SocketSite(node, self)
         for site in self._sites.values():
             site.start()
+        if reliable:
+            self.enable_reliable(reliable if isinstance(reliable, ReliableConfig) else None)
+        if fault_plan is not None:
+            self.use_faults(fault_plan)
 
     # -- lifecycle ----------------------------------------------------------
 
     def close(self) -> None:
         self._closed = True
+        if self._endpoints is not None:
+            for endpoint in self._endpoints.values():
+                endpoint.close()
+        if self._timers is not None:
+            self._timers.stop()
         for site in self._sites.values():
             site.stop()
 
@@ -279,6 +355,93 @@ class SocketCluster:
     def bytes_on_the_wire(self) -> int:
         return sum(site.bytes_sent for site in self._sites.values())
 
+    # -- availability ---------------------------------------------------------
+
+    def is_up(self, site: str) -> bool:
+        with self._down_lock:
+            return site not in self._down
+
+    def is_down(self, site: str) -> bool:
+        return not self.is_up(site)
+
+    def set_down(self, site: str) -> None:
+        """Freeze a site's worker; frames sent to it are dropped at the wire."""
+        if site not in self._sites:
+            raise UnknownSite(site)
+        with self._down_lock:
+            self._down.add(site)
+
+    def set_up(self, site: str) -> None:
+        if site not in self._sites:
+            raise UnknownSite(site)
+        with self._down_lock:
+            self._down.discard(site)
+        self._sites[site].inbox.put(None)  # wake the frozen worker
+
+    # -- fault injection ------------------------------------------------------
+
+    def use_faults(self, plan: FaultPlan) -> None:
+        """Attach a chaos schedule; scheduled crashes start arming now."""
+        for crash in plan.crashes:
+            if crash.site not in self._sites:
+                raise UnknownSite(crash.site)
+        self.fault_plan = plan
+        timers = self._timer_thread()
+        for crash in plan.crashes:
+            timers.schedule(crash.at, lambda s=crash.site: self.set_down(s))
+            if crash.recover_at is not None:
+                timers.schedule(crash.recover_at, lambda s=crash.site: self.set_up(s))
+
+    def enable_reliable(self, config: Optional[ReliableConfig] = None) -> None:
+        """Interpose the reliable-delivery channel on every link."""
+        self._reliable_config = config if config is not None else ReliableConfig()
+        timers = self._timer_thread()
+        self._endpoints = {
+            name: ReliableEndpoint(
+                name,
+                clock=timers.now,
+                scheduler=timers.schedule,
+                send_raw=site._send_raw,
+                # on_wire runs on the destination's worker thread with its
+                # node lock held, so deliver straight into the node.
+                deliver_up=lambda env, n=site.node: n.on_message(env),
+                node=site.node,
+                config=self._reliable_config,
+                on_give_up=self._give_up,
+            )
+            for name, site in self._sites.items()
+        }
+
+    @property
+    def reliable_enabled(self) -> bool:
+        return self._endpoints is not None
+
+    def _endpoint_for(self, site: str) -> Optional[ReliableEndpoint]:
+        if self._endpoints is None:
+            return None
+        return self._endpoints.get(site)
+
+    def _reliable_ingest(self, env: Envelope) -> None:
+        """A reliable-channel frame arrived at ``env.dst``'s worker."""
+        endpoint = self._endpoint_for(env.dst)
+        if endpoint is not None:
+            endpoint.on_wire(env)
+
+    def _give_up(self, env: Envelope) -> None:
+        """Retries exhausted: recover detector state like a bounce would."""
+        if not isinstance(env.payload, (DerefRequest, SeedFromSaved)):
+            return
+        site = self._sites.get(env.src)
+        if site is None:
+            return
+        site.inbox.put(Envelope(env.dst, env.src, Undeliverable(env)))
+
+    def _timer_thread(self) -> TimerThread:
+        with self._timers_lock:
+            if self._timers is None:
+                self._timers = TimerThread(name="hf-sockets-timers")
+            return self._timers
+
     # -- queries --------------------------------------------------------------
 
     def run_query(
@@ -287,26 +450,34 @@ class SocketCluster:
         initial: Iterable[Oid],
         originator: Optional[str] = None,
         timeout_s: float = 30.0,
+        deadline_s: Optional[float] = None,
+        on_deadline: str = "partial",
     ) -> QueryResult:
+        """Submit a compiled program and block until completion.
+
+        ``deadline_s`` bounds the wait exactly as on the other transports:
+        on expiry the originator reclaims outstanding credit and completes
+        with partial results (or raises :class:`~repro.errors.QueryTimeout`
+        when ``on_deadline="raise"``).
+        """
         if self._closed:
             raise TransportClosed("cluster is closed")
+        if deadline_s is not None and deadline_s <= 0:
+            raise ValueError("deadline_s must be positive")
         origin = originator if originator is not None else self.sites[0]
         with self._seq_lock:
             self._seq += 1
             qid = QueryId(self._seq, origin)
-        self._sites[origin].submit(qid, program, list(initial))
-        end = time.monotonic() + timeout_s
-        while True:
-            remaining = end - time.monotonic()
-            if remaining <= 0:
-                raise HyperFileError(f"query {qid} did not complete within {timeout_s}s")
-            try:
-                done_qid, result = self._completions.get(timeout=min(remaining, 0.25))
-            except queue.Empty:
-                continue
-            if done_qid == qid:
-                return result
-            self._completions.put((done_qid, result))
+        site = self._sites[origin]
+        site.submit(qid, program, list(initial))
+
+        def expire() -> None:
+            with site._node_lock:
+                report = site.node.expire_query(qid)
+            for env in report.outgoing:
+                site._send(env)
+
+        return await_completion(self._completions, qid, timeout_s, deadline_s, on_deadline, expire)
 
     def _on_complete(self, qid: QueryId, result: QueryResult) -> None:
         self._completions.put((qid, result))

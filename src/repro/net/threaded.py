@@ -10,24 +10,40 @@ outside the simulator, not just inside it.
 No virtual costs are applied; the node-reported costs are ignored and
 response times here are real wall-clock, useful only for smoke checks.
 Correctness (result sets, termination) is the point.
+
+Fault tolerance mirrors the simulated cluster: an attached
+:class:`~repro.faults.plan.FaultPlan` drops/duplicates/delays envelopes
+between inboxes (delays via a shared :class:`~repro.faults.timers.TimerThread`),
+``set_down``/``set_up`` freeze and thaw a site, and ``enable_reliable``
+interposes the ack/retransmit channel.  Envelopes addressed to unknown
+or down sites are never raised from a site thread (that would silently
+kill the thread) — they are recorded on :attr:`ThreadedCluster.undeliverable`
+and work messages are bounced back to the sender as
+:class:`~repro.net.messages.Undeliverable` so the termination detector
+recovers its credit.
 """
 
 from __future__ import annotations
 
 import queue
 import threading
+import time
 from typing import Dict, Iterable, List, Optional, Union
 
 from ..core.oid import Oid
 from ..core.program import Program
 from ..engine.results import QueryResult
-from ..errors import HyperFileError, TransportClosed, UnknownSite
+from ..errors import TransportClosed, UnknownSite
+from ..faults.plan import FaultPlan
+from ..faults.reliable import ReliableAck, ReliableConfig, ReliableData, ReliableEndpoint
+from ..faults.timers import TimerThread
 from ..naming.directory import ForwardingTable
-from ..net.messages import Envelope, QueryId
+from ..net.messages import DerefRequest, Envelope, QueryId, SeedFromSaved, Undeliverable
 from ..server.node import ServerNode
 from ..sim.costs import FREE_COSTS
 from ..storage.memstore import MemStore
 from ..termination.base import make_strategy
+from .common import await_completion
 
 
 class _SiteThread:
@@ -57,6 +73,11 @@ class _SiteThread:
 
     def _run(self) -> None:
         while not self._stop:
+            if self.router.is_down(self.node.site):
+                # Crashed: freeze with the inbox intact — queued work is
+                # processed after set_up, exactly like the simulated host.
+                time.sleep(0.01)
+                continue
             try:
                 env = self.inbox.get(timeout=0.05)
             except queue.Empty:
@@ -65,7 +86,10 @@ class _SiteThread:
                 return
             with self._lock:
                 if env is not None:
-                    self.node.on_message(env)
+                    if isinstance(env.payload, (ReliableData, ReliableAck)):
+                        self.router._reliable_ingest(env)
+                    else:
+                        self.node.on_message(env)
                 outgoing: List[Envelope] = []
                 # Drain everything currently available; new inbox entries
                 # will nudge us again.
@@ -89,6 +113,8 @@ class ThreadedCluster:
         termination: str = "weighted",
         discipline: str = "fifo",
         result_mode: str = "ship",
+        fault_plan: Optional[FaultPlan] = None,
+        reliable: Union[bool, ReliableConfig] = False,
     ) -> None:
         if isinstance(sites, int):
             names = [f"site{i}" for i in range(sites)]
@@ -100,6 +126,17 @@ class ThreadedCluster:
         self._threads: Dict[str, _SiteThread] = {}
         self._completions: "queue.Queue" = queue.Queue()
         self._closed = False
+        self._down: set = set()
+        self._down_lock = threading.Lock()
+        self._timers: Optional[TimerThread] = None
+        self._timers_lock = threading.Lock()
+        self.fault_plan: Optional[FaultPlan] = None
+        self._endpoints: Optional[Dict[str, ReliableEndpoint]] = None
+        self._reliable_config: Optional[ReliableConfig] = None
+        self.messages_dropped = 0
+        #: Envelopes that could not be delivered (unknown or down
+        #: destination), recorded instead of raised from a site thread.
+        self.undeliverable: List[Envelope] = []
         strategy = make_strategy(termination)
         for name in names:
             store = MemStore(name)
@@ -113,6 +150,7 @@ class ThreadedCluster:
                 result_mode=result_mode,
                 forwarding=table,
                 on_query_complete=self._on_complete,
+                is_site_up=self.is_up,
             )
             self.stores[name] = store
             self.forwarding[name] = table
@@ -122,11 +160,20 @@ class ThreadedCluster:
         self._seq_lock = threading.Lock()
         for t in self._threads.values():
             t.start()
+        if reliable:
+            self.enable_reliable(reliable if isinstance(reliable, ReliableConfig) else None)
+        if fault_plan is not None:
+            self.use_faults(fault_plan)
 
     # -- lifecycle -----------------------------------------------------
 
     def close(self) -> None:
         self._closed = True
+        if self._endpoints is not None:
+            for endpoint in self._endpoints.values():
+                endpoint.close()
+        if self._timers is not None:
+            self._timers.stop()
         for t in self._threads.values():
             t.stop()
 
@@ -148,6 +195,73 @@ class ThreadedCluster:
         except KeyError:
             raise UnknownSite(site) from None
 
+    # -- availability ------------------------------------------------------
+
+    def is_up(self, site: str) -> bool:
+        with self._down_lock:
+            return site not in self._down
+
+    def is_down(self, site: str) -> bool:
+        return not self.is_up(site)
+
+    def set_down(self, site: str) -> None:
+        """Freeze a site: its thread stops draining work until ``set_up``."""
+        if site not in self._threads:
+            raise UnknownSite(site)
+        with self._down_lock:
+            self._down.add(site)
+
+    def set_up(self, site: str) -> None:
+        if site not in self._threads:
+            raise UnknownSite(site)
+        with self._down_lock:
+            self._down.discard(site)
+        self._threads[site].inbox.put(None)  # wake the frozen loop
+
+    # -- fault injection -----------------------------------------------------
+
+    def use_faults(self, plan: FaultPlan) -> None:
+        """Attach a chaos schedule; scheduled crashes start arming now."""
+        for crash in plan.crashes:
+            if crash.site not in self._threads:
+                raise UnknownSite(crash.site)
+        self.fault_plan = plan
+        timers = self._timer_thread()
+        for crash in plan.crashes:
+            timers.schedule(crash.at, lambda s=crash.site: self.set_down(s))
+            if crash.recover_at is not None:
+                timers.schedule(crash.recover_at, lambda s=crash.site: self.set_up(s))
+
+    def enable_reliable(self, config: Optional[ReliableConfig] = None) -> None:
+        """Interpose the reliable-delivery channel on every link."""
+        self._reliable_config = config if config is not None else ReliableConfig()
+        timers = self._timer_thread()
+        self._endpoints = {
+            name: ReliableEndpoint(
+                name,
+                clock=timers.now,
+                scheduler=timers.schedule,
+                send_raw=self._route_raw,
+                # on_wire runs on the destination's site thread with its
+                # node lock already held, so deliver straight into the node.
+                deliver_up=lambda env, t=thread: t.node.on_message(env),
+                node=thread.node,
+                config=self._reliable_config,
+                on_give_up=self._give_up,
+            )
+            for name, thread in self._threads.items()
+        }
+
+    @property
+    def reliable_enabled(self) -> bool:
+        return self._endpoints is not None
+
+    def _timer_thread(self) -> TimerThread:
+        with self._timers_lock:
+            if self._timers is None:
+                self._timers = TimerThread(name="hf-threaded-timers")
+            return self._timers
+
     # -- queries -----------------------------------------------------------
 
     def run_query(
@@ -156,39 +270,105 @@ class ThreadedCluster:
         initial: Iterable[Oid],
         originator: Optional[str] = None,
         timeout_s: float = 30.0,
+        deadline_s: Optional[float] = None,
+        on_deadline: str = "partial",
     ) -> QueryResult:
-        """Submit a compiled program and block until completion."""
+        """Submit a compiled program and block until completion.
+
+        ``deadline_s`` bounds the wait: on expiry the originator reclaims
+        its outstanding credit and completes the query with whatever
+        results have arrived (``result.partial`` is True), or raises
+        :class:`~repro.errors.QueryTimeout` when ``on_deadline="raise"``.
+        """
         if self._closed:
             raise TransportClosed("cluster is closed")
+        if deadline_s is not None and deadline_s <= 0:
+            raise ValueError("deadline_s must be positive")
         origin = originator if originator is not None else self.sites[0]
         with self._seq_lock:
             self._seq += 1
             qid = QueryId(self._seq, origin)
         self._threads[origin].submit(qid, program, list(initial))
-        deadline = threading.Event()
-        import time
 
-        end = time.monotonic() + timeout_s
-        while True:
-            remaining = end - time.monotonic()
-            if remaining <= 0:
-                raise HyperFileError(f"query {qid} did not complete within {timeout_s}s")
-            try:
-                done_qid, result = self._completions.get(timeout=min(remaining, 0.25))
-            except queue.Empty:
-                continue
-            if done_qid == qid:
-                return result
-            # A different query finished first (concurrent use): requeue.
-            self._completions.put((done_qid, result))
+        def expire() -> None:
+            thread = self._threads[origin]
+            with thread._lock:
+                report = thread.node.expire_query(qid)
+            for env in report.outgoing:
+                self.route(env)
+
+        return await_completion(self._completions, qid, timeout_s, deadline_s, on_deadline, expire)
 
     # -- internals ------------------------------------------------------------
 
     def route(self, env: Envelope) -> None:
+        if self._closed:
+            return
+        if self._endpoints is not None and not isinstance(
+            env.payload, (ReliableData, ReliableAck, Undeliverable)
+        ):
+            endpoint = self._endpoints.get(env.src)
+            if endpoint is not None:
+                endpoint.send(env)
+                return
+        self._route_raw(env)
+
+    def _route_raw(self, env: Envelope) -> None:
+        """One wire transmission: apply the fault plan, then deliver."""
+        plan = self.fault_plan
+        if plan is None:
+            self._deliver_local(env)
+            return
+        decision = plan.decide(env.src, env.dst)
+        if decision.dropped:
+            self.messages_dropped += 1
+            return
+        for extra in decision.delays:
+            if extra > 0:
+                self._timer_thread().schedule(extra, lambda e=env: self._deliver_local(e))
+            else:
+                self._deliver_local(env)
+
+    def _deliver_local(self, env: Envelope) -> None:
         target = self._threads.get(env.dst)
-        if target is None:
-            raise UnknownSite(env.dst)
+        if target is None or self.is_down(env.dst):
+            self._bounce(env)
+            return
         target.inbox.put(env)
+
+    def _bounce(self, env: Envelope) -> None:
+        """Record an undeliverable envelope and return work to its sender.
+
+        Raising here would kill whichever site thread routed the message;
+        instead the envelope is recorded and — for the work messages that
+        carry detector state — bounced back as ``Undeliverable`` so the
+        sender re-absorbs its credit/deficit.
+        """
+        self.messages_dropped += 1
+        self.undeliverable.append(env)
+        if not isinstance(env.payload, (DerefRequest, SeedFromSaved)):
+            return
+        sender = self._threads.get(env.src)
+        if sender is None or self.is_down(env.src):
+            return
+        sender.inbox.put(Envelope(env.dst, env.src, Undeliverable(env)))
+
+    def _reliable_ingest(self, env: Envelope) -> None:
+        """A reliable-channel frame arrived at ``env.dst``'s inbox."""
+        if self._endpoints is None:  # channel disabled mid-flight: drop
+            return
+        endpoint = self._endpoints.get(env.dst)
+        if endpoint is not None:
+            endpoint.on_wire(env)
+
+    def _give_up(self, env: Envelope) -> None:
+        """Retries exhausted: recover detector state like a bounce would."""
+        if not isinstance(env.payload, (DerefRequest, SeedFromSaved)):
+            return
+        sender = self._threads.get(env.src)
+        if sender is None:
+            return
+        sender.inbox.put(Envelope(env.dst, env.src, Undeliverable(env)))
 
     def _on_complete(self, qid: QueryId, result: QueryResult) -> None:
         self._completions.put((qid, result))

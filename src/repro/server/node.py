@@ -237,6 +237,40 @@ class ServerNode:
             self._emit(report, target, FetchRequest(request_id, oid, reply_to=self.site))
         return request_id, report
 
+    def expire_query(self, qid: QueryId) -> StepReport:
+        """Originator-side deadline expiry (the paper's partial-results
+        semantics under *arbitrary* failure, not only scripted down sites).
+
+        Write off outstanding detector state, abandon local pending work,
+        and complete the query immediately with whatever results arrived,
+        flagged ``partial``.  Idempotent: a no-op if the query already
+        completed (or is unknown here).
+        """
+        report = StepReport()
+        ctx = self.contexts.get(qid)
+        if ctx is None or not ctx.is_originator or ctx.done:
+            return report
+        abandoned = ctx.execution.abandon()
+        self._merge_local_results(ctx)
+        self.termination.on_deadline(ctx.term_state)
+        ctx.done = True
+        assert ctx.final is not None
+        ctx.final.partial = True
+        self.stats.deadline_expiries += 1
+        if self.tracer is not None:
+            self.tracer.emit(
+                self.site, "timeout", qid,
+                abandoned=abandoned, results=len(ctx.final.oids),
+            )
+        if self.gc_contexts:
+            for participant in sorted(ctx.participants):
+                if participant != self.site:
+                    self._emit(report, participant, PurgeContext(ctx.qid))
+        report.completed.append((qid, ctx.final))
+        if self.on_query_complete is not None:
+            self.on_query_complete(qid, ctx.final)
+        return report
+
     # ------------------------------------------------------------------
     # transport-facing entry points
     # ------------------------------------------------------------------
@@ -305,6 +339,11 @@ class ServerNode:
     def _handle_deref(self, env: Envelope, msg: DerefRequest) -> StepReport:
         report = StepReport(elapsed=self.costs.msg_recv_s)
         ctx = self._ensure_context(msg.qid, msg.program)
+        if ctx.done:
+            # The deadline fired while this work was in flight; the client
+            # already has the (partial) result — drop the branch.
+            self.stats.late_messages += 1
+            return report
         target = self.locate(msg.item.oid)
         if target != self.site and self.is_site_up(target):
             # The object migrated away (or the sender used a stale hint):
@@ -341,6 +380,15 @@ class ServerNode:
             raise HyperFileError(
                 f"site {self.site} received results for {msg.qid} it did not originate"
             )
+        if ctx.done:
+            # Deadline already fired (or detector already terminated):
+            # the client holds the result; ingesting more would mutate it
+            # behind their back and could over-recover credit.  The batch
+            # still occupies the CPU for its full receive-and-parse cost.
+            self.stats.late_messages += 1
+            return StepReport(
+                elapsed=self.costs.result_msg_fixed_s + self.costs.result_item_s * msg.item_count
+            )
         elapsed = self.costs.result_msg_fixed_s + self.costs.result_item_s * msg.item_count
         report = StepReport(elapsed=elapsed)
         ctx.participants.add(env.src)
@@ -361,6 +409,10 @@ class ServerNode:
             raise TerminationProtocolError(
                 f"site {self.site} got control {msg.kind!r} for unknown query {msg.qid}"
             )
+        if ctx.done:
+            # Post-deadline ack: the ledger was already written off.
+            self.stats.late_messages += 1
+            return StepReport(elapsed=self.costs.msg_recv_s)
         report = StepReport(elapsed=self.costs.msg_recv_s)
         outs = self.termination.on_control(ctx.term_state, msg.kind, msg.payload, env.src, ctx.busy)
         self._absorb_controls(report, outs, msg.qid)
@@ -422,6 +474,9 @@ class ServerNode:
             raise HyperFileError(
                 f"site {self.site} got a bounce for unknown query {original.qid}"
             )
+        if ctx.done:
+            self.stats.late_messages += 1
+            return report
         self.stats.failed_sends += 1
         outs = self.termination.on_send_failed(ctx.term_state, dict(original.term), ctx.busy)
         self._absorb_controls(report, outs, original.qid)

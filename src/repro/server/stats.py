@@ -30,6 +30,12 @@ class NodeStats:
     busy_seconds: float = 0.0      #: virtual CPU time consumed at this site
     drains: int = 0                #: local working-set drain events
     contexts_created: int = 0
+    # Fault-tolerance counters (reliable channel + query deadlines).
+    retransmits: int = 0           #: reliable-channel frames re-sent (unacked in time)
+    duplicates_dropped: int = 0    #: replayed frames the receive-side dedup absorbed
+    reliable_give_ups: int = 0     #: sends abandoned after max retransmit attempts
+    deadline_expiries: int = 0     #: queries force-completed by their deadline
+    late_messages: int = 0         #: results/controls arriving after completion, ignored
 
     def count_sent(self, kind: str, size: int) -> None:
         self.messages_sent[kind] = self.messages_sent.get(kind, 0) + 1
@@ -62,3 +68,8 @@ class NodeStats:
         self.busy_seconds += other.busy_seconds
         self.drains += other.drains
         self.contexts_created += other.contexts_created
+        self.retransmits += other.retransmits
+        self.duplicates_dropped += other.duplicates_dropped
+        self.reliable_give_ups += other.reliable_give_ups
+        self.deadline_expiries += other.deadline_expiries
+        self.late_messages += other.late_messages

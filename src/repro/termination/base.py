@@ -80,6 +80,15 @@ class TerminationStrategy(ABC):
         so the query can still terminate — with partial results — after a
         mid-query site failure."""
 
+    def on_deadline(self, state: Any) -> None:
+        """The originator's query deadline expired: write off all
+        outstanding detector state (credit in flight, unacked edges) so
+        the ledger is consistent with forced termination.
+
+        Only called on the originator's state.  After this,
+        :meth:`is_terminated` must hold for an idle originator.
+        """
+
     @abstractmethod
     def is_terminated(self, state: Any, busy: bool) -> bool: ...
 

@@ -97,6 +97,12 @@ class DijkstraScholtenStrategy(TerminationStrategy):
         state.deficit -= 1
         return self._maybe_disengage(state, busy)
 
+    def on_deadline(self, state: DSState) -> None:
+        # Forced termination: pretend every outstanding edge was acked.
+        # Late acks for the query are swallowed by the node (context done),
+        # so the deficit cannot go negative afterwards.
+        state.deficit = 0
+
     def is_terminated(self, state: DSState, busy: bool) -> bool:
         if not state.is_originator:
             return False

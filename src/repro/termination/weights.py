@@ -111,6 +111,15 @@ class WeightedStrategy(TerminationStrategy):
         state.credit += credit
         return []
 
+    def on_deadline(self, state: WeightedState) -> None:
+        # Forced termination: whatever credit is still held at other
+        # sites or in flight is written off as recovered.  Late result
+        # messages for the query are ignored by the node (the context is
+        # marked done), so over-recovery cannot trip the conservation
+        # check afterwards.
+        state.credit = ZERO
+        state.recovered = ONE
+
     def is_terminated(self, state: WeightedState, busy: bool) -> bool:
         if not state.is_originator:
             return False

@@ -32,6 +32,9 @@ KINDS = (
     "skip",        #: an admission the mark table suppressed
     "drain",       #: a site's working set emptied (results/credit shipped)
     "complete",    #: the originator's termination detector fired
+    "retransmit",  #: reliable channel re-sent an unacked frame
+    "dup",         #: reliable channel suppressed a replayed frame
+    "timeout",     #: a query deadline expired (partial completion)
 )
 
 

@@ -1,0 +1,100 @@
+"""Unit tests for the seed-driven fault schedule."""
+
+import pytest
+
+from repro.faults import FaultDecision, FaultPlan, LinkFaults
+
+
+class TestDecisions:
+    def test_clean_plan_delivers_everything(self):
+        plan = FaultPlan(seed=1)
+        for _ in range(50):
+            decision = plan.decide("a", "b")
+            assert decision.delays == (0.0,)
+            assert not decision.dropped and not decision.duplicated
+        assert plan.dropped == plan.duplicated == 0
+        assert plan.decisions == 50
+
+    def test_drop_one_drops_everything(self):
+        plan = FaultPlan(seed=1, drop=1.0)
+        for _ in range(20):
+            assert plan.decide("a", "b").dropped
+        assert plan.dropped == 20
+
+    def test_duplicate_one_doubles_everything(self):
+        plan = FaultPlan(seed=1, duplicate=1.0)
+        for _ in range(20):
+            decision = plan.decide("a", "b")
+            assert decision.duplicated and len(decision.delays) == 2
+        assert plan.duplicated == 20
+
+    def test_same_seed_same_decisions(self):
+        def trace(seed):
+            plan = FaultPlan(seed=seed, drop=0.3, duplicate=0.2, reorder=0.4,
+                             delay_jitter_s=0.01)
+            return [plan.decide("a", "b") for _ in range(200)]
+
+        assert trace(42) == trace(42)
+        assert trace(42) != trace(43)
+
+    def test_reorder_holds_copies_back(self):
+        plan = FaultPlan(seed=5, reorder=1.0, reorder_window_s=0.05)
+        decision = plan.decide("a", "b")
+        assert decision.delays[0] >= 0.05
+        assert plan.delayed == 1
+
+    def test_rates_are_approximately_honoured(self):
+        plan = FaultPlan(seed=9, drop=0.25)
+        n = 2000
+        for _ in range(n):
+            plan.decide("a", "b")
+        assert 0.18 <= plan.dropped / n <= 0.32
+
+
+class TestLinkOverrides:
+    def test_override_is_symmetric_and_scoped(self):
+        plan = FaultPlan(seed=3).link("a", "b", drop=1.0)
+        assert plan.decide("a", "b").dropped
+        assert plan.decide("b", "a").dropped
+        assert not plan.decide("a", "c").dropped
+
+    def test_override_merges_with_defaults(self):
+        plan = FaultPlan(seed=3, duplicate=1.0).link("a", "b", drop=0.0)
+        assert plan.faults_for("a", "b").duplicate == 1.0
+
+
+class TestPartitions:
+    def test_partition_severs_both_directions(self):
+        plan = FaultPlan(seed=2)
+        plan.partition("a", "b")
+        assert plan.is_partitioned("a", "b")
+        assert plan.decide("a", "b").dropped
+        assert plan.decide("b", "a").dropped
+        assert not plan.decide("a", "c").dropped
+        assert plan.partition_drops == 2
+        plan.heal("a", "b")
+        assert not plan.decide("a", "b").dropped
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"drop": 1.5}, {"drop": -0.1}, {"duplicate": 2.0},
+        {"reorder": -1.0}, {"delay_jitter_s": -0.5},
+    ])
+    def test_bad_probabilities_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            FaultPlan(seed=0, **kwargs)
+
+    def test_bad_crash_window_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan().crash("a", at=0.5, recover_at=0.2)
+        with pytest.raises(ValueError):
+            FaultPlan().crash("a", at=-1.0)
+
+    def test_link_faults_validate(self):
+        with pytest.raises(ValueError):
+            LinkFaults(drop=7.0).validate()
+
+    def test_decision_properties(self):
+        assert FaultDecision(delays=()).dropped
+        assert FaultDecision(delays=(0.0, 0.1)).duplicated

@@ -1,0 +1,152 @@
+"""Unit tests for the ack/retransmit channel, on a hand-cranked wire.
+
+A :class:`_Harness` wires two endpoints back-to-back through a manual
+scheduler and a lossy in-memory "wire", so every retransmission and
+duplicate is provoked deliberately rather than probabilistically.
+"""
+
+from repro.faults import ReliableAck, ReliableConfig, ReliableData, ReliableEndpoint
+from repro.net.messages import Envelope, PurgeContext, QueryId
+from repro.server.stats import NodeStats
+
+
+class _FakeNode:
+    def __init__(self):
+        self.stats = NodeStats()
+        self.tracer = None
+
+
+class _FakeScheduler:
+    """Collects (delay, action) timers; tests fire them by hand."""
+
+    class Handle:
+        def __init__(self):
+            self.cancelled = False
+
+        def cancel(self):
+            self.cancelled = True
+
+    def __init__(self):
+        self.timers = []
+
+    def __call__(self, delay, action):
+        handle = self.Handle()
+        self.timers.append((delay, action, handle))
+        return handle
+
+    def fire_next(self):
+        delay, action, handle = self.timers.pop(0)
+        if not handle.cancelled:
+            action()
+        return handle
+
+    @property
+    def live(self):
+        return [t for t in self.timers if not t[2].cancelled]
+
+
+class _Harness:
+    """Two endpoints, A and B, with a drop-controllable wire between."""
+
+    def __init__(self, config=None):
+        self.scheduler = _FakeScheduler()
+        self.delivered = []          # payloads B's node actually saw
+        self.gave_up = []            # inner envelopes A abandoned
+        self.drop_next = 0           # drop this many upcoming wire frames
+        self.node_a = _FakeNode()
+        self.node_b = _FakeNode()
+        self.a = ReliableEndpoint(
+            "A", clock=lambda: 0.0, scheduler=self.scheduler,
+            send_raw=self._wire, deliver_up=lambda env: None,
+            node=self.node_a, config=config, on_give_up=self.gave_up.append,
+        )
+        self.b = ReliableEndpoint(
+            "B", clock=lambda: 0.0, scheduler=self.scheduler,
+            send_raw=self._wire, deliver_up=lambda env: self.delivered.append(env.payload),
+            node=self.node_b, config=config,
+        )
+
+    def _wire(self, env):
+        if self.drop_next > 0:
+            self.drop_next -= 1
+            return
+        {"B": self.b, "A": self.a}[env.dst].on_wire(env)
+
+    def send(self, payload):
+        self.a.send(Envelope("A", "B", payload))
+
+
+def _msg(seq=1):
+    return PurgeContext(QueryId(seq, "A"))
+
+
+class TestHappyPath:
+    def test_delivered_once_and_acked(self):
+        h = _Harness()
+        h.send(_msg())
+        assert h.delivered == [_msg()]
+        assert h.a.outstanding == 0          # ack cleared the buffer
+        assert h.scheduler.live == []        # and cancelled the retransmit
+
+    def test_sequence_numbers_are_per_destination(self):
+        h = _Harness()
+        h.send(_msg(1))
+        h.send(_msg(2))
+        assert [p.qid.seq for p in h.delivered] == [1, 2]
+
+
+class TestLoss:
+    def test_lost_data_frame_is_retransmitted(self):
+        h = _Harness()
+        h.drop_next = 1              # the data frame vanishes
+        h.send(_msg())
+        assert h.delivered == []
+        assert h.a.outstanding == 1
+        h.scheduler.fire_next()      # retransmit timer
+        assert h.delivered == [_msg()]
+        assert h.node_a.stats.retransmits == 1
+
+    def test_lost_ack_provokes_duplicate_which_is_dropped(self):
+        h = _Harness()
+        h.send(_msg())
+        assert h.delivered == [_msg()]
+        # The ack was lost, so A retransmits the same frame: B must
+        # re-ack (absorbing the replay) without delivering it again.
+        h.b.on_wire(Envelope("A", "B", ReliableData(1, _msg())))
+        assert h.delivered == [_msg()]
+        assert h.node_b.stats.duplicates_dropped == 1
+
+    def test_backoff_doubles_and_caps(self):
+        config = ReliableConfig(base_backoff_s=0.1, max_backoff_s=0.3, max_retries=10)
+        assert [config.backoff(i) for i in range(4)] == [0.1, 0.2, 0.3, 0.3]
+
+    def test_gives_up_after_max_retries(self):
+        h = _Harness(config=ReliableConfig(max_retries=2))
+        h.drop_next = 10**9          # the wire is dead
+        h.send(_msg())
+        for _ in range(3):           # 2 retransmits + the give-up pass
+            h.scheduler.fire_next()
+        assert h.gave_up == [Envelope("A", "B", _msg())]
+        assert h.a.outstanding == 0
+        assert h.node_a.stats.reliable_give_ups == 1
+
+    def test_close_cancels_pending(self):
+        h = _Harness()
+        h.drop_next = 1
+        h.send(_msg())
+        h.a.close()
+        assert h.a.outstanding == 0
+        assert all(t[2].cancelled for t in h.scheduler.timers)
+
+
+class TestWireTypes:
+    def test_rejects_non_reliable_frames(self):
+        h = _Harness()
+        import pytest
+
+        with pytest.raises(TypeError):
+            h.a.on_wire(Envelope("B", "A", _msg()))
+
+    def test_frames_report_wire_size(self):
+        data = ReliableData(1, _msg())
+        assert data.wire_size() > ReliableAck(1).wire_size() > 0

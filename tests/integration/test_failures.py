@@ -84,6 +84,28 @@ class TestInFlightBounce:
         cluster.set_down("site0")
         cluster.run()  # must quiesce without raising
 
+    def test_sender_dies_after_bounce_is_scheduled(self):
+        # Narrower window than the test above: the deref arrives at the
+        # dead site1 (~58 ms) and the bounce toward site0 is *already on
+        # the wire* when site0 itself dies.  The in-flight bounce must be
+        # counted as dropped in _deliver_now, not delivered to a dead
+        # host or raised.
+        cluster = SimCluster(2)
+        a, b = build_two_site_hop(cluster)
+        cluster.submit(CLOSURE, [a])
+        cluster.run(until=0.045)
+        cluster.set_down("site1")       # deref in flight, bounce pending
+        cluster.run(until=0.065)        # deref has arrived; bounce scheduled
+        dropped_before = cluster.network.messages_dropped
+        assert dropped_before >= 1      # the deref itself was dropped
+        cluster.set_down("site0")       # sender dies before the bounce lands
+        cluster.run()                   # must quiesce without raising
+        assert cluster.network.messages_dropped > dropped_before
+        # The originator never saw the bounce: its credit stays unrecovered.
+        node = cluster.node("site0")
+        (ctx,) = node.contexts.values()
+        assert not ctx.done
+
 
 class TestMidQueryCrash:
     def test_weighted_survives_crash_of_passive_site(self):
