@@ -1,0 +1,119 @@
+"""Batching ablation — remote-message coalescing on the §5 dense workload.
+
+The paper's worst case (Figure 4, far left) is low pointer locality:
+"the cases ... generate too much message traffic".  This experiment
+reruns exactly that workload with the batching layer at increasing
+thresholds and reports, per threshold: mean response time, remote work
+messages per query (DerefRequest + BatchedQuery frames), total messages
+and bytes on the wire, and the flush-reason breakdown.
+
+Acceptance (tracked in ``BENCH_batching.json`` at the repo root):
+
+* threshold 1 — the subsystem disables itself; figures bit-identical to
+  the unbatched reproduction;
+* threshold >= 8 — at least a 2x reduction in remote work messages per
+  query, with mean response time no worse than unbatched.
+"""
+
+import json
+import pathlib
+
+from repro.net.batching import BatchConfig
+from repro.workload import pointer_key_for
+
+from .conftest import N_QUERIES, make_cluster, report, run_script
+
+#: Figure 4's leftmost locality class: 5% local pointers — the densest
+#: cross-site message traffic the paper measures.
+P_LOCAL = 0.05
+
+THRESHOLDS = (1, 2, 4, 8, 16, 32)
+
+OUT_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_batching.json"
+
+
+def run_threshold(threshold, paper_graph):
+    batching = None if threshold == 1 else BatchConfig(max_batch=threshold)
+    cluster, workload = make_cluster(3, paper_graph, batching=batching)
+    series = run_script(cluster, workload, pointer_key_for(P_LOCAL), "Rand10p")
+    stats = cluster.total_stats()
+    sent = stats.messages_sent
+    work_messages = sent.get("DerefRequest", 0) + sent.get("BatchedQuery", 0)
+    return {
+        "threshold": threshold,
+        "mean_response_s": series.mean,
+        "work_messages_per_query": work_messages / N_QUERIES,
+        "messages_per_query": cluster.network.messages_delivered / N_QUERIES,
+        "bytes_per_query": cluster.network.bytes_delivered / N_QUERIES,
+        "batched_items": stats.batched_items,
+        "sends_suppressed": stats.sends_suppressed,
+        "flushes": {
+            "size": stats.batch_flushes_size,
+            "drain": stats.batch_flushes_drain,
+            "timer": stats.batch_flushes_timer,
+            "idle": stats.batch_flushes_idle,
+        },
+    }
+
+
+def test_batching_threshold_sweep(benchmark, paper_graph):
+    def experiment():
+        return [run_threshold(t, paper_graph) for t in THRESHOLDS]
+
+    rows = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    by_threshold = {row["threshold"]: row for row in rows}
+
+    report(
+        benchmark,
+        f"Batching ablation: thresholds on the P(local)={P_LOCAL} workload",
+        [
+            {
+                "threshold": r["threshold"],
+                "mean_response_s": r["mean_response_s"],
+                "work_msgs_per_query": r["work_messages_per_query"],
+                "bytes_per_query": r["bytes_per_query"],
+            }
+            for r in rows
+        ],
+    )
+
+    payload = {
+        "experiment": "batching_threshold_sweep",
+        "workload": {"p_local": P_LOCAL, "search_type": "Rand10p", "machines": 3},
+        "n_queries": N_QUERIES,
+        "thresholds": rows,
+        "reduction_at_8": by_threshold[1]["work_messages_per_query"]
+        / by_threshold[8]["work_messages_per_query"],
+    }
+    OUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    baseline = by_threshold[1]
+    # threshold 1 disables the subsystem entirely.
+    assert baseline["batched_items"] == 0
+
+    for threshold in (8, 16, 32):
+        row = by_threshold[threshold]
+        # >= 2x fewer remote work messages per query...
+        assert row["work_messages_per_query"] * 2 <= baseline["work_messages_per_query"]
+        # ...and never at the price of response time.
+        assert row["mean_response_s"] <= baseline["mean_response_s"]
+
+    # Larger thresholds never send more work messages than smaller ones.
+    per_query = [r["work_messages_per_query"] for r in rows]
+    assert all(a >= b for a, b in zip(per_query, per_query[1:]))
+
+
+def test_threshold_one_matches_unbatched_exactly(paper_graph):
+    """The degenerate config must not merely be close — the message
+    stream, byte counts and virtual timings are bit-identical."""
+    plain_cluster, plain_workload = make_cluster(3, paper_graph)
+    degen_cluster, degen_workload = make_cluster(
+        3, paper_graph, batching=BatchConfig(max_batch=1)
+    )
+    plain = run_script(plain_cluster, plain_workload, pointer_key_for(P_LOCAL),
+                       "Rand10p", n_queries=5)
+    degen = run_script(degen_cluster, degen_workload, pointer_key_for(P_LOCAL),
+                       "Rand10p", n_queries=5)
+    assert plain.values == degen.values
+    assert plain_cluster.network.messages_delivered == degen_cluster.network.messages_delivered
+    assert plain_cluster.network.bytes_delivered == degen_cluster.network.bytes_delivered

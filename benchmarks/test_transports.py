@@ -39,12 +39,12 @@ def socket_cluster():
 
 def test_threaded_transport(benchmark, threaded_cluster):
     cluster, workload = threaded_cluster
-    result = benchmark(lambda: cluster.run_query(PROGRAM, [workload.root]))
-    assert len(result.oids) > 0
+    outcome = benchmark(lambda: cluster.run_query(PROGRAM, [workload.root]))
+    assert len(outcome.result.oids) > 0
 
 
 def test_socket_transport(benchmark, socket_cluster):
     cluster, workload = socket_cluster
-    result = benchmark(lambda: cluster.run_query(PROGRAM, [workload.root]))
-    assert len(result.oids) > 0
+    outcome = benchmark(lambda: cluster.run_query(PROGRAM, [workload.root]))
+    assert len(outcome.result.oids) > 0
     assert cluster.bytes_on_the_wire() > 0

@@ -26,11 +26,15 @@ Package map
 __version__ = "1.0.0"
 
 # Convenience re-exports: the names most applications start from.
+from .api import ClusterAPI, QueryOutcome       # noqa: E402,F401
 from .client import HyperFile, Session          # noqa: E402,F401
-from .cluster import QueryOutcome, SimCluster   # noqa: E402,F401
+from .cluster import SimCluster                 # noqa: E402,F401
+from .net.batching import BatchConfig           # noqa: E402,F401
 from .sim.costs import FREE_COSTS, PAPER_COSTS  # noqa: E402,F401
 
 __all__ = [
+    "BatchConfig",
+    "ClusterAPI",
     "FREE_COSTS",
     "HyperFile",
     "PAPER_COSTS",

@@ -1,0 +1,168 @@
+"""The unified cluster API every transport implements.
+
+The reproduction has three ways to run the same server algorithm — the
+discrete-event :class:`~repro.cluster.SimCluster` (calibrated virtual
+time), the :class:`~repro.net.threaded.ThreadedCluster` (real threads,
+objects by reference) and the :class:`~repro.net.sockets.SocketCluster`
+(real TCP frames).  Historically each grew its own client surface; this
+module pins down the one contract they all satisfy, so a scenario script
+written against :class:`ClusterAPI` runs unchanged on any of them:
+
+* ``submit`` / ``wait`` — non-blocking install plus blocking collection,
+  returning a :class:`QueryOutcome` (never a bare result);
+* ``run_query`` / ``run_followup`` — the blocking conveniences, with
+  identical ``deadline_s`` / ``on_deadline`` semantics everywhere
+  (``"partial"`` returns ``result.partial=True``, ``"raise"`` raises
+  :class:`~repro.errors.QueryTimeout` with the partial result attached);
+* ``wait`` failures are a typed :class:`~repro.errors.TerminationLost`
+  on every transport, carrying the credit deficit when the weighted
+  detector is in use (see :func:`credit_deficit`);
+* ``set_down`` / ``set_up`` and ``total_stats`` for availability
+  scripting and measurement.
+
+``timeout_s`` is a wall-clock backstop; the simulator ignores it (its
+clock is virtual — an idle event queue, not elapsed time, is its failure
+signal) but accepts it so conformance scripts need no special-casing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, Iterable, List, Optional, Protocol, Union, runtime_checkable
+
+from .core.ast import Query
+from .core.oid import Oid
+from .core.parser import parse_query
+from .core.program import Program, compile_query
+from .core.validate import validate_query
+from .engine.results import QueryResult
+from .net.messages import QueryId
+from .server.stats import NodeStats
+
+#: Anything we can turn into an executable program.
+QueryLike = Union[str, Query, Program]
+
+
+def compile_query_like(query: QueryLike) -> Program:
+    """Accept query text, AST, or a compiled program (shared by all
+    transports, so strings work everywhere, not only on the simulator)."""
+    if isinstance(query, str):
+        query = parse_query(query)
+    if isinstance(query, Query):
+        validate_query(query)
+        return compile_query(query)
+    if isinstance(query, Program):
+        return query
+    raise TypeError(f"cannot compile {type(query).__name__} into a query program")
+
+
+@dataclass
+class QueryOutcome:
+    """A completed query, with client-visible timing.
+
+    ``submitted_at`` / ``completed_at`` are virtual seconds on the
+    simulator and ``time.monotonic()`` readings on the real transports;
+    only their difference is meaningful either way.
+    """
+
+    qid: QueryId
+    result: QueryResult
+    submitted_at: float
+    completed_at: float
+    client_link_s: float = 0.0
+    partition_counts: Optional[Dict[str, int]] = None
+
+    @property
+    def response_time(self) -> float:
+        """Wall-clock at the client: submit → results in hand."""
+        return (self.completed_at - self.submitted_at) + 2 * self.client_link_s
+
+
+@runtime_checkable
+class ClusterAPI(Protocol):
+    """The client surface shared by all three transports.
+
+    Structural (``Protocol``): the clusters do not inherit from it, they
+    conform to it — ``isinstance(cluster, ClusterAPI)`` checks the shape,
+    and the conformance suite checks the behaviour.
+    """
+
+    @property
+    def sites(self) -> List[str]: ...
+
+    def store(self, site: str): ...
+
+    def submit(
+        self,
+        query: QueryLike,
+        initial: Iterable[Oid],
+        originator: Optional[str] = None,
+        deadline_s: Optional[float] = None,
+    ) -> QueryId: ...
+
+    def wait(self, qid: QueryId, timeout_s: Optional[float] = None) -> QueryOutcome: ...
+
+    def run_query(
+        self,
+        query: QueryLike,
+        initial: Iterable[Oid],
+        originator: Optional[str] = None,
+        deadline_s: Optional[float] = None,
+        on_deadline: str = "partial",
+        timeout_s: Optional[float] = None,
+    ) -> QueryOutcome: ...
+
+    def run_followup(
+        self,
+        query: QueryLike,
+        source_qid: QueryId,
+        originator: Optional[str] = None,
+        timeout_s: Optional[float] = None,
+    ) -> QueryOutcome: ...
+
+    def outcome(self, qid: QueryId) -> Optional[QueryOutcome]: ...
+
+    def set_down(self, site: str) -> None: ...
+
+    def set_up(self, site: str) -> None: ...
+
+    def is_up(self, site: str) -> bool: ...
+
+    def is_down(self, site: str) -> bool: ...
+
+    def total_stats(self) -> NodeStats: ...
+
+    def close(self) -> None: ...
+
+
+def credit_deficit(nodes, qid: QueryId) -> Optional[Fraction]:
+    """How much termination credit a query is missing, cluster-wide.
+
+    The weighted-message detector conserves a total credit of 1: the
+    originator recovers what returns, every context holds what is in
+    play, and whatever the sum leaves uncovered is in flight — or, if the
+    system is idle, lost.  ``1 - recovered - Σ held`` is therefore the
+    exact deficit blocking termination, the number
+    :class:`~repro.errors.TerminationLost` reports on every transport.
+
+    Returns ``None`` for detectors without a credit ledger (e.g.
+    Dijkstra-Scholten) or when the originator's context is gone.
+    """
+    recovered: Optional[Fraction] = None
+    held = Fraction(0)
+    for node in nodes.values():
+        ctx = node.contexts.get(qid)
+        if ctx is None:
+            continue
+        state = ctx.term_state
+        credit = getattr(state, "credit", None)
+        if not isinstance(credit, Fraction):
+            return None
+        held += credit
+        if getattr(state, "is_originator", False):
+            rec = getattr(state, "recovered", None)
+            recovered = rec if isinstance(rec, Fraction) else None
+    if recovered is None:
+        return None
+    return Fraction(1) - recovered - held

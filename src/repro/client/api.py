@@ -11,12 +11,17 @@ from typing import Iterable, List, Optional, Sequence, Union
 from ..cluster import SimCluster
 from ..core.oid import Oid
 from ..core.tuples import HFTuple
+from ..errors import HyperFileError
+from ..net.batching import BatchConfig
 from ..sim.costs import CostModel, PAPER_COSTS
 from .session import Session
 
+#: Transport name -> cluster factory arguments it understands.
+TRANSPORTS = ("sim", "threaded", "sockets")
+
 
 class HyperFile:
-    """A ready-to-use HyperFile service (simulated cluster + session).
+    """A ready-to-use HyperFile service (cluster + session).
 
     Example::
 
@@ -27,6 +32,20 @@ class HyperFile:
         hf.define_set("S", [paper])
         hf.query('S (Keyword, "Distributed", ?) -> T')
         hf.members("T")   # -> [paper]
+
+    ``transport`` selects the deployment behind the same session API:
+    ``"sim"`` (default — discrete-event, calibrated virtual time),
+    ``"threaded"`` (real threads, objects by reference) or ``"sockets"``
+    (real TCP frames on loopback).  All three implement
+    :class:`~repro.api.ClusterAPI`, so everything above them is shared.
+    ``batching`` attaches a comms-coalescing config
+    (:class:`~repro.net.batching.BatchConfig`) to every site.
+
+    The pre-transport constructor signature (``sites``, ``costs``,
+    ``termination``, ``result_mode``) keeps working unchanged and implies
+    ``transport="sim"``; note that ``costs`` only has meaning there —
+    the wall-clock transports run uncosted and reject a non-default
+    cost model rather than silently ignoring it.
     """
 
     def __init__(
@@ -35,11 +54,49 @@ class HyperFile:
         costs: CostModel = PAPER_COSTS,
         termination: str = "weighted",
         result_mode: str = "ship",
+        transport: str = "sim",
+        batching: Optional[BatchConfig] = None,
     ) -> None:
-        self.cluster = SimCluster(
-            sites, costs=costs, termination=termination, result_mode=result_mode
-        )
+        if transport not in TRANSPORTS:
+            raise ValueError(f"transport must be one of {TRANSPORTS}, got {transport!r}")
+        if transport == "sim":
+            self.cluster = SimCluster(
+                sites, costs=costs, termination=termination,
+                result_mode=result_mode, batching=batching,
+            )
+        else:
+            if costs is not PAPER_COSTS:
+                raise HyperFileError(
+                    f"a cost model only applies to the simulated transport, not {transport!r}"
+                )
+            if transport == "threaded":
+                from ..net.threaded import ThreadedCluster
+
+                self.cluster = ThreadedCluster(
+                    sites, termination=termination,
+                    result_mode=result_mode, batching=batching,
+                )
+            else:
+                from ..net.sockets import SocketCluster
+
+                self.cluster = SocketCluster(
+                    sites, termination=termination,
+                    result_mode=result_mode, batching=batching,
+                )
+        self.transport = transport
         self.session = Session(self.cluster)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut the transport down (a no-op on the simulator)."""
+        self.cluster.close()
+
+    def __enter__(self) -> "HyperFile":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # -- data --------------------------------------------------------------
 

@@ -21,20 +21,17 @@ Typical use::
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Union
 
-from .core.ast import Query
+from .api import QueryLike, QueryOutcome, compile_query_like, credit_deficit
 from .core.oid import Oid
-from .core.parser import parse_query
-from .core.program import Program, compile_query
-from .core.validate import validate_query
 from .engine.results import QueryResult
-from .errors import HyperFileError, QueryTimeout, UnknownSite
+from .errors import HyperFileError, QueryTimeout, TerminationLost, UnknownSite
 from .faults.plan import FaultPlan
 from .faults.reliable import ReliableConfig
 from .naming.directory import ForwardingTable
 from .naming.names import migrate_object
+from .net.batching import BatchConfig
 from .net.messages import QueryId
 from .net.simnet import SimNetwork
 from .server.node import ServerNode
@@ -43,25 +40,7 @@ from .sim.costs import CostModel, PAPER_COSTS
 from .sim.kernel import Simulator
 from .termination.base import TerminationStrategy, make_strategy
 
-#: Anything we can turn into an executable program.
-QueryLike = Union[str, Query, Program]
-
-
-@dataclass
-class QueryOutcome:
-    """A completed query, with client-visible timing."""
-
-    qid: QueryId
-    result: QueryResult
-    submitted_at: float
-    completed_at: float
-    client_link_s: float = 0.0
-    partition_counts: Optional[Dict[str, int]] = None
-
-    @property
-    def response_time(self) -> float:
-        """Virtual wall-clock at the client: submit → results in hand."""
-        return (self.completed_at - self.submitted_at) + 2 * self.client_link_s
+__all__ = ["QueryLike", "QueryOutcome", "SimCluster", "site_name"]
 
 
 def site_name(index: int) -> str:
@@ -83,6 +62,7 @@ class SimCluster:
         gc_contexts: bool = False,
         fault_plan: Optional[FaultPlan] = None,
         reliable: Union[bool, ReliableConfig] = False,
+        batching: Optional[BatchConfig] = None,
     ) -> None:
         if isinstance(sites, int):
             names = [site_name(i) for i in range(sites)]
@@ -117,6 +97,7 @@ class SimCluster:
                 mark_granularity=mark_granularity,
                 gc_contexts=gc_contexts,
                 forwarding=table,
+                batching=batching,
             )
             self.stores[name] = store
             self.forwarding[name] = table
@@ -132,6 +113,19 @@ class SimCluster:
             self.enable_reliable(reliable if isinstance(reliable, ReliableConfig) else None)
         if fault_plan is not None:
             self.use_faults(fault_plan)
+
+    # ------------------------------------------------------------------
+    # lifecycle (ClusterAPI parity: the simulator holds no real resources)
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """No-op: everything is in-process state, freed with the object."""
+
+    def __enter__(self) -> "SimCluster":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # topology / data management
@@ -162,6 +156,12 @@ class SimCluster:
 
     def set_up(self, site: str) -> None:
         self.network.set_up(site)
+
+    def is_up(self, site: str) -> bool:
+        return self.network.is_up(site)
+
+    def is_down(self, site: str) -> bool:
+        return not self.network.is_up(site)
 
     def set_link_latency(self, a: str, b: str, seconds: float) -> None:
         """Override one link's wire latency (heterogeneous deployments)."""
@@ -201,16 +201,9 @@ class SimCluster:
     # queries
     # ------------------------------------------------------------------
 
-    def compile(self, query: QueryLike) -> Program:
+    def compile(self, query: QueryLike):
         """Accept query text, AST, or a compiled program."""
-        if isinstance(query, str):
-            query = parse_query(query)
-        if isinstance(query, Query):
-            validate_query(query)
-            return compile_query(query)
-        if isinstance(query, Program):
-            return query
-        raise TypeError(f"cannot compile {type(query).__name__} into a query program")
+        return compile_query_like(query)
 
     def submit(
         self,
@@ -262,14 +255,29 @@ class SimCluster:
         """Drain the simulation; returns the final virtual time."""
         return self.sim.run(until=until, max_events=max_events)
 
-    def wait(self, qid: QueryId, max_events: int = 50_000_000) -> QueryOutcome:
-        """Run the simulation until ``qid`` completes."""
+    def wait(
+        self,
+        qid: QueryId,
+        timeout_s: Optional[float] = None,
+        max_events: int = 50_000_000,
+    ) -> QueryOutcome:
+        """Run the simulation until ``qid`` completes.
+
+        ``timeout_s`` exists for :class:`~repro.api.ClusterAPI` signature
+        parity and is ignored: the simulator's clock is virtual, so its
+        failure signal is an *idle event queue*, reported as the same
+        typed :class:`~repro.errors.TerminationLost` (credit deficit and
+        dropped-message count attached) that the wall-clock transports
+        raise on their hard timeout.
+        """
+        del timeout_s  # virtual time: idleness, not wall-clock, means failure
         fired = 0
         while qid not in self._completed:
             if not self.sim.step():
-                raise HyperFileError(
-                    f"simulation went idle before query {qid} completed "
-                    "(termination detector never fired — likely lost credit)"
+                raise TerminationLost(
+                    qid,
+                    deficit=credit_deficit(self.nodes, qid),
+                    undeliverable=self.network.messages_dropped,
                 )
             fired += 1
             if fired > max_events:
@@ -283,6 +291,7 @@ class SimCluster:
         originator: Optional[str] = None,
         deadline_s: Optional[float] = None,
         on_deadline: str = "partial",
+        timeout_s: Optional[float] = None,
     ) -> QueryOutcome:
         """Submit, run to completion (or deadline), and return the outcome.
 
@@ -294,7 +303,7 @@ class SimCluster:
         if on_deadline not in ("partial", "raise"):
             raise ValueError(f"on_deadline must be 'partial' or 'raise', got {on_deadline!r}")
         qid = self.submit(query, initial, originator, deadline_s=deadline_s)
-        outcome = self.wait(qid)
+        outcome = self.wait(qid, timeout_s=timeout_s)
         if outcome.result.partial and on_deadline == "raise":
             raise QueryTimeout(qid, deadline_s, outcome.result)
         return outcome
@@ -304,9 +313,10 @@ class SimCluster:
         query: QueryLike,
         source_qid: QueryId,
         originator: Optional[str] = None,
+        timeout_s: Optional[float] = None,
     ) -> QueryOutcome:
         qid = self.submit_followup(query, source_qid, originator)
-        return self.wait(qid)
+        return self.wait(qid, timeout_s=timeout_s)
 
     def outcome(self, qid: QueryId) -> Optional[QueryOutcome]:
         return self._completed.get(qid)

@@ -31,7 +31,7 @@ it avoids).
 
 from __future__ import annotations
 
-from typing import Dict, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from ..core.oid import Oid
 from .items import EMPTY_ITERS, IterCounts
@@ -42,7 +42,7 @@ GRANULARITIES = ("iteration", "position")
 class MarkTable:
     """Per-site, per-query record of processed (object, filter) marks."""
 
-    __slots__ = ("_marks", "_mark_ops", "_granularity")
+    __slots__ = ("_marks", "_mark_ops", "_granularity", "_journal")
 
     def __init__(self, granularity: str = "iteration") -> None:
         if granularity not in GRANULARITIES:
@@ -52,6 +52,10 @@ class MarkTable:
         self._granularity = granularity
         self._marks: Dict[Tuple[str, int], Set[tuple]] = {}
         self._mark_ops = 0  # total mark() calls, for metrics/ablations
+        #: Append-only log of new marks as (oid_key, mark_key) pairs — the
+        #: batching layer ships slices of it as per-frame dedup hints.
+        #: None until enabled (zero overhead for unbatched runs).
+        self._journal: Optional[List[Tuple[Tuple[str, int], tuple]]] = None
 
     @property
     def granularity(self) -> str:
@@ -62,6 +66,20 @@ class MarkTable:
             return (position,)
         return (position, iters)
 
+    def key_for(self, position: int, iters: IterCounts = EMPTY_ITERS) -> tuple:
+        """The granularity-aware mark key (public: hint matching)."""
+        return self._key(position, iters)
+
+    def enable_journal(self) -> None:
+        """Start logging new marks for batch-hint shipping."""
+        if self._journal is None:
+            self._journal = []
+
+    @property
+    def journal(self) -> List[Tuple[Tuple[str, int], tuple]]:
+        """New-mark log (empty if the journal was never enabled)."""
+        return self._journal if self._journal is not None else []
+
     def should_process(self, oid: Oid, start: int, iters: IterCounts = EMPTY_ITERS) -> bool:
         """Admission test of Figure 3: process iff the mark is absent."""
         marks = self._marks.get(oid.key())
@@ -69,7 +87,11 @@ class MarkTable:
 
     def mark(self, oid: Oid, position: int, iters: IterCounts = EMPTY_ITERS) -> None:
         """Record that ``oid`` flowed through filter ``position``."""
-        self._marks.setdefault(oid.key(), set()).add(self._key(position, iters))
+        key = self._key(position, iters)
+        marks = self._marks.setdefault(oid.key(), set())
+        if self._journal is not None and key not in marks:
+            self._journal.append((oid.key(), key))
+        marks.add(key)
         self._mark_ops += 1
 
     def positions(self, oid: Oid) -> Set[int]:
@@ -98,6 +120,8 @@ class MarkTable:
     def clear(self) -> None:
         self._marks.clear()
         self._mark_ops = 0
+        if self._journal is not None:
+            self._journal.clear()
 
     def __len__(self) -> int:
         return len(self._marks)

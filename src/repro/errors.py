@@ -105,6 +105,35 @@ class QueryTimeout(HyperFileError):
         super().__init__(f"query {qid} exceeded its {deadline_s}s deadline (partial results)")
 
 
+class TerminationLost(HyperFileError):
+    """A query can no longer terminate: detector state was lost in flight.
+
+    Raised by ``wait`` on every transport when the cluster goes idle (or a
+    hard timeout fires) before the originator's termination detector could
+    declare completion — typically because work messages were dropped by
+    an unreliable network and took their credit with them.
+
+    Carries uniform diagnostics across transports: the missing credit
+    (``deficit``, a :class:`fractions.Fraction` for the weighted detector,
+    ``None`` for detectors without a credit ledger) and how many envelopes
+    the transport recorded as undeliverable.
+    """
+
+    def __init__(self, qid: object, deficit: object = None, undeliverable: int = 0) -> None:
+        self.qid = qid
+        self.deficit = deficit
+        self.undeliverable = undeliverable
+        detail = []
+        if deficit is not None:
+            detail.append(f"credit deficit {deficit}")
+        if undeliverable:
+            detail.append(f"{undeliverable} undeliverable envelope(s)")
+        suffix = f" ({', '.join(detail)})" if detail else ""
+        super().__init__(
+            f"query {qid} cannot terminate: the termination detector never fired{suffix}"
+        )
+
+
 class QueryLimitExceeded(HyperFileError):
     """A query exceeded a configured resource limit.
 

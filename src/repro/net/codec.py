@@ -34,6 +34,8 @@ from ..storage.blobstore import BlobRef
 from ..core.objects import HFObject
 from ..core.tuples import HFTuple
 from .messages import (
+    BatchedQuery,
+    BatchedResults,
     ControlMessage,
     DerefRequest,
     FetchReply,
@@ -91,6 +93,8 @@ _M_FETCH_REQUEST = 0x45
 _M_FETCH_REPLY = 0x46
 _M_RELIABLE_DATA = 0x47
 _M_RELIABLE_ACK = 0x48
+_M_BATCHED_QUERY = 0x49
+_M_BATCHED_RESULTS = 0x4A
 
 
 class _Writer:
@@ -503,6 +507,20 @@ def encode_message(message: Any) -> bytes:
         w.byte(_M_FETCH_REPLY)
         w.varint(message.request_id)
         _write_object(w, message.obj)
+    elif isinstance(message, BatchedQuery):
+        w.byte(_M_BATCHED_QUERY)
+        _write_qid(w, message.qid)
+        _write_program(w, message.program)
+        w.varint(len(message.items))
+        for item, term in zip(message.items, message.terms):
+            _write_item(w, item)
+            _write_term(w, term)
+        _write_value(w, tuple(message.marked_hints))
+    elif isinstance(message, BatchedResults):
+        w.byte(_M_BATCHED_RESULTS)
+        w.varint(len(message.batches))
+        for batch in message.batches:
+            w.raw(encode_message(batch))
     elif isinstance(message, ReliableData):
         w.byte(_M_RELIABLE_DATA)
         w.varint(message.seq)
@@ -550,6 +568,32 @@ def decode_message(frame: bytes) -> Any:
         message = FetchRequest(request_id, oid, reply_to=r.text())
     elif tag == _M_FETCH_REPLY:
         message = FetchReply(r.varint(), _read_object(r))
+    elif tag == _M_BATCHED_QUERY:
+        qid = _read_qid(r)
+        program = _read_program(r)
+        n = r.varint()
+        if n < 1 or n > 100_000:
+            raise CodecError(f"implausible batch size {n}")
+        items: List[WorkItem] = []
+        terms: List[Dict[str, Any]] = []
+        for _ in range(n):
+            items.append(_read_item(r))
+            terms.append(_read_term(r))
+        hints = _read_value(r)
+        if not isinstance(hints, tuple):
+            raise CodecError("batched-query hints must be a tuple")
+        message = BatchedQuery(qid, program, tuple(items), tuple(terms), hints)
+    elif tag == _M_BATCHED_RESULTS:
+        n = r.varint()
+        if n < 1 or n > 100_000:
+            raise CodecError(f"implausible batched-results size {n}")
+        inner = []
+        for _ in range(n):
+            batch = decode_message(r.raw())
+            if not isinstance(batch, ResultBatch):
+                raise CodecError("batched-results frame may only carry ResultBatch")
+            inner.append(batch)
+        message = BatchedResults(tuple(inner))
     elif tag == _M_RELIABLE_DATA:
         seq = r.varint()
         message = ReliableData(seq, decode_message(r.raw()))

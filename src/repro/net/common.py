@@ -1,19 +1,31 @@
 """Shared client-side machinery for the wall-clock transports.
 
-The threaded and socket clusters expose the same blocking
-``run_query`` contract; this module holds the completion-wait loop they
-previously each duplicated, now extended with originator-side deadlines.
+The threaded and socket clusters expose the same blocking query contract
+as the simulator (see :class:`repro.api.ClusterAPI`); this module holds
+the pieces they would otherwise duplicate — the completion-wait loop
+with originator-side deadlines, and :class:`WallClockQueries`, the whole
+submit/wait/run_query surface parameterised over how a transport reaches
+its sites.
 """
 
 from __future__ import annotations
 
 import queue
+import threading
 import time
-from typing import Callable, Optional
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
+from ..api import QueryLike, QueryOutcome, compile_query_like, credit_deficit
+from ..core.oid import Oid
+from ..core.program import Program
 from ..engine.results import QueryResult
-from ..errors import HyperFileError, QueryTimeout
+from ..errors import QueryTimeout, TerminationLost, TransportClosed, UnknownSite
+from ..server.stats import NodeStats
 from .messages import QueryId
+
+#: Default hard backstop for blocking waits on the real transports.
+DEFAULT_TIMEOUT_S = 30.0
 
 
 def await_completion(
@@ -21,19 +33,20 @@ def await_completion(
     qid: QueryId,
     timeout_s: float,
     deadline_s: Optional[float],
-    on_deadline: str,
     expire: Callable[[], None],
-) -> QueryResult:
+    diagnose: Optional[Callable[[], Tuple[object, int]]] = None,
+) -> QueryOutcome:
     """Block until ``qid`` completes, expiring it at its deadline.
 
     ``expire`` is invoked (once) when ``deadline_s`` elapses without a
     completion; it must force the originator to complete the query with
     partial results, which then flow back through ``completions`` like
     any other completion.  ``timeout_s`` stays a hard backstop: if even
-    the expiry path produces nothing, raise rather than hang.
+    the expiry path produces nothing the detector genuinely never fired,
+    so raise :class:`~repro.errors.TerminationLost` rather than hang —
+    with whatever diagnostics ``diagnose`` can supply (credit deficit,
+    undeliverable count).
     """
-    if on_deadline not in ("partial", "raise"):
-        raise ValueError(f"on_deadline must be 'partial' or 'raise', got {on_deadline!r}")
     start = time.monotonic()
     end = start + timeout_s
     deadline = start + deadline_s if deadline_s is not None else None
@@ -45,17 +58,191 @@ def await_completion(
             expire()
         remaining = end - now
         if remaining <= 0:
-            raise HyperFileError(f"query {qid} did not complete within {timeout_s}s")
+            deficit, undeliverable = diagnose() if diagnose is not None else (None, 0)
+            raise TerminationLost(qid, deficit=deficit, undeliverable=undeliverable)
         wait = min(remaining, 0.25)
         if deadline is not None and not expired:
             wait = min(wait, max(deadline - now, 0.001))
         try:
-            done_qid, result = completions.get(timeout=wait)
+            done_qid, outcome = completions.get(timeout=wait)
         except queue.Empty:
             continue
         if done_qid == qid:
-            if result.partial and on_deadline == "raise":
-                raise QueryTimeout(qid, deadline_s, result)
-            return result
+            return outcome
         # A different query finished first (concurrent use): requeue.
-        completions.put((done_qid, result))
+        completions.put((done_qid, outcome))
+
+
+@dataclass
+class _Inflight:
+    submitted_at: float
+    deadline_s: Optional[float]
+
+
+class WallClockQueries:
+    """The :class:`~repro.api.ClusterAPI` query surface for transports
+    whose clock is ``time.monotonic()``.
+
+    A concrete transport provides site reachability (how to install a
+    query at a site, how to fire its deadline expiry) through the
+    ``_dispatch_*`` hooks plus ``nodes`` and an ``undeliverable`` list;
+    everything client-visible — qid allocation, the in-flight registry
+    that carries ``deadline_s`` across the submit/wait split, outcome
+    construction, the uniform failure types — lives here, so the two
+    real transports cannot drift apart.
+    """
+
+    # Provided by the concrete transport (listed for readability):
+    #   nodes: Dict[str, ServerNode]
+    #   undeliverable: List[Envelope]
+    #   sites property, _closed flag
+    #   _dispatch_submit / _dispatch_submit_from_saved / _dispatch_expire
+
+    def _init_queries(self) -> None:
+        self._completions: "queue.Queue" = queue.Queue()
+        self._seq = 0
+        self._seq_lock = threading.Lock()
+        self._inflight: Dict[QueryId, _Inflight] = {}
+        self._outcomes: Dict[QueryId, QueryOutcome] = {}
+
+    # -- ClusterAPI ------------------------------------------------------
+
+    def compile(self, query: QueryLike) -> Program:
+        return compile_query_like(query)
+
+    def submit(
+        self,
+        query: QueryLike,
+        initial: Iterable[Oid],
+        originator: Optional[str] = None,
+        deadline_s: Optional[float] = None,
+    ) -> QueryId:
+        """Install a query at its originating site (non-blocking).
+
+        ``deadline_s`` starts counting now; :meth:`wait` enforces it even
+        if called later (the elapsed gap is charged against the budget).
+        """
+        if self._closed:
+            raise TransportClosed("cluster is closed")
+        if deadline_s is not None and deadline_s <= 0:
+            raise ValueError("deadline_s must be positive")
+        program = compile_query_like(query)
+        origin = originator if originator is not None else self.sites[0]
+        if origin not in self.nodes:
+            raise UnknownSite(origin)
+        qid = self._next_qid(origin)
+        self._inflight[qid] = _Inflight(time.monotonic(), deadline_s)
+        self._dispatch_submit(origin, qid, program, list(initial))
+        return qid
+
+    def submit_followup(
+        self,
+        query: QueryLike,
+        source_qid: QueryId,
+        originator: Optional[str] = None,
+    ) -> QueryId:
+        """Start a query seeded from a distributed result set (paper §5)."""
+        if self._closed:
+            raise TransportClosed("cluster is closed")
+        program = compile_query_like(query)
+        origin = originator if originator is not None else source_qid.originator
+        if origin not in self.nodes:
+            raise UnknownSite(origin)
+        qid = self._next_qid(origin)
+        self._inflight[qid] = _Inflight(time.monotonic(), None)
+        self._dispatch_submit_from_saved(origin, qid, program, source_qid)
+        return qid
+
+    def wait(self, qid: QueryId, timeout_s: Optional[float] = None) -> QueryOutcome:
+        """Block until ``qid`` completes (or its deadline forces it to).
+
+        Raises :class:`~repro.errors.TerminationLost` if the hard
+        ``timeout_s`` backstop passes with no completion at all.
+        """
+        info = self._inflight.get(qid)
+        budget = timeout_s if timeout_s is not None else DEFAULT_TIMEOUT_S
+        deadline_remaining: Optional[float] = None
+        if info is not None and info.deadline_s is not None:
+            elapsed = time.monotonic() - info.submitted_at
+            deadline_remaining = max(info.deadline_s - elapsed, 0.0005)
+        return await_completion(
+            self._completions,
+            qid,
+            budget,
+            deadline_remaining,
+            expire=lambda: self._dispatch_expire(qid.originator, qid),
+            diagnose=lambda: (credit_deficit(self.nodes, qid), len(self.undeliverable)),
+        )
+
+    def run_query(
+        self,
+        query: QueryLike,
+        initial: Iterable[Oid],
+        originator: Optional[str] = None,
+        deadline_s: Optional[float] = None,
+        on_deadline: str = "partial",
+        timeout_s: Optional[float] = None,
+    ) -> QueryOutcome:
+        """Submit and block until completion — the ClusterAPI contract.
+
+        ``on_deadline`` selects the client-visible behaviour when
+        ``deadline_s`` expires first: ``"partial"`` returns the outcome
+        with ``result.partial`` set; ``"raise"`` raises
+        :class:`~repro.errors.QueryTimeout` (partial result attached).
+        """
+        if on_deadline not in ("partial", "raise"):
+            raise ValueError(f"on_deadline must be 'partial' or 'raise', got {on_deadline!r}")
+        qid = self.submit(query, initial, originator, deadline_s=deadline_s)
+        outcome = self.wait(qid, timeout_s=timeout_s)
+        if outcome.result.partial and on_deadline == "raise":
+            raise QueryTimeout(qid, deadline_s, outcome.result)
+        return outcome
+
+    def run_followup(
+        self,
+        query: QueryLike,
+        source_qid: QueryId,
+        originator: Optional[str] = None,
+        timeout_s: Optional[float] = None,
+    ) -> QueryOutcome:
+        qid = self.submit_followup(query, source_qid, originator)
+        return self.wait(qid, timeout_s=timeout_s)
+
+    def outcome(self, qid: QueryId) -> Optional[QueryOutcome]:
+        return self._outcomes.get(qid)
+
+    def total_stats(self) -> NodeStats:
+        """Cluster-wide node counters, merged.
+
+        Unlike the simulator this reads live per-site state without
+        stopping the site threads; counters are monotonically increasing
+        ints, so the snapshot is sane but not a consistent cut.
+        """
+        merged = NodeStats()
+        for node in self.nodes.values():
+            merged.merge(node.stats)
+        return merged
+
+    # -- transport-side plumbing ----------------------------------------
+
+    def _next_qid(self, originator: str) -> QueryId:
+        with self._seq_lock:
+            self._seq += 1
+            return QueryId(self._seq, originator)
+
+    def _on_complete(self, qid: QueryId, result: QueryResult) -> None:
+        """Runs at the originator, under its site's node lock."""
+        info = self._inflight.pop(qid, None)
+        node = self.nodes.get(qid.originator)
+        ctx = node.contexts.get(qid) if node is not None else None
+        outcome = QueryOutcome(
+            qid=qid,
+            result=result,
+            submitted_at=info.submitted_at if info is not None else 0.0,
+            completed_at=time.monotonic(),
+            partition_counts=(
+                dict(ctx.partition_counts) if ctx is not None and ctx.partition_counts else None
+            ),
+        )
+        self._outcomes[qid] = outcome
+        self._completions.put((qid, outcome))

@@ -97,6 +97,74 @@ class ResultBatch:
         return size
 
 
+#: One batch-level dedup hint: ``(oid_key, mark_key)`` — an object key plus
+#: the sender's mark-table key (position, or (position, iters)) recorded for
+#: it.  The receiver may suppress sending that exact work item back to the
+#: hint's sender: it is provably already marked there.
+MarkHint = Tuple[Tuple[str, int], tuple]
+
+
+@dataclass(frozen=True)
+class BatchedQuery:
+    """Several coalesced dereference requests for one query, one frame.
+
+    The batching layer's replacement for a burst of per-pointer
+    :class:`DerefRequest` messages to the same destination: the query body
+    ships once, each item keeps its *own* termination attachment (credit
+    was split per item at enqueue time, so the weighted detector's
+    conservation stays exact under batching), and ``marked_hints`` carries
+    the sender's recent mark-table entries so the destination can avoid
+    re-admitting objects remotely (Bloofi-style summary shipping).
+    """
+
+    qid: QueryId
+    program: Program
+    items: Tuple[WorkItem, ...]
+    terms: Tuple[TermAttachment, ...]
+    marked_hints: Tuple[MarkHint, ...] = ()
+
+    def __post_init__(self) -> None:
+        if len(self.items) != len(self.terms):
+            raise ValueError(
+                f"batched frame has {len(self.items)} items but {len(self.terms)} attachments"
+            )
+        if not self.items:
+            raise ValueError("a batched frame must carry at least one item")
+
+    def wire_size(self) -> int:
+        # qid + body once, then one compact record per item + per hint.
+        size = 12 + self.program.wire_size()
+        for item in self.items:
+            size += 16 + item.start.bit_length() // 8
+        size += 10 * len(self.marked_hints)
+        return size
+
+
+@dataclass(frozen=True)
+class BatchedResults:
+    """Several coalesced :class:`ResultBatch` messages, one frame.
+
+    Produced by the batching layer when result flushes to the same
+    destination accumulate within the linger window (multi-query
+    workloads); the destination ingests each inner batch exactly as if it
+    had arrived alone.
+    """
+
+    batches: Tuple["ResultBatch", ...]
+
+    def __post_init__(self) -> None:
+        if not self.batches:
+            raise ValueError("a batched-results frame must carry at least one batch")
+
+    @property
+    def qid(self) -> QueryId:
+        """First inner query id (tracing attribution)."""
+        return self.batches[0].qid
+
+    def wire_size(self) -> int:
+        return 4 + sum(batch.wire_size() for batch in self.batches)
+
+
 @dataclass(frozen=True)
 class SeedFromSaved:
     """Distributed-set follow-up (paper §5's proposed optimisation).

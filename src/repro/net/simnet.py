@@ -30,7 +30,7 @@ from ..faults.plan import FaultPlan
 from ..faults.reliable import ReliableAck, ReliableConfig, ReliableData, ReliableEndpoint
 from ..server.node import ServerNode, StepReport
 from ..sim.kernel import Simulator
-from .messages import DerefRequest, Envelope, SeedFromSaved, Undeliverable
+from .messages import BatchedQuery, DerefRequest, Envelope, SeedFromSaved, Undeliverable
 
 
 class SimNetwork:
@@ -198,7 +198,7 @@ class SimNetwork:
         the original envelope back to the sender's node so the detector
         re-absorbs its credit/deficit.  Non-work traffic is simply lost.
         """
-        if not isinstance(env.payload, (DerefRequest, SeedFromSaved)):
+        if not isinstance(env.payload, (DerefRequest, BatchedQuery, SeedFromSaved)):
             return
         host = self.hosts.get(env.src)
         if host is None or not self.is_up(env.src):
@@ -209,11 +209,12 @@ class SimNetwork:
     def _bounce(self, env: Envelope) -> None:
         """Return an undeliverable *work* message to its sender.
 
-        Only DerefRequest/SeedFromSaved carry detector state that must be
-        recovered; results and control traffic addressed to a dead site
-        belong to a query whose originator is gone, and are simply lost.
+        Only DerefRequest/BatchedQuery/SeedFromSaved carry detector state
+        that must be recovered; results and control traffic addressed to a
+        dead site belong to a query whose originator is gone, and are
+        simply lost.
         """
-        if not isinstance(env.payload, (DerefRequest, SeedFromSaved)):
+        if not isinstance(env.payload, (DerefRequest, BatchedQuery, SeedFromSaved)):
             return
         if not self.is_up(env.src):
             return

@@ -14,11 +14,12 @@ constants calibrate.
 
 Fault tolerance matches the other transports: a
 :class:`~repro.faults.plan.FaultPlan` drops/duplicates/delays frames at
-the sender, ``set_down``/``set_up`` freeze a site's worker (frames *to*
-a down site are dropped at the sender — unlike the simulated cluster
-there is no availability oracle here, so peers only notice through loss),
-and ``enable_reliable`` interposes the ack/retransmit channel, whose
-frames travel the wire through the same codec as everything else.
+the sender, ``set_down``/``set_up`` freeze a site's worker (nodes share
+the cluster's availability oracle, exactly like the other transports, so
+sends to a known-down site are written off for partial results; frames
+already on the wire to it are dropped at the sender), and
+``enable_reliable`` interposes the ack/retransmit channel, whose frames
+travel the wire through the same codec as everything else.
 """
 
 from __future__ import annotations
@@ -32,18 +33,25 @@ from typing import Dict, Iterable, List, Optional, Union
 
 from ..core.oid import Oid
 from ..core.program import Program
-from ..engine.results import QueryResult
-from ..errors import HyperFileError, TransportClosed, UnknownSite
+from ..errors import HyperFileError, UnknownSite
 from ..faults.plan import FaultPlan
 from ..faults.reliable import ReliableAck, ReliableConfig, ReliableData, ReliableEndpoint
 from ..faults.timers import TimerThread
+from ..net.batching import BatchConfig
 from ..net.codec import decode_message, encode_message
-from ..net.messages import DerefRequest, Envelope, QueryId, SeedFromSaved, Undeliverable
+from ..net.messages import (
+    BatchedQuery,
+    DerefRequest,
+    Envelope,
+    QueryId,
+    SeedFromSaved,
+    Undeliverable,
+)
 from ..server.node import ServerNode
 from ..sim.costs import FREE_COSTS
 from ..storage.memstore import MemStore
 from ..termination.base import make_strategy
-from .common import await_completion
+from .common import WallClockQueries
 
 _HEADER = struct.Struct(">I")
 
@@ -197,6 +205,13 @@ class _SocketSite:
             self._send(env)
         self.inbox.put(None)  # nudge the worker
 
+    def submit_from_saved(self, qid: QueryId, program: Program, source_qid: QueryId) -> None:
+        with self._node_lock:
+            report = self.node.submit_from_saved(qid, program, source_qid, self.cluster.sites)
+        for env in report.outgoing:
+            self._send(env)
+        self.inbox.put(None)
+
     # -- outbound -----------------------------------------------------------------
 
     def _send(self, env: Envelope) -> None:
@@ -268,8 +283,12 @@ def _decode_with_sender(frame: bytes):
     return src, payload
 
 
-class SocketCluster:
-    """A HyperFile deployment where sites exchange real TCP frames."""
+class SocketCluster(WallClockQueries):
+    """A HyperFile deployment where sites exchange real TCP frames.
+
+    Implements the same :class:`~repro.api.ClusterAPI` contract as the
+    other transports.
+    """
 
     def __init__(
         self,
@@ -278,16 +297,15 @@ class SocketCluster:
         result_mode: str = "ship",
         fault_plan: Optional[FaultPlan] = None,
         reliable: Union[bool, ReliableConfig] = False,
+        batching: Optional[BatchConfig] = None,
     ) -> None:
         names = [f"site{i}" for i in range(sites)] if isinstance(sites, int) else list(sites)
         strategy = make_strategy(termination)
         self.stores: Dict[str, MemStore] = {}
         self.nodes: Dict[str, ServerNode] = {}
         self._sites: Dict[str, _SocketSite] = {}
-        self._completions: "queue.Queue" = queue.Queue()
+        self._init_queries()
         self._closed = False
-        self._seq = 0
-        self._seq_lock = threading.Lock()
         self._down: set = set()
         self._down_lock = threading.Lock()
         self._timers: Optional[TimerThread] = None
@@ -296,6 +314,9 @@ class SocketCluster:
         self._endpoints: Optional[Dict[str, ReliableEndpoint]] = None
         self._reliable_config: Optional[ReliableConfig] = None
         self.messages_dropped = 0
+        #: Envelopes whose delivery was abandoned (reliable-channel give-up),
+        #: recorded for diagnostics exactly like the threaded transport.
+        self.undeliverable: List[Envelope] = []
         for name in names:
             store = MemStore(name)
             node = ServerNode(
@@ -305,7 +326,10 @@ class SocketCluster:
                 termination=strategy,
                 result_mode=result_mode,
                 on_query_complete=self._on_complete,
+                is_site_up=self.is_up,
+                batching=batching,
             )
+            node.now_fn = time.monotonic
             self.stores[name] = store
             self.nodes[name] = node
             self._sites[name] = _SocketSite(node, self)
@@ -429,7 +453,8 @@ class SocketCluster:
 
     def _give_up(self, env: Envelope) -> None:
         """Retries exhausted: recover detector state like a bounce would."""
-        if not isinstance(env.payload, (DerefRequest, SeedFromSaved)):
+        self.undeliverable.append(env)
+        if not isinstance(env.payload, (DerefRequest, BatchedQuery, SeedFromSaved)):
             return
         site = self._sites.get(env.src)
         if site is None:
@@ -443,41 +468,26 @@ class SocketCluster:
             return self._timers
 
     # -- queries --------------------------------------------------------------
+    # submit / wait / run_query / run_followup / total_stats come from
+    # WallClockQueries; this transport only supplies the dispatch hooks.
 
-    def run_query(
-        self,
-        program: Program,
-        initial: Iterable[Oid],
-        originator: Optional[str] = None,
-        timeout_s: float = 30.0,
-        deadline_s: Optional[float] = None,
-        on_deadline: str = "partial",
-    ) -> QueryResult:
-        """Submit a compiled program and block until completion.
+    def node(self, site: str) -> ServerNode:
+        try:
+            return self.nodes[site]
+        except KeyError:
+            raise UnknownSite(site) from None
 
-        ``deadline_s`` bounds the wait exactly as on the other transports:
-        on expiry the originator reclaims outstanding credit and completes
-        with partial results (or raises :class:`~repro.errors.QueryTimeout`
-        when ``on_deadline="raise"``).
-        """
-        if self._closed:
-            raise TransportClosed("cluster is closed")
-        if deadline_s is not None and deadline_s <= 0:
-            raise ValueError("deadline_s must be positive")
-        origin = originator if originator is not None else self.sites[0]
-        with self._seq_lock:
-            self._seq += 1
-            qid = QueryId(self._seq, origin)
+    def _dispatch_submit(self, origin: str, qid: QueryId, program: Program, initial: List[Oid]) -> None:
+        self._sites[origin].submit(qid, program, initial)
+
+    def _dispatch_submit_from_saved(
+        self, origin: str, qid: QueryId, program: Program, source_qid: QueryId
+    ) -> None:
+        self._sites[origin].submit_from_saved(qid, program, source_qid)
+
+    def _dispatch_expire(self, origin: str, qid: QueryId) -> None:
         site = self._sites[origin]
-        site.submit(qid, program, list(initial))
-
-        def expire() -> None:
-            with site._node_lock:
-                report = site.node.expire_query(qid)
-            for env in report.outgoing:
-                site._send(env)
-
-        return await_completion(self._completions, qid, timeout_s, deadline_s, on_deadline, expire)
-
-    def _on_complete(self, qid: QueryId, result: QueryResult) -> None:
-        self._completions.put((qid, result))
+        with site._node_lock:
+            report = site.node.expire_query(qid)
+        for env in report.outgoing:
+            site._send(env)

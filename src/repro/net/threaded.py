@@ -32,18 +32,25 @@ from typing import Dict, Iterable, List, Optional, Union
 
 from ..core.oid import Oid
 from ..core.program import Program
-from ..engine.results import QueryResult
-from ..errors import TransportClosed, UnknownSite
+from ..errors import UnknownSite
 from ..faults.plan import FaultPlan
 from ..faults.reliable import ReliableAck, ReliableConfig, ReliableData, ReliableEndpoint
 from ..faults.timers import TimerThread
 from ..naming.directory import ForwardingTable
-from ..net.messages import DerefRequest, Envelope, QueryId, SeedFromSaved, Undeliverable
+from ..net.batching import BatchConfig
+from ..net.messages import (
+    BatchedQuery,
+    DerefRequest,
+    Envelope,
+    QueryId,
+    SeedFromSaved,
+    Undeliverable,
+)
 from ..server.node import ServerNode
 from ..sim.costs import FREE_COSTS
 from ..storage.memstore import MemStore
 from ..termination.base import make_strategy
-from .common import await_completion
+from .common import WallClockQueries
 
 
 class _SiteThread:
@@ -70,6 +77,13 @@ class _SiteThread:
         for env in report.outgoing:
             self.router.route(env)
         self.inbox.put(None)  # nudge: local work may now exist
+
+    def submit_from_saved(self, qid: QueryId, program: Program, source_qid: QueryId) -> None:
+        with self._lock:
+            report = self.node.submit_from_saved(qid, program, source_qid, self.router.sites)
+        for env in report.outgoing:
+            self.router.route(env)
+        self.inbox.put(None)
 
     def _run(self) -> None:
         while not self._stop:
@@ -100,11 +114,12 @@ class _SiteThread:
                 self.router.route(out)
 
 
-class ThreadedCluster:
+class ThreadedCluster(WallClockQueries):
     """A HyperFile deployment where every site is a real thread.
 
-    API mirrors the simulated :class:`~repro.cluster.SimCluster` closely
-    enough for tests to run the same scenarios on both.
+    Implements the same :class:`~repro.api.ClusterAPI` contract as the
+    simulated :class:`~repro.cluster.SimCluster`, so scenario scripts run
+    unchanged on both.
     """
 
     def __init__(
@@ -115,6 +130,7 @@ class ThreadedCluster:
         result_mode: str = "ship",
         fault_plan: Optional[FaultPlan] = None,
         reliable: Union[bool, ReliableConfig] = False,
+        batching: Optional[BatchConfig] = None,
     ) -> None:
         if isinstance(sites, int):
             names = [f"site{i}" for i in range(sites)]
@@ -124,7 +140,7 @@ class ThreadedCluster:
         self.forwarding: Dict[str, ForwardingTable] = {}
         self.nodes: Dict[str, ServerNode] = {}
         self._threads: Dict[str, _SiteThread] = {}
-        self._completions: "queue.Queue" = queue.Queue()
+        self._init_queries()
         self._closed = False
         self._down: set = set()
         self._down_lock = threading.Lock()
@@ -151,13 +167,13 @@ class ThreadedCluster:
                 forwarding=table,
                 on_query_complete=self._on_complete,
                 is_site_up=self.is_up,
+                batching=batching,
             )
+            node.now_fn = time.monotonic
             self.stores[name] = store
             self.forwarding[name] = table
             self.nodes[name] = node
             self._threads[name] = _SiteThread(node, self)
-        self._seq = 0
-        self._seq_lock = threading.Lock()
         for t in self._threads.values():
             t.start()
         if reliable:
@@ -263,41 +279,29 @@ class ThreadedCluster:
             return self._timers
 
     # -- queries -----------------------------------------------------------
+    # submit / wait / run_query / run_followup / total_stats come from
+    # WallClockQueries; this transport only supplies the dispatch hooks.
 
-    def run_query(
-        self,
-        program: Program,
-        initial: Iterable[Oid],
-        originator: Optional[str] = None,
-        timeout_s: float = 30.0,
-        deadline_s: Optional[float] = None,
-        on_deadline: str = "partial",
-    ) -> QueryResult:
-        """Submit a compiled program and block until completion.
+    def node(self, site: str) -> ServerNode:
+        try:
+            return self.nodes[site]
+        except KeyError:
+            raise UnknownSite(site) from None
 
-        ``deadline_s`` bounds the wait: on expiry the originator reclaims
-        its outstanding credit and completes the query with whatever
-        results have arrived (``result.partial`` is True), or raises
-        :class:`~repro.errors.QueryTimeout` when ``on_deadline="raise"``.
-        """
-        if self._closed:
-            raise TransportClosed("cluster is closed")
-        if deadline_s is not None and deadline_s <= 0:
-            raise ValueError("deadline_s must be positive")
-        origin = originator if originator is not None else self.sites[0]
-        with self._seq_lock:
-            self._seq += 1
-            qid = QueryId(self._seq, origin)
-        self._threads[origin].submit(qid, program, list(initial))
+    def _dispatch_submit(self, origin: str, qid: QueryId, program: Program, initial: List[Oid]) -> None:
+        self._threads[origin].submit(qid, program, initial)
 
-        def expire() -> None:
-            thread = self._threads[origin]
-            with thread._lock:
-                report = thread.node.expire_query(qid)
-            for env in report.outgoing:
-                self.route(env)
+    def _dispatch_submit_from_saved(
+        self, origin: str, qid: QueryId, program: Program, source_qid: QueryId
+    ) -> None:
+        self._threads[origin].submit_from_saved(qid, program, source_qid)
 
-        return await_completion(self._completions, qid, timeout_s, deadline_s, on_deadline, expire)
+    def _dispatch_expire(self, origin: str, qid: QueryId) -> None:
+        thread = self._threads[origin]
+        with thread._lock:
+            report = thread.node.expire_query(qid)
+        for env in report.outgoing:
+            self.route(env)
 
     # -- internals ------------------------------------------------------------
 
@@ -346,7 +350,7 @@ class ThreadedCluster:
         """
         self.messages_dropped += 1
         self.undeliverable.append(env)
-        if not isinstance(env.payload, (DerefRequest, SeedFromSaved)):
+        if not isinstance(env.payload, (DerefRequest, BatchedQuery, SeedFromSaved)):
             return
         sender = self._threads.get(env.src)
         if sender is None or self.is_down(env.src):
@@ -363,12 +367,9 @@ class ThreadedCluster:
 
     def _give_up(self, env: Envelope) -> None:
         """Retries exhausted: recover detector state like a bounce would."""
-        if not isinstance(env.payload, (DerefRequest, SeedFromSaved)):
+        if not isinstance(env.payload, (DerefRequest, BatchedQuery, SeedFromSaved)):
             return
         sender = self._threads.get(env.src)
         if sender is None:
             return
         sender.inbox.put(Envelope(env.dst, env.src, Undeliverable(env)))
-
-    def _on_complete(self, qid: QueryId, result: QueryResult) -> None:
-        self._completions.put((qid, result))

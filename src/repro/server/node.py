@@ -36,7 +36,10 @@ from ..engine.local import QueryExecution
 from ..engine.results import QueryResult
 from ..errors import HyperFileError, ObjectNotFound, TerminationProtocolError
 from ..naming.directory import ForwardingTable
+from ..net.batching import BatchConfig, SendBatcher
 from ..net.messages import (
+    BatchedQuery,
+    BatchedResults,
     ControlMessage,
     DerefRequest,
     Envelope,
@@ -90,6 +93,7 @@ class ServerNode:
         is_site_up: Optional[Callable[[str], bool]] = None,
         on_query_complete: Optional[CompletionCallback] = None,
         gc_contexts: bool = False,
+        batching: Optional[BatchConfig] = None,
     ) -> None:
         """
         Parameters
@@ -104,6 +108,10 @@ class ServerNode:
         is_site_up:
             Availability oracle; sends to down sites are dropped and
             counted so partial results still terminate cleanly.
+        batching:
+            Comms-coalescing config (:class:`~repro.net.batching.BatchConfig`).
+            ``None`` (or ``max_batch=1`` with no linger) keeps the legacy
+            one-message-per-pointer path, bit-identical to before.
         """
         if result_mode not in ("ship", "count"):
             raise ValueError(f"result_mode must be 'ship' or 'count', got {result_mode!r}")
@@ -121,6 +129,11 @@ class ServerNode:
         #: so participants free their per-query state.  Off by default:
         #: retained contexts are what distributed sets seed from.
         self.gc_contexts = gc_contexts
+        self.batching = batching if batching is not None else BatchConfig(max_batch=1)
+        self._batcher = SendBatcher(self.batching) if self.batching.enabled else None
+        #: Clock for batch linger aging; real transports point this at
+        #: ``time.monotonic`` (the simulator relies on drain/idle flushes).
+        self.now_fn: Callable[[], float] = lambda: 0.0
         self.contexts: Dict[QueryId, QueryContext] = {}
         self.inbox: Deque[Envelope] = deque()
         self.stats = NodeStats()
@@ -253,6 +266,10 @@ class ServerNode:
         abandoned = ctx.execution.abandon()
         self._merge_local_results(ctx)
         self.termination.on_deadline(ctx.term_state)
+        if self._batcher is not None:
+            # Pending queued sends carried credit, but on_deadline just
+            # wrote the whole ledger off — dropping them is consistent.
+            self._batcher.drop_query(qid)
         ctx.done = True
         assert ctx.final is not None
         ctx.final.partial = True
@@ -283,6 +300,8 @@ class ServerNode:
     def has_work(self) -> bool:
         if self.inbox:
             return True
+        if self._batcher is not None and self._batcher.has_pending:
+            return True
         return any(ctx.busy for ctx in self.contexts.values())
 
     def step(self) -> StepReport:
@@ -290,9 +309,33 @@ class ServerNode:
         if self.inbox:
             return self._handle_message(self.inbox.popleft())
         ctx = self._next_busy_context()
-        if ctx is None:
-            return StepReport()
-        return self._process_one(ctx)
+        if ctx is not None:
+            return self._process_one(ctx)
+        if self._batcher is not None and self._batcher.has_pending:
+            # Idle force-flush: nothing else to do, so everything queued
+            # goes out now (keeps ``has_work`` truthful — queued items
+            # carry termination credit that must reach the originator).
+            report = StepReport()
+            self._flush_pending(self._batcher.pending_work(), report, "idle")
+            self._flush_results(self._batcher.pending_results(), report, "idle")
+            return report
+        return StepReport()
+
+    def flush_due(self, now: Optional[float] = None) -> StepReport:
+        """Timer flush: send queues older than the linger window.
+
+        Real transports call this periodically from their site loops; the
+        simulator never needs to (its drain/idle flushes are immediate in
+        virtual time).
+        """
+        report = StepReport()
+        if self._batcher is None:
+            return report
+        if now is None:
+            now = self.now_fn()
+        self._flush_pending(self._batcher.due_work(now), report, "timer")
+        self._flush_results(self._batcher.due_results(now), report, "timer")
+        return report
 
     def run_to_idle(self, max_steps: int = 1_000_000) -> StepReport:
         """Drive steps until idle, merging reports (single-node use/tests)."""
@@ -320,8 +363,12 @@ class ServerNode:
             )
         if isinstance(payload, DerefRequest):
             return self._handle_deref(env, payload)
+        if isinstance(payload, BatchedQuery):
+            return self._handle_batched_query(env, payload)
         if isinstance(payload, ResultBatch):
             return self._handle_result(env, payload)
+        if isinstance(payload, BatchedResults):
+            return self._handle_batched_results(env, payload)
         if isinstance(payload, ControlMessage):
             return self._handle_control(env, payload)
         if isinstance(payload, SeedFromSaved):
@@ -374,6 +421,51 @@ class ServerNode:
         self._drain_if_idle(ctx, report)
         return report
 
+    def _handle_batched_query(self, env: Envelope, msg: BatchedQuery) -> StepReport:
+        """Unbatch a coalesced frame: each item is ingested exactly as if
+        its DerefRequest had arrived alone, but the receive overhead is
+        one header plus a per-item marginal (the point of batching)."""
+        report = StepReport(
+            elapsed=self.costs.msg_recv_s
+            + self.costs.batch_item_recv_s * (len(msg.items) - 1)
+        )
+        ctx = self._ensure_context(msg.qid, msg.program)
+        if self._batcher is not None and msg.marked_hints:
+            # The sender's recent marks: anything listed is already
+            # processed there, so never send it back.
+            self._batcher.record_remote_marks(msg.qid, env.src, msg.marked_hints)
+        if self.tracer is not None:
+            self.tracer.emit(
+                self.site, "batch_recv", msg.qid,
+                src=env.src, items=len(msg.items), hints=len(msg.marked_hints),
+            )
+        if ctx.done:
+            self.stats.late_messages += 1
+            return report
+        self.stats.batched_items += len(msg.items)
+        for item, term in zip(msg.items, msg.terms):
+            target = self.locate(item.oid)
+            if target != self.site and self.is_site_up(target):
+                self._absorb_controls(
+                    report,
+                    self.termination.on_recv_work(ctx.term_state, dict(term), env.src, ctx.busy),
+                    msg.qid,
+                )
+                self._send_work(ctx, target, item, report)
+                self.stats.forwarded_requests += 1
+            else:
+                if not ctx.execution.mark_table.should_process(item.oid, item.start, item.iters):
+                    self.stats.duplicate_requests += 1
+                ctx.execution.admit(item)
+                self._enqueue_rr(msg.qid)
+                self._absorb_controls(
+                    report,
+                    self.termination.on_recv_work(ctx.term_state, dict(term), env.src, ctx.busy),
+                    msg.qid,
+                )
+        self._drain_if_idle(ctx, report)
+        return report
+
     def _handle_result(self, env: Envelope, msg: ResultBatch) -> StepReport:
         ctx = self.contexts.get(msg.qid)
         if ctx is None or not ctx.is_originator or ctx.final is None:
@@ -401,6 +493,21 @@ class ServerNode:
             ctx.final.retrieved.setdefault(target, []).append(value)
         self.termination.on_result(ctx.term_state, dict(msg.term))
         self._check_termination(ctx, report)
+        return report
+
+    def _handle_batched_results(self, env: Envelope, msg: BatchedResults) -> StepReport:
+        """Ingest a coalesced results frame: each inner batch exactly as
+        if it arrived alone, with the fixed receive overhead paid once."""
+        report = StepReport()
+        for index, batch in enumerate(msg.batches):
+            inner = self._handle_result(env, batch)
+            report.elapsed += inner.elapsed
+            if index > 0:
+                # Replace the per-message fixed overhead with the batched
+                # per-item marginal for every inner batch after the first.
+                report.elapsed += self.costs.batch_item_recv_s - self.costs.result_msg_fixed_s
+            report.outgoing.extend(inner.outgoing)
+            report.completed.extend(inner.completed)
         return report
 
     def _handle_control(self, env: Envelope, msg: ControlMessage) -> StepReport:
@@ -460,6 +567,8 @@ class ServerNode:
             del self.contexts[msg.qid]
             if msg.qid in self._rr:
                 self._rr.remove(msg.qid)
+            if self._batcher is not None:
+                self._batcher.drop_query(msg.qid)
         return report
 
     def _handle_undeliverable(self, msg: Undeliverable) -> StepReport:
@@ -477,9 +586,22 @@ class ServerNode:
         if ctx.done:
             self.stats.late_messages += 1
             return report
-        self.stats.failed_sends += 1
-        outs = self.termination.on_send_failed(ctx.term_state, dict(original.term), ctx.busy)
-        self._absorb_controls(report, outs, original.qid)
+        if isinstance(original, BatchedQuery):
+            # A whole batch bounced: recover every item's credit, and
+            # un-record the items so a re-discovered branch is not
+            # suppressed against a site that never processed it.
+            self.stats.failed_sends += len(original.items)
+            if self._batcher is not None:
+                self._batcher.forget_sent(original.qid, msg.original.dst, original.items)
+            for term in original.terms:
+                outs = self.termination.on_send_failed(ctx.term_state, dict(term), ctx.busy)
+                self._absorb_controls(report, outs, original.qid)
+        else:
+            self.stats.failed_sends += 1
+            if self._batcher is not None and isinstance(original, DerefRequest):
+                self._batcher.forget_sent(original.qid, msg.original.dst, (original.item,))
+            outs = self.termination.on_send_failed(ctx.term_state, dict(original.term), ctx.busy)
+            self._absorb_controls(report, outs, original.qid)
         self._drain_if_idle(ctx, report)
         if ctx.is_originator:
             self._check_termination(ctx, report)
@@ -527,12 +649,131 @@ class ServerNode:
             # no detector state was split off, termination stays exact.
             self.stats.failed_sends += 1
             return
+        batcher = self._batcher
+        if batcher is None:
+            attach = self.termination.on_send_work(ctx.term_state)
+            self._emit(report, dst, DerefRequest(ctx.qid, ctx.execution.program, item, dict(attach)))
+            return
+        # Dedup before splitting credit: a suppressed send is then
+        # indistinguishable (to the detector) from a mark-table skip.
+        mark_key = ctx.execution.mark_table.key_for(item.start, item.iters)
+        if batcher.already_sent(ctx.qid, dst, item) or batcher.known_marked(
+            ctx.qid, dst, item.oid.key(), mark_key
+        ):
+            self.stats.sends_suppressed += 1
+            return
         attach = self.termination.on_send_work(ctx.term_state)
-        self._emit(report, dst, DerefRequest(ctx.qid, ctx.execution.program, item, dict(attach)))
+        batcher.record_sent(ctx.qid, dst, item)
+        pending = batcher.enqueue_work(ctx.qid, dst, item, dict(attach), self.now_fn())
+        if pending >= self.batching.max_batch:
+            self._flush_work(ctx.qid, dst, report, "size")
+
+    def _flush_work(self, qid: QueryId, dst: str, report: StepReport, reason: str) -> int:
+        """Flush one (query, destination) send queue into a frame.
+
+        Returns the number of items whose credit had to be *recovered*
+        instead of sent (destination down at flush time); callers that may
+        be the last event before idleness use it to re-run drain logic so
+        recovered credit still reaches the originator.
+        """
+        batcher = self._batcher
+        assert batcher is not None
+        items, terms = batcher.take_work(qid, dst)
+        if not items:
+            return 0
+        ctx = self.contexts.get(qid)
+        if ctx is None or ctx.done:
+            # The deadline (or a purge) raced the queue; the ledger was
+            # already written off, so the items are simply dropped.
+            self.stats.late_messages += len(items)
+            return 0
+        if not self.is_site_up(dst):
+            # The destination went down between enqueue and flush: take
+            # every item's credit back (exactly the undeliverable path).
+            self.stats.failed_sends += len(items)
+            batcher.forget_sent(qid, dst, items)
+            for term in terms:
+                outs = self.termination.on_send_failed(ctx.term_state, dict(term), ctx.busy)
+                self._absorb_controls(report, outs, qid)
+            return len(items)
+        counter = "batch_flushes_" + reason
+        setattr(self.stats, counter, getattr(self.stats, counter) + 1)
+        if len(items) == 1:
+            # No coalescing happened; ship the plain single-item form.
+            # Mark hints are piggyback-only — they never upgrade a lone
+            # item into the (more expensive) batched frame, so workloads
+            # with nothing to coalesce keep the unbatched cost exactly.
+            self._emit(report, dst, DerefRequest(qid, ctx.execution.program, items[0], dict(terms[0])))
+            return 0
+        hints = batcher.take_hints(qid, dst, ctx.execution.mark_table.journal)
+        self.stats.batched_items += len(items)
+        if self.tracer is not None:
+            self.tracer.emit(
+                self.site, "batch_flush", qid,
+                dst=dst, items=len(items), hints=len(hints), reason=reason,
+            )
+        self._emit(report, dst, BatchedQuery(qid, ctx.execution.program, items, terms, hints))
+        return 0
+
+    def _flush_pending(self, keys: List[Tuple[QueryId, str]], report: StepReport, reason: str) -> None:
+        """Flush a set of work queues (idle/timer paths), then re-run the
+        drain logic for any query whose credit was recovered from a down
+        destination — it must not sit at a passive site."""
+        by_qid: Dict[QueryId, List[str]] = {}
+        for qid, dst in keys:
+            by_qid.setdefault(qid, []).append(dst)
+        for qid, dsts in by_qid.items():
+            recovered = 0
+            for dst in dsts:
+                recovered += self._flush_work(qid, dst, report, reason)
+            ctx = self.contexts.get(qid)
+            if recovered and ctx is not None and not ctx.done:
+                self._drain_if_idle(ctx, report)
+                if ctx.is_originator:
+                    self._check_termination(ctx, report)
+
+    def _flush_results(self, dsts: List[str], report: StepReport, reason: str) -> None:
+        batcher = self._batcher
+        assert batcher is not None
+        for dst in dsts:
+            batches = batcher.take_results(dst)
+            if not batches:
+                continue
+            counter = "batch_flushes_" + reason
+            setattr(self.stats, counter, getattr(self.stats, counter) + 1)
+            if len(batches) == 1:
+                self._emit(report, dst, batches[0])
+                continue
+            if self.tracer is not None:
+                self.tracer.emit(
+                    self.site, "batch_flush", batches[0].qid,
+                    dst=dst, items=len(batches), reason=reason, results=True,
+                )
+            self._emit(report, dst, BatchedResults(batches))
+
+    def _emit_result(self, report: StepReport, dst: str, batch: ResultBatch) -> None:
+        """Ship (or, with a linger window, queue) one outbound ResultBatch."""
+        batcher = self._batcher
+        if (
+            batcher is None
+            or not self.batching.coalesce_results
+            or self.batching.linger_s is None
+            or not self.is_site_up(dst)
+        ):
+            self._emit(report, dst, batch)
+            return
+        pending = batcher.enqueue_result(dst, batch, self.now_fn())
+        if pending >= self.batching.max_batch:
+            self._flush_results([dst], report, "size")
 
     def _drain_if_idle(self, ctx: QueryContext, report: StepReport) -> None:
         if ctx.busy:
             return
+        if self._batcher is not None:
+            # Liveness: queued work carries credit; when this query's
+            # working set drains here, everything pending for it must go.
+            for dst in self._batcher.work_destinations(ctx.qid):
+                self._flush_work(ctx.qid, dst, report, "drain")
         if ctx.is_originator:
             self._merge_local_results(ctx)
             self.termination.on_originator_drain(ctx.term_state)
@@ -560,7 +801,7 @@ class ServerNode:
             )
         else:
             batch = ResultBatch(ctx.qid, oids=oids, emissions=emissions, term=dict(attach))
-        self._emit(report, ctx.qid.originator, batch)
+        self._emit_result(report, ctx.qid.originator, batch)
         self._absorb_controls(report, controls, ctx.qid)
 
     def _merge_local_results(self, ctx: QueryContext) -> None:
@@ -612,6 +853,8 @@ class ServerNode:
             discipline=self.discipline,
             mark_granularity=self.mark_granularity,
         )
+        if self._batcher is not None and self.batching.mark_hints:
+            execution.mark_table.enable_journal()
         ctx = QueryContext(
             qid=qid,
             execution=execution,
@@ -635,6 +878,11 @@ class ServerNode:
                 msg=type(payload).__name__, dst=dst, bytes=env.size_bytes,
             )
         report.elapsed += self.costs.msg_send_s
+        if isinstance(payload, BatchedQuery):
+            # One header, per-item marginal: the calibrated batched cost.
+            report.elapsed += self.costs.batch_item_send_s * (len(payload.items) - 1)
+        elif isinstance(payload, BatchedResults):
+            report.elapsed += self.costs.batch_item_send_s * (len(payload.batches) - 1)
         report.outgoing.append(env)
 
     def _absorb_controls(self, report: StepReport, outs, qid: QueryId) -> None:

@@ -36,6 +36,13 @@ class NodeStats:
     reliable_give_ups: int = 0     #: sends abandoned after max retransmit attempts
     deadline_expiries: int = 0     #: queries force-completed by their deadline
     late_messages: int = 0         #: results/controls arriving after completion, ignored
+    # Batching counters (comms coalescing layer, see repro.net.batching).
+    batched_items: int = 0         #: work items shipped inside BatchedQuery frames
+    sends_suppressed: int = 0      #: sends skipped by sent-set / remote mark hints
+    batch_flushes_size: int = 0    #: queue flushes triggered by the size threshold
+    batch_flushes_drain: int = 0   #: flushes triggered by a working-set drain
+    batch_flushes_timer: int = 0   #: flushes triggered by the linger timer
+    batch_flushes_idle: int = 0    #: flushes triggered by node-idle force-flush
 
     def count_sent(self, kind: str, size: int) -> None:
         self.messages_sent[kind] = self.messages_sent.get(kind, 0) + 1
@@ -73,3 +80,9 @@ class NodeStats:
         self.reliable_give_ups += other.reliable_give_ups
         self.deadline_expiries += other.deadline_expiries
         self.late_messages += other.late_messages
+        self.batched_items += other.batched_items
+        self.sends_suppressed += other.sends_suppressed
+        self.batch_flushes_size += other.batch_flushes_size
+        self.batch_flushes_drain += other.batch_flushes_drain
+        self.batch_flushes_timer += other.batch_flushes_timer
+        self.batch_flushes_idle += other.batch_flushes_idle

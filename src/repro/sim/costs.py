@@ -48,6 +48,17 @@ class CostModel:
     #: Receiver-side cost of ingesting a remote work (dereference) message.
     msg_recv_s: float = 0.015
 
+    #: Sender-side marginal cost per *additional* work item coalesced into
+    #: a batched frame (the first item pays the full ``msg_send_s`` header).
+    #: Calibration: a batched frame amortises the 50 ms per-message cost —
+    #: message construction and the send/recv system calls happen once —
+    #: leaving only the copy of one more (oid, start, iter#) record.
+    batch_item_send_s: float = 0.002
+
+    #: Receiver-side marginal cost per additional item in a batched frame
+    #: (unpack one more record and admit it to the working set).
+    batch_item_recv_s: float = 0.003
+
     #: Fixed receiver-side cost of ingesting a remote result message.
     result_msg_fixed_s: float = 0.015
 
@@ -80,6 +91,8 @@ class CostModel:
             msg_send_s=self.msg_send_s * factor,
             msg_latency_s=self.msg_latency_s * factor,
             msg_recv_s=self.msg_recv_s * factor,
+            batch_item_send_s=self.batch_item_send_s * factor,
+            batch_item_recv_s=self.batch_item_recv_s * factor,
             result_msg_fixed_s=self.result_msg_fixed_s * factor,
             result_item_s=self.result_item_s * factor,
             client_link_s=self.client_link_s * factor,
@@ -103,6 +116,8 @@ FREE_COSTS = CostModel(
     msg_send_s=0.0,
     msg_latency_s=0.0,
     msg_recv_s=0.0,
+    batch_item_send_s=0.0,
+    batch_item_recv_s=0.0,
     result_msg_fixed_s=0.0,
     result_item_s=0.0,
     client_link_s=0.0,

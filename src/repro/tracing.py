@@ -35,6 +35,8 @@ KINDS = (
     "retransmit",  #: reliable channel re-sent an unacked frame
     "dup",         #: reliable channel suppressed a replayed frame
     "timeout",     #: a query deadline expired (partial completion)
+    "batch_flush",  #: a send queue flushed into a batched frame
+    "batch_recv",   #: a batched frame was ingested and unbatched
 )
 
 

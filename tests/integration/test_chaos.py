@@ -80,18 +80,18 @@ class TestChaosWithReliableChannel:
         plan = FaultPlan(seed=7, **CHAOS)
         with ThreadedCluster(3, fault_plan=plan, reliable=True) as cluster:
             oids = build_chain(cluster)
-            result = cluster.run_query(CLOSURE_PROG, [oids[0]], timeout_s=30.0)
-            assert result.oid_keys() == {o.key() for o in oids}
-            assert not result.partial
+            outcome = cluster.run_query(CLOSURE_PROG, [oids[0]], timeout_s=30.0)
+            assert outcome.result.oid_keys() == {o.key() for o in oids}
+            assert not outcome.result.partial
             assert plan.dropped > 0
 
     def test_sockets_completes_with_full_results(self):
         plan = FaultPlan(seed=11, **CHAOS)
         with SocketCluster(3, fault_plan=plan, reliable=True) as cluster:
             oids = build_chain(cluster)
-            result = cluster.run_query(CLOSURE_PROG, [oids[0]], timeout_s=30.0)
-            assert result.oid_keys() == {o.key() for o in oids}
-            assert not result.partial
+            outcome = cluster.run_query(CLOSURE_PROG, [oids[0]], timeout_s=30.0)
+            assert outcome.result.oid_keys() == {o.key() for o in oids}
+            assert not outcome.result.partial
             assert plan.dropped > 0
 
 
@@ -151,18 +151,18 @@ class TestDeadlines:
     def test_threaded_deadline_returns_partial(self):
         with ThreadedCluster(3, fault_plan=FaultPlan(seed=1, drop=1.0)) as cluster:
             oids = build_chain(cluster)
-            result = cluster.run_query(
+            outcome = cluster.run_query(
                 CLOSURE_PROG, [oids[0]], deadline_s=0.4, timeout_s=10.0
             )
-            assert result.partial
+            assert outcome.result.partial
 
     def test_sockets_deadline_returns_partial(self):
         with SocketCluster(3, fault_plan=FaultPlan(seed=2, drop=1.0)) as cluster:
             oids = build_chain(cluster)
-            result = cluster.run_query(
+            outcome = cluster.run_query(
                 CLOSURE_PROG, [oids[0]], deadline_s=0.4, timeout_s=10.0
             )
-            assert result.partial
+            assert outcome.result.partial
 
     def test_threaded_deadline_raise_mode(self):
         with ThreadedCluster(3, fault_plan=FaultPlan(seed=1, drop=1.0)) as cluster:
@@ -200,10 +200,10 @@ class TestCrashSchedules:
             assert cluster.is_down("site1") and not cluster.is_up("site1")
             partial = cluster.run_query(CLOSURE_PROG, [oids[0]], timeout_s=10.0)
             # The availability oracle writes the branch off: fewer results.
-            assert len(partial.oid_keys()) < 12
+            assert len(partial.result.oid_keys()) < 12
             cluster.set_up("site1")
             full = cluster.run_query(CLOSURE_PROG, [oids[0]], timeout_s=10.0)
-            assert full.oid_keys() == {o.key() for o in oids}
+            assert full.result.oid_keys() == {o.key() for o in oids}
 
     def test_threaded_crash_schedule_validates_sites(self):
         with pytest.raises(Exception):

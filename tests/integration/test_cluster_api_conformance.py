@@ -1,0 +1,175 @@
+"""ClusterAPI conformance: one scenario script, three transports.
+
+The point of the unified cluster API is that everything above the
+transport — sessions, benchmarks, applications — is written once.  These
+tests encode that contract directly: every test in this file runs
+verbatim against the simulator, the threaded transport and the socket
+transport, and must behave identically (same results, same error types,
+same deadline semantics) on all three.
+"""
+
+import pytest
+
+from repro.api import ClusterAPI, QueryOutcome
+from repro.cluster import SimCluster
+from repro.core.tuples import keyword_tuple, pointer_tuple
+from repro.errors import QueryTimeout
+from repro.faults import FaultPlan
+from repro.net.sockets import SocketCluster
+from repro.net.threaded import ThreadedCluster
+from repro.workload import WorkloadSpec, build_graph, generate_into_cluster, traversal_only_query
+
+CLOSURE = 'S [ (Pointer,"Ref",?X) ^^X ]* (Keyword,"K",?) -> T'
+
+FACTORIES = {
+    "sim": SimCluster,
+    "threaded": ThreadedCluster,
+    "sockets": SocketCluster,
+}
+
+#: Generous wall-clock budget for the real transports; the simulator
+#: accepts and ignores it (virtual time cannot hang on a live queue).
+TIMEOUT = 30.0
+
+
+@pytest.fixture(params=sorted(FACTORIES))
+def make_cluster(request):
+    made = []
+
+    def factory(**kwargs):
+        cluster = FACTORIES[request.param](3, **kwargs)
+        made.append(cluster)
+        return cluster
+
+    yield factory
+    for cluster in made:
+        cluster.close()
+
+
+def build_chain(cluster, length=12):
+    stores = [cluster.store(s) for s in cluster.sites]
+    oids = []
+    for i in range(length):
+        oids.append(stores[i % len(stores)].create([keyword_tuple("K")]).oid)
+    for i in range(length - 1):
+        store = stores[i % len(stores)]
+        store.replace(store.get(oids[i]).with_tuple(pointer_tuple("Ref", oids[i + 1])))
+    last = stores[(length - 1) % len(stores)]
+    last.replace(last.get(oids[-1]).with_tuple(pointer_tuple("Ref", oids[-1])))
+    return oids
+
+
+class TestProtocolShape:
+    def test_every_transport_satisfies_the_protocol(self, make_cluster):
+        assert isinstance(make_cluster(), ClusterAPI)
+
+    def test_context_manager(self, make_cluster):
+        with make_cluster() as cluster:
+            oids = build_chain(cluster, 3)
+            out = cluster.run_query(CLOSURE, [oids[0]], timeout_s=TIMEOUT)
+            assert len(out.result.oid_keys()) == 3
+
+
+class TestQueryLifecycle:
+    def test_textual_query_full_results(self, make_cluster):
+        """Strings compile identically everywhere — no transport needs a
+        pre-compiled Program any more."""
+        cluster = make_cluster()
+        oids = build_chain(cluster)
+        out = cluster.run_query(CLOSURE, [oids[0]], timeout_s=TIMEOUT)
+        assert isinstance(out, QueryOutcome)
+        assert out.result.oid_keys() == {o.key() for o in oids}
+        assert not out.result.partial
+        assert out.qid.originator == "site0"
+        assert out.completed_at >= out.submitted_at
+        assert out.response_time >= 0.0
+
+    def test_submit_wait_split_and_outcome_lookup(self, make_cluster):
+        cluster = make_cluster()
+        oids = build_chain(cluster)
+        qid = cluster.submit(CLOSURE, [oids[0]])
+        out = cluster.wait(qid, timeout_s=TIMEOUT)
+        assert out.result.oid_keys() == {o.key() for o in oids}
+        assert cluster.outcome(qid) is out
+
+    def test_total_stats_counts_processing(self, make_cluster):
+        cluster = make_cluster()
+        oids = build_chain(cluster)
+        cluster.run_query(CLOSURE, [oids[0]], timeout_s=TIMEOUT)
+        assert cluster.total_stats().objects_processed >= len(oids)
+
+    def test_deadline_must_be_positive(self, make_cluster):
+        with pytest.raises(ValueError):
+            make_cluster().submit(CLOSURE, [], deadline_s=0.0)
+
+    def test_on_deadline_mode_is_validated(self, make_cluster):
+        cluster = make_cluster()
+        oids = build_chain(cluster, 3)
+        with pytest.raises(ValueError):
+            cluster.run_query(CLOSURE, [oids[0]], on_deadline="explode")
+
+
+class TestDeadlineSemantics:
+    def test_partial_mode_returns_partial_outcome(self, make_cluster):
+        cluster = make_cluster(fault_plan=FaultPlan(seed=1, drop=1.0))
+        oids = build_chain(cluster)
+        out = cluster.run_query(
+            CLOSURE, [oids[0]], deadline_s=0.4, timeout_s=10.0
+        )
+        assert out.result.partial
+        assert len(out.result.oid_keys()) >= 1  # the local seed survived
+
+    def test_raise_mode_raises_with_partial_attached(self, make_cluster):
+        cluster = make_cluster(fault_plan=FaultPlan(seed=1, drop=1.0))
+        oids = build_chain(cluster)
+        with pytest.raises(QueryTimeout) as excinfo:
+            cluster.run_query(
+                CLOSURE, [oids[0]],
+                deadline_s=0.4, timeout_s=10.0, on_deadline="raise",
+            )
+        assert excinfo.value.result.partial
+
+
+class TestAvailability:
+    def test_set_down_writes_branch_off_and_set_up_restores(self, make_cluster):
+        cluster = make_cluster()
+        oids = build_chain(cluster)
+        cluster.set_down("site1")
+        assert cluster.is_down("site1") and not cluster.is_up("site1")
+        partial = cluster.run_query(CLOSURE, [oids[0]], timeout_s=10.0)
+        assert len(partial.result.oid_keys()) < len(oids)
+        cluster.set_up("site1")
+        full = cluster.run_query(CLOSURE, [oids[0]], timeout_s=TIMEOUT)
+        assert full.result.oid_keys() == {o.key() for o in oids}
+
+
+class TestFollowupQueries:
+    def test_count_mode_followup_seeds_from_saved_partition(self, make_cluster):
+        cluster = make_cluster(result_mode="count")
+        workload = generate_into_cluster(
+            cluster, WorkloadSpec(n_objects=60), build_graph(n=60)
+        )
+        first = cluster.run_query(
+            traversal_only_query("Tree"), [workload.root], timeout_s=TIMEOUT
+        )
+        assert sum((first.partition_counts or {}).values()) > 0
+        followup = cluster.run_followup(
+            'T (Rand10p, 5, ?) -> U', first.qid, timeout_s=TIMEOUT
+        )
+        assert followup.partition_counts is not None
+
+
+class TestCrossTransportAgreement:
+    def test_same_database_same_results_everywhere(self):
+        """The whole point, in one assertion: an identical database gives
+        an identical result set on all three transports."""
+        results = {}
+        for name, factory in sorted(FACTORIES.items()):
+            cluster = factory(3)
+            try:
+                oids = build_chain(cluster)
+                out = cluster.run_query(CLOSURE, [oids[0]], timeout_s=TIMEOUT)
+                results[name] = out.result.oid_keys()
+            finally:
+                cluster.close()
+        assert results["sim"] == results["threaded"] == results["sockets"]

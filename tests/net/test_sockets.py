@@ -30,15 +30,15 @@ class TestSocketQueries:
     def test_cross_site_closure_over_tcp(self):
         with SocketCluster(3) as cluster:
             seed, expected = build_chain(cluster)
-            result = cluster.run_query(PROG, [seed])
-            assert result.oid_keys() == expected
+            outcome = cluster.run_query(PROG, [seed])
+            assert outcome.result.oid_keys() == expected
             assert cluster.bytes_on_the_wire() > 0
 
     @pytest.mark.parametrize("termination", ["weighted", "dijkstra-scholten"])
     def test_both_detectors_over_tcp(self, termination):
         with SocketCluster(3, termination=termination) as cluster:
             seed, expected = build_chain(cluster)
-            assert cluster.run_query(PROG, [seed]).oid_keys() == expected
+            assert cluster.run_query(PROG, [seed]).result.oid_keys() == expected
 
     def test_matches_simulated_cluster_on_workload(self, small_spec, small_graph):
         from repro.cluster import SimCluster
@@ -52,8 +52,8 @@ class TestSocketQueries:
         with SocketCluster(3) as cluster:
             w_sock = materialize(small_spec, [cluster.store(s) for s in cluster.sites],
                                  graph=small_graph)
-            result = cluster.run_query(compile_query(query), [w_sock.root])
-            assert oid_indices(w_sock, result.oid_keys()) == expected
+            outcome = cluster.run_query(compile_query(query), [w_sock.root])
+            assert oid_indices(w_sock, outcome.result.oid_keys()) == expected
 
     def test_retrievals_cross_the_wire(self):
         with SocketCluster(2) as cluster:
@@ -65,15 +65,15 @@ class TestSocketQueries:
             program = compile_query(
                 parse_query('S (Pointer,"Ref",?X) ^X (String,"Title",->title) -> T')
             )
-            result = cluster.run_query(program, [local.oid])
-            assert result.retrieved["title"] == ["Far Away"]
+            outcome = cluster.run_query(program, [local.oid])
+            assert outcome.result.retrieved["title"] == ["Far Away"]
 
     def test_sequential_queries_reuse_connections(self):
         with SocketCluster(3) as cluster:
             seed, expected = build_chain(cluster)
             first_bytes = None
             for _ in range(3):
-                assert cluster.run_query(PROG, [seed]).oid_keys() == expected
+                assert cluster.run_query(PROG, [seed]).result.oid_keys() == expected
                 if first_bytes is None:
                     first_bytes = cluster.bytes_on_the_wire()
             # Connections persist; later queries ship similar volumes.

@@ -22,10 +22,10 @@ class TestThreadedQueries:
             c = s2.create([pointer_tuple("Ref", d.oid)])
             b = s1.create([pointer_tuple("Ref", c.oid), keyword_tuple("K")])
             a = s0.create([pointer_tuple("Ref", b.oid), keyword_tuple("K")])
-            result = cluster.run_query(
+            outcome = cluster.run_query(
                 prog('S [ (Pointer,"Ref",?X) ^^X ]* (Keyword,"K",?) -> T'), [a.oid]
             )
-            assert result.oid_keys() == {a.oid.key(), b.oid.key(), d.oid.key()}
+            assert outcome.result.oid_keys() == {a.oid.key(), b.oid.key(), d.oid.key()}
 
     def test_matches_simulated_cluster_on_workload(self):
         from repro.cluster import SimCluster
@@ -43,16 +43,16 @@ class TestThreadedQueries:
 
         with ThreadedCluster(3) as cluster:
             w_thr = materialize(spec, [cluster.store(s) for s in cluster.sites], graph=graph)
-            result = cluster.run_query(compile_query(query), [w_thr.root])
-            assert oid_indices(w_thr, result.oid_keys()) == expected
+            outcome = cluster.run_query(compile_query(query), [w_thr.root])
+            assert oid_indices(w_thr, outcome.result.oid_keys()) == expected
 
     def test_sequential_queries_reuse_cluster(self):
         with ThreadedCluster(2) as cluster:
             s0 = cluster.store("site0")
             a = s0.create([keyword_tuple("K")])
             for _ in range(3):
-                result = cluster.run_query(prog('S (Keyword,"K",?) -> T'), [a.oid])
-                assert len(result.oids) == 1
+                outcome = cluster.run_query(prog('S (Keyword,"K",?) -> T'), [a.oid])
+                assert len(outcome.result.oids) == 1
 
     def test_retrievals_cross_sites(self):
         with ThreadedCluster(2) as cluster:
@@ -61,10 +61,10 @@ class TestThreadedQueries:
 
             remote = s1.create([string_tuple("Title", "Remote Doc"), keyword_tuple("K")])
             local = s0.create([pointer_tuple("Ref", remote.oid), keyword_tuple("K")])
-            result = cluster.run_query(
+            outcome = cluster.run_query(
                 prog('S (Pointer,"Ref",?X) ^X (String,"Title",->title) -> T'), [local.oid]
             )
-            assert result.retrieved["title"] == ["Remote Doc"]
+            assert outcome.result.retrieved["title"] == ["Remote Doc"]
 
     def test_timeout_on_impossible_query(self):
         from repro.errors import HyperFileError
