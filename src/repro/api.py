@@ -18,7 +18,11 @@ written against :class:`ClusterAPI` runs unchanged on any of them:
   on every transport, carrying the credit deficit when the weighted
   detector is in use (see :func:`credit_deficit`);
 * ``set_down`` / ``set_up`` and ``total_stats`` for availability
-  scripting and measurement.
+  scripting and measurement;
+* ``attach_tracer`` / ``detach_tracer`` and ``enable_metrics`` /
+  ``metrics_snapshot`` — the uniform observability hooks (causal span
+  tracing per :mod:`repro.tracing`, telemetry per
+  :mod:`repro.metrics.registry`) on every transport.
 
 ``timeout_s`` is a wall-clock backstop; the simulator ignores it (its
 clock is virtual — an idle event queue, not elapsed time, is its failure
@@ -132,6 +136,14 @@ class ClusterAPI(Protocol):
     def is_down(self, site: str) -> bool: ...
 
     def total_stats(self) -> NodeStats: ...
+
+    def attach_tracer(self, tracer) -> None: ...
+
+    def detach_tracer(self) -> None: ...
+
+    def enable_metrics(self, registry=None): ...
+
+    def metrics_snapshot(self): ...
 
     def close(self) -> None: ...
 

@@ -1,10 +1,19 @@
 """Command-line interface: explore HyperFile from a terminal.
 
-Three subcommands::
+Five subcommands::
 
     python -m repro demo                 # one-minute guided tour
     python -m repro repl [--sites N]     # interactive query shell over the §5 workload
     python -m repro experiments [-n Q]   # quick paper-vs-measured tables
+    python -m repro trace [--chrome F]   # run a traced query, export its span timeline
+    python -m repro profile              # per-query critical-path + credit profile
+
+``trace`` runs one closure query over the paper's workload with causal
+tracing on and exports the event timeline — ``--jsonl`` for one JSON
+object per event, ``--chrome`` for a Chrome trace-event document that
+loads in Perfetto / ``chrome://tracing`` (sites as lanes, messages as
+flow arrows).  ``profile`` runs the same query and prints the span-tree
+health check, the critical path, and the credit-flow audit instead.
 
 The REPL loads the paper's synthetic database, binds ``Root`` to its
 root object and ``All`` to every object, and evaluates one query per
@@ -16,6 +25,8 @@ line.  Meta-commands start with a colon::
     :trace on|off       record / stop recording a query timeline
     :timeline [k]       print the last recorded timeline (k events)
     :lanes              per-site swim-lane view of the trace
+    :profile            critical-path profile of the last traced query
+    :export FILE        write the trace (.jsonl, or Chrome JSON otherwise)
     :stats              cluster message counters
     :quit
 """
@@ -50,6 +61,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     experiments = sub.add_parser("experiments", help="quick paper-vs-measured tables")
     experiments.add_argument("-n", "--queries", type=int, default=3)
 
+    trace = sub.add_parser("trace", help="run a traced query and export its span timeline")
+    profile = sub.add_parser("profile", help="critical-path profile of one traced query")
+    for p in (trace, profile):
+        p.add_argument("--sites", type=int, default=3, choices=(1, 3, 9))
+        p.add_argument("--objects", type=int, default=90)
+        p.add_argument("--pointer", default="Tree", choices=("Tree", "Chain"))
+    trace.add_argument("--jsonl", metavar="PATH", help="write events as JSON lines")
+    trace.add_argument("--chrome", metavar="PATH",
+                       help="write a Chrome trace-event document (Perfetto-loadable)")
+    trace.add_argument("--validate", action="store_true",
+                       help="validate the Chrome trace-event schema after writing")
+
     args = parser.parse_args(argv)
     if args.command == "demo":
         return run_demo()
@@ -57,6 +80,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         return run_repl(sites=args.sites, n_objects=args.objects)
     if args.command == "experiments":
         return run_experiments(args.queries)
+    if args.command == "trace":
+        return run_trace(
+            sites=args.sites, n_objects=args.objects, pointer=args.pointer,
+            jsonl=args.jsonl, chrome=args.chrome, validate=args.validate,
+        )
+    if args.command == "profile":
+        return run_profile(sites=args.sites, n_objects=args.objects, pointer=args.pointer)
     return 2  # pragma: no cover - argparse enforces the choices
 
 
@@ -188,6 +218,30 @@ def _meta_command(line: str, session: Session, cluster: SimCluster, out: IO[str]
         else:
             limit = int(parts[1]) if len(parts) > 1 else 40
             print(tracer.render(limit=limit), file=out)
+    elif command == ":profile":
+        tracer = tracer_box[0]
+        if tracer is None:
+            print("tracing is off (:trace on)", file=out)
+        elif session.last_outcome is None:
+            print("no query run yet", file=out)
+        else:
+            from .profiling import render_profile
+
+            print(render_profile(tracer, session.last_outcome.qid), file=out)
+    elif command == ":export":
+        tracer = tracer_box[0]
+        if tracer is None:
+            print("tracing is off (:trace on)", file=out)
+        elif len(parts) < 2:
+            print("usage: :export FILE (.jsonl, or Chrome trace JSON otherwise)", file=out)
+        else:
+            path = parts[1]
+            if path.endswith(".jsonl"):
+                n = tracer.write_jsonl(path)
+                print(f"wrote {n} events to {path}", file=out)
+            else:
+                n = tracer.write_chrome_trace(path)
+                print(f"wrote {n} trace events to {path} (load in Perfetto)", file=out)
     elif command == ":stats":
         totals = cluster.total_stats()
         print(f"  messages sent: {totals.messages_sent}", file=out)
@@ -196,6 +250,75 @@ def _meta_command(line: str, session: Session, cluster: SimCluster, out: IO[str]
     else:
         print(f"unknown command {command} (:help)", file=out)
     return True
+
+
+# --------------------------------------------------------------------------
+# trace / profile
+# --------------------------------------------------------------------------
+
+
+def _traced_closure_run(sites: int, n_objects: int, pointer: str):
+    """One traced closure query over the paper workload (shared by the
+    ``trace`` and ``profile`` subcommands)."""
+    from .workload import query_script
+
+    cluster = SimCluster(sites)
+    spec = WorkloadSpec().scaled(n_objects)
+    workload = generate_into_cluster(cluster, spec, build_graph(n=n_objects, seed=spec.seed))
+    tracer = QueryTracer()
+    cluster.attach_tracer(tracer)
+    query = next(iter(query_script(pointer, "Rand10p", count=1, spec=spec)))
+    outcome = cluster.run_query(query, [workload.root])
+    return cluster, tracer, outcome
+
+
+def run_trace(
+    sites: int = 3,
+    n_objects: int = 90,
+    pointer: str = "Tree",
+    jsonl: Optional[str] = None,
+    chrome: Optional[str] = None,
+    validate: bool = False,
+    out: Optional[IO[str]] = None,
+) -> int:
+    out = out if out is not None else sys.stdout
+    from .profiling import tree_report
+    from .tracing import validate_chrome_trace
+
+    _, tracer, outcome = _traced_closure_run(sites, n_objects, pointer)
+    print(
+        f"traced {outcome.qid}: {len(tracer.events)} events, "
+        f"{len(outcome.result.oids)} results in {outcome.response_time * 1000:.0f} ms "
+        "(simulated)",
+        file=out,
+    )
+    print(tree_report(tracer, outcome.qid).describe(), file=out)
+    if jsonl:
+        n = tracer.write_jsonl(jsonl, qid=outcome.qid)
+        print(f"wrote {n} events to {jsonl}", file=out)
+    if chrome:
+        n = tracer.write_chrome_trace(chrome, qid=outcome.qid)
+        print(f"wrote {n} trace events to {chrome} (load in Perfetto)", file=out)
+        if validate:
+            counts = validate_chrome_trace(tracer.to_chrome_trace(qid=outcome.qid))
+            print(f"chrome trace schema OK: {counts}", file=out)
+    if not jsonl and not chrome:
+        print(tracer.render_lanes(), file=out)
+    return 0
+
+
+def run_profile(
+    sites: int = 3,
+    n_objects: int = 90,
+    pointer: str = "Tree",
+    out: Optional[IO[str]] = None,
+) -> int:
+    out = out if out is not None else sys.stdout
+    from .profiling import render_profile
+
+    _, tracer, outcome = _traced_closure_run(sites, n_objects, pointer)
+    print(render_profile(tracer, outcome.qid), file=out)
+    return 0
 
 
 # --------------------------------------------------------------------------

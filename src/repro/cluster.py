@@ -194,6 +194,30 @@ class SimCluster:
         for node in self.nodes.values():
             node.tracer = None
 
+    def enable_metrics(self, registry=None):
+        """Publish transport/batching telemetry into a
+        :class:`~repro.metrics.MetricsRegistry` (created if not given).
+        Returns the registry; read it with :meth:`metrics_snapshot`."""
+        if registry is None:
+            from .metrics.registry import MetricsRegistry
+
+            registry = MetricsRegistry()
+        self.metrics = registry
+        for node in self.nodes.values():
+            node.metrics = registry
+        self.network.metrics = registry
+        return registry
+
+    def metrics_snapshot(self):
+        """Current registry contents with per-node stats freshly mirrored
+        in; None when :meth:`enable_metrics` was never called."""
+        registry = getattr(self, "metrics", None)
+        if registry is None:
+            return None
+        for site, node in self.nodes.items():
+            registry.publish_node_stats(site, node.stats)
+        return registry.snapshot()
+
     def total_objects(self) -> int:
         return sum(len(s) for s in self.stores.values())
 
@@ -371,7 +395,7 @@ class SimCluster:
             other_ctx = other.contexts.get(qid)
             if other_ctx is not None:
                 result.stats.merge(other_ctx.execution.result.stats)
-        self._completed[qid] = QueryOutcome(
+        outcome = QueryOutcome(
             qid=qid,
             result=result,
             submitted_at=self._submitted_at.get(qid, 0.0),
@@ -379,3 +403,8 @@ class SimCluster:
             client_link_s=self.costs.client_link_s,
             partition_counts=dict(ctx.partition_counts) if ctx.partition_counts else None,
         )
+        metrics = getattr(self, "metrics", None)
+        if metrics is not None:
+            metrics.histogram("cluster.response_time_s").observe(outcome.response_time)
+            metrics.counter("cluster.queries_completed_total").inc()
+        self._completed[qid] = outcome

@@ -56,6 +56,10 @@ class StepOutcome:
     local_spawned: int = 0            #: dereferenced objects added to local W
     remote: List[Tuple[str, WorkItem]] = field(default_factory=list)
     emitted: List[Tuple[str, Any]] = field(default_factory=list)
+    #: The locally spawned items themselves; populated only when the
+    #: execution's ``collect_spawns`` flag is set (tracing needs the item
+    #: identities to thread span causality, counters alone do not).
+    local_items: List[WorkItem] = field(default_factory=list)
 
 
 class QueryExecution:
@@ -98,6 +102,8 @@ class QueryExecution:
         self.mark_table = MarkTable(granularity=mark_granularity)
         self.result = QueryResult()
         self.max_objects = max_objects
+        #: Record spawned local items on each StepOutcome (tracing only).
+        self.collect_spawns = False
 
     # -- admission --------------------------------------------------------
 
@@ -160,6 +166,8 @@ class QueryExecution:
                 if self._is_local(new_item.oid):
                     self.workset.add(new_item)
                     outcome.local_spawned += 1
+                    if self.collect_spawns:
+                        outcome.local_items.append(new_item)
                     stats.local_derefs += 1
                 else:
                     outcome.remote.append((self._site_of(new_item.oid), new_item))

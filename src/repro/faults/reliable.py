@@ -144,7 +144,7 @@ class ReliableEndpoint:
         with self._lock:
             seq = self._next_seq.get(env.dst, 0) + 1
             self._next_seq[env.dst] = seq
-            wrapped = Envelope(env.src, env.dst, ReliableData(seq, env.payload))
+            wrapped = Envelope(env.src, env.dst, ReliableData(seq, env.payload), spans=env.spans)
             pending = _Pending(wrapped, env)
             self._pending[(env.dst, seq)] = pending
             self._arm(pending)
@@ -170,8 +170,10 @@ class ReliableEndpoint:
                 if self.node is not None:
                     self.node.stats.retransmits += 1
                     if self.node.tracer is not None:
+                        spans = pending.wrapped.spans
                         self.node.tracer.emit(
                             self.site, "retransmit", pending.wrapped.payload.qid,
+                            parent=spans[0] if spans else None,
                             dst=pending.wrapped.dst, attempt=pending.attempts,
                         )
         if give_up:
@@ -204,12 +206,14 @@ class ReliableEndpoint:
                     self.node.stats.duplicates_dropped += 1
                     if self.node.tracer is not None:
                         self.node.tracer.emit(
-                            self.site, "dup", payload.qid, src=env.src, seq=payload.seq
+                            self.site, "dup", payload.qid,
+                            parent=env.spans[0] if env.spans else None,
+                            src=env.src, seq=payload.seq,
                         )
             # Always (re-)ack: the previous ack may have been the lost frame.
             self.send_raw(Envelope(env.dst, env.src, ReliableAck(payload.seq)))
             if fresh:
-                self.deliver_up(Envelope(env.src, env.dst, payload.payload))
+                self.deliver_up(Envelope(env.src, env.dst, payload.payload, spans=env.spans))
             return
         raise TypeError(f"not a reliable-channel frame: {type(payload).__name__}")
 

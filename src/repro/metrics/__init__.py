@@ -2,6 +2,25 @@
 
 from .charts import render_chart
 from .collect import Recorder, Series
+from .registry import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
 from .report import render_comparison, render_recorder, render_table
 
-__all__ = ["Recorder", "Series", "render_chart", "render_comparison", "render_recorder", "render_table"]
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Recorder",
+    "Series",
+    "render_chart",
+    "render_comparison",
+    "render_recorder",
+    "render_table",
+]

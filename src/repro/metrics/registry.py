@@ -1,0 +1,241 @@
+"""A process-wide telemetry registry: counters, gauges, histograms.
+
+The transports and the batching layer publish operational numbers here —
+message counts, bytes moved, wire latencies, batch sizes, per-site busy
+time, queue depths — so benchmarks and the CLI read *one* uniform surface
+instead of poking at per-node :class:`~repro.server.stats.NodeStats`
+fields ad hoc.
+
+Design constraints, in order:
+
+* **Zero overhead when absent.**  Every producer holds ``metrics = None``
+  by default and guards with one ``is None`` check, the same contract as
+  the tracer; a run without a registry allocates nothing.
+* **Thread-safe.**  The threaded and socket transports publish from many
+  threads; instruments take a lock only on mutation, and snapshots are
+  consistent per instrument.
+* **Fixed buckets.**  Histograms bucket at registration time (no
+  reservoirs, no rebalancing), so ``observe`` is O(#buckets) worst case
+  and memory is bounded no matter the event volume.
+
+Naming convention: ``subsystem.noun_unit`` — e.g. ``net.wire_latency_s``,
+``batching.batch_size_items``, ``node.bytes_sent_total``.  Counters end in
+``_total``; unit suffixes (``_s``, ``_bytes``, ``_items``) name the value,
+not the count.  Labels (e.g. ``site=...``) distinguish instances of the
+same instrument.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from dataclasses import fields
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+#: Default histogram buckets: log-ish spacing that covers both the paper's
+#: cost model (ms-scale messages) and wall-clock transports (µs..s).
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+    0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+#: Instrument identity: name + sorted labels.
+_Key = Tuple[str, Tuple[Tuple[str, str], ...]]
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "labels", "_value", "_lock")
+
+    def __init__(self, name: str, labels: Tuple[Tuple[str, str], ...]) -> None:
+        self.name = name
+        self.labels = labels
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease (inc {amount})")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"type": "counter", "value": self._value}
+
+
+class Gauge:
+    """A value that goes up and down (queue depth, contexts live)."""
+
+    __slots__ = ("name", "labels", "_value", "_lock")
+
+    def __init__(self, name: str, labels: Tuple[Tuple[str, str], ...]) -> None:
+        self.name = name
+        self.labels = labels
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = value
+
+    def add(self, amount: float) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"type": "gauge", "value": self._value}
+
+
+class Histogram:
+    """Fixed-bucket distribution (latencies, batch sizes, depths).
+
+    ``bucket_counts[i]`` counts observations ``<= bounds[i]``; the last
+    slot is the overflow (``> bounds[-1]``).  Mean is recoverable from
+    ``sum``/``count``; quantiles are approximate by design.
+    """
+
+    __slots__ = ("name", "labels", "bounds", "_counts", "_sum", "_count", "_lock")
+
+    def __init__(
+        self,
+        name: str,
+        labels: Tuple[Tuple[str, str], ...],
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        bounds = tuple(sorted(buckets))
+        if not bounds:
+            raise ValueError(f"histogram {name} needs at least one bucket bound")
+        self.name = name
+        self.labels = labels
+        self.bounds = bounds
+        self._counts = [0] * (len(bounds) + 1)
+        self._sum = 0.0
+        self._count = 0
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        # First bound >= value, i.e. the "le" bucket; past-the-end is the
+        # overflow slot.  bisect_left because bounds are inclusive.
+        index = bisect_left(self.bounds, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._count if self._count else 0.0
+
+    def snapshot(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "type": "histogram",
+                "count": self._count,
+                "sum": self._sum,
+                "buckets": [
+                    {"le": bound, "count": n}
+                    for bound, n in zip(self.bounds, self._counts)
+                ] + [{"le": "inf", "count": self._counts[-1]}],
+            }
+
+
+class MetricsRegistry:
+    """Get-or-create instrument store shared by a whole cluster run."""
+
+    def __init__(self) -> None:
+        self._instruments: Dict[_Key, Any] = {}
+        self._lock = threading.Lock()
+
+    # -- instrument accessors -------------------------------------------
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(
+        self, name: str, buckets: Optional[Sequence[float]] = None, **labels: str
+    ) -> Histogram:
+        key = (name, tuple(sorted((k, str(v)) for k, v in labels.items())))
+        with self._lock:
+            instrument = self._instruments.get(key)
+            if instrument is None:
+                instrument = Histogram(
+                    name, key[1], buckets if buckets is not None else DEFAULT_BUCKETS
+                )
+                self._instruments[key] = instrument
+            elif not isinstance(instrument, Histogram):
+                raise TypeError(
+                    f"metric {name} already registered as {type(instrument).__name__}"
+                )
+        return instrument
+
+    def _get(self, cls, name: str, labels: Dict[str, str]):
+        key = (name, tuple(sorted((k, str(v)) for k, v in labels.items())))
+        with self._lock:
+            instrument = self._instruments.get(key)
+            if instrument is None:
+                instrument = cls(name, key[1])
+                self._instruments[key] = instrument
+            elif not isinstance(instrument, cls):
+                raise TypeError(
+                    f"metric {name} already registered as {type(instrument).__name__}"
+                )
+        return instrument
+
+    # -- bulk publication -----------------------------------------------
+
+    def publish_node_stats(self, site: str, stats: Any) -> None:
+        """Mirror one node's :class:`NodeStats` into labeled gauges.
+
+        Field-driven (``dataclasses.fields``), so new counters appear here
+        without edits — same no-drift rationale as ``NodeStats.merge``.
+        Dict-valued fields (per-message-type counts) flatten into a
+        ``kind`` label.
+        """
+        for f in fields(stats):
+            value = getattr(stats, f.name)
+            if isinstance(value, dict):
+                for kind, n in value.items():
+                    self.gauge(f"node.{f.name}", site=site, kind=kind).set(n)
+            else:
+                self.gauge(f"node.{f.name}", site=site).set(value)
+
+    # -- reading ---------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A JSON-able view of every instrument, sorted by name+labels."""
+        with self._lock:
+            instruments = sorted(self._instruments.items(), key=lambda kv: kv[0])
+        out: List[Dict[str, Any]] = []
+        for (name, labels), instrument in instruments:
+            entry = {"name": name, "labels": dict(labels)}
+            entry.update(instrument.snapshot())
+            out.append(entry)
+        return {"metrics": out}
+
+    def value(self, name: str, **labels: str) -> Optional[float]:
+        """Convenience: a counter/gauge's current value, None if absent."""
+        key = (name, tuple(sorted((k, str(v)) for k, v in labels.items())))
+        instrument = self._instruments.get(key)
+        if instrument is None or isinstance(instrument, Histogram):
+            return None
+        return instrument.value

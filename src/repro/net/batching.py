@@ -98,12 +98,15 @@ class BatchConfig:
 class _WorkQueue:
     items: List[WorkItem] = field(default_factory=list)
     terms: List[TermAttachment] = field(default_factory=list)
+    #: Per-item cause span ids (tracing; None entries when untraced).
+    spans: List[Optional[int]] = field(default_factory=list)
     first_enqueued: float = 0.0
 
 
 @dataclass
 class _ResultQueue:
     batches: List[ResultBatch] = field(default_factory=list)
+    spans: List[Optional[int]] = field(default_factory=list)
     first_enqueued: float = 0.0
 
 
@@ -169,24 +172,36 @@ class SendBatcher:
     # -- work queues -----------------------------------------------------
 
     def enqueue_work(
-        self, qid: QueryId, dst: str, item: WorkItem, term: TermAttachment, now: float
+        self,
+        qid: QueryId,
+        dst: str,
+        item: WorkItem,
+        term: TermAttachment,
+        now: float,
+        span: Optional[int] = None,
     ) -> int:
-        """Queue one work item; returns the queue's new length."""
+        """Queue one work item; returns the queue's new length.
+
+        ``span`` is the tracing span id of the step that caused the send
+        (None when untraced); it rides the queue so the eventual batched
+        frame can carry per-item causality.
+        """
         queue = self._work.get((qid, dst))
         if queue is None:
             queue = self._work[(qid, dst)] = _WorkQueue(first_enqueued=now)
         queue.items.append(item)
         queue.terms.append(term)
+        queue.spans.append(span)
         return len(queue.items)
 
     def take_work(
         self, qid: QueryId, dst: str
-    ) -> Tuple[Tuple[WorkItem, ...], Tuple[TermAttachment, ...]]:
+    ) -> Tuple[Tuple[WorkItem, ...], Tuple[TermAttachment, ...], Tuple[Optional[int], ...]]:
         """Remove and return everything queued for ``(qid, dst)``."""
         queue = self._work.pop((qid, dst), None)
         if queue is None:
-            return (), ()
-        return tuple(queue.items), tuple(queue.terms)
+            return (), (), ()
+        return tuple(queue.items), tuple(queue.terms), tuple(queue.spans)
 
     def work_destinations(self, qid: QueryId) -> List[str]:
         """Destinations with pending work for one query (drain flush)."""
@@ -205,16 +220,23 @@ class SendBatcher:
 
     # -- result queues ---------------------------------------------------
 
-    def enqueue_result(self, dst: str, batch: ResultBatch, now: float) -> int:
+    def enqueue_result(
+        self, dst: str, batch: ResultBatch, now: float, span: Optional[int] = None
+    ) -> int:
         queue = self._results.get(dst)
         if queue is None:
             queue = self._results[dst] = _ResultQueue(first_enqueued=now)
         queue.batches.append(batch)
+        queue.spans.append(span)
         return len(queue.batches)
 
-    def take_results(self, dst: str) -> Tuple[ResultBatch, ...]:
+    def take_results(
+        self, dst: str
+    ) -> Tuple[Tuple[ResultBatch, ...], Tuple[Optional[int], ...]]:
         queue = self._results.pop(dst, None)
-        return tuple(queue.batches) if queue is not None else ()
+        if queue is None:
+            return (), ()
+        return tuple(queue.batches), tuple(queue.spans)
 
     def pending_results(self) -> List[str]:
         return list(self._results.keys())
@@ -249,10 +271,13 @@ class SendBatcher:
             del self._hint_cursor[key]
         for dst in list(self._results):
             queue = self._results[dst]
-            kept = [b for b in queue.batches if b.qid != qid]
+            kept = [
+                (b, s) for b, s in zip(queue.batches, queue.spans) if b.qid != qid
+            ]
             dropped += len(queue.batches) - len(kept)
             if kept:
-                queue.batches = kept
+                queue.batches = [b for b, _ in kept]
+                queue.spans = [s for _, s in kept]
             else:
                 del self._results[dst]
         return dropped

@@ -38,6 +38,7 @@ from .messages import (
     BatchedResults,
     ControlMessage,
     DerefRequest,
+    Envelope,
     FetchReply,
     FetchRequest,
     PurgeContext,
@@ -604,3 +605,41 @@ def decode_message(frame: bytes) -> Any:
     if not r.done():
         raise CodecError(f"{len(r.data) - r.pos} trailing bytes after message")
     return message
+
+
+# --------------------------------------------------------------------------
+# envelopes (socket framing)
+# --------------------------------------------------------------------------
+
+
+def encode_envelope(env: Envelope) -> bytes:
+    """Serialise an envelope: sender, trace-span context, then the message.
+
+    The socket transport frames these (length-prefixed) on the wire; the
+    span block is how tracing causality crosses a real TCP connection.  A
+    span count of zero means "untraced" (``spans=None``), matching the
+    in-process transports bit for bit.  Span entries of ``0`` are per-item
+    placeholders for untraced causes inside a traced batch.
+    """
+    w = _Writer()
+    w.text(env.src)
+    if env.spans is None:
+        w.varint(0)
+    else:
+        w.varint(len(env.spans))
+        for span in env.spans:
+            w.varint(span)
+    w.chunks.append(encode_message(env.payload))
+    return w.getvalue()
+
+
+def decode_envelope(frame: bytes, dst: str) -> Envelope:
+    """Inverse of :func:`encode_envelope`; raises :class:`CodecError`."""
+    r = _Reader(frame)
+    src = r.text()
+    n = r.varint()
+    if n < 0 or n > 100_000:
+        raise CodecError(f"implausible span count {n}")
+    spans = tuple(r.varint() for _ in range(n)) if n else None
+    payload = decode_message(r.data[r.pos :])
+    return Envelope(src, dst, payload, spans=spans)

@@ -223,6 +223,44 @@ class WallClockQueries:
             merged.merge(node.stats)
         return merged
 
+    # -- observability ---------------------------------------------------
+
+    def attach_tracer(self, tracer) -> None:
+        """Record a :class:`~repro.tracing.QueryTracer` timeline of every
+        node's work, timestamped with the wall clock.  Same contract as
+        the simulator's; span ids stay valid across site threads (the
+        tracer's allocation is thread-safe)."""
+        tracer.now_fn = time.monotonic
+        for node in self.nodes.values():
+            node.tracer = tracer
+
+    def detach_tracer(self) -> None:
+        for node in self.nodes.values():
+            node.tracer = None
+
+    def enable_metrics(self, registry=None):
+        """Publish node/batching telemetry into a
+        :class:`~repro.metrics.MetricsRegistry` (created if not given).
+        Returns the registry; read it with :meth:`metrics_snapshot`."""
+        if registry is None:
+            from ..metrics.registry import MetricsRegistry
+
+            registry = MetricsRegistry()
+        self.metrics = registry
+        for node in self.nodes.values():
+            node.metrics = registry
+        return registry
+
+    def metrics_snapshot(self):
+        """Current registry contents with per-node stats freshly mirrored
+        in; None when :meth:`enable_metrics` was never called."""
+        registry = getattr(self, "metrics", None)
+        if registry is None:
+            return None
+        for site, node in self.nodes.items():
+            registry.publish_node_stats(site, node.stats)
+        return registry.snapshot()
+
     # -- transport-side plumbing ----------------------------------------
 
     def _next_qid(self, originator: str) -> QueryId:

@@ -258,14 +258,29 @@ class Undeliverable:
     def wire_size(self) -> int:
         return 16
 
+    @property
+    def qid(self):
+        """The bounced query's id, so tracing stays attributable."""
+        return getattr(self.original.payload, "qid", "")
+
 
 @dataclass(frozen=True)
 class Envelope:
-    """A routed message: source site, destination site, payload."""
+    """A routed message: source site, destination site, payload.
+
+    ``spans`` is the tracing span context riding the message (see
+    :mod:`repro.tracing`): ``spans[0]`` is the span id of the send event
+    that shipped this envelope, and for batched frames ``spans[1:]``
+    carry the per-item cause spans, so the receiver can fan a frame into
+    per-item children of the right senders' steps.  ``None`` whenever
+    tracing is off; the field never contributes to ``size_bytes``, so a
+    traced run moves exactly the same modelled bytes as an untraced one.
+    """
 
     src: str
     dst: str
     payload: Any
+    spans: Optional[Tuple[int, ...]] = None
 
     @property
     def size_bytes(self) -> int:

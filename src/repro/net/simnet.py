@@ -48,6 +48,8 @@ class SimNetwork:
         self.fault_plan = fault_plan
         self._endpoints: Optional[Dict[str, ReliableEndpoint]] = None
         self._reliable_config: Optional[ReliableConfig] = None
+        #: Optional MetricsRegistry; None = zero overhead (tracer contract).
+        self.metrics = None
 
     def enable_reliable(self, config: Optional[ReliableConfig] = None) -> None:
         """Interpose the reliable-delivery channel on every link."""
@@ -129,6 +131,8 @@ class SimNetwork:
             costs = self.hosts[env.src].node.costs
             wire = self.latency(env.src, env.dst, costs.msg_latency_s)
             wire += env.size_bytes / costs.bandwidth_bytes_per_s
+            if self.metrics is not None:
+                self.metrics.histogram("net.wire_latency_s").observe(wire)
             self.sim.schedule_at(depart + wire, lambda: self._arrive(env))
             return
         self.sim.schedule_at(depart, lambda: self._transmit(env))
@@ -148,6 +152,8 @@ class SimNetwork:
         costs = self.hosts[env.src].node.costs
         wire = self.latency(env.src, env.dst, costs.msg_latency_s)
         wire += env.size_bytes / costs.bandwidth_bytes_per_s
+        if self.metrics is not None:
+            self.metrics.histogram("net.wire_latency_s").observe(wire)
         if self.fault_plan is not None:
             decision = self.fault_plan.decide(env.src, env.dst)
             if decision.dropped:
@@ -203,7 +209,7 @@ class SimNetwork:
         host = self.hosts.get(env.src)
         if host is None or not self.is_up(env.src):
             return
-        host.node.on_message(Envelope(env.dst, env.src, Undeliverable(env)))
+        host.node.on_message(Envelope(env.dst, env.src, Undeliverable(env), spans=env.spans))
         host.kick()
 
     def _bounce(self, env: Envelope) -> None:
@@ -219,7 +225,7 @@ class SimNetwork:
         if not self.is_up(env.src):
             return
         latency = self.latency(env.dst, env.src, self.hosts[env.src].node.costs.msg_latency_s)
-        bounce = Envelope(env.dst, env.src, Undeliverable(env))
+        bounce = Envelope(env.dst, env.src, Undeliverable(env), spans=env.spans)
         self.sim.schedule_at(self.sim.now + latency, lambda: self._deliver_now(bounce))
 
     def _deliver_now(self, env: Envelope) -> None:

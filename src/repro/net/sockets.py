@@ -38,7 +38,7 @@ from ..faults.plan import FaultPlan
 from ..faults.reliable import ReliableAck, ReliableConfig, ReliableData, ReliableEndpoint
 from ..faults.timers import TimerThread
 from ..net.batching import BatchConfig
-from ..net.codec import decode_message, encode_message
+from ..net.codec import decode_envelope, encode_envelope
 from ..net.messages import (
     BatchedQuery,
     DerefRequest,
@@ -157,11 +157,10 @@ class _SocketSite:
                 if frame is None:
                     return
                 self.bytes_received += len(frame)
-                # Frames are prefixed with the sender site name (the codec
-                # itself carries no src; Dijkstra-Scholten parent tracking
-                # and result routing need it).
-                src, payload = _decode_with_sender(frame)
-                self.inbox.put(Envelope(src, self.node.site, payload))
+                # The envelope codec carries the sender site (Dijkstra-
+                # Scholten parent tracking and result routing need it) and
+                # the optional trace-span context.
+                self.inbox.put(decode_envelope(frame, self.node.site))
         except (OSError, HyperFileError):
             return
         finally:
@@ -246,11 +245,8 @@ class _SocketSite:
                 self._send_frame(env)
 
     def _send_frame(self, env: Envelope) -> None:
-        frame = encode_message(env.payload)
-        # Prefix with the sender site (needed by e.g. DS parent tracking);
-        # encode it as a tiny frame header: len + utf8 name.
-        name = env.src.encode("utf-8")
-        payload = bytes((len(name),)) + name + frame
+        # The envelope codec carries sender + span context + message.
+        payload = encode_envelope(env)
         try:
             sock = self._connection_to(env.dst)
             send_frame(sock, payload)
@@ -274,13 +270,6 @@ class _SocketSite:
             sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
             self._outbound[site] = sock
             return sock
-
-
-def _decode_with_sender(frame: bytes):
-    name_len = frame[0]
-    src = frame[1 : 1 + name_len].decode("utf-8")
-    payload = decode_message(frame[1 + name_len :])
-    return src, payload
 
 
 class SocketCluster(WallClockQueries):
@@ -459,7 +448,7 @@ class SocketCluster(WallClockQueries):
         site = self._sites.get(env.src)
         if site is None:
             return
-        site.inbox.put(Envelope(env.dst, env.src, Undeliverable(env)))
+        site.inbox.put(Envelope(env.dst, env.src, Undeliverable(env), spans=env.spans))
 
     def _timer_thread(self) -> TimerThread:
         with self._timers_lock:

@@ -355,7 +355,7 @@ class ThreadedCluster(WallClockQueries):
         sender = self._threads.get(env.src)
         if sender is None or self.is_down(env.src):
             return
-        sender.inbox.put(Envelope(env.dst, env.src, Undeliverable(env)))
+        sender.inbox.put(Envelope(env.dst, env.src, Undeliverable(env), spans=env.spans))
 
     def _reliable_ingest(self, env: Envelope) -> None:
         """A reliable-channel frame arrived at ``env.dst``'s inbox."""
@@ -372,4 +372,4 @@ class ThreadedCluster(WallClockQueries):
         sender = self._threads.get(env.src)
         if sender is None:
             return
-        sender.inbox.put(Envelope(env.dst, env.src, Undeliverable(env)))
+        sender.inbox.put(Envelope(env.dst, env.src, Undeliverable(env), spans=env.spans))

@@ -54,6 +54,12 @@ class QueryContext:
     #: Number of local drains (result messages sent / credit returns).
     drains: int = 0
 
+    #: Tracing: span id of the event that created this context (the
+    #: ``submit`` at the originator, the first ``recv`` elsewhere).
+    #: Fallback parent for events with no tighter cause, so a traced
+    #: query's span tree stays connected.  None when untraced.
+    root_span: Optional[int] = None
+
     @property
     def busy(self) -> bool:
         """Does this site still hold work for the query?"""

@@ -36,7 +36,7 @@ from ..engine.local import QueryExecution
 from ..engine.results import QueryResult
 from ..errors import HyperFileError, ObjectNotFound, TerminationProtocolError
 from ..naming.directory import ForwardingTable
-from ..net.batching import BatchConfig, SendBatcher
+from ..net.batching import BatchConfig, ItemKey, SendBatcher, item_key
 from ..net.messages import (
     BatchedQuery,
     BatchedResults,
@@ -60,6 +60,31 @@ from .stats import NodeStats
 
 #: Callback fired at the originator when a query completes.
 CompletionCallback = Callable[[QueryId, QueryResult], None]
+
+
+def _credit_detail(payload: Any) -> Optional[str]:
+    """Total termination credit riding a message, as an exact string.
+
+    Fuel for the credit-flow audit (:mod:`repro.profiling`): every traced
+    send/recv records the credit it moved, so a ``TerminationLost`` deficit
+    can be explained span by span.  Returns ``None`` for credit-free
+    messages so their trace details stay clean.
+    """
+    terms: List[Any] = []
+    if isinstance(payload, BatchedQuery):
+        terms.extend(payload.terms)
+    elif isinstance(payload, BatchedResults):
+        terms.extend(batch.term for batch in payload.batches)
+    else:
+        term = getattr(payload, "term", None)
+        if term is not None:
+            terms.append(term)
+    total = None
+    for term in terms:
+        credit = term.get("credit") if hasattr(term, "get") else None
+        if credit is not None:
+            total = credit if total is None else total + credit
+    return None if total is None else str(total)
 
 
 @dataclass
@@ -140,6 +165,15 @@ class ServerNode:
         self._rr: Deque[QueryId] = deque()  # round-robin order over busy contexts
         #: Optional QueryTracer (see repro.tracing); None = zero overhead.
         self.tracer = None
+        #: Optional MetricsRegistry (see repro.metrics.registry); None =
+        #: zero overhead, same contract as the tracer.
+        self.metrics = None
+        #: Tracing: span id of the event anchoring the current step (the
+        #: recv/process/submit that work in this step descends from).
+        self._step_span: Optional[int] = None
+        #: Tracing: admission-cause span per pending work item, so the
+        #: eventual process/skip event parents on the step that admitted it.
+        self._item_spans: Dict[Tuple[QueryId, ItemKey], int] = {}
         #: Completed client fetches: request_id -> HFObject | None.
         self.fetch_results: Dict[int, Any] = {}
         self._next_fetch_id = 0
@@ -179,14 +213,17 @@ class ServerNode:
         if qid.originator != self.site:
             raise HyperFileError(f"query {qid} submitted at non-originating site {self.site}")
         report = StepReport()
+        if self.tracer is not None:
+            self._step_span = self.tracer.emit(self.site, "submit", qid, filters=program.size)
         ctx = self._ensure_context(qid, program)
         self.termination.on_start(ctx.term_state)
-        if self.tracer is not None:
-            self.tracer.emit(self.site, "submit", qid, filters=program.size)
         for oid in initial:
             target = self.locate(oid)
             if target == self.site:
-                ctx.execution.admit(WorkItem(oid=oid, start=1))
+                item = WorkItem(oid=oid, start=1)
+                ctx.execution.admit(item)
+                if self._step_span is not None:
+                    self._item_spans[(qid, item_key(item))] = self._step_span
             else:
                 self._send_work(ctx, target, WorkItem(oid=oid, start=1), report)
         self._enqueue_rr(qid)
@@ -208,12 +245,19 @@ class ServerNode:
         if qid.originator != self.site:
             raise HyperFileError(f"query {qid} submitted at non-originating site {self.site}")
         report = StepReport()
+        if self.tracer is not None:
+            self._step_span = self.tracer.emit(
+                self.site, "submit", qid, filters=program.size, followup=str(source_qid)
+            )
         ctx = self._ensure_context(qid, program)
         self.termination.on_start(ctx.term_state)
         for site in sites:
             if site == self.site:
                 for oid in self.saved_partition(source_qid):
-                    ctx.execution.admit(WorkItem(oid=oid, start=1))
+                    item = WorkItem(oid=oid, start=1)
+                    ctx.execution.admit(item)
+                    if self._step_span is not None:
+                        self._item_spans[(qid, item_key(item))] = self._step_span
             else:
                 attach = self.termination.on_send_work(ctx.term_state)
                 self._emit(report, site, SeedFromSaved(qid, program, source_qid, dict(attach)))
@@ -266,6 +310,8 @@ class ServerNode:
         abandoned = ctx.execution.abandon()
         self._merge_local_results(ctx)
         self.termination.on_deadline(ctx.term_state)
+        if self._item_spans:
+            self._drop_item_spans(qid)
         if self._batcher is not None:
             # Pending queued sends carried credit, but on_deadline just
             # wrote the whole ledger off — dropping them is consistent.
@@ -275,8 +321,8 @@ class ServerNode:
         ctx.final.partial = True
         self.stats.deadline_expiries += 1
         if self.tracer is not None:
-            self.tracer.emit(
-                self.site, "timeout", qid,
+            self._step_span = self.tracer.emit(
+                self.site, "timeout", qid, parent=ctx.root_span,
                 abandoned=abandoned, results=len(ctx.final.oids),
             )
         if self.gc_contexts:
@@ -315,6 +361,7 @@ class ServerNode:
             # Idle force-flush: nothing else to do, so everything queued
             # goes out now (keeps ``has_work`` truthful — queued items
             # carry termination credit that must reach the originator).
+            self._step_span = None  # causality comes from the queued items
             report = StepReport()
             self._flush_pending(self._batcher.pending_work(), report, "idle")
             self._flush_results(self._batcher.pending_results(), report, "idle")
@@ -331,6 +378,7 @@ class ServerNode:
         report = StepReport()
         if self._batcher is None:
             return report
+        self._step_span = None  # timer pops have no ambient step; items carry causes
         if now is None:
             now = self.now_fn()
         self._flush_pending(self._batcher.due_work(now), report, "timer")
@@ -356,10 +404,17 @@ class ServerNode:
     def _handle_message(self, env: Envelope) -> StepReport:
         payload = env.payload
         self.stats.count_received(type(payload).__name__, env.size_bytes)
+        if self.metrics is not None:
+            self.metrics.counter("node.messages_received_total", site=self.site).inc()
+            self.metrics.gauge("node.inbox_depth", site=self.site).set(len(self.inbox))
         if self.tracer is not None:
-            self.tracer.emit(
+            detail: Dict[str, Any] = {"msg": type(payload).__name__, "src": env.src}
+            credit = _credit_detail(payload)
+            if credit is not None:
+                detail["credit"] = credit
+            self._step_span = self.tracer.emit(
                 self.site, "recv", getattr(payload, "qid", ""),
-                msg=type(payload).__name__, src=env.src,
+                parent=env.spans[0] if env.spans else None, **detail,
             )
         if isinstance(payload, DerefRequest):
             return self._handle_deref(env, payload)
@@ -412,6 +467,8 @@ class ServerNode:
                 # coordination; ablation A1 quantifies them).
                 self.stats.duplicate_requests += 1
             ctx.execution.admit(msg.item)
+            if self._step_span is not None:
+                self._item_spans[(msg.qid, item_key(msg.item))] = self._step_span
             self._enqueue_rr(msg.qid)
             self._absorb_controls(
                 report,
@@ -434,16 +491,26 @@ class ServerNode:
             # The sender's recent marks: anything listed is already
             # processed there, so never send it back.
             self._batcher.record_remote_marks(msg.qid, env.src, msg.marked_hints)
+        batch_span: Optional[int] = None
         if self.tracer is not None:
-            self.tracer.emit(
+            batch_span = self.tracer.emit(
                 self.site, "batch_recv", msg.qid,
+                parent=env.spans[0] if env.spans else None,
                 src=env.src, items=len(msg.items), hints=len(msg.marked_hints),
             )
+            self._step_span = batch_span
         if ctx.done:
             self.stats.late_messages += 1
             return report
         self.stats.batched_items += len(msg.items)
-        for item, term in zip(msg.items, msg.terms):
+        for index, (item, term) in enumerate(zip(msg.items, msg.terms)):
+            # Per-item cause: the sender's step that enqueued this item
+            # (rides as spans[1:]); the batch_recv itself is the fallback.
+            cause = batch_span
+            if env.spans is not None and len(env.spans) > 1 + index:
+                sender_cause = env.spans[1 + index]
+                if sender_cause:
+                    cause = sender_cause
             target = self.locate(item.oid)
             if target != self.site and self.is_site_up(target):
                 self._absorb_controls(
@@ -451,12 +518,14 @@ class ServerNode:
                     self.termination.on_recv_work(ctx.term_state, dict(term), env.src, ctx.busy),
                     msg.qid,
                 )
-                self._send_work(ctx, target, item, report)
+                self._send_work(ctx, target, item, report, cause=cause)
                 self.stats.forwarded_requests += 1
             else:
                 if not ctx.execution.mark_table.should_process(item.oid, item.start, item.iters):
                     self.stats.duplicate_requests += 1
                 ctx.execution.admit(item)
+                if cause is not None:
+                    self._item_spans[(msg.qid, item_key(item))] = cause
                 self._enqueue_rr(msg.qid)
                 self._absorb_controls(
                     report,
@@ -531,7 +600,10 @@ class ServerNode:
         report = StepReport(elapsed=self.costs.msg_recv_s)
         ctx = self._ensure_context(msg.qid, msg.program)
         for oid in self.saved_partition(msg.source_qid):
-            ctx.execution.admit(WorkItem(oid=oid, start=1))
+            item = WorkItem(oid=oid, start=1)
+            ctx.execution.admit(item)
+            if self._step_span is not None:
+                self._item_spans[(msg.qid, item_key(item))] = self._step_span
         self._enqueue_rr(msg.qid)
         self._absorb_controls(
             report,
@@ -569,6 +641,8 @@ class ServerNode:
                 self._rr.remove(msg.qid)
             if self._batcher is not None:
                 self._batcher.drop_query(msg.qid)
+            if self._item_spans:
+                self._drop_item_spans(msg.qid)
         return report
 
     def _handle_undeliverable(self, msg: Undeliverable) -> StepReport:
@@ -615,14 +689,27 @@ class ServerNode:
         report = StepReport()
         outcome = ctx.execution.step()
         if self.tracer is not None:
+            # Parent on the step that admitted this exact item; fall back
+            # to the context's root span (duplicate admissions overwrite
+            # the per-item entry) so the tree stays connected regardless.
+            cause = self._item_spans.pop((ctx.qid, item_key(outcome.item)), None)
+            if cause is None:
+                cause = ctx.root_span
             if outcome.admitted and not outcome.missing:
-                self.tracer.emit(
-                    self.site, "process", ctx.qid,
+                self._step_span = self.tracer.emit(
+                    self.site, "process", ctx.qid, parent=cause,
                     oid=str(outcome.item.oid), start=outcome.item.start,
                     passed=outcome.into_result, remote=len(outcome.remote),
                 )
-            elif not outcome.admitted:
-                self.tracer.emit(self.site, "skip", ctx.qid, oid=str(outcome.item.oid))
+                if self._step_span is not None:
+                    for spawned in outcome.local_items:
+                        self._item_spans[(ctx.qid, item_key(spawned))] = self._step_span
+            else:
+                if not outcome.admitted:
+                    self.tracer.emit(
+                        self.site, "skip", ctx.qid, parent=cause, oid=str(outcome.item.oid)
+                    )
+                self._step_span = cause
         if not outcome.admitted:
             report.elapsed += self.costs.mark_check_s
             self.stats.marked_skips += 1
@@ -642,17 +729,30 @@ class ServerNode:
     # drains, sends, termination
     # ------------------------------------------------------------------
 
-    def _send_work(self, ctx: QueryContext, dst: str, item: WorkItem, report: StepReport) -> None:
+    def _send_work(
+        self,
+        ctx: QueryContext,
+        dst: str,
+        item: WorkItem,
+        report: StepReport,
+        cause: Optional[int] = None,
+    ) -> None:
         if not self.is_site_up(dst):
             # Autonomy requirement: a down site must not hang the query.
             # The dereference is abandoned (partial results) and, because
             # no detector state was split off, termination stays exact.
             self.stats.failed_sends += 1
             return
+        if cause is None:
+            cause = self._step_span
         batcher = self._batcher
         if batcher is None:
             attach = self.termination.on_send_work(ctx.term_state)
-            self._emit(report, dst, DerefRequest(ctx.qid, ctx.execution.program, item, dict(attach)))
+            self._emit(
+                report, dst,
+                DerefRequest(ctx.qid, ctx.execution.program, item, dict(attach)),
+                cause=cause,
+            )
             return
         # Dedup before splitting credit: a suppressed send is then
         # indistinguishable (to the detector) from a mark-table skip.
@@ -664,7 +764,7 @@ class ServerNode:
             return
         attach = self.termination.on_send_work(ctx.term_state)
         batcher.record_sent(ctx.qid, dst, item)
-        pending = batcher.enqueue_work(ctx.qid, dst, item, dict(attach), self.now_fn())
+        pending = batcher.enqueue_work(ctx.qid, dst, item, dict(attach), self.now_fn(), span=cause)
         if pending >= self.batching.max_batch:
             self._flush_work(ctx.qid, dst, report, "size")
 
@@ -678,7 +778,7 @@ class ServerNode:
         """
         batcher = self._batcher
         assert batcher is not None
-        items, terms = batcher.take_work(qid, dst)
+        items, terms, spans = batcher.take_work(qid, dst)
         if not items:
             return 0
         ctx = self.contexts.get(qid)
@@ -703,16 +803,31 @@ class ServerNode:
             # Mark hints are piggyback-only — they never upgrade a lone
             # item into the (more expensive) batched frame, so workloads
             # with nothing to coalesce keep the unbatched cost exactly.
-            self._emit(report, dst, DerefRequest(qid, ctx.execution.program, items[0], dict(terms[0])))
+            self._emit(
+                report, dst,
+                DerefRequest(qid, ctx.execution.program, items[0], dict(terms[0])),
+                cause=spans[0],
+            )
             return 0
         hints = batcher.take_hints(qid, dst, ctx.execution.mark_table.journal)
         self.stats.batched_items += len(items)
+        if self.metrics is not None:
+            self.metrics.histogram("batching.batch_size_items").observe(len(items))
+        flush_span: Optional[int] = None
         if self.tracer is not None:
-            self.tracer.emit(
-                self.site, "batch_flush", qid,
+            # The flush descends from the first traced item in the queue;
+            # the frame's send then descends from the flush, and the
+            # per-item causes ride the envelope for the receiver to fan.
+            first_cause = next((s for s in spans if s is not None), None)
+            flush_span = self.tracer.emit(
+                self.site, "batch_flush", qid, parent=first_cause,
                 dst=dst, items=len(items), hints=len(hints), reason=reason,
             )
-        self._emit(report, dst, BatchedQuery(qid, ctx.execution.program, items, terms, hints))
+        self._emit(
+            report, dst,
+            BatchedQuery(qid, ctx.execution.program, items, terms, hints),
+            cause=flush_span, item_causes=spans,
+        )
         return 0
 
     def _flush_pending(self, keys: List[Tuple[QueryId, str]], report: StepReport, reason: str) -> None:
@@ -736,23 +851,34 @@ class ServerNode:
         batcher = self._batcher
         assert batcher is not None
         for dst in dsts:
-            batches = batcher.take_results(dst)
+            batches, spans = batcher.take_results(dst)
             if not batches:
                 continue
             counter = "batch_flushes_" + reason
             setattr(self.stats, counter, getattr(self.stats, counter) + 1)
             if len(batches) == 1:
-                self._emit(report, dst, batches[0])
+                self._emit(report, dst, batches[0], cause=spans[0])
                 continue
+            if self.metrics is not None:
+                self.metrics.histogram("batching.batch_size_items").observe(len(batches))
+            flush_span: Optional[int] = None
             if self.tracer is not None:
-                self.tracer.emit(
-                    self.site, "batch_flush", batches[0].qid,
+                first_cause = next((s for s in spans if s is not None), None)
+                flush_span = self.tracer.emit(
+                    self.site, "batch_flush", batches[0].qid, parent=first_cause,
                     dst=dst, items=len(batches), reason=reason, results=True,
                 )
-            self._emit(report, dst, BatchedResults(batches))
+            self._emit(
+                report, dst, BatchedResults(batches),
+                cause=flush_span, item_causes=spans,
+            )
 
-    def _emit_result(self, report: StepReport, dst: str, batch: ResultBatch) -> None:
+    def _emit_result(
+        self, report: StepReport, dst: str, batch: ResultBatch, cause: Optional[int] = None
+    ) -> None:
         """Ship (or, with a linger window, queue) one outbound ResultBatch."""
+        if cause is None:
+            cause = self._step_span
         batcher = self._batcher
         if (
             batcher is None
@@ -760,9 +886,9 @@ class ServerNode:
             or self.batching.linger_s is None
             or not self.is_site_up(dst)
         ):
-            self._emit(report, dst, batch)
+            self._emit(report, dst, batch, cause=cause)
             return
-        pending = batcher.enqueue_result(dst, batch, self.now_fn())
+        pending = batcher.enqueue_result(dst, batch, self.now_fn(), span=cause)
         if pending >= self.batching.max_batch:
             self._flush_results([dst], report, "size")
 
@@ -774,6 +900,7 @@ class ServerNode:
             # working set drains here, everything pending for it must go.
             for dst in self._batcher.work_destinations(ctx.qid):
                 self._flush_work(ctx.qid, dst, report, "drain")
+        drain_span: Optional[int] = None
         if ctx.is_originator:
             self._merge_local_results(ctx)
             self.termination.on_originator_drain(ctx.term_state)
@@ -781,7 +908,10 @@ class ServerNode:
             self.stats.drains += 1
             if self.tracer is not None:
                 assert ctx.final is not None
-                self.tracer.emit(self.site, "drain", ctx.qid, results=len(ctx.final.oids))
+                parent = self._step_span if self._step_span is not None else ctx.root_span
+                self.tracer.emit(
+                    self.site, "drain", ctx.qid, parent=parent, results=len(ctx.final.oids)
+                )
             self._check_termination(ctx, report)
             return
         oids, emissions = ctx.take_unflushed()
@@ -789,7 +919,10 @@ class ServerNode:
         ctx.drains += 1
         self.stats.drains += 1
         if self.tracer is not None:
-            self.tracer.emit(self.site, "drain", ctx.qid, results=len(oids))
+            parent = self._step_span if self._step_span is not None else ctx.root_span
+            drain_span = self.tracer.emit(
+                self.site, "drain", ctx.qid, parent=parent, results=len(oids)
+            )
         if self.result_mode == "count":
             batch = ResultBatch(
                 ctx.qid,
@@ -801,7 +934,7 @@ class ServerNode:
             )
         else:
             batch = ResultBatch(ctx.qid, oids=oids, emissions=emissions, term=dict(attach))
-        self._emit_result(report, ctx.qid.originator, batch)
+        self._emit_result(report, ctx.qid.originator, batch, cause=drain_span)
         self._absorb_controls(report, controls, ctx.qid)
 
     def _merge_local_results(self, ctx: QueryContext) -> None:
@@ -822,8 +955,10 @@ class ServerNode:
             ctx.done = True
             assert ctx.final is not None
             if self.tracer is not None:
+                parent = self._step_span if self._step_span is not None else ctx.root_span
                 self.tracer.emit(
-                    self.site, "complete", ctx.qid, results=len(ctx.final.oids)
+                    self.site, "complete", ctx.qid, parent=parent,
+                    results=len(ctx.final.oids),
                 )
             if self.gc_contexts:
                 for participant in sorted(ctx.participants):
@@ -855,28 +990,61 @@ class ServerNode:
         )
         if self._batcher is not None and self.batching.mark_hints:
             execution.mark_table.enable_journal()
+        if self.tracer is not None:
+            # Every outcome of this context descends (at worst) from the
+            # event that created it — the submit here, the recv elsewhere —
+            # which keeps the span tree connected even when a tighter
+            # per-item cause was lost to a duplicate admission.
+            execution.collect_spawns = True
         ctx = QueryContext(
             qid=qid,
             execution=execution,
             is_originator=is_originator,
             term_state=self.termination.new_state(self.site, is_originator),
             final=QueryResult() if is_originator else None,
+            root_span=self._step_span,
         )
         self.contexts[qid] = ctx
         self.stats.contexts_created += 1
         return ctx
 
-    def _emit(self, report: StepReport, dst: str, payload: Any) -> None:
+    def _emit(
+        self,
+        report: StepReport,
+        dst: str,
+        payload: Any,
+        cause: Optional[int] = None,
+        item_causes: Optional[Tuple[Optional[int], ...]] = None,
+    ) -> None:
         if not self.is_site_up(dst):
             self.stats.failed_sends += 1
             return
-        env = Envelope(self.site, dst, payload)
-        self.stats.count_sent(type(payload).__name__, env.size_bytes)
+        env_spans: Optional[Tuple[int, ...]] = None
         if self.tracer is not None:
-            self.tracer.emit(
-                self.site, "send", getattr(payload, "qid", ""),
-                msg=type(payload).__name__, dst=dst, bytes=env.size_bytes,
+            wire = getattr(payload, "wire_size", None)
+            detail: Dict[str, Any] = {
+                "msg": type(payload).__name__, "dst": dst,
+                "bytes": wire() if callable(wire) else 64,
+            }
+            credit = _credit_detail(payload)
+            if credit is not None:
+                detail["credit"] = credit
+            parent = cause if cause is not None else self._step_span
+            send_span = self.tracer.emit(
+                self.site, "send", getattr(payload, "qid", ""), parent=parent, **detail
             )
+            if send_span is not None:
+                # spans[0]: this send (the receiver's recv parents on it);
+                # spans[1:]: per-item causes for batched frames (0 = none).
+                if item_causes:
+                    env_spans = (send_span, *(s or 0 for s in item_causes))
+                else:
+                    env_spans = (send_span,)
+        env = Envelope(self.site, dst, payload, spans=env_spans)
+        self.stats.count_sent(type(payload).__name__, env.size_bytes)
+        if self.metrics is not None:
+            self.metrics.counter("node.messages_sent_total", site=self.site).inc()
+            self.metrics.counter("node.bytes_sent_total", site=self.site).inc(env.size_bytes)
         report.elapsed += self.costs.msg_send_s
         if isinstance(payload, BatchedQuery):
             # One header, per-item marginal: the calibrated batched cost.
@@ -888,6 +1056,11 @@ class ServerNode:
     def _absorb_controls(self, report: StepReport, outs, qid: QueryId) -> None:
         for dst, kind, payload in outs:
             self._emit(report, dst, ControlMessage(qid, kind, payload))
+
+    def _drop_item_spans(self, qid: QueryId) -> None:
+        """Forget per-item trace causes for a finished/purged query."""
+        for key in [k for k in self._item_spans if k[0] == qid]:
+            del self._item_spans[key]
 
     def _enqueue_rr(self, qid: QueryId) -> None:
         if qid not in self._rr:

@@ -9,7 +9,7 @@ the quantities the paper's trade-off discussion revolves around
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Dict
 
 
@@ -61,28 +61,23 @@ class NodeStats:
         return sum(self.messages_received.values())
 
     def merge(self, other: "NodeStats") -> None:
-        for kind, n in other.messages_sent.items():
-            self.messages_sent[kind] = self.messages_sent.get(kind, 0) + n
-        for kind, n in other.messages_received.items():
-            self.messages_received[kind] = self.messages_received.get(kind, 0) + n
-        self.bytes_sent += other.bytes_sent
-        self.bytes_received += other.bytes_received
-        self.failed_sends += other.failed_sends
-        self.duplicate_requests += other.duplicate_requests
-        self.forwarded_requests += other.forwarded_requests
-        self.objects_processed += other.objects_processed
-        self.marked_skips += other.marked_skips
-        self.busy_seconds += other.busy_seconds
-        self.drains += other.drains
-        self.contexts_created += other.contexts_created
-        self.retransmits += other.retransmits
-        self.duplicates_dropped += other.duplicates_dropped
-        self.reliable_give_ups += other.reliable_give_ups
-        self.deadline_expiries += other.deadline_expiries
-        self.late_messages += other.late_messages
-        self.batched_items += other.batched_items
-        self.sends_suppressed += other.sends_suppressed
-        self.batch_flushes_size += other.batch_flushes_size
-        self.batch_flushes_drain += other.batch_flushes_drain
-        self.batch_flushes_timer += other.batch_flushes_timer
-        self.batch_flushes_idle += other.batch_flushes_idle
+        """Accumulate another node's counters into this one.
+
+        Driven by ``dataclasses.fields`` so a newly added counter is
+        merged automatically — forgetting it here silently under-reported
+        cluster totals when this was a hand-maintained list.  Dict fields
+        merge per key; numeric fields add.
+        """
+        for f in fields(self):
+            mine = getattr(self, f.name)
+            theirs = getattr(other, f.name)
+            if isinstance(mine, dict):
+                for key, n in theirs.items():
+                    mine[key] = mine.get(key, 0) + n
+            elif isinstance(mine, (int, float)):
+                setattr(self, f.name, mine + theirs)
+            else:  # pragma: no cover - no such fields today
+                raise TypeError(
+                    f"NodeStats.merge cannot combine field {f.name!r} of type "
+                    f"{type(mine).__name__}"
+                )

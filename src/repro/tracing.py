@@ -1,10 +1,18 @@
-"""Structured query tracing.
+"""Structured, causal query tracing.
 
 Understanding a distributed traversal ("why did this query visit that
 site twice?") needs more than aggregate counters.  A :class:`QueryTracer`
 attached to a cluster records one event per interesting step — message
 sends/receives, object processing, drains, completions — with virtual
 timestamps, and renders them as a readable timeline.
+
+Every event is also a **span**: it carries a tracer-unique ``span`` id
+and an optional ``parent`` span id, and :meth:`QueryTracer.emit` returns
+the id so callers can thread causality through their own state.  The
+server nodes propagate these ids *inside message envelopes* (see
+``Envelope.spans`` in :mod:`repro.net.messages`), so a traced query
+reconstructs into a causal tree rooted at its ``submit`` event — the
+input of the critical-path analysis in :mod:`repro.profiling`.
 
 Usage::
 
@@ -16,10 +24,18 @@ Usage::
 
 Tracing is strictly optional: nodes check a single attribute before
 emitting, so the untraced fast path costs one `is None` test.
+
+Exports: :meth:`QueryTracer.to_jsonl` (one JSON object per event) and
+:meth:`QueryTracer.to_chrome_trace` (Chrome trace-event format, loadable
+in Perfetto / ``chrome://tracing``, with flow arrows along cross-site
+span edges).  :func:`validate_chrome_trace` checks an exported document
+against the trace-event schema (``ph``/``ts``/``pid``/``tid``).
 """
 
 from __future__ import annotations
 
+import itertools
+import json
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Optional
 
@@ -39,16 +55,43 @@ KINDS = (
     "batch_recv",   #: a batched frame was ingested and unbatched
 )
 
+#: Swim-lane glyph per kind, most significant first (lane rendering keeps
+#: the highest-ranked event of each time bucket).
+_LANE_GLYPHS = (
+    ("complete", "C"),
+    ("timeout", "T"),
+    ("submit", "Q"),
+    ("process", "#"),
+    ("retransmit", "!"),
+    ("dup", "="),
+    ("batch_flush", "^"),
+    ("batch_recv", "v"),
+    ("send", ">"),
+    ("recv", "<"),
+    ("drain", "d"),
+    ("skip", "."),
+)
+#: Precomputed rank lookups (by kind and by rendered glyph) so lane
+#: rendering is O(1) per event instead of scanning the kind order.
+_KIND_RANK: Dict[str, int] = {kind: rank for rank, (kind, _) in enumerate(_LANE_GLYPHS)}
+_KIND_GLYPH: Dict[str, str] = {kind: glyph for kind, glyph in _LANE_GLYPHS}
+_GLYPH_RANK: Dict[str, int] = {glyph: rank for rank, (_, glyph) in enumerate(_LANE_GLYPHS)}
+_LANE_LEGEND = " ".join(f"{glyph}={kind}" for kind, glyph in _LANE_GLYPHS)
+
 
 @dataclass(frozen=True)
 class TraceEvent:
-    """One step of a traced run."""
+    """One step of a traced run (a span in the query's causal tree)."""
 
     time: float
     site: str
     kind: str
     qid: str = ""
     detail: Dict[str, Any] = field(default_factory=dict)
+    #: Tracer-unique span id (0 only for hand-built events in tests).
+    span: int = 0
+    #: Span id of the event that caused this one; None at tree roots.
+    parent: Optional[int] = None
 
     def __str__(self) -> str:
         detail = " ".join(f"{k}={v}" for k, v in self.detail.items())
@@ -64,6 +107,8 @@ class QueryTracer:
         ----------
         kinds:
             Restrict recording to these event kinds (default: all).
+            Filtering breaks parent chains through suppressed kinds, so
+            causal analyses expect an unfiltered tracer.
         capacity:
             Hard cap on stored events; beyond it, recording stops and
             :attr:`dropped` counts the overflow (tracing a runaway query
@@ -77,20 +122,31 @@ class QueryTracer:
         self._capacity = capacity
         self.events: List[TraceEvent] = []
         self.dropped = 0
+        #: itertools.count is effectively atomic under CPython, so span
+        #: allocation is safe from the real transports' site threads.
+        self._ids = itertools.count(1)
         #: Supplies timestamps; the cluster points this at the simulator.
         self.now_fn: Callable[[], float] = lambda: 0.0
 
     # -- recording ---------------------------------------------------------
 
-    def emit(self, site: str, kind: str, qid: Any = "", **detail: Any) -> None:
+    def emit(
+        self, site: str, kind: str, qid: Any = "", parent: Optional[int] = None, **detail: Any
+    ) -> Optional[int]:
+        """Record one event; returns its span id (None when not recorded)."""
         if kind not in self._kinds:
-            return
+            return None
         if len(self.events) >= self._capacity:
             self.dropped += 1
-            return
+            return None
+        span = next(self._ids)
         self.events.append(
-            TraceEvent(time=self.now_fn(), site=site, kind=kind, qid=str(qid), detail=detail)
+            TraceEvent(
+                time=self.now_fn(), site=site, kind=kind, qid=str(qid),
+                detail=detail, span=span, parent=parent,
+            )
         )
+        return span
 
     def clear(self) -> None:
         self.events.clear()
@@ -108,6 +164,10 @@ class QueryTracer:
     def for_query(self, qid: Any) -> List[TraceEvent]:
         wanted = str(qid)
         return [e for e in self.events if e.qid == wanted]
+
+    def by_span(self) -> Dict[int, TraceEvent]:
+        """Span-id index over every recorded event."""
+        return {e.span: e for e in self.events if e.span}
 
     def sites_touched(self, qid: Any) -> List[str]:
         """Sites that did work for a query, in first-touch order."""
@@ -137,30 +197,27 @@ class QueryTracer:
         """Per-site swim lanes: what each site was doing, over time.
 
         Each column is one time bucket; the glyph is the bucket's most
-        significant event at that site (completion > processing > message
-        traffic > drain > skip).
+        significant event at that site (see ``_LANE_GLYPHS`` for the
+        precedence order).
         """
         if not self.events:
             return "(no events recorded)"
-        precedence = {"complete": "C", "submit": "Q", "process": "#",
-                      "send": ">", "recv": "<", "drain": "d", "skip": "."}
-        order = ["complete", "submit", "process", "send", "recv", "drain", "skip"]
         t0 = self.events[0].time
         t1 = max(e.time for e in self.events)
         span = max(t1 - t0, 1e-9)
         sites = sorted({e.site for e in self.events})
         grid = {site: [" "] * buckets for site in sites}
+        worst = len(_LANE_GLYPHS)
         for event in self.events:
             bucket = min(buckets - 1, int((event.time - t0) / span * buckets))
-            cell = grid[event.site][bucket]
-            current_rank = next((i for i, k in enumerate(order) if precedence[k] == cell), len(order))
-            new_rank = order.index(event.kind) if event.kind in precedence else len(order)
+            current_rank = _GLYPH_RANK.get(grid[event.site][bucket], worst)
+            new_rank = _KIND_RANK.get(event.kind, worst)
             if new_rank < current_rank:
-                grid[event.site][bucket] = precedence[event.kind]
+                grid[event.site][bucket] = _KIND_GLYPH[event.kind]
         width = max(len(s) for s in sites)
         lines = [f"{site:>{width}} |{''.join(grid[site])}|" for site in sites]
         lines.append(f"{'':>{width}}  {t0:.3f}s{'':<{max(1, buckets - 14)}}{t1:.3f}s")
-        lines.append(f"{'':>{width}}  Q=submit #=process >=send <=recv d=drain .=skip C=complete")
+        lines.append(f"{'':>{width}}  {_LANE_LEGEND}")
         return "\n".join(lines)
 
     def render(self, limit: Optional[int] = None) -> str:
@@ -175,3 +232,118 @@ class QueryTracer:
 
     def __len__(self) -> int:
         return len(self.events)
+
+    # -- exporters ---------------------------------------------------------
+
+    def to_jsonl(self, qid: Any = None) -> str:
+        """One JSON object per event (ndjson), optionally one query only."""
+        events = self.events if qid is None else self.for_query(qid)
+        lines = []
+        for e in events:
+            record = {
+                "t": e.time, "site": e.site, "kind": e.kind, "qid": e.qid,
+                "span": e.span, "parent": e.parent,
+            }
+            record.update({k: _jsonable(v) for k, v in e.detail.items()})
+            lines.append(json.dumps(record))
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def write_jsonl(self, path: str, qid: Any = None) -> int:
+        """Write :meth:`to_jsonl` to ``path``; returns the event count."""
+        text = self.to_jsonl(qid)
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        return text.count("\n")
+
+    def to_chrome_trace(self, qid: Any = None) -> Dict[str, Any]:
+        """Chrome trace-event document (Perfetto / ``chrome://tracing``).
+
+        Sites map to threads of one process; every event is an instant
+        ("ph": "i") on its site's lane, and each cross-site parent edge
+        becomes a flow-arrow pair ("s"/"f") so the viewer draws message
+        causality between lanes.  Timestamps are microseconds.
+        """
+        events = self.events if qid is None else self.for_query(qid)
+        sites = sorted({e.site for e in events})
+        tid_of = {site: i + 1 for i, site in enumerate(sites)}
+        trace: List[Dict[str, Any]] = [
+            {"name": "process_name", "ph": "M", "pid": 1, "tid": 0,
+             "args": {"name": "hyperfile"}},
+        ]
+        for site, tid in tid_of.items():
+            trace.append(
+                {"name": "thread_name", "ph": "M", "pid": 1, "tid": tid,
+                 "args": {"name": site}}
+            )
+        by_span = {e.span: e for e in events if e.span}
+        for e in events:
+            args = {"qid": e.qid, "span": e.span, "parent": e.parent}
+            args.update({k: _jsonable(v) for k, v in e.detail.items()})
+            trace.append(
+                {"name": e.kind, "cat": e.kind, "ph": "i", "s": "t",
+                 "ts": e.time * 1e6, "pid": 1, "tid": tid_of[e.site], "args": args}
+            )
+            parent = by_span.get(e.parent) if e.parent is not None else None
+            if parent is not None and parent.site != e.site:
+                flow = {"name": "causal", "cat": "flow", "pid": 1, "id": e.span}
+                trace.append(
+                    {**flow, "ph": "s", "ts": parent.time * 1e6, "tid": tid_of[parent.site]}
+                )
+                trace.append(
+                    {**flow, "ph": "f", "bp": "e", "ts": e.time * 1e6, "tid": tid_of[e.site]}
+                )
+        return {"traceEvents": trace, "displayTimeUnit": "ms"}
+
+    def write_chrome_trace(self, path: str, qid: Any = None) -> int:
+        """Write :meth:`to_chrome_trace` to ``path``; returns event count."""
+        doc = self.to_chrome_trace(qid)
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh)
+            fh.write("\n")
+        return len(doc["traceEvents"])
+
+
+#: Phase values the trace-event format defines (the subset we emit plus
+#: the common ones, so validation is useful on foreign documents too).
+_CHROME_PHASES = frozenset("BEXibnesftPNODMCRcS(,)")
+
+
+def validate_chrome_trace(doc: Any) -> Dict[str, int]:
+    """Validate a Chrome trace-event document's required fields.
+
+    Checks the schema every trace-event consumer relies on: a
+    ``traceEvents`` list whose entries all carry ``ph`` (a known phase),
+    a numeric non-negative ``ts`` (metadata events may omit it), and
+    integer ``pid``/``tid``.  Raises :class:`ValueError` on the first
+    violation; returns counts (events, flows, instants) when valid.
+    """
+    if not isinstance(doc, dict) or not isinstance(doc.get("traceEvents"), list):
+        raise ValueError("not a trace-event document: missing traceEvents list")
+    counts = {"events": 0, "instants": 0, "flows": 0, "metadata": 0}
+    for i, event in enumerate(doc["traceEvents"]):
+        if not isinstance(event, dict):
+            raise ValueError(f"traceEvents[{i}] is not an object")
+        ph = event.get("ph")
+        if not isinstance(ph, str) or ph not in _CHROME_PHASES:
+            raise ValueError(f"traceEvents[{i}] has invalid ph: {ph!r}")
+        for key in ("pid", "tid"):
+            if not isinstance(event.get(key), int):
+                raise ValueError(f"traceEvents[{i}] missing integer {key}")
+        if ph == "M":
+            counts["metadata"] += 1
+            continue
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            raise ValueError(f"traceEvents[{i}] missing non-negative ts")
+        counts["events"] += 1
+        if ph == "i":
+            counts["instants"] += 1
+        elif ph in ("s", "f", "t"):
+            counts["flows"] += 1
+    return counts
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)

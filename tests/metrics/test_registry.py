@@ -1,0 +1,138 @@
+"""Tests for the telemetry registry (counters, gauges, histograms)."""
+
+import json
+from dataclasses import fields
+
+import pytest
+
+from repro.metrics.registry import DEFAULT_BUCKETS, Histogram, MetricsRegistry
+from repro.server.stats import NodeStats
+
+
+class TestCounter:
+    def test_inc_accumulates(self):
+        c = MetricsRegistry().counter("x_total")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_negative_increment_rejected(self):
+        c = MetricsRegistry().counter("x_total")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_snapshot_shape(self):
+        c = MetricsRegistry().counter("x_total")
+        c.inc(2)
+        assert c.snapshot() == {"type": "counter", "value": 2}
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        g = MetricsRegistry().gauge("depth")
+        g.set(7)
+        g.add(-2)
+        assert g.value == 5
+        assert g.snapshot()["type"] == "gauge"
+
+
+class TestHistogram:
+    def test_bucketing_is_inclusive_upper_bound(self):
+        h = Histogram("lat_s", (), buckets=(0.01, 0.1, 1.0))
+        for v in (0.005, 0.01, 0.05, 0.5, 5.0):
+            h.observe(v)
+        snap = h.snapshot()
+        counts = {b["le"]: b["count"] for b in snap["buckets"]}
+        assert counts == {0.01: 2, 0.1: 1, 1.0: 1, "inf": 1}
+        assert snap["count"] == 5
+        assert snap["sum"] == pytest.approx(5.565)
+
+    def test_mean(self):
+        h = Histogram("lat_s", (), buckets=(1.0,))
+        assert h.mean == 0.0
+        h.observe(2.0)
+        h.observe(4.0)
+        assert h.mean == pytest.approx(3.0)
+
+    def test_bounds_sorted_regardless_of_input(self):
+        h = Histogram("x", (), buckets=(1.0, 0.1, 0.5))
+        assert h.bounds == (0.1, 0.5, 1.0)
+
+    def test_empty_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("x", (), buckets=())
+
+    def test_default_buckets_cover_cost_model_scale(self):
+        # Paper costs are 0.5ms..50ms; wall-clock runs are µs..s.
+        assert DEFAULT_BUCKETS[0] <= 0.0001 and DEFAULT_BUCKETS[-1] >= 10.0
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a_total", site="s0") is reg.counter("a_total", site="s0")
+
+    def test_labels_distinguish_instruments(self):
+        reg = MetricsRegistry()
+        reg.counter("a_total", site="s0").inc()
+        reg.counter("a_total", site="s1").inc(5)
+        assert reg.value("a_total", site="s0") == 1
+        assert reg.value("a_total", site="s1") == 5
+        assert reg.value("a_total") is None  # no unlabeled instrument
+
+    def test_label_order_does_not_matter(self):
+        reg = MetricsRegistry()
+        a = reg.gauge("g", site="s0", kind="k")
+        b = reg.gauge("g", kind="k", site="s0")
+        assert a is b
+
+    def test_kind_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError):
+            reg.gauge("x")
+        with pytest.raises(TypeError):
+            reg.histogram("x")
+
+    def test_histogram_get_or_create(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat_s", buckets=(1.0, 2.0))
+        assert reg.histogram("lat_s") is h
+
+    def test_snapshot_is_sorted_and_jsonable(self):
+        reg = MetricsRegistry()
+        reg.counter("z_total").inc()
+        reg.gauge("a_depth", site="s1").set(3)
+        reg.histogram("m_lat_s").observe(0.01)
+        snap = reg.snapshot()
+        names = [m["name"] for m in snap["metrics"]]
+        assert names == sorted(names)
+        json.dumps(snap)  # must not raise
+
+
+class TestPublishNodeStats:
+    def test_every_stats_field_is_published(self):
+        reg = MetricsRegistry()
+        stats = NodeStats(bytes_sent=128)
+        # Dict fields only surface populated keys; give each one entry so
+        # absence below can only mean publish_node_stats skipped a field.
+        for f in fields(NodeStats):
+            if isinstance(getattr(stats, f.name), dict):
+                setattr(stats, f.name, {"DerefRequest": 3})
+        reg.publish_node_stats("site0", stats)
+        published = {m["name"] for m in reg.snapshot()["metrics"]}
+        for f in fields(NodeStats):
+            assert f"node.{f.name}" in published, f"field {f.name} not mirrored"
+
+    def test_dict_fields_flatten_into_kind_label(self):
+        reg = MetricsRegistry()
+        stats = NodeStats(messages_received={"ResultBatch": 2, "DerefRequest": 7})
+        reg.publish_node_stats("site1", stats)
+        assert reg.value("node.messages_received", site="site1", kind="ResultBatch") == 2
+        assert reg.value("node.messages_received", site="site1", kind="DerefRequest") == 7
+
+    def test_republish_overwrites(self):
+        reg = MetricsRegistry()
+        reg.publish_node_stats("s", NodeStats(bytes_sent=10))
+        reg.publish_node_stats("s", NodeStats(bytes_sent=25))
+        assert reg.value("node.bytes_sent", site="s") == 25

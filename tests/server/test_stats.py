@@ -1,0 +1,57 @@
+"""NodeStats merge semantics — field-driven, so nothing can be forgotten."""
+
+from dataclasses import fields
+
+from repro.server.stats import NodeStats
+
+
+def _filled(offset: int) -> NodeStats:
+    """A NodeStats with a distinct nonzero value in *every* field."""
+    stats = NodeStats()
+    for i, f in enumerate(fields(NodeStats)):
+        current = getattr(stats, f.name)
+        if isinstance(current, dict):
+            setattr(stats, f.name, {"A": offset + i, "B": 1})
+        elif isinstance(current, float):
+            setattr(stats, f.name, float(offset + i) + 0.5)
+        else:
+            setattr(stats, f.name, offset + i)
+    return stats
+
+
+class TestMerge:
+    def test_merge_covers_every_field(self):
+        # The point of the fields()-driven merge: a counter added to the
+        # dataclass is merged without touching merge() — this test fails
+        # the moment any field stops accumulating.
+        a, b = _filled(100), _filled(1000)
+        a.merge(b)
+        for i, f in enumerate(fields(NodeStats)):
+            merged = getattr(a, f.name)
+            if isinstance(merged, dict):
+                assert merged == {"A": 1100 + 2 * i, "B": 2}, f.name
+            elif isinstance(merged, float):
+                assert merged == (100 + i + 0.5) + (1000 + i + 0.5), f.name
+            else:
+                assert merged == 1100 + 2 * i, f.name
+
+    def test_dict_merge_adds_per_key(self):
+        a = NodeStats(messages_sent={"DerefRequest": 2})
+        b = NodeStats(messages_sent={"DerefRequest": 3, "ResultBatch": 1})
+        a.merge(b)
+        assert a.messages_sent == {"DerefRequest": 5, "ResultBatch": 1}
+
+    def test_merge_into_empty(self):
+        a = NodeStats()
+        a.merge(_filled(10))
+        assert a.bytes_sent == getattr(_filled(10), "bytes_sent")
+
+    def test_merge_leaves_other_untouched(self):
+        a, b = NodeStats(bytes_sent=1), NodeStats(bytes_sent=2)
+        a.merge(b)
+        assert b.bytes_sent == 2 and a.bytes_sent == 3
+
+    def test_totals_follow_merged_dicts(self):
+        a = NodeStats(messages_sent={"X": 1}, messages_received={"Y": 4})
+        a.merge(NodeStats(messages_sent={"X": 1}))
+        assert a.total_sent == 2 and a.total_received == 4

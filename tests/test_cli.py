@@ -1,10 +1,11 @@
 """Tests for the command-line interface."""
 
 import io
+import json
 
 import pytest
 
-from repro.cli import main, run_demo, run_experiments, run_repl
+from repro.cli import main, run_demo, run_experiments, run_profile, run_repl, run_trace
 
 
 def repl(script: str, **kwargs) -> str:
@@ -76,6 +77,39 @@ class TestRepl:
         text = repl(":timeline\n:quit\n", n_objects=90)
         assert "tracing is off" in text
 
+    def test_profile_after_traced_query(self):
+        text = repl(
+            ":trace on\nRoot (Unique, 0, ?) -> Self\n:profile\n:quit\n",
+            n_objects=90,
+        )
+        assert "span tree OK" in text
+        assert "critical path" in text
+
+    def test_profile_without_tracing(self):
+        text = repl(":profile\n:quit\n", n_objects=90)
+        assert "tracing is off" in text
+
+    def test_profile_before_any_query(self):
+        text = repl(":trace on\n:profile\n:quit\n", n_objects=90)
+        assert "no query run yet" in text
+
+    def test_export_chrome_and_jsonl(self, tmp_path):
+        chrome = tmp_path / "trace.json"
+        jsonl = tmp_path / "trace.jsonl"
+        text = repl(
+            f":trace on\nRoot (Unique, 0, ?) -> Self\n"
+            f":export {chrome}\n:export {jsonl}\n:quit\n",
+            n_objects=90,
+        )
+        assert "Perfetto" in text
+        doc = json.loads(chrome.read_text())
+        assert doc["traceEvents"]
+        assert all(json.loads(line) for line in jsonl.read_text().splitlines())
+
+    def test_export_usage_errors(self):
+        assert "tracing is off" in repl(":export /tmp/x.json\n:quit\n", n_objects=90)
+        assert "usage: :export" in repl(":trace on\n:export\n:quit\n", n_objects=90)
+
     def test_unknown_meta_command(self):
         text = repl(":frobnicate\n:quit\n", n_objects=90)
         assert "unknown command" in text
@@ -86,6 +120,44 @@ class TestRepl:
 
     def test_eof_exits_cleanly(self):
         assert "bye" not in repl("", n_objects=90)
+
+
+class TestTraceAndProfile:
+    def test_trace_writes_validated_exports(self, tmp_path):
+        out = io.StringIO()
+        chrome = tmp_path / "fig4.json"
+        jsonl = tmp_path / "fig4.jsonl"
+        code = run_trace(
+            sites=3, n_objects=90, jsonl=str(jsonl), chrome=str(chrome),
+            validate=True, out=out,
+        )
+        assert code == 0
+        text = out.getvalue()
+        assert "span tree OK" in text
+        assert "chrome trace schema OK" in text
+        doc = json.loads(chrome.read_text())
+        assert {e["ph"] for e in doc["traceEvents"]} >= {"M", "i"}
+        assert jsonl.read_text().count("\n") > 50
+
+    def test_trace_without_exports_prints_lanes(self):
+        out = io.StringIO()
+        assert run_trace(sites=3, n_objects=90, out=out) == 0
+        assert "|" in out.getvalue()  # the swim-lane grid
+
+    def test_profile_prints_all_sections(self):
+        out = io.StringIO()
+        assert run_profile(sites=3, n_objects=90, out=out) == 0
+        text = out.getvalue()
+        assert "span tree OK" in text
+        assert "critical path" in text
+        assert "credit audit" in text
+
+    def test_via_main(self, capsys, tmp_path):
+        chrome = tmp_path / "t.json"
+        assert main(["trace", "--objects", "90", "--chrome", str(chrome), "--validate"]) == 0
+        assert "schema OK" in capsys.readouterr().out
+        assert main(["profile", "--objects", "90"]) == 0
+        assert "critical path" in capsys.readouterr().out
 
 
 class TestExperiments:

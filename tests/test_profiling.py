@@ -1,0 +1,187 @@
+"""Unit tests for critical-path / span-tree / credit-audit analysis.
+
+These build trace event lists by hand, so the analyses are pinned to the
+span model itself rather than to whatever a live cluster happens to emit
+(the live end is covered by tests/integration/test_observability.py).
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.profiling import (
+    credit_audit,
+    critical_path,
+    render_profile,
+    tree_report,
+)
+from repro.tracing import TraceEvent
+
+QID = "q1@site0"
+
+
+def ev(time, site, kind, span, parent=None, **detail):
+    return TraceEvent(
+        time=time, site=site, kind=kind, qid=QID, detail=detail, span=span, parent=parent
+    )
+
+
+def two_site_trace():
+    """submit -> work hop to site1 -> result hop back -> complete."""
+    return [
+        ev(0.00, "site0", "submit", 1),
+        ev(0.00, "site0", "send", 2, parent=1, msg="DerefRequest", dst="site1"),
+        ev(0.05, "site1", "recv", 3, parent=2, msg="DerefRequest"),
+        ev(0.07, "site1", "process", 4, parent=3, oid="x"),
+        ev(0.07, "site1", "send", 5, parent=4, msg="ResultBatch", dst="site0"),
+        ev(0.12, "site0", "recv", 6, parent=5, msg="ResultBatch"),
+        ev(0.13, "site0", "complete", 7, parent=1, results=2),
+    ]
+
+
+class TestTreeReport:
+    def test_connected_tree(self):
+        report = tree_report(two_site_trace(), QID)
+        assert report.connected
+        assert report.events == 7
+        assert report.root.kind == "submit"
+        assert "span tree OK" in report.describe()
+
+    def test_dangling_parent_detected(self):
+        events = two_site_trace()
+        events.append(ev(0.2, "site0", "recv", 8, parent=99))
+        report = tree_report(events, QID)
+        assert not report.connected
+        assert [e.span for e in report.missing_parents] == [8]
+        assert "dangling parent" in report.describe()
+
+    def test_orphan_detected(self):
+        events = two_site_trace()
+        events.append(ev(0.2, "site1", "process", 8, parent=None))
+        report = tree_report(events, QID)
+        assert not report.connected
+        assert [e.span for e in report.orphans] == [8]
+
+    def test_extra_root_detected(self):
+        events = two_site_trace()
+        events.append(ev(0.2, "site0", "submit", 8))
+        report = tree_report(events, QID)
+        assert not report.connected
+        assert [e.span for e in report.extra_roots] == [8]
+
+    def test_missing_submit(self):
+        events = [e for e in two_site_trace() if e.kind != "submit"]
+        report = tree_report(events, QID)
+        assert report.root is None and not report.connected
+        assert "no submit" in report.describe()
+
+    def test_other_queries_filtered_out(self):
+        events = two_site_trace() + [
+            TraceEvent(time=0.5, site="site2", kind="process", qid="q2@site2", span=50)
+        ]
+        assert tree_report(events, QID).events == 7
+
+
+class TestCriticalPath:
+    def test_path_walks_submit_to_complete(self):
+        path = critical_path(two_site_trace(), QID)
+        assert [s.site for s in path.steps] == ["site0", "site1", "site1", "site0", "site0"]
+        assert [s.via for s in path.steps] == [
+            "start", "message", "message", "message", "cpu",
+        ]
+        assert path.steps[0].kinds == ("submit", "send")
+        assert path.steps[-1].kinds == ("complete",)
+
+    def test_deltas_telescope_to_duration(self):
+        path = critical_path(two_site_trace(), QID)
+        assert path.duration == pytest.approx(0.13)
+        assert sum(s.delta for s in path.steps) == pytest.approx(path.duration)
+        assert path.message_hops == 3
+
+    def test_latest_finishing_predecessor_wins(self):
+        # Two work sends; the path must follow the slower branch (site2).
+        events = [
+            ev(0.00, "site0", "submit", 1),
+            ev(0.00, "site0", "send", 2, parent=1, dst="site1"),
+            ev(0.00, "site0", "send", 3, parent=1, dst="site2"),
+            ev(0.05, "site1", "recv", 4, parent=2),
+            ev(0.30, "site2", "recv", 5, parent=3),
+            ev(0.06, "site1", "send", 6, parent=4, dst="site0"),
+            ev(0.31, "site2", "send", 7, parent=5, dst="site0"),
+            ev(0.11, "site0", "recv", 8, parent=6),
+            ev(0.36, "site0", "recv", 9, parent=7),
+            ev(0.37, "site0", "complete", 10, parent=1),
+        ]
+        path = critical_path(events, QID)
+        sites = [s.site for s in path.steps]
+        assert "site2" in sites and "site1" not in sites
+
+    def test_unterminated_trace_profiles_to_last_event(self):
+        events = [e for e in two_site_trace() if e.kind != "complete"]
+        path = critical_path(events, QID)
+        assert path.steps[-1].time == pytest.approx(0.12)
+        assert path.steps[-1].kinds == ("recv",)
+
+    def test_empty_trace(self):
+        path = critical_path([], QID)
+        assert path.steps == [] and path.duration == 0.0
+        assert "no critical path" in path.render()
+
+    def test_render_mentions_every_step(self):
+        text = critical_path(two_site_trace(), QID).render()
+        assert "critical path for q1@site0" in text
+        assert "message hops" in text
+        assert text.count("\n") == len(critical_path(two_site_trace(), QID).steps) + 1
+
+
+class TestCreditAudit:
+    def test_delivered_and_lost_credits(self):
+        events = [
+            ev(0.00, "site0", "submit", 1),
+            ev(0.00, "site0", "send", 2, parent=1, msg="DerefRequest",
+               dst="site1", credit="1/2"),
+            ev(0.05, "site1", "recv", 3, parent=2, msg="DerefRequest"),
+            ev(0.06, "site0", "send", 4, parent=1, msg="DerefRequest",
+               dst="site2", credit="1/4"),
+            # span 4 never lands anywhere: its quarter credit is lost.
+        ]
+        audit = credit_audit(events, QID)
+        assert audit.total_sent == Fraction(3, 4)
+        assert audit.lost == Fraction(1, 4)
+        by_span = {e.span: e for e in audit.entries}
+        assert by_span[2].delivered and not by_span[4].delivered
+        assert "LOST" in audit.render()
+
+    def test_dup_suppression_counts_as_delivered(self):
+        # A reliable-channel dup means the original already arrived.
+        events = [
+            ev(0.00, "site0", "send", 2, msg="DerefRequest", dst="site1", credit="1/8"),
+            ev(0.05, "site1", "dup", 3, parent=2),
+        ]
+        audit = credit_audit(events, QID)
+        assert audit.lost == 0 and audit.entries[0].delivered
+
+    def test_sends_without_credit_ignored(self):
+        events = [
+            ev(0.00, "site0", "send", 2, msg="PurgeContext", dst="site1"),
+        ]
+        assert credit_audit(events, QID).entries == []
+
+    def test_timeout_flagged(self):
+        events = [ev(0.5, "site0", "timeout", 9, abandoned=3)]
+        assert credit_audit(events, QID).timed_out
+
+
+class TestRenderProfile:
+    def test_combines_sections(self):
+        events = two_site_trace()
+        events[1] = ev(0.00, "site0", "send", 2, parent=1, msg="DerefRequest",
+                       dst="site1", credit="1/2")
+        text = render_profile(events, QID)
+        assert "span tree OK" in text
+        assert "critical path" in text
+        assert "credit audit" in text
+
+    def test_empty_profile(self):
+        text = render_profile([], QID)
+        assert "no submit" in text and "critical path" not in text

@@ -1,0 +1,150 @@
+"""Audit of the tracing vocabulary (satellite: no unregistered kinds).
+
+Two directions:
+
+* statically, every ``kind`` string passed to a ``.emit(...)`` call
+  anywhere in ``src/repro`` must be registered in ``tracing.KINDS`` (an
+  unregistered kind would be silently filtered by a default tracer);
+* dynamically, every registered kind must actually be produced by some
+  runnable scenario — a vocabulary entry nothing can emit is dead.
+"""
+
+import ast
+import pathlib
+
+import pytest
+
+import repro
+from repro.cluster import SimCluster
+from repro.faults import FaultPlan
+from repro.net.batching import BatchConfig
+from repro.tracing import KINDS, QueryTracer
+
+SRC_ROOT = pathlib.Path(repro.__file__).resolve().parent
+
+CLOSURE = 'S [ (Pointer,"Ref",?X) ^^X ]* (Keyword,"K",?) -> T'
+
+
+def emit_call_sites():
+    """Every ``<obj>.emit("<kind>", ...)`` call site under src/repro.
+
+    Returns {kind: [\"file:line\", ...]}; a second list collects calls
+    whose kind argument is not a string literal (there must be none —
+    dynamic kinds would dodge this audit).
+    """
+    kinds = {}
+    dynamic = []
+    for path in sorted(SRC_ROOT.rglob("*.py")):
+        tree = ast.parse(path.read_text(), filename=str(path))
+        for node in ast.walk(tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "emit"
+            ):
+                continue
+            where = f"{path.relative_to(SRC_ROOT)}:{node.lineno}"
+            if (
+                len(node.args) >= 2
+                and isinstance(node.args[1], ast.Constant)
+                and isinstance(node.args[1].value, str)
+            ):
+                kinds.setdefault(node.args[1].value, []).append(where)
+            else:
+                dynamic.append(where)
+    return kinds, dynamic
+
+
+class TestStaticAudit:
+    def test_every_emitted_kind_is_registered(self):
+        kinds, _ = emit_call_sites()
+        assert kinds, "audit found no emit() call sites — scan is broken"
+        unregistered = {k: v for k, v in kinds.items() if k not in KINDS}
+        assert not unregistered, f"emit() with unregistered kinds: {unregistered}"
+
+    def test_no_dynamic_kind_arguments(self):
+        _, dynamic = emit_call_sites()
+        assert not dynamic, f"emit() with non-literal kind (unauditable): {dynamic}"
+
+    def test_every_registered_kind_has_an_emitter(self):
+        kinds, _ = emit_call_sites()
+        missing = [k for k in KINDS if k not in kinds]
+        assert not missing, f"KINDS entries nothing emits: {missing}"
+
+
+def build_chain(cluster, length=18):
+    from repro.core import keyword_tuple, pointer_tuple
+
+    stores = [cluster.store(s) for s in cluster.sites]
+    oids = []
+    for i in range(length):
+        oids.append(stores[i % len(stores)].create([keyword_tuple("K")]).oid)
+    for i in range(length - 1):
+        store = stores[i % len(stores)]
+        store.replace(store.get(oids[i]).with_tuple(pointer_tuple("Ref", oids[i + 1])))
+    last = stores[(length - 1) % len(stores)]
+    last.replace(last.get(oids[-1]).with_tuple(pointer_tuple("Ref", oids[-1])))
+    return oids
+
+
+def build_fanout(cluster, children=18):
+    from repro.core import keyword_tuple, pointer_tuple
+
+    stores = [cluster.store(s) for s in cluster.sites]
+    kids = []
+    for i in range(children):
+        store = stores[i % len(stores)]
+        kid = store.create([keyword_tuple("K")])
+        store.replace(kid.with_tuple(pointer_tuple("Ref", kid.oid)))
+        kids.append(kid.oid)
+    root = stores[0].create(
+        [keyword_tuple("K")] + [pointer_tuple("Ref", kid) for kid in kids]
+    ).oid
+    return root
+
+
+def traced(cluster_kwargs, run):
+    cluster = SimCluster(3, **cluster_kwargs)
+    tracer = QueryTracer()
+    cluster.attach_tracer(tracer)
+    run(cluster)
+    return {e.kind for e in tracer.events}
+
+
+@pytest.fixture(scope="module")
+def exercised_kinds():
+    """Union of kinds from three scenarios chosen to cover the vocabulary."""
+    observed = set()
+    # 1. Clean batched fan-out: the full happy-path lifecycle + batching.
+    def fanout(cluster):
+        root = build_fanout(cluster)
+        cluster.run_query(CLOSURE, [root])
+    observed |= traced({"batching": BatchConfig(max_batch=4)}, fanout)
+    # 2. Chaos behind the reliable channel: retransmits and dups.
+    def chaos(cluster):
+        oids = build_chain(cluster, 24)
+        cluster.run_query(CLOSURE, [oids[0]])
+    observed |= traced(
+        {
+            "fault_plan": FaultPlan(
+                seed=7, drop=0.15, duplicate=0.1, reorder=0.2, delay_jitter_s=0.005
+            ),
+            "reliable": True,
+        },
+        chaos,
+    )
+    # 3. Total packet loss bounded by a deadline: the timeout path.
+    def deadline(cluster):
+        oids = build_chain(cluster)
+        cluster.run_query(CLOSURE, [oids[0]], deadline_s=0.5)
+    observed |= traced({"fault_plan": FaultPlan(seed=1, drop=1.0)}, deadline)
+    return observed
+
+
+class TestDynamicCoverage:
+    def test_every_kind_exercised(self, exercised_kinds):
+        missing = set(KINDS) - exercised_kinds
+        assert not missing, f"kinds no scenario produced: {sorted(missing)}"
+
+    def test_no_foreign_kinds_observed(self, exercised_kinds):
+        assert exercised_kinds <= set(KINDS)

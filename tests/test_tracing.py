@@ -1,10 +1,12 @@
 """Tests for the query-tracing facility."""
 
+import json
+
 import pytest
 
 from repro.cluster import SimCluster
 from repro.core import keyword_tuple, pointer_tuple
-from repro.tracing import QueryTracer
+from repro.tracing import QueryTracer, validate_chrome_trace
 
 CLOSURE = 'S [ (Pointer,"Ref",?X) ^^X ]* (Keyword,"K",?) -> T'
 
@@ -106,6 +108,91 @@ class TestControls:
         obj = store.create([keyword_tuple("K")])
         outcome = cluster.run_query('S (Keyword,"K",?) -> T', [obj.oid])
         assert len(outcome.result.oids) == 1
+
+
+class TestSpanAllocation:
+    def test_emit_returns_unique_increasing_spans(self):
+        tracer = QueryTracer()
+        spans = [tracer.emit("site0", "process", "q1", i=i) for i in range(5)]
+        assert spans == sorted(spans) and len(set(spans)) == 5
+
+    def test_parent_recorded(self):
+        tracer = QueryTracer()
+        root = tracer.emit("site0", "submit", "q1")
+        child = tracer.emit("site1", "recv", "q1", parent=root)
+        assert tracer.by_span()[child].parent == root
+
+    def test_filtered_kind_returns_none(self):
+        tracer = QueryTracer(kinds=["send"])
+        assert tracer.emit("site0", "process", "q1") is None
+
+    def test_events_from_traced_run_form_a_tree(self, traced_run):
+        _, tracer, outcome = traced_run
+        spans = {e.span for e in tracer.events}
+        for e in tracer.events:
+            assert e.span > 0
+            if e.kind != "submit":
+                assert e.parent in spans, f"{e.kind} has dangling parent {e.parent}"
+
+
+class TestExporters:
+    def test_jsonl_round_trips_every_event(self, traced_run):
+        _, tracer, outcome = traced_run
+        lines = tracer.to_jsonl().splitlines()
+        assert len(lines) == len(tracer.events)
+        first = json.loads(lines[0])
+        assert first["kind"] == "submit" and first["span"] > 0
+        assert {"t", "site", "kind", "qid", "span", "parent"} <= set(first)
+
+    def test_jsonl_filters_by_qid(self, traced_run):
+        _, tracer, outcome = traced_run
+        assert tracer.to_jsonl(qid="nope") == ""
+        assert tracer.to_jsonl(qid=outcome.qid).count("\n") == len(tracer.events)
+
+    def test_write_jsonl(self, traced_run, tmp_path):
+        _, tracer, _ = traced_run
+        path = tmp_path / "events.jsonl"
+        n = tracer.write_jsonl(str(path))
+        assert n == len(tracer.events)
+        assert len(path.read_text().splitlines()) == n
+
+    def test_chrome_trace_schema(self, traced_run):
+        _, tracer, outcome = traced_run
+        doc = tracer.to_chrome_trace(qid=outcome.qid)
+        counts = validate_chrome_trace(doc)
+        assert counts["instants"] == len(tracer.for_query(outcome.qid))
+        assert counts["metadata"] >= 4  # process + 3 site threads
+        # Cross-site parent edges become flow pairs.
+        assert counts["flows"] > 0 and counts["flows"] % 2 == 0
+
+    def test_chrome_trace_names_every_site_lane(self, traced_run):
+        _, tracer, _ = traced_run
+        doc = tracer.to_chrome_trace()
+        lanes = {
+            e["args"]["name"] for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert lanes == {"site0", "site1", "site2"}
+
+    def test_write_chrome_trace_is_loadable_json(self, traced_run, tmp_path):
+        _, tracer, _ = traced_run
+        path = tmp_path / "trace.json"
+        tracer.write_chrome_trace(str(path))
+        validate_chrome_trace(json.loads(path.read_text()))
+
+    def test_validator_rejects_bad_documents(self):
+        with pytest.raises(ValueError):
+            validate_chrome_trace({"nope": []})
+        with pytest.raises(ValueError):
+            validate_chrome_trace({"traceEvents": [{"name": "x"}]})  # no ph
+        with pytest.raises(ValueError):
+            validate_chrome_trace(
+                {"traceEvents": [{"ph": "i", "ts": -1, "pid": 1, "tid": 1}]}
+            )
+        with pytest.raises(ValueError):
+            validate_chrome_trace(
+                {"traceEvents": [{"ph": "??", "ts": 0, "pid": 1, "tid": 1}]}
+            )
 
 
 class TestSwimLanes:
