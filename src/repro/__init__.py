@@ -27,6 +27,7 @@ __version__ = "1.0.0"
 
 # Convenience re-exports: the names most applications start from.
 from .api import ClusterAPI, QueryOutcome       # noqa: E402,F401
+from .cache import CacheConfig                  # noqa: E402,F401
 from .client import HyperFile, Session          # noqa: E402,F401
 from .cluster import SimCluster                 # noqa: E402,F401
 from .net.batching import BatchConfig           # noqa: E402,F401
@@ -34,6 +35,7 @@ from .sim.costs import FREE_COSTS, PAPER_COSTS  # noqa: E402,F401
 
 __all__ = [
     "BatchConfig",
+    "CacheConfig",
     "ClusterAPI",
     "FREE_COSTS",
     "HyperFile",

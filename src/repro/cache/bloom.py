@@ -1,0 +1,80 @@
+"""Deterministic Bloom filters for site summaries.
+
+Membership summaries in the style of Bloofi (PAPERS.md): a site
+advertises "the set of object keys I could possibly contribute for" in a
+few hundred bytes.  The only permitted error is a *false positive* — the
+filter may claim membership for a key that was never added, which costs
+the sender one redundant message.  ``might_contain`` returning ``False``
+is definitive, which is what makes suppression safe.
+
+Hashing uses :func:`hashlib.blake2b` rather than Python's ``hash`` so
+filters are stable across processes and interpreter runs (they travel
+over the socket transport and land in recorded benchmarks).
+"""
+
+from __future__ import annotations
+
+from hashlib import blake2b
+from typing import Tuple
+
+
+def oid_token(key: Tuple[str, int]) -> str:
+    """Canonical string form of an :meth:`~repro.core.oid.Oid.key` for
+    Bloom hashing — hint-insensitive, identical at every site."""
+    return f"{key[0]}:{key[1]}"
+
+
+class BloomFilter:
+    """A fixed-size Bloom filter over string tokens.
+
+    The bit array is a single Python int, which keeps adds/tests cheap
+    and serialisation trivial (``to_bytes``/``from_bytes``).
+    """
+
+    __slots__ = ("bits", "hashes", "_value", "count")
+
+    def __init__(self, bits: int, hashes: int, value: int = 0, count: int = 0) -> None:
+        if bits < 8 or bits % 8:
+            raise ValueError("bits must be a positive multiple of 8")
+        if hashes < 1:
+            raise ValueError("hashes must be >= 1")
+        self.bits = bits
+        self.hashes = hashes
+        self._value = value
+        self.count = count  # tokens added; diagnostic only
+
+    def _positions(self, token: str):
+        for i in range(self.hashes):
+            digest = blake2b(f"{i}|{token}".encode(), digest_size=8).digest()
+            yield int.from_bytes(digest, "big") % self.bits
+
+    def add(self, token: str) -> None:
+        for pos in self._positions(token):
+            self._value |= 1 << pos
+        self.count += 1
+
+    def might_contain(self, token: str) -> bool:
+        """True when ``token`` *may* have been added; ``False`` is definitive."""
+        return all(self._value >> pos & 1 for pos in self._positions(token))
+
+    def wire_size(self) -> int:
+        """Encoded size in bytes (the bit array; header fields are noise)."""
+        return self.bits // 8
+
+    def to_bytes(self) -> bytes:
+        return self._value.to_bytes(self.bits // 8, "big")
+
+    @classmethod
+    def from_bytes(cls, data: bytes, hashes: int, count: int = 0) -> "BloomFilter":
+        return cls(len(data) * 8, hashes, int.from_bytes(data, "big"), count)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, BloomFilter)
+            and self.bits == other.bits
+            and self.hashes == other.hashes
+            and self._value == other._value
+        )
+
+    def __repr__(self) -> str:
+        return f"BloomFilter(bits={self.bits}, hashes={self.hashes}, count={self.count})"

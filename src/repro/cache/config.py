@@ -1,0 +1,60 @@
+"""Configuration for the caching subsystem.
+
+Mirrors :class:`repro.net.batching.BatchConfig`: a frozen dataclass the
+cluster constructors thread down to every :class:`~repro.server.node.
+ServerNode`.  Passing ``None`` instead of a config (the default
+everywhere) leaves every cache code path unreachable — behaviour, message
+streams and virtual timings stay bit-identical to the uncached build.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Tuning knobs for the per-site caches.
+
+    Parameters
+    ----------
+    fragments:
+        Enable the per-site query-fragment result cache (memoised
+        processing steps, consulted before local processing).
+    query_cache:
+        Enable the originator-side whole-query result cache (a repeated
+        query with an unchanged dependency footprint is answered without
+        touching the network).
+    summaries:
+        Enable reachability summaries: build per-site Bloom filters,
+        piggyback them on result messages, and use received summaries to
+        suppress remote work that provably cannot contribute.
+    max_entries / max_bytes:
+        LRU bounds on the fragment cache.
+    bloom_bits / bloom_hashes:
+        Size (must be a multiple of 8) and hash count of every Bloom
+        filter in a site summary.
+    """
+
+    fragments: bool = True
+    query_cache: bool = True
+    summaries: bool = True
+    max_entries: int = 4096
+    max_bytes: int = 4 * 1024 * 1024
+    bloom_bits: int = 4096
+    bloom_hashes: int = 4
+
+    def __post_init__(self) -> None:
+        if self.max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        if self.max_bytes < 1:
+            raise ValueError("max_bytes must be >= 1")
+        if self.bloom_bits < 8 or self.bloom_bits % 8:
+            raise ValueError("bloom_bits must be a positive multiple of 8")
+        if self.bloom_hashes < 1:
+            raise ValueError("bloom_hashes must be >= 1")
+
+    @property
+    def enabled(self) -> bool:
+        """True when any cache feature is switched on."""
+        return self.fragments or self.query_cache or self.summaries

@@ -1,12 +1,18 @@
 """Command-line interface: explore HyperFile from a terminal.
 
-Five subcommands::
+Six subcommands::
 
     python -m repro demo                 # one-minute guided tour
     python -m repro repl [--sites N]     # interactive query shell over the §5 workload
     python -m repro experiments [-n Q]   # quick paper-vs-measured tables
     python -m repro trace [--chrome F]   # run a traced query, export its span timeline
     python -m repro profile              # per-query critical-path + credit profile
+    python -m repro cache-stats [-n Q]   # cache hit/suppression counters vs uncached
+
+``cache-stats`` runs the same repeated query script over two identical
+clusters — one with cross-query caching (:mod:`repro.cache`) on, one
+without — and prints the per-site cache counters next to the remote-work
+messages each cluster actually sent.
 
 ``trace`` runs one closure query over the paper's workload with causal
 tracing on and exports the event timeline — ``--jsonl`` for one JSON
@@ -73,6 +79,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     trace.add_argument("--validate", action="store_true",
                        help="validate the Chrome trace-event schema after writing")
 
+    cache_stats = sub.add_parser(
+        "cache-stats", help="run a repeated workload cached vs uncached, print counters"
+    )
+    cache_stats.add_argument("--sites", type=int, default=3, choices=(1, 3, 9))
+    cache_stats.add_argument("--objects", type=int, default=90)
+    cache_stats.add_argument("-n", "--queries", type=int, default=8)
+    cache_stats.add_argument("--pointer", default="Tree", choices=("Tree", "Chain"))
+
     args = parser.parse_args(argv)
     if args.command == "demo":
         return run_demo()
@@ -87,6 +101,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
     if args.command == "profile":
         return run_profile(sites=args.sites, n_objects=args.objects, pointer=args.pointer)
+    if args.command == "cache-stats":
+        return run_cache_stats(
+            sites=args.sites, n_objects=args.objects,
+            n_queries=args.queries, pointer=args.pointer,
+        )
     return 2  # pragma: no cover - argparse enforces the choices
 
 
@@ -318,6 +337,77 @@ def run_profile(
 
     _, tracer, outcome = _traced_closure_run(sites, n_objects, pointer)
     print(render_profile(tracer, outcome.qid), file=out)
+    return 0
+
+
+# --------------------------------------------------------------------------
+# cache-stats
+# --------------------------------------------------------------------------
+
+
+#: Message kinds that carry remote *work* (as opposed to results,
+#: controls, or fetches) — the traffic the caching layer tries to save.
+WORK_MESSAGES = ("DerefRequest", "BatchedQuery")
+
+
+def _work_sent(node) -> int:
+    return sum(node.stats.messages_sent.get(kind, 0) for kind in WORK_MESSAGES)
+
+
+def run_cache_stats(
+    sites: int = 3,
+    n_objects: int = 90,
+    n_queries: int = 8,
+    pointer: str = "Tree",
+    out: Optional[IO[str]] = None,
+) -> int:
+    out = out if out is not None else sys.stdout
+    from .cache import CacheConfig
+    from .workload import query_script
+
+    spec = WorkloadSpec().scaled(n_objects)
+    graph = build_graph(n=n_objects, seed=spec.seed)
+    # The same script twice over: the second pass is where the caches
+    # (and the paper's repeated-browsing access pattern) pay off.
+    script = list(query_script(pointer, "Rand10p", count=n_queries, spec=spec)) * 2
+
+    def run(caching):
+        cluster = SimCluster(sites, caching=caching)
+        workload = generate_into_cluster(cluster, spec, graph)
+        for query in script:
+            cluster.run_query(query, [workload.root])
+        return cluster
+
+    plain = run(None)
+    cached = run(CacheConfig())
+
+    rows = []
+    for site, node in cached.nodes.items():
+        s = node.stats
+        rows.append(
+            {
+                "site": site,
+                "frag_hit": s.cache_hits,
+                "frag_miss": s.cache_misses,
+                "query_hit": s.query_cache_hits,
+                "bloom_supp": s.sends_suppressed_bloom,
+                "summ_out": s.summaries_sent,
+                "summ_in": s.summaries_received,
+                "work_sent": _work_sent(node),
+            }
+        )
+    print(
+        render_table(rows, title=f"cache counters, {len(script)} queries on {sites} site(s)"),
+        file=out,
+    )
+    plain_work = sum(_work_sent(node) for node in plain.nodes.values())
+    cached_work = sum(_work_sent(node) for node in cached.nodes.values())
+    saved = plain_work - cached_work
+    pct = (100.0 * saved / plain_work) if plain_work else 0.0
+    print(f"  remote work messages: {plain_work} uncached -> {cached_work} cached "
+          f"({saved} saved, {pct:.0f}%)", file=out)
+    print(f"  bytes sent: {plain.total_stats().bytes_sent} uncached -> "
+          f"{cached.total_stats().bytes_sent} cached", file=out)
     return 0
 
 

@@ -8,6 +8,7 @@ from __future__ import annotations
 
 from typing import Iterable, List, Optional, Sequence, Union
 
+from ..cache import CacheConfig
 from ..cluster import SimCluster
 from ..core.oid import Oid
 from ..core.tuples import HFTuple
@@ -39,7 +40,9 @@ class HyperFile:
     (real TCP frames on loopback).  All three implement
     :class:`~repro.api.ClusterAPI`, so everything above them is shared.
     ``batching`` attaches a comms-coalescing config
-    (:class:`~repro.net.batching.BatchConfig`) to every site.
+    (:class:`~repro.net.batching.BatchConfig`) to every site, and
+    ``caching`` a cross-query caching config
+    (:class:`~repro.cache.CacheConfig`; see ``docs/CACHING.md``).
 
     The pre-transport constructor signature (``sites``, ``costs``,
     ``termination``, ``result_mode``) keeps working unchanged and implies
@@ -56,13 +59,14 @@ class HyperFile:
         result_mode: str = "ship",
         transport: str = "sim",
         batching: Optional[BatchConfig] = None,
+        caching: Optional[CacheConfig] = None,
     ) -> None:
         if transport not in TRANSPORTS:
             raise ValueError(f"transport must be one of {TRANSPORTS}, got {transport!r}")
         if transport == "sim":
             self.cluster = SimCluster(
                 sites, costs=costs, termination=termination,
-                result_mode=result_mode, batching=batching,
+                result_mode=result_mode, batching=batching, caching=caching,
             )
         else:
             if costs is not PAPER_COSTS:
@@ -74,14 +78,14 @@ class HyperFile:
 
                 self.cluster = ThreadedCluster(
                     sites, termination=termination,
-                    result_mode=result_mode, batching=batching,
+                    result_mode=result_mode, batching=batching, caching=caching,
                 )
             else:
                 from ..net.sockets import SocketCluster
 
                 self.cluster = SocketCluster(
                     sites, termination=termination,
-                    result_mode=result_mode, batching=batching,
+                    result_mode=result_mode, batching=batching, caching=caching,
                 )
         self.transport = transport
         self.session = Session(self.cluster)

@@ -31,6 +31,7 @@ from .faults.plan import FaultPlan
 from .faults.reliable import ReliableConfig
 from .naming.directory import ForwardingTable
 from .naming.names import migrate_object
+from .cache import CacheConfig
 from .net.batching import BatchConfig
 from .net.messages import QueryId
 from .net.simnet import SimNetwork
@@ -63,6 +64,7 @@ class SimCluster:
         fault_plan: Optional[FaultPlan] = None,
         reliable: Union[bool, ReliableConfig] = False,
         batching: Optional[BatchConfig] = None,
+        caching: Optional[CacheConfig] = None,
     ) -> None:
         if isinstance(sites, int):
             names = [site_name(i) for i in range(sites)]
@@ -98,6 +100,7 @@ class SimCluster:
                 gc_contexts=gc_contexts,
                 forwarding=table,
                 batching=batching,
+                caching=caching,
             )
             self.stores[name] = store
             self.forwarding[name] = table

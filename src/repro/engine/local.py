@@ -21,13 +21,13 @@ the query, not the data").
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 from ..core.oid import Oid
 from ..core.program import Program
 from ..errors import ObjectNotFound, QueryLimitExceeded
 from .efunction import evaluate
-from .items import ActiveItem, WorkItem
+from .items import ActiveItem, IterCounts, WorkItem
 from .marktable import MarkTable
 from .results import QueryResult
 from .workset import WorkSet, make_workset
@@ -60,6 +60,10 @@ class StepOutcome:
     #: execution's ``collect_spawns`` flag is set (tracing needs the item
     #: identities to thread span causality, counters alone do not).
     local_items: List[WorkItem] = field(default_factory=list)
+    #: The step was replayed from the fragment cache (same state changes,
+    #: but the caller should charge a cache-probe cost, not a fetch+filter
+    #: cost).
+    from_cache: bool = False
 
 
 class QueryExecution:
@@ -104,6 +108,13 @@ class QueryExecution:
         self.max_objects = max_objects
         #: Record spawned local items on each StepOutcome (tracing only).
         self.collect_spawns = False
+        #: Optional :class:`repro.cache.FragmentCache` — when set (and
+        #: ``epoch_fn`` supplies the local store's mutation epoch), steps
+        #: are memoised and replayed.  ``None`` keeps this module entirely
+        #: cache-free (bit-identical to the uncached build).
+        self.fragment_cache = None
+        self.epoch_fn: Optional[Callable[[], int]] = None
+        self._suffix_cache: Dict[int, Tuple[str, int]] = {}
 
     # -- admission --------------------------------------------------------
 
@@ -141,6 +152,27 @@ class QueryExecution:
             return outcome
         outcome.admitted = True
 
+        # Fragment-cache probe: a step is a pure function of (program
+        # suffix, start, iter#, object contents), so under an unchanged
+        # store epoch a recorded step replays exactly.
+        cache = self.fragment_cache
+        key = None
+        base = 0
+        epoch = 0
+        if cache is not None:
+            digest, lo = self._suffix_for(item.start)
+            base = lo - 1
+            epoch = self.epoch_fn() if self.epoch_fn is not None else 0
+            key = (digest, item.oid.key(), _rebase_iters(item.iters, base))
+            entry = cache.lookup(key, epoch)
+            if entry is not None:
+                self._replay(entry, item, base, outcome)
+                outcome.from_cache = True
+                return outcome
+
+        marks_rec: List[int] = []
+        spawned_rec: List[WorkItem] = []
+
         try:
             obj = self.fetch(item.oid)
         except ObjectNotFound:
@@ -149,6 +181,11 @@ class QueryExecution:
             self.mark_table.mark(item.oid, item.start, item.iters)
             stats.objects_missing += 1
             outcome.missing = True
+            if cache is not None:
+                cache.store(key, _fragment_entry(
+                    missing=True, passed=False, marks=(item.start - base,),
+                    spawned=(), emissions=(), epoch=epoch,
+                ))
             return outcome
 
         stats.objects_processed += 1
@@ -159,10 +196,14 @@ class QueryExecution:
         n = self.program.size
         while active is not None and active.next <= n:
             self.mark_table.mark(active.oid, active.next, active.iters)
+            if cache is not None:
+                marks_rec.append(active.next - base)
             spawned, active = evaluate(self.program, active, obj, self._emit_collector(outcome))
             outcome.filters_applied += 1
             stats.filters_applied += 1
             for new_item in spawned:
+                if cache is not None:
+                    spawned_rec.append(new_item)
                 if self._is_local(new_item.oid):
                     self.workset.add(new_item)
                     outcome.local_spawned += 1
@@ -177,7 +218,73 @@ class QueryExecution:
             if self.result.oids.add(active.oid):
                 stats.results_added += 1
                 outcome.into_result = True
+        if cache is not None:
+            cache.store(key, _fragment_entry(
+                missing=False,
+                passed=active is not None,
+                marks=tuple(marks_rec),
+                spawned=tuple(
+                    (it.oid, it.start - base, _rebase_iters(it.iters, base))
+                    for it in spawned_rec
+                ),
+                emissions=tuple(outcome.emitted),
+                epoch=epoch,
+            ))
         return outcome
+
+    def _suffix_for(self, start: int) -> Tuple[str, int]:
+        """Memoised (suffix digest, window start) for this program."""
+        cached = self._suffix_cache.get(start)
+        if cached is None:
+            from ..cache.fragments import suffix_info
+
+            cached = self._suffix_cache[start] = suffix_info(self.program, start)
+        return cached
+
+    def _replay(self, entry, item: WorkItem, base: int, outcome: StepOutcome) -> None:
+        """Re-apply a recorded step's state changes exactly.
+
+        Every counter, mark, spawn, emission and result insertion the
+        computed path would have produced is reproduced here (relative
+        positions rebased by the suffix window), so downstream behaviour
+        — admission tests, journal hints, termination credit — cannot
+        tell a replayed step from a computed one.
+        """
+        stats = self.result.stats
+        if entry.missing:
+            self.mark_table.mark(item.oid, item.start, item.iters)
+            stats.objects_missing += 1
+            outcome.missing = True
+            return
+        stats.objects_processed += 1
+        if self.max_objects is not None and stats.objects_processed > self.max_objects:
+            raise QueryLimitExceeded("max_objects", self.max_objects)
+        for rel_pos in entry.marks:
+            self.mark_table.mark(item.oid, rel_pos + base, item.iters)
+        outcome.filters_applied = len(entry.marks)
+        stats.filters_applied += len(entry.marks)
+        for oid, rel_start, rel_iters in entry.spawned:
+            new_item = WorkItem(
+                oid=oid,
+                start=rel_start + base,
+                iters=tuple((idx + base, count) for idx, count in rel_iters),
+            )
+            if self._is_local(new_item.oid):
+                self.workset.add(new_item)
+                outcome.local_spawned += 1
+                if self.collect_spawns:
+                    outcome.local_items.append(new_item)
+                stats.local_derefs += 1
+            else:
+                outcome.remote.append((self._site_of(new_item.oid), new_item))
+                stats.remote_derefs += 1
+        emit = self._emit_collector(outcome)
+        for target, value in entry.emissions:
+            emit(target, value)
+        if entry.passed:
+            if self.result.oids.add(item.oid):
+                stats.results_added += 1
+                outcome.into_result = True
 
     def run(self) -> QueryResult:
         """Drain the working set to completion and return the result.
@@ -224,6 +331,21 @@ class QueryExecution:
     def _site_of(self, oid: Oid) -> str:
         assert self.locate is not None
         return self.locate(oid)
+
+
+def _rebase_iters(iters: IterCounts, base: int) -> IterCounts:
+    """Iteration counts with loop indices made window-relative."""
+    if not base or not iters:
+        return iters
+    return tuple((idx - base, count) for idx, count in iters)
+
+
+def _fragment_entry(**kwargs):
+    """Construct a FragmentEntry (imported lazily: the cache package is
+    only touched when a fragment cache is actually attached)."""
+    from ..cache.fragments import FragmentEntry
+
+    return FragmentEntry(**kwargs)
 
 
 def run_local(

@@ -42,7 +42,7 @@ GRANULARITIES = ("iteration", "position")
 class MarkTable:
     """Per-site, per-query record of processed (object, filter) marks."""
 
-    __slots__ = ("_marks", "_mark_ops", "_granularity", "_journal")
+    __slots__ = ("_marks", "_mark_ops", "_granularity", "_journal", "_journal_base")
 
     def __init__(self, granularity: str = "iteration") -> None:
         if granularity not in GRANULARITIES:
@@ -52,10 +52,15 @@ class MarkTable:
         self._granularity = granularity
         self._marks: Dict[Tuple[str, int], Set[tuple]] = {}
         self._mark_ops = 0  # total mark() calls, for metrics/ablations
-        #: Append-only log of new marks as (oid_key, mark_key) pairs — the
-        #: batching layer ships slices of it as per-frame dedup hints.
-        #: None until enabled (zero overhead for unbatched runs).
+        #: Log of new marks as (oid_key, mark_key) pairs — the batching
+        #: layer ships slices of it as per-frame dedup hints.  None until
+        #: enabled (zero overhead for unbatched runs).  Entries are
+        #: addressed by *absolute* index: ``_journal_base`` counts entries
+        #: already trimmed off the front once every destination's hint
+        #: cursor has passed them, so long closure queries don't retain
+        #: the full mark history.
         self._journal: Optional[List[Tuple[Tuple[str, int], tuple]]] = None
+        self._journal_base = 0
 
     @property
     def granularity(self) -> str:
@@ -77,8 +82,46 @@ class MarkTable:
 
     @property
     def journal(self) -> List[Tuple[Tuple[str, int], tuple]]:
-        """New-mark log (empty if the journal was never enabled)."""
+        """Retained (untrimmed) tail of the new-mark log."""
         return self._journal if self._journal is not None else []
+
+    @property
+    def journal_len(self) -> int:
+        """Absolute length of the journal, counting trimmed entries."""
+        if self._journal is None:
+            return 0
+        return self._journal_base + len(self._journal)
+
+    def journal_slice(
+        self, start: int, cap: int
+    ) -> Tuple[Tuple[Tuple[Tuple[str, int], tuple], ...], int]:
+        """Up to ``cap`` entries from absolute index ``start`` onward.
+
+        Returns ``(entries, new_cursor)`` where ``new_cursor`` is the
+        absolute index just past the last entry returned.  Indices below
+        the trim point are skipped (those hints are gone; harmless — a
+        hint only ever saves a message, never changes an answer).
+        """
+        if self._journal is None:
+            return (), start
+        rel = max(start - self._journal_base, 0)
+        taken = tuple(self._journal[rel : rel + cap])
+        return taken, self._journal_base + rel + len(taken)
+
+    def trim_journal(self, upto: int) -> None:
+        """Discard journal entries below absolute index ``upto``.
+
+        Callers (the batching layer) pass the minimum hint cursor across
+        destinations, so only entries every destination has already been
+        offered are dropped — the journal stays bounded by
+        ``hint_cap x destinations`` instead of growing with the query.
+        """
+        if self._journal is None or upto <= self._journal_base:
+            return
+        drop = min(upto - self._journal_base, len(self._journal))
+        if drop:
+            del self._journal[:drop]
+            self._journal_base += drop
 
     def should_process(self, oid: Oid, start: int, iters: IterCounts = EMPTY_ITERS) -> bool:
         """Admission test of Figure 3: process iff the mark is absent."""
@@ -122,6 +165,7 @@ class MarkTable:
         self._mark_ops = 0
         if self._journal is not None:
             self._journal.clear()
+        self._journal_base = 0
 
     def __len__(self) -> int:
         return len(self._marks)

@@ -59,6 +59,14 @@ class ForwardingTable:
         """Forget a forwarding entry (e.g. after the object was deleted)."""
         self._entries.pop(oid.key(), None)
 
+    def forwarded_keys(self) -> Tuple[Tuple[str, int], ...]:
+        """Identity keys of every object forwarded away from this site.
+
+        Site summaries include these in the holdings filter: the birth
+        site must keep answering for migrated objects.
+        """
+        return tuple(self._entries.keys())
+
     def __len__(self) -> int:
         return len(self._entries)
 

@@ -159,14 +159,24 @@ class SendBatcher:
         marks = self._remote_marks.get((qid, peer))
         return marks is not None and (oid_key, mark_key) in marks
 
-    def take_hints(self, qid: QueryId, dst: str, journal: Sequence[MarkHint]) -> Tuple[MarkHint, ...]:
-        """Next slice of the mark journal not yet shipped to ``dst``."""
+    def take_hints(self, qid: QueryId, dst: str, mark_table) -> Tuple[MarkHint, ...]:
+        """Next slice of the mark journal not yet shipped to ``dst``.
+
+        Advances the per-destination cursor, then trims the journal up
+        to the *minimum* cursor across this query's destinations — every
+        retained entry is still owed to someone, everything older is
+        dropped, so the journal stays bounded across flushes instead of
+        logging the query's whole mark history.
+        """
         if not self.config.mark_hints:
             return ()
         cursor = self._hint_cursor.get((qid, dst), 0)
-        taken = tuple(journal[cursor : cursor + self.config.hint_cap])
-        if taken:
-            self._hint_cursor[(qid, dst)] = cursor + len(taken)
+        taken, new_cursor = mark_table.journal_slice(cursor, self.config.hint_cap)
+        self._hint_cursor[(qid, dst)] = new_cursor
+        floor = min(
+            c for (q, _), c in self._hint_cursor.items() if q == qid
+        )
+        mark_table.trim_journal(floor)
         return taken
 
     # -- work queues -----------------------------------------------------

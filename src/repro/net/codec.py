@@ -24,6 +24,7 @@ import struct
 from fractions import Fraction
 from typing import Any, Dict, List, Optional, Tuple
 
+from ..cache import BloomFilter, SiteSummary
 from ..core.oid import Oid
 from ..core.patterns import ANY, Any_, Bind, Literal, OneOf, Pattern, Range, Regex, Use
 from ..core.program import DerefOp, LoopOp, Op, Program, RetrieveOp, SelectOp
@@ -436,6 +437,57 @@ def _read_term(r: _Reader) -> Dict[str, Any]:
 
 
 # --------------------------------------------------------------------------
+# site summaries (caching layer piggyback)
+# --------------------------------------------------------------------------
+
+
+def _write_bloom(w: _Writer, bloom: BloomFilter) -> None:
+    w.varint(bloom.hashes)
+    w.varint(bloom.count)
+    w.raw(bloom.to_bytes())
+
+
+def _read_bloom(r: _Reader) -> BloomFilter:
+    hashes = r.varint()
+    if hashes < 1 or hashes > 64:
+        raise CodecError(f"implausible bloom hash count {hashes}")
+    count = r.varint()
+    if count < 0:
+        raise CodecError("negative bloom count")
+    data = r.raw()
+    if not data:
+        raise CodecError("empty bloom bit array")
+    return BloomFilter.from_bytes(data, hashes, count)
+
+
+def _write_summary(w: _Writer, summary: SiteSummary) -> None:
+    w.text(summary.site)
+    w.varint(summary.epoch)
+    w.varint(summary.forward_count)
+    w.varint(summary.alloc_high)
+    _write_bloom(w, summary.holdings)
+    w.varint(len(summary.reach))
+    for key in sorted(summary.reach):
+        w.text(key)
+        _write_bloom(w, summary.reach[key])
+
+
+def _read_summary(r: _Reader) -> SiteSummary:
+    site = r.text()
+    epoch = r.varint()
+    forward_count = r.varint()
+    alloc_high = r.varint()
+    if epoch < 0 or forward_count < 0 or alloc_high < 0:
+        raise CodecError("negative summary field")
+    holdings = _read_bloom(r)
+    n = r.varint()
+    if n < 0 or n > 1024:
+        raise CodecError(f"implausible reach-key count {n}")
+    reach = {r.text(): _read_bloom(r) for _ in range(n)}
+    return SiteSummary(site, epoch, forward_count, holdings, reach, alloc_high)
+
+
+# --------------------------------------------------------------------------
 # messages
 # --------------------------------------------------------------------------
 
@@ -485,6 +537,11 @@ def encode_message(message: Any) -> bytes:
         w.byte(1 if message.count_only else 0)
         w.varint(message.count)
         _write_term(w, message.term)
+        if message.summary is None:
+            w.byte(0)
+        else:
+            w.byte(1)
+            _write_summary(w, message.summary)
     elif isinstance(message, ControlMessage):
         w.byte(_M_CONTROL)
         _write_qid(w, message.qid)
@@ -547,6 +604,7 @@ def decode_message(frame: bytes) -> Any:
         count_only = r.byte() == 1
         count = r.varint()
         term = _read_term(r)
+        summary = _read_summary(r) if r.byte() == 1 else None
         message = ResultBatch(
             qid,
             oids=tuple(oids),
@@ -554,6 +612,7 @@ def decode_message(frame: bytes) -> Any:
             count_only=count_only,
             count=count,
             term=term,
+            summary=summary,
         )
     elif tag == _M_CONTROL:
         message = ControlMessage(_read_qid(r), r.text(), _read_value(r))
@@ -620,6 +679,10 @@ def encode_envelope(env: Envelope) -> bytes:
     span count of zero means "untraced" (``spans=None``), matching the
     in-process transports bit for bit.  Span entries of ``0`` are per-item
     placeholders for untraced causes inside a traced batch.
+
+    The sender's store epoch travels the same way: ``0`` means "caching
+    off" (``src_epoch=None``), any other value ``e`` decodes to epoch
+    ``e - 1``.
     """
     w = _Writer()
     w.text(env.src)
@@ -629,6 +692,7 @@ def encode_envelope(env: Envelope) -> bytes:
         w.varint(len(env.spans))
         for span in env.spans:
             w.varint(span)
+    w.varint(0 if env.src_epoch is None else env.src_epoch + 1)
     w.chunks.append(encode_message(env.payload))
     return w.getvalue()
 
@@ -641,5 +705,9 @@ def decode_envelope(frame: bytes, dst: str) -> Envelope:
     if n < 0 or n > 100_000:
         raise CodecError(f"implausible span count {n}")
     spans = tuple(r.varint() for _ in range(n)) if n else None
+    epoch_plus_one = r.varint()
+    if epoch_plus_one < 0:
+        raise CodecError("negative envelope epoch")
+    src_epoch = None if epoch_plus_one == 0 else epoch_plus_one - 1
     payload = decode_message(r.data[r.pos :])
-    return Envelope(src, dst, payload, spans=spans)
+    return Envelope(src, dst, payload, spans=spans, src_epoch=src_epoch)

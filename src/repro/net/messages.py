@@ -78,6 +78,9 @@ class ResultBatch:
     count_only: bool = False
     count: int = 0
     term: TermAttachment = field(default_factory=dict)
+    #: Piggybacked :class:`repro.cache.SiteSummary` (typed loosely so the
+    #: message layer never imports the cache package — codec does).
+    summary: Optional[Any] = None
 
     @property
     def item_count(self) -> int:
@@ -87,9 +90,10 @@ class ResultBatch:
         return len(self.oids) + len(self.emissions)
 
     def wire_size(self) -> int:
+        extra = self.summary.wire_size() if self.summary is not None else 0
         if self.count_only:
-            return 20
-        size = 16
+            return 20 + extra
+        size = 16 + extra
         for oid in self.oids:
             size += len(oid.birth_site) + 12
         for target, value in self.emissions:
@@ -275,12 +279,19 @@ class Envelope:
     per-item children of the right senders' steps.  ``None`` whenever
     tracing is off; the field never contributes to ``size_bytes``, so a
     traced run moves exactly the same modelled bytes as an untraced one.
+
+    ``src_epoch`` piggybacks the sender's store mutation epoch when
+    caching is enabled (``None`` otherwise — an uncached run's envelopes
+    are indistinguishable from today's).  Receivers use it to invalidate
+    stale summaries and cached query answers; like ``spans`` it never
+    contributes to ``size_bytes``.
     """
 
     src: str
     dst: str
     payload: Any
     spans: Optional[Tuple[int, ...]] = None
+    src_epoch: Optional[int] = None
 
     @property
     def size_bytes(self) -> int:

@@ -37,6 +37,7 @@ from ..errors import HyperFileError, UnknownSite
 from ..faults.plan import FaultPlan
 from ..faults.reliable import ReliableAck, ReliableConfig, ReliableData, ReliableEndpoint
 from ..faults.timers import TimerThread
+from ..cache import CacheConfig
 from ..net.batching import BatchConfig
 from ..net.codec import decode_envelope, encode_envelope
 from ..net.messages import (
@@ -287,6 +288,7 @@ class SocketCluster(WallClockQueries):
         fault_plan: Optional[FaultPlan] = None,
         reliable: Union[bool, ReliableConfig] = False,
         batching: Optional[BatchConfig] = None,
+        caching: Optional[CacheConfig] = None,
     ) -> None:
         names = [f"site{i}" for i in range(sites)] if isinstance(sites, int) else list(sites)
         strategy = make_strategy(termination)
@@ -317,6 +319,7 @@ class SocketCluster(WallClockQueries):
                 on_query_complete=self._on_complete,
                 is_site_up=self.is_up,
                 batching=batching,
+                caching=caching,
             )
             node.now_fn = time.monotonic
             self.stores[name] = store

@@ -37,6 +37,7 @@ from ..faults.plan import FaultPlan
 from ..faults.reliable import ReliableAck, ReliableConfig, ReliableData, ReliableEndpoint
 from ..faults.timers import TimerThread
 from ..naming.directory import ForwardingTable
+from ..cache import CacheConfig
 from ..net.batching import BatchConfig
 from ..net.messages import (
     BatchedQuery,
@@ -131,6 +132,7 @@ class ThreadedCluster(WallClockQueries):
         fault_plan: Optional[FaultPlan] = None,
         reliable: Union[bool, ReliableConfig] = False,
         batching: Optional[BatchConfig] = None,
+        caching: Optional[CacheConfig] = None,
     ) -> None:
         if isinstance(sites, int):
             names = [f"site{i}" for i in range(sites)]
@@ -168,6 +170,7 @@ class ThreadedCluster(WallClockQueries):
                 on_query_complete=self._on_complete,
                 is_site_up=self.is_up,
                 batching=batching,
+                caching=caching,
             )
             node.now_fn = time.monotonic
             self.stores[name] = store

@@ -60,6 +60,21 @@ class QueryContext:
     #: query's span tree stays connected.  None when untraced.
     root_span: Optional[int] = None
 
+    #: Originator only, caching enabled: the whole-query cache key this
+    #: answer will be stored under at completion, plus the local store
+    #: epoch captured at submit (the answer is cached only if the store
+    #: was not mutated in between).  None when caching is off or the
+    #: query was ineligible.
+    cache_key: Optional[tuple] = None
+    cache_epoch: int = 0
+
+    #: Which run of this query id the context belongs to.  1 for every
+    #: query whose id is never reused; bumped when an expired query's id
+    #: is resubmitted, so stale in-flight messages from the previous run
+    #: (which carry the old incarnation, or none) are dropped instead of
+    #: corrupting the new run's credit ledger or result set.
+    incarnation: int = 1
+
     @property
     def busy(self) -> bool:
         """Does this site still hold work for the query?"""

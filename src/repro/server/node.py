@@ -29,6 +29,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Deque, Dict, Iterable, List, Optional, Tuple
 
+from ..cache import CacheConfig, NodeCache
 from ..core.oid import Oid
 from ..core.program import Program
 from ..engine.items import WorkItem
@@ -53,6 +54,7 @@ from ..net.messages import (
 )
 from ..sim.costs import CostModel, PAPER_COSTS
 from ..storage.memstore import MemStore
+from ..storage.reachability import match_closure_shape
 from ..termination.base import TerminationStrategy
 from ..termination.weights import WeightedStrategy
 from .context import QueryContext
@@ -119,6 +121,7 @@ class ServerNode:
         on_query_complete: Optional[CompletionCallback] = None,
         gc_contexts: bool = False,
         batching: Optional[BatchConfig] = None,
+        caching: Optional[CacheConfig] = None,
     ) -> None:
         """
         Parameters
@@ -137,6 +140,12 @@ class ServerNode:
             Comms-coalescing config (:class:`~repro.net.batching.BatchConfig`).
             ``None`` (or ``max_batch=1`` with no linger) keeps the legacy
             one-message-per-pointer path, bit-identical to before.
+        caching:
+            Cross-query caching config (:class:`~repro.cache.CacheConfig`):
+            fragment-result reuse, Bloom-summary send pruning, and the
+            originator's whole-query answer cache.  ``None`` disables the
+            subsystem entirely — behaviour is bit-identical to an
+            uncached node.
         """
         if result_mode not in ("ship", "count"):
             raise ValueError(f"result_mode must be 'ship' or 'count', got {result_mode!r}")
@@ -156,12 +165,25 @@ class ServerNode:
         self.gc_contexts = gc_contexts
         self.batching = batching if batching is not None else BatchConfig(max_batch=1)
         self._batcher = SendBatcher(self.batching) if self.batching.enabled else None
+        self.caching = caching
         #: Clock for batch linger aging; real transports point this at
         #: ``time.monotonic`` (the simulator relies on drain/idle flushes).
         self.now_fn: Callable[[], float] = lambda: 0.0
         self.contexts: Dict[QueryId, QueryContext] = {}
         self.inbox: Deque[Envelope] = deque()
         self.stats = NodeStats()
+        self._cache = (
+            NodeCache(site, caching, self.stats)
+            if caching is not None and caching.enabled
+            else None
+        )
+        #: Closure-shape pointer key per query (None for non-closure
+        #: programs); drives Bloom rule-B suppression.  Caching only.
+        self._closure_keys: Dict[QueryId, Optional[str]] = {}
+        #: Originator side: current incarnation per reused query id (a
+        #: qid resubmitted after deadline expiry).  Absent = 1, the
+        #: common case, which never stamps the wire.
+        self._incarnations: Dict[QueryId, int] = {}
         self._rr: Deque[QueryId] = deque()  # round-robin order over busy contexts
         #: Optional QueryTracer (see repro.tracing); None = zero overhead.
         self.tracer = None
@@ -212,11 +234,38 @@ class ServerNode:
         """Install an originator context and seed the initial set ``S_i``."""
         if qid.originator != self.site:
             raise HyperFileError(f"query {qid} submitted at non-originating site {self.site}")
+        self._prepare_resubmit(qid)
         report = StepReport()
         if self.tracer is not None:
             self._step_span = self.tracer.emit(self.site, "submit", qid, filters=program.size)
+        initial = list(initial)
         ctx = self._ensure_context(qid, program)
         self.termination.on_start(ctx.term_state)
+        if (
+            self._cache is not None
+            and self._cache.config.query_cache
+            and self.result_mode == "ship"
+        ):
+            key = self._cache.query_key(
+                program, tuple(WorkItem(oid=oid, start=1) for oid in initial)
+            )
+            hit = self._cache.lookup_query(key, self.store.epoch)
+            if hit is not None:
+                # Serve the whole answer from cache: write the ledger off
+                # (no work was split) and complete through the normal
+                # termination path so traces/callbacks look identical.
+                self.termination.on_deadline(ctx.term_state)
+                report.elapsed += self.costs.cache_hit_s
+                assert ctx.final is not None
+                for oid in hit.oids:
+                    ctx.final.oids.add(oid)
+                for target, value in hit.retrieved:
+                    ctx.final.retrieved.setdefault(target, []).append(value)
+                self._check_termination(ctx, report)
+                return report
+            ctx.cache_key = key
+            ctx.cache_epoch = self.store.epoch
+            self._cache.begin_query(qid)
         for oid in initial:
             target = self.locate(oid)
             if target == self.site:
@@ -244,6 +293,7 @@ class ServerNode:
         """
         if qid.originator != self.site:
             raise HyperFileError(f"query {qid} submitted at non-originating site {self.site}")
+        self._prepare_resubmit(qid)
         report = StepReport()
         if self.tracer is not None:
             self._step_span = self.tracer.emit(
@@ -260,7 +310,10 @@ class ServerNode:
                         self._item_spans[(qid, item_key(item))] = self._step_span
             else:
                 attach = self.termination.on_send_work(ctx.term_state)
-                self._emit(report, site, SeedFromSaved(qid, program, source_qid, dict(attach)))
+                self._emit(
+                    report, site,
+                    SeedFromSaved(qid, program, source_qid, self._stamp_inc(ctx, attach)),
+                )
         self._enqueue_rr(qid)
         self._drain_if_idle(ctx, report)
         return report
@@ -316,6 +369,9 @@ class ServerNode:
             # Pending queued sends carried credit, but on_deadline just
             # wrote the whole ledger off — dropping them is consistent.
             self._batcher.drop_query(qid)
+        if self._cache is not None:
+            # A partial answer must never be served from cache.
+            self._cache.drop_query(qid)
         ctx.done = True
         assert ctx.final is not None
         ctx.final.partial = True
@@ -403,6 +459,16 @@ class ServerNode:
 
     def _handle_message(self, env: Envelope) -> StepReport:
         payload = env.payload
+        if self._cache is not None and env.src_epoch is not None:
+            # Every envelope piggybacks its sender's store epoch; a newer
+            # one invalidates any summary held for that site.
+            self._cache.observe_epoch(env.src, env.src_epoch)
+            qid = getattr(payload, "qid", None)
+            if qid is not None and not isinstance(qid, str):
+                # A query-bearing envelope is also a same-query freshness
+                # witness: suppression toward env.src is allowed for this
+                # query only against a summary at exactly this epoch.
+                self._cache.confirm_epoch(qid, env.src, env.src_epoch)
         self.stats.count_received(type(payload).__name__, env.size_bytes)
         if self.metrics is not None:
             self.metrics.counter("node.messages_received_total", site=self.site).inc()
@@ -440,10 +506,11 @@ class ServerNode:
 
     def _handle_deref(self, env: Envelope, msg: DerefRequest) -> StepReport:
         report = StepReport(elapsed=self.costs.msg_recv_s)
-        ctx = self._ensure_context(msg.qid, msg.program)
-        if ctx.done:
-            # The deadline fired while this work was in flight; the client
-            # already has the (partial) result — drop the branch.
+        ctx = self._context_for_work(msg.qid, msg.program, msg.term)
+        if ctx is None or ctx.done:
+            # The deadline fired (or the query id was reused) while this
+            # work was in flight; the client already has the (partial)
+            # result — drop the branch.
             self.stats.late_messages += 1
             return report
         target = self.locate(msg.item.oid)
@@ -486,11 +553,9 @@ class ServerNode:
             elapsed=self.costs.msg_recv_s
             + self.costs.batch_item_recv_s * (len(msg.items) - 1)
         )
-        ctx = self._ensure_context(msg.qid, msg.program)
-        if self._batcher is not None and msg.marked_hints:
-            # The sender's recent marks: anything listed is already
-            # processed there, so never send it back.
-            self._batcher.record_remote_marks(msg.qid, env.src, msg.marked_hints)
+        ctx = self._context_for_work(
+            msg.qid, msg.program, msg.terms[0] if msg.terms else {}
+        )
         batch_span: Optional[int] = None
         if self.tracer is not None:
             batch_span = self.tracer.emit(
@@ -499,9 +564,13 @@ class ServerNode:
                 src=env.src, items=len(msg.items), hints=len(msg.marked_hints),
             )
             self._step_span = batch_span
-        if ctx.done:
+        if ctx is None or ctx.done:
             self.stats.late_messages += 1
             return report
+        if self._batcher is not None and msg.marked_hints:
+            # The sender's recent marks: anything listed is already
+            # processed there, so never send it back.
+            self._batcher.record_remote_marks(msg.qid, env.src, msg.marked_hints)
         self.stats.batched_items += len(msg.items)
         for index, (item, term) in enumerate(zip(msg.items, msg.terms)):
             # Per-item cause: the sender's step that enqueued this item
@@ -541,18 +610,25 @@ class ServerNode:
             raise HyperFileError(
                 f"site {self.site} received results for {msg.qid} it did not originate"
             )
-        if ctx.done:
-            # Deadline already fired (or detector already terminated):
+        if self._cache is not None and msg.summary is not None:
+            # Piggybacked reachability summary: useful whatever the fate
+            # of the batch itself (it describes the peer, not the query).
+            self._cache.record_summary(msg.summary)
+        elapsed = self.costs.result_msg_fixed_s + self.costs.result_item_s * msg.item_count
+        if ctx.done or msg.term.get("#inc", 1) != ctx.incarnation:
+            # Deadline already fired (or detector already terminated, or
+            # this batch belongs to a previous run of a reused query id):
             # the client holds the result; ingesting more would mutate it
             # behind their back and could over-recover credit.  The batch
             # still occupies the CPU for its full receive-and-parse cost.
             self.stats.late_messages += 1
-            return StepReport(
-                elapsed=self.costs.result_msg_fixed_s + self.costs.result_item_s * msg.item_count
-            )
-        elapsed = self.costs.result_msg_fixed_s + self.costs.result_item_s * msg.item_count
+            return StepReport(elapsed=elapsed)
         report = StepReport(elapsed=elapsed)
         ctx.participants.add(env.src)
+        if self._cache is not None:
+            # The answer now depends on env.src's store as of its current
+            # epoch (None or ambiguous epochs poison the footprint).
+            self._cache.note_result_dep(msg.qid, env.src, env.src_epoch)
         if msg.count_only:
             ctx.partition_counts[env.src] = ctx.partition_counts.get(env.src, 0) + msg.count
         else:
@@ -598,7 +674,10 @@ class ServerNode:
 
     def _handle_seed_from_saved(self, env: Envelope, msg: SeedFromSaved) -> StepReport:
         report = StepReport(elapsed=self.costs.msg_recv_s)
-        ctx = self._ensure_context(msg.qid, msg.program)
+        ctx = self._context_for_work(msg.qid, msg.program, msg.term)
+        if ctx is None or ctx.done:
+            self.stats.late_messages += 1
+            return report
         for oid in self.saved_partition(msg.source_qid):
             item = WorkItem(oid=oid, start=1)
             ctx.execution.admit(item)
@@ -636,13 +715,7 @@ class ServerNode:
         report = StepReport(elapsed=self.costs.msg_recv_s)
         ctx = self.contexts.get(msg.qid)
         if ctx is not None and not ctx.busy and not ctx.is_originator:
-            del self.contexts[msg.qid]
-            if msg.qid in self._rr:
-                self._rr.remove(msg.qid)
-            if self._batcher is not None:
-                self._batcher.drop_query(msg.qid)
-            if self._item_spans:
-                self._drop_item_spans(msg.qid)
+            self._retire_context(msg.qid)
         return report
 
     def _handle_undeliverable(self, msg: Undeliverable) -> StepReport:
@@ -657,7 +730,13 @@ class ServerNode:
             raise HyperFileError(
                 f"site {self.site} got a bounce for unknown query {original.qid}"
             )
-        if ctx.done:
+        if isinstance(original, BatchedQuery):
+            term0 = original.terms[0] if original.terms else {}
+        else:
+            term0 = getattr(original, "term", None) or {}
+        if ctx.done or term0.get("#inc", 1) != ctx.incarnation:
+            # Ledger already written off, or the bounce belongs to a
+            # previous run of a reused query id.
             self.stats.late_messages += 1
             return report
         if isinstance(original, BatchedQuery):
@@ -716,7 +795,12 @@ class ServerNode:
         elif outcome.missing:
             report.elapsed += self.costs.mark_check_s
         else:
-            report.elapsed += self.costs.object_process_s
+            if outcome.from_cache:
+                # Replayed from the fragment cache: no filter evaluation,
+                # no store read — just the (much cheaper) replay.
+                report.elapsed += self.costs.cache_hit_s
+            else:
+                report.elapsed += self.costs.object_process_s
             self.stats.objects_processed += 1
             if outcome.into_result:
                 report.elapsed += self.costs.result_insert_s
@@ -745,12 +829,21 @@ class ServerNode:
             return
         if cause is None:
             cause = self._step_span
+        if self._cache is not None and self._cache.should_suppress(
+            ctx.qid, dst, item, self._closure_keys.get(ctx.qid)
+        ):
+            # Bloom pruning, *before* any credit is split: the summary
+            # proves the message could not produce marks, results, or
+            # spawns at the far end, so dropping it is indistinguishable
+            # (to the detector) from a mark-table skip.
+            self.stats.sends_suppressed_bloom += 1
+            return
         batcher = self._batcher
         if batcher is None:
             attach = self.termination.on_send_work(ctx.term_state)
             self._emit(
                 report, dst,
-                DerefRequest(ctx.qid, ctx.execution.program, item, dict(attach)),
+                DerefRequest(ctx.qid, ctx.execution.program, item, self._stamp_inc(ctx, attach)),
                 cause=cause,
             )
             return
@@ -764,7 +857,9 @@ class ServerNode:
             return
         attach = self.termination.on_send_work(ctx.term_state)
         batcher.record_sent(ctx.qid, dst, item)
-        pending = batcher.enqueue_work(ctx.qid, dst, item, dict(attach), self.now_fn(), span=cause)
+        pending = batcher.enqueue_work(
+            ctx.qid, dst, item, self._stamp_inc(ctx, attach), self.now_fn(), span=cause
+        )
         if pending >= self.batching.max_batch:
             self._flush_work(ctx.qid, dst, report, "size")
 
@@ -809,7 +904,7 @@ class ServerNode:
                 cause=spans[0],
             )
             return 0
-        hints = batcher.take_hints(qid, dst, ctx.execution.mark_table.journal)
+        hints = batcher.take_hints(qid, dst, ctx.execution.mark_table)
         self.stats.batched_items += len(items)
         if self.metrics is not None:
             self.metrics.histogram("batching.batch_size_items").observe(len(items))
@@ -923,6 +1018,11 @@ class ServerNode:
             drain_span = self.tracer.emit(
                 self.site, "drain", ctx.qid, parent=parent, results=len(oids)
             )
+        summary = None
+        if self._cache is not None:
+            summary = self._cache.summary_to_attach(
+                ctx.qid.originator, self.store, self.forwarding
+            )
         if self.result_mode == "count":
             batch = ResultBatch(
                 ctx.qid,
@@ -930,10 +1030,17 @@ class ServerNode:
                 emissions=emissions,
                 count_only=True,
                 count=len(oids),
-                term=dict(attach),
+                term=self._stamp_inc(ctx, attach),
+                summary=summary,
             )
         else:
-            batch = ResultBatch(ctx.qid, oids=oids, emissions=emissions, term=dict(attach))
+            batch = ResultBatch(
+                ctx.qid,
+                oids=oids,
+                emissions=emissions,
+                term=self._stamp_inc(ctx, attach),
+                summary=summary,
+            )
         self._emit_result(report, ctx.qid.originator, batch, cause=drain_span)
         self._absorb_controls(report, controls, ctx.qid)
 
@@ -954,6 +1061,21 @@ class ServerNode:
         if self.termination.is_terminated(ctx.term_state, ctx.busy):
             ctx.done = True
             assert ctx.final is not None
+            if self._cache is not None and ctx.cache_key is not None:
+                if not ctx.final.partial and self.store.epoch == ctx.cache_epoch:
+                    retrieved = tuple(
+                        (target, value)
+                        for target, values in ctx.final.retrieved.items()
+                        for value in values
+                    )
+                    self._cache.store_query(
+                        ctx.qid, ctx.cache_key, ctx.cache_epoch,
+                        tuple(ctx.final.oids.as_list()), retrieved,
+                    )
+                else:
+                    # Local store mutated mid-query (or the answer is
+                    # partial): the answer is fine, but not cacheable.
+                    self._cache.drop_query(ctx.qid)
             if self.tracer is not None:
                 parent = self._step_span if self._step_span is not None else ctx.root_span
                 self.tracer.emit(
@@ -990,6 +1112,14 @@ class ServerNode:
         )
         if self._batcher is not None and self.batching.mark_hints:
             execution.mark_table.enable_journal()
+        if self._cache is not None:
+            if self._cache.fragments is not None:
+                execution.fragment_cache = self._cache.fragments
+                execution.epoch_fn = lambda: self.store.epoch
+            shape = match_closure_shape(program)
+            self._closure_keys[qid] = shape[0] if shape is not None else None
+            if shape is not None:
+                self._cache.note_pointer_key(shape[0])
         if self.tracer is not None:
             # Every outcome of this context descends (at worst) from the
             # event that created it — the submit here, the recv elsewhere —
@@ -1003,10 +1133,85 @@ class ServerNode:
             term_state=self.termination.new_state(self.site, is_originator),
             final=QueryResult() if is_originator else None,
             root_span=self._step_span,
+            incarnation=self._incarnations.get(qid, 1),
         )
         self.contexts[qid] = ctx
         self.stats.contexts_created += 1
         return ctx
+
+    def _context_for_work(
+        self, qid: QueryId, program: Program, term: Any
+    ) -> Optional[QueryContext]:
+        """Resolve the context a work/seed message belongs to.
+
+        Work messages stamp the originator's context *incarnation* (only
+        when a query id was reused — the common case carries no stamp and
+        defaults to 1).  A newer incarnation retires whatever stale state
+        the previous run left here; an older one means the message itself
+        is stale — return None so the caller drops it, exactly like work
+        arriving after a deadline (its credit was already written off).
+        """
+        inc = term.get("#inc", 1) if hasattr(term, "get") else 1
+        ctx = self.contexts.get(qid)
+        if ctx is not None and inc > ctx.incarnation:
+            self._retire_context(qid)
+            ctx = None
+        if ctx is None:
+            if inc > self._incarnations.get(qid, 1):
+                # First contact from a rerun: the fresh context must take
+                # the message's incarnation, or the results it drains
+                # back would be stamped with the old one and dropped as
+                # stale by the originator.
+                self._incarnations[qid] = inc
+            ctx = self._ensure_context(qid, program)
+        if inc < ctx.incarnation:
+            return None
+        return ctx
+
+    def _retire_context(self, qid: QueryId) -> None:
+        """Drop every trace of a finished/stale run of ``qid``.
+
+        Only safe once the run's termination ledger is settled (the
+        originator completed or expired it): queued sends and marks from
+        the old run must not leak into a new run under the same id.
+        """
+        self.contexts.pop(qid, None)
+        if qid in self._rr:
+            self._rr.remove(qid)
+        if self._batcher is not None:
+            self._batcher.drop_query(qid)
+        if self._item_spans:
+            self._drop_item_spans(qid)
+        if self._cache is not None:
+            self._cache.drop_query(qid)
+        self._closure_keys.pop(qid, None)
+
+    def _prepare_resubmit(self, qid: QueryId) -> None:
+        """Originator side: make a reused query id safe to run again.
+
+        Resubmitting an id still in flight is a client error.  Reusing a
+        finished (typically deadline-expired) id retires the old context
+        and bumps the incarnation so the new run's messages are
+        distinguishable from the old run's stragglers.
+        """
+        ctx = self.contexts.get(qid)
+        if ctx is None:
+            return
+        if not ctx.done:
+            raise HyperFileError(f"query {qid} resubmitted while still in flight")
+        self._incarnations[qid] = ctx.incarnation + 1
+        self._retire_context(qid)
+
+    def _stamp_inc(self, ctx: QueryContext, attach: Dict[str, Any]) -> Dict[str, Any]:
+        """Copy a termination attachment, stamping the context incarnation.
+
+        First incarnations (every query whose id is never reused) are not
+        stamped, so their wire frames are byte-identical to before.
+        """
+        term = dict(attach)
+        if ctx.incarnation > 1:
+            term["#inc"] = ctx.incarnation
+        return term
 
     def _emit(
         self,
@@ -1040,7 +1245,10 @@ class ServerNode:
                     env_spans = (send_span, *(s or 0 for s in item_causes))
                 else:
                     env_spans = (send_span,)
-        env = Envelope(self.site, dst, payload, spans=env_spans)
+        env = Envelope(
+            self.site, dst, payload, spans=env_spans,
+            src_epoch=self.store.epoch if self._cache is not None else None,
+        )
         self.stats.count_sent(type(payload).__name__, env.size_bytes)
         if self.metrics is not None:
             self.metrics.counter("node.messages_sent_total", site=self.site).inc()

@@ -43,6 +43,14 @@ class NodeStats:
     batch_flushes_drain: int = 0   #: flushes triggered by a working-set drain
     batch_flushes_timer: int = 0   #: flushes triggered by the linger timer
     batch_flushes_idle: int = 0    #: flushes triggered by node-idle force-flush
+    # Caching counters (cross-query caching layer, see repro.cache).
+    cache_hits: int = 0            #: engine steps served from the fragment cache
+    cache_misses: int = 0          #: fragment-cache probes that missed (or were stale)
+    cache_evictions: int = 0       #: fragment entries evicted by the LRU/byte budget
+    query_cache_hits: int = 0      #: whole queries answered from the result cache
+    sends_suppressed_bloom: int = 0  #: remote work suppressed by a peer's Bloom summary
+    summaries_sent: int = 0        #: site summaries piggybacked on result messages
+    summaries_received: int = 0    #: site summaries ingested from result messages
 
     def count_sent(self, kind: str, size: int) -> None:
         self.messages_sent[kind] = self.messages_sent.get(kind, 0) + 1

@@ -65,6 +65,11 @@ class CostModel:
     #: Per-item cost of integrating remote result entries at the originator.
     result_item_s: float = 0.035
 
+    #: Serving a memoised step (or whole query) from the fragment/query
+    #: cache — a hash probe plus replaying recorded marks, far below the
+    #: 8 ms of actually filtering the object.
+    cache_hit_s: float = 0.0005
+
     #: Client <-> originating-server link cost per direction (0 keeps the
     #: paper's single-site 2.7 s figure exact; the client machine's costs
     #: were folded into their measured constants).
@@ -95,6 +100,7 @@ class CostModel:
             batch_item_recv_s=self.batch_item_recv_s * factor,
             result_msg_fixed_s=self.result_msg_fixed_s * factor,
             result_item_s=self.result_item_s * factor,
+            cache_hit_s=self.cache_hit_s * factor,
             client_link_s=self.client_link_s * factor,
             bandwidth_bytes_per_s=self.bandwidth_bytes_per_s / factor,
         )
@@ -120,6 +126,7 @@ FREE_COSTS = CostModel(
     batch_item_recv_s=0.0,
     result_msg_fixed_s=0.0,
     result_item_s=0.0,
+    cache_hit_s=0.0,
     client_link_s=0.0,
     bandwidth_bytes_per_s=float("inf"),
 )

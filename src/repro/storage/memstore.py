@@ -31,10 +31,32 @@ class MemStore:
         self._objects: Dict[Tuple[str, int], HFObject] = {}
         self._allocator = OidAllocator(site)
         self.fetch_count = 0  # reads, for metrics and cache experiments
+        #: Mutation epoch: bumped by every create/put/replace/remove.  The
+        #: caching layer and the query planner key freshness off this — a
+        #: cached answer is valid only while the epoch it was derived from
+        #: is still current.  Reads never bump it.
+        self._epoch = 0
 
     @property
     def site(self) -> str:
         return self._site
+
+    @property
+    def epoch(self) -> int:
+        """Current mutation epoch (monotonic, starts at 0)."""
+        return self._epoch
+
+    @property
+    def alloc_high(self) -> int:
+        """Exclusive upper bound on local ids minted in this site's birth
+        space: an oid ``(site, n)`` with ``n >= alloc_high`` cannot exist
+        anywhere yet.  Covers both the local allocator and objects ``put``
+        here under externally minted ids of this site."""
+        high = self._allocator.peek()
+        for birth, local_id in self._objects:
+            if birth == self._site and local_id >= high:
+                high = local_id + 1
+        return high
 
     # -- creation --------------------------------------------------------
 
@@ -43,6 +65,7 @@ class MemStore:
         oid = self._allocator.allocate()
         obj = HFObject(oid, tuples, size_hint=size_hint)
         self._objects[oid.key()] = obj
+        self._epoch += 1
         return obj
 
     def put(self, obj: HFObject, overwrite: bool = False) -> None:
@@ -57,6 +80,7 @@ class MemStore:
         if not overwrite and key in self._objects:
             raise DuplicateObject(f"object {obj.oid} already stored at {self._site}")
         self._objects[key] = obj
+        self._epoch += 1
 
     def replace(self, obj: HFObject) -> None:
         """Swap in a new version of an existing object (functional update)."""
@@ -64,6 +88,7 @@ class MemStore:
         if key not in self._objects:
             raise ObjectNotFound(obj.oid, self._site)
         self._objects[key] = obj
+        self._epoch += 1
 
     # -- access ------------------------------------------------------------
 
@@ -81,9 +106,11 @@ class MemStore:
     def remove(self, oid: Oid) -> HFObject:
         """Delete and return an object (used by migration)."""
         try:
-            return self._objects.pop(oid.key())
+            obj = self._objects.pop(oid.key())
         except KeyError:
             raise ObjectNotFound(oid, self._site) from None
+        self._epoch += 1
+        return obj
 
     def oids(self) -> List[Oid]:
         """Ids of every object stored here, in insertion order."""

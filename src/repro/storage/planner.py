@@ -43,6 +43,12 @@ class QueryPlanner:
         self._union = UnionStore(self._stores)
         self._tuple_index: Optional[TupleIndex] = None
         self._reach: Dict[str, ReachabilityIndex] = {}
+        #: Store epochs the current indexes were built against.  ``None``
+        #: until the first build; any store mutating since (its epoch
+        #: moved) drops every index — lazily rebuilt on the next query.
+        #: Without this check a mutate-then-query sequence was answered
+        #: from indexes describing the pre-mutation stores.
+        self._built_epochs: Optional[Tuple[int, ...]] = None
         self.index_answers = 0
         self.engine_answers = 0
 
@@ -54,6 +60,7 @@ class QueryPlanner:
 
     def execute(self, program: Program, initial: Iterable[Oid]) -> QueryResult:
         """Answer the query by the cheapest available route."""
+        self._refresh()
         initial = list(initial)
         shape = match_closure_shape(program)
         if shape is not None:
@@ -68,6 +75,13 @@ class QueryPlanner:
         return run_local(program, initial, self._union.get)
 
     # -- index lifecycle ------------------------------------------------------
+
+    def _refresh(self) -> None:
+        """Drop indexes that no longer describe the stores they cover."""
+        current = tuple(store.epoch for store in self._stores)
+        if self._built_epochs is not None and self._built_epochs != current:
+            self.invalidate_all()
+        self._built_epochs = current
 
     def _tuples(self) -> TupleIndex:
         if self._tuple_index is None:
@@ -97,6 +111,12 @@ class QueryPlanner:
             self._tuple_index.add_object(obj)
         for index in self._reach.values():
             index.add_object(obj)
+        current = tuple(store.epoch for store in self._stores)
+        if self._built_epochs is not None and sum(current) - sum(self._built_epochs) == 1:
+            # This call accounts for the single mutation since the last
+            # build: the incremental fix keeps the indexes current, no
+            # need to drop them at the next query.
+            self._built_epochs = current
 
     def invalidate_all(self) -> None:
         """Bulk-load escape hatch: drop every index and rebuild lazily."""

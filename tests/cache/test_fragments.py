@@ -1,0 +1,125 @@
+"""Tests for the fragment cache and suffix-canonical keys."""
+
+from repro.cache.config import CacheConfig
+from repro.cache.fragments import (
+    FragmentCache,
+    FragmentEntry,
+    program_suffix_hash,
+    suffix_info,
+)
+from repro.core.parser import parse_query
+from repro.core.program import compile_query
+from repro.server.stats import NodeStats
+
+
+def prog(text):
+    return compile_query(parse_query(text))
+
+
+CLOSURE = 'S [ (Pointer,"Ref",?X) ^^X ]* (Keyword,"K",?) -> T'
+
+
+def entry(epoch=0, **kwargs):
+    defaults = dict(missing=False, passed=True, marks=(1,), spawned=(), emissions=())
+    defaults.update(kwargs)
+    return FragmentEntry(epoch=epoch, **defaults)
+
+
+class TestSuffixHash:
+    def test_same_program_same_start_is_stable(self):
+        p = prog(CLOSURE)
+        assert suffix_info(p, 1) == suffix_info(p, 1)
+
+    def test_different_start_different_hash(self):
+        p = prog(CLOSURE)
+        assert program_suffix_hash(p, 1) != program_suffix_hash(p, p.size)
+
+    def test_shared_suffix_across_programs(self):
+        # Same trailing selection, different leading selection: an item
+        # entering at the shared tail gets the same key in both programs.
+        a = prog('S (Keyword,"A",?) (Keyword,"K",?) -> T')
+        b = prog('S (Keyword,"B",?) (Keyword,"K",?) -> T')
+        assert program_suffix_hash(a, 1) != program_suffix_hash(b, 1)
+        assert suffix_info(a, 2)[0] == suffix_info(b, 2)[0]
+
+    def test_loop_extends_window_backwards(self):
+        # Inside a closure the window snaps back to the loop start: an
+        # item at the dereference still sees (and hashes) the whole loop.
+        p = prog(CLOSURE)
+        digest_mid, lo = suffix_info(p, 2)
+        assert lo == 1  # pulled back to the loop start
+        assert digest_mid != program_suffix_hash(p, 1)  # start still matters
+
+    def test_search_value_changes_hash(self):
+        a = prog('S [ (Pointer,"Ref",?X) ^^X ]* (Keyword,"K",?) -> T')
+        b = prog('S [ (Pointer,"Ref",?X) ^^X ]* (Keyword,"Q",?) -> T')
+        assert program_suffix_hash(a, 1) != program_suffix_hash(b, 1)
+
+
+class TestFragmentCache:
+    def test_lookup_miss_then_hit(self):
+        stats = NodeStats()
+        cache = FragmentCache(max_entries=8, max_bytes=1 << 20, stats=stats)
+        assert cache.lookup(("k",), epoch=0) is None
+        cache.store(("k",), entry())
+        got = cache.lookup(("k",), epoch=0)
+        assert got is not None and got.passed
+        assert stats.cache_misses == 1 and stats.cache_hits == 1
+
+    def test_epoch_mismatch_drops_entry(self):
+        stats = NodeStats()
+        cache = FragmentCache(max_entries=8, max_bytes=1 << 20, stats=stats)
+        cache.store(("k",), entry(epoch=0))
+        # The store mutated since: the entry is dropped, not served.
+        assert cache.lookup(("k",), epoch=1) is None
+        assert len(cache) == 0
+        assert stats.cache_hits == 0
+
+    def test_lru_entry_budget(self):
+        cache = FragmentCache(max_entries=2, max_bytes=1 << 20)
+        cache.store(("a",), entry())
+        cache.store(("b",), entry())
+        cache.lookup(("a",), epoch=0)  # refresh a
+        cache.store(("c",), entry())  # evicts b, the least recent
+        assert cache.lookup(("b",), epoch=0) is None
+        assert cache.lookup(("a",), epoch=0) is not None
+        assert cache.lookup(("c",), epoch=0) is not None
+
+    def test_byte_budget_bounds_size(self):
+        stats = NodeStats()
+        big = entry(emissions=(("T", "x" * 400),))
+        cache = FragmentCache(max_entries=1000, max_bytes=3 * big.nbytes, stats=stats)
+        for i in range(10):
+            cache.store((i,), entry(emissions=(("T", "x" * 400),)))
+        assert cache.size_bytes <= 3 * big.nbytes
+        assert len(cache) <= 3
+        assert stats.cache_evictions >= 7
+
+    def test_restore_same_key_replaces(self):
+        cache = FragmentCache(max_entries=8, max_bytes=1 << 20)
+        cache.store(("k",), entry(epoch=0))
+        cache.store(("k",), entry(epoch=1))
+        assert len(cache) == 1
+        assert cache.lookup(("k",), epoch=1) is not None
+
+    def test_clear(self):
+        cache = FragmentCache(max_entries=8, max_bytes=1 << 20)
+        cache.store(("k",), entry())
+        cache.clear()
+        assert len(cache) == 0 and cache.size_bytes == 0
+
+
+class TestCacheConfig:
+    def test_validation(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            CacheConfig(max_entries=0)
+        with pytest.raises(ValueError):
+            CacheConfig(bloom_bits=100)  # not a multiple of 8
+        with pytest.raises(ValueError):
+            CacheConfig(bloom_hashes=0)
+
+    def test_enabled_flag(self):
+        assert CacheConfig().enabled
+        assert not CacheConfig(fragments=False, query_cache=False, summaries=False).enabled

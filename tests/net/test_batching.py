@@ -8,10 +8,12 @@ clusters — where the contract is "same results, fewer messages".
 import pytest
 
 from repro.cluster import SimCluster
+from repro.core.oid import Oid
 from repro.core.parser import parse_query
 from repro.core.program import compile_query
 from repro.core.tuples import keyword_tuple, pointer_tuple
 from repro.engine.items import WorkItem
+from repro.engine.marktable import MarkTable
 from repro.faults import FaultPlan
 from repro.net.batching import BatchConfig, SendBatcher, item_key
 from repro.net.codec import decode_message, encode_message
@@ -120,15 +122,69 @@ class TestSendBatcher:
         assert not batcher.known_marked(QID, "site1", oid.key(), (2,))
         assert not batcher.known_marked(QID, "site2", oid.key(), (1,))
 
+    def _marked_table(self, n=5):
+        """A MarkTable whose journal holds ``n`` distinct entries."""
+        table = MarkTable()
+        table.enable_journal()
+        for i in range(n):
+            table.mark(Oid("site0", i), 1)
+        return table, list(table.journal)
+
     def test_take_hints_cursor_never_resends(self):
         batcher = SendBatcher(BatchConfig(hint_cap=2))
-        journal = [(("site0", i), (1,)) for i in range(5)]
-        assert batcher.take_hints(QID, "site1", journal) == tuple(journal[0:2])
-        assert batcher.take_hints(QID, "site1", journal) == tuple(journal[2:4])
-        assert batcher.take_hints(QID, "site1", journal) == tuple(journal[4:5])
-        assert batcher.take_hints(QID, "site1", journal) == ()
-        # An independent destination has its own cursor.
-        assert batcher.take_hints(QID, "site2", journal) == tuple(journal[0:2])
+        table, journal = self._marked_table()
+        assert batcher.take_hints(QID, "site1", table) == tuple(journal[0:2])
+        assert batcher.take_hints(QID, "site1", table) == tuple(journal[2:4])
+        assert batcher.take_hints(QID, "site1", table) == tuple(journal[4:5])
+        assert batcher.take_hints(QID, "site1", table) == ()
+
+    def test_take_hints_independent_destinations(self):
+        batcher = SendBatcher(BatchConfig(hint_cap=2))
+        table, journal = self._marked_table()
+        # The first flush to site1 trims behind its own cursor (no other
+        # destination is known yet), so site2's first flush starts at the
+        # trim point — a skipped hint only costs a redundant message.
+        assert batcher.take_hints(QID, "site1", table) == tuple(journal[0:2])
+        assert batcher.take_hints(QID, "site2", table) == tuple(journal[2:4])
+        # From here both cursors are known: every entry still owed to one
+        # of them is retained until both have been offered it.
+        assert batcher.take_hints(QID, "site1", table) == tuple(journal[2:4])
+        assert batcher.take_hints(QID, "site2", table) == tuple(journal[4:5])
+        assert batcher.take_hints(QID, "site1", table) == tuple(journal[4:5])
+        assert batcher.take_hints(QID, "site1", table) == ()
+        assert batcher.take_hints(QID, "site2", table) == ()
+
+    def test_take_hints_trims_journal(self):
+        """Satellite regression: the mark journal must not grow without
+        bound across flushes — consumed entries are trimmed once every
+        destination's hint cursor has passed them."""
+        batcher = SendBatcher(BatchConfig(hint_cap=4))
+        table = MarkTable()
+        table.enable_journal()
+        shipped = []
+        for round_no in range(64):
+            for i in range(4):
+                table.mark(Oid("site0", round_no * 4 + i), 1)
+            shipped.extend(batcher.take_hints(QID, "site1", table))
+            # Retained tail stays bounded by the cap, not the history.
+            assert len(table.journal) <= 4
+        assert len(shipped) == 64 * 4
+        assert len(set(shipped)) == 64 * 4  # nothing resent, nothing lost
+        assert table.journal_len == 64 * 4  # absolute length still counts
+
+    def test_take_hints_late_destination_skips_trimmed(self):
+        """A destination first flushed after trimming starts at the trim
+        point — missing hints are harmless (they only save messages)."""
+        batcher = SendBatcher(BatchConfig(hint_cap=8))
+        table, journal = self._marked_table()
+        assert batcher.take_hints(QID, "site1", table) == tuple(journal)
+        assert len(table.journal) == 0  # fully trimmed
+        assert batcher.take_hints(QID, "site2", table) == ()
+        # New marks flow to both destinations again.
+        table.mark(Oid("site0", 99), 1)
+        new = list(table.journal)
+        assert batcher.take_hints(QID, "site2", table) == tuple(new)
+        assert batcher.take_hints(QID, "site1", table) == tuple(new)
 
     def test_due_work_respects_linger(self):
         cluster = SimCluster(2)

@@ -199,3 +199,71 @@ class TestNewMessageKinds:
     def test_fetch_reply_miss(self):
         out = roundtrip(FetchReply(9, None))
         assert out.obj is None
+
+
+class TestSummaryPiggyback:
+    """Wire round-trips for the caching layer's additions (PR 4)."""
+
+    def _summary(self):
+        from repro.cache import CacheConfig, build_summary
+        from repro.core.tuples import keyword_tuple, pointer_tuple
+        from repro.naming.directory import ForwardingTable
+        from repro.storage.memstore import MemStore
+
+        store = MemStore("site1")
+        a = store.create([keyword_tuple("K")])
+        b = store.create([keyword_tuple("K")])
+        store.replace(store.get(a.oid).with_tuple(pointer_tuple("Ref", b.oid)))
+        return build_summary(
+            "site1", store.epoch, store, ForwardingTable("site1"), ("Ref",),
+            CacheConfig(bloom_bits=512, bloom_hashes=3),
+        )
+
+    def test_result_batch_summary_round_trip(self):
+        summary = self._summary()
+        out = roundtrip(ResultBatch(QID, summary=summary))
+        assert out.summary == summary
+        assert out.summary.reach.keys() == summary.reach.keys()
+        assert out.summary.reach["Ref"] == summary.reach["Ref"]
+        assert out.summary.forward_count == 0
+
+    def test_result_batch_without_summary_unchanged(self):
+        out = roundtrip(ResultBatch(QID))
+        assert out.summary is None
+
+    def test_count_only_batch_carries_summary(self):
+        summary = self._summary()
+        out = roundtrip(ResultBatch(QID, count_only=True, count=7, summary=summary))
+        assert out.count == 7 and out.summary == summary
+
+    def test_summary_contributes_wire_size(self):
+        summary = self._summary()
+        plain = ResultBatch(QID).wire_size()
+        loaded = ResultBatch(QID, summary=summary).wire_size()
+        assert loaded == plain + summary.wire_size()
+
+
+class TestEnvelopeEpoch:
+    def _rt(self, env):
+        from repro.net.codec import decode_envelope, encode_envelope
+
+        return decode_envelope(encode_envelope(env), env.dst)
+
+    def test_src_epoch_round_trip(self):
+        from repro.net.messages import Envelope
+
+        env = Envelope("site0", "site1", ResultBatch(QID), src_epoch=42)
+        assert self._rt(env).src_epoch == 42
+
+    def test_epoch_zero_distinct_from_absent(self):
+        from repro.net.messages import Envelope
+
+        assert self._rt(Envelope("a", "b", ResultBatch(QID), src_epoch=0)).src_epoch == 0
+        assert self._rt(Envelope("a", "b", ResultBatch(QID))).src_epoch is None
+
+    def test_epoch_does_not_change_modelled_size(self):
+        from repro.net.messages import Envelope
+
+        with_epoch = Envelope("a", "b", ResultBatch(QID), src_epoch=9)
+        without = Envelope("a", "b", ResultBatch(QID))
+        assert with_epoch.size_bytes == without.size_bytes

@@ -1,0 +1,222 @@
+"""Regression tests: deadline expiry vs. in-flight credit, and query-id
+reuse (PR 4 satellite).
+
+The contract under test: once ``WeightedStrategy.on_deadline`` forced
+``recovered = 1`` at the originator, a result message that still carries
+credit from the written-off run must be *ignored* by the node — counted
+as late, never fed to ``on_result`` (which would raise the over-recovery
+:class:`~repro.errors.TerminationProtocolError`).  The same must hold
+when the expired query id is reused for a fresh run: the straggler
+belongs to incarnation 1, the new context to incarnation 2.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.oid import Oid
+from repro.core.parser import parse_query
+from repro.core.program import compile_query
+from repro.core.tuples import keyword_tuple, pointer_tuple
+from repro.errors import HyperFileError
+from repro.net.messages import DerefRequest, Envelope, QueryId, ResultBatch
+from repro.server.node import ServerNode
+from repro.storage.memstore import MemStore
+
+CLOSURE = 'S [ (Pointer,"Ref",?X) ^^X ]* (Keyword,"K",?) -> T'
+
+
+def prog(text=CLOSURE):
+    return compile_query(parse_query(text))
+
+
+def originator_with_remote_work(qid):
+    """A site0 node whose submitted query immediately ships work to site1."""
+    completions = []
+    store = MemStore("site0")
+    node = ServerNode(
+        "site0", store, on_query_complete=lambda q, r: completions.append((q, r))
+    )
+    root = store.create([keyword_tuple("K"), pointer_tuple("Ref", Oid("site1", 1))])
+    report = node.submit(qid, prog(), [root.oid])
+    report2 = node.run_to_idle()
+    sent = report.outgoing + report2.outgoing
+    assert any(isinstance(env.payload, DerefRequest) for env in sent)
+    return node, store, root, completions, sent
+
+
+class TestLateResultAfterDeadline:
+    def test_late_credit_ignored_not_over_recovered(self):
+        qid = QueryId(1, "site0")
+        node, _, root, completions, sent = originator_with_remote_work(qid)
+        ctx = node.contexts[qid]
+        in_flight = next(
+            env.payload.term["credit"]
+            for env in sent
+            if isinstance(env.payload, DerefRequest)
+        )
+        assert in_flight > 0
+
+        node.expire_query(qid)
+        assert ctx.done
+        assert ctx.term_state.recovered == Fraction(1)
+        assert completions and completions[0][1].partial
+
+        before = node.stats.late_messages
+        # The written-off credit finally comes home: must not raise.
+        late = ResultBatch(qid, oids=(Oid("site1", 1),), term={"credit": in_flight})
+        node.on_message(Envelope("site1", "site0", late))
+        node.run_to_idle()
+        assert node.stats.late_messages == before + 1
+        assert ctx.term_state.recovered == Fraction(1)  # unchanged
+        # The client's (partial) answer was not mutated behind its back.
+        assert Oid("site1", 1).key() not in completions[0][1].oids.as_key_set()
+
+    def test_duplicate_late_results_all_ignored(self):
+        qid = QueryId(1, "site0")
+        node, _, _, _, sent = originator_with_remote_work(qid)
+        node.expire_query(qid)
+        late = ResultBatch(qid, term={"credit": Fraction(1, 2)})
+        for _ in range(3):
+            node.on_message(Envelope("site1", "site0", late))
+        node.run_to_idle()
+        assert node.stats.late_messages == 3
+        assert node.contexts[qid].term_state.recovered == Fraction(1)
+
+
+class TestReusedQueryId:
+    def test_straggler_from_previous_incarnation_ignored(self):
+        qid = QueryId(1, "site0")
+        node, store, root, completions, sent = originator_with_remote_work(qid)
+        in_flight = next(
+            env.payload.term["credit"]
+            for env in sent
+            if isinstance(env.payload, DerefRequest)
+        )
+        node.expire_query(qid)
+
+        # Re-run the query under the *same id*, this time fully local.
+        local = store.create([keyword_tuple("K")])
+        store.replace(store.get(local.oid).with_tuple(pointer_tuple("Ref", local.oid)))
+        node.submit(qid, prog(), [local.oid])
+        ctx = node.contexts[qid]
+        assert ctx.incarnation == 2
+
+        # The first run's straggler arrives mid-flight: its credit must
+        # not leak into the new run's ledger (that would over-recover
+        # once the new run also drains).
+        late = ResultBatch(
+            qid, oids=(Oid("site1", 1),), term={"credit": in_flight}
+        )
+        node.on_message(Envelope("site1", "site0", late))
+        node.run_to_idle()  # must terminate cleanly, no protocol error
+        assert node.stats.late_messages == 1
+        assert len(completions) == 2
+        final = completions[1][1]
+        assert not final.partial
+        assert final.oids.as_key_set() == {local.oid.key()}
+
+    def test_resubmit_in_flight_rejected(self):
+        qid = QueryId(1, "site0")
+        node, store, root, _, _ = originator_with_remote_work(qid)
+        with pytest.raises(HyperFileError):
+            node.submit(qid, prog(), [root.oid])
+
+    def test_worker_drops_stale_incarnation_work(self):
+        # A non-originator holding incarnation-2 state drops incarnation-1
+        # work instead of running it (its credit was already written off).
+        store = MemStore("site1")
+        node = ServerNode("site1", store)
+        obj = store.create([keyword_tuple("K")])
+        store.replace(store.get(obj.oid).with_tuple(pointer_tuple("Ref", obj.oid)))
+        qid = QueryId(7, "site0")
+        item_args = dict(oid=obj.oid, start=1)
+        from repro.engine.items import WorkItem
+
+        fresh = DerefRequest(
+            qid, prog(), WorkItem(**item_args),
+            {"credit": Fraction(1, 4), "#inc": 2},
+        )
+        node.on_message(Envelope("site0", "site1", fresh))
+        report = node.run_to_idle()
+        assert node.contexts[qid].incarnation == 2
+        drained = [
+            env.payload for env in report.outgoing
+            if isinstance(env.payload, ResultBatch)
+        ]
+        # The drain returns exactly the received credit, stamped with the
+        # incarnation so the originator's rerun context accepts it.
+        assert sum(b.term["credit"] for b in drained) == Fraction(1, 4)
+        assert all(b.term["#inc"] == 2 for b in drained)
+
+        before = node.stats.late_messages
+        stale = DerefRequest(
+            qid, prog(), WorkItem(**item_args), {"credit": Fraction(1, 8)}
+        )
+        node.on_message(Envelope("site0", "site1", stale))
+        report = node.run_to_idle()
+        assert node.stats.late_messages == before + 1
+        # Stale credit never entered the incarnation-2 ledger: nothing
+        # was processed, nothing drained back.
+        assert not any(isinstance(env.payload, ResultBatch) for env in report.outgoing)
+        assert node.contexts[qid].term_state.credit == Fraction(0)
+
+    def test_newer_incarnation_retires_stale_worker_state(self):
+        # The reverse race: the worker still holds incarnation-1 state
+        # when incarnation-2 work arrives — old state is retired first.
+        store = MemStore("site1")
+        node = ServerNode("site1", store)
+        obj = store.create([keyword_tuple("K")])
+        store.replace(store.get(obj.oid).with_tuple(pointer_tuple("Ref", obj.oid)))
+        qid = QueryId(7, "site0")
+        from repro.engine.items import WorkItem
+
+        old = DerefRequest(
+            qid, prog(), WorkItem(oid=obj.oid, start=1), {"credit": Fraction(1, 4)}
+        )
+        node.on_message(Envelope("site0", "site1", old))
+        node.run_to_idle()
+        assert node.contexts[qid].incarnation == 1
+
+        new = DerefRequest(
+            qid, prog(), WorkItem(oid=obj.oid, start=1),
+            {"credit": Fraction(1, 2), "#inc": 2},
+        )
+        node.on_message(Envelope("site0", "site1", new))
+        report = node.run_to_idle()
+        ctx = node.contexts[qid]
+        assert ctx.incarnation == 2
+        drained = [
+            env.payload for env in report.outgoing
+            if isinstance(env.payload, ResultBatch)
+        ]
+        assert sum(b.term["credit"] for b in drained) == Fraction(1, 2)
+        assert all(b.term["#inc"] == 2 for b in drained)
+
+
+class TestClusterDeadline:
+    def test_late_result_over_slow_link_ignored_end_to_end(self):
+        from repro.cluster import SimCluster
+
+        cluster = SimCluster(2)
+        s0, s1 = (cluster.store(s) for s in cluster.sites)
+        remote = s1.create([keyword_tuple("K")])
+        s1.replace(s1.get(remote.oid).with_tuple(pointer_tuple("Ref", remote.oid)))
+        root = s0.create([keyword_tuple("K"), pointer_tuple("Ref", remote.oid)])
+
+        # The reply path is far slower than the deadline: the remote
+        # site's results (and their credit) arrive after expiry.
+        cluster.set_link_latency("site0", "site1", 30.0)
+        qid = cluster.submit(CLOSURE, [root.oid], deadline_s=5.0)
+        outcome = cluster.wait(qid)
+        assert outcome.result.partial
+        assert remote.oid.key() not in outcome.result.oids.as_key_set()
+
+        cluster.run()  # deliver the stragglers — must not raise
+        assert cluster.node("site0").stats.late_messages >= 1
+
+        # The cluster is still healthy: a fresh query completes fully.
+        cluster.set_link_latency("site0", "site1", 0.0)
+        outcome2 = cluster.run_query(CLOSURE, [root.oid])
+        assert not outcome2.result.partial
+        assert outcome2.result.oids.as_key_set() == {root.oid.key(), remote.oid.key()}

@@ -79,3 +79,71 @@ class TestMaintenance:
         assert set(planner._reach) == {"Tree"}
         planner.execute(compile_query(closure_query("Chain", "Rand10p", 5)), [workload.root])
         assert set(planner._reach) == {"Tree", "Chain"}
+
+
+class TestEpochInvalidation:
+    """Satellite regression (PR 4): a MemStore mutated *without*
+    ``notify_update`` used to leave the lazily-built indexes stale, so
+    index answers diverged from engine traversal."""
+
+    CLOSURE = 'S [ (Pointer,"Ref",?X) ^^X ]* (Keyword,"K",?) -> T'
+
+    def _chain(self, store, n=3):
+        oids = [store.create([keyword_tuple("K")]).oid for _ in range(n)]
+        for i in range(n - 1):
+            store.replace(store.get(oids[i]).with_tuple(pointer_tuple("Ref", oids[i + 1])))
+        store.replace(store.get(oids[-1]).with_tuple(pointer_tuple("Ref", oids[-1])))
+        return oids
+
+    def test_mutate_then_query_sees_new_objects(self):
+        store = MemStore("s1")
+        oids = self._chain(store)
+        planner = QueryPlanner([store])
+        program = prog(self.CLOSURE)
+        assert len(planner.execute(program, [oids[0]]).oids) == 3
+
+        # Mutate behind the planner's back: extend the chain by one.
+        d = store.create([keyword_tuple("K")])
+        store.replace(store.get(d.oid).with_tuple(pointer_tuple("Ref", d.oid)))
+        store.replace(store.get(oids[-1]).with_tuple(pointer_tuple("Ref", d.oid)))
+
+        via_planner = planner.execute(program, [oids[0]])
+        via_engine = run_local(program, [oids[0]], store.get)
+        assert via_planner.oid_keys() == via_engine.oid_keys()
+        assert len(via_planner.oids) == 4
+
+    def test_removal_invalidates(self):
+        store = MemStore("s1")
+        oids = self._chain(store)
+        planner = QueryPlanner([store])
+        program = prog(self.CLOSURE)
+        assert len(planner.execute(program, [oids[0]]).oids) == 3
+        store.remove(oids[2])
+        via_planner = planner.execute(program, [oids[0]])
+        via_engine = run_local(program, [oids[0]], store.get)
+        assert via_planner.oid_keys() == via_engine.oid_keys()
+        assert len(via_planner.oids) == 2
+
+    def test_notify_update_keeps_indexes_incremental(self):
+        # The incremental path must still work: a single mutation that
+        # *is* reported through notify_update does not force a rebuild.
+        store = MemStore("s1")
+        oids = self._chain(store)
+        planner = QueryPlanner([store])
+        program = prog(self.CLOSURE)
+        planner.execute(program, [oids[0]])
+        before = planner._tuple_index
+        d = store.create([keyword_tuple("K"), pointer_tuple("Ref", oids[0])])
+        planner.notify_update(d.oid)
+        planner.execute(program, [oids[0]])
+        assert planner._tuple_index is before  # no drop-and-rebuild
+
+    def test_unmutated_store_does_not_invalidate(self):
+        store = MemStore("s1")
+        oids = self._chain(store)
+        planner = QueryPlanner([store])
+        program = prog(self.CLOSURE)
+        planner.execute(program, [oids[0]])
+        before = planner._tuple_index
+        planner.execute(program, [oids[0]])
+        assert planner._tuple_index is before

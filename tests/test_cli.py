@@ -170,3 +170,21 @@ class TestExperiments:
     def test_via_main(self, capsys):
         assert main(["experiments", "-n", "1"]) == 0
         assert "measured_s" in capsys.readouterr().out
+
+
+class TestCacheStats:
+    def test_counters_and_savings(self):
+        from repro.cli import run_cache_stats
+
+        out = io.StringIO()
+        assert run_cache_stats(n_objects=60, n_queries=3, out=out) == 0
+        text = out.getvalue()
+        assert "cache counters" in text
+        assert "query_hit" in text and "bloom_supp" in text
+        assert "remote work messages" in text
+        # The repeated script must actually save remote work.
+        assert "0 saved" not in text
+
+    def test_via_main(self, capsys):
+        assert main(["cache-stats", "-n", "2", "--objects", "60"]) == 0
+        assert "uncached" in capsys.readouterr().out
