@@ -1,0 +1,54 @@
+"""Replication overhead/benefit: k=2 vs the replica-free build on the
+Figure-4 dense (remote-heavy) workload.
+
+Replication's write path is administrative (synchronous write-through,
+outside the query cost model), so the interesting question is what the
+*read* path pays for k=2 on a healthy cluster.  The answer is negative
+overhead: read anycast prefers a local replica, so a share of the
+remote dereferences of a dense workload become local admissions and the
+dense configurations get *faster* — the denser the workload (lower
+P(local)), the bigger the win.  EXPERIMENTS.md records the measured row.
+"""
+
+from repro.replication import ReplicationConfig
+from repro.workload import pointer_key_for
+
+from .conftest import make_cluster, report, run_script
+
+#: The two densest Figure-4 locality classes — where remote pointers
+#: dominate and replica-local serves have the most hops to save.
+DENSE_CLASSES = (0.05, 0.20)
+
+
+def test_replication_read_overhead(benchmark, paper_graph):
+    def experiment():
+        measured = {}
+        for p in DENSE_CLASSES:
+            for k in (1, 2):
+                cluster, workload = make_cluster(
+                    3, paper_graph, replication=ReplicationConfig(k=k)
+                )
+                cluster.replicate_all()
+                series = run_script(cluster, workload, pointer_key_for(p), "Rand10p")
+                measured[(p, k)] = series
+        return measured
+
+    measured = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    rows = [
+        {
+            "p_local": p,
+            "k1_s": measured[(p, 1)].mean,
+            "k2_s": measured[(p, 2)].mean,
+            "k2_vs_k1": measured[(p, 2)].mean / measured[(p, 1)].mean,
+        }
+        for p in DENSE_CLASSES
+    ]
+    report(benchmark, "replication: k=2 vs k=1 on the dense Figure-4 workload", rows)
+
+    for p in DENSE_CLASSES:
+        # Healthy-cluster reads must never regress: local-replica anycast
+        # can only remove remote hops, not add them.
+        assert measured[(p, 2)].mean <= measured[(p, 1)].mean * 1.01, p
+    # And on the densest class the locality win must be material.
+    assert measured[(0.05, 2)].mean < measured[(0.05, 1)].mean * 0.98

@@ -19,6 +19,9 @@ written against :class:`ClusterAPI` runs unchanged on any of them:
   detector is in use (see :func:`credit_deficit`);
 * ``set_down`` / ``set_up`` and ``total_stats`` for availability
   scripting and measurement;
+* ``migrate`` / ``replicate_all`` for data management — with a
+  ``replication=`` config (see :mod:`repro.replication`) every transport
+  keeps k copies per object and routes reads to any live replica;
 * ``attach_tracer`` / ``detach_tracer`` and ``enable_metrics`` /
   ``metrics_snapshot`` — the uniform observability hooks (causal span
   tracing per :mod:`repro.tracing`, telemetry per
@@ -126,6 +129,10 @@ class ClusterAPI(Protocol):
     ) -> QueryOutcome: ...
 
     def outcome(self, qid: QueryId) -> Optional[QueryOutcome]: ...
+
+    def migrate(self, oid: Oid, to_site: str) -> Oid: ...
+
+    def replicate_all(self) -> int: ...
 
     def set_down(self, site: str) -> None: ...
 

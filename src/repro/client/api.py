@@ -14,6 +14,7 @@ from ..core.oid import Oid
 from ..core.tuples import HFTuple
 from ..errors import HyperFileError
 from ..net.batching import BatchConfig
+from ..replication import ReplicationConfig
 from ..sim.costs import CostModel, PAPER_COSTS
 from .session import Session
 
@@ -40,9 +41,13 @@ class HyperFile:
     (real TCP frames on loopback).  All three implement
     :class:`~repro.api.ClusterAPI`, so everything above them is shared.
     ``batching`` attaches a comms-coalescing config
-    (:class:`~repro.net.batching.BatchConfig`) to every site, and
+    (:class:`~repro.net.batching.BatchConfig`) to every site,
     ``caching`` a cross-query caching config
-    (:class:`~repro.cache.CacheConfig`; see ``docs/CACHING.md``).
+    (:class:`~repro.cache.CacheConfig`; see ``docs/CACHING.md``), and
+    ``replication`` a k-way replica config
+    (:class:`~repro.replication.ReplicationConfig`; see
+    ``docs/REPLICATION.md``) — call :meth:`replicate_all` after loading
+    objects to install the copies.
 
     The pre-transport constructor signature (``sites``, ``costs``,
     ``termination``, ``result_mode``) keeps working unchanged and implies
@@ -60,6 +65,7 @@ class HyperFile:
         transport: str = "sim",
         batching: Optional[BatchConfig] = None,
         caching: Optional[CacheConfig] = None,
+        replication: Optional[ReplicationConfig] = None,
     ) -> None:
         if transport not in TRANSPORTS:
             raise ValueError(f"transport must be one of {TRANSPORTS}, got {transport!r}")
@@ -67,6 +73,7 @@ class HyperFile:
             self.cluster = SimCluster(
                 sites, costs=costs, termination=termination,
                 result_mode=result_mode, batching=batching, caching=caching,
+                replication=replication,
             )
         else:
             if costs is not PAPER_COSTS:
@@ -79,6 +86,7 @@ class HyperFile:
                 self.cluster = ThreadedCluster(
                     sites, termination=termination,
                     result_mode=result_mode, batching=batching, caching=caching,
+                    replication=replication,
                 )
             else:
                 from ..net.sockets import SocketCluster
@@ -86,6 +94,7 @@ class HyperFile:
                 self.cluster = SocketCluster(
                     sites, termination=termination,
                     result_mode=result_mode, batching=batching, caching=caching,
+                    replication=replication,
                 )
         self.transport = transport
         self.session = Session(self.cluster)
@@ -125,6 +134,10 @@ class HyperFile:
 
     def migrate(self, oid: Oid, to_site: str) -> Oid:
         return self.cluster.migrate(oid, to_site)
+
+    def replicate_all(self) -> int:
+        """Install the configured k replica copies of every object."""
+        return self.cluster.replicate_all()
 
     # -- sets & queries -----------------------------------------------------
 

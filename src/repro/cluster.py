@@ -29,10 +29,11 @@ from .engine.results import QueryResult
 from .errors import HyperFileError, QueryTimeout, TerminationLost, UnknownSite
 from .faults.plan import FaultPlan
 from .faults.reliable import ReliableConfig
-from .naming.directory import ForwardingTable
+from .naming.directory import ForwardingTable, ReplicaDirectory
 from .naming.names import migrate_object
 from .cache import CacheConfig
 from .net.batching import BatchConfig
+from .replication import ReplicationConfig, ReplicationManager
 from .net.messages import QueryId
 from .net.simnet import SimNetwork
 from .server.node import ServerNode
@@ -65,6 +66,7 @@ class SimCluster:
         reliable: Union[bool, ReliableConfig] = False,
         batching: Optional[BatchConfig] = None,
         caching: Optional[CacheConfig] = None,
+        replication: Optional[ReplicationConfig] = None,
     ) -> None:
         if isinstance(sites, int):
             names = [site_name(i) for i in range(sites)]
@@ -83,6 +85,9 @@ class SimCluster:
 
         from .storage.memstore import MemStore
 
+        directory = (
+            ReplicaDirectory() if replication is not None and replication.enabled else None
+        )
         self.stores: Dict[str, MemStore] = {}
         self.forwarding: Dict[str, ForwardingTable] = {}
         self.nodes: Dict[str, ServerNode] = {}
@@ -101,12 +106,24 @@ class SimCluster:
                 forwarding=table,
                 batching=batching,
                 caching=caching,
+                replicas=directory,
             )
             self.stores[name] = store
             self.forwarding[name] = table
             self.nodes[name] = node
             host = self.network.attach(node)
             host.completion_sink = self._on_complete
+
+        self.replication: Optional[ReplicationManager] = None
+        if directory is not None:
+            assert replication is not None
+            self.replication = ReplicationManager(
+                replication, self.stores, self.forwarding, directory
+            )
+            for node in self.nodes.values():
+                # Write fan-out invalidates every node's cached view of
+                # the mutated holders immediately (version/epoch gating).
+                self.replication.add_epoch_listener(node.observe_epoch)
 
         self._seq = 0
         self._submitted_at: Dict[QueryId, float] = {}
@@ -151,8 +168,23 @@ class SimCluster:
             raise UnknownSite(site) from None
 
     def migrate(self, oid: Oid, to_site: str) -> Oid:
-        """Move an object between sites, maintaining naming invariants."""
+        """Move an object between sites, maintaining naming invariants.
+
+        With replication enabled the move is replication-aware: the new
+        primary leads the holder list and k copies are preserved."""
+        if self.replication is not None:
+            return self.replication.migrate(oid, to_site)
         return migrate_object(oid, self.stores, self.forwarding, to_site)
+
+    def replicate_all(self) -> int:
+        """Install the configured k copies of every loaded object.
+
+        Call once after loading the workload (and after any direct
+        ``store.create`` writes).  No-op (returns 0) without a
+        replication config."""
+        if self.replication is None:
+            return 0
+        return self.replication.replicate_all()
 
     def set_down(self, site: str) -> None:
         self.network.set_down(site)

@@ -18,7 +18,8 @@ pointer seriously increases the cost of moving an object").
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..core.oid import Oid
 
@@ -72,3 +73,94 @@ class ForwardingTable:
 
     def __repr__(self) -> str:
         return f"ForwardingTable(site={self._site!r}, {len(self._entries)} entries)"
+
+
+@dataclass(frozen=True)
+class ReplicaEntry:
+    """One replicated object's directory record.
+
+    ``sites`` is the placement-ordered holder list (primary first); any
+    live holder may serve a dereference (read anycast).  ``version`` is
+    the per-object write counter: every write-through mutation fan-out
+    bumps it, and version-keyed caches treat a lower-versioned copy as
+    stale (see docs/REPLICATION.md).
+    """
+
+    sites: Tuple[str, ...]
+    version: int = 1
+
+
+class ReplicaDirectory:
+    """Cluster-wide map of which sites hold replicas of which objects.
+
+    The paper's naming scheme (birth site as final arbiter) assumes each
+    object resolves to exactly *one* site; replication relaxes that to a
+    placement-ordered holder list.  The directory is the authoritative
+    record: routing consults it for read-anycast candidates, failover
+    consults it for the next live holder, and the caching layer consults
+    it to refuse Bloom suppression against a site the directory says
+    holds a current replica.
+
+    Objects absent from the directory are unreplicated and keep the
+    paper's single-holder semantics exactly — an empty directory makes
+    every code path behave bit-identically to the replica-free build.
+    """
+
+    def __init__(self) -> None:
+        self._entries: Dict[Tuple[str, int], ReplicaEntry] = {}
+        self.lookups = 0
+
+    def record(self, oid: Oid, sites: Iterable[str], version: Optional[int] = None) -> None:
+        """Install (or re-place) ``oid``'s holder list.
+
+        ``version`` defaults to preserving the current counter (1 for a
+        brand-new entry); re-placement is not a write.
+        """
+        sites = tuple(sites)
+        if not sites:
+            raise ValueError(f"replica entry for {oid} needs at least one site")
+        if len(set(sites)) != len(sites):
+            raise ValueError(f"replica entry for {oid} lists a site twice: {sites}")
+        if version is None:
+            current = self._entries.get(oid.key())
+            version = current.version if current is not None else 1
+        self._entries[oid.key()] = ReplicaEntry(sites, version)
+
+    def sites_of(self, oid: Oid) -> Tuple[str, ...]:
+        """Placement-ordered holders of ``oid`` (empty = unreplicated)."""
+        self.lookups += 1
+        entry = self._entries.get(oid.key())
+        return entry.sites if entry is not None else ()
+
+    def version_of(self, oid: Oid) -> int:
+        """Current write version of ``oid`` (0 = unreplicated)."""
+        entry = self._entries.get(oid.key())
+        return entry.version if entry is not None else 0
+
+    def bump_version(self, oid: Oid) -> int:
+        """Count one write-through mutation; returns the new version."""
+        entry = self._entries.get(oid.key())
+        if entry is None:
+            raise KeyError(f"{oid} is not replicated")
+        bumped = ReplicaEntry(entry.sites, entry.version + 1)
+        self._entries[oid.key()] = bumped
+        return bumped.version
+
+    def holds(self, site: str, oid: Oid) -> bool:
+        """Does the directory list ``site`` as a current holder of ``oid``?"""
+        entry = self._entries.get(oid.key())
+        return entry is not None and site in entry.sites
+
+    def drop(self, oid: Oid) -> None:
+        """Forget an entry (object destroyed or de-replicated)."""
+        self._entries.pop(oid.key(), None)
+
+    def entries(self) -> List[Tuple[Tuple[str, int], ReplicaEntry]]:
+        """Every (oid key, entry) pair, in insertion order (tests/admin)."""
+        return list(self._entries.items())
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:
+        return f"ReplicaDirectory({len(self._entries)} entries)"

@@ -100,6 +100,10 @@ class _WorkQueue:
     terms: List[TermAttachment] = field(default_factory=list)
     #: Per-item cause span ids (tracing; None entries when untraced).
     spans: List[Optional[int]] = field(default_factory=list)
+    #: Replica holders already attempted for work in this queue (union
+    #: over items; empty on unreplicated deployments).  Rides the flushed
+    #: frame's envelope so failover at the next hop keeps excluding them.
+    tried: Set[str] = field(default_factory=set)
     first_enqueued: float = 0.0
 
 
@@ -189,12 +193,15 @@ class SendBatcher:
         term: TermAttachment,
         now: float,
         span: Optional[int] = None,
+        tried: Tuple[str, ...] = (),
     ) -> int:
         """Queue one work item; returns the queue's new length.
 
         ``span`` is the tracing span id of the step that caused the send
         (None when untraced); it rides the queue so the eventual batched
-        frame can carry per-item causality.
+        frame can carry per-item causality.  ``tried`` lists replica
+        holders already attempted for this item (failover re-sends);
+        the queue unions them so the flushed envelope carries the hint.
         """
         queue = self._work.get((qid, dst))
         if queue is None:
@@ -202,16 +209,27 @@ class SendBatcher:
         queue.items.append(item)
         queue.terms.append(term)
         queue.spans.append(span)
+        queue.tried.update(tried)
         return len(queue.items)
 
     def take_work(
         self, qid: QueryId, dst: str
-    ) -> Tuple[Tuple[WorkItem, ...], Tuple[TermAttachment, ...], Tuple[Optional[int], ...]]:
+    ) -> Tuple[
+        Tuple[WorkItem, ...],
+        Tuple[TermAttachment, ...],
+        Tuple[Optional[int], ...],
+        Tuple[str, ...],
+    ]:
         """Remove and return everything queued for ``(qid, dst)``."""
         queue = self._work.pop((qid, dst), None)
         if queue is None:
-            return (), (), ()
-        return tuple(queue.items), tuple(queue.terms), tuple(queue.spans)
+            return (), (), (), ()
+        return (
+            tuple(queue.items),
+            tuple(queue.terms),
+            tuple(queue.spans),
+            tuple(sorted(queue.tried)),
+        )
 
     def work_destinations(self, qid: QueryId) -> List[str]:
         """Destinations with pending work for one query (drain flush)."""

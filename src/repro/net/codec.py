@@ -683,6 +683,11 @@ def encode_envelope(env: Envelope) -> bytes:
     The sender's store epoch travels the same way: ``0`` means "caching
     off" (``src_epoch=None``), any other value ``e`` decodes to epoch
     ``e - 1``.
+
+    The replica-routing hint (``tried``: holder sites already attempted
+    for the work inside) follows the epoch as a site-name count; ``0``
+    means "no hint" (``tried=None``), which is what every frame on an
+    unreplicated deployment carries.
     """
     w = _Writer()
     w.text(env.src)
@@ -693,6 +698,12 @@ def encode_envelope(env: Envelope) -> bytes:
         for span in env.spans:
             w.varint(span)
     w.varint(0 if env.src_epoch is None else env.src_epoch + 1)
+    if env.tried:
+        w.varint(len(env.tried))
+        for site in env.tried:
+            w.text(site)
+    else:
+        w.varint(0)
     w.chunks.append(encode_message(env.payload))
     return w.getvalue()
 
@@ -709,5 +720,9 @@ def decode_envelope(frame: bytes, dst: str) -> Envelope:
     if epoch_plus_one < 0:
         raise CodecError("negative envelope epoch")
     src_epoch = None if epoch_plus_one == 0 else epoch_plus_one - 1
+    n_tried = r.varint()
+    if n_tried < 0 or n_tried > 100_000:
+        raise CodecError(f"implausible tried-site count {n_tried}")
+    tried = tuple(r.text() for _ in range(n_tried)) if n_tried else None
     payload = decode_message(r.data[r.pos :])
-    return Envelope(src, dst, payload, spans=spans, src_epoch=src_epoch)
+    return Envelope(src, dst, payload, spans=spans, src_epoch=src_epoch, tried=tried)

@@ -211,6 +211,32 @@ class WallClockQueries:
     def outcome(self, qid: QueryId) -> Optional[QueryOutcome]:
         return self._outcomes.get(qid)
 
+    # -- data management -------------------------------------------------
+
+    def migrate(self, oid: Oid, to_site: str) -> Oid:
+        """Move an object between sites, maintaining naming invariants.
+
+        Administrative operation: call between queries, not while one is
+        in flight (the simulator shares this caveat — migration is
+        outside the paper's query cost model).  Replication-aware when a
+        replication config is active.
+        """
+        replication = getattr(self, "replication", None)
+        if replication is not None:
+            return replication.migrate(oid, to_site)
+        from ..naming.names import migrate_object
+
+        forwarding = getattr(self, "forwarding", None)
+        if forwarding is None:
+            forwarding = {name: node.forwarding for name, node in self.nodes.items()}
+        return migrate_object(oid, self.stores, forwarding, to_site)
+
+    def replicate_all(self) -> int:
+        """Install the configured k copies of every loaded object; no-op
+        (returns 0) without a replication config."""
+        replication = getattr(self, "replication", None)
+        return replication.replicate_all() if replication is not None else 0
+
     def total_stats(self) -> NodeStats:
         """Cluster-wide node counters, merged.
 

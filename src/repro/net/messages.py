@@ -285,6 +285,13 @@ class Envelope:
     are indistinguishable from today's).  Receivers use it to invalidate
     stale summaries and cached query answers; like ``spans`` it never
     contributes to ``size_bytes``.
+
+    ``tried`` is the replica-routing hint (``None`` on unreplicated
+    deployments): holder sites already attempted for the work this
+    envelope carries.  Failover excludes them when picking the next
+    replica, so a dereference bouncing between two half-dead holders
+    cannot ping-pong; an :class:`Undeliverable` bounce hands the set
+    back via the wrapped original envelope.
     """
 
     src: str
@@ -292,6 +299,7 @@ class Envelope:
     payload: Any
     spans: Optional[Tuple[int, ...]] = None
     src_epoch: Optional[int] = None
+    tried: Optional[Tuple[str, ...]] = None
 
     @property
     def size_bytes(self) -> int:

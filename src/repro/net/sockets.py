@@ -38,8 +38,10 @@ from ..faults.plan import FaultPlan
 from ..faults.reliable import ReliableAck, ReliableConfig, ReliableData, ReliableEndpoint
 from ..faults.timers import TimerThread
 from ..cache import CacheConfig
+from ..naming.directory import ReplicaDirectory
 from ..net.batching import BatchConfig
 from ..net.codec import decode_envelope, encode_envelope
+from ..replication import ReplicationConfig, ReplicationManager
 from ..net.messages import (
     BatchedQuery,
     DerefRequest,
@@ -289,6 +291,7 @@ class SocketCluster(WallClockQueries):
         reliable: Union[bool, ReliableConfig] = False,
         batching: Optional[BatchConfig] = None,
         caching: Optional[CacheConfig] = None,
+        replication: Optional[ReplicationConfig] = None,
     ) -> None:
         names = [f"site{i}" for i in range(sites)] if isinstance(sites, int) else list(sites)
         strategy = make_strategy(termination)
@@ -308,6 +311,9 @@ class SocketCluster(WallClockQueries):
         #: Envelopes whose delivery was abandoned (reliable-channel give-up),
         #: recorded for diagnostics exactly like the threaded transport.
         self.undeliverable: List[Envelope] = []
+        directory = (
+            ReplicaDirectory() if replication is not None and replication.enabled else None
+        )
         for name in names:
             store = MemStore(name)
             node = ServerNode(
@@ -320,11 +326,23 @@ class SocketCluster(WallClockQueries):
                 is_site_up=self.is_up,
                 batching=batching,
                 caching=caching,
+                replicas=directory,
             )
             node.now_fn = time.monotonic
             self.stores[name] = store
             self.nodes[name] = node
             self._sites[name] = _SocketSite(node, self)
+        self.replication: Optional[ReplicationManager] = None
+        if directory is not None:
+            assert replication is not None
+            self.replication = ReplicationManager(
+                replication,
+                self.stores,
+                {name: node.forwarding for name, node in self.nodes.items()},
+                directory,
+            )
+            for node in self.nodes.values():
+                self.replication.add_epoch_listener(node.observe_epoch)
         for site in self._sites.values():
             site.start()
         if reliable:

@@ -36,9 +36,10 @@ from ..errors import UnknownSite
 from ..faults.plan import FaultPlan
 from ..faults.reliable import ReliableAck, ReliableConfig, ReliableData, ReliableEndpoint
 from ..faults.timers import TimerThread
-from ..naming.directory import ForwardingTable
+from ..naming.directory import ForwardingTable, ReplicaDirectory
 from ..cache import CacheConfig
 from ..net.batching import BatchConfig
+from ..replication import ReplicationConfig, ReplicationManager
 from ..net.messages import (
     BatchedQuery,
     DerefRequest,
@@ -133,6 +134,7 @@ class ThreadedCluster(WallClockQueries):
         reliable: Union[bool, ReliableConfig] = False,
         batching: Optional[BatchConfig] = None,
         caching: Optional[CacheConfig] = None,
+        replication: Optional[ReplicationConfig] = None,
     ) -> None:
         if isinstance(sites, int):
             names = [f"site{i}" for i in range(sites)]
@@ -156,6 +158,9 @@ class ThreadedCluster(WallClockQueries):
         #: destination), recorded instead of raised from a site thread.
         self.undeliverable: List[Envelope] = []
         strategy = make_strategy(termination)
+        directory = (
+            ReplicaDirectory() if replication is not None and replication.enabled else None
+        )
         for name in names:
             store = MemStore(name)
             table = ForwardingTable(name)
@@ -171,12 +176,21 @@ class ThreadedCluster(WallClockQueries):
                 is_site_up=self.is_up,
                 batching=batching,
                 caching=caching,
+                replicas=directory,
             )
             node.now_fn = time.monotonic
             self.stores[name] = store
             self.forwarding[name] = table
             self.nodes[name] = node
             self._threads[name] = _SiteThread(node, self)
+        self.replication: Optional[ReplicationManager] = None
+        if directory is not None:
+            assert replication is not None
+            self.replication = ReplicationManager(
+                replication, self.stores, self.forwarding, directory
+            )
+            for node in self.nodes.values():
+                self.replication.add_epoch_listener(node.observe_epoch)
         for t in self._threads.values():
             t.start()
         if reliable:

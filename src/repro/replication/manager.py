@@ -1,0 +1,197 @@
+"""Write-through replica maintenance.
+
+The manager owns the data-plane half of replication: installing the k
+copies the placement policy asks for, fanning every mutation out to all
+holders (bumping the per-object version counter), and keeping the
+paper's naming invariants intact when a replicated object migrates.
+
+Writes are *synchronous* write-through, matching the repo's treatment of
+migration: data management is an administrative operation outside the
+query cost model, so a mutation is applied at every holder before it
+returns.  What stays interesting — and what the schedule explorer
+stresses — is the read path: queries race crashes, bounces and failover
+against this synchronously-maintained copy set.
+
+Every fan-out also notifies registered epoch listeners (the clusters
+wire these to each node's cache) so summary/answer caches learn about
+the mutated holders' new store epochs immediately instead of waiting for
+the next envelope from them; a stale replica can then never satisfy a
+version-gated suppression or serve a cached answer (docs/REPLICATION.md).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from ..core.objects import HFObject
+from ..core.oid import Oid
+from ..errors import ObjectNotFound
+from ..naming.directory import ForwardingTable, ReplicaDirectory
+from ..storage.memstore import MemStore
+from .policy import ReplicationConfig
+
+#: Notified as (site, new_store_epoch) after a write lands at a holder.
+EpochListener = Callable[[str, int], None]
+
+
+class ReplicationManager:
+    """Installs and maintains k-way replicated objects across stores."""
+
+    def __init__(
+        self,
+        config: ReplicationConfig,
+        stores: Dict[str, MemStore],
+        forwarding: Dict[str, ForwardingTable],
+        directory: Optional[ReplicaDirectory] = None,
+    ) -> None:
+        self.config = config
+        self.stores = stores
+        self.forwarding = forwarding
+        self.directory = directory if directory is not None else ReplicaDirectory()
+        self._listeners: List[EpochListener] = []
+        self.copies_installed = 0
+        self.writes_fanned_out = 0
+
+    # -- wiring ----------------------------------------------------------
+
+    def add_epoch_listener(self, listener: EpochListener) -> None:
+        """Register a cache-invalidation hook fired after every fan-out."""
+        self._listeners.append(listener)
+
+    def _announce(self, site: str) -> None:
+        epoch = self.stores[site].epoch
+        for listener in self._listeners:
+            listener(site, epoch)
+
+    # -- placement -------------------------------------------------------
+
+    def holder_of(self, oid: Oid) -> Optional[str]:
+        """The site that currently stores ``oid``'s primary copy."""
+        sites = self.directory.sites_of(oid)
+        if sites:
+            return sites[0]
+        for site, store in self.stores.items():
+            if store.contains(oid):
+                return site
+        return None
+
+    def replicate(self, oid: Oid) -> tuple:
+        """Install ``oid``'s replica set per the placement policy.
+
+        Returns the placement-ordered holder list.  Idempotent: copies
+        already in place are kept, the version counter is preserved.
+        With ``k=1`` nothing is recorded — the directory stays empty and
+        behaviour is the replica-free build's.
+        """
+        if not self.config.enabled:
+            return ()
+        primary = self.holder_of(oid)
+        if primary is None:
+            raise ObjectNotFound(oid)
+        obj = self.stores[primary].get(oid)
+        placement = self.config.policy.place(oid, list(self.stores), self.config.k)
+        if primary not in placement:
+            # The object lives off its computed placement (e.g. it was
+            # migrated); keep the actual holder as primary.
+            placement = (primary, *[s for s in placement if s != primary][: self.config.k - 1])
+        elif placement[0] != primary:
+            placement = (primary, *[s for s in placement if s != primary])
+        for site in placement:
+            if site != primary and not self.stores[site].contains(oid):
+                self.stores[site].put(obj)
+                self.copies_installed += 1
+                self._announce(site)
+        self.directory.record(oid, placement)
+        return placement
+
+    def replicate_all(self) -> int:
+        """Replicate every object in every store; returns objects placed."""
+        if not self.config.enabled:
+            return 0
+        placed = 0
+        for store in list(self.stores.values()):
+            for oid in store.oids():
+                if self.directory.sites_of(oid) and self.directory.sites_of(oid)[0] != store.site:
+                    continue  # a backup copy; its primary already placed it
+                self.replicate(oid)
+                placed += 1
+        return placed
+
+    # -- writes ----------------------------------------------------------
+
+    def apply(self, oid: Oid, mutate: Callable[[HFObject], HFObject]) -> HFObject:
+        """Write-through mutation: apply ``mutate`` at every holder.
+
+        Bumps the object's version counter so version-keyed caches treat
+        every pre-write copy (and every summary describing one) as
+        stale.  Unreplicated objects mutate in place at their single
+        holder, exactly as a direct ``store.replace`` would.
+        """
+        sites = self.directory.sites_of(oid)
+        if not sites:
+            holder = self.holder_of(oid)
+            if holder is None:
+                raise ObjectNotFound(oid)
+            store = self.stores[holder]
+            updated = mutate(store.get(oid))
+            store.replace(updated)
+            self._announce(holder)
+            return updated
+        updated = mutate(self.stores[sites[0]].get(oid))
+        for site in sites:
+            self.stores[site].replace(updated)
+            self.writes_fanned_out += 1
+            self._announce(site)
+        self.directory.bump_version(oid)
+        return updated
+
+    def put(self, obj: HFObject) -> tuple:
+        """Store a new object then place its replicas (workload loading)."""
+        primary = obj.oid.birth_site if obj.oid.birth_site in self.stores else next(iter(self.stores))
+        self.stores[primary].put(obj)
+        self._announce(primary)
+        return self.replicate(obj.oid)
+
+    # -- migration -------------------------------------------------------
+
+    def migrate(self, oid: Oid, to_site: str) -> Oid:
+        """Move ``oid``'s primary residency to ``to_site``.
+
+        Replication-aware version of :func:`repro.naming.names.migrate_object`:
+        the new primary leads the holder list, backups are retained (or
+        installed) to keep k copies, sites leaving the holder set record
+        forwarding entries, and the birth site's arbiter entry tracks the
+        new primary.  Counts as a write: the version counter bumps, so
+        caches keyed on it refresh.
+        """
+        if to_site not in self.stores:
+            raise KeyError(f"unknown destination site {to_site!r}")
+        old_sites = self.directory.sites_of(oid)
+        if not old_sites:
+            from ..naming.names import migrate_object
+
+            moved = migrate_object(oid, self.stores, self.forwarding, to_site)
+            self.replicate(moved)
+            if self.directory.sites_of(moved):
+                self.directory.bump_version(moved)
+            return moved
+        obj = self.stores[old_sites[0]].get(oid)
+        keep = [s for s in old_sites if s != to_site]
+        new_sites = (to_site, *keep[: self.config.k - 1])
+        for site in new_sites:
+            if not self.stores[site].contains(oid):
+                self.stores[site].put(obj)
+                self.copies_installed += 1
+                self._announce(site)
+        for site in old_sites:
+            if site not in new_sites:
+                self.stores[site].remove(oid)
+                self.forwarding[site].record(oid, to_site)
+                self._announce(site)
+        for site in new_sites:
+            self.forwarding[site].drop(oid)
+        if oid.birth_site in self.forwarding and oid.birth_site not in new_sites:
+            self.forwarding[oid.birth_site].record(oid, to_site)
+        self.directory.record(oid, new_sites)
+        self.directory.bump_version(oid)
+        return oid.with_hint(to_site)

@@ -1,0 +1,69 @@
+"""Replica placement: who holds the k copies of an object.
+
+Placement is a pure function of (object id, site list, k) so that every
+component — the manager installing copies, tests predicting them, the
+schedule explorer choosing safe crash sets — computes the same answer
+without coordination.  The distribution-constraints view (Geck et al.,
+"The Chase for Distributed Data") is that parallel-correct routing needs
+exactly this property: the policy *is* the constraint, shared by data
+placement and query routing.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Protocol, Sequence, Tuple
+
+from ..core.oid import Oid
+
+
+class PlacementPolicy(Protocol):
+    """Maps an object to its placement-ordered holder list."""
+
+    def place(self, oid: Oid, sites: Sequence[str], k: int) -> Tuple[str, ...]: ...
+
+
+@dataclass(frozen=True)
+class RingPlacement:
+    """Primary-anchored ring placement.
+
+    The primary is the object's current holder (its birth/storage site
+    keeps authority, matching the paper's naming scheme); the ``k-1``
+    backups are the next sites around a deterministic ring whose start
+    is the object id's hash — so backups spread uniformly instead of
+    piling onto the primary's neighbours.
+    """
+
+    def place(self, oid: Oid, sites: Sequence[str], k: int) -> Tuple[str, ...]:
+        ordered = list(sites)
+        if not ordered:
+            raise ValueError("placement needs at least one site")
+        k = min(k, len(ordered))
+        primary = oid.birth_site if oid.birth_site in ordered else ordered[0]
+        others = [s for s in ordered if s != primary]
+        token = f"{oid.birth_site}:{oid.key()[1]}".encode()
+        start = zlib.crc32(token) % len(others) if others else 0
+        ring = others[start:] + others[:start]
+        return (primary, *ring[: k - 1])
+
+
+@dataclass(frozen=True)
+class ReplicationConfig:
+    """How many copies to keep, and where.
+
+    ``k=1`` (or a missing config) is the replica-free build: no
+    directory entries are created and every code path stays
+    bit-identical to the paper's single-holder algorithm.
+    """
+
+    k: int = 2
+    policy: PlacementPolicy = field(default_factory=RingPlacement)
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ValueError(f"replication factor must be >= 1, got {self.k}")
+
+    @property
+    def enabled(self) -> bool:
+        return self.k > 1

@@ -36,7 +36,7 @@ from ..engine.items import WorkItem
 from ..engine.local import QueryExecution
 from ..engine.results import QueryResult
 from ..errors import HyperFileError, ObjectNotFound, TerminationProtocolError
-from ..naming.directory import ForwardingTable
+from ..naming.directory import ForwardingTable, ReplicaDirectory
 from ..net.batching import BatchConfig, ItemKey, SendBatcher, item_key
 from ..net.messages import (
     BatchedQuery,
@@ -122,6 +122,7 @@ class ServerNode:
         gc_contexts: bool = False,
         batching: Optional[BatchConfig] = None,
         caching: Optional[CacheConfig] = None,
+        replicas: Optional[ReplicaDirectory] = None,
     ) -> None:
         """
         Parameters
@@ -146,6 +147,13 @@ class ServerNode:
             originator's whole-query answer cache.  ``None`` disables the
             subsystem entirely — behaviour is bit-identical to an
             uncached node.
+        replicas:
+            Cluster-shared :class:`~repro.naming.directory.ReplicaDirectory`
+            when k-way replication is on: routing prefers a local replica
+            (read anycast), sends target the first *live* holder, and
+            bounced work fails over to the next replica instead of being
+            abandoned.  ``None`` (or an object absent from the directory)
+            keeps the paper's single-holder :meth:`locate` path exactly.
         """
         if result_mode not in ("ship", "count"):
             raise ValueError(f"result_mode must be 'ship' or 'count', got {result_mode!r}")
@@ -166,6 +174,7 @@ class ServerNode:
         self.batching = batching if batching is not None else BatchConfig(max_batch=1)
         self._batcher = SendBatcher(self.batching) if self.batching.enabled else None
         self.caching = caching
+        self.replicas = replicas
         #: Clock for batch linger aging; real transports point this at
         #: ``time.monotonic`` (the simulator relies on drain/idle flushes).
         self.now_fn: Callable[[], float] = lambda: 0.0
@@ -226,6 +235,52 @@ class ServerNode:
             return oid.birth_site
         return hint
 
+    def _route(self, oid: Oid, exclude: Tuple[str, ...] = ()) -> str:
+        """Replica-aware :meth:`locate`: where should this dereference go?
+
+        Read anycast — any live holder may serve the request.  Preference
+        order: this site if it holds a replica (no message at all), then
+        the first *live* holder in placement order.  Objects absent from
+        the replica directory (and every ``k=1`` deployment, whose
+        directory is empty) fall back to the paper's naming chain, so the
+        replica-free build routes bit-identically to before.
+
+        ``exclude`` lists holders already attempted (failover); if every
+        holder is excluded or down, the placement primary is returned and
+        the caller's normal down-site accounting abandons the branch.
+        """
+        if self.replicas is None:
+            return self.locate(oid)
+        sites = self.replicas.sites_of(oid)
+        if not sites:
+            return self.locate(oid)
+        if self.site in sites and self.site not in exclude:
+            return self.site
+        for site in sites:
+            if site not in exclude and self.is_site_up(site):
+                return site
+        return sites[0]
+
+    def _next_replica(self, oid: Oid, exclude: set) -> Optional[str]:
+        """The next live holder to fail a bounced dereference over to.
+
+        Returns this site when it holds a replica itself (serve locally,
+        no message), another live holder otherwise, or ``None`` when no
+        un-tried live replica remains — the branch is then abandoned with
+        partial results, exactly like the unreplicated bounce path.
+        """
+        if self.replicas is None:
+            return None
+        sites = self.replicas.sites_of(oid)
+        if not sites:
+            return None
+        if self.site in sites and self.site not in exclude:
+            return self.site
+        for site in sites:
+            if site not in exclude and self.is_site_up(site):
+                return site
+        return None
+
     # ------------------------------------------------------------------
     # client-facing entry points (used at the originating site)
     # ------------------------------------------------------------------
@@ -267,7 +322,7 @@ class ServerNode:
             ctx.cache_epoch = self.store.epoch
             self._cache.begin_query(qid)
         for oid in initial:
-            target = self.locate(oid)
+            target = self._route(oid)
             if target == self.site:
                 item = WorkItem(oid=oid, start=1)
                 ctx.execution.admit(item)
@@ -336,7 +391,7 @@ class ServerNode:
         self._next_fetch_id += 1
         request_id = self._next_fetch_id
         report = StepReport()
-        target = self.locate(oid)
+        target = self._route(oid)
         if target == self.site:
             try:
                 self.fetch_results[request_id] = self.store.get(oid)
@@ -397,6 +452,15 @@ class ServerNode:
     def on_message(self, env: Envelope) -> None:
         """Enqueue an arriving message (costed when handled, not here)."""
         self.inbox.append(env)
+
+    def observe_epoch(self, site: str, epoch: int) -> None:
+        """Out-of-band cache invalidation: ``site``'s store epoch moved
+        without an envelope from it (replication write fan-out).  Stale
+        summaries for the site are dropped immediately, so a replica
+        mutated elsewhere can never satisfy rule-B suppression here.
+        No-op when caching is off."""
+        if self._cache is not None:
+            self._cache.observe_epoch(site, epoch)
 
     @property
     def has_work(self) -> bool:
@@ -513,7 +577,7 @@ class ServerNode:
             # result — drop the branch.
             self.stats.late_messages += 1
             return report
-        target = self.locate(msg.item.oid)
+        target = self._route(msg.item.oid)
         if target != self.site and self.is_site_up(target):
             # The object migrated away (or the sender used a stale hint):
             # absorb the detector state, then re-forward the request.
@@ -522,7 +586,7 @@ class ServerNode:
                 self.termination.on_recv_work(ctx.term_state, dict(msg.term), env.src, ctx.busy),
                 msg.qid,
             )
-            self._send_work(ctx, target, msg.item, report)
+            self._send_work(ctx, target, msg.item, report, tried=env.tried or ())
             self.stats.forwarded_requests += 1
         else:
             if not ctx.execution.mark_table.should_process(
@@ -580,14 +644,14 @@ class ServerNode:
                 sender_cause = env.spans[1 + index]
                 if sender_cause:
                     cause = sender_cause
-            target = self.locate(item.oid)
+            target = self._route(item.oid)
             if target != self.site and self.is_site_up(target):
                 self._absorb_controls(
                     report,
                     self.termination.on_recv_work(ctx.term_state, dict(term), env.src, ctx.busy),
                     msg.qid,
                 )
-                self._send_work(ctx, target, item, report, cause=cause)
+                self._send_work(ctx, target, item, report, cause=cause, tried=env.tried or ())
                 self.stats.forwarded_requests += 1
             else:
                 if not ctx.execution.mark_table.should_process(item.oid, item.start, item.iters):
@@ -694,7 +758,7 @@ class ServerNode:
 
     def _handle_fetch_request(self, env: Envelope, msg: FetchRequest) -> StepReport:
         report = StepReport(elapsed=self.costs.msg_recv_s)
-        target = self.locate(msg.oid)
+        target = self._route(msg.oid)
         if target != self.site and self.is_site_up(target):
             # Stale hint or migrated object: chase it (naming §4).
             self._emit(report, target, msg)
@@ -721,8 +785,14 @@ class ServerNode:
     def _handle_undeliverable(self, msg: Undeliverable) -> StepReport:
         """A work message we sent bounced off a down site.
 
-        Recover the termination state it carried and abandon that branch
-        of the traversal (partial results, clean termination)."""
+        Recover the termination state it carried, then — when the object
+        is replicated — fail the work over to the next live holder the
+        bounce has not tried yet (the envelope's ``tried`` hint carries
+        the attempted set across hops).  Each re-routed send splits
+        *fresh* credit, so recovery + re-split keeps the weighted
+        detector's conservation exact.  Work with no remaining live
+        replica is abandoned, exactly the unreplicated behaviour
+        (partial results, clean termination)."""
         report = StepReport(elapsed=self.costs.msg_recv_s)
         original = msg.original.payload
         ctx = self.contexts.get(original.qid)
@@ -739,26 +809,66 @@ class ServerNode:
             # previous run of a reused query id.
             self.stats.late_messages += 1
             return report
+        excl = set(msg.original.tried or ()) | {msg.original.dst}
         if isinstance(original, BatchedQuery):
             # A whole batch bounced: recover every item's credit, and
             # un-record the items so a re-discovered branch is not
             # suppressed against a site that never processed it.
-            self.stats.failed_sends += len(original.items)
             if self._batcher is not None:
                 self._batcher.forget_sent(original.qid, msg.original.dst, original.items)
-            for term in original.terms:
+            for item, term in zip(original.items, original.terms):
                 outs = self.termination.on_send_failed(ctx.term_state, dict(term), ctx.busy)
                 self._absorb_controls(report, outs, original.qid)
+                if not self._failover(ctx, item, excl, report):
+                    self.stats.failed_sends += 1
         else:
-            self.stats.failed_sends += 1
             if self._batcher is not None and isinstance(original, DerefRequest):
                 self._batcher.forget_sent(original.qid, msg.original.dst, (original.item,))
             outs = self.termination.on_send_failed(ctx.term_state, dict(original.term), ctx.busy)
             self._absorb_controls(report, outs, original.qid)
+            if not (
+                isinstance(original, DerefRequest)
+                and self._failover(ctx, original.item, excl, report)
+            ):
+                # SeedFromSaved never fails over: the saved partition
+                # lives only at the bounced site.
+                self.stats.failed_sends += 1
         self._drain_if_idle(ctx, report)
         if ctx.is_originator:
             self._check_termination(ctx, report)
         return report
+
+    def _failover(
+        self,
+        ctx: QueryContext,
+        item: WorkItem,
+        excl: set,
+        report: StepReport,
+        cause: Optional[int] = None,
+    ) -> bool:
+        """Re-route one bounced work item to a replica outside ``excl``.
+
+        A local replica admits the item straight into the working set (no
+        message); a remote live holder gets a fresh send — new credit is
+        split inside :meth:`_send_work` and the envelope's ``tried`` hint
+        carries ``excl`` so a second bounce keeps excluding dead holders
+        (no ping-pong between two down sites).  Returns ``False`` when no
+        un-tried live replica remains; the caller abandons the branch.
+        """
+        alt = self._next_replica(item.oid, excl)
+        if alt is None:
+            return False
+        self.stats.replica_failovers += 1
+        if alt == self.site:
+            self.stats.replica_local_serves += 1
+            ctx.execution.admit(item)
+            span = cause if cause is not None else self._step_span
+            if span is not None:
+                self._item_spans[(ctx.qid, item_key(item))] = span
+            self._enqueue_rr(ctx.qid)
+            return True
+        self._send_work(ctx, alt, item, report, cause=cause, tried=tuple(sorted(excl)))
+        return True
 
     # ------------------------------------------------------------------
     # object processing
@@ -820,8 +930,13 @@ class ServerNode:
         item: WorkItem,
         report: StepReport,
         cause: Optional[int] = None,
+        tried: Tuple[str, ...] = (),
     ) -> None:
         if not self.is_site_up(dst):
+            # Replication first: another live holder can still serve the
+            # dereference (read anycast), so try that before abandoning.
+            if self._failover(ctx, item, {*tried, dst}, report, cause=cause):
+                return
             # Autonomy requirement: a down site must not hang the query.
             # The dereference is abandoned (partial results) and, because
             # no detector state was split off, termination stays exact.
@@ -829,13 +944,21 @@ class ServerNode:
             return
         if cause is None:
             cause = self._step_span
-        if self._cache is not None and self._cache.should_suppress(
-            ctx.qid, dst, item, self._closure_keys.get(ctx.qid)
+        if (
+            self._cache is not None
+            and not (self.replicas is not None and self.replicas.holds(dst, item.oid))
+            and self._cache.should_suppress(
+                ctx.qid, dst, item, self._closure_keys.get(ctx.qid)
+            )
         ):
             # Bloom pruning, *before* any credit is split: the summary
             # proves the message could not produce marks, results, or
             # spawns at the far end, so dropping it is indistinguishable
-            # (to the detector) from a mark-table skip.
+            # (to the detector) from a mark-table skip.  The replica
+            # directory overrides the summary: a directory-listed holder
+            # *does* store the object (writes fan out synchronously and
+            # bump the version), so suppression's premise — "dst cannot
+            # know this object" — is refuted and the send must go out.
             self.stats.sends_suppressed_bloom += 1
             return
         batcher = self._batcher
@@ -844,7 +967,7 @@ class ServerNode:
             self._emit(
                 report, dst,
                 DerefRequest(ctx.qid, ctx.execution.program, item, self._stamp_inc(ctx, attach)),
-                cause=cause,
+                cause=cause, tried=tried,
             )
             return
         # Dedup before splitting credit: a suppressed send is then
@@ -858,7 +981,8 @@ class ServerNode:
         attach = self.termination.on_send_work(ctx.term_state)
         batcher.record_sent(ctx.qid, dst, item)
         pending = batcher.enqueue_work(
-            ctx.qid, dst, item, self._stamp_inc(ctx, attach), self.now_fn(), span=cause
+            ctx.qid, dst, item, self._stamp_inc(ctx, attach), self.now_fn(),
+            span=cause, tried=tried,
         )
         if pending >= self.batching.max_batch:
             self._flush_work(ctx.qid, dst, report, "size")
@@ -873,7 +997,7 @@ class ServerNode:
         """
         batcher = self._batcher
         assert batcher is not None
-        items, terms, spans = batcher.take_work(qid, dst)
+        items, terms, spans, tried = batcher.take_work(qid, dst)
         if not items:
             return 0
         ctx = self.contexts.get(qid)
@@ -884,13 +1008,20 @@ class ServerNode:
             return 0
         if not self.is_site_up(dst):
             # The destination went down between enqueue and flush: take
-            # every item's credit back (exactly the undeliverable path).
-            self.stats.failed_sends += len(items)
+            # every item's credit back (exactly the undeliverable path),
+            # then fail each item over to another live replica if one
+            # exists — only replica-less items stay abandoned.
             batcher.forget_sent(qid, dst, items)
-            for term in terms:
+            excl = {*tried, dst}
+            recovered = 0
+            for item, term, span in zip(items, terms, spans):
                 outs = self.termination.on_send_failed(ctx.term_state, dict(term), ctx.busy)
                 self._absorb_controls(report, outs, qid)
-            return len(items)
+                if self._failover(ctx, item, excl, report, cause=span):
+                    continue
+                self.stats.failed_sends += 1
+                recovered += 1
+            return recovered
         counter = "batch_flushes_" + reason
         setattr(self.stats, counter, getattr(self.stats, counter) + 1)
         if len(items) == 1:
@@ -901,7 +1032,7 @@ class ServerNode:
             self._emit(
                 report, dst,
                 DerefRequest(qid, ctx.execution.program, items[0], dict(terms[0])),
-                cause=spans[0],
+                cause=spans[0], tried=tried,
             )
             return 0
         hints = batcher.take_hints(qid, dst, ctx.execution.mark_table)
@@ -921,7 +1052,7 @@ class ServerNode:
         self._emit(
             report, dst,
             BatchedQuery(qid, ctx.execution.program, items, terms, hints),
-            cause=flush_span, item_causes=spans,
+            cause=flush_span, item_causes=spans, tried=tried,
         )
         return 0
 
@@ -1106,7 +1237,7 @@ class ServerNode:
             program,
             self.store.get,
             site=self.site,
-            locate=self.locate,
+            locate=self._route,
             discipline=self.discipline,
             mark_granularity=self.mark_granularity,
         )
@@ -1220,6 +1351,7 @@ class ServerNode:
         payload: Any,
         cause: Optional[int] = None,
         item_causes: Optional[Tuple[Optional[int], ...]] = None,
+        tried: Tuple[str, ...] = (),
     ) -> None:
         if not self.is_site_up(dst):
             self.stats.failed_sends += 1
@@ -1248,6 +1380,7 @@ class ServerNode:
         env = Envelope(
             self.site, dst, payload, spans=env_spans,
             src_epoch=self.store.epoch if self._cache is not None else None,
+            tried=tuple(tried) if tried else None,
         )
         self.stats.count_sent(type(payload).__name__, env.size_bytes)
         if self.metrics is not None:

@@ -51,6 +51,9 @@ class NodeStats:
     sends_suppressed_bloom: int = 0  #: remote work suppressed by a peer's Bloom summary
     summaries_sent: int = 0        #: site summaries piggybacked on result messages
     summaries_received: int = 0    #: site summaries ingested from result messages
+    # Replication counters (k-way replica routing, see repro.replication).
+    replica_failovers: int = 0     #: work re-routed to another live replica
+    replica_local_serves: int = 0  #: remote-targeted work admitted at a local replica
 
     def count_sent(self, kind: str, size: int) -> None:
         self.messages_sent[kind] = self.messages_sent.get(kind, 0) + 1

@@ -1,6 +1,13 @@
 """Discrete-event simulation kernel and the paper's cost model."""
 
 from .costs import FREE_COSTS, PAPER_COSTS, CostModel
-from .kernel import EventHandle, Simulator
+from .kernel import EventHandle, SchedulePolicy, Simulator
 
-__all__ = ["CostModel", "EventHandle", "FREE_COSTS", "PAPER_COSTS", "Simulator"]
+__all__ = [
+    "CostModel",
+    "EventHandle",
+    "FREE_COSTS",
+    "PAPER_COSTS",
+    "SchedulePolicy",
+    "Simulator",
+]

@@ -1,0 +1,336 @@
+"""Deterministic schedule exploration over the simulation kernel.
+
+The discrete-event simulator normally fires events in (time, seq) order —
+one interleaving per workload.  Distributed-algorithm bugs (termination
+credit leaks, replica failover races, suppression against a stale copy)
+live in the *other* interleavings: orders of message arrival and node
+steps that are causally possible but never produced by the default clock.
+
+This module drives the kernel's :meth:`~repro.sim.kernel.Simulator.set_policy`
+hook to replay thousands of those orders deterministically:
+
+* :func:`run_schedule` — one workload execution under a seeded
+  random-walk (or replayed-prefix) event order, with crash/recovery
+  injection keyed on *scheduler decision counts* (so a crash lands at
+  the same logical point on every replay of a seed, independent of
+  virtual timestamps).  Returns a :class:`ScheduleRun` carrying the
+  result set, the termination-credit deficit, and a signature hash of
+  the exact choice sequence (distinct signatures = distinct
+  interleavings).
+* :func:`explore_random` — a seed sweep of random walks.
+* :func:`explore_dfs` — systematic DFS over choice prefixes: every run
+  follows a recorded prefix, branches once, then falls back to the
+  earliest-event order; the frontier of unexplored branches is the
+  classic stateless-search worklist (CHESS/dBug style, scaled to a
+  bounded budget).
+
+Every choice a policy makes is *causally sound*: a queued event's cause
+has already executed, so firing it before an earlier-stamped event is a
+physically possible network/scheduler behaviour.  The clock advances to
+``max(now, event.time)`` — timestamps bend, causality does not.
+
+The invariants the test suite asserts over every schedule:
+
+1. **Result equivalence** — with every reachable object keeping at least
+   one live replica, the result set equals the healthy replica-free
+   cluster's, on every interleaving.
+2. **Credit conservation** — the weighted detector ends with
+   ``credit_deficit == 0`` on completion; a run that loses work to an
+   unrecoverable crash must end in a *deliberate*
+   :class:`~repro.errors.TerminationLost` whose deficit the credit audit
+   (:func:`repro.profiling.credit_audit`) explains span by span.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..api import credit_deficit
+from ..cluster import SimCluster
+from ..core.oid import Oid
+from ..errors import HyperFileError
+
+#: Builds a fresh cluster + the query's initial oids for one run.  Must
+#: be deterministic: every call returns an identically-loaded deployment
+#: (schedule signatures are only comparable across identical workloads).
+Setup = Callable[[], Tuple[SimCluster, List[Oid]]]
+
+
+@dataclass(frozen=True)
+class CrashPoint:
+    """Crash ``site`` after the scheduler's Nth decision.
+
+    ``recover_at_decision`` (absolute decision count) brings it back;
+    ``None`` leaves it down for the rest of the run.  Decision counts —
+    not virtual times — key the injection so a crash lands at the same
+    logical point however the policy bent the timestamps.
+    """
+
+    site: str
+    at_decision: int
+    recover_at_decision: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.at_decision < 0:
+            raise ValueError("at_decision must be >= 0")
+        if self.recover_at_decision is not None and self.recover_at_decision <= self.at_decision:
+            raise ValueError("recovery must come after the crash")
+
+
+@dataclass
+class ScheduleRun:
+    """Outcome of one explored interleaving."""
+
+    seed: Optional[int]
+    #: SHA-1 over the (choice, width) sequence + crash points: two runs
+    #: with the same signature executed the same interleaving.
+    signature: str
+    decisions: int
+    crashes: Tuple[CrashPoint, ...]
+    #: "completed" or "termination_lost".
+    status: str
+    #: Sorted result-set keys (empty when the run did not complete).
+    oid_keys: Tuple[Tuple[str, int], ...] = ()
+    partial: bool = False
+    #: Weighted-detector deficit at end of run (0 on a clean completion).
+    deficit: Optional[Fraction] = None
+    #: len(live) at each decision (DFS uses this to branch).
+    widths: List[int] = field(default_factory=list)
+    #: The query id, for post-run audits against ``trace``.
+    qid: Optional[object] = None
+    #: Trace events captured when ``run_schedule`` got a tracer factory
+    #: (feed to :func:`repro.profiling.credit_audit`).
+    trace: Optional[List] = None
+    #: Cluster-wide :class:`~repro.server.stats.NodeStats` at end of run
+    #: (``replica_failovers`` etc. tell the tests which paths ran).
+    stats: Optional[object] = None
+
+
+class _PolicyDriver:
+    """The kernel policy for one run: replay a prefix, then walk.
+
+    ``prefix`` entries are branch indices taken verbatim (clamped to the
+    live width); past the prefix, a seeded RNG picks uniformly — or,
+    with ``rng=None``, index 0, which is exactly the kernel's default
+    earliest-(time, seq) order.
+    """
+
+    def __init__(self, prefix: Sequence[int] = (), rng: Optional[random.Random] = None) -> None:
+        self.prefix = list(prefix)
+        self.rng = rng
+        self.choices: List[Tuple[int, int]] = []
+        self.widths: List[int] = []
+
+    @property
+    def decisions(self) -> int:
+        return len(self.choices)
+
+    def __call__(self, live: List) -> int:
+        width = len(live)
+        depth = len(self.choices)
+        if depth < len(self.prefix):
+            index = min(self.prefix[depth], width - 1)
+        elif self.rng is not None:
+            index = self.rng.randrange(width)
+        else:
+            index = 0
+        self.widths.append(width)
+        self.choices.append((index, width))
+        return index
+
+    def signature(self, crashes: Tuple[CrashPoint, ...]) -> str:
+        h = hashlib.sha1()
+        for index, width in self.choices:
+            h.update(f"{index}/{width};".encode())
+        for c in crashes:
+            h.update(f"!{c.site}@{c.at_decision}+{c.recover_at_decision};".encode())
+        return h.hexdigest()
+
+
+def crash_is_safe(cluster: SimCluster, down: Iterable[str], originator: str) -> bool:
+    """Would crashing ``down`` (simultaneously) still leave every object
+    with a live holder, and the originator alive?
+
+    The schedule tests use this to build crash sets under which result
+    equivalence *must* hold; an unsafe set is allowed to lose branches
+    (partial results / deliberate TerminationLost) instead.
+    """
+    down = set(down)
+    if originator in down:
+        return False
+    directory = cluster.replication.directory if cluster.replication is not None else None
+    for site, store in cluster.stores.items():
+        for oid in store.oids():
+            holders: Tuple[str, ...] = directory.sites_of(oid) if directory is not None else ()
+            if not holders:
+                holders = (site,)
+            if all(h in down for h in holders):
+                return False
+    return True
+
+
+def run_schedule(
+    setup: Setup,
+    query,
+    *,
+    seed: Optional[int] = None,
+    prefix: Sequence[int] = (),
+    crashes: Sequence[CrashPoint] = (),
+    originator: Optional[str] = None,
+    max_decisions: int = 200_000,
+    tracer_factory: Optional[Callable[[], object]] = None,
+) -> ScheduleRun:
+    """Execute one query under one explored interleaving.
+
+    ``seed`` drives the random walk past ``prefix`` (``None`` = the
+    kernel's default order).  ``crashes`` fire on decision counts; a
+    crash whose site holds in-flight messages exercises the bounce →
+    failover path, a recovery exercises re-routing back.  The run ends
+    at query completion or — when crash-lost credit makes termination
+    impossible — at queue exhaustion, reported as ``"termination_lost"``
+    with the exact deficit attached (never an exception: the explorer's
+    callers decide which outcomes a schedule was allowed to produce).
+    """
+    cluster, initial = setup()
+    driver = _PolicyDriver(prefix, random.Random(seed) if seed is not None else None)
+    tracer = None
+    if tracer_factory is not None:
+        tracer = tracer_factory()
+        cluster.attach_tracer(tracer)
+    cluster.sim.set_policy(driver)
+    crash_list = tuple(sorted(crashes, key=lambda c: c.at_decision))
+    pending_down = list(crash_list)
+    pending_up = [c for c in crash_list if c.recover_at_decision is not None]
+    try:
+        qid = cluster.submit(query, initial, originator=originator)
+        status = "completed"
+        while cluster.outcome(qid) is None:
+            while pending_down and driver.decisions >= pending_down[0].at_decision:
+                cluster.set_down(pending_down.pop(0).site)
+            while pending_up and driver.decisions >= pending_up[0].recover_at_decision:
+                cluster.set_up(pending_up.pop(0).site)
+            if driver.decisions > max_decisions:
+                raise HyperFileError(
+                    f"schedule exceeded {max_decisions} decisions (seed={seed})"
+                )
+            if not cluster.sim.step():
+                if pending_up:
+                    # The system quiesced (work frozen at a down site)
+                    # before the recovery's decision count was reached;
+                    # nothing else can happen, so the recovery point has
+                    # logically arrived — bring the sites back and let
+                    # the frozen work resume.
+                    for crash in pending_up:
+                        cluster.set_up(crash.site)
+                    pending_up.clear()
+                    continue
+                status = "termination_lost"
+                break
+        outcome = cluster.outcome(qid)
+        deficit = credit_deficit(cluster.nodes, qid)
+        return ScheduleRun(
+            seed=seed,
+            signature=driver.signature(crash_list),
+            decisions=driver.decisions,
+            crashes=crash_list,
+            status=status,
+            oid_keys=tuple(sorted(o.key() for o in outcome.result.oids)) if outcome else (),
+            partial=outcome.result.partial if outcome else False,
+            deficit=deficit,
+            widths=driver.widths,
+            qid=qid,
+            trace=list(tracer.events) if tracer is not None else None,
+            stats=cluster.total_stats(),
+        )
+    finally:
+        cluster.sim.set_policy(None)
+        cluster.close()
+
+
+def explore_random(
+    setup: Setup,
+    query,
+    *,
+    seeds: Iterable[int],
+    crashes_for_seed: Optional[Callable[[int], Sequence[CrashPoint]]] = None,
+    originator: Optional[str] = None,
+    tracer_factory: Optional[Callable[[], object]] = None,
+) -> List[ScheduleRun]:
+    """Random-walk sweep: one :func:`run_schedule` per seed.
+
+    ``crashes_for_seed`` derives each run's crash points from its seed
+    (deterministic chaos — the same sweep replays bit-identically).
+    """
+    runs = []
+    for seed in seeds:
+        crashes = tuple(crashes_for_seed(seed)) if crashes_for_seed is not None else ()
+        runs.append(
+            run_schedule(
+                setup, query, seed=seed, crashes=crashes,
+                originator=originator, tracer_factory=tracer_factory,
+            )
+        )
+    return runs
+
+
+def explore_dfs(
+    setup: Setup,
+    query,
+    *,
+    max_runs: int,
+    branch_cap: int = 3,
+    depth_limit: int = 10,
+    crashes: Sequence[CrashPoint] = (),
+    originator: Optional[str] = None,
+    tracer_factory: Optional[Callable[[], object]] = None,
+) -> List[ScheduleRun]:
+    """Systematic DFS over schedule prefixes.
+
+    Each run replays a recorded choice prefix, then follows the default
+    earliest-event order; afterwards every decision inside the first
+    ``depth_limit`` steps spawns up to ``branch_cap - 1`` sibling
+    prefixes (branch 0 is the path already taken).  Bounded stateless
+    model checking: ``max_runs`` caps the budget, the returned runs'
+    distinct signatures measure actual coverage.
+    """
+    stack: List[Tuple[int, ...]] = [()]
+    runs: List[ScheduleRun] = []
+    while stack and len(runs) < max_runs:
+        prefix = stack.pop()
+        run = run_schedule(
+            setup, query, prefix=prefix, crashes=crashes,
+            originator=originator, tracer_factory=tracer_factory,
+        )
+        runs.append(run)
+        # Past its prefix a prefix-only driver always takes branch 0, so
+        # the path through decision d is prefix + zero padding; every
+        # sibling branch at every post-prefix depth is a new frontier
+        # entry (branch 0 is the path this run already took).
+        for depth in range(len(prefix), min(depth_limit, len(run.widths))):
+            pad = (0,) * (depth - len(prefix))
+            for branch in range(1, min(run.widths[depth], branch_cap)):
+                stack.append((*prefix, *pad, branch))
+    return runs
+
+
+def distinct_signatures(runs: Iterable[ScheduleRun]) -> int:
+    """How many genuinely different interleavings a set of runs covered."""
+    return len({run.signature for run in runs})
+
+
+def summarize(runs: Sequence[ScheduleRun]) -> Dict[str, object]:
+    """Aggregate view of a sweep (CLI + test reporting)."""
+    completed = sum(1 for r in runs if r.status == "completed")
+    return {
+        "runs": len(runs),
+        "distinct": distinct_signatures(runs),
+        "completed": completed,
+        "termination_lost": len(runs) - completed,
+        "partial": sum(1 for r in runs if r.partial),
+        "zero_deficit": sum(1 for r in runs if r.deficit == 0),
+        "max_decisions": max((r.decisions for r in runs), default=0),
+    }

@@ -51,6 +51,15 @@ class EventHandle:
         return self._entry.cancelled
 
 
+#: A schedule policy picks which pending event fires next: it is called
+#: with the queue's live entries presented in deterministic (time, seq)
+#: order and returns the index to fire.  Any queued event is *causally*
+#: enabled — whatever scheduled it has already executed — so every choice
+#: is a physically possible interleaving; only the timestamps bend (the
+#: clock never runs backwards, see :meth:`Simulator.step`).
+SchedulePolicy = Callable[[List["_Entry"]], int]
+
+
 class Simulator:
     """A virtual clock plus an ordered event queue."""
 
@@ -59,6 +68,18 @@ class Simulator:
         self._queue: List[_Entry] = []
         self._seq = itertools.count()
         self.events_fired = 0
+        self._policy: Optional[SchedulePolicy] = None
+
+    def set_policy(self, policy: Optional[SchedulePolicy]) -> None:
+        """Install (or clear) a schedule-exploration policy.
+
+        ``None`` restores the default earliest-deadline order.  With a
+        policy installed, :meth:`step` lets it choose among *all* pending
+        events instead of always firing the earliest — the hook the
+        schedule explorer (:mod:`repro.sim.explore`) drives to replay
+        thousands of distinct interleavings of the same workload.
+        """
+        self._policy = policy
 
     @property
     def now(self) -> float:
@@ -78,7 +99,16 @@ class Simulator:
         return self.schedule(time - self._now, action)
 
     def step(self) -> bool:
-        """Fire the next event; returns False when the queue is empty."""
+        """Fire the next event; returns False when the queue is empty.
+
+        Default order is earliest-(time, seq) first.  With a policy
+        installed (:meth:`set_policy`) the policy chooses among all
+        pending events; firing a later-stamped event early is causally
+        sound (its cause already executed), and the clock advances to
+        ``max(now, entry.time)`` so time still never runs backwards.
+        """
+        if self._policy is not None:
+            return self._step_policy()
         while self._queue:
             entry = heapq.heappop(self._queue)
             if entry.cancelled:
@@ -88,6 +118,32 @@ class Simulator:
             entry.action()
             return True
         return False
+
+    def _step_policy(self) -> bool:
+        live = sorted(
+            (e for e in self._queue if not e.cancelled),
+            key=lambda e: (e.time, e.seq),
+        )
+        if not live:
+            self._queue.clear()
+            return False
+        if len(self._queue) > 64 and len(live) * 2 < len(self._queue):
+            # Consumed entries are only marked, never popped; rebuild the
+            # heap when they dominate so policy steps stay near-linear.
+            self._queue = list(live)
+            heapq.heapify(self._queue)
+        assert self._policy is not None
+        index = self._policy(live)
+        if not 0 <= index < len(live):
+            raise IndexError(
+                f"schedule policy chose event {index} of {len(live)} pending"
+            )
+        entry = live[index]
+        entry.cancelled = True  # consumed; lazily dropped from the heap
+        self._now = max(self._now, entry.time)
+        self.events_fired += 1
+        entry.action()
+        return True
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
         """Drain the event queue.

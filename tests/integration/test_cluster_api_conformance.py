@@ -17,6 +17,7 @@ from repro.errors import QueryTimeout
 from repro.faults import FaultPlan
 from repro.net.sockets import SocketCluster
 from repro.net.threaded import ThreadedCluster
+from repro.replication import ReplicationConfig
 from repro.workload import WorkloadSpec, build_graph, generate_into_cluster, traversal_only_query
 
 CLOSURE = 'S [ (Pointer,"Ref",?X) ^^X ]* (Keyword,"K",?) -> T'
@@ -141,6 +142,49 @@ class TestAvailability:
         cluster.set_up("site1")
         full = cluster.run_query(CLOSURE, [oids[0]], timeout_s=TIMEOUT)
         assert full.result.oid_keys() == {o.key() for o in oids}
+
+
+class TestReplication:
+    """One scenario, every transport × every placement: the replicated
+    deployments must return exactly the replica-free result set, and any
+    live replica must be able to serve a dereference when the preferred
+    holder is down (k=1 is the replica-free build itself — same code
+    path, empty directory)."""
+
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_replicated_results_match_replica_free(self, make_cluster, k):
+        cluster = make_cluster(replication=ReplicationConfig(k=k))
+        oids = build_chain(cluster)
+        placed = cluster.replicate_all()
+        assert placed == (len(oids) if k > 1 else 0)
+        out = cluster.run_query(CLOSURE, [oids[0]], timeout_s=TIMEOUT)
+        assert out.result.oid_keys() == {o.key() for o in oids}
+        assert not out.result.partial
+
+    @pytest.mark.parametrize("k", [2, 3])
+    def test_any_live_replica_serves_when_a_holder_is_down(self, make_cluster, k):
+        """The availability payoff: with k >= 2 the same crash that costs
+        the replica-free build results (see TestAvailability) costs
+        nothing — routing anycasts the dereference to a live holder."""
+        cluster = make_cluster(replication=ReplicationConfig(k=k))
+        oids = build_chain(cluster)
+        cluster.replicate_all()
+        cluster.set_down("site1")
+        out = cluster.run_query(CLOSURE, [oids[0]], timeout_s=TIMEOUT)
+        assert out.result.oid_keys() == {o.key() for o in oids}
+        assert not out.result.partial
+        cluster.set_up("site1")
+
+    def test_migrate_keeps_k_copies_and_results(self, make_cluster):
+        cluster = make_cluster(replication=ReplicationConfig(k=2))
+        oids = build_chain(cluster)
+        cluster.replicate_all()
+        moved = cluster.migrate(oids[1], "site2")
+        directory = cluster.replication.directory
+        sites = directory.sites_of(moved)
+        assert sites[0] == "site2" and len(sites) == 2
+        out = cluster.run_query(CLOSURE, [oids[0]], timeout_s=TIMEOUT)
+        assert out.result.oid_keys() == {o.key() for o in oids}
 
 
 class TestFollowupQueries:

@@ -1,0 +1,78 @@
+"""Replica directory: authoritative holder lists + per-object versions."""
+
+import pytest
+
+from repro.core.oid import Oid
+from repro.naming.directory import ReplicaDirectory, ReplicaEntry
+
+
+def oid(n=1, site="site0"):
+    return Oid(birth_site=site, local_id=n, presumed_site=site)
+
+
+class TestRecordAndLookup:
+    def test_unknown_object_is_unreplicated(self):
+        directory = ReplicaDirectory()
+        assert directory.sites_of(oid()) == ()
+        assert directory.version_of(oid()) == 0
+        assert not directory.holds("site0", oid())
+        assert len(directory) == 0
+
+    def test_record_installs_placement_ordered_holders(self):
+        directory = ReplicaDirectory()
+        directory.record(oid(), ("site1", "site0"))
+        assert directory.sites_of(oid()) == ("site1", "site0")
+        assert directory.holds("site1", oid())
+        assert directory.holds("site0", oid())
+        assert not directory.holds("site2", oid())
+
+    def test_new_entry_starts_at_version_one(self):
+        directory = ReplicaDirectory()
+        directory.record(oid(), ("site0", "site1"))
+        assert directory.version_of(oid()) == 1
+
+    def test_replacement_preserves_the_version(self):
+        directory = ReplicaDirectory()
+        directory.record(oid(), ("site0", "site1"))
+        directory.bump_version(oid())
+        directory.record(oid(), ("site0", "site2"))  # re-place, not a write
+        assert directory.version_of(oid()) == 2
+        assert directory.sites_of(oid()) == ("site0", "site2")
+
+    def test_empty_holder_list_rejected(self):
+        with pytest.raises(ValueError):
+            ReplicaDirectory().record(oid(), ())
+
+    def test_duplicate_holder_rejected(self):
+        with pytest.raises(ValueError):
+            ReplicaDirectory().record(oid(), ("site0", "site0"))
+
+
+class TestVersions:
+    def test_bump_counts_writes(self):
+        directory = ReplicaDirectory()
+        directory.record(oid(), ("site0", "site1"))
+        assert directory.bump_version(oid()) == 2
+        assert directory.bump_version(oid()) == 3
+        assert directory.version_of(oid()) == 3
+
+    def test_bump_of_unreplicated_object_raises(self):
+        with pytest.raises(KeyError):
+            ReplicaDirectory().bump_version(oid())
+
+
+class TestDropAndIntrospection:
+    def test_drop_forgets_the_entry(self):
+        directory = ReplicaDirectory()
+        directory.record(oid(), ("site0", "site1"))
+        directory.drop(oid())
+        assert directory.sites_of(oid()) == ()
+        directory.drop(oid())  # idempotent
+
+    def test_entries_lists_records_in_order(self):
+        directory = ReplicaDirectory()
+        directory.record(oid(1), ("site0",))
+        directory.record(oid(2), ("site1", "site2"))
+        keys = [key for key, _ in directory.entries()]
+        assert keys == [oid(1).key(), oid(2).key()]
+        assert all(isinstance(e, ReplicaEntry) for _, e in directory.entries())

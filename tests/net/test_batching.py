@@ -91,12 +91,13 @@ class TestSendBatcher:
         for i, oid in enumerate(oids):
             n = batcher.enqueue_work(QID, "site1", make_item(oid), {"w": i}, now=0.0)
             assert n == i + 1
-        items, terms, spans = batcher.take_work(QID, "site1")
+        items, terms, spans, tried = batcher.take_work(QID, "site1")
         assert [it.oid for it in items] == oids
         assert [t["w"] for t in terms] == list(range(len(oids)))
         assert spans == (None,) * len(oids)
+        assert tried == ()
         # Taking drains the queue.
-        assert batcher.take_work(QID, "site1") == ((), (), ())
+        assert batcher.take_work(QID, "site1") == ((), (), (), ())
         assert not batcher.has_pending
 
     def test_sent_set_dedup_and_forget(self):

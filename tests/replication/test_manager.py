@@ -1,0 +1,131 @@
+"""Write-through replica maintenance: install, fan out, migrate."""
+
+import pytest
+
+from repro.core.tuples import keyword_tuple, string_tuple
+from repro.errors import ObjectNotFound
+from repro.naming.directory import ForwardingTable, ReplicaDirectory
+from repro.replication import ReplicationConfig, ReplicationManager
+from repro.storage.memstore import MemStore
+
+SITES = ("site0", "site1", "site2")
+
+
+def make_manager(k=2):
+    stores = {site: MemStore(site) for site in SITES}
+    forwarding = {site: ForwardingTable(site) for site in SITES}
+    manager = ReplicationManager(
+        ReplicationConfig(k=k), stores, forwarding, ReplicaDirectory()
+    )
+    return manager, stores
+
+
+class TestReplicate:
+    def test_installs_k_copies_and_records_holders(self):
+        manager, stores = make_manager(k=2)
+        obj = stores["site1"].create([keyword_tuple("K")])
+        placement = manager.replicate(obj.oid)
+        assert placement[0] == "site1" and len(placement) == 2
+        for site in placement:
+            assert stores[site].contains(obj.oid)
+        assert manager.directory.sites_of(obj.oid) == placement
+        assert manager.copies_installed == 1
+
+    def test_replicate_is_idempotent(self):
+        manager, stores = make_manager(k=2)
+        obj = stores["site0"].create([keyword_tuple("K")])
+        manager.replicate(obj.oid)
+        manager.directory.bump_version(obj.oid)
+        placement = manager.replicate(obj.oid)
+        assert manager.copies_installed == 1  # nothing re-copied
+        assert manager.directory.version_of(obj.oid) == 2  # version kept
+        assert manager.directory.sites_of(obj.oid) == placement
+
+    def test_k1_records_nothing(self):
+        manager, stores = make_manager(k=1)
+        obj = stores["site0"].create([keyword_tuple("K")])
+        assert manager.replicate(obj.oid) == ()
+        assert len(manager.directory) == 0
+        assert manager.replicate_all() == 0
+
+    def test_replicate_all_places_every_object_once(self):
+        manager, stores = make_manager(k=2)
+        for site in SITES:
+            stores[site].create([keyword_tuple("K")])
+        assert manager.replicate_all() == 3
+        assert len(manager.directory) == 3
+
+    def test_missing_object_raises(self):
+        manager, stores = make_manager(k=2)
+        obj = stores["site0"].create([])
+        stores["site0"].remove(obj.oid)
+        with pytest.raises(ObjectNotFound):
+            manager.replicate(obj.oid)
+
+
+class TestWriteThrough:
+    def test_apply_updates_every_holder_and_bumps_the_version(self):
+        manager, stores = make_manager(k=3)
+        obj = stores["site0"].create([string_tuple("Title", "old")])
+        manager.replicate(obj.oid)
+        manager.apply(obj.oid, lambda o: o.with_tuple(string_tuple("Rev", "new")))
+        for site in manager.directory.sites_of(obj.oid):
+            stored = stores[site].get(obj.oid)
+            assert any(t.key == "Rev" for t in stored.tuples)
+        assert manager.directory.version_of(obj.oid) == 2
+        assert manager.writes_fanned_out == 3
+
+    def test_apply_to_unreplicated_object_writes_in_place(self):
+        manager, stores = make_manager(k=2)
+        obj = stores["site1"].create([string_tuple("Title", "old")])
+        manager.apply(obj.oid, lambda o: o.with_tuple(string_tuple("Rev", "new")))
+        assert any(t.key == "Rev" for t in stores["site1"].get(obj.oid).tuples)
+        assert not stores["site0"].contains(obj.oid)
+
+    def test_epoch_listeners_hear_every_fanned_out_write(self):
+        manager, stores = make_manager(k=2)
+        heard = []
+        manager.add_epoch_listener(lambda site, epoch: heard.append((site, epoch)))
+        obj = stores["site0"].create([keyword_tuple("K")])
+        manager.replicate(obj.oid)
+        heard.clear()
+        manager.apply(obj.oid, lambda o: o.with_tuple(keyword_tuple("K2")))
+        sites = {site for site, _ in heard}
+        assert sites == set(manager.directory.sites_of(obj.oid))
+        for site, epoch in heard:
+            assert epoch == stores[site].epoch
+
+
+class TestMigrate:
+    def test_migrate_leads_with_the_new_primary(self):
+        manager, stores = make_manager(k=2)
+        obj = stores["site0"].create([keyword_tuple("K")])
+        manager.replicate(obj.oid)
+        moved = manager.migrate(obj.oid, "site2")
+        sites = manager.directory.sites_of(moved)
+        assert sites[0] == "site2" and len(sites) == 2
+        assert stores["site2"].contains(moved)
+
+    def test_sites_leaving_the_holder_set_record_forwards(self):
+        manager, stores = make_manager(k=2)
+        obj = stores["site0"].create([keyword_tuple("K")])
+        old_sites = manager.replicate(obj.oid)
+        moved = manager.migrate(obj.oid, "site2")
+        new_sites = manager.directory.sites_of(moved)
+        for site in old_sites:
+            if site not in new_sites:
+                assert not stores[site].contains(moved)
+                assert manager.forwarding[site].lookup(moved) == "site2"
+
+    def test_migration_counts_as_a_write(self):
+        manager, stores = make_manager(k=2)
+        obj = stores["site0"].create([keyword_tuple("K")])
+        manager.replicate(obj.oid)
+        manager.migrate(obj.oid, "site1")
+        assert manager.directory.version_of(obj.oid) >= 2
+
+    def test_unknown_destination_rejected(self):
+        manager, stores = make_manager(k=2)
+        obj = stores["site0"].create([keyword_tuple("K")])
+        with pytest.raises(KeyError):
+            manager.migrate(obj.oid, "nowhere")

@@ -1,0 +1,61 @@
+"""Placement policy: deterministic, primary-anchored, spread backups."""
+
+import pytest
+
+from repro.core.oid import Oid
+from repro.replication import ReplicationConfig, RingPlacement
+
+SITES = ["site0", "site1", "site2", "site3"]
+
+
+def oid(n=1, site="site0"):
+    return Oid(birth_site=site, local_id=n, presumed_site=site)
+
+
+class TestRingPlacement:
+    def test_primary_is_the_birth_site(self):
+        placement = RingPlacement().place(oid(site="site2"), SITES, 2)
+        assert placement[0] == "site2"
+        assert len(placement) == 2
+
+    def test_placement_is_deterministic(self):
+        policy = RingPlacement()
+        assert policy.place(oid(7), SITES, 3) == policy.place(oid(7), SITES, 3)
+
+    def test_holders_are_distinct(self):
+        for n in range(20):
+            placement = RingPlacement().place(oid(n), SITES, 3)
+            assert len(set(placement)) == len(placement) == 3
+
+    def test_k_clamped_to_site_count(self):
+        placement = RingPlacement().place(oid(), ["site0", "site1"], 5)
+        assert set(placement) == {"site0", "site1"}
+
+    def test_unknown_birth_site_falls_back_to_first(self):
+        placement = RingPlacement().place(oid(site="gone"), ["site0", "site1"], 2)
+        assert placement[0] == "site0"
+
+    def test_empty_site_list_rejected(self):
+        with pytest.raises(ValueError):
+            RingPlacement().place(oid(), [], 2)
+
+    def test_backups_spread_over_the_ring(self):
+        """The hash-anchored ring start must not pile every backup onto
+        one neighbour: across many objects each non-primary site gets a
+        share of site0's backups."""
+        backups = [RingPlacement().place(oid(n), SITES, 2)[1] for n in range(60)]
+        counts = {site: backups.count(site) for site in SITES[1:]}
+        assert all(count > 0 for count in counts.values()), counts
+
+
+class TestReplicationConfig:
+    def test_k_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            ReplicationConfig(k=0)
+
+    def test_k1_is_disabled(self):
+        assert not ReplicationConfig(k=1).enabled
+
+    def test_k2_is_enabled_and_default(self):
+        config = ReplicationConfig()
+        assert config.k == 2 and config.enabled

@@ -1,0 +1,87 @@
+"""Satellite: credit accounting under failover, audited span by span.
+
+The weighted detector conserves a total credit of 1; re-routed sends
+split fresh credit and bounced sends recover theirs.  The contract over
+*every* explored schedule: the run either completes with
+``credit_deficit == 0``, or it ends in a deliberate termination loss
+whose deficit :func:`repro.profiling.credit_audit` fully explains —
+no schedule may leak credit silently.
+"""
+
+from repro.profiling import credit_audit
+from repro.sim.explore import CrashPoint, explore_random, run_schedule
+from repro.tracing import QueryTracer
+
+from .workloads import CLOSURE, ORIGINATOR, make_setup, safe_crash
+
+
+class TestCreditUnderFailover:
+    def test_every_completed_schedule_delivers_all_credit(self):
+        """Completed crash schedules: deficit exactly zero AND the trace
+        shows every credit-carrying send consumed by a receive."""
+        runs = explore_random(
+            make_setup(k=2),
+            CLOSURE,
+            seeds=range(60),
+            crashes_for_seed=safe_crash,
+            originator=ORIGINATOR,
+            tracer_factory=QueryTracer,
+        )
+        for run in runs:
+            assert run.status == "completed", run.seed
+            assert run.deficit == 0, run.seed
+            audit = credit_audit(run.trace, run.qid)
+            assert audit.lost == 0, (run.seed, audit.render())
+
+    def test_every_run_ends_zero_deficit_or_deliberate_loss(self):
+        """The blanket invariant over a mixed sweep (safe and unsafe
+        crashes alike): zero deficit on completion, and any termination
+        loss carries a deficit the audit accounts for exactly."""
+        for seed in range(40):
+            # Alternate between the replicated build under a safe crash
+            # and the replica-free build under an unsafe one.
+            k = 2 if seed % 2 == 0 else 1
+            crashes = (
+                safe_crash(seed)
+                if k == 2
+                else (CrashPoint(f"site{1 + seed % 2}", at_decision=2 + seed % 5),)
+            )
+            run = run_schedule(
+                make_setup(k=k),
+                CLOSURE,
+                seed=seed,
+                crashes=crashes,
+                originator=ORIGINATOR,
+                tracer_factory=QueryTracer,
+            )
+            audit = credit_audit(run.trace, run.qid)
+            if run.status == "completed":
+                assert run.deficit == 0, run.seed
+                assert audit.lost == 0, run.seed
+            else:
+                # Deliberate loss: the deficit is exactly the credit the
+                # audit can point at — traced sends that never landed.
+                # (Credit frozen at a down site is *held*, not lost, so
+                # it never shows up in the deficit at all.)
+                assert run.status == "termination_lost"
+                assert run.deficit == audit.lost, (run.seed, audit.render())
+
+    def test_unsafe_crash_on_replica_free_build_is_a_deliberate_loss(self):
+        """k=1 with a remote site crashed mid-flight cannot terminate:
+        the run must end as an explained termination loss, never as a
+        silent completion or an unexplained hang."""
+        losses = 0
+        for seed in range(20):
+            run = run_schedule(
+                make_setup(k=1),
+                CLOSURE,
+                seed=seed,
+                crashes=(CrashPoint("site1", at_decision=2 + seed % 5),),
+                originator=ORIGINATOR,
+                tracer_factory=QueryTracer,
+            )
+            if run.status == "termination_lost":
+                losses += 1
+                audit = credit_audit(run.trace, run.qid)
+                assert run.deficit == audit.lost, run.seed
+        assert losses > 0, "no schedule ever hit the crashed site"

@@ -1,0 +1,169 @@
+"""Unit tests for the schedule-exploration machinery itself: the kernel
+policy hook, the replay driver, crash points, and safety predicates."""
+
+import pytest
+
+from repro.cluster import SimCluster
+from repro.replication import ReplicationConfig
+from repro.sim import Simulator
+from repro.sim.explore import (
+    CrashPoint,
+    crash_is_safe,
+    distinct_signatures,
+    explore_random,
+    run_schedule,
+    summarize,
+)
+
+from .workloads import CLOSURE, ORIGINATOR, load_chain, make_setup, safe_crash
+
+
+class TestKernelPolicyHook:
+    def test_policy_sees_live_entries_in_deterministic_order(self):
+        sim = Simulator()
+        seen = []
+
+        def policy(live):
+            seen.append([e.time for e in live])
+            return 0
+
+        fired = []
+        sim.schedule(2.0, lambda: fired.append("late"))
+        sim.schedule(1.0, lambda: fired.append("early"))
+        sim.set_policy(policy)
+        while sim.step():
+            pass
+        assert fired == ["early", "late"]
+        assert seen[0] == [1.0, 2.0]
+
+    def test_policy_can_reorder_and_clock_never_runs_backwards(self):
+        sim = Simulator()
+        fired = []
+        times = []
+        sim.schedule(1.0, lambda: fired.append("a"))
+        sim.schedule(2.0, lambda: fired.append("b"))
+        sim.schedule(3.0, lambda: fired.append("c"))
+        sim.set_policy(lambda live: len(live) - 1)  # always the latest
+        while sim.step():
+            times.append(sim.now)
+        assert fired == ["c", "b", "a"]
+        assert times == sorted(times)  # max(now, t): monotone
+        assert times[-1] == 3.0
+
+    def test_out_of_range_choice_raises(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.set_policy(lambda live: 7)
+        with pytest.raises(IndexError):
+            sim.step()
+
+    def test_clearing_the_policy_restores_default_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(2.0, lambda: fired.append("late"))
+        sim.schedule(1.0, lambda: fired.append("early"))
+        sim.set_policy(lambda live: len(live) - 1)
+        sim.step()
+        sim.set_policy(None)
+        sim.step()
+        assert fired == ["late", "early"]
+
+    def test_cancelled_events_are_invisible_to_the_policy(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule(1.0, lambda: fired.append("cancelled"))
+        sim.schedule(2.0, lambda: fired.append("kept"))
+        handle.cancel()
+        widths = []
+        sim.set_policy(lambda live: widths.append(len(live)) or 0)
+        while sim.step():
+            pass
+        assert fired == ["kept"]
+        assert widths == [1]
+
+
+class TestReplayDeterminism:
+    def test_same_seed_replays_the_same_interleaving(self):
+        a = run_schedule(make_setup(k=2), CLOSURE, seed=11, originator=ORIGINATOR)
+        b = run_schedule(make_setup(k=2), CLOSURE, seed=11, originator=ORIGINATOR)
+        assert a.signature == b.signature
+        assert a.oid_keys == b.oid_keys
+        assert a.decisions == b.decisions
+
+    def test_crash_points_are_part_of_the_signature(self):
+        plain = run_schedule(make_setup(k=2), CLOSURE, seed=11, originator=ORIGINATOR)
+        crashed = run_schedule(
+            make_setup(k=2), CLOSURE, seed=11,
+            crashes=(CrashPoint("site1", at_decision=3, recover_at_decision=22),),
+            originator=ORIGINATOR,
+        )
+        assert plain.signature != crashed.signature
+
+    def test_distinct_seeds_explore_distinct_interleavings(self):
+        runs = explore_random(
+            make_setup(k=2), CLOSURE, seeds=range(30), originator=ORIGINATOR
+        )
+        assert distinct_signatures(runs) == len(runs)
+
+    def test_prefix_replay_is_deterministic(self):
+        a = run_schedule(
+            make_setup(k=2), CLOSURE, prefix=(0, 1, 0, 1), originator=ORIGINATOR
+        )
+        b = run_schedule(
+            make_setup(k=2), CLOSURE, prefix=(0, 1, 0, 1), originator=ORIGINATOR
+        )
+        assert a.signature == b.signature
+
+    def test_summarize_reports_the_sweep(self):
+        runs = explore_random(
+            make_setup(k=2), CLOSURE, seeds=range(5),
+            crashes_for_seed=safe_crash, originator=ORIGINATOR,
+        )
+        summary = summarize(runs)
+        assert summary["runs"] == 5
+        assert summary["distinct"] == 5
+        assert summary["completed"] == 5
+        assert summary["zero_deficit"] == 5
+
+
+class TestCrashPoints:
+    def test_negative_decision_rejected(self):
+        with pytest.raises(ValueError):
+            CrashPoint("site1", at_decision=-1)
+
+    def test_recovery_must_follow_crash(self):
+        with pytest.raises(ValueError):
+            CrashPoint("site1", at_decision=5, recover_at_decision=5)
+
+    def test_no_recovery_is_allowed(self):
+        assert CrashPoint("site1", at_decision=5).recover_at_decision is None
+
+
+class TestCrashSafety:
+    def _replicated(self):
+        cluster = SimCluster(3, replication=ReplicationConfig(k=2))
+        load_chain(cluster)
+        cluster.replicate_all()
+        return cluster
+
+    def test_single_crash_is_safe_with_k2(self):
+        cluster = self._replicated()
+        assert crash_is_safe(cluster, ["site1"], "site0")
+        assert crash_is_safe(cluster, ["site2"], "site0")
+        cluster.close()
+
+    def test_crashing_the_originator_is_never_safe(self):
+        cluster = self._replicated()
+        assert not crash_is_safe(cluster, ["site0"], "site0")
+        cluster.close()
+
+    def test_killing_both_holders_is_unsafe(self):
+        cluster = self._replicated()
+        assert not crash_is_safe(cluster, ["site1", "site2"], "site0")
+        cluster.close()
+
+    def test_replica_free_remote_crash_is_unsafe(self):
+        cluster = SimCluster(3)
+        load_chain(cluster)
+        assert not crash_is_safe(cluster, ["site1"], "site0")
+        cluster.close()

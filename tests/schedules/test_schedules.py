@@ -1,0 +1,164 @@
+"""The schedule-exploration centerpiece: thousands of interleavings,
+every one held to result equivalence and exact credit conservation.
+
+The contract under test (ISSUE 5 acceptance):
+
+* replaying ``N_RUNS`` (default 1000) distinct seeded interleavings of a
+  replicated cluster *with crash injection*, every schedule completes
+  with the exact result set of the healthy replica-free build and a
+  weighted-termination credit deficit of exactly zero;
+* the replica-free build (k=1), reordered but unfaulted, is equally
+  schedule-independent — reordering alone can never change results;
+* systematic DFS over choice prefixes holds to the same invariants on
+  every explored branch.
+"""
+
+from repro.sim.explore import (
+    distinct_signatures,
+    explore_dfs,
+    explore_random,
+    run_schedule,
+    summarize,
+)
+from repro.sim.explore import CrashPoint
+
+from .workloads import (
+    CLOSURE,
+    N_RUNS,
+    ORIGINATOR,
+    make_setup,
+    oracle_keys,
+    safe_crash,
+)
+
+
+class TestCrashInjectedEquivalence:
+    def test_thousand_interleavings_with_crashes_match_oracle(self):
+        """The acceptance sweep: N_RUNS seeded random walks, each with a
+        mid-flight crash (+ recovery) of a non-originator replica holder.
+        Every single schedule must produce the oracle result set with a
+        zero credit deficit, and every signature must be distinct."""
+        runs = explore_random(
+            make_setup(k=2),
+            CLOSURE,
+            seeds=range(N_RUNS),
+            crashes_for_seed=safe_crash,
+            originator=ORIGINATOR,
+        )
+        assert len(runs) == N_RUNS
+        assert distinct_signatures(runs) == N_RUNS, summarize(runs)
+        expected = oracle_keys()
+        for run in runs:
+            assert run.status == "completed", (run.seed, summarize(runs))
+            assert run.oid_keys == expected, run.seed
+            assert not run.partial, run.seed
+            assert run.deficit == 0, (run.seed, run.deficit)
+
+    def test_failover_paths_actually_exercised(self):
+        """The sweep is only meaningful if crashes land while work is in
+        flight: across the seeds, bounced/down-routed sends must have
+        re-routed to surviving replicas at least once."""
+        runs = explore_random(
+            make_setup(k=2),
+            CLOSURE,
+            seeds=range(min(N_RUNS, 200)),
+            crashes_for_seed=safe_crash,
+            originator=ORIGINATOR,
+        )
+        failovers = sum(run.stats.replica_failovers for run in runs)
+        assert failovers > 0
+
+    def test_crash_without_recovery_never_corrupts_results_with_k2(self):
+        """A *permanent* non-originator crash: sends headed for the dead
+        site fail over to the surviving replica, so any schedule that
+        completes completes exactly.  Work the site already had in hand
+        when it died (admitted into its context, or sitting un-stepped in
+        its inbox) is frozen with its credit — the crash model freezes,
+        never loses, queued work — so those schedules hang deliberately,
+        and whatever deficit the ledger shows is exactly the credit the
+        span audit can point at frozen in traced-but-unconsumed sends.
+        Either way, nothing silent: no partial answer, no leaked credit."""
+        from repro.profiling import credit_audit
+        from repro.tracing import QueryTracer
+
+        expected = oracle_keys()
+        completed = 0
+        for seed in range(40):
+            site = f"site{1 + seed % 2}"
+            run = run_schedule(
+                make_setup(k=2),
+                CLOSURE,
+                seed=seed,
+                crashes=(CrashPoint(site, at_decision=2 + seed % 7),),
+                originator=ORIGINATOR,
+                tracer_factory=QueryTracer,
+            )
+            if run.status == "completed":
+                completed += 1
+                assert run.deficit == 0, seed
+                assert run.oid_keys == expected, seed
+                assert not run.partial, seed
+            else:
+                audit = credit_audit(run.trace, run.qid)
+                assert run.deficit == audit.lost, (seed, audit.render())
+        assert completed > 0, "failover never carried a schedule through"
+
+
+class TestReorderingAloneIsHarmless:
+    def test_replica_free_build_is_schedule_independent(self):
+        """k=1, no faults: reordering events can never change the result
+        set or leak credit (the pre-PR algorithm under the explorer)."""
+        expected = oracle_keys()
+        runs = explore_random(
+            make_setup(k=1), CLOSURE, seeds=range(100), originator=ORIGINATOR
+        )
+        for run in runs:
+            assert run.status == "completed"
+            assert run.oid_keys == expected
+            assert run.deficit == 0
+
+    def test_replicated_healthy_build_is_schedule_independent(self):
+        expected = oracle_keys()
+        runs = explore_random(
+            make_setup(k=2), CLOSURE, seeds=range(100), originator=ORIGINATOR
+        )
+        for run in runs:
+            assert run.status == "completed"
+            assert run.oid_keys == expected
+            assert run.deficit == 0
+
+
+class TestSystematicDFS:
+    def test_dfs_branches_hold_the_invariants(self):
+        runs = explore_dfs(
+            make_setup(k=2),
+            CLOSURE,
+            max_runs=80,
+            branch_cap=3,
+            depth_limit=12,
+            crashes=(CrashPoint("site1", at_decision=4, recover_at_decision=25),),
+            originator=ORIGINATOR,
+        )
+        assert len(runs) > 1, "DFS found no branch points"
+        assert distinct_signatures(runs) == len(runs)
+        expected = oracle_keys()
+        for run in runs:
+            assert run.status == "completed"
+            assert run.oid_keys == expected
+            assert run.deficit == 0
+
+    def test_dfs_without_crashes_also_holds(self):
+        runs = explore_dfs(
+            make_setup(k=2),
+            CLOSURE,
+            max_runs=40,
+            branch_cap=2,
+            depth_limit=10,
+            originator=ORIGINATOR,
+        )
+        expected = oracle_keys()
+        assert distinct_signatures(runs) == len(runs)
+        for run in runs:
+            assert run.status == "completed"
+            assert run.oid_keys == expected
+            assert run.deficit == 0

@@ -1,0 +1,82 @@
+"""Deterministic workloads shared by the schedule-exploration tests.
+
+Everything the explorer replays must be reproducible from scratch on
+every run: the same objects, the same pointers, the same placement.
+These builders encode one small cross-site closure workload (8 objects
+chained over 3 sites, alternating keyword matches so suppression has
+something to suppress) in replicated and replica-free variants, plus the
+replica-free oracle every schedule's result set is compared against.
+
+``REPRO_SCHEDULE_RUNS`` scales the big sweeps (default 1000 — the
+acceptance floor; CI's schedule-smoke job pins a smaller slice).
+"""
+
+import functools
+import os
+
+from repro.cluster import SimCluster
+from repro.core.tuples import keyword_tuple, pointer_tuple
+from repro.replication import ReplicationConfig
+from repro.sim.explore import CrashPoint, run_schedule
+
+CLOSURE = 'S [ (Pointer,"Ref",?X) ^^X ]* (Keyword,"K",?) -> T'
+SITES = 3
+LENGTH = 8
+ORIGINATOR = "site0"
+
+#: Runs in the big random-walk sweep (acceptance floor: 1000).
+N_RUNS = int(os.environ.get("REPRO_SCHEDULE_RUNS", "1000"))
+
+
+def load_chain(cluster, length=LENGTH):
+    """A pointer chain striped across the sites, every other object a hit."""
+    stores = [cluster.store(s) for s in cluster.sites]
+    oids = []
+    for i in range(length):
+        key = keyword_tuple("K") if i % 2 == 0 else keyword_tuple("miss")
+        oids.append(stores[i % len(stores)].create([key]).oid)
+    for i in range(length - 1):
+        store = stores[i % len(stores)]
+        store.replace(store.get(oids[i]).with_tuple(pointer_tuple("Ref", oids[i + 1])))
+    return oids
+
+
+def make_setup(k=2, **cluster_kwargs):
+    """A :data:`~repro.sim.explore.Setup` building the chain workload at
+    replication factor ``k`` (``k=1`` is the replica-free build)."""
+
+    def setup():
+        cluster = SimCluster(
+            SITES, replication=ReplicationConfig(k=k), **cluster_kwargs
+        )
+        oids = load_chain(cluster)
+        cluster.replicate_all()
+        return cluster, oids[:1]
+
+    return setup
+
+
+@functools.lru_cache(maxsize=None)
+def oracle_keys():
+    """Result keys of the healthy replica-free cluster, default order."""
+    run = run_schedule(make_setup(k=1), CLOSURE, originator=ORIGINATOR)
+    assert run.status == "completed" and run.deficit == 0 and not run.partial
+    assert run.oid_keys, "oracle produced an empty result set"
+    return run.oid_keys
+
+
+def safe_crash(seed):
+    """One crash-with-recovery per seed, never the originator.
+
+    With k=2 over 3 sites any single non-originator crash keeps a live
+    holder of every object, so result equivalence must hold on every
+    schedule that injects these.
+    """
+    site = f"site{1 + seed % (SITES - 1)}"
+    return (
+        CrashPoint(
+            site,
+            at_decision=2 + seed % 7,
+            recover_at_decision=20 + seed % 9,
+        ),
+    )

@@ -172,6 +172,30 @@ class TestExperiments:
         assert "measured_s" in capsys.readouterr().out
 
 
+class TestExplore:
+    def test_sweep_reports_equivalence(self):
+        from repro.cli import run_explore
+
+        out = io.StringIO()
+        assert run_explore(n_runs=25, out=out) == 0
+        text = out.getvalue()
+        assert "distinct interleavings: 25" in text
+        assert "oracle-equal results:   25" in text
+        assert "zero credit deficit:    25" in text
+        assert "every schedule equivalent and credit-exact" in text
+
+    def test_reordering_only_mode(self):
+        from repro.cli import run_explore
+
+        out = io.StringIO()
+        assert run_explore(n_runs=10, crashes=False, out=out) == 0
+        assert "reordering only" in out.getvalue()
+
+    def test_via_main(self, capsys):
+        assert main(["explore", "-n", "10"]) == 0
+        assert "explored 10 schedules" in capsys.readouterr().out
+
+
 class TestCacheStats:
     def test_counters_and_savings(self):
         from repro.cli import run_cache_stats
