@@ -25,7 +25,13 @@ written against :class:`ClusterAPI` runs unchanged on any of them:
 * ``attach_tracer`` / ``detach_tracer`` and ``enable_metrics`` /
   ``metrics_snapshot`` — the uniform observability hooks (causal span
   tracing per :mod:`repro.tracing`, telemetry per
-  :mod:`repro.metrics.registry`) on every transport.
+  :mod:`repro.metrics.registry`) on every transport;
+* ``submit`` / ``run_query`` accept ``priority`` (service class) and
+  ``client`` (admission identity) when a :class:`~repro.qos.QoSConfig`
+  is active — a drained admission bucket bounces the submit with
+  :class:`~repro.errors.Overloaded`, and load-shed work surfaces as
+  ``result.partial`` with ``partial_reason == "shed"`` (see
+  ``docs/QOS.md``).
 
 ``timeout_s`` is a wall-clock backstop; the simulator ignores it (its
 clock is virtual — an idle event queue, not elapsed time, is its failure
@@ -85,6 +91,12 @@ class QueryOutcome:
         """Wall-clock at the client: submit → results in hand."""
         return (self.completed_at - self.submitted_at) + 2 * self.client_link_s
 
+    @property
+    def partial_reason(self) -> Optional[str]:
+        """Why the result is partial — ``"deadline"``, ``"crash"`` or
+        ``"shed"`` — or ``None`` when it is complete."""
+        return self.result.partial_reason
+
 
 @runtime_checkable
 class ClusterAPI(Protocol):
@@ -106,6 +118,8 @@ class ClusterAPI(Protocol):
         initial: Iterable[Oid],
         originator: Optional[str] = None,
         deadline_s: Optional[float] = None,
+        priority: Optional[str] = None,
+        client: str = "default",
     ) -> QueryId: ...
 
     def wait(self, qid: QueryId, timeout_s: Optional[float] = None) -> QueryOutcome: ...
@@ -118,6 +132,8 @@ class ClusterAPI(Protocol):
         deadline_s: Optional[float] = None,
         on_deadline: str = "partial",
         timeout_s: Optional[float] = None,
+        priority: Optional[str] = None,
+        client: str = "default",
     ) -> QueryOutcome: ...
 
     def run_followup(

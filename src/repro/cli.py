@@ -1,6 +1,6 @@
 """Command-line interface: explore HyperFile from a terminal.
 
-Seven subcommands::
+Eight subcommands::
 
     python -m repro demo                 # one-minute guided tour
     python -m repro repl [--sites N]     # interactive query shell over the §5 workload
@@ -8,12 +8,20 @@ Seven subcommands::
     python -m repro trace [--chrome F]   # run a traced query, export its span timeline
     python -m repro profile              # per-query critical-path + credit profile
     python -m repro cache-stats [-n Q]   # cache hit/suppression counters vs uncached
+    python -m repro qos-stats [-n Q]     # admission / shed / backpressure counters under a burst
     python -m repro explore [-n RUNS]    # schedule-exploration sweep with crash injection
 
 ``cache-stats`` runs the same repeated query script over two identical
 clusters — one with cross-query caching (:mod:`repro.cache`) on, one
 without — and prints the per-site cache counters next to the remote-work
 messages each cluster actually sent.
+
+``qos-stats`` fires one burst of queries from two tenants (half
+``interactive``, half ``batch``) at a cluster running the QoS stack
+(:mod:`repro.qos`) and prints what the protections did: per-site shed /
+backpressure / throttle counters, the admission-control bounces each
+tenant took, and the interactive-class response time next to an
+unprotected run of the same burst.
 
 ``explore`` sweeps seeded random-walk event orderings of a replicated
 closure workload (:mod:`repro.sim.explore`), crashing and recovering a
@@ -95,6 +103,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     cache_stats.add_argument("-n", "--queries", type=int, default=8)
     cache_stats.add_argument("--pointer", default="Tree", choices=("Tree", "Chain"))
 
+    qos_stats = sub.add_parser(
+        "qos-stats", help="fire a two-tenant burst at the QoS stack, print counters"
+    )
+    qos_stats.add_argument("--sites", type=int, default=3, choices=(1, 3, 9))
+    qos_stats.add_argument("--objects", type=int, default=90)
+    qos_stats.add_argument("-n", "--queries", type=int, default=8,
+                           help="queries per tenant in the burst (default 8)")
+    qos_stats.add_argument("--pointer", default="Tree", choices=("Tree", "Chain"))
+
     explore = sub.add_parser(
         "explore", help="schedule-exploration sweep with crash injection"
     )
@@ -121,6 +138,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         return run_profile(sites=args.sites, n_objects=args.objects, pointer=args.pointer)
     if args.command == "cache-stats":
         return run_cache_stats(
+            sites=args.sites, n_objects=args.objects,
+            n_queries=args.queries, pointer=args.pointer,
+        )
+    if args.command == "qos-stats":
+        return run_qos_stats(
             sites=args.sites, n_objects=args.objects,
             n_queries=args.queries, pointer=args.pointer,
         )
@@ -430,6 +452,112 @@ def run_cache_stats(
           f"({saved} saved, {pct:.0f}%)", file=out)
     print(f"  bytes sent: {plain.total_stats().bytes_sent} uncached -> "
           f"{cached.total_stats().bytes_sent} cached", file=out)
+    return 0
+
+
+# --------------------------------------------------------------------------
+# qos-stats
+# --------------------------------------------------------------------------
+
+
+def run_qos_stats(
+    sites: int = 3,
+    n_objects: int = 90,
+    n_queries: int = 8,
+    pointer: str = "Tree",
+    out: Optional[IO[str]] = None,
+) -> int:
+    out = out if out is not None else sys.stdout
+    from .api import credit_deficit
+    from .errors import Overloaded
+    from .qos import QoSConfig
+    from .workload import query_script
+
+    spec = WorkloadSpec().scaled(n_objects)
+    graph = build_graph(n=n_objects, seed=spec.seed)
+    # Two tenants, n_queries each, every query arriving in one burst at
+    # virtual t=0 — the worst case the admission control is sized for.
+    script = list(query_script(pointer, "Rand10p", count=2 * n_queries, spec=spec))
+    qos = QoSConfig(
+        rate_limit_qps=0.2,
+        rate_burst=max(2, n_queries // 2),
+        high_watermark=8,
+        low_watermark=4,
+        shed_watermark=16,
+    )
+
+    def run(config):
+        cluster = SimCluster(sites, qos=config)
+        workload = generate_into_cluster(cluster, spec, graph)
+        submitted = []
+        bounced = {"interactive": 0, "batch": 0}
+        for i, query in enumerate(script):
+            priority = "interactive" if i % 2 == 0 else "batch"
+            try:
+                qid = cluster.submit(
+                    query, [workload.root], priority=priority, client=priority
+                )
+            except Overloaded:
+                bounced[priority] += 1
+            else:
+                submitted.append((qid, priority))
+        cluster.run()
+        times = {"interactive": [], "batch": []}
+        shed_partials = 0
+        deficits = []
+        for qid, priority in submitted:
+            outcome = cluster.outcome(qid)
+            times[priority].append(outcome.response_time)
+            if outcome.result.partial:
+                shed_partials += 1
+            deficit = credit_deficit(cluster.nodes, qid)
+            if deficit is not None:
+                deficits.append(deficit)
+        return cluster, times, bounced, shed_partials, deficits
+
+    _, open_times, _, _, _ = run(None)
+    cluster, times, bounced, shed_partials, deficits = run(qos)
+
+    rows = []
+    for site, node in cluster.nodes.items():
+        s = node.stats
+        rows.append(
+            {
+                "site": site,
+                "shed": s.work_shed,
+                "bp_trans": s.backpressure_transitions,
+                "throttled": s.sends_throttled,
+                "work_sent": _work_sent(node),
+            }
+        )
+    print(
+        render_table(
+            rows, title=f"qos counters, {len(script)} burst arrivals on {sites} site(s)"
+        ),
+        file=out,
+    )
+
+    def mean(vals):
+        return sum(vals) / len(vals) if vals else 0.0
+
+    admitted = sum(len(v) for v in times.values())
+    print(
+        f"  admission: {admitted} admitted, "
+        f"{bounced['interactive']} interactive + {bounced['batch']} batch bounced",
+        file=out,
+    )
+    print(
+        f"  shed partials: {shed_partials} "
+        f"(work items shed: {cluster.total_stats().work_shed})",
+        file=out,
+    )
+    print(
+        f"  interactive mean response: {mean(open_times['interactive']):.2f}s "
+        f"unprotected -> {mean(times['interactive']):.2f}s with qos",
+        file=out,
+    )
+    credit = "exact" if all(d == 0 for d in deficits) else "LEAKED"
+    print(f"  termination credit: {credit} ({len(deficits)} queries audited)", file=out)
     return 0
 
 

@@ -14,6 +14,7 @@ from ..core.oid import Oid
 from ..core.tuples import HFTuple
 from ..errors import HyperFileError
 from ..net.batching import BatchConfig
+from ..qos import QoSConfig
 from ..replication import ReplicationConfig
 from ..sim.costs import CostModel, PAPER_COSTS
 from .session import Session
@@ -47,7 +48,10 @@ class HyperFile:
     ``replication`` a k-way replica config
     (:class:`~repro.replication.ReplicationConfig`; see
     ``docs/REPLICATION.md``) — call :meth:`replicate_all` after loading
-    objects to install the copies.
+    objects to install the copies — and ``qos`` an admission-control /
+    service-class config (:class:`~repro.qos.QoSConfig`; see
+    ``docs/QOS.md``).  ``qos=None`` (the default) leaves behaviour
+    bit-identical to a build without the QoS subsystem.
 
     The pre-transport constructor signature (``sites``, ``costs``,
     ``termination``, ``result_mode``) keeps working unchanged and implies
@@ -66,6 +70,7 @@ class HyperFile:
         batching: Optional[BatchConfig] = None,
         caching: Optional[CacheConfig] = None,
         replication: Optional[ReplicationConfig] = None,
+        qos: Optional[QoSConfig] = None,
     ) -> None:
         if transport not in TRANSPORTS:
             raise ValueError(f"transport must be one of {TRANSPORTS}, got {transport!r}")
@@ -73,7 +78,7 @@ class HyperFile:
             self.cluster = SimCluster(
                 sites, costs=costs, termination=termination,
                 result_mode=result_mode, batching=batching, caching=caching,
-                replication=replication,
+                replication=replication, qos=qos,
             )
         else:
             if costs is not PAPER_COSTS:
@@ -86,7 +91,7 @@ class HyperFile:
                 self.cluster = ThreadedCluster(
                     sites, termination=termination,
                     result_mode=result_mode, batching=batching, caching=caching,
-                    replication=replication,
+                    replication=replication, qos=qos,
                 )
             else:
                 from ..net.sockets import SocketCluster
@@ -94,7 +99,7 @@ class HyperFile:
                 self.cluster = SocketCluster(
                     sites, termination=termination,
                     result_mode=result_mode, batching=batching, caching=caching,
-                    replication=replication,
+                    replication=replication, qos=qos,
                 )
         self.transport = transport
         self.session = Session(self.cluster)

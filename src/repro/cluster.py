@@ -26,13 +26,14 @@ from typing import Dict, Iterable, List, Optional, Union
 from .api import QueryLike, QueryOutcome, compile_query_like, credit_deficit
 from .core.oid import Oid
 from .engine.results import QueryResult
-from .errors import HyperFileError, QueryTimeout, TerminationLost, UnknownSite
+from .errors import HyperFileError, Overloaded, QueryTimeout, TerminationLost, UnknownSite
 from .faults.plan import FaultPlan
 from .faults.reliable import ReliableConfig
 from .naming.directory import ForwardingTable, ReplicaDirectory
 from .naming.names import migrate_object
 from .cache import CacheConfig
 from .net.batching import BatchConfig
+from .qos import PRIORITIES, ClientLimiter, QoSConfig
 from .replication import ReplicationConfig, ReplicationManager
 from .net.messages import QueryId
 from .net.simnet import SimNetwork
@@ -67,6 +68,7 @@ class SimCluster:
         batching: Optional[BatchConfig] = None,
         caching: Optional[CacheConfig] = None,
         replication: Optional[ReplicationConfig] = None,
+        qos: Optional[QoSConfig] = None,
     ) -> None:
         if isinstance(sites, int):
             names = [site_name(i) for i in range(sites)]
@@ -107,6 +109,7 @@ class SimCluster:
                 batching=batching,
                 caching=caching,
                 replicas=directory,
+                qos=qos,
             )
             self.stores[name] = store
             self.forwarding[name] = table
@@ -125,6 +128,14 @@ class SimCluster:
                 # the mutated holders immediately (version/epoch gating).
                 self.replication.add_epoch_listener(node.observe_epoch)
 
+        self.qos = qos
+        self._qos_limiter: Optional[ClientLimiter] = (
+            ClientLimiter(qos.rate_limit_qps, qos.rate_burst, lambda: self.sim.now)
+            if qos is not None and qos.rate_limit_qps is not None
+            else None
+        )
+        #: Submits bounced by admission control (see `repro qos-stats`).
+        self.qos_bounces = 0
         self._seq = 0
         self._submitted_at: Dict[QueryId, float] = {}
         self._completed: Dict[QueryId, QueryOutcome] = {}
@@ -270,20 +281,31 @@ class SimCluster:
         initial: Iterable[Oid],
         originator: Optional[str] = None,
         deadline_s: Optional[float] = None,
+        priority: Optional[str] = None,
+        client: str = "default",
     ) -> QueryId:
         """Install a query at its originating site (non-blocking).
 
         ``deadline_s`` arms an originator-side timer: if the query has
         not terminated after that much virtual time it is force-completed
         with whatever results arrived, flagged ``partial=True``.
+
+        ``priority`` is the QoS service class (``"interactive"`` or
+        ``"batch"``; meaningful only with ``qos=``), and ``client`` names
+        the submitting tenant for per-client rate limiting — an empty
+        token bucket bounces the submit with
+        :class:`~repro.errors.Overloaded` before anything is installed.
         """
+        if priority is not None and priority not in PRIORITIES:
+            raise ValueError(f"priority must be one of {PRIORITIES}, got {priority!r}")
         program = self.compile(query)
         origin = originator if originator is not None else self.sites[0]
         if origin not in self.nodes:
             raise UnknownSite(origin)
+        self._admit(client)
         qid = self._next_qid(origin)
         self._submitted_at[qid] = self.sim.now
-        self.network.hosts[origin].submit(qid, program, list(initial))
+        self.network.hosts[origin].submit(qid, program, list(initial), priority=priority)
         if deadline_s is not None:
             if deadline_s <= 0:
                 raise ValueError("deadline_s must be positive")
@@ -351,6 +373,8 @@ class SimCluster:
         deadline_s: Optional[float] = None,
         on_deadline: str = "partial",
         timeout_s: Optional[float] = None,
+        priority: Optional[str] = None,
+        client: str = "default",
     ) -> QueryOutcome:
         """Submit, run to completion (or deadline), and return the outcome.
 
@@ -361,7 +385,10 @@ class SimCluster:
         """
         if on_deadline not in ("partial", "raise"):
             raise ValueError(f"on_deadline must be 'partial' or 'raise', got {on_deadline!r}")
-        qid = self.submit(query, initial, originator, deadline_s=deadline_s)
+        qid = self.submit(
+            query, initial, originator, deadline_s=deadline_s,
+            priority=priority, client=client,
+        )
         outcome = self.wait(qid, timeout_s=timeout_s)
         if outcome.result.partial and on_deadline == "raise":
             raise QueryTimeout(qid, deadline_s, outcome.result)
@@ -419,6 +446,18 @@ class SimCluster:
     def _next_qid(self, originator: str) -> QueryId:
         self._seq += 1
         return QueryId(self._seq, originator)
+
+    def _admit(self, client: str) -> None:
+        """Admission control: spend one rate-limit token or bounce."""
+        if self._qos_limiter is None:
+            return
+        if self._qos_limiter.try_acquire(client):
+            return
+        self.qos_bounces += 1
+        metrics = getattr(self, "metrics", None)
+        if metrics is not None:
+            metrics.counter("qos.overload_bounces_total", client=client).inc()
+        raise Overloaded(client, retry_after_s=self._qos_limiter.retry_after_s(client))
 
     def _on_complete(self, qid: QueryId, result: QueryResult) -> None:
         handle = self._deadline_handles.pop(qid, None)

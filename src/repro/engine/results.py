@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Set, Tuple
+from typing import Any, Dict, List, Optional, Set, Tuple
 
 from ..core.oid import Oid
 
@@ -93,13 +93,18 @@ class QueryResult:
     queries); ``retrieved`` maps each ``→var`` target to the list of data
     values shipped back; ``stats`` aggregates execution counters across
     sites; ``partial`` is True when the query was cut short (deadline
-    expiry) and the result set may be missing branches.
+    expiry, or QoS load shedding) and the result set may be missing
+    branches.  ``partial_reason`` says why — ``"deadline"`` (the timer
+    fired), ``"crash"`` (the timer fired after branches were written off
+    to down sites), or ``"shed"`` (a site dropped work under overload,
+    see docs/QOS.md) — and is ``None`` exactly when ``partial`` is False.
     """
 
     oids: ResultSet = field(default_factory=ResultSet)
     retrieved: Dict[str, List[Any]] = field(default_factory=dict)
     stats: ExecutionStats = field(default_factory=ExecutionStats)
     partial: bool = False
+    partial_reason: Optional[str] = None
 
     def record_emission(self, target: str, value: Any) -> None:
         self.retrieved.setdefault(target, []).append(value)

@@ -146,3 +146,21 @@ class QueryLimitExceeded(HyperFileError):
         self.limit_name = limit_name
         self.limit = limit
         super().__init__(f"query exceeded limit {limit_name}={limit}")
+
+
+class Overloaded(HyperFileError):
+    """A submit was bounced by admission control (see docs/QOS.md).
+
+    The per-client token bucket was empty, so the query was rejected
+    *before* anything entered the cluster — an explicit bounce the
+    client can retry after ``retry_after_s``, instead of work silently
+    queueing behind an already-saturated service.
+    """
+
+    def __init__(self, client: str, retry_after_s: float = 0.0) -> None:
+        self.client = client
+        self.retry_after_s = retry_after_s
+        super().__init__(
+            f"submit bounced for client {client!r}: rate limit exceeded "
+            f"(retry after {retry_after_s:.3f}s)"
+        )

@@ -246,6 +246,20 @@ class SendBatcher:
         horizon = now - self.config.linger_s
         return [key for key, q in self._work.items() if q.first_enqueued <= horizon]
 
+    def queued_toward(self, dst: str) -> int:
+        """Work items currently held for one destination, across queries.
+
+        This is the quantity QoS backpressure grows when a peer reports
+        high watermark — held items keep accumulating into larger frames
+        instead of adding to the pressured site's inbox.
+        """
+        return sum(len(q.items) for (_, d), q in self._work.items() if d == dst)
+
+    @property
+    def total_queued(self) -> int:
+        """All work items currently held in send queues (observability)."""
+        return sum(len(q.items) for q in self._work.values())
+
     # -- result queues ---------------------------------------------------
 
     def enqueue_result(

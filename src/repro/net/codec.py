@@ -671,6 +671,12 @@ def decode_message(frame: bytes) -> Any:
 # --------------------------------------------------------------------------
 
 
+#: Wire codes for the QoS service classes (byte value = index + 1; 0 =
+#: "QoS off").  Order matches :data:`repro.qos.PRIORITIES` and is part
+#: of the frame layout — append only.
+_PRIORITY_CODES = ("interactive", "batch")
+
+
 def encode_envelope(env: Envelope) -> bytes:
     """Serialise an envelope: sender, trace-span context, then the message.
 
@@ -688,6 +694,12 @@ def encode_envelope(env: Envelope) -> bytes:
     for the work inside) follows the epoch as a site-name count; ``0``
     means "no hint" (``tried=None``), which is what every frame on an
     unreplicated deployment carries.
+
+    The QoS fields close the header the same way: a priority byte (``0``
+    = QoS off, ``1`` = interactive, ``2`` = batch) and a pressure varint
+    (``0`` = QoS off, else ``pressure + 1``).  A ``qos=None`` deployment
+    writes two zero bytes here, and both ends agree on the layout, so
+    the frames stay self-consistent across all transports.
     """
     w = _Writer()
     w.text(env.src)
@@ -704,6 +716,14 @@ def encode_envelope(env: Envelope) -> bytes:
             w.text(site)
     else:
         w.varint(0)
+    if env.priority is None:
+        w.byte(0)
+    else:
+        try:
+            w.byte(1 + _PRIORITY_CODES.index(env.priority))
+        except ValueError:
+            raise CodecError(f"unknown envelope priority {env.priority!r}") from None
+    w.varint(0 if env.pressure is None else env.pressure + 1)
     w.chunks.append(encode_message(env.payload))
     return w.getvalue()
 
@@ -724,5 +744,17 @@ def decode_envelope(frame: bytes, dst: str) -> Envelope:
     if n_tried < 0 or n_tried > 100_000:
         raise CodecError(f"implausible tried-site count {n_tried}")
     tried = tuple(r.text() for _ in range(n_tried)) if n_tried else None
+    priority_code = r.byte()
+    if priority_code > len(_PRIORITY_CODES):
+        raise CodecError(f"unknown envelope priority code {priority_code}")
+    priority = None if priority_code == 0 else _PRIORITY_CODES[priority_code - 1]
+    pressure_plus_one = r.varint()
+    if pressure_plus_one < 0:
+        raise CodecError("negative envelope pressure")
+    pressure = None if pressure_plus_one == 0 else pressure_plus_one - 1
     payload = decode_message(r.data[r.pos :])
-    return Envelope(src, dst, payload, spans=spans, src_epoch=src_epoch, tried=tried)
+    return Envelope(
+        src, dst, payload,
+        spans=spans, src_epoch=src_epoch, tried=tried,
+        priority=priority, pressure=pressure,
+    )

@@ -20,7 +20,8 @@ from ..api import QueryLike, QueryOutcome, compile_query_like, credit_deficit
 from ..core.oid import Oid
 from ..core.program import Program
 from ..engine.results import QueryResult
-from ..errors import QueryTimeout, TerminationLost, TransportClosed, UnknownSite
+from ..errors import Overloaded, QueryTimeout, TerminationLost, TransportClosed, UnknownSite
+from ..qos import PRIORITIES, ClientLimiter, QoSConfig
 from ..server.stats import NodeStats
 from .messages import QueryId
 
@@ -98,12 +99,30 @@ class WallClockQueries:
     #   sites property, _closed flag
     #   _dispatch_submit / _dispatch_submit_from_saved / _dispatch_expire
 
-    def _init_queries(self) -> None:
+    def _init_queries(self, qos: Optional[QoSConfig] = None) -> None:
         self._completions: "queue.Queue" = queue.Queue()
         self._seq = 0
         self._seq_lock = threading.Lock()
         self._inflight: Dict[QueryId, _Inflight] = {}
         self._outcomes: Dict[QueryId, QueryOutcome] = {}
+        self.qos = qos
+        self._qos_limiter: Optional[ClientLimiter] = (
+            ClientLimiter(qos.rate_limit_qps, qos.rate_burst, time.monotonic)
+            if qos is not None and qos.rate_limit_qps is not None
+            else None
+        )
+        self.qos_bounces = 0
+
+    def _admit(self, client: str) -> None:
+        """Token-bucket admission control; bounces with :class:`Overloaded`."""
+        if self._qos_limiter is None:
+            return
+        if not self._qos_limiter.try_acquire(client):
+            self.qos_bounces += 1
+            metrics = getattr(self, "metrics", None)
+            if metrics is not None:
+                metrics.counter("qos.overload_bounces_total", client=client).inc()
+            raise Overloaded(client, retry_after_s=self._qos_limiter.retry_after_s(client))
 
     # -- ClusterAPI ------------------------------------------------------
 
@@ -116,23 +135,31 @@ class WallClockQueries:
         initial: Iterable[Oid],
         originator: Optional[str] = None,
         deadline_s: Optional[float] = None,
+        priority: Optional[str] = None,
+        client: str = "default",
     ) -> QueryId:
         """Install a query at its originating site (non-blocking).
 
         ``deadline_s`` starts counting now; :meth:`wait` enforces it even
         if called later (the elapsed gap is charged against the budget).
+        With a QoS config active, ``priority`` selects the service class
+        and ``client`` is the admission-control identity; a drained token
+        bucket bounces the submit with :class:`~repro.errors.Overloaded`.
         """
         if self._closed:
             raise TransportClosed("cluster is closed")
         if deadline_s is not None and deadline_s <= 0:
             raise ValueError("deadline_s must be positive")
+        if priority is not None and priority not in PRIORITIES:
+            raise ValueError(f"priority must be one of {PRIORITIES}, got {priority!r}")
         program = compile_query_like(query)
         origin = originator if originator is not None else self.sites[0]
         if origin not in self.nodes:
             raise UnknownSite(origin)
+        self._admit(client)
         qid = self._next_qid(origin)
         self._inflight[qid] = _Inflight(time.monotonic(), deadline_s)
-        self._dispatch_submit(origin, qid, program, list(initial))
+        self._dispatch_submit(origin, qid, program, list(initial), priority)
         return qid
 
     def submit_followup(
@@ -182,6 +209,8 @@ class WallClockQueries:
         deadline_s: Optional[float] = None,
         on_deadline: str = "partial",
         timeout_s: Optional[float] = None,
+        priority: Optional[str] = None,
+        client: str = "default",
     ) -> QueryOutcome:
         """Submit and block until completion — the ClusterAPI contract.
 
@@ -192,7 +221,9 @@ class WallClockQueries:
         """
         if on_deadline not in ("partial", "raise"):
             raise ValueError(f"on_deadline must be 'partial' or 'raise', got {on_deadline!r}")
-        qid = self.submit(query, initial, originator, deadline_s=deadline_s)
+        qid = self.submit(
+            query, initial, originator, deadline_s=deadline_s, priority=priority, client=client
+        )
         outcome = self.wait(qid, timeout_s=timeout_s)
         if outcome.result.partial and on_deadline == "raise":
             raise QueryTimeout(qid, deadline_s, outcome.result)

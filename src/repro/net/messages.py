@@ -292,6 +292,14 @@ class Envelope:
     replica, so a dereference bouncing between two half-dead holders
     cannot ping-pong; an :class:`Undeliverable` bounce hands the set
     back via the wrapped original envelope.
+
+    ``priority`` is the QoS service class of the query this envelope
+    belongs to (``"interactive"`` or ``"batch"``, see :mod:`repro.qos`),
+    and ``pressure`` piggybacks the sender's backpressure state (1 =
+    above its high watermark, 0 = clear) so upstream senders can throttle
+    their batching toward pressured sites.  Both are ``None`` whenever
+    ``qos=None`` — a QoS-free run's envelopes are byte-for-byte the
+    pre-QoS ones — and neither contributes to ``size_bytes``.
     """
 
     src: str
@@ -300,6 +308,8 @@ class Envelope:
     spans: Optional[Tuple[int, ...]] = None
     src_epoch: Optional[int] = None
     tried: Optional[Tuple[str, ...]] = None
+    priority: Optional[str] = None
+    pressure: Optional[int] = None
 
     @property
     def size_bytes(self) -> int:

@@ -41,6 +41,7 @@ from ..cache import CacheConfig
 from ..naming.directory import ReplicaDirectory
 from ..net.batching import BatchConfig
 from ..net.codec import decode_envelope, encode_envelope
+from ..qos import QoSConfig
 from ..replication import ReplicationConfig, ReplicationManager
 from ..net.messages import (
     BatchedQuery,
@@ -200,9 +201,11 @@ class _SocketSite:
             for out in outgoing:
                 self._send(out)
 
-    def submit(self, qid: QueryId, program: Program, initial: List[Oid]) -> None:
+    def submit(
+        self, qid: QueryId, program: Program, initial: List[Oid], priority: Optional[str] = None
+    ) -> None:
         with self._node_lock:
-            report = self.node.submit(qid, program, initial)
+            report = self.node.submit(qid, program, initial, priority=priority)
         for env in report.outgoing:
             self._send(env)
         self.inbox.put(None)  # nudge the worker
@@ -292,13 +295,14 @@ class SocketCluster(WallClockQueries):
         batching: Optional[BatchConfig] = None,
         caching: Optional[CacheConfig] = None,
         replication: Optional[ReplicationConfig] = None,
+        qos: Optional[QoSConfig] = None,
     ) -> None:
         names = [f"site{i}" for i in range(sites)] if isinstance(sites, int) else list(sites)
         strategy = make_strategy(termination)
         self.stores: Dict[str, MemStore] = {}
         self.nodes: Dict[str, ServerNode] = {}
         self._sites: Dict[str, _SocketSite] = {}
-        self._init_queries()
+        self._init_queries(qos)
         self._closed = False
         self._down: set = set()
         self._down_lock = threading.Lock()
@@ -327,6 +331,7 @@ class SocketCluster(WallClockQueries):
                 batching=batching,
                 caching=caching,
                 replicas=directory,
+                qos=qos,
             )
             node.now_fn = time.monotonic
             self.stores[name] = store
@@ -487,8 +492,15 @@ class SocketCluster(WallClockQueries):
         except KeyError:
             raise UnknownSite(site) from None
 
-    def _dispatch_submit(self, origin: str, qid: QueryId, program: Program, initial: List[Oid]) -> None:
-        self._sites[origin].submit(qid, program, initial)
+    def _dispatch_submit(
+        self,
+        origin: str,
+        qid: QueryId,
+        program: Program,
+        initial: List[Oid],
+        priority: Optional[str] = None,
+    ) -> None:
+        self._sites[origin].submit(qid, program, initial, priority)
 
     def _dispatch_submit_from_saved(
         self, origin: str, qid: QueryId, program: Program, source_qid: QueryId

@@ -39,6 +39,7 @@ from ..faults.timers import TimerThread
 from ..naming.directory import ForwardingTable, ReplicaDirectory
 from ..cache import CacheConfig
 from ..net.batching import BatchConfig
+from ..qos import QoSConfig
 from ..replication import ReplicationConfig, ReplicationManager
 from ..net.messages import (
     BatchedQuery,
@@ -73,9 +74,11 @@ class _SiteThread:
         self._stop = True
         self.inbox.put(None)  # wake the loop
 
-    def submit(self, qid: QueryId, program: Program, initial: List[Oid]) -> None:
+    def submit(
+        self, qid: QueryId, program: Program, initial: List[Oid], priority: Optional[str] = None
+    ) -> None:
         with self._lock:
-            report = self.node.submit(qid, program, initial)
+            report = self.node.submit(qid, program, initial, priority=priority)
         for env in report.outgoing:
             self.router.route(env)
         self.inbox.put(None)  # nudge: local work may now exist
@@ -135,6 +138,7 @@ class ThreadedCluster(WallClockQueries):
         batching: Optional[BatchConfig] = None,
         caching: Optional[CacheConfig] = None,
         replication: Optional[ReplicationConfig] = None,
+        qos: Optional[QoSConfig] = None,
     ) -> None:
         if isinstance(sites, int):
             names = [f"site{i}" for i in range(sites)]
@@ -144,7 +148,7 @@ class ThreadedCluster(WallClockQueries):
         self.forwarding: Dict[str, ForwardingTable] = {}
         self.nodes: Dict[str, ServerNode] = {}
         self._threads: Dict[str, _SiteThread] = {}
-        self._init_queries()
+        self._init_queries(qos)
         self._closed = False
         self._down: set = set()
         self._down_lock = threading.Lock()
@@ -177,6 +181,7 @@ class ThreadedCluster(WallClockQueries):
                 batching=batching,
                 caching=caching,
                 replicas=directory,
+                qos=qos,
             )
             node.now_fn = time.monotonic
             self.stores[name] = store
@@ -305,8 +310,15 @@ class ThreadedCluster(WallClockQueries):
         except KeyError:
             raise UnknownSite(site) from None
 
-    def _dispatch_submit(self, origin: str, qid: QueryId, program: Program, initial: List[Oid]) -> None:
-        self._threads[origin].submit(qid, program, initial)
+    def _dispatch_submit(
+        self,
+        origin: str,
+        qid: QueryId,
+        program: Program,
+        initial: List[Oid],
+        priority: Optional[str] = None,
+    ) -> None:
+        self._threads[origin].submit(qid, program, initial, priority)
 
     def _dispatch_submit_from_saved(
         self, origin: str, qid: QueryId, program: Program, source_qid: QueryId

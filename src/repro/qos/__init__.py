@@ -1,0 +1,6 @@
+"""Admission control, backpressure and multi-tenant QoS (docs/QOS.md)."""
+
+from .config import PRIORITIES, QoSConfig
+from .limiter import ClientLimiter
+
+__all__ = ["PRIORITIES", "QoSConfig", "ClientLimiter"]

@@ -1,0 +1,108 @@
+"""QoS configuration: admission control, backpressure and priority knobs.
+
+One frozen :class:`QoSConfig` travels from the facade through every
+transport down to each :class:`~repro.server.node.ServerNode`, exactly
+like :class:`~repro.net.batching.BatchConfig` and
+:class:`~repro.cache.CacheConfig` before it.  ``qos=None`` (the default
+everywhere) keeps the pre-QoS behaviour bit-identical: no envelope
+fields are stamped, no admission check runs, the drain scheduler is the
+historical round-robin.
+
+The subsystem has four independent levers (see docs/QOS.md):
+
+* **rate limiting** — a per-client token bucket at query submit; an
+  empty bucket bounces the submit with :class:`~repro.errors.Overloaded`
+  instead of silently queueing it;
+* **backpressure** — high/low watermarks on each site's work queue;
+  pressure state rides on every outgoing envelope, and senders multiply
+  their batching size-flush threshold toward pressured destinations;
+* **priority classes** — ``interactive`` vs ``batch``, carried on work
+  envelopes and served by weighted-fair drain at every node;
+* **load shedding** — above ``shed_watermark``, arriving batch-class
+  work is dropped *after* its termination credit is absorbed, so the
+  query completes as ``partial=True`` with ``credit_deficit == 0``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+#: The two service classes, in drain-preference order.
+PRIORITIES = ("interactive", "batch")
+
+
+@dataclass(frozen=True)
+class QoSConfig:
+    """Knobs for the admission-control / QoS subsystem.
+
+    The default instance enables priority classes and weighted-fair
+    drain but no admission control, backpressure or shedding — those
+    activate only when their watermark/rate fields are set.
+    """
+
+    #: Sustained per-client submit rate (queries/second); None = no
+    #: rate limiting.  Clocked by virtual time on the simulator and
+    #: ``time.monotonic`` on the live transports.
+    rate_limit_qps: Optional[float] = None
+    #: Token-bucket capacity: how many submits a client may burst
+    #: above the sustained rate.
+    rate_burst: int = 1
+
+    #: Work-queue depth at which a site starts signalling pressure;
+    #: None = backpressure off.
+    high_watermark: Optional[int] = None
+    #: Depth at which a pressured site clears its signal (hysteresis;
+    #: must not exceed ``high_watermark``).
+    low_watermark: int = 0
+    #: Multiplier applied to the batching size-flush threshold toward
+    #: pressured destinations (work is held back in larger batches, so
+    #: a pressured site sees fewer, fuller deliveries).
+    pressure_batch_factor: int = 4
+
+    #: Work-queue depth above which arriving batch-class work is shed
+    #: (credit absorbed, item dropped, outcome partial); None = never.
+    shed_watermark: Optional[int] = None
+    #: Shed interactive-class work at the same watermark too.  Off by
+    #: default: interactive work is what shedding protects.
+    shed_interactive: bool = False
+
+    #: Weighted-fair drain shares (interactive : batch).
+    interactive_weight: int = 4
+    batch_weight: int = 1
+
+    #: Class assigned to submits that do not name one.
+    default_priority: str = "interactive"
+
+    def __post_init__(self) -> None:
+        if self.rate_limit_qps is not None and self.rate_limit_qps <= 0:
+            raise ValueError("rate_limit_qps must be positive (or None)")
+        if self.rate_burst < 1:
+            raise ValueError("rate_burst must be >= 1")
+        if self.high_watermark is not None:
+            if self.high_watermark < 1:
+                raise ValueError("high_watermark must be >= 1 (or None)")
+            if self.low_watermark > self.high_watermark:
+                raise ValueError("low_watermark must not exceed high_watermark")
+        if self.low_watermark < 0:
+            raise ValueError("low_watermark must be >= 0")
+        if self.pressure_batch_factor < 1:
+            raise ValueError("pressure_batch_factor must be >= 1")
+        if self.shed_watermark is not None and self.shed_watermark < 0:
+            raise ValueError("shed_watermark must be >= 0 (or None)")
+        if self.interactive_weight < 1 or self.batch_weight < 1:
+            raise ValueError("class weights must be >= 1")
+        if self.default_priority not in PRIORITIES:
+            raise ValueError(f"default_priority must be one of {PRIORITIES}")
+
+    @property
+    def rate_limiting(self) -> bool:
+        return self.rate_limit_qps is not None
+
+    @property
+    def backpressure(self) -> bool:
+        return self.high_watermark is not None
+
+    @property
+    def shedding(self) -> bool:
+        return self.shed_watermark is not None

@@ -1,0 +1,67 @@
+"""Per-client token-bucket admission control.
+
+One :class:`ClientLimiter` guards a cluster's submit path.  Each client
+name owns an independent bucket of ``burst`` tokens refilled at ``qps``
+tokens per second; a submit spends one token, and an empty bucket means
+the submit is bounced with :class:`~repro.errors.Overloaded` — nothing
+is queued, nothing is silently dropped.  The caller supplies the clock
+(virtual :attr:`Simulator.now` on the simulator, ``time.monotonic`` on
+the live transports), which keeps the limiter fully deterministic under
+simulation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+
+class _Bucket:
+    __slots__ = ("tokens", "last")
+
+    def __init__(self, tokens: float, last: float) -> None:
+        self.tokens = tokens
+        self.last = last
+
+
+class ClientLimiter:
+    """Token buckets keyed by client name, sharing one rate config."""
+
+    def __init__(self, qps: float, burst: int, now_fn: Callable[[], float]) -> None:
+        if qps <= 0:
+            raise ValueError("qps must be positive")
+        if burst < 1:
+            raise ValueError("burst must be >= 1")
+        self.qps = float(qps)
+        self.burst = float(burst)
+        self.now_fn = now_fn
+        self._buckets: Dict[str, _Bucket] = {}
+
+    def _refill(self, client: str) -> _Bucket:
+        now = self.now_fn()
+        bucket = self._buckets.get(client)
+        if bucket is None:
+            bucket = _Bucket(self.burst, now)
+            self._buckets[client] = bucket
+        elif now > bucket.last:
+            bucket.tokens = min(self.burst, bucket.tokens + (now - bucket.last) * self.qps)
+            bucket.last = now
+        return bucket
+
+    def try_acquire(self, client: str) -> bool:
+        """Spend one token for ``client``; False = bounce the submit."""
+        bucket = self._refill(client)
+        if bucket.tokens >= 1.0:
+            bucket.tokens -= 1.0
+            return True
+        return False
+
+    def retry_after_s(self, client: str) -> float:
+        """Seconds until ``client``'s bucket holds a whole token again."""
+        bucket = self._refill(client)
+        if bucket.tokens >= 1.0:
+            return 0.0
+        return (1.0 - bucket.tokens) / self.qps
+
+    def tokens(self, client: str) -> float:
+        """Current token balance (diagnostics / tests)."""
+        return self._refill(client).tokens

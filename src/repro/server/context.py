@@ -75,6 +75,25 @@ class QueryContext:
     #: corrupting the new run's credit ledger or result set.
     incarnation: int = 1
 
+    #: QoS service class (see :mod:`repro.qos`); meaningful only when the
+    #: node runs with a QoSConfig, "interactive" otherwise.
+    priority: str = "interactive"
+
+    #: Work items this site shed for the query since its last drain; the
+    #: count rides the next drain's term attachment as ``#shed`` so the
+    #: originator knows the outcome is partial.
+    shed_pending: int = 0
+
+    #: Originator only: some site (possibly this one) shed work for this
+    #: query — the final result is partial with reason ``"shed"``.
+    saw_shed: bool = False
+
+    #: Work branches this site abandoned because their destination was
+    #: down (no live replica either).  At the originator this decides
+    #: ``partial_reason`` when a deadline expires: ``"crash"`` beats
+    #: ``"deadline"`` when branches were written off.
+    abandoned: int = 0
+
     @property
     def busy(self) -> bool:
         """Does this site still hold work for the query?"""

@@ -38,6 +38,7 @@ from ..engine.results import QueryResult
 from ..errors import HyperFileError, ObjectNotFound, TerminationProtocolError
 from ..naming.directory import ForwardingTable, ReplicaDirectory
 from ..net.batching import BatchConfig, ItemKey, SendBatcher, item_key
+from ..qos import PRIORITIES, QoSConfig
 from ..net.messages import (
     BatchedQuery,
     BatchedResults,
@@ -123,6 +124,7 @@ class ServerNode:
         batching: Optional[BatchConfig] = None,
         caching: Optional[CacheConfig] = None,
         replicas: Optional[ReplicaDirectory] = None,
+        qos: Optional[QoSConfig] = None,
     ) -> None:
         """
         Parameters
@@ -154,6 +156,13 @@ class ServerNode:
             bounced work fails over to the next replica instead of being
             abandoned.  ``None`` (or an object absent from the directory)
             keeps the paper's single-holder :meth:`locate` path exactly.
+        qos:
+            Admission-control / QoS config (:class:`~repro.qos.QoSConfig`):
+            priority classes with weighted-fair drain, high/low-watermark
+            backpressure piggybacked on envelopes, and load shedding that
+            converts overload into exact-credit partial results.  ``None``
+            disables the subsystem — behaviour (scheduling order, wire
+            frames, costs) is bit-identical to a QoS-free node.
         """
         if result_mode not in ("ship", "count"):
             raise ValueError(f"result_mode must be 'ship' or 'count', got {result_mode!r}")
@@ -194,6 +203,19 @@ class ServerNode:
         #: common case, which never stamps the wire.
         self._incarnations: Dict[QueryId, int] = {}
         self._rr: Deque[QueryId] = deque()  # round-robin order over busy contexts
+        self.qos = qos
+        #: QoS: sites whose last envelope signalled high-watermark pressure.
+        self._pressured: set = set()
+        #: QoS: this site's own pressure state (1 = above high watermark,
+        #: 0 = clear), with hysteresis between the two watermarks.
+        self._pressure_state = 0
+        if qos is not None:
+            #: Per-class round-robin queues for weighted-fair drain.
+            self._rr_class: Dict[str, Deque[QueryId]] = {p: deque() for p in PRIORITIES}
+            #: Remaining drain turns per class in the current WFQ round.
+            self._wfq_credits: Dict[str, int] = {
+                "interactive": qos.interactive_weight, "batch": qos.batch_weight,
+            }
         #: Optional QueryTracer (see repro.tracing); None = zero overhead.
         self.tracer = None
         #: Optional MetricsRegistry (see repro.metrics.registry); None =
@@ -285,7 +307,13 @@ class ServerNode:
     # client-facing entry points (used at the originating site)
     # ------------------------------------------------------------------
 
-    def submit(self, qid: QueryId, program: Program, initial: Iterable[Oid]) -> StepReport:
+    def submit(
+        self,
+        qid: QueryId,
+        program: Program,
+        initial: Iterable[Oid],
+        priority: Optional[str] = None,
+    ) -> StepReport:
         """Install an originator context and seed the initial set ``S_i``."""
         if qid.originator != self.site:
             raise HyperFileError(f"query {qid} submitted at non-originating site {self.site}")
@@ -295,6 +323,8 @@ class ServerNode:
             self._step_span = self.tracer.emit(self.site, "submit", qid, filters=program.size)
         initial = list(initial)
         ctx = self._ensure_context(qid, program)
+        if self.qos is not None:
+            ctx.priority = priority if priority is not None else self.qos.default_priority
         self.termination.on_start(ctx.term_state)
         if (
             self._cache is not None
@@ -430,6 +460,15 @@ class ServerNode:
         ctx.done = True
         assert ctx.final is not None
         ctx.final.partial = True
+        # Why the result is incomplete: branches written off to down
+        # sites outrank the timer itself ("crash" beats "deadline"); a
+        # query that was also shed keeps the richer shed reason.
+        if ctx.saw_shed:
+            ctx.final.partial_reason = "shed"
+        elif ctx.abandoned:
+            ctx.final.partial_reason = "crash"
+        else:
+            ctx.final.partial_reason = "deadline"
         self.stats.deadline_expiries += 1
         if self.tracer is not None:
             self._step_span = self.tracer.emit(
@@ -469,6 +508,66 @@ class ServerNode:
         if self._batcher is not None and self._batcher.has_pending:
             return True
         return any(ctx.busy for ctx in self.contexts.values())
+
+    @property
+    def work_depth(self) -> int:
+        """This site's work-queue depth: unhandled messages plus pending
+        work items across every context.  The quantity the QoS watermarks
+        (backpressure and shedding) are compared against."""
+        depth = len(self.inbox)
+        for ctx in self.contexts.values():
+            depth += ctx.execution.pending
+        return depth
+
+    # ------------------------------------------------------------------
+    # QoS: backpressure, shedding, weighted-fair drain (see docs/QOS.md)
+    # ------------------------------------------------------------------
+
+    def _qos_refresh_pressure(self) -> None:
+        """Re-evaluate this site's backpressure state with hysteresis."""
+        qos = self.qos
+        if qos is None or qos.high_watermark is None:
+            return
+        depth = self.work_depth
+        if self._pressure_state == 0 and depth >= qos.high_watermark:
+            self._pressure_state = 1
+            self.stats.backpressure_transitions += 1
+            if self.metrics is not None:
+                self.metrics.counter("qos.backpressure_transitions_total", site=self.site).inc()
+        elif self._pressure_state == 1 and depth <= qos.low_watermark:
+            self._pressure_state = 0
+
+    def _qos_should_shed(self, ctx: QueryContext) -> bool:
+        """Shed this arriving remote work item instead of admitting it?
+
+        Only batch-class work is shed (unless ``shed_interactive`` is
+        set), and only while the local work queue sits at or above the
+        shed watermark.  Seeds installed by a local submit are never
+        shed — admission control (the token bucket) governs those.
+        """
+        qos = self.qos
+        if qos is None or qos.shed_watermark is None:
+            return False
+        if ctx.priority != "batch" and not qos.shed_interactive:
+            return False
+        return self.work_depth >= qos.shed_watermark
+
+    def _qos_shed(self, ctx: QueryContext) -> None:
+        """Account one shed work item (its credit was already absorbed)."""
+        self.stats.work_shed += 1
+        if self.metrics is not None:
+            self.metrics.counter("qos.work_shed_total", site=self.site).inc()
+        if self.tracer is not None:
+            self.tracer.emit(self.site, "shed", ctx.qid, parent=self._step_span)
+        if ctx.is_originator:
+            ctx.saw_shed = True
+        else:
+            ctx.shed_pending += 1
+
+    def _qos_adopt_priority(self, ctx: QueryContext, env: Envelope) -> None:
+        """Adopt the service class a work envelope carries for its query."""
+        if self.qos is not None and env.priority is not None:
+            ctx.priority = env.priority
 
     def step(self) -> StepReport:
         """Do one unit of work: handle one message, or process one object."""
@@ -537,6 +636,20 @@ class ServerNode:
         if self.metrics is not None:
             self.metrics.counter("node.messages_received_total", site=self.site).inc()
             self.metrics.gauge("node.inbox_depth", site=self.site).set(len(self.inbox))
+        if self.qos is not None:
+            if env.pressure is not None:
+                # The sender's backpressure state piggybacks on every
+                # envelope; track it so our sends toward that site throttle.
+                if env.pressure:
+                    self._pressured.add(env.src)
+                else:
+                    self._pressured.discard(env.src)
+            self._qos_refresh_pressure()
+            if self.metrics is not None:
+                self.metrics.gauge("qos.queue_depth", site=self.site).set(self.work_depth)
+                self.metrics.gauge("qos.send_queue_depth", site=self.site).set(
+                    self._batcher.total_queued if self._batcher is not None else 0
+                )
         if self.tracer is not None:
             detail: Dict[str, Any] = {"msg": type(payload).__name__, "src": env.src}
             credit = _credit_detail(payload)
@@ -576,6 +689,21 @@ class ServerNode:
             # work was in flight; the client already has the (partial)
             # result — drop the branch.
             self.stats.late_messages += 1
+            return report
+        self._qos_adopt_priority(ctx, env)
+        if self._qos_should_shed(ctx):
+            # Load shed: absorb the item's termination credit exactly as
+            # an admission would (it returns to the originator with the
+            # next drain, so conservation stays exact), but drop the item
+            # itself and stamp the loss on the drain (``#shed``) so the
+            # originator marks the outcome partial.
+            self._absorb_controls(
+                report,
+                self.termination.on_recv_work(ctx.term_state, dict(msg.term), env.src, ctx.busy),
+                msg.qid,
+            )
+            self._qos_shed(ctx)
+            self._drain_if_idle(ctx, report)
             return report
         target = self._route(msg.item.oid)
         if target != self.site and self.is_site_up(target):
@@ -636,6 +764,7 @@ class ServerNode:
             # processed there, so never send it back.
             self._batcher.record_remote_marks(msg.qid, env.src, msg.marked_hints)
         self.stats.batched_items += len(msg.items)
+        self._qos_adopt_priority(ctx, env)
         for index, (item, term) in enumerate(zip(msg.items, msg.terms)):
             # Per-item cause: the sender's step that enqueued this item
             # (rides as spans[1:]); the batch_recv itself is the fallback.
@@ -644,6 +773,17 @@ class ServerNode:
                 sender_cause = env.spans[1 + index]
                 if sender_cause:
                     cause = sender_cause
+            if self._qos_should_shed(ctx):
+                # Same shed-with-exact-credit path as the unbatched frame,
+                # applied per item (earlier admissions in this very batch
+                # may already have pushed the depth over the watermark).
+                self._absorb_controls(
+                    report,
+                    self.termination.on_recv_work(ctx.term_state, dict(term), env.src, ctx.busy),
+                    msg.qid,
+                )
+                self._qos_shed(ctx)
+                continue
             target = self._route(item.oid)
             if target != self.site and self.is_site_up(target):
                 self._absorb_controls(
@@ -700,6 +840,10 @@ class ServerNode:
                 ctx.final.oids.add(oid)
         for target, value in msg.emissions:
             ctx.final.retrieved.setdefault(target, []).append(value)
+        if msg.term.get("#shed"):
+            # A participant shed work for this query under overload; the
+            # final result is partial however much credit comes home.
+            ctx.saw_shed = True
         self.termination.on_result(ctx.term_state, dict(msg.term))
         self._check_termination(ctx, report)
         return report
@@ -821,6 +965,7 @@ class ServerNode:
                 self._absorb_controls(report, outs, original.qid)
                 if not self._failover(ctx, item, excl, report):
                     self.stats.failed_sends += 1
+                    ctx.abandoned += 1
         else:
             if self._batcher is not None and isinstance(original, DerefRequest):
                 self._batcher.forget_sent(original.qid, msg.original.dst, (original.item,))
@@ -833,6 +978,7 @@ class ServerNode:
                 # SeedFromSaved never fails over: the saved partition
                 # lives only at the bounced site.
                 self.stats.failed_sends += 1
+                ctx.abandoned += 1
         self._drain_if_idle(ctx, report)
         if ctx.is_originator:
             self._check_termination(ctx, report)
@@ -941,6 +1087,7 @@ class ServerNode:
             # The dereference is abandoned (partial results) and, because
             # no detector state was split off, termination stays exact.
             self.stats.failed_sends += 1
+            ctx.abandoned += 1
             return
         if cause is None:
             cause = self._step_span
@@ -984,7 +1131,17 @@ class ServerNode:
             ctx.qid, dst, item, self._stamp_inc(ctx, attach), self.now_fn(),
             span=cause, tried=tried,
         )
-        if pending >= self.batching.max_batch:
+        threshold = self.batching.max_batch
+        if self.qos is not None and dst in self._pressured:
+            # Backpressure response: hold work for a pressured site in
+            # larger batches (drain/idle flushes still go out, so credit
+            # liveness is untouched — only the *size* trigger defers).
+            threshold *= self.qos.pressure_batch_factor
+            if self.batching.max_batch <= pending < threshold:
+                self.stats.sends_throttled += 1
+                if self.metrics is not None:
+                    self.metrics.counter("qos.sends_throttled_total", site=self.site).inc()
+        if pending >= threshold:
             self._flush_work(ctx.qid, dst, report, "size")
 
     def _flush_work(self, qid: QueryId, dst: str, report: StepReport, reason: str) -> int:
@@ -1020,6 +1177,7 @@ class ServerNode:
                 if self._failover(ctx, item, excl, report, cause=span):
                     continue
                 self.stats.failed_sends += 1
+                ctx.abandoned += 1
                 recovered += 1
             return recovered
         counter = "batch_flushes_" + reason
@@ -1142,6 +1300,13 @@ class ServerNode:
             return
         oids, emissions = ctx.take_unflushed()
         attach, controls = self.termination.on_drain(ctx.term_state)
+        term = self._stamp_inc(ctx, attach)
+        if ctx.shed_pending:
+            # Ride the shed count home on the drain's term attachment
+            # (the detector ignores keys it does not know, the codec
+            # carries them verbatim); the originator flips `partial`.
+            term["#shed"] = ctx.shed_pending
+            ctx.shed_pending = 0
         ctx.drains += 1
         self.stats.drains += 1
         if self.tracer is not None:
@@ -1161,7 +1326,7 @@ class ServerNode:
                 emissions=emissions,
                 count_only=True,
                 count=len(oids),
-                term=self._stamp_inc(ctx, attach),
+                term=term,
                 summary=summary,
             )
         else:
@@ -1169,7 +1334,7 @@ class ServerNode:
                 ctx.qid,
                 oids=oids,
                 emissions=emissions,
-                term=self._stamp_inc(ctx, attach),
+                term=term,
                 summary=summary,
             )
         self._emit_result(report, ctx.qid.originator, batch, cause=drain_span)
@@ -1192,6 +1357,13 @@ class ServerNode:
         if self.termination.is_terminated(ctx.term_state, ctx.busy):
             ctx.done = True
             assert ctx.final is not None
+            if ctx.saw_shed:
+                # Work was shed under overload: every split credit still
+                # came home (the detector fired normally), but branches
+                # were dropped — the answer is partial, and must say so
+                # before the cache-eligibility check below sees it.
+                ctx.final.partial = True
+                ctx.final.partial_reason = "shed"
             if self._cache is not None and ctx.cache_key is not None:
                 if not ctx.final.partial and self.store.epoch == ctx.cache_epoch:
                     retrieved = tuple(
@@ -1309,6 +1481,10 @@ class ServerNode:
         self.contexts.pop(qid, None)
         if qid in self._rr:
             self._rr.remove(qid)
+        if self.qos is not None:
+            for dq in self._rr_class.values():
+                if qid in dq:
+                    dq.remove(qid)
         if self._batcher is not None:
             self._batcher.drop_query(qid)
         if self._item_spans:
@@ -1377,10 +1553,21 @@ class ServerNode:
                     env_spans = (send_span, *(s or 0 for s in item_causes))
                 else:
                     env_spans = (send_span,)
+        priority: Optional[str] = None
+        pressure: Optional[int] = None
+        if self.qos is not None:
+            qid = getattr(payload, "qid", None)
+            qctx = self.contexts.get(qid) if isinstance(qid, QueryId) else None
+            if qctx is not None:
+                priority = qctx.priority
+            if self.qos.high_watermark is not None:
+                self._qos_refresh_pressure()
+                pressure = self._pressure_state
         env = Envelope(
             self.site, dst, payload, spans=env_spans,
             src_epoch=self.store.epoch if self._cache is not None else None,
             tried=tuple(tried) if tried else None,
+            priority=priority, pressure=pressure,
         )
         self.stats.count_sent(type(payload).__name__, env.size_bytes)
         if self.metrics is not None:
@@ -1404,13 +1591,51 @@ class ServerNode:
             del self._item_spans[key]
 
     def _enqueue_rr(self, qid: QueryId) -> None:
-        if qid not in self._rr:
-            self._rr.append(qid)
+        if self.qos is None:
+            if qid not in self._rr:
+                self._rr.append(qid)
+            return
+        if any(qid in dq for dq in self._rr_class.values()):
+            return
+        ctx = self.contexts.get(qid)
+        cls = ctx.priority if ctx is not None and ctx.priority in PRIORITIES else "interactive"
+        self._rr_class[cls].append(qid)
 
     def _next_busy_context(self) -> Optional[QueryContext]:
-        for _ in range(len(self._rr)):
-            qid = self._rr[0]
-            self._rr.rotate(-1)
+        if self.qos is None:
+            for _ in range(len(self._rr)):
+                qid = self._rr[0]
+                self._rr.rotate(-1)
+                ctx = self.contexts.get(qid)
+                if ctx is not None and ctx.busy:
+                    return ctx
+            return None
+        # Weighted-fair drain: each WFQ round grants interactive_weight
+        # turns to interactive contexts and batch_weight to batch ones
+        # (round-robin within a class, exactly the legacy rotation).  A
+        # class with credits but nothing runnable forfeits its remaining
+        # turns (work-conserving); when both classes are spent or empty
+        # the round resets.  With a single class present this degenerates
+        # to the legacy round-robin order.
+        for _ in range(2):  # at most one credit refill per call
+            for cls in PRIORITIES:
+                if self._wfq_credits[cls] <= 0:
+                    continue
+                ctx = self._rotate_find(self._rr_class[cls])
+                if ctx is not None:
+                    self._wfq_credits[cls] -= 1
+                    return ctx
+                self._wfq_credits[cls] = 0
+            if any(self._wfq_credits.values()):
+                break
+            self._wfq_credits["interactive"] = self.qos.interactive_weight
+            self._wfq_credits["batch"] = self.qos.batch_weight
+        return None
+
+    def _rotate_find(self, dq: Deque[QueryId]) -> Optional[QueryContext]:
+        for _ in range(len(dq)):
+            qid = dq[0]
+            dq.rotate(-1)
             ctx = self.contexts.get(qid)
             if ctx is not None and ctx.busy:
                 return ctx

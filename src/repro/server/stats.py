@@ -54,6 +54,10 @@ class NodeStats:
     # Replication counters (k-way replica routing, see repro.replication).
     replica_failovers: int = 0     #: work re-routed to another live replica
     replica_local_serves: int = 0  #: remote-targeted work admitted at a local replica
+    # QoS counters (admission control / backpressure / shedding, see repro.qos).
+    work_shed: int = 0             #: arriving work items dropped by load shedding
+    backpressure_transitions: int = 0  #: times this site crossed its high watermark
+    sends_throttled: int = 0       #: size-flushes deferred toward pressured destinations
 
     def count_sent(self, kind: str, size: int) -> None:
         self.messages_sent[kind] = self.messages_sent.get(kind, 0) + 1

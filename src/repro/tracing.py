@@ -53,6 +53,7 @@ KINDS = (
     "timeout",     #: a query deadline expired (partial completion)
     "batch_flush",  #: a send queue flushed into a batched frame
     "batch_recv",   #: a batched frame was ingested and unbatched
+    "shed",        #: arriving work dropped by QoS load shedding (credit kept)
 )
 
 #: Swim-lane glyph per kind, most significant first (lane rendering keeps

@@ -10,11 +10,12 @@ same deadline semantics) on all three.
 
 import pytest
 
-from repro.api import ClusterAPI, QueryOutcome
+from repro.api import ClusterAPI, QueryOutcome, credit_deficit
 from repro.cluster import SimCluster
 from repro.core.tuples import keyword_tuple, pointer_tuple
-from repro.errors import QueryTimeout
+from repro.errors import Overloaded, QueryTimeout
 from repro.faults import FaultPlan
+from repro.qos import QoSConfig
 from repro.net.sockets import SocketCluster
 from repro.net.threaded import ThreadedCluster
 from repro.replication import ReplicationConfig
@@ -217,3 +218,53 @@ class TestCrossTransportAgreement:
             finally:
                 cluster.close()
         assert results["sim"] == results["threaded"] == results["sockets"]
+
+
+class TestQoS:
+    """Admission control and load shedding behave identically everywhere.
+
+    On the socket transport these scenarios additionally prove the codec
+    round-trip: priority classes and backpressure bits reach the remote
+    sites as real bytes, not shared references.
+    """
+
+    def test_overload_bounce_is_uniform(self, make_cluster):
+        cluster = make_cluster(qos=QoSConfig(rate_limit_qps=0.001, rate_burst=1))
+        oids = build_chain(cluster, 4)
+        cluster.run_query(CLOSURE, [oids[0]], timeout_s=TIMEOUT, client="tenant-a")
+        with pytest.raises(Overloaded) as exc:
+            cluster.submit(CLOSURE, [oids[0]], client="tenant-a")
+        assert exc.value.client == "tenant-a"
+        assert exc.value.retry_after_s > 0
+        assert cluster.qos_bounces == 1
+        # A different client has its own bucket.
+        cluster.run_query(CLOSURE, [oids[0]], timeout_s=TIMEOUT, client="tenant-b")
+
+    def test_shed_partial_with_exact_credit(self, make_cluster):
+        baseline = make_cluster()
+        oids = build_chain(baseline)
+        full = baseline.run_query(CLOSURE, [oids[0]], timeout_s=TIMEOUT)
+
+        cluster = make_cluster(qos=QoSConfig(shed_watermark=0))
+        oids = build_chain(cluster)
+        out = cluster.run_query(CLOSURE, [oids[0]], timeout_s=TIMEOUT, priority="batch")
+        assert out.result.partial
+        assert out.partial_reason == "shed"
+        assert out.result.oid_keys() <= full.result.oid_keys()
+        assert cluster.total_stats().work_shed > 0
+        # The detector's conservation survives shedding exactly: no
+        # credit leaked with the dropped work.
+        assert credit_deficit(cluster.nodes, out.qid) == 0
+
+    def test_interactive_class_not_shed_by_default(self, make_cluster):
+        cluster = make_cluster(qos=QoSConfig(shed_watermark=0))
+        oids = build_chain(cluster)
+        out = cluster.run_query(CLOSURE, [oids[0]], timeout_s=TIMEOUT, priority="interactive")
+        assert not out.result.partial
+        assert out.partial_reason is None
+        assert out.result.oid_keys() == {o.key() for o in oids}
+
+    def test_unknown_priority_rejected(self, make_cluster):
+        cluster = make_cluster(qos=QoSConfig())
+        with pytest.raises(ValueError):
+            cluster.submit(CLOSURE, [], priority="bulk")

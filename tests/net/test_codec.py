@@ -267,3 +267,40 @@ class TestEnvelopeEpoch:
         with_epoch = Envelope("a", "b", ResultBatch(QID), src_epoch=9)
         without = Envelope("a", "b", ResultBatch(QID))
         assert with_epoch.size_bytes == without.size_bytes
+
+
+class TestEnvelopeQoS:
+    def _rt(self, env):
+        from repro.net.codec import decode_envelope, encode_envelope
+
+        return decode_envelope(encode_envelope(env), env.dst)
+
+    def test_priority_round_trip(self):
+        from repro.net.messages import Envelope
+
+        for priority in ("interactive", "batch", None):
+            env = Envelope("site0", "site1", ResultBatch(QID), priority=priority)
+            assert self._rt(env).priority == priority
+
+    def test_pressure_round_trip(self):
+        from repro.net.messages import Envelope
+
+        for pressure in (0, 1, None):
+            env = Envelope("site0", "site1", ResultBatch(QID), pressure=pressure)
+            assert self._rt(env).pressure == pressure
+
+    def test_unknown_priority_rejected_at_encode(self):
+        import pytest
+
+        from repro.net.codec import CodecError, encode_envelope
+        from repro.net.messages import Envelope
+
+        with pytest.raises(CodecError):
+            encode_envelope(Envelope("a", "b", ResultBatch(QID), priority="bulk"))
+
+    def test_qos_fields_do_not_change_modelled_size(self):
+        from repro.net.messages import Envelope
+
+        tagged = Envelope("a", "b", ResultBatch(QID), priority="batch", pressure=1)
+        plain = Envelope("a", "b", ResultBatch(QID))
+        assert tagged.size_bytes == plain.size_bytes

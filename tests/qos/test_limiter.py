@@ -1,0 +1,81 @@
+"""Unit tests of the per-client token-bucket admission limiter."""
+
+import pytest
+
+from repro.qos import ClientLimiter, QoSConfig
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+class TestTokenBucket:
+    def test_burst_then_bounce(self):
+        clock = FakeClock()
+        limiter = ClientLimiter(qps=1.0, burst=3, now_fn=clock)
+        assert [limiter.try_acquire("a") for _ in range(4)] == [True, True, True, False]
+
+    def test_refill_at_qps(self):
+        clock = FakeClock()
+        limiter = ClientLimiter(qps=2.0, burst=1, now_fn=clock)
+        assert limiter.try_acquire("a")
+        assert not limiter.try_acquire("a")
+        clock.advance(0.5)  # exactly one token at 2 qps
+        assert limiter.try_acquire("a")
+        assert not limiter.try_acquire("a")
+
+    def test_refill_caps_at_burst(self):
+        clock = FakeClock()
+        limiter = ClientLimiter(qps=100.0, burst=2, now_fn=clock)
+        clock.advance(60.0)  # a long idle period never banks > burst
+        assert [limiter.try_acquire("a") for _ in range(3)] == [True, True, False]
+
+    def test_clients_have_independent_buckets(self):
+        clock = FakeClock()
+        limiter = ClientLimiter(qps=1.0, burst=1, now_fn=clock)
+        assert limiter.try_acquire("a")
+        assert not limiter.try_acquire("a")
+        assert limiter.try_acquire("b")
+
+    def test_retry_after_names_the_gap_to_one_token(self):
+        clock = FakeClock()
+        limiter = ClientLimiter(qps=4.0, burst=1, now_fn=clock)
+        limiter.try_acquire("a")
+        assert limiter.retry_after_s("a") == pytest.approx(0.25)
+        clock.advance(0.125)
+        assert limiter.retry_after_s("a") == pytest.approx(0.125)
+
+
+class TestConfigValidation:
+    def test_defaults_disable_everything(self):
+        config = QoSConfig()
+        assert not config.rate_limiting
+        assert not config.backpressure
+        assert not config.shedding
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"rate_limit_qps": 0.0},
+            {"rate_limit_qps": -1.0},
+            {"rate_burst": 0},
+            {"high_watermark": -1},
+            {"high_watermark": 2, "low_watermark": 3},
+            {"low_watermark": -1},
+            {"shed_watermark": -1},
+            {"pressure_batch_factor": 0},
+            {"interactive_weight": 0},
+            {"batch_weight": 0},
+            {"default_priority": "bulk"},
+        ],
+    )
+    def test_bad_knobs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            QoSConfig(**kwargs)

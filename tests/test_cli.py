@@ -212,3 +212,24 @@ class TestCacheStats:
     def test_via_main(self, capsys):
         assert main(["cache-stats", "-n", "2", "--objects", "60"]) == 0
         assert "uncached" in capsys.readouterr().out
+
+
+class TestQoSStats:
+    def test_counters_and_protection(self):
+        from repro.cli import run_qos_stats
+
+        out = io.StringIO()
+        assert run_qos_stats(n_objects=60, n_queries=4, out=out) == 0
+        text = out.getvalue()
+        assert "qos counters" in text
+        assert "bp_trans" in text and "throttled" in text
+        # The burst overruns both tenants' buckets deterministically
+        # (every arrival lands at virtual t=0, tokens refill at 0.2/s).
+        assert "2 interactive + 2 batch bounced" in text
+        assert "shed partials:" in text
+        assert "termination credit: exact" in text
+        assert "LEAKED" not in text
+
+    def test_via_main(self, capsys):
+        assert main(["qos-stats", "-n", "3", "--objects", "60"]) == 0
+        assert "with qos" in capsys.readouterr().out

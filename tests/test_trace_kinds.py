@@ -18,6 +18,7 @@ import repro
 from repro.cluster import SimCluster
 from repro.faults import FaultPlan
 from repro.net.batching import BatchConfig
+from repro.qos import QoSConfig
 from repro.tracing import KINDS, QueryTracer
 
 SRC_ROOT = pathlib.Path(repro.__file__).resolve().parent
@@ -138,6 +139,12 @@ def exercised_kinds():
         oids = build_chain(cluster)
         cluster.run_query(CLOSURE, [oids[0]], deadline_s=0.5)
     observed |= traced({"fault_plan": FaultPlan(seed=1, drop=1.0)}, deadline)
+    # 4. Overload shedding: a zero shed watermark drops every arriving
+    # batch-class remote item (credit-exact partial result).
+    def shed(cluster):
+        oids = build_chain(cluster)
+        cluster.run_query(CLOSURE, [oids[0]], priority="batch")
+    observed |= traced({"qos": QoSConfig(shed_watermark=0)}, shed)
     return observed
 
 
