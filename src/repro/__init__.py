@@ -30,6 +30,7 @@ from .api import ClusterAPI, QueryOutcome       # noqa: E402,F401
 from .cache import CacheConfig                  # noqa: E402,F401
 from .client import HyperFile, Session          # noqa: E402,F401
 from .cluster import SimCluster                 # noqa: E402,F401
+from .config import ClusterConfig               # noqa: E402,F401
 from .net.batching import BatchConfig           # noqa: E402,F401
 from .sim.costs import FREE_COSTS, PAPER_COSTS  # noqa: E402,F401
 
@@ -37,6 +38,7 @@ __all__ = [
     "BatchConfig",
     "CacheConfig",
     "ClusterAPI",
+    "ClusterConfig",
     "FREE_COSTS",
     "HyperFile",
     "PAPER_COSTS",

@@ -100,7 +100,7 @@ class QueryOutcome:
 
 @runtime_checkable
 class ClusterAPI(Protocol):
-    """The client surface shared by all three transports.
+    """The client surface shared by every registered transport.
 
     Structural (``Protocol``): the clusters do not inherit from it, they
     conform to it — ``isinstance(cluster, ClusterAPI)`` checks the shape,
@@ -169,6 +169,72 @@ class ClusterAPI(Protocol):
     def metrics_snapshot(self): ...
 
     def close(self) -> None: ...
+
+
+# --------------------------------------------------------------------------
+# transport registry
+# --------------------------------------------------------------------------
+
+
+#: name -> factory(sites, *, config=None, **kwargs) -> ClusterAPI.
+#: Builtins register lazily (import-on-first-use) so importing this
+#: module never pulls in asyncio/socket machinery the caller won't use.
+_TRANSPORTS: Dict[str, "TransportFactory"] = {}
+
+
+class TransportFactory(Protocol):
+    def __call__(self, sites: int = 3, **kwargs) -> "ClusterAPI": ...
+
+
+def register_transport(name: str, factory: TransportFactory, *, replace: bool = False) -> None:
+    """Register a cluster factory under a transport name.
+
+    Third parties (and the builtins below) plug in here; the facade, the
+    CLI, and the conformance suite all resolve transports by name, so a
+    registered transport is immediately reachable everywhere — e.g.
+    ``HyperFile(transport="mytransport")`` and ``repro --transport
+    mytransport``.
+    """
+    if not name or not name.isidentifier():
+        raise ValueError(f"transport name must be an identifier, got {name!r}")
+    if name in _TRANSPORTS and not replace:
+        raise ValueError(f"transport {name!r} is already registered")
+    _TRANSPORTS[name] = factory
+
+
+def transport_names() -> List[str]:
+    """The registered transport names, sorted (for help text / errors)."""
+    return sorted(_TRANSPORTS)
+
+
+def transport_factory(name: str) -> TransportFactory:
+    """Resolve one transport's factory; raises ``ValueError`` on unknowns."""
+    try:
+        return _TRANSPORTS[name]
+    except KeyError:
+        known = ", ".join(transport_names())
+        raise ValueError(f"unknown transport {name!r} (registered: {known})") from None
+
+
+def make_cluster(name: str, sites: int = 3, **kwargs) -> "ClusterAPI":
+    """Build a cluster by transport name (the registry's front door)."""
+    return transport_factory(name)(sites, **kwargs)
+
+
+def _builtin(module: str, cls: str) -> TransportFactory:
+    def factory(sites: int = 3, **kwargs) -> "ClusterAPI":
+        import importlib
+
+        return getattr(importlib.import_module(module), cls)(sites, **kwargs)
+
+    factory.__name__ = f"{module}.{cls}"
+    return factory
+
+
+register_transport("sim", _builtin("repro.cluster", "SimCluster"))
+register_transport("threaded", _builtin("repro.net.threaded", "ThreadedCluster"))
+register_transport("sockets", _builtin("repro.net.sockets", "SocketCluster"))
+register_transport("async", _builtin("repro.net.asyncio_cluster", "AsyncCluster"))
 
 
 def credit_deficit(nodes, qid: QueryId) -> Optional[Fraction]:

@@ -60,31 +60,61 @@ import sys
 from typing import IO, List, Optional
 
 from .client.session import Session
-from .cluster import SimCluster
 from .errors import HyperFileError
 from .metrics.report import render_table
 from .tracing import QueryTracer
 from .workload import WorkloadSpec, build_graph, generate_into_cluster
 
 
+def _build_cluster(transport: str, sites: int, **config_kwargs):
+    """Build any registered transport with a consolidated config."""
+    from .api import make_cluster
+    from .config import ClusterConfig
+
+    return make_cluster(transport, sites, config=ClusterConfig(**config_kwargs))
+
+
 def main(argv: Optional[List[str]] = None) -> int:
+    from .api import transport_names
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="HyperFile distributed filtering queries (ICDCS '91 reproduction)",
     )
+    # --transport works in both positions: `repro --transport async demo`
+    # and `repro demo --transport async` (the subcommand copy, inherited
+    # via the parent parser below, wins when both are given).
+    transports = transport_names()
+    parser.add_argument(
+        "--transport", choices=transports, default="sim",
+        help="cluster transport to run on (default: sim)",
+    )
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "--transport", choices=transports, default=argparse.SUPPRESS,
+        help="cluster transport to run on (default: sim)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("demo", help="one-minute guided tour")
+    sub.add_parser("demo", help="one-minute guided tour", parents=[common])
 
-    repl = sub.add_parser("repl", help="interactive query shell over the paper's workload")
+    repl = sub.add_parser(
+        "repl", help="interactive query shell over the paper's workload", parents=[common]
+    )
     repl.add_argument("--sites", type=int, default=3, choices=(1, 3, 9))
     repl.add_argument("--objects", type=int, default=270)
 
-    experiments = sub.add_parser("experiments", help="quick paper-vs-measured tables")
+    experiments = sub.add_parser(
+        "experiments", help="quick paper-vs-measured tables", parents=[common]
+    )
     experiments.add_argument("-n", "--queries", type=int, default=3)
 
-    trace = sub.add_parser("trace", help="run a traced query and export its span timeline")
-    profile = sub.add_parser("profile", help="critical-path profile of one traced query")
+    trace = sub.add_parser(
+        "trace", help="run a traced query and export its span timeline", parents=[common]
+    )
+    profile = sub.add_parser(
+        "profile", help="critical-path profile of one traced query", parents=[common]
+    )
     for p in (trace, profile):
         p.add_argument("--sites", type=int, default=3, choices=(1, 3, 9))
         p.add_argument("--objects", type=int, default=90)
@@ -96,7 +126,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                        help="validate the Chrome trace-event schema after writing")
 
     cache_stats = sub.add_parser(
-        "cache-stats", help="run a repeated workload cached vs uncached, print counters"
+        "cache-stats",
+        help="run a repeated workload cached vs uncached, print counters",
+        parents=[common],
     )
     cache_stats.add_argument("--sites", type=int, default=3, choices=(1, 3, 9))
     cache_stats.add_argument("--objects", type=int, default=90)
@@ -104,7 +136,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     cache_stats.add_argument("--pointer", default="Tree", choices=("Tree", "Chain"))
 
     qos_stats = sub.add_parser(
-        "qos-stats", help="fire a two-tenant burst at the QoS stack, print counters"
+        "qos-stats",
+        help="fire a two-tenant burst at the QoS stack, print counters",
+        parents=[common],
     )
     qos_stats.add_argument("--sites", type=int, default=3, choices=(1, 3, 9))
     qos_stats.add_argument("--objects", type=int, default=90)
@@ -113,7 +147,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     qos_stats.add_argument("--pointer", default="Tree", choices=("Tree", "Chain"))
 
     explore = sub.add_parser(
-        "explore", help="schedule-exploration sweep with crash injection"
+        "explore",
+        help="schedule-exploration sweep with crash injection",
+        parents=[common],
     )
     explore.add_argument("-n", "--runs", type=int, default=200,
                          help="seeded interleavings to replay (default 200)")
@@ -123,32 +159,38 @@ def main(argv: Optional[List[str]] = None) -> int:
                          help="reorder events only, inject no crashes")
 
     args = parser.parse_args(argv)
+    transport = args.transport
     if args.command == "demo":
-        return run_demo()
+        return run_demo(transport=transport)
     if args.command == "repl":
-        return run_repl(sites=args.sites, n_objects=args.objects)
+        return run_repl(sites=args.sites, n_objects=args.objects, transport=transport)
     if args.command == "experiments":
-        return run_experiments(args.queries)
+        return run_experiments(args.queries, transport=transport)
     if args.command == "trace":
         return run_trace(
             sites=args.sites, n_objects=args.objects, pointer=args.pointer,
             jsonl=args.jsonl, chrome=args.chrome, validate=args.validate,
+            transport=transport,
         )
     if args.command == "profile":
-        return run_profile(sites=args.sites, n_objects=args.objects, pointer=args.pointer)
+        return run_profile(
+            sites=args.sites, n_objects=args.objects, pointer=args.pointer,
+            transport=transport,
+        )
     if args.command == "cache-stats":
         return run_cache_stats(
             sites=args.sites, n_objects=args.objects,
-            n_queries=args.queries, pointer=args.pointer,
+            n_queries=args.queries, pointer=args.pointer, transport=transport,
         )
     if args.command == "qos-stats":
         return run_qos_stats(
             sites=args.sites, n_objects=args.objects,
-            n_queries=args.queries, pointer=args.pointer,
+            n_queries=args.queries, pointer=args.pointer, transport=transport,
         )
     if args.command == "explore":
         return run_explore(
-            n_runs=args.runs, k=args.replicas, crashes=not args.no_crashes
+            n_runs=args.runs, k=args.replicas, crashes=not args.no_crashes,
+            transport=transport,
         )
     return 2  # pragma: no cover - argparse enforces the choices
 
@@ -158,13 +200,13 @@ def main(argv: Optional[List[str]] = None) -> int:
 # --------------------------------------------------------------------------
 
 
-def run_demo(out: Optional[IO[str]] = None) -> int:
+def run_demo(out: Optional[IO[str]] = None, transport: str = "sim") -> int:
     out = out if out is not None else sys.stdout
     from .client import HyperFile
     from .core import keyword_tuple, pointer_tuple, string_tuple
 
-    print("Building a 3-site HyperFile service...", file=out)
-    hf = HyperFile(sites=3)
+    print(f"Building a 3-site HyperFile service ({transport} transport)...", file=out)
+    hf = HyperFile(sites=3, transport=transport)
     survey = hf.create("site2", string_tuple("Title", "A Survey"), keyword_tuple("Distributed"))
     hf.update(survey, pointer_tuple("Reference", survey))
     notes = hf.create("site1", string_tuple("Title", "Server Notes"),
@@ -179,8 +221,10 @@ def run_demo(out: Optional[IO[str]] = None) -> int:
     hf.query(query)
     for title in hf.retrieve("title"):
         print(f"  found: {title}", file=out)
-    print(f"simulated response time: {hf.last_response_time * 1000:.0f} ms", file=out)
+    clock = "simulated" if transport == "sim" else "wall-clock"
+    print(f"{clock} response time: {hf.last_response_time * 1000:.0f} ms", file=out)
     print("(try `python -m repro repl` for the full 270-object workload)", file=out)
+    hf.close()
     return 0
 
 
@@ -194,10 +238,11 @@ def run_repl(
     n_objects: int = 270,
     stdin: Optional[IO[str]] = None,
     out: Optional[IO[str]] = None,
+    transport: str = "sim",
 ) -> int:
     stdin = stdin if stdin is not None else sys.stdin
     out = out if out is not None else sys.stdout
-    cluster = SimCluster(sites)
+    cluster = _build_cluster(transport, sites)
     spec = WorkloadSpec().scaled(n_objects)
     workload = generate_into_cluster(cluster, spec, build_graph(n=n_objects, seed=spec.seed))
     session = Session(cluster)
@@ -205,9 +250,10 @@ def run_repl(
     session.define_set("All", list(workload.oids))
     tracer: Optional[QueryTracer] = None
 
+    clock = "simulated" if transport == "sim" else "wall-clock"
     print(
-        f"HyperFile repl: {n_objects} objects on {sites} site(s); "
-        "sets Root and All are bound.  :help for commands.",
+        f"HyperFile repl: {n_objects} objects on {sites} site(s), "
+        f"{transport} transport; sets Root and All are bound.  :help for commands.",
         file=out,
     )
     for raw in stdin:
@@ -225,7 +271,7 @@ def run_repl(
             print(f"error: {exc}", file=out)
             continue
         rt = session.last_response_time or 0.0
-        print(f"{len(results)} objects in {rt * 1000:.0f} ms (simulated)", file=out)
+        print(f"{len(results)} objects in {rt * 1000:.0f} ms ({clock})", file=out)
         for oid in results[:10]:
             print(f"  {oid}", file=out)
         if len(results) > 10:
@@ -234,10 +280,11 @@ def run_repl(
             values = session.bindings.pop(target)
             preview = ", ".join(repr(v)[:40] for v in values[:5])
             print(f"  ->{target}: {preview}" + (" ..." if len(values) > 5 else ""), file=out)
+    cluster.close()
     return 0
 
 
-def _meta_command(line: str, session: Session, cluster: SimCluster, out: IO[str], tracer_box) -> bool:
+def _meta_command(line: str, session: Session, cluster, out: IO[str], tracer_box) -> bool:
     """Handle a ':' command; returns False to exit the repl."""
     parts = line.split()
     command = parts[0]
@@ -320,18 +367,19 @@ def _meta_command(line: str, session: Session, cluster: SimCluster, out: IO[str]
 # --------------------------------------------------------------------------
 
 
-def _traced_closure_run(sites: int, n_objects: int, pointer: str):
+def _traced_closure_run(sites: int, n_objects: int, pointer: str, transport: str = "sim"):
     """One traced closure query over the paper workload (shared by the
     ``trace`` and ``profile`` subcommands)."""
     from .workload import query_script
 
-    cluster = SimCluster(sites)
+    cluster = _build_cluster(transport, sites)
     spec = WorkloadSpec().scaled(n_objects)
     workload = generate_into_cluster(cluster, spec, build_graph(n=n_objects, seed=spec.seed))
     tracer = QueryTracer()
     cluster.attach_tracer(tracer)
     query = next(iter(query_script(pointer, "Rand10p", count=1, spec=spec)))
     outcome = cluster.run_query(query, [workload.root])
+    cluster.close()
     return cluster, tracer, outcome
 
 
@@ -343,16 +391,18 @@ def run_trace(
     chrome: Optional[str] = None,
     validate: bool = False,
     out: Optional[IO[str]] = None,
+    transport: str = "sim",
 ) -> int:
     out = out if out is not None else sys.stdout
     from .profiling import tree_report
     from .tracing import validate_chrome_trace
 
-    _, tracer, outcome = _traced_closure_run(sites, n_objects, pointer)
+    _, tracer, outcome = _traced_closure_run(sites, n_objects, pointer, transport)
+    clock = "simulated" if transport == "sim" else "wall-clock"
     print(
         f"traced {outcome.qid}: {len(tracer.events)} events, "
         f"{len(outcome.result.oids)} results in {outcome.response_time * 1000:.0f} ms "
-        "(simulated)",
+        f"({clock})",
         file=out,
     )
     print(tree_report(tracer, outcome.qid).describe(), file=out)
@@ -375,11 +425,12 @@ def run_profile(
     n_objects: int = 90,
     pointer: str = "Tree",
     out: Optional[IO[str]] = None,
+    transport: str = "sim",
 ) -> int:
     out = out if out is not None else sys.stdout
     from .profiling import render_profile
 
-    _, tracer, outcome = _traced_closure_run(sites, n_objects, pointer)
+    _, tracer, outcome = _traced_closure_run(sites, n_objects, pointer, transport)
     print(render_profile(tracer, outcome.qid), file=out)
     return 0
 
@@ -404,6 +455,7 @@ def run_cache_stats(
     n_queries: int = 8,
     pointer: str = "Tree",
     out: Optional[IO[str]] = None,
+    transport: str = "sim",
 ) -> int:
     out = out if out is not None else sys.stdout
     from .cache import CacheConfig
@@ -416,7 +468,7 @@ def run_cache_stats(
     script = list(query_script(pointer, "Rand10p", count=n_queries, spec=spec)) * 2
 
     def run(caching):
-        cluster = SimCluster(sites, caching=caching)
+        cluster = _build_cluster(transport, sites, caching=caching)
         workload = generate_into_cluster(cluster, spec, graph)
         for query in script:
             cluster.run_query(query, [workload.root])
@@ -452,6 +504,8 @@ def run_cache_stats(
           f"({saved} saved, {pct:.0f}%)", file=out)
     print(f"  bytes sent: {plain.total_stats().bytes_sent} uncached -> "
           f"{cached.total_stats().bytes_sent} cached", file=out)
+    plain.close()
+    cached.close()
     return 0
 
 
@@ -466,6 +520,7 @@ def run_qos_stats(
     n_queries: int = 8,
     pointer: str = "Tree",
     out: Optional[IO[str]] = None,
+    transport: str = "sim",
 ) -> int:
     out = out if out is not None else sys.stdout
     from .api import credit_deficit
@@ -487,7 +542,7 @@ def run_qos_stats(
     )
 
     def run(config):
-        cluster = SimCluster(sites, qos=config)
+        cluster = _build_cluster(transport, sites, qos=config)
         workload = generate_into_cluster(cluster, spec, graph)
         submitted = []
         bounced = {"interactive": 0, "batch": 0}
@@ -501,7 +556,11 @@ def run_qos_stats(
                 bounced[priority] += 1
             else:
                 submitted.append((qid, priority))
-        cluster.run()
+        if hasattr(cluster, "run"):  # the simulator needs its event loop driven
+            cluster.run()
+        else:  # wall-clock transports complete on their own; block for each
+            for qid, _ in submitted:
+                cluster.wait(qid, timeout_s=60.0)
         times = {"interactive": [], "batch": []}
         shed_partials = 0
         deficits = []
@@ -515,7 +574,8 @@ def run_qos_stats(
                 deficits.append(deficit)
         return cluster, times, bounced, shed_partials, deficits
 
-    _, open_times, _, _, _ = run(None)
+    open_cluster, open_times, _, _, _ = run(None)
+    open_cluster.close()
     cluster, times, bounced, shed_partials, deficits = run(qos)
 
     rows = []
@@ -558,6 +618,7 @@ def run_qos_stats(
     )
     credit = "exact" if all(d == 0 for d in deficits) else "LEAKED"
     print(f"  termination credit: {credit} ({len(deficits)} queries audited)", file=out)
+    cluster.close()
     return 0
 
 
@@ -571,8 +632,17 @@ def run_explore(
     k: int = 2,
     crashes: bool = True,
     out: Optional[IO[str]] = None,
+    transport: str = "sim",
 ) -> int:
     out = out if out is not None else sys.stdout
+    if transport != "sim":
+        print(
+            "explore replays deterministic event interleavings, which only "
+            f"exist on the simulator; --transport {transport} is not applicable "
+            "(drop the flag or use --transport sim)",
+            file=out,
+        )
+        return 2
     from .core import keyword_tuple, pointer_tuple
     from .replication import ReplicationConfig
     from .sim.explore import CrashPoint, explore_random, run_schedule, summarize
@@ -593,7 +663,7 @@ def run_explore(
 
     def make_setup(factor):
         def setup():
-            cluster = SimCluster(sites, replication=ReplicationConfig(k=factor))
+            cluster = _build_cluster("sim", sites, replication=ReplicationConfig(k=factor))
             oids = load(cluster)
             cluster.replicate_all()
             return cluster, oids[:1]
@@ -636,7 +706,9 @@ def run_explore(
 # --------------------------------------------------------------------------
 
 
-def run_experiments(n_queries: int, out: Optional[IO[str]] = None) -> int:
+def run_experiments(
+    n_queries: int, out: Optional[IO[str]] = None, transport: str = "sim"
+) -> int:
     out = out if out is not None else sys.stdout
     from .metrics.collect import Series
     from .workload import query_script
@@ -647,7 +719,7 @@ def run_experiments(n_queries: int, out: Optional[IO[str]] = None) -> int:
              ("Chain", 1): 2.7, ("Chain", 3): 15.0, ("Chain", 9): 15.0}
     rows = []
     for machines in (1, 3, 9):
-        cluster = SimCluster(machines)
+        cluster = _build_cluster(transport, machines)
         workload = generate_into_cluster(cluster, spec, graph)
         for pointer in ("Tree", "Chain"):
             series = Series(pointer)
@@ -661,7 +733,11 @@ def run_experiments(n_queries: int, out: Optional[IO[str]] = None) -> int:
                     "measured_s": series.mean,
                 }
             )
-    print(render_table(rows, title="chain/tree closure, paper vs measured"), file=out)
+        cluster.close()
+    title = "chain/tree closure, paper vs measured"
+    if transport != "sim":
+        title += f" (wall-clock {transport} — paper column is simulated-time reference)"
+    print(render_table(rows, title=title), file=out)
     print("(full suite: pytest benchmarks/ --benchmark-only)", file=out)
     return 0
 

@@ -6,21 +6,24 @@ users assemble :class:`~repro.cluster.SimCluster` pieces directly.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence, Union
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
 
+from ..api import transport_factory, transport_names
 from ..cache import CacheConfig
-from ..cluster import SimCluster
+from ..config import ClusterConfig, resolve_config
 from ..core.oid import Oid
 from ..core.tuples import HFTuple
-from ..errors import HyperFileError
 from ..net.batching import BatchConfig
 from ..qos import QoSConfig
 from ..replication import ReplicationConfig
 from ..sim.costs import CostModel, PAPER_COSTS
 from .session import Session
 
-#: Transport name -> cluster factory arguments it understands.
-TRANSPORTS = ("sim", "threaded", "sockets")
+
+#: Transport names known at import time — a snapshot of the
+#: :mod:`repro.api` registry (use :func:`repro.api.transport_names` for
+#: the live view including late registrations).
+TRANSPORTS: Tuple[str, ...] = tuple(transport_names())
 
 
 class HyperFile:
@@ -36,28 +39,28 @@ class HyperFile:
         hf.query('S (Keyword, "Distributed", ?) -> T')
         hf.members("T")   # -> [paper]
 
-    ``transport`` selects the deployment behind the same session API:
-    ``"sim"`` (default — discrete-event, calibrated virtual time),
-    ``"threaded"`` (real threads, objects by reference) or ``"sockets"``
-    (real TCP frames on loopback).  All three implement
-    :class:`~repro.api.ClusterAPI`, so everything above them is shared.
-    ``batching`` attaches a comms-coalescing config
-    (:class:`~repro.net.batching.BatchConfig`) to every site,
-    ``caching`` a cross-query caching config
-    (:class:`~repro.cache.CacheConfig`; see ``docs/CACHING.md``), and
-    ``replication`` a k-way replica config
-    (:class:`~repro.replication.ReplicationConfig`; see
-    ``docs/REPLICATION.md``) — call :meth:`replicate_all` after loading
-    objects to install the copies — and ``qos`` an admission-control /
-    service-class config (:class:`~repro.qos.QoSConfig`; see
-    ``docs/QOS.md``).  ``qos=None`` (the default) leaves behaviour
-    bit-identical to a build without the QoS subsystem.
+    ``transport`` selects the deployment behind the same session API,
+    resolved through the :mod:`repro.api` transport registry: ``"sim"``
+    (default — discrete-event, calibrated virtual time), ``"threaded"``
+    (real threads, objects by reference), ``"sockets"`` (real TCP frames
+    on loopback, one thread per connection) or ``"async"`` (framed TCP
+    on an asyncio event loop; ``ClusterConfig(processes=True)`` runs one
+    OS process per site).  Third-party transports registered with
+    :func:`repro.api.register_transport` work here too.  Every transport
+    implements :class:`~repro.api.ClusterAPI`, so everything above them
+    is shared.
 
-    The pre-transport constructor signature (``sites``, ``costs``,
-    ``termination``, ``result_mode``) keeps working unchanged and implies
-    ``transport="sim"``; note that ``costs`` only has meaning there —
-    the wall-clock transports run uncosted and reject a non-default
-    cost model rather than silently ignoring it.
+    All tuning — batching, caching, replication, QoS, faults, async
+    knobs — rides in one frozen :class:`~repro.config.ClusterConfig`
+    passed as ``config=``.  The historical per-feature kwargs
+    (``batching=``, ``caching=``, ``replication=``, ``qos=``) keep
+    working as deprecated aliases that build the equivalent config (and
+    emit :class:`DeprecationWarning`); mixing them with ``config=`` is
+    an error.  The pre-transport constructor signature (``sites``,
+    ``costs``, ``termination``, ``result_mode``) keeps working unchanged
+    and implies ``transport="sim"``; note that ``costs`` only has
+    meaning there — the wall-clock transports run uncosted and reject a
+    non-default cost model rather than silently ignoring it.
     """
 
     def __init__(
@@ -71,36 +74,22 @@ class HyperFile:
         caching: Optional[CacheConfig] = None,
         replication: Optional[ReplicationConfig] = None,
         qos: Optional[QoSConfig] = None,
+        config: Optional[ClusterConfig] = None,
     ) -> None:
-        if transport not in TRANSPORTS:
-            raise ValueError(f"transport must be one of {TRANSPORTS}, got {transport!r}")
-        if transport == "sim":
-            self.cluster = SimCluster(
-                sites, costs=costs, termination=termination,
-                result_mode=result_mode, batching=batching, caching=caching,
-                replication=replication, qos=qos,
-            )
-        else:
-            if costs is not PAPER_COSTS:
-                raise HyperFileError(
-                    f"a cost model only applies to the simulated transport, not {transport!r}"
-                )
-            if transport == "threaded":
-                from ..net.threaded import ThreadedCluster
-
-                self.cluster = ThreadedCluster(
-                    sites, termination=termination,
-                    result_mode=result_mode, batching=batching, caching=caching,
-                    replication=replication, qos=qos,
-                )
-            else:
-                from ..net.sockets import SocketCluster
-
-                self.cluster = SocketCluster(
-                    sites, termination=termination,
-                    result_mode=result_mode, batching=batching, caching=caching,
-                    replication=replication, qos=qos,
-                )
+        factory = transport_factory(transport)  # ValueError on unknown names
+        config = resolve_config(
+            config,
+            owner="HyperFile",
+            termination=termination,
+            result_mode=result_mode,
+            costs=None if costs is PAPER_COSTS else costs,
+            batching=batching,
+            caching=caching,
+            replication=replication,
+            qos=qos,
+        )
+        self.cluster = factory(sites, config=config)
+        self.config = config
         self.transport = transport
         self.session = Session(self.cluster)
 

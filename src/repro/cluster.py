@@ -24,6 +24,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional, Union
 
 from .api import QueryLike, QueryOutcome, compile_query_like, credit_deficit
+from .config import ClusterConfig, resolve_config
 from .core.oid import Oid
 from .engine.results import QueryResult
 from .errors import HyperFileError, Overloaded, QueryTimeout, TerminationLost, UnknownSite
@@ -57,7 +58,7 @@ class SimCluster:
     def __init__(
         self,
         sites: Union[int, Iterable[str]] = 3,
-        costs: CostModel = PAPER_COSTS,
+        costs: Optional[CostModel] = None,
         termination: Union[str, TerminationStrategy] = "weighted",
         discipline: str = "fifo",
         result_mode: str = "ship",
@@ -69,7 +70,38 @@ class SimCluster:
         caching: Optional[CacheConfig] = None,
         replication: Optional[ReplicationConfig] = None,
         qos: Optional[QoSConfig] = None,
+        config: Optional[ClusterConfig] = None,
     ) -> None:
+        config = resolve_config(
+            config,
+            owner="SimCluster",
+            costs=costs,
+            termination=termination,
+            discipline=discipline,
+            result_mode=result_mode,
+            mark_granularity=mark_granularity,
+            gc_contexts=gc_contexts,
+            fault_plan=fault_plan,
+            reliable=reliable,
+            batching=batching,
+            caching=caching,
+            replication=replication,
+            qos=qos,
+        )
+        config.require_default("processes", transport="sim")
+        self.config = config
+        costs = config.costs if config.costs is not None else PAPER_COSTS
+        termination = config.termination
+        discipline = config.discipline
+        result_mode = config.result_mode
+        mark_granularity = config.mark_granularity
+        gc_contexts = config.gc_contexts
+        fault_plan = config.fault_plan
+        reliable = config.reliable
+        batching = config.batching
+        caching = config.caching
+        replication = config.replication
+        qos = config.qos
         if isinstance(sites, int):
             names = [site_name(i) for i in range(sites)]
         else:

@@ -99,6 +99,12 @@ _M_BATCHED_QUERY = 0x49
 _M_BATCHED_RESULTS = 0x4A
 
 
+#: Magnitude bound for one encoded integer (512-byte ints).  Termination
+#: credit denominators reach 2^depth, so this admits chains ~4000 hops
+#: deep while still rejecting absurd lengths from corrupt frames.
+MAX_VARINT_BITS = 4096
+
+
 class _Writer:
     __slots__ = ("chunks",)
 
@@ -109,10 +115,14 @@ class _Writer:
         self.chunks.append(bytes((value,)))
 
     def varint(self, value: int) -> None:
-        # zig-zag then LEB128.
-        encoded = (value << 1) ^ (value >> 63) if -(2**63) <= value < 2**63 else None
-        if encoded is None:
-            raise CodecError(f"integer out of range: {value}")
+        # zig-zag then LEB128, arbitrary precision: weighted-termination
+        # credit rides the wire as a Fraction whose denominator doubles
+        # per sequential hop (2^depth), so a 64-bit cap turns any deep
+        # chain into a silently dropped message and a hung query.  The
+        # bit bound only guards against absurd/hostile values.
+        if value.bit_length() > MAX_VARINT_BITS:
+            raise CodecError(f"integer out of range: {value.bit_length()} bits")
+        encoded = (value << 1) if value >= 0 else ((-value << 1) - 1)
         out = bytearray()
         while True:
             bits = encoded & 0x7F
@@ -161,7 +171,7 @@ class _Reader:
             if not b & 0x80:
                 break
             shift += 7
-            if shift > 70:
+            if shift > MAX_VARINT_BITS:
                 raise CodecError("varint too long")
         return (encoded >> 1) ^ -(encoded & 1)
 
@@ -174,7 +184,9 @@ class _Reader:
         return payload
 
     def text(self) -> str:
-        return self.raw().decode("utf-8")
+        # str(buf, "utf-8") accepts any buffer, so zero-copy memoryview
+        # frames decode without materialising intermediate bytes.
+        return str(self.raw(), "utf-8")
 
     def done(self) -> bool:
         return self.pos == len(self.data)
@@ -246,7 +258,7 @@ def _read_value(r: _Reader) -> Any:
     if tag == _T_STR:
         return r.text()
     if tag == _T_BYTES:
-        return r.raw()
+        return bytes(r.raw())
     if tag == _T_OID:
         birth = r.text()
         local_id = r.varint()
@@ -454,7 +466,7 @@ def _read_bloom(r: _Reader) -> BloomFilter:
     count = r.varint()
     if count < 0:
         raise CodecError("negative bloom count")
-    data = r.raw()
+    data = bytes(r.raw())
     if not data:
         raise CodecError("empty bloom bit array")
     return BloomFilter.from_bytes(data, hashes, count)
@@ -520,8 +532,38 @@ def _read_object(r: _Reader) -> Optional[HFObject]:
     return HFObject(oid, tuples, size_hint=size_hint)
 
 
+#: Attribute caching a message's encoded bytes on the (frozen) message
+#: itself.  Message dataclasses are immutable, so the bytes can never go
+#: stale; the attribute slot exists because none of them define
+#: ``__slots__``.
+_WIRE_CACHE = "_wire_cache"
+
+
+def preframe(message: Any) -> bytes:
+    """Encode a message once and remember the bytes on the instance.
+
+    This is the zero-copy send path's other half: a ``ResultBatch`` or
+    ``BatchedQuery`` that rides inside a coalesced frame, gets
+    retransmitted by the reliable channel, or traverses several hops is
+    serialised exactly once, and every later wrap reuses the cached
+    bytes.  Safe because every wire message type is a frozen dataclass.
+    """
+    cached = getattr(message, _WIRE_CACHE, None)
+    if cached is None:
+        cached = _encode_message_uncached(message)
+        object.__setattr__(message, _WIRE_CACHE, cached)
+    return cached
+
+
 def encode_message(message: Any) -> bytes:
     """Serialise one inter-site message to bytes."""
+    cached = getattr(message, _WIRE_CACHE, None)
+    if cached is not None:
+        return cached
+    return _encode_message_uncached(message)
+
+
+def _encode_message_uncached(message: Any) -> bytes:
     w = _Writer()
     if isinstance(message, DerefRequest):
         w.byte(_M_DEREF_REQUEST)
@@ -578,11 +620,11 @@ def encode_message(message: Any) -> bytes:
         w.byte(_M_BATCHED_RESULTS)
         w.varint(len(message.batches))
         for batch in message.batches:
-            w.raw(encode_message(batch))
+            w.raw(preframe(batch))
     elif isinstance(message, ReliableData):
         w.byte(_M_RELIABLE_DATA)
         w.varint(message.seq)
-        w.raw(encode_message(message.payload))
+        w.raw(preframe(message.payload))
     elif isinstance(message, ReliableAck):
         w.byte(_M_RELIABLE_ACK)
         w.varint(message.seq)
@@ -758,3 +800,104 @@ def decode_envelope(frame: bytes, dst: str) -> Envelope:
         spans=spans, src_epoch=src_epoch, tried=tried,
         priority=priority, pressure=pressure,
     )
+
+
+# --------------------------------------------------------------------------
+# stream framing (length-prefixed frames over a byte stream)
+# --------------------------------------------------------------------------
+
+
+#: Frame header: a 4-byte big-endian payload length.  Shared by the
+#: socket and asyncio transports so their wire formats are identical.
+FRAME_HEADER = struct.Struct(">I")
+
+#: Upper bound on one frame's payload — anything larger is treated as
+#: stream corruption rather than allocated.
+MAX_FRAME = 64 * 1024 * 1024
+
+
+def encode_frame(payload: bytes) -> bytes:
+    """Prefix one encoded envelope with its frame header."""
+    if len(payload) > MAX_FRAME:
+        raise CodecError(f"frame too large: {len(payload)} bytes")
+    return FRAME_HEADER.pack(len(payload)) + payload
+
+
+class FrameReader:
+    """Incremental reassembly of length-prefixed frames from a stream.
+
+    TCP delivers arbitrary chunkings of the byte stream; ``feed`` accepts
+    each chunk as it arrives and returns every frame payload it
+    completes, in order.  The zero-copy rule: a frame wholly contained in
+    a single fed chunk comes back as a :class:`memoryview` slice of that
+    chunk — no bytes are copied on the hot path, and the codec's reader
+    consumes buffer objects directly.  Only a frame split across chunks
+    is joined (exactly once) into its own buffer.
+
+    Callers must therefore feed immutable chunks (``bytes``, as asyncio
+    and socket ``recv`` provide) and finish decoding each returned view
+    before mutating anything — both hold trivially for the transports
+    here, which decode each frame as it is returned.
+    """
+
+    __slots__ = ("_held", "_need")
+
+    def __init__(self) -> None:
+        #: Prefix of the current incomplete frame, header bytes included.
+        self._held = bytearray()
+        #: Payload length of the held frame once its header is complete.
+        self._need: Optional[int] = None
+
+    @property
+    def pending(self) -> int:
+        """Bytes buffered for a frame still waiting on more input."""
+        return len(self._held)
+
+    @staticmethod
+    def _check(need: int) -> int:
+        if need > MAX_FRAME:
+            raise CodecError(f"frame too large: {need} bytes")
+        return need
+
+    def feed(self, chunk: bytes) -> List[Any]:
+        """Absorb one stream chunk; return the frame payloads it completes."""
+        frames: List[Any] = []
+        view = memoryview(chunk)
+        total = len(view)
+        pos = 0
+        held = self._held
+        while pos < total:
+            if held:
+                # Finishing a frame split across chunks: join into the
+                # holdover (the format's one permitted copy).
+                if self._need is None:
+                    take = min(FRAME_HEADER.size - len(held), total - pos)
+                    held += view[pos : pos + take]
+                    pos += take
+                    if len(held) < FRAME_HEADER.size:
+                        break
+                    self._need = self._check(FRAME_HEADER.unpack_from(held)[0])
+                take = min(FRAME_HEADER.size + self._need - len(held), total - pos)
+                held += view[pos : pos + take]
+                pos += take
+                if len(held) == FRAME_HEADER.size + self._need:
+                    frames.append(bytes(memoryview(held)[FRAME_HEADER.size :]))
+                    held.clear()
+                    self._need = None
+                else:
+                    break
+            elif total - pos < FRAME_HEADER.size:
+                held += view[pos:]
+                break
+            else:
+                need = self._check(FRAME_HEADER.unpack_from(view, pos)[0])
+                end = pos + FRAME_HEADER.size + need
+                if end <= total:
+                    # Whole frame inside this chunk: zero-copy slice.
+                    frames.append(view[pos + FRAME_HEADER.size : end])
+                    pos = end
+                else:
+                    held += view[pos:]
+                    self._need = need
+                    break
+        return frames

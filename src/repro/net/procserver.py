@@ -1,0 +1,706 @@
+"""One OS process per site: the asyncio transport's multi-core mode.
+
+``ClusterConfig(processes=True)`` makes ``transport="async"`` build a
+:class:`ProcessCluster` instead of the shared-loop inline deployment:
+every site is a spawned child process running its own event loop, frame
+server and :class:`~repro.server.node.ServerNode`, so site CPU work
+runs in genuine parallel (no shared GIL).  Inter-site query traffic
+uses exactly the same framed envelope protocol as the inline and socket
+transports — the child reuses the :class:`~repro.net.asyncio_cluster`
+site machinery verbatim against a small duck-typed runtime.
+
+What changes is everything that silently leaned on shared memory.  The
+parent holds no stores and no nodes; each shared-memory convenience now
+has an explicit wire representation on a per-child *control* channel
+(same length-prefixed framing, a small tag-based control vocabulary):
+
+* ``HELLO`` / ``PEERS`` — bootstrap handshake: each child reports its
+  data port, the parent broadcasts the full port map;
+* ``CREATE`` / ``GET`` / ``REPLACE`` — store access, proxied by
+  :class:`StoreProxy` (objects cross as codec bytes, not references);
+* ``SUBMIT`` / ``SUBMIT_SAVED`` / ``EXPIRE`` — query dispatch hooks;
+* ``SET_DOWN`` / ``SET_UP`` — availability broadcasts, so every child's
+  sender drops frames to a down peer exactly like the inline transport;
+* ``STATS`` — per-site :class:`~repro.server.stats.NodeStats` snapshots
+  for ``total_stats``;
+* ``COMPLETE`` — the child-side originator pushes the finished
+  :class:`~repro.engine.results.QueryResult` (with partition counts)
+  back unprompted; the parent turns it into the usual
+  :class:`~repro.api.QueryOutcome`.
+
+The parent serialises requests per child (one outstanding request, FIFO
+replies), so replies need no correlation ids; ``COMPLETE`` pushes are
+routed out-of-band by the per-child reader thread.
+
+Deliberately unsupported here (the config is rejected loudly, see
+``docs/ASYNC.md``): replication, the reliable channel, fault plans,
+tracing and the metrics registry — each assumes shared objects between
+sites and has no wire representation yet.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing
+import queue
+import socket
+import threading
+import time
+from dataclasses import fields
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from ..api import QueryOutcome
+from ..config import ClusterConfig
+from ..core.oid import Oid
+from ..core.program import Program
+from ..core.tuples import HFTuple
+from ..engine.results import ExecutionStats, QueryResult, ResultSet
+from ..errors import HyperFileError, ObjectNotFound, TransportClosed, UnknownSite
+from ..server.stats import NodeStats
+from .codec import (
+    _read_object,
+    _read_program,
+    _read_qid,
+    _read_value,
+    _write_object,
+    _write_program,
+    _write_qid,
+    _write_value,
+    _Reader,
+    _Writer,
+)
+from .common import WallClockQueries
+from .messages import QueryId
+from .sockets import recv_frame, send_frame
+
+# -- control vocabulary ------------------------------------------------------
+
+_C_HELLO = 0x01
+_C_PEERS = 0x02
+_C_CREATE = 0x03
+_C_GET = 0x04
+_C_REPLACE = 0x05
+_C_SUBMIT = 0x06
+_C_SUBMIT_SAVED = 0x07
+_C_EXPIRE = 0x08
+_C_SET_DOWN = 0x09
+_C_SET_UP = 0x0A
+_C_STATS = 0x0B
+_C_SHUTDOWN = 0x0C
+_C_OK = 0x20
+_C_ERR = 0x21
+_C_OBJECT = 0x22
+_C_STATS_REPLY = 0x23
+_C_COMPLETE = 0x30
+
+#: Error types the control channel can re-raise parent-side by name.
+_ERROR_TYPES = {
+    "ObjectNotFound": ObjectNotFound,
+    "UnknownSite": UnknownSite,
+    "HyperFileError": HyperFileError,
+}
+
+
+def _encode_stats(stats: NodeStats) -> bytes:
+    """Field-driven NodeStats encoding (new counters ride automatically)."""
+    w = _Writer()
+    named = [(f.name, getattr(stats, f.name)) for f in fields(stats)]
+    w.varint(len(named))
+    for name, value in named:
+        w.text(name)
+        if isinstance(value, dict):
+            _write_value(w, tuple(sorted(value.items())))
+        else:
+            _write_value(w, value)
+    return w.getvalue()
+
+
+def _decode_stats(r: _Reader) -> NodeStats:
+    stats = NodeStats()
+    for _ in range(r.varint()):
+        name = r.text()
+        value = _read_value(r)
+        if isinstance(getattr(stats, name, None), dict):
+            value = dict(value)
+        setattr(stats, name, value)
+    return stats
+
+
+def _encode_result(qid: QueryId, result: QueryResult, partition_counts) -> bytes:
+    w = _Writer()
+    w.byte(_C_COMPLETE)
+    _write_qid(w, qid)
+    _write_value(w, tuple(result.oids))
+    w.varint(len(result.retrieved))
+    for target in sorted(result.retrieved):
+        w.text(target)
+        _write_value(w, tuple(result.retrieved[target]))
+    for f in fields(ExecutionStats):
+        w.varint(getattr(result.stats, f.name))
+    w.byte(1 if result.partial else 0)
+    w.text(result.partial_reason or "")
+    counts = dict(partition_counts) if partition_counts else {}
+    w.varint(len(counts))
+    for site in sorted(counts):
+        w.text(site)
+        w.varint(counts[site])
+    return w.getvalue()
+
+
+def _decode_result(r: _Reader) -> Tuple[QueryId, QueryResult, Optional[Dict[str, int]]]:
+    qid = _read_qid(r)
+    oids = ResultSet()
+    oids.extend(_read_value(r))
+    retrieved = {r.text(): list(_read_value(r)) for _ in range(r.varint())}
+    stats = ExecutionStats(**{f.name: r.varint() for f in fields(ExecutionStats)})
+    partial = r.byte() == 1
+    reason = r.text() or None
+    counts = {r.text(): r.varint() for _ in range(r.varint())} or None
+    result = QueryResult(
+        oids=oids, retrieved=retrieved, stats=stats, partial=partial, partial_reason=reason
+    )
+    return qid, result, counts
+
+
+def _err_frame(exc: BaseException) -> bytes:
+    w = _Writer()
+    w.byte(_C_ERR)
+    w.text(type(exc).__name__)
+    w.text(str(exc))
+    return w.getvalue()
+
+
+def _raise_err(r: _Reader) -> None:
+    name = r.text()
+    raise _ERROR_TYPES.get(name, HyperFileError)(r.text())
+
+
+# --------------------------------------------------------------------------
+# child process
+# --------------------------------------------------------------------------
+
+
+class _ChildRuntime:
+    """The duck-typed cluster surface the reused site machinery needs.
+
+    :class:`~repro.net.asyncio_cluster._AsyncSite` and ``_PeerLink`` talk
+    to their owning cluster through exactly these members; providing them
+    here lets the child run the same drain/send/framing code as the
+    inline transport, unchanged.
+    """
+
+    def __init__(self, site: str, names: List[str], config: ClusterConfig) -> None:
+        self.site = site
+        self.names = names
+        self.config = config
+        self.ports: Dict[str, int] = {}
+        self.fault_plan = None
+        self.messages_dropped = 0
+        self._down: set = set()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+
+    @property
+    def sites(self) -> List[str]:
+        return list(self.names)
+
+    def is_down(self, site: str) -> bool:
+        return site in self._down
+
+    def port_of(self, site: str) -> int:
+        try:
+            return self.ports[site]
+        except KeyError:
+            raise UnknownSite(site) from None
+
+    def _endpoint_for(self, site: str):
+        return None
+
+    def _reliable_ingest(self, env) -> None:  # pragma: no cover - reliable is rejected
+        raise HyperFileError("reliable channel is not supported in process mode")
+
+
+def _child_main(site: str, names: List[str], parent_port: int, config: ClusterConfig) -> None:
+    """Entry point of one spawned site process."""
+    asyncio.run(_child_serve(site, names, parent_port, config))
+
+
+async def _child_serve(
+    site: str, names: List[str], parent_port: int, config: ClusterConfig
+) -> None:
+    from ..server.node import ServerNode
+    from ..sim.costs import FREE_COSTS
+    from ..storage.memstore import MemStore
+    from ..termination.base import make_strategy
+    from .asyncio_cluster import _AsyncSite
+    from .codec import FrameReader, FRAME_HEADER
+
+    runtime = _ChildRuntime(site, names, config)
+    runtime._loop = asyncio.get_running_loop()
+    store = MemStore(site)
+
+    control_writer: Optional[asyncio.StreamWriter] = None
+
+    def push_complete(qid: QueryId, result: QueryResult) -> None:
+        counts = None
+        ctx = node.contexts.get(qid)
+        if ctx is not None and ctx.partition_counts:
+            counts = ctx.partition_counts
+        payload = _encode_result(qid, result, counts)
+        control_writer.write(FRAME_HEADER.pack(len(payload)) + payload)
+
+    node = ServerNode(
+        site,
+        store,
+        costs=FREE_COSTS,
+        termination=make_strategy(config.termination),
+        discipline=config.discipline,
+        result_mode=config.result_mode,
+        on_query_complete=push_complete,
+        is_site_up=lambda s: not runtime.is_down(s),
+        batching=config.batching,
+        caching=config.caching,
+        qos=config.qos,
+    )
+    node.now_fn = time.monotonic
+    asite = _AsyncSite(node, runtime)
+    await asite.bootstrap()
+    asite._drain_task = asyncio.get_running_loop().create_task(asite.drain())
+
+    reader, control_writer = await asyncio.open_connection(config.host, parent_port)
+    hello = _Writer()
+    hello.byte(_C_HELLO)
+    hello.text(site)
+    hello.varint(asite.port)
+    payload = hello.getvalue()
+    control_writer.write(FRAME_HEADER.pack(len(payload)) + payload)
+
+    frames = FrameReader()
+    running = True
+    while running:
+        chunk = await reader.read(64 * 1024)
+        if not chunk:
+            break
+        for frame in frames.feed(chunk):
+            reply = _handle_control(frame, runtime, asite, store)
+            if reply is _SHUTDOWN:
+                reply = bytes((_C_OK,))
+                running = False
+            if reply is not None:
+                control_writer.write(FRAME_HEADER.pack(len(reply)) + reply)
+        await control_writer.drain()
+    asite.shutdown()
+    control_writer.close()
+
+
+_SHUTDOWN = object()
+
+
+def _handle_control(frame, runtime: _ChildRuntime, asite, store):
+    """Process one control frame; returns the reply bytes (or None)."""
+    r = _Reader(frame)
+    tag = r.byte()
+    try:
+        if tag == _C_PEERS:
+            runtime.ports = {r.text(): r.varint() for _ in range(r.varint())}
+            return bytes((_C_OK,))
+        if tag == _C_CREATE:
+            tuples = [HFTuple(r.text(), _read_value(r), _read_value(r)) for _ in range(r.varint())]
+            size_hint = _read_value(r)
+            obj = store.create(tuples, size_hint=size_hint)
+            w = _Writer()
+            w.byte(_C_OBJECT)
+            _write_object(w, obj)
+            return w.getvalue()
+        if tag == _C_GET:
+            obj = store.get(_read_value(r))
+            w = _Writer()
+            w.byte(_C_OBJECT)
+            _write_object(w, obj)
+            return w.getvalue()
+        if tag == _C_REPLACE:
+            store.replace(_read_object(r))
+            return bytes((_C_OK,))
+        if tag == _C_SUBMIT:
+            qid = _read_qid(r)
+            program = _read_program(r)
+            initial = list(_read_value(r))
+            priority = r.text() or None
+            asite.submit(qid, program, initial, priority)
+            return bytes((_C_OK,))
+        if tag == _C_SUBMIT_SAVED:
+            qid = _read_qid(r)
+            program = _read_program(r)
+            source_qid = _read_qid(r)
+            asite.submit_from_saved(qid, program, source_qid)
+            return bytes((_C_OK,))
+        if tag == _C_EXPIRE:
+            asite.expire(_read_qid(r))
+            return bytes((_C_OK,))
+        if tag == _C_SET_DOWN:
+            target = r.text()
+            runtime._down.add(target)
+            if target == runtime.site:
+                asite.up_event.clear()
+            return bytes((_C_OK,))
+        if tag == _C_SET_UP:
+            target = r.text()
+            runtime._down.discard(target)
+            if target == runtime.site:
+                asite.up_event.set()
+                asite.inbox.put_nowait(None)
+            return bytes((_C_OK,))
+        if tag == _C_STATS:
+            return bytes((_C_STATS_REPLY,)) + _encode_stats(asite.node.stats)
+        if tag == _C_SHUTDOWN:
+            return _SHUTDOWN
+        raise HyperFileError(f"unknown control tag 0x{tag:02x}")
+    except Exception as exc:  # surfaced parent-side as a typed error
+        return _err_frame(exc)
+
+
+# --------------------------------------------------------------------------
+# parent side
+# --------------------------------------------------------------------------
+
+
+class StoreProxy:
+    """Parent-side handle on one child's object store.
+
+    Same ``create`` / ``get`` / ``replace`` surface as
+    :class:`~repro.storage.memstore.MemStore`; every call is one control
+    round-trip, objects crossing as codec bytes.
+    """
+
+    def __init__(self, cluster: "ProcessCluster", site: str) -> None:
+        self._cluster = cluster
+        self._site = site
+
+    def create(self, tuples: Iterable[HFTuple] = (), size_hint: Optional[int] = None):
+        w = _Writer()
+        w.byte(_C_CREATE)
+        items = list(tuples)
+        w.varint(len(items))
+        for t in items:
+            w.text(t.type)
+            _write_value(w, t.key)
+            _write_value(w, t.data)
+        _write_value(w, size_hint)
+        reply = self._cluster._request(self._site, w.getvalue(), expect=_C_OBJECT)
+        return _read_object(reply)
+
+    def get(self, oid: Oid):
+        w = _Writer()
+        w.byte(_C_GET)
+        _write_value(w, oid)
+        reply = self._cluster._request(self._site, w.getvalue(), expect=_C_OBJECT)
+        return _read_object(reply)
+
+    def replace(self, obj) -> None:
+        w = _Writer()
+        w.byte(_C_REPLACE)
+        _write_object(w, obj)
+        self._cluster._request(self._site, w.getvalue(), expect=_C_OK)
+
+
+class _RemoteSiteHandle:
+    """Stand-in for a ServerNode in the parent's ``nodes`` map.
+
+    The shared query surface only touches ``contexts`` (for credit
+    diagnostics, empty here: the contexts live in the child), so this
+    carries just enough shape to keep the common code honest.
+    """
+
+    def __init__(self, site: str) -> None:
+        self.site = site
+        self.contexts: Dict = {}
+
+
+class _ChildLink:
+    """Parent bookkeeping for one child: process, control socket, reader."""
+
+    def __init__(self, site: str, process, conn: socket.socket, data_port: int) -> None:
+        self.site = site
+        self.process = process
+        self.conn = conn
+        self.data_port = data_port
+        self.lock = threading.Lock()
+        self.replies: "queue.Queue" = queue.Queue()
+        self.reader: Optional[threading.Thread] = None
+
+
+class ProcessCluster(WallClockQueries):
+    """The asyncio transport with one OS process per site.
+
+    Built by ``AsyncCluster(..., config=ClusterConfig(processes=True))``
+    (or ``transport="async"`` with that config); not normally
+    instantiated directly.
+    """
+
+    #: Control-channel budget for one request round-trip.
+    RPC_TIMEOUT_S = 30.0
+
+    def __init__(
+        self, sites: Union[int, Iterable[str]] = 3, config: Optional[ClusterConfig] = None
+    ) -> None:
+        config = config if config is not None else ClusterConfig(processes=True)
+        config.require_default(
+            "costs", "mark_granularity", "gc_contexts",
+            "replication", "reliable", "fault_plan",
+            transport="async (process mode)",
+        )
+        self.config = config
+        names = [f"site{i}" for i in range(sites)] if isinstance(sites, int) else list(sites)
+        if not names:
+            raise ValueError("a cluster needs at least one site")
+        self._init_queries(config.qos)
+        self._closed = False
+        self._down: set = set()
+        self._down_lock = threading.Lock()
+        self.replication = None
+        self.undeliverable: List = []
+        self.nodes: Dict[str, _RemoteSiteHandle] = {n: _RemoteSiteHandle(n) for n in names}
+
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((config.host, 0))
+        listener.listen(len(names))
+        parent_port = listener.getsockname()[1]
+
+        # spawn (not fork): the parent may carry live threads and event
+        # loops from other clusters; inheriting them is a deadlock trap.
+        ctx = multiprocessing.get_context("spawn")
+        procs = {
+            name: ctx.Process(
+                target=_child_main,
+                args=(name, names, parent_port, config),
+                name=f"hf-proc-{name}",
+                daemon=True,
+            )
+            for name in names
+        }
+        self._links: Dict[str, _ChildLink] = {}
+        try:
+            for proc in procs.values():
+                proc.start()
+            listener.settimeout(60.0)
+            for _ in names:
+                conn, _addr = listener.accept()
+                conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+                frame = recv_frame(conn)
+                r = _Reader(frame)
+                if r.byte() != _C_HELLO:
+                    raise HyperFileError("child handshake out of order")
+                site = r.text()
+                port = r.varint()
+                self._links[site] = _ChildLink(site, procs[site], conn, port)
+        except Exception:
+            for proc in procs.values():
+                if proc.is_alive():
+                    proc.terminate()
+            raise
+        finally:
+            listener.close()
+
+        for link in self._links.values():
+            link.reader = threading.Thread(
+                target=self._reader_loop, args=(link,),
+                name=f"hf-proc-reader-{link.site}", daemon=True,
+            )
+            link.reader.start()
+
+        peers = _Writer()
+        peers.byte(_C_PEERS)
+        peers.varint(len(self._links))
+        for site, link in self._links.items():
+            peers.text(site)
+            peers.varint(link.data_port)
+        frame = peers.getvalue()
+        for site in self._links:
+            self._request(site, frame, expect=_C_OK)
+
+    # -- control channel -------------------------------------------------
+
+    def _reader_loop(self, link: _ChildLink) -> None:
+        try:
+            while True:
+                frame = recv_frame(link.conn)
+                if frame is None:
+                    return
+                if frame[0] == _C_COMPLETE:
+                    r = _Reader(frame)
+                    r.byte()
+                    qid, result, counts = _decode_result(r)
+                    self._on_remote_complete(qid, result, counts)
+                else:
+                    link.replies.put(frame)
+        except (OSError, HyperFileError):
+            return
+
+    def _request(self, site: str, frame: bytes, expect: int) -> _Reader:
+        link = self._links.get(site)
+        if link is None:
+            raise UnknownSite(site)
+        with link.lock:
+            if self._closed:
+                raise TransportClosed("cluster is closed")
+            send_frame(link.conn, frame)
+            try:
+                reply = link.replies.get(timeout=self.RPC_TIMEOUT_S)
+            except queue.Empty:
+                raise HyperFileError(f"no control reply from {site}") from None
+        r = _Reader(reply)
+        tag = r.byte()
+        if tag == _C_ERR:
+            _raise_err(r)
+        if tag != expect:
+            raise HyperFileError(f"unexpected control reply 0x{tag:02x} from {site}")
+        return r
+
+    def _on_remote_complete(
+        self, qid: QueryId, result: QueryResult, counts: Optional[Dict[str, int]]
+    ) -> None:
+        info = self._inflight.pop(qid, None)
+        outcome = QueryOutcome(
+            qid=qid,
+            result=result,
+            submitted_at=info.submitted_at if info is not None else 0.0,
+            completed_at=time.monotonic(),
+            partition_counts=counts,
+        )
+        self._outcomes[qid] = outcome
+        self._completions.put((qid, outcome))
+
+    # -- lifecycle -------------------------------------------------------
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        shutdown = bytes((_C_SHUTDOWN,))
+        for link in self._links.values():
+            # Don't interleave with an in-flight request on the same
+            # socket; a child that never frees the lock gets terminated.
+            acquired = link.lock.acquire(timeout=2.0)
+            try:
+                send_frame(link.conn, shutdown)
+            except OSError:
+                pass
+            finally:
+                if acquired:
+                    link.lock.release()
+        for link in self._links.values():
+            link.process.join(timeout=5.0)
+            if link.process.is_alive():
+                link.process.terminate()
+            try:
+                link.conn.close()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "ProcessCluster":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- data ------------------------------------------------------------
+
+    @property
+    def sites(self) -> List[str]:
+        return list(self.nodes)
+
+    def store(self, site: str) -> StoreProxy:
+        if site not in self._links:
+            raise UnknownSite(site)
+        return StoreProxy(self, site)
+
+    def migrate(self, oid: Oid, to_site: str) -> Oid:
+        raise HyperFileError("migrate is not supported in process mode")
+
+    # -- availability ----------------------------------------------------
+
+    def is_up(self, site: str) -> bool:
+        with self._down_lock:
+            return site not in self._down
+
+    def is_down(self, site: str) -> bool:
+        return not self.is_up(site)
+
+    def _broadcast_availability(self, tag: int, site: str) -> None:
+        w = _Writer()
+        w.byte(tag)
+        w.text(site)
+        frame = w.getvalue()
+        for target in self._links:
+            self._request(target, frame, expect=_C_OK)
+
+    def set_down(self, site: str) -> None:
+        """Freeze a site's process; every child drops frames to it."""
+        if site not in self._links:
+            raise UnknownSite(site)
+        with self._down_lock:
+            self._down.add(site)
+        self._broadcast_availability(_C_SET_DOWN, site)
+
+    def set_up(self, site: str) -> None:
+        if site not in self._links:
+            raise UnknownSite(site)
+        with self._down_lock:
+            self._down.discard(site)
+        self._broadcast_availability(_C_SET_UP, site)
+
+    # -- observability ---------------------------------------------------
+
+    def total_stats(self) -> NodeStats:
+        merged = NodeStats()
+        stats_req = bytes((_C_STATS,))
+        for site in self._links:
+            reply = self._request(site, stats_req, expect=_C_STATS_REPLY)
+            merged.merge(_decode_stats(reply))
+        return merged
+
+    def attach_tracer(self, tracer) -> None:
+        raise HyperFileError("tracing is not supported in process mode")
+
+    def detach_tracer(self) -> None:
+        pass
+
+    def enable_metrics(self, registry=None):
+        raise HyperFileError("the metrics registry is not supported in process mode")
+
+    def metrics_snapshot(self):
+        return None
+
+    # -- dispatch hooks --------------------------------------------------
+
+    def _dispatch_submit(
+        self,
+        origin: str,
+        qid: QueryId,
+        program: Program,
+        initial: List[Oid],
+        priority: Optional[str] = None,
+    ) -> None:
+        w = _Writer()
+        w.byte(_C_SUBMIT)
+        _write_qid(w, qid)
+        _write_program(w, program)
+        _write_value(w, tuple(initial))
+        w.text(priority or "")
+        self._request(origin, w.getvalue(), expect=_C_OK)
+
+    def _dispatch_submit_from_saved(
+        self, origin: str, qid: QueryId, program: Program, source_qid: QueryId
+    ) -> None:
+        w = _Writer()
+        w.byte(_C_SUBMIT_SAVED)
+        _write_qid(w, qid)
+        _write_program(w, program)
+        _write_qid(w, source_qid)
+        self._request(origin, w.getvalue(), expect=_C_OK)
+
+    def _dispatch_expire(self, origin: str, qid: QueryId) -> None:
+        w = _Writer()
+        w.byte(_C_EXPIRE)
+        _write_qid(w, qid)
+        self._request(origin, w.getvalue(), expect=_C_OK)

@@ -26,11 +26,11 @@ from __future__ import annotations
 
 import queue
 import socket
-import struct
 import threading
 import time
 from typing import Dict, Iterable, List, Optional, Union
 
+from ..config import ClusterConfig, resolve_config
 from ..core.oid import Oid
 from ..core.program import Program
 from ..errors import HyperFileError, UnknownSite
@@ -40,7 +40,7 @@ from ..faults.timers import TimerThread
 from ..cache import CacheConfig
 from ..naming.directory import ReplicaDirectory
 from ..net.batching import BatchConfig
-from ..net.codec import decode_envelope, encode_envelope
+from ..net.codec import FRAME_HEADER, MAX_FRAME, decode_envelope, encode_envelope
 from ..qos import QoSConfig
 from ..replication import ReplicationConfig, ReplicationManager
 from ..net.messages import (
@@ -57,11 +57,9 @@ from ..storage.memstore import MemStore
 from ..termination.base import make_strategy
 from .common import WallClockQueries
 
-_HEADER = struct.Struct(">I")
-
-#: Refuse frames above this size (a corrupt length prefix otherwise asks
-#: us to allocate gigabytes).
-MAX_FRAME = 64 * 1024 * 1024
+# Frame layout (4-byte big-endian length + payload) and the size guard
+# live in the codec now, shared with the asyncio transport.
+_HEADER = FRAME_HEADER
 
 
 def send_frame(sock: socket.socket, payload: bytes) -> None:
@@ -296,7 +294,33 @@ class SocketCluster(WallClockQueries):
         caching: Optional[CacheConfig] = None,
         replication: Optional[ReplicationConfig] = None,
         qos: Optional[QoSConfig] = None,
+        config: Optional[ClusterConfig] = None,
     ) -> None:
+        config = resolve_config(
+            config,
+            owner="SocketCluster",
+            termination=termination,
+            result_mode=result_mode,
+            fault_plan=fault_plan,
+            reliable=reliable,
+            batching=batching,
+            caching=caching,
+            replication=replication,
+            qos=qos,
+        )
+        config.require_default(
+            "costs", "discipline", "mark_granularity", "gc_contexts", "processes",
+            transport="sockets",
+        )
+        self.config = config
+        termination = config.termination
+        result_mode = config.result_mode
+        fault_plan = config.fault_plan
+        reliable = config.reliable
+        batching = config.batching
+        caching = config.caching
+        replication = config.replication
+        qos = config.qos
         names = [f"site{i}" for i in range(sites)] if isinstance(sites, int) else list(sites)
         strategy = make_strategy(termination)
         self.stores: Dict[str, MemStore] = {}

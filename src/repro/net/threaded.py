@@ -30,6 +30,7 @@ import threading
 import time
 from typing import Dict, Iterable, List, Optional, Union
 
+from ..config import ClusterConfig, resolve_config
 from ..core.oid import Oid
 from ..core.program import Program
 from ..errors import UnknownSite
@@ -139,7 +140,35 @@ class ThreadedCluster(WallClockQueries):
         caching: Optional[CacheConfig] = None,
         replication: Optional[ReplicationConfig] = None,
         qos: Optional[QoSConfig] = None,
+        config: Optional[ClusterConfig] = None,
     ) -> None:
+        config = resolve_config(
+            config,
+            owner="ThreadedCluster",
+            termination=termination,
+            discipline=discipline,
+            result_mode=result_mode,
+            fault_plan=fault_plan,
+            reliable=reliable,
+            batching=batching,
+            caching=caching,
+            replication=replication,
+            qos=qos,
+        )
+        config.require_default(
+            "costs", "mark_granularity", "gc_contexts", "processes",
+            transport="threaded",
+        )
+        self.config = config
+        termination = config.termination
+        discipline = config.discipline
+        result_mode = config.result_mode
+        fault_plan = config.fault_plan
+        reliable = config.reliable
+        batching = config.batching
+        caching = config.caching
+        replication = config.replication
+        qos = config.qos
         if isinstance(sites, int):
             names = [f"site{i}" for i in range(sites)]
         else:

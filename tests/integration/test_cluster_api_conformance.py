@@ -1,45 +1,46 @@
-"""ClusterAPI conformance: one scenario script, three transports.
+"""ClusterAPI conformance: one scenario script, four transports.
 
 The point of the unified cluster API is that everything above the
 transport — sessions, benchmarks, applications — is written once.  These
 tests encode that contract directly: every test in this file runs
-verbatim against the simulator, the threaded transport and the socket
-transport, and must behave identically (same results, same error types,
-same deadline semantics) on all three.
+verbatim against the simulator, the threaded transport, the socket
+transport and the asyncio transport, and must behave identically (same
+results, same error types, same deadline semantics) on all four.
+
+Clusters are built through the transport registry with a
+:class:`~repro.config.ClusterConfig`, so the suite also pins down the
+consolidated construction path every transport must accept.
 """
 
 import pytest
 
-from repro.api import ClusterAPI, QueryOutcome, credit_deficit
-from repro.cluster import SimCluster
+from repro.api import ClusterAPI, QueryOutcome, credit_deficit, make_cluster as build_cluster
+from repro.config import ClusterConfig
 from repro.core.tuples import keyword_tuple, pointer_tuple
 from repro.errors import Overloaded, QueryTimeout
 from repro.faults import FaultPlan
 from repro.qos import QoSConfig
-from repro.net.sockets import SocketCluster
-from repro.net.threaded import ThreadedCluster
 from repro.replication import ReplicationConfig
 from repro.workload import WorkloadSpec, build_graph, generate_into_cluster, traversal_only_query
 
 CLOSURE = 'S [ (Pointer,"Ref",?X) ^^X ]* (Keyword,"K",?) -> T'
 
-FACTORIES = {
-    "sim": SimCluster,
-    "threaded": ThreadedCluster,
-    "sockets": SocketCluster,
-}
+TRANSPORTS = ("sim", "threaded", "sockets", "async")
+
+#: Back-compat alias: transport name -> factory through the registry.
+FACTORIES = {name: (lambda s=3, _n=name, **kw: build_cluster(_n, s, **kw)) for name in TRANSPORTS}
 
 #: Generous wall-clock budget for the real transports; the simulator
 #: accepts and ignores it (virtual time cannot hang on a live queue).
 TIMEOUT = 30.0
 
 
-@pytest.fixture(params=sorted(FACTORIES))
+@pytest.fixture(params=sorted(TRANSPORTS))
 def make_cluster(request):
     made = []
 
     def factory(**kwargs):
-        cluster = FACTORIES[request.param](3, **kwargs)
+        cluster = build_cluster(request.param, 3, config=ClusterConfig(**kwargs))
         made.append(cluster)
         return cluster
 
@@ -207,17 +208,19 @@ class TestFollowupQueries:
 class TestCrossTransportAgreement:
     def test_same_database_same_results_everywhere(self):
         """The whole point, in one assertion: an identical database gives
-        an identical result set on all three transports."""
+        an identical result set on all four transports."""
         results = {}
-        for name, factory in sorted(FACTORIES.items()):
-            cluster = factory(3)
+        for name in sorted(TRANSPORTS):
+            cluster = build_cluster(name, 3)
             try:
                 oids = build_chain(cluster)
                 out = cluster.run_query(CLOSURE, [oids[0]], timeout_s=TIMEOUT)
                 results[name] = out.result.oid_keys()
             finally:
                 cluster.close()
-        assert results["sim"] == results["threaded"] == results["sockets"]
+        assert (
+            results["sim"] == results["threaded"] == results["sockets"] == results["async"]
+        )
 
 
 class TestQoS:

@@ -1,0 +1,163 @@
+"""Tests for the asyncio transport (framed TCP on an event loop).
+
+The conformance suite already runs every shared scenario on
+``transport="async"``; this file covers what is specific to this
+transport — the zero-copy codec path (preframing, memoryview decode),
+the process-per-site deployment, reconnecting peer links, and the
+``timeout_s`` backstop audit: a site that never answers must surface as
+:class:`~repro.errors.TerminationLost` on EVERY wall-clock transport,
+never as a dead ``wait()``.
+"""
+
+import time
+
+import pytest
+
+from repro.api import make_cluster
+from repro.config import ClusterConfig
+from repro.core.tuples import keyword_tuple, pointer_tuple
+from repro.errors import HyperFileError, TerminationLost
+from repro.faults import FaultPlan
+from repro.net.asyncio_cluster import AsyncCluster
+from repro.net.codec import encode_message, preframe
+from repro.net.messages import QueryId, ResultBatch
+
+CLOSURE = 'S [ (Pointer,"Ref",?X) ^^X ]* (Keyword,"K",?) -> T'
+
+
+def build_chain(cluster, length=9):
+    stores = [cluster.store(s) for s in cluster.sites]
+    oids = []
+    for i in range(length):
+        oids.append(stores[i % len(stores)].create([keyword_tuple("K")]).oid)
+    for i in range(length - 1):
+        store = stores[i % len(stores)]
+        store.replace(store.get(oids[i]).with_tuple(pointer_tuple("Ref", oids[i + 1])))
+    last = stores[(length - 1) % len(stores)]
+    last.replace(last.get(oids[-1]).with_tuple(pointer_tuple("Ref", oids[-1])))
+    return oids
+
+
+class TestInlineAsync:
+    def test_cross_site_closure_over_asyncio_tcp(self):
+        with AsyncCluster(3) as cluster:
+            oids = build_chain(cluster)
+            out = cluster.run_query(CLOSURE, [oids[0]], timeout_s=30.0)
+            assert out.result.oid_keys() == {o.key() for o in oids}
+            assert cluster.bytes_on_the_wire() > 0
+
+    def test_sequential_queries_reuse_connections(self):
+        with AsyncCluster(3) as cluster:
+            oids = build_chain(cluster)
+            first = cluster.run_query(CLOSURE, [oids[0]], timeout_s=30.0)
+            second = cluster.run_query(CLOSURE, [oids[0]], timeout_s=30.0)
+            assert first.result.oid_keys() == second.result.oid_keys()
+            # Persistent links: every site dials each peer at most once.
+            links = sum(len(site._links) for site in cluster._asites.values())
+            assert links <= len(cluster.sites) * (len(cluster.sites) - 1)
+
+    def test_close_is_idempotent(self):
+        cluster = AsyncCluster(2)
+        cluster.close()
+        cluster.close()
+
+    def test_queued_frames_survive_a_crash_window(self):
+        """set_down freezes the drain task; already-delivered frames are
+        processed after set_up rather than lost (socket-transport parity)."""
+        with AsyncCluster(2) as cluster:
+            oids = build_chain(cluster, 4)
+            cluster.set_down("site1")
+            assert cluster.is_down("site1")
+            cluster.set_up("site1")
+            out = cluster.run_query(CLOSURE, [oids[0]], timeout_s=30.0)
+            assert out.result.oid_keys() == {o.key() for o in oids}
+
+
+class TestTimeoutBackstop:
+    """The timeout_s plumbing audit: a hung query must end in
+    TerminationLost on every wall-clock transport, never a dead wait.
+
+    ``set_down`` is not a hang on the threaded transport (it bounces
+    work back as ``Undeliverable`` so the sender re-absorbs credit), so
+    the hang inducer here is a fault plan that silently drops every
+    frame on the site0–site1 link: the credit those frames carry is
+    lost, the detector can never fire, and only the wall-clock backstop
+    stands between the caller and a dead wait.
+    """
+
+    @pytest.mark.parametrize("transport", ["threaded", "sockets", "async"])
+    def test_hung_query_yields_termination_lost(self, transport):
+        plan = FaultPlan(seed=7).link("site0", "site1", drop=1.0)
+        cluster = make_cluster(transport, 3, config=ClusterConfig(fault_plan=plan))
+        try:
+            oids = build_chain(cluster)
+            qid = cluster.submit(CLOSURE, [oids[0]])
+            started = time.monotonic()
+            with pytest.raises(TerminationLost) as excinfo:
+                cluster.wait(qid, timeout_s=1.0)
+            elapsed = time.monotonic() - started
+            assert elapsed < 10.0, "wait() must honour the wall-clock backstop"
+            assert excinfo.value.qid == qid
+        finally:
+            cluster.close()
+
+
+class TestZeroCopyCodec:
+    def test_preframe_is_cached_per_message(self):
+        batch = ResultBatch(QueryId(1, "site0"))
+        first = preframe(batch)
+        assert preframe(batch) is first  # serialised once, reused per hop
+        assert first == encode_message(batch)
+
+    def test_encode_message_reuses_the_preframed_bytes(self):
+        batch = ResultBatch(QueryId(2, "site0"))
+        cached = preframe(batch)
+        assert encode_message(batch) is cached
+
+    def test_memoryview_frames_decode_like_bytes(self):
+        from repro.net.codec import decode_message
+
+        frame = encode_message(ResultBatch(QueryId(3, "site1"), oids=()))
+        via_view = decode_message(memoryview(frame))
+        via_bytes = decode_message(frame)
+        assert via_view == via_bytes
+
+
+class TestProcessMode:
+    """One OS process per site (ClusterConfig(processes=True))."""
+
+    def test_async_transport_builds_a_process_cluster(self):
+        from repro.net.procserver import ProcessCluster
+
+        cluster = make_cluster("async", 2, config=ClusterConfig(processes=True))
+        try:
+            assert isinstance(cluster, ProcessCluster)
+        finally:
+            cluster.close()
+
+    def test_query_and_stats_across_processes(self):
+        cluster = make_cluster("async", 2, config=ClusterConfig(processes=True))
+        try:
+            oids = build_chain(cluster, 6)
+            out = cluster.run_query(CLOSURE, [oids[0]], timeout_s=30.0)
+            assert out.result.oid_keys() == {o.key() for o in oids}
+            assert cluster.total_stats().objects_processed >= len(oids)
+        finally:
+            cluster.close()
+
+    def test_shared_memory_conveniences_are_rejected_loudly(self):
+        from repro.replication import ReplicationConfig
+
+        with pytest.raises(HyperFileError):
+            make_cluster(
+                "async", 2,
+                config=ClusterConfig(processes=True, replication=ReplicationConfig(k=2)),
+            )
+        cluster = make_cluster("async", 2, config=ClusterConfig(processes=True))
+        try:
+            with pytest.raises(HyperFileError):
+                cluster.attach_tracer(object())
+            with pytest.raises(HyperFileError):
+                cluster.enable_metrics()
+        finally:
+            cluster.close()

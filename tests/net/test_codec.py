@@ -304,3 +304,26 @@ class TestEnvelopeQoS:
         tagged = Envelope("a", "b", ResultBatch(QID), priority="batch", pressure=1)
         plain = Envelope("a", "b", ResultBatch(QID))
         assert tagged.size_bytes == plain.size_bytes
+
+
+class TestDeepCreditIntegers:
+    """Termination credit is a Fraction whose denominator doubles per
+    sequential hop; the varint must carry 2^depth for deep chains.  A
+    64-bit cap here silently dropped the message at send time and hung
+    the query until TerminationLost (seen on any >62-hop cross-site
+    chain on the wire transports)."""
+
+    def test_deep_chain_credit_round_trips(self):
+        for depth in (62, 63, 64, 200, 1000):
+            credit = Fraction(1, 2 ** depth)
+            out = roundtrip(DerefRequest(QID, prog(), WorkItem(Oid("s1", 0)),
+                                         {"credit": credit}))
+            assert out.term == {"credit": credit}
+
+    def test_absurd_magnitude_still_rejected(self):
+        from repro.net.codec import MAX_VARINT_BITS
+
+        too_big = Fraction(1, 2 ** (MAX_VARINT_BITS + 1))
+        with pytest.raises(CodecError):
+            encode_message(DerefRequest(QID, prog(), WorkItem(Oid("s1", 0)),
+                                        {"credit": too_big}))

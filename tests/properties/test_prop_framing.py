@@ -1,0 +1,98 @@
+"""Property-based tests of the streaming frame codec (hypothesis).
+
+The asyncio transport's :class:`~repro.net.codec.FrameReader` receives
+the TCP byte stream in arbitrary chunks — the kernel is free to split
+one frame across many reads or coalesce many frames into one.  The
+contract is exact reassembly: for ANY frame sequence and ANY chunking of
+the concatenated bytes, ``feed`` must yield exactly the original frame
+payloads, in order, regardless of where the chunk boundaries fall.  A
+single off-by-one here silently corrupts (or drops) an envelope, which
+on a live cluster surfaces as a lost termination credit — a hang, not
+an error — so this file holds the line property-style.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import HyperFileError
+from repro.net.codec import FRAME_HEADER, FrameReader, encode_frame
+
+SETTINGS = settings(max_examples=200, deadline=None)
+
+frames_strategy = st.lists(
+    st.binary(min_size=0, max_size=64), min_size=0, max_size=12
+)
+
+
+def chunkings(data: bytes):
+    """Strategy for ways to split ``data`` into consecutive chunks."""
+    return st.lists(
+        st.integers(min_value=1, max_value=max(len(data), 1)),
+        min_size=0,
+        max_size=len(data) + 1,
+    )
+
+
+def split(data: bytes, sizes) -> list:
+    chunks = []
+    pos = 0
+    for size in sizes:
+        if pos >= len(data):
+            break
+        chunks.append(data[pos:pos + size])
+        pos += size
+    if pos < len(data):
+        chunks.append(data[pos:])
+    return chunks
+
+
+@SETTINGS
+@given(payloads=frames_strategy, data=st.data())
+def test_any_chunking_reassembles_identically(payloads, data):
+    stream = b"".join(encode_frame(p) for p in payloads)
+    sizes = data.draw(chunkings(stream))
+    reader = FrameReader()
+    got = []
+    for chunk in split(stream, sizes):
+        got.extend(bytes(frame) for frame in reader.feed(chunk))
+    assert got == payloads
+    assert reader.pending == 0
+
+
+@SETTINGS
+@given(payloads=frames_strategy)
+def test_byte_at_a_time_equals_one_shot(payloads):
+    stream = b"".join(encode_frame(p) for p in payloads)
+    one_shot = FrameReader()
+    whole = [bytes(f) for f in one_shot.feed(stream)] if stream else []
+    dribble = FrameReader()
+    trickled = []
+    for i in range(len(stream)):
+        trickled.extend(bytes(f) for f in dribble.feed(stream[i:i + 1]))
+    assert whole == payloads
+    assert trickled == payloads
+
+
+def test_partial_frame_stays_pending():
+    frame = encode_frame(b"hello")
+    reader = FrameReader()
+    assert reader.feed(frame[:3]) == []
+    assert reader.pending == 3
+    (got,) = reader.feed(frame[3:])
+    assert bytes(got) == b"hello"
+    assert reader.pending == 0
+
+
+def test_oversized_frame_rejected():
+    reader = FrameReader()
+    with pytest.raises(HyperFileError):
+        reader.feed(FRAME_HEADER.pack(1 << 31))
+
+
+def test_fast_path_returns_views_over_the_chunk():
+    """Whole frames inside one chunk come back zero-copy."""
+    chunk = encode_frame(b"abc") + encode_frame(b"defg")
+    frames = FrameReader().feed(chunk)
+    assert [bytes(f) for f in frames] == [b"abc", b"defg"]
+    assert any(isinstance(f, memoryview) for f in frames)

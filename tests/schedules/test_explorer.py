@@ -5,6 +5,7 @@ import pytest
 
 from repro.cluster import SimCluster
 from repro.replication import ReplicationConfig
+from repro.config import ClusterConfig
 from repro.sim import Simulator
 from repro.sim.explore import (
     CrashPoint,
@@ -141,7 +142,7 @@ class TestCrashPoints:
 
 class TestCrashSafety:
     def _replicated(self):
-        cluster = SimCluster(3, replication=ReplicationConfig(k=2))
+        cluster = SimCluster(3, config=ClusterConfig(replication=ReplicationConfig(k=2)))
         load_chain(cluster)
         cluster.replicate_all()
         return cluster

@@ -16,6 +16,7 @@ import os
 
 from repro.cluster import SimCluster
 from repro.core.tuples import keyword_tuple, pointer_tuple
+from repro.config import ClusterConfig
 from repro.replication import ReplicationConfig
 from repro.sim.explore import CrashPoint, run_schedule
 
@@ -47,7 +48,7 @@ def make_setup(k=2, **cluster_kwargs):
 
     def setup():
         cluster = SimCluster(
-            SITES, replication=ReplicationConfig(k=k), **cluster_kwargs
+            SITES, config=ClusterConfig(replication=ReplicationConfig(k=k), **cluster_kwargs)
         )
         oids = load_chain(cluster)
         cluster.replicate_all()

@@ -105,7 +105,9 @@ def build_fanout(cluster, children=18):
 
 
 def traced(cluster_kwargs, run):
-    cluster = SimCluster(3, **cluster_kwargs)
+    from repro.config import ClusterConfig
+
+    cluster = SimCluster(3, config=ClusterConfig(**cluster_kwargs))
     tracer = QueryTracer()
     cluster.attach_tracer(tracer)
     run(cluster)
