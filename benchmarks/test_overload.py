@@ -23,6 +23,7 @@ arrival times are fixed before the first query runs), seeded, and the
 simulator is deterministic, so the figures are exactly reproducible.
 """
 
+import bisect
 import json
 import math
 import pathlib
@@ -30,6 +31,7 @@ import random
 
 from repro.api import credit_deficit
 from repro.errors import Overloaded
+from repro.metrics.registry import SLO_BUCKETS
 from repro.net.batching import BatchConfig
 from repro.qos import QoSConfig
 from repro.workload import pointer_key_for, query_script
@@ -51,6 +53,22 @@ OUT_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_overload.json
 def p99(values):
     ordered = sorted(values)
     return ordered[min(len(ordered) - 1, math.ceil(0.99 * len(ordered)) - 1)]
+
+
+def slo_bucket_index(value):
+    """Which SLO histogram bucket a latency falls in (past-the-end =
+    overflow) — the resolution at which telemetry and ad-hoc measurement
+    can be expected to agree."""
+    return bisect.bisect_left(SLO_BUCKETS, value)
+
+
+def slo_agreement(slo_p99_s, adhoc_node_p99_s):
+    """Telemetry vs ad-hoc: the histogram quantile is a bucket upper
+    bound, and the two p99 order statistics may straddle a bucket edge,
+    so agreement means landing in the same or an adjacent bucket."""
+    if slo_p99_s is None or adhoc_node_p99_s is None:
+        return slo_p99_s is None and adhoc_node_p99_s is None
+    return abs(slo_bucket_index(slo_p99_s) - slo_bucket_index(adhoc_node_p99_s)) <= 1
 
 
 def estimate_capacity(paper_graph):
@@ -82,6 +100,9 @@ def run_open_loop(multiple, paper_graph, capacity_qps, qos):
     cluster, workload = make_cluster(
         3, paper_graph, qos=qos, batching=BatchConfig(max_batch=8)
     )
+    # QoS benchmarks read their p99s from telemetry: completion stamps
+    # per-tenant/per-priority SLO histograms into this registry.
+    registry = cluster.enable_metrics()
     rng = random.Random(1000 + multiple)
     queries = list(
         query_script(
@@ -109,12 +130,17 @@ def run_open_loop(multiple, paper_graph, capacity_qps, qos):
     cluster.run()
 
     times = {"interactive": [], "batch": []}
+    node_times = {"interactive": [], "batch": []}
     shed_partials = 0
     credit_ok = True
     for qid, priority in submitted:
         outcome = cluster.outcome(qid)
         assert outcome is not None, f"open-loop query {qid} never completed"
         times[priority].append(outcome.response_time)
+        # The SLO histograms measure submit→complete on the originator's
+        # clock; strip the client link so the ad-hoc numbers measure the
+        # same interval for the telemetry comparison.
+        node_times[priority].append(outcome.completed_at - outcome.submitted_at)
         if outcome.result.partial:
             assert outcome.partial_reason == "shed"
             shed_partials += 1
@@ -122,7 +148,23 @@ def run_open_loop(multiple, paper_graph, capacity_qps, qos):
         if deficit is not None and deficit != 0:
             credit_ok = False
     stats = cluster.total_stats()
+    slo = {}
+    for cls in ("interactive", "batch"):
+        # Without QoS the node leaves every query at the default service
+        # class, so the histograms carry priority="interactive" for both
+        # tenants; the tenant label still separates the series.
+        effective_priority = cls if qos is not None else "interactive"
+        slo_p99_s = registry.quantile(
+            "slo.complete_s", 0.99, tenant=cls, priority=effective_priority
+        )
+        adhoc = p99(node_times[cls]) if node_times[cls] else None
+        slo[cls] = {
+            "slo_p99_s": slo_p99_s,
+            "adhoc_node_p99_s": adhoc,
+            "agrees": slo_agreement(slo_p99_s, adhoc),
+        }
     return {
+        "slo": slo,
         "served": {cls: len(vals) for cls, vals in times.items()},
         "bounced": dict(bounced),
         "shed_partials": shed_partials,
@@ -198,6 +240,13 @@ def test_overload_sweep(benchmark, paper_graph):
 
     base_mean = data["closed_loop_mean_s"]
     for row in rows:
+        # Telemetry and ad-hoc measurement must tell the same story: the
+        # p99 read from the SLO histograms agrees with the order-statistic
+        # p99 over the outcomes, to histogram-bucket resolution, for every
+        # configuration and service class that served traffic.
+        for config_key in ("unprotected", "qos"):
+            for cls, comparison in row[config_key]["slo"].items():
+                assert comparison["agrees"], (config_key, cls, comparison)
         qos_run = row["qos"]
         # Termination detection survives overload exactly.
         assert qos_run["credit_ok"]

@@ -1,0 +1,138 @@
+"""Span-shipping overhead: what does observability cost on a real wire?
+
+The zero-observer-effect tests prove tracing changes no *result* — same
+oids, same message counts — but spans still ride inside envelopes and,
+in process mode, get JSON-encoded and shipped over the control channel.
+This bench puts a number on that: throughput (queries/s) of the dense
+closure workload on the asyncio transport, untraced vs fully observed
+(tracer attached + metrics enabled), inline and with one OS process per
+site.  Tracked in ``BENCH_trace_overhead.json``; the table lives in
+EXPERIMENTS.md.
+"""
+
+import json
+import pathlib
+import time
+
+from repro.config import ClusterConfig
+from repro.core.program import compile_query
+from repro.net.asyncio_cluster import AsyncCluster
+from repro.tracing import QueryTracer
+from repro.workload import WorkloadSpec, build_graph, closure_query, materialize
+
+from .conftest import report
+
+SPEC = WorkloadSpec(n_objects=90)
+GRAPH = build_graph(n=90)
+PROGRAM = compile_query(closure_query("Tree", "Rand10p", 5))
+
+#: Timed queries per repeat (after warmup); best-of-``N_REPEATS`` wins.
+N_TIMED = 15
+N_REPEATS = 3
+
+OUT_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_trace_overhead.json"
+
+
+def measure(processes, traced, n=N_TIMED, repeats=N_REPEATS):
+    """Queries/s over ``n`` back-to-back closure queries.
+
+    Wall-clock single-shot timings on a shared host are noisy enough to
+    flip the comparison's sign run to run, so this takes the classic
+    best-of-``repeats`` elapsed time: external interference only ever
+    slows a repeat down, so the minimum is the least-contaminated
+    estimate of what the transport actually costs.
+    """
+    config = ClusterConfig(processes=True) if processes else None
+    cluster = AsyncCluster(3, config=config)
+    try:
+        workload = materialize(
+            SPEC, [cluster.store(s) for s in cluster.sites], graph=GRAPH
+        )
+        tracer = None
+        if traced:
+            tracer = QueryTracer(capacity=500_000)
+            cluster.attach_tracer(tracer)
+            cluster.enable_metrics()
+        baseline = cluster.run_query(PROGRAM, [workload.root], timeout_s=60.0)
+        assert len(baseline.result.oids) > 0
+        for _ in range(2):  # warm caches, sockets, and (spawned) children
+            cluster.run_query(PROGRAM, [workload.root], timeout_s=60.0)
+        elapsed = float("inf")
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            for _ in range(n):
+                outcome = cluster.run_query(PROGRAM, [workload.root], timeout_s=60.0)
+                assert outcome.result.oid_keys() == baseline.result.oid_keys()
+            elapsed = min(elapsed, time.perf_counter() - t0)
+        if tracer is not None:
+            # The shipped spans must actually be here — an "overhead"
+            # number for a tracer that silently dropped its events would
+            # flatter the wrong thing.
+            assert {e.site for e in tracer.events} >= set(cluster.sites)
+        total_queries = 3 + repeats * n  # baseline + warmup + timed
+        return {
+            "qps": n / elapsed,
+            "mean_ms": 1000.0 * elapsed / n,
+            "trace_events": (
+                len(tracer.events) if tracer is not None else 0
+            ),
+            "events_per_query": (
+                len(tracer.events) // total_queries if tracer is not None else 0
+            ),
+        }
+    finally:
+        cluster.close()
+
+
+def test_span_shipping_overhead(benchmark):
+    def experiment():
+        rows = []
+        for processes in (False, True):
+            untraced = measure(processes, traced=False)
+            traced = measure(processes, traced=True)
+            rows.append(
+                {
+                    "mode": "async+processes" if processes else "async",
+                    "untraced_qps": round(untraced["qps"], 1),
+                    "traced_qps": round(traced["qps"], 1),
+                    "untraced_mean_ms": round(untraced["mean_ms"], 2),
+                    "traced_mean_ms": round(traced["mean_ms"], 2),
+                    "overhead_pct": round(
+                        100.0 * (untraced["qps"] / traced["qps"] - 1.0), 1
+                    ),
+                    "events_per_query": traced["events_per_query"],
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    report(
+        benchmark,
+        f"Span-shipping overhead: {SPEC.n_objects} objects, {N_TIMED} timed queries",
+        rows,
+    )
+
+    OUT_PATH.write_text(
+        json.dumps(
+            {
+                "experiment": "span_shipping_overhead",
+                "workload": {
+                    "n_objects": SPEC.n_objects,
+                    "query": "Tree/Rand10p closure",
+                    "machines": 3,
+                },
+                "n_timed": N_TIMED,
+                "rows": rows,
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+
+    # Wall-clock timings on shared CI hardware are noisy; the claim under
+    # test is only that full observability is not catastrophic — traced
+    # throughput stays within 3x of untraced on both modes.
+    for row in rows:
+        assert row["traced_qps"] > row["untraced_qps"] / 3.0, row
+        assert row["events_per_query"] > 0, row

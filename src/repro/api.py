@@ -25,7 +25,18 @@ written against :class:`ClusterAPI` runs unchanged on any of them:
 * ``attach_tracer`` / ``detach_tracer`` and ``enable_metrics`` /
   ``metrics_snapshot`` — the uniform observability hooks (causal span
   tracing per :mod:`repro.tracing`, telemetry per
-  :mod:`repro.metrics.registry`) on every transport;
+  :mod:`repro.metrics.registry`) on every transport, **including**
+  ``ClusterConfig(processes=True)``, where spans ship across process
+  boundaries over the control channel;
+* the wider telemetry plane rides on :class:`~repro.config.ClusterConfig`:
+  ``flight_recorder=`` arms a per-site bounded ring of recent spans
+  (dumped automatically when a query dies badly — ``TerminationLost``,
+  ``partial_reason="crash"``, deadline expiry), ``stats_stream_s=``
+  streams periodic :class:`~repro.server.stats.NodeStats` samples into
+  ``cluster.stats_timeline`` (a
+  :class:`~repro.metrics.collect.StatsTimeline`), and completion stamps
+  submit→first-result / submit→complete SLO histograms per tenant and
+  priority into the metrics registry (see ``docs/OBSERVABILITY.md``);
 * ``submit`` / ``run_query`` accept ``priority`` (service class) and
   ``client`` (admission identity) when a :class:`~repro.qos.QoSConfig`
   is active — a drained admission bucket bounces the submit with

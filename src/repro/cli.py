@@ -1,15 +1,26 @@
 """Command-line interface: explore HyperFile from a terminal.
 
-Eight subcommands::
+Nine subcommands::
 
     python -m repro demo                 # one-minute guided tour
     python -m repro repl [--sites N]     # interactive query shell over the §5 workload
     python -m repro experiments [-n Q]   # quick paper-vs-measured tables
     python -m repro trace [--chrome F]   # run a traced query, export its span timeline
     python -m repro profile              # per-query critical-path + credit profile
+    python -m repro top [--frames N]     # streaming per-site stats frames under load
     python -m repro cache-stats [-n Q]   # cache hit/suppression counters vs uncached
     python -m repro qos-stats [-n Q]     # admission / shed / backpressure counters under a burst
     python -m repro explore [-n RUNS]    # schedule-exploration sweep with crash injection
+
+Every subcommand takes ``--transport`` (sim, threaded, sockets, async);
+``trace``, ``profile`` and ``top`` additionally take ``--processes`` to
+run the async transport in one-OS-process-per-site mode, exercising the
+cross-process telemetry plane (span shipping, streamed stats, flight
+recorder — see ``docs/OBSERVABILITY.md``).  ``top`` drives a workload
+with streaming stats armed and prints the last N timeline frames —
+per-site queue depth, traffic and busy time over time.  ``trace
+--flightrec DIR`` additionally arms the flight recorder and dumps its
+merged ring (JSON-lines + Perfetto) into DIR after the run.
 
 ``cache-stats`` runs the same repeated query script over two identical
 clusters — one with cross-query caching (:mod:`repro.cache`) on, one
@@ -115,15 +126,26 @@ def main(argv: Optional[List[str]] = None) -> int:
     profile = sub.add_parser(
         "profile", help="critical-path profile of one traced query", parents=[common]
     )
-    for p in (trace, profile):
+    top = sub.add_parser(
+        "top", help="streaming per-site stats frames under load", parents=[common]
+    )
+    for p in (trace, profile, top):
         p.add_argument("--sites", type=int, default=3, choices=(1, 3, 9))
         p.add_argument("--objects", type=int, default=90)
         p.add_argument("--pointer", default="Tree", choices=("Tree", "Chain"))
+        p.add_argument("--processes", action="store_true",
+                       help="one OS process per site (async transport only)")
     trace.add_argument("--jsonl", metavar="PATH", help="write events as JSON lines")
     trace.add_argument("--chrome", metavar="PATH",
                        help="write a Chrome trace-event document (Perfetto-loadable)")
     trace.add_argument("--validate", action="store_true",
                        help="validate the Chrome trace-event schema after writing")
+    trace.add_argument("--flightrec", metavar="DIR",
+                       help="arm the flight recorder and dump its ring into DIR")
+    top.add_argument("--frames", type=int, default=8,
+                     help="timeline frames to print (default 8)")
+    top.add_argument("--interval", type=float, default=0.05,
+                     help="stats streaming period in seconds (default 0.05)")
 
     cache_stats = sub.add_parser(
         "cache-stats",
@@ -160,6 +182,8 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     args = parser.parse_args(argv)
     transport = args.transport
+    if getattr(args, "processes", False) and transport != "async":
+        parser.error("--processes requires --transport async")
     if args.command == "demo":
         return run_demo(transport=transport)
     if args.command == "repl":
@@ -170,12 +194,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         return run_trace(
             sites=args.sites, n_objects=args.objects, pointer=args.pointer,
             jsonl=args.jsonl, chrome=args.chrome, validate=args.validate,
+            flightrec=args.flightrec, processes=args.processes,
             transport=transport,
         )
     if args.command == "profile":
         return run_profile(
             sites=args.sites, n_objects=args.objects, pointer=args.pointer,
-            transport=transport,
+            processes=args.processes, transport=transport,
+        )
+    if args.command == "top":
+        return run_top(
+            sites=args.sites, n_objects=args.objects, pointer=args.pointer,
+            frames=args.frames, interval=args.interval,
+            processes=args.processes, transport=transport,
         )
     if args.command == "cache-stats":
         return run_cache_stats(
@@ -367,18 +398,36 @@ def _meta_command(line: str, session: Session, cluster, out: IO[str], tracer_box
 # --------------------------------------------------------------------------
 
 
-def _traced_closure_run(sites: int, n_objects: int, pointer: str, transport: str = "sim"):
+def _traced_closure_run(
+    sites: int,
+    n_objects: int,
+    pointer: str,
+    transport: str = "sim",
+    processes: bool = False,
+    flightrec: Optional[str] = None,
+):
     """One traced closure query over the paper workload (shared by the
     ``trace`` and ``profile`` subcommands)."""
     from .workload import query_script
 
-    cluster = _build_cluster(transport, sites)
+    config_kwargs = {}
+    if processes:
+        config_kwargs["processes"] = True
+    if flightrec is not None:
+        from .tracing import FlightRecorderConfig
+
+        config_kwargs["flight_recorder"] = FlightRecorderConfig(dump_dir=flightrec)
+    cluster = _build_cluster(transport, sites, **config_kwargs)
     spec = WorkloadSpec().scaled(n_objects)
     workload = generate_into_cluster(cluster, spec, build_graph(n=n_objects, seed=spec.seed))
     tracer = QueryTracer()
     cluster.attach_tracer(tracer)
     query = next(iter(query_script(pointer, "Rand10p", count=1, spec=spec)))
-    outcome = cluster.run_query(query, [workload.root])
+    outcome = cluster.run_query(query, [workload.root], timeout_s=120.0)
+    if flightrec is not None:
+        # A healthy run never dumps on its own; force one so the CLI
+        # always leaves an inspectable artifact (CI uploads this).
+        cluster._flightrec_dump(outcome.qid, "cli")
     cluster.close()
     return cluster, tracer, outcome
 
@@ -390,6 +439,8 @@ def run_trace(
     jsonl: Optional[str] = None,
     chrome: Optional[str] = None,
     validate: bool = False,
+    flightrec: Optional[str] = None,
+    processes: bool = False,
     out: Optional[IO[str]] = None,
     transport: str = "sim",
 ) -> int:
@@ -397,12 +448,15 @@ def run_trace(
     from .profiling import tree_report
     from .tracing import validate_chrome_trace
 
-    _, tracer, outcome = _traced_closure_run(sites, n_objects, pointer, transport)
+    _, tracer, outcome = _traced_closure_run(
+        sites, n_objects, pointer, transport, processes=processes, flightrec=flightrec
+    )
     clock = "simulated" if transport == "sim" else "wall-clock"
+    mode = f"{transport}+processes" if processes else transport
     print(
         f"traced {outcome.qid}: {len(tracer.events)} events, "
         f"{len(outcome.result.oids)} results in {outcome.response_time * 1000:.0f} ms "
-        f"({clock})",
+        f"({clock}, {mode})",
         file=out,
     )
     print(tree_report(tracer, outcome.qid).describe(), file=out)
@@ -415,6 +469,13 @@ def run_trace(
         if validate:
             counts = validate_chrome_trace(tracer.to_chrome_trace(qid=outcome.qid))
             print(f"chrome trace schema OK: {counts}", file=out)
+    if flightrec:
+        import glob
+        import os
+
+        dumped = sorted(glob.glob(os.path.join(flightrec, "flightrec-*")))
+        for path in dumped:
+            print(f"flight recorder: {path}", file=out)
     if not jsonl and not chrome:
         print(tracer.render_lanes(), file=out)
     return 0
@@ -424,14 +485,79 @@ def run_profile(
     sites: int = 3,
     n_objects: int = 90,
     pointer: str = "Tree",
+    processes: bool = False,
     out: Optional[IO[str]] = None,
     transport: str = "sim",
 ) -> int:
     out = out if out is not None else sys.stdout
     from .profiling import render_profile
 
-    _, tracer, outcome = _traced_closure_run(sites, n_objects, pointer, transport)
+    _, tracer, outcome = _traced_closure_run(
+        sites, n_objects, pointer, transport, processes=processes
+    )
     print(render_profile(tracer, outcome.qid), file=out)
+    return 0
+
+
+# --------------------------------------------------------------------------
+# top
+# --------------------------------------------------------------------------
+
+
+def run_top(
+    sites: int = 3,
+    n_objects: int = 90,
+    pointer: str = "Tree",
+    frames: int = 8,
+    interval: float = 0.05,
+    processes: bool = False,
+    out: Optional[IO[str]] = None,
+    transport: str = "sim",
+) -> int:
+    """Drive a small workload with streaming stats armed and print the
+    last ``frames`` timeline rows — per-site queue depth, traffic and
+    busy time over time (virtual time on sim, monotonic elsewhere)."""
+    out = out if out is not None else sys.stdout
+    from .workload import query_script
+
+    config_kwargs = {"stats_stream_s": interval}
+    if processes:
+        config_kwargs["processes"] = True
+    cluster = _build_cluster(transport, sites, **config_kwargs)
+    spec = WorkloadSpec().scaled(n_objects)
+    workload = generate_into_cluster(cluster, spec, build_graph(n=n_objects, seed=spec.seed))
+    for query in query_script(pointer, "Rand10p", count=3, spec=spec):
+        cluster.run_query(query, [workload.root], timeout_s=120.0)
+    if transport != "sim":
+        import time as _time
+
+        deadline = _time.monotonic() + 5.0
+        while _time.monotonic() < deadline and len(cluster.stats_timeline) < frames:
+            _time.sleep(interval)
+    samples = cluster.stats_timeline.samples[-frames:]
+    clock = "virtual" if transport == "sim" else "monotonic"
+    print(
+        f"top: {len(samples)} frame(s) at {interval * 1000:.0f} ms period "
+        f"({clock} clock), {cluster.stats_timeline.evicted} evicted",
+        file=out,
+    )
+    t0 = samples[0]["t"] if samples else 0.0
+    for sample in samples:
+        rows = []
+        for site in sorted(sample["sites"]):
+            fields = sample["sites"][site]
+            rows.append(
+                {
+                    "site": site,
+                    "depth": fields.get("work_depth", 0),
+                    "msgs_out": sum(fields.get("messages_sent", {}).values()),
+                    "bytes_out": fields.get("bytes_sent", 0),
+                    "busy_s": round(fields.get("busy_seconds", 0.0), 4),
+                    "drains": fields.get("drains", 0),
+                }
+            )
+        print(render_table(rows, title=f"t=+{sample['t'] - t0:.3f}s"), file=out)
+    cluster.close()
     return 0
 
 

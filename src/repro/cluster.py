@@ -146,6 +146,9 @@ class SimCluster:
             self.stores[name] = store
             self.forwarding[name] = table
             self.nodes[name] = node
+            # Virtual clock: batching never timer-flushes on sim (the
+            # value is only stored), but SLO watermarks stamp from it.
+            node.now_fn = lambda: self.sim.now
             host = self.network.attach(node)
             host.completion_sink = self._on_complete
 
@@ -172,6 +175,23 @@ class SimCluster:
         self._submitted_at: Dict[QueryId, float] = {}
         self._completed: Dict[QueryId, QueryOutcome] = {}
         self._deadline_handles: Dict[QueryId, object] = {}
+        # Telemetry plane: crash flight recorder + streaming stats.
+        self.flight_recorder = None
+        if config.flight_recorder is not None:
+            from .tracing import FlightRecorder
+
+            self.flight_recorder = FlightRecorder(config.flight_recorder)
+            self.flight_recorder.now_fn = lambda: self.sim.now
+            for node in self.nodes.values():
+                node.tracer = self.flight_recorder
+        self._flightrec_dumped: set = set()
+        self.stats_timeline = None
+        self._stats_stream_s = config.stats_stream_s
+        self._stats_sampler_armed = False
+        if config.stats_stream_s is not None:
+            from .metrics.collect import StatsTimeline
+
+            self.stats_timeline = StatsTimeline()
         if reliable:
             self.enable_reliable(reliable if isinstance(reliable, ReliableConfig) else None)
         if fault_plan is not None:
@@ -263,14 +283,20 @@ class SimCluster:
 
     def attach_tracer(self, tracer) -> None:
         """Record a :class:`~repro.tracing.QueryTracer` timeline of every
-        node's work, timestamped with virtual time."""
+        node's work, timestamped with virtual time.  With the flight
+        recorder armed the tracer is teed into its ring, so postmortem
+        dumps stay current while a user tracer is attached."""
         tracer.now_fn = lambda: self.sim.now
+        if self.flight_recorder is not None:
+            from .tracing import TeeTracer
+
+            tracer = TeeTracer(tracer, self.flight_recorder)
         for node in self.nodes.values():
             node.tracer = tracer
 
     def detach_tracer(self) -> None:
         for node in self.nodes.values():
-            node.tracer = None
+            node.tracer = self.flight_recorder
 
     def enable_metrics(self, registry=None):
         """Publish transport/batching telemetry into a
@@ -337,7 +363,10 @@ class SimCluster:
         self._admit(client)
         qid = self._next_qid(origin)
         self._submitted_at[qid] = self.sim.now
-        self.network.hosts[origin].submit(qid, program, list(initial), priority=priority)
+        self._arm_stats_sampler()
+        self.network.hosts[origin].submit(
+            qid, program, list(initial), priority=priority, tenant=client
+        )
         if deadline_s is not None:
             if deadline_s <= 0:
                 raise ValueError("deadline_s must be positive")
@@ -387,6 +416,7 @@ class SimCluster:
         fired = 0
         while qid not in self._completed:
             if not self.sim.step():
+                self._flightrec_dump(qid, "termination_lost")
                 raise TerminationLost(
                     qid,
                     deficit=credit_deficit(self.nodes, qid),
@@ -395,7 +425,10 @@ class SimCluster:
             fired += 1
             if fired > max_events:
                 raise HyperFileError(f"query {qid} exceeded {max_events} simulation events")
-        return self._completed[qid]
+        outcome = self._completed[qid]
+        if outcome.result.partial and outcome.result.partial_reason in ("crash", "deadline"):
+            self._flightrec_dump(qid, outcome.result.partial_reason)
+        return outcome
 
     def run_query(
         self,
@@ -474,6 +507,42 @@ class SimCluster:
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
+
+    def _flightrec_dump(self, qid: QueryId, reason: str) -> None:
+        """Dump the flight-recorder ring once per dying query (no-op when
+        the recorder is unarmed or the query was already dumped)."""
+        if self.flight_recorder is None or qid in self._flightrec_dumped:
+            return
+        self._flightrec_dumped.add(qid)
+        self.flight_recorder.dump(qid, reason, site=qid.originator)
+
+    def _arm_stats_sampler(self) -> None:
+        """Start the virtual-time stats sampler if streaming is on.
+
+        The sampler reschedules itself only while other events are
+        pending, so it can never keep an otherwise-dead simulation
+        (lost termination) ticking forever.
+        """
+        if self.stats_timeline is None or self._stats_sampler_armed:
+            return
+        self._stats_sampler_armed = True
+        self.sim.schedule(self._stats_stream_s, self._stats_sample)
+
+    def _stats_sample(self) -> None:
+        sites: Dict[str, Dict[str, object]] = {}
+        for site, node in self.nodes.items():
+            sample = node.stats.sample()
+            sample["work_depth"] = node.work_depth
+            sites[site] = sample
+        self.stats_timeline.append(self.sim.now, sites)
+        tracer = next(iter(self.nodes.values())).tracer
+        if tracer is not None:
+            tracer.emit("cluster", "stats_push", "", sites=len(sites))
+        inflight = sum(1 for q in self._submitted_at if q not in self._completed)
+        if inflight and self.sim.pending > 0:
+            self.sim.schedule(self._stats_stream_s, self._stats_sample)
+        else:
+            self._stats_sampler_armed = False
 
     def _next_qid(self, originator: str) -> QueryId:
         self._seq += 1

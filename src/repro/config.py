@@ -34,6 +34,7 @@ from .faults.reliable import ReliableConfig
 from .net.batching import BatchConfig
 from .qos import QoSConfig
 from .replication import ReplicationConfig
+from .tracing import FlightRecorderConfig
 
 #: Legacy kwargs that now live in :class:`ClusterConfig`; passing them
 #: directly to a constructor still works but warns.
@@ -64,6 +65,18 @@ class ClusterConfig:
     replication: Optional[ReplicationConfig] = None
     qos: Optional[QoSConfig] = None
 
+    # -- telemetry plane (every transport) ------------------------------
+    #: Arm the crash flight recorder: a bounded ring of recent trace
+    #: events per cluster (per child process in process mode), dumped
+    #: automatically when a query ends in ``TerminationLost``,
+    #: ``partial_reason="crash"``, or a deadline expiry.
+    flight_recorder: Optional[FlightRecorderConfig] = None
+    #: Streaming-stats sample period in seconds; ``None`` disables the
+    #: stream.  Virtual-time-driven on ``sim``, timer-driven on the
+    #: wall-clock transports; samples land in the cluster's
+    #: :class:`~repro.metrics.collect.StatsTimeline`.
+    stats_stream_s: Optional[float] = None
+
     # -- simulator-only knobs -------------------------------------------
     #: Cost model for the discrete-event simulator; ``None`` means the
     #: transport default (PAPER_COSTS on ``sim``, uncosted elsewhere).
@@ -88,6 +101,8 @@ class ClusterConfig:
             raise ValueError("connect_timeout_s must be positive")
         if self.reconnect_backoff_s <= 0:
             raise ValueError("reconnect_backoff_s must be positive")
+        if self.stats_stream_s is not None and self.stats_stream_s <= 0:
+            raise ValueError("stats_stream_s must be positive when set")
 
     def replace(self, **changes: Any) -> "ClusterConfig":
         """A copy with the given fields changed (frozen-dataclass idiom)."""

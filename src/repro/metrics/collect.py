@@ -8,15 +8,18 @@ actual response time (wall clock) at the client."
 :class:`Series` accumulates one configuration's measurements and offers
 the summary statistics the benchmarks report; :class:`Recorder` holds a
 whole experiment's rows for table rendering (see
-:mod:`repro.metrics.report`).
+:mod:`repro.metrics.report`); :class:`StatsTimeline` is the streaming-
+stats ring every transport's periodic sampler appends to (the data
+behind ``repro top`` and time-resolved benchmark plots).
 """
 
 from __future__ import annotations
 
 import math
 import statistics
+import threading
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 
 @dataclass
@@ -78,6 +81,67 @@ class Series:
             "min": self.minimum,
             "max": self.maximum,
         }
+
+
+class StatsTimeline:
+    """A bounded ring of periodic per-site stats samples.
+
+    Every transport's streaming-stats sampler appends one sample per
+    period: ``{"t": <when>, "sites": {site: {field: value, ...}}}``.
+    Timestamps are virtual seconds on the simulator and
+    ``time.monotonic`` seconds on the wall-clock transports — callers
+    compare within one run, never across clocks.  Appends are
+    thread-safe (wall-clock samplers run on timer threads; process mode
+    appends from per-child reader threads).
+    """
+
+    def __init__(self, capacity: int = 512) -> None:
+        if capacity <= 0:
+            raise ValueError("timeline capacity must be positive")
+        self.capacity = capacity
+        self._samples: List[Dict[str, Any]] = []
+        self._lock = threading.Lock()
+        #: Samples evicted from the ring (ring semantics, like the
+        #: flight recorder: the newest samples are the interesting ones).
+        self.evicted = 0
+
+    def append(self, t: float, sites: Dict[str, Dict[str, Any]]) -> None:
+        sample = {"t": t, "sites": sites}
+        with self._lock:
+            if len(self._samples) >= self.capacity:
+                overflow = len(self._samples) - self.capacity + 1
+                del self._samples[:overflow]
+                self.evicted += overflow
+            self._samples.append(sample)
+
+    @property
+    def samples(self) -> List[Dict[str, Any]]:
+        with self._lock:
+            return list(self._samples)
+
+    def latest(self) -> Optional[Dict[str, Any]]:
+        with self._lock:
+            return self._samples[-1] if self._samples else None
+
+    def series(self, field_name: str, site: str) -> List[Tuple[float, Any]]:
+        """One site's value of one stats field over time."""
+        return [
+            (s["t"], s["sites"][site].get(field_name))
+            for s in self.samples
+            if site in s["sites"]
+        ]
+
+    def sites(self) -> List[str]:
+        seen: List[str] = []
+        for sample in self.samples:
+            for site in sample["sites"]:
+                if site not in seen:
+                    seen.append(site)
+        return seen
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._samples)
 
 
 class Recorder:

@@ -39,6 +39,11 @@ DEFAULT_BUCKETS: Tuple[float, ...] = (
     0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
 )
 
+#: SLO-watermark buckets: the default ladder extended to the minutes an
+#: unprotected overloaded query can take, so ``slo.complete_s`` p99s stay
+#: inside measurement range even when QoS is off.
+SLO_BUCKETS: Tuple[float, ...] = DEFAULT_BUCKETS + (25.0, 50.0, 100.0, 250.0)
+
 #: Instrument identity: name + sorted labels.
 _Key = Tuple[str, Tuple[Tuple[str, str], ...]]
 
@@ -143,6 +148,29 @@ class Histogram:
     def mean(self) -> float:
         return self._sum / self._count if self._count else 0.0
 
+    def quantile(self, q: float) -> Optional[float]:
+        """Approximate quantile: the upper bound of the bucket where the
+        cumulative count crosses ``q``.  Bucket-resolution by design —
+        exact enough for SLO watermarks (p50/p99), not for microbenchmarks.
+        Returns ``None`` on an empty histogram and ``inf`` when the
+        quantile lands in the overflow bucket (the observation exceeded
+        every bound — callers must treat that as "beyond measurement").
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        with self._lock:
+            total = self._count
+            counts = list(self._counts)
+        if total == 0:
+            return None
+        rank = q * total
+        cumulative = 0
+        for bound, n in zip(self.bounds, counts):
+            cumulative += n
+            if cumulative >= rank:
+                return bound
+        return float("inf")
+
     def snapshot(self) -> Dict[str, Any]:
         with self._lock:
             return {
@@ -239,3 +267,82 @@ class MetricsRegistry:
         if instrument is None or isinstance(instrument, Histogram):
             return None
         return instrument.value
+
+    def quantile(self, name: str, q: float, **labels: str) -> Optional[float]:
+        """Convenience: a histogram's approximate quantile, None if absent."""
+        key = (name, tuple(sorted((k, str(v)) for k, v in labels.items())))
+        instrument = self._instruments.get(key)
+        if not isinstance(instrument, Histogram):
+            return None
+        return instrument.quantile(q)
+
+
+def merge_snapshots(*snapshots: Dict[str, Any]) -> Dict[str, Any]:
+    """Combine :meth:`MetricsRegistry.snapshot` documents into one.
+
+    The process-mode parent polls one snapshot per child registry and
+    presents them as a single cluster view: counters and histogram
+    counts/sums/buckets add; gauges take the last writer (each site
+    labels its own gauges, so collisions only happen for genuinely
+    cluster-wide values where last-wins is the same answer everywhere).
+    Histograms must agree on bucket bounds — differing layouts for the
+    same instrument are a registration bug, reported loudly.
+    """
+    merged: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], Dict[str, Any]] = {}
+    order: List[Tuple[str, Tuple[Tuple[str, str], ...]]] = []
+    for snapshot in snapshots:
+        for entry in snapshot.get("metrics", []):
+            key = (entry["name"], tuple(sorted(entry["labels"].items())))
+            current = merged.get(key)
+            if current is None:
+                copied = {
+                    "name": entry["name"], "labels": dict(entry["labels"]),
+                    "type": entry["type"],
+                }
+                for k, v in entry.items():
+                    if k in copied:
+                        continue
+                    copied[k] = [dict(b) for b in v] if k == "buckets" else v
+                merged[key] = copied
+                order.append(key)
+                continue
+            if current["type"] != entry["type"]:
+                raise ValueError(
+                    f"metric {entry['name']} merged with conflicting types "
+                    f"{current['type']} vs {entry['type']}"
+                )
+            if entry["type"] == "counter":
+                current["value"] += entry["value"]
+            elif entry["type"] == "gauge":
+                current["value"] = entry["value"]
+            else:
+                ours = current["buckets"]
+                theirs = entry["buckets"]
+                if [b["le"] for b in ours] != [b["le"] for b in theirs]:
+                    raise ValueError(
+                        f"histogram {entry['name']} merged with differing buckets"
+                    )
+                for mine, other in zip(ours, theirs):
+                    mine["count"] += other["count"]
+                current["count"] += entry["count"]
+                current["sum"] += entry["sum"]
+    return {"metrics": [merged[key] for key in sorted(order)]}
+
+
+def quantile_from_snapshot(entry: Dict[str, Any], q: float) -> Optional[float]:
+    """Approximate quantile from a snapshotted histogram entry (the
+    merged-snapshot counterpart of :meth:`Histogram.quantile`)."""
+    if entry.get("type") != "histogram":
+        raise ValueError(f"{entry.get('name')!r} is not a histogram snapshot")
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    total = entry["count"]
+    if total == 0:
+        return None
+    rank = q * total
+    cumulative = 0
+    for bucket in entry["buckets"]:
+        cumulative += bucket["count"]
+        if cumulative >= rank:
+            return float("inf") if bucket["le"] == "inf" else bucket["le"]
+    return float("inf")

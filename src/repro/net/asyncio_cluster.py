@@ -241,9 +241,14 @@ class _AsyncSite:
                 self._send(out)
 
     def submit(
-        self, qid: QueryId, program: Program, initial: List[Oid], priority: Optional[str]
+        self,
+        qid: QueryId,
+        program: Program,
+        initial: List[Oid],
+        priority: Optional[str],
+        tenant: Optional[str] = None,
     ) -> None:
-        report = self.node.submit(qid, program, initial, priority=priority)
+        report = self.node.submit(qid, program, initial, priority=priority, tenant=tenant)
         for env in report.outgoing:
             self._send(env)
         self.inbox.put_nowait(None)  # nudge the drain task
@@ -403,6 +408,7 @@ class AsyncCluster(WallClockQueries):
             for node in self.nodes.values():
                 self.replication.add_epoch_listener(node.observe_epoch)
 
+        self._init_telemetry(config)
         self._loop = asyncio.new_event_loop()
         self._thread = threading.Thread(
             target=self._loop.run_forever, name="hf-async-loop", daemon=True
@@ -430,6 +436,7 @@ class AsyncCluster(WallClockQueries):
         if self._loop.is_closed():
             return
         self._closed = True
+        self._stop_stats_stream()
         if self._endpoints is not None:
             for endpoint in self._endpoints.values():
                 endpoint.close()
@@ -627,9 +634,10 @@ class AsyncCluster(WallClockQueries):
         program: Program,
         initial: List[Oid],
         priority: Optional[str] = None,
+        tenant: Optional[str] = None,
     ) -> None:
         site = self._asites[origin]
-        self._run_on_loop(lambda: site.submit(qid, program, initial, priority))
+        self._run_on_loop(lambda: site.submit(qid, program, initial, priority, tenant))
 
     def _dispatch_submit_from_saved(
         self, origin: str, qid: QueryId, program: Program, source_qid: QueryId

@@ -112,6 +112,81 @@ class WallClockQueries:
             else None
         )
         self.qos_bounces = 0
+        # Telemetry plane defaults, so transports that never call
+        # _init_telemetry (none today) still answer the API.
+        self.flight_recorder = None
+        self.stats_timeline = None
+        self._flightrec_dumped: set = set()
+        self._stats_stop = threading.Event()
+        self._stats_thread: Optional[threading.Thread] = None
+
+    def _init_telemetry(self, config) -> None:
+        """Arm the flight recorder and the streaming-stats sampler from a
+        :class:`~repro.config.ClusterConfig`.  Call after ``nodes`` exist
+        (the recorder wires itself in as every node's default tracer)."""
+        if config is None:
+            return
+        if config.flight_recorder is not None:
+            from ..tracing import FlightRecorder
+
+            recorder = FlightRecorder(config.flight_recorder)
+            recorder.now_fn = time.monotonic
+            self.flight_recorder = recorder
+            for node in self.nodes.values():
+                node.tracer = recorder
+        if config.stats_stream_s is not None:
+            from ..metrics.collect import StatsTimeline
+
+            self.stats_timeline = StatsTimeline()
+            self._start_stats_stream(config.stats_stream_s)
+
+    def _start_stats_stream(self, period_s: float) -> None:
+        """Timer-driven sampler: one :class:`StatsTimeline` sample per
+        period until the cluster closes (daemon thread; ``close`` calls
+        :meth:`_stop_stats_stream` for a prompt exit)."""
+
+        def loop() -> None:
+            while not self._stats_stop.wait(period_s):
+                if getattr(self, "_closed", False):
+                    return
+                try:
+                    self._sample_stats()
+                except RuntimeError:
+                    # A site mutated its dicts mid-read; skip this tick.
+                    continue
+
+        self._stats_thread = threading.Thread(
+            target=loop, name="repro-stats-stream", daemon=True
+        )
+        self._stats_thread.start()
+
+    def _stop_stats_stream(self) -> None:
+        self._stats_stop.set()
+        if self._stats_thread is not None:
+            self._stats_thread.join(timeout=1.0)
+            self._stats_thread = None
+
+    def _sample_stats(self) -> None:
+        sites: Dict[str, Dict[str, object]] = {}
+        for site, node in self.nodes.items():
+            sample = node.stats.sample()
+            try:
+                sample["work_depth"] = node.work_depth
+            except RuntimeError:  # contexts mutating under us; best effort
+                sample["work_depth"] = None
+            sites[site] = sample
+        self.stats_timeline.append(time.monotonic(), sites)
+        tracer = next(iter(self.nodes.values())).tracer
+        if tracer is not None:
+            tracer.emit("cluster", "stats_push", "", sites=len(sites))
+
+    def _flightrec_dump(self, qid: QueryId, reason: str) -> None:
+        """Dump the flight-recorder ring once per dying query.  Process
+        mode overrides this to pull each child's ring first."""
+        if self.flight_recorder is None or qid in self._flightrec_dumped:
+            return
+        self._flightrec_dumped.add(qid)
+        self.flight_recorder.dump(qid, reason, site=qid.originator)
 
     def _admit(self, client: str) -> None:
         """Token-bucket admission control; bounces with :class:`Overloaded`."""
@@ -159,7 +234,7 @@ class WallClockQueries:
         self._admit(client)
         qid = self._next_qid(origin)
         self._inflight[qid] = _Inflight(time.monotonic(), deadline_s)
-        self._dispatch_submit(origin, qid, program, list(initial), priority)
+        self._dispatch_submit(origin, qid, program, list(initial), priority, client)
         return qid
 
     def submit_followup(
@@ -192,14 +267,21 @@ class WallClockQueries:
         if info is not None and info.deadline_s is not None:
             elapsed = time.monotonic() - info.submitted_at
             deadline_remaining = max(info.deadline_s - elapsed, 0.0005)
-        return await_completion(
-            self._completions,
-            qid,
-            budget,
-            deadline_remaining,
-            expire=lambda: self._dispatch_expire(qid.originator, qid),
-            diagnose=lambda: (credit_deficit(self.nodes, qid), len(self.undeliverable)),
-        )
+        try:
+            outcome = await_completion(
+                self._completions,
+                qid,
+                budget,
+                deadline_remaining,
+                expire=lambda: self._dispatch_expire(qid.originator, qid),
+                diagnose=lambda: (credit_deficit(self.nodes, qid), len(self.undeliverable)),
+            )
+        except TerminationLost:
+            self._flightrec_dump(qid, "termination_lost")
+            raise
+        if outcome.result.partial and outcome.result.partial_reason in ("crash", "deadline"):
+            self._flightrec_dump(qid, outcome.result.partial_reason)
+        return outcome
 
     def run_query(
         self,
@@ -286,14 +368,20 @@ class WallClockQueries:
         """Record a :class:`~repro.tracing.QueryTracer` timeline of every
         node's work, timestamped with the wall clock.  Same contract as
         the simulator's; span ids stay valid across site threads (the
-        tracer's allocation is thread-safe)."""
+        tracer's allocation is thread-safe).  With the flight recorder
+        armed the tracer is teed into its ring, so postmortem dumps stay
+        current while a user tracer is attached."""
         tracer.now_fn = time.monotonic
+        if self.flight_recorder is not None:
+            from ..tracing import TeeTracer
+
+            tracer = TeeTracer(tracer, self.flight_recorder)
         for node in self.nodes.values():
             node.tracer = tracer
 
     def detach_tracer(self) -> None:
         for node in self.nodes.values():
-            node.tracer = None
+            node.tracer = self.flight_recorder
 
     def enable_metrics(self, registry=None):
         """Publish node/batching telemetry into a

@@ -24,29 +24,51 @@ has an explicit wire representation on a per-child *control* channel
 * ``STATS`` — per-site :class:`~repro.server.stats.NodeStats` snapshots
   for ``total_stats``;
 * ``COMPLETE`` — the child-side originator pushes the finished
-  :class:`~repro.engine.results.QueryResult` (with partition counts)
-  back unprompted; the parent turns it into the usual
-  :class:`~repro.api.QueryOutcome`.
+  :class:`~repro.engine.results.QueryResult` (with partition counts,
+  plus any trace events buffered since the last drain) back unprompted;
+  the parent turns it into the usual :class:`~repro.api.QueryOutcome`;
+* ``TRACE_ON`` / ``TRACE_OFF`` / ``TRACE_DRAIN`` — cross-process span
+  shipping: each child buffers :class:`~repro.tracing.TraceEvent`
+  records in a span-id namespace of its own (child *i* of *n* sites
+  allocates ``i+1, i+1+m, ...`` with stride ``m = 2n+1``), so the
+  parent ingests shipped events into the user's tracer verbatim and
+  the causal tree reconstructs with no id remapping;
+* ``METRICS_ON`` / ``METRICS_SNAP`` — each child runs its own
+  :class:`~repro.metrics.MetricsRegistry`; the parent merges child
+  snapshots into one cluster view (``merge_snapshots``);
+* ``STATS_PUSH`` — with ``stats_stream_s`` configured each child pushes
+  periodic :meth:`NodeStats.sample` rows out-of-band; the reader thread
+  lands them in the parent's :class:`~repro.metrics.collect.StatsTimeline`;
+* ``FLIGHT_SNAP`` — fetch a child's flight-recorder ring (the per-site
+  bounded span buffer armed by ``ClusterConfig.flight_recorder``); the
+  parent merges the rings and writes the postmortem dump when a query
+  dies badly;
+* ``FAULTS`` — ships a :class:`~repro.faults.plan.FaultPlan`'s link
+  chaos parameters (the plan object itself is not picklable); scheduled
+  crashes stay parent-side as timers driving ``SET_DOWN``/``SET_UP``.
 
 The parent serialises requests per child (one outstanding request, FIFO
-replies), so replies need no correlation ids; ``COMPLETE`` pushes are
-routed out-of-band by the per-child reader thread.
+replies), so replies need no correlation ids; ``COMPLETE`` and
+``STATS_PUSH`` pushes are routed out-of-band by the per-child reader
+thread.  Trace drains and flight snaps run on the client thread (never
+the reader thread, which must stay free to route the replies).
 
 Deliberately unsupported here (the config is rejected loudly, see
-``docs/ASYNC.md``): replication, the reliable channel, fault plans,
-tracing and the metrics registry — each assumes shared objects between
-sites and has no wire representation yet.
+``docs/ASYNC.md``): replication and the reliable channel — each assumes
+shared objects between sites and has no wire representation yet.
 """
 
 from __future__ import annotations
 
 import asyncio
+import itertools
+import json
 import multiprocessing
 import queue
 import socket
 import threading
 import time
-from dataclasses import fields
+from dataclasses import fields, replace
 from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from ..api import QueryOutcome
@@ -56,7 +78,9 @@ from ..core.program import Program
 from ..core.tuples import HFTuple
 from ..engine.results import ExecutionStats, QueryResult, ResultSet
 from ..errors import HyperFileError, ObjectNotFound, TransportClosed, UnknownSite
+from ..faults.plan import FaultPlan
 from ..server.stats import NodeStats
+from ..tracing import KINDS, FlightRecorder, QueryTracer, TeeTracer, TraceEvent, _jsonable
 from .codec import (
     _read_object,
     _read_program,
@@ -87,11 +111,21 @@ _C_SET_DOWN = 0x09
 _C_SET_UP = 0x0A
 _C_STATS = 0x0B
 _C_SHUTDOWN = 0x0C
+_C_TRACE_ON = 0x0D
+_C_TRACE_OFF = 0x0E
+_C_TRACE_DRAIN = 0x0F
+_C_METRICS_ON = 0x12
+_C_METRICS_SNAP = 0x13
+_C_FLIGHT_SNAP = 0x14
+_C_FAULTS = 0x15
 _C_OK = 0x20
 _C_ERR = 0x21
 _C_OBJECT = 0x22
 _C_STATS_REPLY = 0x23
+_C_TRACE_EVENTS = 0x24
+_C_METRICS_REPLY = 0x25
 _C_COMPLETE = 0x30
+_C_STATS_PUSH = 0x31
 
 #: Error types the control channel can re-raise parent-side by name.
 _ERROR_TYPES = {
@@ -126,7 +160,41 @@ def _decode_stats(r: _Reader) -> NodeStats:
     return stats
 
 
-def _encode_result(qid: QueryId, result: QueryResult, partition_counts) -> bytes:
+def _events_to_json(events: List[TraceEvent]) -> str:
+    """Trace events as one JSON document (the span-shipping wire form).
+
+    Events are JSON-able by construction (``_jsonable`` stringifies
+    anything exotic in the detail map) — the same flattening the jsonl
+    exporter applies, so a shipped event round-trips identically to a
+    dumped one.
+    """
+    return json.dumps(
+        [
+            {
+                "t": e.time, "site": e.site, "kind": e.kind, "qid": e.qid,
+                "span": e.span, "parent": e.parent,
+                "detail": {k: _jsonable(v) for k, v in e.detail.items()},
+            }
+            for e in events
+        ]
+    )
+
+
+def _events_from_json(text: str) -> List[TraceEvent]:
+    if not text:
+        return []
+    return [
+        TraceEvent(
+            time=rec["t"], site=rec["site"], kind=rec["kind"], qid=rec["qid"],
+            detail=rec["detail"], span=rec["span"], parent=rec["parent"],
+        )
+        for rec in json.loads(text)
+    ]
+
+
+def _encode_result(
+    qid: QueryId, result: QueryResult, partition_counts, trace_json: str = ""
+) -> bytes:
     w = _Writer()
     w.byte(_C_COMPLETE)
     _write_qid(w, qid)
@@ -144,10 +212,13 @@ def _encode_result(qid: QueryId, result: QueryResult, partition_counts) -> bytes
     for site in sorted(counts):
         w.text(site)
         w.varint(counts[site])
+    w.text(trace_json)
     return w.getvalue()
 
 
-def _decode_result(r: _Reader) -> Tuple[QueryId, QueryResult, Optional[Dict[str, int]]]:
+def _decode_result(
+    r: _Reader,
+) -> Tuple[QueryId, QueryResult, Optional[Dict[str, int]], str]:
     qid = _read_qid(r)
     oids = ResultSet()
     oids.extend(_read_value(r))
@@ -156,10 +227,11 @@ def _decode_result(r: _Reader) -> Tuple[QueryId, QueryResult, Optional[Dict[str,
     partial = r.byte() == 1
     reason = r.text() or None
     counts = {r.text(): r.varint() for _ in range(r.varint())} or None
+    trace_json = r.text()
     result = QueryResult(
         oids=oids, retrieved=retrieved, stats=stats, partial=partial, partial_reason=reason
     )
-    return qid, result, counts
+    return qid, result, counts, trace_json
 
 
 def _err_frame(exc: BaseException) -> bytes:
@@ -198,6 +270,23 @@ class _ChildRuntime:
         self.messages_dropped = 0
         self._down: set = set()
         self._loop: Optional[asyncio.AbstractEventLoop] = None
+        # Telemetry plane (all driven over the control channel).
+        #: Shipping tracer installed by TRACE_ON; its events[cursor:]
+        #: are what drains and completion piggybacks carry to the parent.
+        self.tracer: Optional[QueryTracer] = None
+        self.trace_cursor = 0
+        #: Per-site flight-recorder ring, armed from the shipped config.
+        self.recorder: Optional[FlightRecorder] = None
+        self.metrics = None
+
+    def take_trace_events(self) -> List[TraceEvent]:
+        """Events buffered since the last take (cursor-based, so the
+        completion piggyback and explicit drains never double-ship)."""
+        if self.tracer is None:
+            return []
+        events = self.tracer.events[self.trace_cursor:]
+        self.trace_cursor = len(self.tracer.events)
+        return events
 
     @property
     def sites(self) -> List[str]:
@@ -245,7 +334,12 @@ async def _child_serve(
         ctx = node.contexts.get(qid)
         if ctx is not None and ctx.partition_counts:
             counts = ctx.partition_counts
-        payload = _encode_result(qid, result, counts)
+        # Piggyback the spans buffered since the last drain: the common
+        # case (one query at a time) ships its whole trace with zero
+        # extra round-trips; the parent's post-wait drain picks up the
+        # other children's events.
+        shipped = runtime.take_trace_events()
+        payload = _encode_result(qid, result, counts, _events_to_json(shipped) if shipped else "")
         control_writer.write(FRAME_HEADER.pack(len(payload)) + payload)
 
     node = ServerNode(
@@ -262,6 +356,20 @@ async def _child_serve(
         qos=config.qos,
     )
     node.now_fn = time.monotonic
+    # Span-id namespacing: with n sites and m = 2n + 1 lanes, child i's
+    # shipping tracer allocates from lane i+1 and its flight recorder
+    # from lane n+1+i; the parent keeps lane 0 (start=m, step=m) for its
+    # own rare allocations.  Shipped span ids never collide anywhere.
+    index = names.index(site)
+    lanes = 2 * len(names) + 1
+    if config.flight_recorder is not None:
+        runtime.recorder = FlightRecorder(
+            replace(config.flight_recorder, dump_dir=None),  # parent writes the files
+            span_start=len(names) + 1 + index,
+            span_step=lanes,
+        )
+        runtime.recorder.now_fn = time.monotonic
+        node.tracer = runtime.recorder
     asite = _AsyncSite(node, runtime)
     await asite.bootstrap()
     asite._drain_task = asyncio.get_running_loop().create_task(asite.drain())
@@ -273,6 +381,29 @@ async def _child_serve(
     hello.varint(asite.port)
     payload = hello.getvalue()
     control_writer.write(FRAME_HEADER.pack(len(payload)) + payload)
+
+    async def stats_pusher(period_s: float) -> None:
+        """Push one NodeStats sample per period, out-of-band (STATS_PUSH
+        frames are routed by the parent's reader thread, never queued as
+        a reply)."""
+        while True:
+            await asyncio.sleep(period_s)
+            sample = node.stats.sample()
+            sample["work_depth"] = node.work_depth
+            w = _Writer()
+            w.byte(_C_STATS_PUSH)
+            w.text(site)
+            w.text(json.dumps({"t": time.monotonic(), "sample": sample}))
+            push = w.getvalue()
+            control_writer.write(FRAME_HEADER.pack(len(push)) + push)
+            if node.tracer is not None:
+                node.tracer.emit(site, "stats_push", "", sites=1)
+
+    pusher_task = None
+    if config.stats_stream_s is not None:
+        pusher_task = asyncio.get_running_loop().create_task(
+            stats_pusher(config.stats_stream_s)
+        )
 
     frames = FrameReader()
     running = True
@@ -288,6 +419,8 @@ async def _child_serve(
             if reply is not None:
                 control_writer.write(FRAME_HEADER.pack(len(reply)) + reply)
         await control_writer.drain()
+    if pusher_task is not None:
+        pusher_task.cancel()
     asite.shutdown()
     control_writer.close()
 
@@ -325,7 +458,8 @@ def _handle_control(frame, runtime: _ChildRuntime, asite, store):
             program = _read_program(r)
             initial = list(_read_value(r))
             priority = r.text() or None
-            asite.submit(qid, program, initial, priority)
+            tenant = r.text() or None
+            asite.submit(qid, program, initial, priority, tenant)
             return bytes((_C_OK,))
         if tag == _C_SUBMIT_SAVED:
             qid = _read_qid(r)
@@ -351,6 +485,68 @@ def _handle_control(frame, runtime: _ChildRuntime, asite, store):
             return bytes((_C_OK,))
         if tag == _C_STATS:
             return bytes((_C_STATS_REPLY,)) + _encode_stats(asite.node.stats)
+        if tag == _C_TRACE_ON:
+            kinds = [r.text() for _ in range(r.varint())] or None
+            span_start = r.varint()
+            span_step = r.varint()
+            tracer = QueryTracer(kinds, span_start=span_start, span_step=span_step)
+            tracer.now_fn = time.monotonic
+            runtime.tracer = tracer
+            runtime.trace_cursor = 0
+            asite.node.tracer = (
+                TeeTracer(tracer, runtime.recorder) if runtime.recorder is not None else tracer
+            )
+            return bytes((_C_OK,))
+        if tag == _C_TRACE_OFF:
+            runtime.tracer = None
+            runtime.trace_cursor = 0
+            asite.node.tracer = runtime.recorder
+            return bytes((_C_OK,))
+        if tag == _C_TRACE_DRAIN:
+            w = _Writer()
+            w.byte(_C_TRACE_EVENTS)
+            w.text(_events_to_json(runtime.take_trace_events()))
+            return w.getvalue()
+        if tag == _C_METRICS_ON:
+            from ..metrics.registry import MetricsRegistry
+
+            runtime.metrics = MetricsRegistry()
+            asite.node.metrics = runtime.metrics
+            return bytes((_C_OK,))
+        if tag == _C_METRICS_SNAP:
+            if runtime.metrics is None:
+                snap = {"metrics": []}
+            else:
+                runtime.metrics.publish_node_stats(runtime.site, asite.node.stats)
+                snap = runtime.metrics.snapshot()
+            w = _Writer()
+            w.byte(_C_METRICS_REPLY)
+            w.text(json.dumps(snap))
+            return w.getvalue()
+        if tag == _C_FLIGHT_SNAP:
+            events = list(runtime.recorder.events) if runtime.recorder is not None else []
+            w = _Writer()
+            w.byte(_C_TRACE_EVENTS)
+            w.text(_events_to_json(events))
+            return w.getvalue()
+        if tag == _C_FAULTS:
+            seed = r.varint()
+            drop, duplicate, reorder, jitter, window = (_read_value(r) for _ in range(5))
+            plan = FaultPlan(
+                seed=seed, drop=drop, duplicate=duplicate, reorder=reorder,
+                delay_jitter_s=jitter, reorder_window_s=window,
+            )
+            for _ in range(r.varint()):
+                a, b = r.text(), r.text()
+                plan.link(
+                    a, b,
+                    drop=_read_value(r), duplicate=_read_value(r),
+                    reorder=_read_value(r), delay_jitter_s=_read_value(r),
+                )
+            for _ in range(r.varint()):
+                plan.partition(r.text(), r.text())
+            runtime.fault_plan = plan
+            return bytes((_C_OK,))
         if tag == _C_SHUTDOWN:
             return _SHUTDOWN
         raise HyperFileError(f"unknown control tag 0x{tag:02x}")
@@ -374,6 +570,11 @@ class StoreProxy:
     def __init__(self, cluster: "ProcessCluster", site: str) -> None:
         self._cluster = cluster
         self._site = site
+
+    @property
+    def site(self) -> str:
+        """The owning site's name (same surface as MemStore)."""
+        return self._site
 
     def create(self, tuples: Iterable[HFTuple] = (), size_hint: Optional[int] = None):
         w = _Writer()
@@ -445,7 +646,7 @@ class ProcessCluster(WallClockQueries):
         config = config if config is not None else ClusterConfig(processes=True)
         config.require_default(
             "costs", "mark_granularity", "gc_contexts",
-            "replication", "reliable", "fault_plan",
+            "replication", "reliable",
             transport="async (process mode)",
         )
         self.config = config
@@ -459,6 +660,10 @@ class ProcessCluster(WallClockQueries):
         self.replication = None
         self.undeliverable: List = []
         self.nodes: Dict[str, _RemoteSiteHandle] = {n: _RemoteSiteHandle(n) for n in names}
+        self._tracer: Optional[QueryTracer] = None
+        self.fault_plan: Optional[FaultPlan] = None
+        self._fault_timers: List[threading.Timer] = []
+        self._init_telemetry(config)
 
         listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
@@ -469,10 +674,14 @@ class ProcessCluster(WallClockQueries):
         # spawn (not fork): the parent may carry live threads and event
         # loops from other clusters; inheriting them is a deadlock trap.
         ctx = multiprocessing.get_context("spawn")
+        # The fault plan holds a lock and an RNG — not picklable; its
+        # link-chaos parameters ship over the control channel instead
+        # (use_faults below), and crashes fire from parent-side timers.
+        child_config = config.replace(fault_plan=None)
         procs = {
             name: ctx.Process(
                 target=_child_main,
-                args=(name, names, parent_port, config),
+                args=(name, names, parent_port, child_config),
                 name=f"hf-proc-{name}",
                 daemon=True,
             )
@@ -518,6 +727,9 @@ class ProcessCluster(WallClockQueries):
         for site in self._links:
             self._request(site, frame, expect=_C_OK)
 
+        if config.fault_plan is not None:
+            self.use_faults(config.fault_plan)
+
     # -- control channel -------------------------------------------------
 
     def _reader_loop(self, link: _ChildLink) -> None:
@@ -529,8 +741,12 @@ class ProcessCluster(WallClockQueries):
                 if frame[0] == _C_COMPLETE:
                     r = _Reader(frame)
                     r.byte()
-                    qid, result, counts = _decode_result(r)
-                    self._on_remote_complete(qid, result, counts)
+                    qid, result, counts, trace_json = _decode_result(r)
+                    self._on_remote_complete(qid, result, counts, trace_json)
+                elif frame[0] == _C_STATS_PUSH:
+                    r = _Reader(frame)
+                    r.byte()
+                    self._on_stats_push(r.text(), r.text())
                 else:
                     link.replies.put(frame)
         except (OSError, HyperFileError):
@@ -556,9 +772,24 @@ class ProcessCluster(WallClockQueries):
             raise HyperFileError(f"unexpected control reply 0x{tag:02x} from {site}")
         return r
 
+    def _on_stats_push(self, site: str, payload: str) -> None:
+        """A child's periodic stats sample (reader thread).  Each push is
+        one single-site timeline row; CLOCK_MONOTONIC is system-wide on
+        the platforms we run on, so child timestamps are comparable."""
+        if self.stats_timeline is None:
+            return
+        record = json.loads(payload)
+        self.stats_timeline.append(record["t"], {site: record["sample"]})
+
     def _on_remote_complete(
-        self, qid: QueryId, result: QueryResult, counts: Optional[Dict[str, int]]
+        self,
+        qid: QueryId,
+        result: QueryResult,
+        counts: Optional[Dict[str, int]],
+        trace_json: str = "",
     ) -> None:
+        if trace_json and self._tracer is not None:
+            self._tracer.ingest(_events_from_json(trace_json))
         info = self._inflight.pop(qid, None)
         outcome = QueryOutcome(
             qid=qid,
@@ -576,6 +807,8 @@ class ProcessCluster(WallClockQueries):
         if self._closed:
             return
         self._closed = True
+        for timer in self._fault_timers:
+            timer.cancel()
         shutdown = bytes((_C_SHUTDOWN,))
         for link in self._links.values():
             # Don't interleave with an in-flight request on the same
@@ -649,6 +882,65 @@ class ProcessCluster(WallClockQueries):
             self._down.discard(site)
         self._broadcast_availability(_C_SET_UP, site)
 
+    # -- fault injection -------------------------------------------------
+
+    def use_faults(self, plan: FaultPlan) -> None:
+        """Attach a chaos schedule.
+
+        Link chaos (drop/duplicate/reorder/jitter, partitions) ships to
+        every child as parameters — each child rebuilds a plan with its
+        own RNG stream, which preserves the configured *rates* (all any
+        wall-clock transport guarantees; see ``FaultPlan``'s docstring).
+        Scheduled crashes run parent-side as timers driving the usual
+        ``SET_DOWN``/``SET_UP`` broadcasts.
+        """
+        for crash in plan.crashes:
+            if crash.site not in self._links:
+                raise UnknownSite(crash.site)
+        self.fault_plan = plan
+        w = _Writer()
+        w.byte(_C_FAULTS)
+        w.varint(plan.seed)
+        d = plan.defaults
+        for value in (d.drop, d.duplicate, d.reorder, d.delay_jitter_s, plan.reorder_window_s):
+            _write_value(w, float(value))
+        links = dict(plan._links)
+        w.varint(len(links))
+        for pair in sorted(links, key=sorted):
+            ends = sorted(pair)
+            w.text(ends[0])
+            w.text(ends[-1])
+            f = links[pair]
+            for value in (f.drop, f.duplicate, f.reorder, f.delay_jitter_s):
+                _write_value(w, float(value))
+        partitions = sorted(plan._partitions, key=sorted)
+        w.varint(len(partitions))
+        for pair in partitions:
+            ends = sorted(pair)
+            w.text(ends[0])
+            w.text(ends[-1])
+        frame = w.getvalue()
+        for site in self._links:
+            self._request(site, frame, expect=_C_OK)
+        for crash in plan.crashes:
+            self._schedule_fault(crash.at, lambda s=crash.site: self.set_down(s))
+            if crash.recover_at is not None:
+                self._schedule_fault(crash.recover_at, lambda s=crash.site: self.set_up(s))
+
+    def _schedule_fault(self, delay_s: float, fn) -> None:
+        def fire() -> None:
+            if self._closed:
+                return
+            try:
+                fn()
+            except (HyperFileError, OSError):
+                pass  # a dying cluster can't crash sites any harder
+
+        timer = threading.Timer(max(delay_s, 0.0), fire)
+        timer.daemon = True
+        self._fault_timers.append(timer)
+        timer.start()
+
     # -- observability ---------------------------------------------------
 
     def total_stats(self) -> NodeStats:
@@ -659,17 +951,140 @@ class ProcessCluster(WallClockQueries):
             merged.merge(_decode_stats(reply))
         return merged
 
+    def _init_telemetry(self, config) -> None:
+        """Process-mode override: the children arm their own recorders
+        and samplers straight from the shipped config, so the parent
+        only prepares the merge targets (no timer thread, no node
+        wiring — there are no local nodes)."""
+        lanes = 2 * len(self.nodes) + 1
+        if config.flight_recorder is not None:
+            recorder = FlightRecorder(
+                config.flight_recorder, span_start=lanes, span_step=lanes
+            )
+            recorder.now_fn = time.monotonic
+            self.flight_recorder = recorder
+        if config.stats_stream_s is not None:
+            from ..metrics.collect import StatsTimeline
+
+            self.stats_timeline = StatsTimeline()
+
     def attach_tracer(self, tracer) -> None:
-        raise HyperFileError("tracing is not supported in process mode")
+        """Cross-process span shipping: every child gets a TRACE_ON with
+        a collision-free span-id lane (child *i* allocates ``i+1`` with
+        stride ``m = 2n+1``); shipped events ingest into ``tracer``
+        verbatim, so the causal tree reconstructs exactly as on the
+        shared-memory transports.  The parent's own (rare) allocations
+        move to lane 0 for the same reason."""
+        tracer.now_fn = time.monotonic
+        names = list(self._links)
+        lanes = 2 * len(names) + 1
+        try:
+            tracer._ids = itertools.count(lanes, lanes)
+        except AttributeError:  # pragma: no cover - exotic tracer shims
+            pass
+        kinds = getattr(tracer, "_kinds", None)
+        wire_kinds = sorted(kinds) if kinds is not None and set(kinds) != set(KINDS) else []
+        for i, site in enumerate(names):
+            w = _Writer()
+            w.byte(_C_TRACE_ON)
+            w.varint(len(wire_kinds))
+            for kind in wire_kinds:
+                w.text(kind)
+            w.varint(i + 1)
+            w.varint(lanes)
+            self._request(site, w.getvalue(), expect=_C_OK)
+        self._tracer = tracer
 
     def detach_tracer(self) -> None:
-        pass
+        if self._tracer is None:
+            return
+        self._drain_traces()  # final drain so no buffered spans are lost
+        off = bytes((_C_TRACE_OFF,))
+        for site in list(self._links):
+            try:
+                self._request(site, off, expect=_C_OK)
+            except (HyperFileError, TransportClosed, OSError):
+                continue
+        self._tracer = None
+
+    def _drain_traces(self) -> None:
+        """Pull every child's buffered spans into the attached tracer.
+
+        Runs on the client thread (wait/detach), never the reader thread
+        — a reader thread blocking on its own child's reply queue would
+        deadlock the control channel.
+        """
+        tracer = self._tracer
+        if tracer is None:
+            return
+        drain = bytes((_C_TRACE_DRAIN,))
+        for site in list(self._links):
+            try:
+                reply = self._request(site, drain, expect=_C_TRACE_EVENTS)
+            except (HyperFileError, TransportClosed, OSError):
+                continue  # a dead child's spans arrive via FLIGHT_SNAP, if at all
+            tracer.ingest(_events_from_json(reply.text()))
+        tracer.events.sort(key=lambda e: e.time)
+
+    def wait(self, qid: QueryId, timeout_s: Optional[float] = None) -> QueryOutcome:
+        try:
+            return super().wait(qid, timeout_s=timeout_s)
+        finally:
+            # Completion piggybacks cover the originator; the post-wait
+            # drain collects the other children's spans so the tree is
+            # whole before the caller inspects it.
+            if self._tracer is not None and not self._closed:
+                self._drain_traces()
+
+    def _flightrec_dump(self, qid: QueryId, reason: str) -> None:
+        """Postmortem for a dying query: pull every child's ring, merge
+        by timestamp into the parent recorder, write the dump."""
+        if self.flight_recorder is None or qid in self._flightrec_dumped:
+            return
+        self._flightrec_dumped.add(qid)
+        collected: List[TraceEvent] = []
+        snap = bytes((_C_FLIGHT_SNAP,))
+        for site in list(self._links):
+            try:
+                reply = self._request(site, snap, expect=_C_TRACE_EVENTS)
+            except (HyperFileError, TransportClosed, OSError):
+                continue  # a genuinely dead process keeps its ring
+            collected.extend(_events_from_json(reply.text()))
+        collected.sort(key=lambda e: e.time)
+        self.flight_recorder.events.clear()  # the rings ARE the state
+        for event in collected:
+            self.flight_recorder.record(event)
+        self.flight_recorder.dump(qid, reason, site=qid.originator)
 
     def enable_metrics(self, registry=None):
-        raise HyperFileError("the metrics registry is not supported in process mode")
+        """Each child runs its own registry (node counters, SLO
+        histograms); :meth:`metrics_snapshot` merges them with the
+        parent's registry (admission-control counters) into one view."""
+        if registry is None:
+            from ..metrics.registry import MetricsRegistry
+
+            registry = MetricsRegistry()
+        self.metrics = registry
+        on = bytes((_C_METRICS_ON,))
+        for site in self._links:
+            self._request(site, on, expect=_C_OK)
+        return registry
 
     def metrics_snapshot(self):
-        return None
+        registry = getattr(self, "metrics", None)
+        if registry is None:
+            return None
+        from ..metrics.registry import merge_snapshots
+
+        snaps = [registry.snapshot()]
+        req = bytes((_C_METRICS_SNAP,))
+        for site in list(self._links):
+            try:
+                reply = self._request(site, req, expect=_C_METRICS_REPLY)
+            except (HyperFileError, TransportClosed, OSError):
+                continue
+            snaps.append(json.loads(reply.text()))
+        return merge_snapshots(*snaps)
 
     # -- dispatch hooks --------------------------------------------------
 
@@ -680,6 +1095,7 @@ class ProcessCluster(WallClockQueries):
         program: Program,
         initial: List[Oid],
         priority: Optional[str] = None,
+        tenant: Optional[str] = None,
     ) -> None:
         w = _Writer()
         w.byte(_C_SUBMIT)
@@ -687,6 +1103,7 @@ class ProcessCluster(WallClockQueries):
         _write_program(w, program)
         _write_value(w, tuple(initial))
         w.text(priority or "")
+        w.text(tenant or "")
         self._request(origin, w.getvalue(), expect=_C_OK)
 
     def _dispatch_submit_from_saved(

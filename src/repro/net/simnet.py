@@ -279,9 +279,9 @@ class SimHost:
             for qid, result in report.completed:
                 self.sim.schedule_at(depart, lambda q=qid, r=result: self.completion_sink(q, r))
 
-    def submit(self, qid, program, initial, priority=None) -> None:
+    def submit(self, qid, program, initial, priority=None, tenant=None) -> None:
         """Client-side entry: install a query at this (originating) site."""
-        report = self.node.submit(qid, program, initial, priority=priority)
+        report = self.node.submit(qid, program, initial, priority=priority, tenant=tenant)
         self.dispatch(report)
         self.kick()
 

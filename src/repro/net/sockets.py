@@ -200,10 +200,15 @@ class _SocketSite:
                 self._send(out)
 
     def submit(
-        self, qid: QueryId, program: Program, initial: List[Oid], priority: Optional[str] = None
+        self,
+        qid: QueryId,
+        program: Program,
+        initial: List[Oid],
+        priority: Optional[str] = None,
+        tenant: Optional[str] = None,
     ) -> None:
         with self._node_lock:
-            report = self.node.submit(qid, program, initial, priority=priority)
+            report = self.node.submit(qid, program, initial, priority=priority, tenant=tenant)
         for env in report.outgoing:
             self._send(env)
         self.inbox.put(None)  # nudge the worker
@@ -372,6 +377,7 @@ class SocketCluster(WallClockQueries):
             )
             for node in self.nodes.values():
                 self.replication.add_epoch_listener(node.observe_epoch)
+        self._init_telemetry(config)
         for site in self._sites.values():
             site.start()
         if reliable:
@@ -383,6 +389,7 @@ class SocketCluster(WallClockQueries):
 
     def close(self) -> None:
         self._closed = True
+        self._stop_stats_stream()
         if self._endpoints is not None:
             for endpoint in self._endpoints.values():
                 endpoint.close()
@@ -523,8 +530,9 @@ class SocketCluster(WallClockQueries):
         program: Program,
         initial: List[Oid],
         priority: Optional[str] = None,
+        tenant: Optional[str] = None,
     ) -> None:
-        self._sites[origin].submit(qid, program, initial, priority)
+        self._sites[origin].submit(qid, program, initial, priority, tenant)
 
     def _dispatch_submit_from_saved(
         self, origin: str, qid: QueryId, program: Program, source_qid: QueryId

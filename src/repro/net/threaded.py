@@ -76,10 +76,15 @@ class _SiteThread:
         self.inbox.put(None)  # wake the loop
 
     def submit(
-        self, qid: QueryId, program: Program, initial: List[Oid], priority: Optional[str] = None
+        self,
+        qid: QueryId,
+        program: Program,
+        initial: List[Oid],
+        priority: Optional[str] = None,
+        tenant: Optional[str] = None,
     ) -> None:
         with self._lock:
-            report = self.node.submit(qid, program, initial, priority=priority)
+            report = self.node.submit(qid, program, initial, priority=priority, tenant=tenant)
         for env in report.outgoing:
             self.router.route(env)
         self.inbox.put(None)  # nudge: local work may now exist
@@ -225,6 +230,7 @@ class ThreadedCluster(WallClockQueries):
             )
             for node in self.nodes.values():
                 self.replication.add_epoch_listener(node.observe_epoch)
+        self._init_telemetry(config)
         for t in self._threads.values():
             t.start()
         if reliable:
@@ -236,6 +242,7 @@ class ThreadedCluster(WallClockQueries):
 
     def close(self) -> None:
         self._closed = True
+        self._stop_stats_stream()
         if self._endpoints is not None:
             for endpoint in self._endpoints.values():
                 endpoint.close()
@@ -346,8 +353,9 @@ class ThreadedCluster(WallClockQueries):
         program: Program,
         initial: List[Oid],
         priority: Optional[str] = None,
+        tenant: Optional[str] = None,
     ) -> None:
-        self._threads[origin].submit(qid, program, initial, priority)
+        self._threads[origin].submit(qid, program, initial, priority, tenant)
 
     def _dispatch_submit_from_saved(
         self, origin: str, qid: QueryId, program: Program, source_qid: QueryId

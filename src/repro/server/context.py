@@ -94,6 +94,15 @@ class QueryContext:
     #: ``"deadline"`` when branches were written off.
     abandoned: int = 0
 
+    #: Originator only: SLO watermarks.  ``submitted_at`` is stamped by
+    #: :meth:`ServerNode.submit` from the node clock; ``first_result_at``
+    #: the first time a result lands in ``final`` (local merge or remote
+    #: ResultBatch); both feed the ``slo.*`` histograms at completion.
+    #: ``tenant`` labels them (the QoS ``client=``, "default" otherwise).
+    submitted_at: Optional[float] = None
+    first_result_at: Optional[float] = None
+    tenant: str = "default"
+
     @property
     def busy(self) -> bool:
         """Does this site still hold work for the query?"""

@@ -36,6 +36,7 @@ from ..engine.items import WorkItem
 from ..engine.local import QueryExecution
 from ..engine.results import QueryResult
 from ..errors import HyperFileError, ObjectNotFound, TerminationProtocolError
+from ..metrics.registry import SLO_BUCKETS
 from ..naming.directory import ForwardingTable, ReplicaDirectory
 from ..net.batching import BatchConfig, ItemKey, SendBatcher, item_key
 from ..qos import PRIORITIES, QoSConfig
@@ -313,6 +314,7 @@ class ServerNode:
         program: Program,
         initial: Iterable[Oid],
         priority: Optional[str] = None,
+        tenant: Optional[str] = None,
     ) -> StepReport:
         """Install an originator context and seed the initial set ``S_i``."""
         if qid.originator != self.site:
@@ -325,6 +327,12 @@ class ServerNode:
         ctx = self._ensure_context(qid, program)
         if self.qos is not None:
             ctx.priority = priority if priority is not None else self.qos.default_priority
+        # SLO watermarks: stamped from the node clock (virtual on sim,
+        # monotonic on the wall-clock transports) so submit→first-result
+        # and submit→complete are measured where completion is decided.
+        ctx.submitted_at = self.now_fn()
+        if tenant is not None:
+            ctx.tenant = tenant
         self.termination.on_start(ctx.term_state)
         if (
             self._cache is not None
@@ -475,6 +483,7 @@ class ServerNode:
                 self.site, "timeout", qid, parent=ctx.root_span,
                 abandoned=abandoned, results=len(ctx.final.oids),
             )
+        self._stamp_slo(ctx)
         if self.gc_contexts:
             for participant in sorted(ctx.participants):
                 if participant != self.site:
@@ -840,6 +849,8 @@ class ServerNode:
                 ctx.final.oids.add(oid)
         for target, value in msg.emissions:
             ctx.final.retrieved.setdefault(target, []).append(value)
+        if ctx.first_result_at is None and (msg.item_count or msg.count):
+            ctx.first_result_at = self.now_fn()
         if msg.term.get("#shed"):
             # A participant shed work for this query under overload; the
             # final result is partial however much credit comes home.
@@ -1350,6 +1361,8 @@ class ServerNode:
                 ctx.final.oids.add(oid)
         for target, value in emissions:
             ctx.final.retrieved.setdefault(target, []).append(value)
+        if ctx.first_result_at is None and (oids or emissions):
+            ctx.first_result_at = self.now_fn()
 
     def _check_termination(self, ctx: QueryContext, report: StepReport) -> None:
         if ctx.done or not ctx.is_originator:
@@ -1385,6 +1398,7 @@ class ServerNode:
                     self.site, "complete", ctx.qid, parent=parent,
                     results=len(ctx.final.oids),
                 )
+            self._stamp_slo(ctx)
             if self.gc_contexts:
                 for participant in sorted(ctx.participants):
                     if participant != self.site:
@@ -1395,6 +1409,38 @@ class ServerNode:
             report.completed.append((ctx.qid, ctx.final))
             if self.on_query_complete is not None:
                 self.on_query_complete(ctx.qid, ctx.final)
+
+    def _stamp_slo(self, ctx: QueryContext) -> None:
+        """Record the query's SLO watermarks at its (possibly partial)
+        completion: submit→first-result and submit→complete, as
+        per-tenant/per-priority histograms plus one ``slo`` trace event.
+        Both sinks are optional and guarded, so the untraced unmetered
+        path costs nothing beyond two ``is None`` checks."""
+        if ctx.submitted_at is None or (self.metrics is None and self.tracer is None):
+            return
+        now = self.now_fn()
+        complete_s = now - ctx.submitted_at
+        if ctx.first_result_at is not None:
+            first_result_s = ctx.first_result_at - ctx.submitted_at
+        else:
+            # No result ever landed (empty answer or total loss): the
+            # first-result watermark degenerates to the completion one.
+            first_result_s = complete_s
+        if self.metrics is not None:
+            labels = {"tenant": ctx.tenant, "priority": ctx.priority}
+            self.metrics.histogram(
+                "slo.first_result_s", buckets=SLO_BUCKETS, **labels
+            ).observe(first_result_s)
+            self.metrics.histogram(
+                "slo.complete_s", buckets=SLO_BUCKETS, **labels
+            ).observe(complete_s)
+        if self.tracer is not None:
+            self.tracer.emit(
+                self.site, "slo", ctx.qid, parent=ctx.root_span,
+                first_result_s=round(first_result_s, 9),
+                complete_s=round(complete_s, 9),
+                tenant=ctx.tenant, priority=ctx.priority,
+            )
 
     # ------------------------------------------------------------------
     # internals

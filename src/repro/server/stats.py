@@ -96,3 +96,15 @@ class NodeStats:
                     f"NodeStats.merge cannot combine field {f.name!r} of type "
                     f"{type(mine).__name__}"
                 )
+
+    def sample(self) -> Dict[str, object]:
+        """A plain-dict snapshot of every counter (field-driven, like
+        :meth:`merge`) — what the streaming-stats samplers append to the
+        :class:`~repro.metrics.collect.StatsTimeline` each period.  Dict
+        fields are copied so the sample is immune to later mutation;
+        safe to call from a sampler thread (dict copies of int values)."""
+        out: Dict[str, object] = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            out[f.name] = dict(value) if isinstance(value, dict) else value
+        return out

@@ -54,6 +54,9 @@ KINDS = (
     "batch_flush",  #: a send queue flushed into a batched frame
     "batch_recv",   #: a batched frame was ingested and unbatched
     "shed",        #: arriving work dropped by QoS load shedding (credit kept)
+    "slo",         #: originator SLO watermarks stamped at completion
+    "stats_push",  #: a periodic streaming-stats sample was published
+    "flightrec",   #: the flight recorder dumped its ring to disk
 )
 
 #: Swim-lane glyph per kind, most significant first (lane rendering keeps
@@ -61,7 +64,9 @@ KINDS = (
 _LANE_GLYPHS = (
     ("complete", "C"),
     ("timeout", "T"),
+    ("flightrec", "F"),
     ("submit", "Q"),
+    ("slo", "$"),
     ("process", "#"),
     ("retransmit", "!"),
     ("dup", "="),
@@ -70,6 +75,7 @@ _LANE_GLYPHS = (
     ("send", ">"),
     ("recv", "<"),
     ("drain", "d"),
+    ("stats_push", "s"),
     ("skip", "."),
 )
 #: Precomputed rank lookups (by kind and by rendered glyph) so lane
@@ -102,7 +108,13 @@ class TraceEvent:
 class QueryTracer:
     """Collects :class:`TraceEvent` records from an instrumented cluster."""
 
-    def __init__(self, kinds: Optional[Iterable[str]] = None, capacity: int = 100_000) -> None:
+    def __init__(
+        self,
+        kinds: Optional[Iterable[str]] = None,
+        capacity: int = 100_000,
+        span_start: int = 1,
+        span_step: int = 1,
+    ) -> None:
         """
         Parameters
         ----------
@@ -114,6 +126,12 @@ class QueryTracer:
             Hard cap on stored events; beyond it, recording stops and
             :attr:`dropped` counts the overflow (tracing a runaway query
             must not exhaust memory).
+        span_start / span_step:
+            First span id and allocation stride.  The defaults give the
+            classic dense ``1, 2, 3, ...`` sequence; process mode gives
+            child *i* of *n* sites ``span_start=i+1, span_step=n`` so
+            span ids shipped from different processes never collide and
+            need no remapping at the parent.
         """
         chosen = set(kinds) if kinds is not None else set(KINDS)
         unknown = chosen - set(KINDS)
@@ -125,7 +143,7 @@ class QueryTracer:
         self.dropped = 0
         #: itertools.count is effectively atomic under CPython, so span
         #: allocation is safe from the real transports' site threads.
-        self._ids = itertools.count(1)
+        self._ids = itertools.count(span_start, span_step)
         #: Supplies timestamps; the cluster points this at the simulator.
         self.now_fn: Callable[[], float] = lambda: 0.0
 
@@ -135,6 +153,15 @@ class QueryTracer:
         self, site: str, kind: str, qid: Any = "", parent: Optional[int] = None, **detail: Any
     ) -> Optional[int]:
         """Record one event; returns its span id (None when not recorded)."""
+        return self._record_new(site, kind, qid, parent, detail)
+
+    def _record_new(
+        self, site: str, kind: str, qid: Any, parent: Optional[int], detail: Dict[str, Any]
+    ) -> Optional[int]:
+        """:meth:`emit`'s engine, named so forwarding tracers (tee,
+        flight recorder) can delegate without a dynamic ``.emit`` call —
+        the trace-kind AST audit requires every ``.emit`` site to carry
+        a literal kind."""
         if kind not in self._kinds:
             return None
         if len(self.events) >= self._capacity:
@@ -148,6 +175,25 @@ class QueryTracer:
             )
         )
         return span
+
+    def ingest(self, events: Iterable[TraceEvent]) -> int:
+        """Append pre-built events (spans shipped from another process).
+
+        Span ids are taken as-is — the shipper is responsible for
+        allocating from a non-colliding namespace (see ``span_start`` /
+        ``span_step``).  Capacity still applies; returns the number of
+        events actually stored.
+        """
+        stored = 0
+        for event in events:
+            if event.kind not in self._kinds:
+                continue
+            if len(self.events) >= self._capacity:
+                self.dropped += 1
+                continue
+            self.events.append(event)
+            stored += 1
+        return stored
 
     def clear(self) -> None:
         self.events.clear()
@@ -302,6 +348,168 @@ class QueryTracer:
             json.dump(doc, fh)
             fh.write("\n")
         return len(doc["traceEvents"])
+
+
+@dataclass(frozen=True)
+class FlightRecorderConfig:
+    """Configuration for the per-site crash flight recorder.
+
+    The recorder is a bounded ring of the most recent trace events —
+    always on once configured, cheap enough to leave armed in
+    production, and dumped automatically when a query dies badly
+    (``TerminationLost``, ``partial_reason="crash"``, deadline expiry).
+    """
+
+    #: Ring size in events; oldest events are evicted, never dropped.
+    capacity: int = 2048
+    #: Directory dumps are written to; ``None`` keeps dumps in memory
+    #: only (``FlightRecorder.last_dump``), which tests rely on.
+    dump_dir: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0:
+            raise ValueError("flight recorder capacity must be positive")
+
+
+class FlightRecorder(QueryTracer):
+    """A :class:`QueryTracer` with ring-buffer (evict-oldest) semantics.
+
+    Where the base tracer stops recording at capacity (postmortems want
+    the *oldest* events of a bounded run), the flight recorder keeps the
+    *newest* — the moments right before a crash or a lost termination.
+    :attr:`dropped` counts evictions.
+    """
+
+    def __init__(
+        self,
+        config: Optional[FlightRecorderConfig] = None,
+        span_start: int = 1,
+        span_step: int = 1,
+    ) -> None:
+        self.config = config if config is not None else FlightRecorderConfig()
+        super().__init__(
+            capacity=self.config.capacity, span_start=span_start, span_step=span_step
+        )
+        #: Events captured by the most recent :meth:`dump` (memory-only
+        #: postmortems when ``dump_dir`` is None).
+        self.last_dump: List[TraceEvent] = []
+        #: Reasons of every dump taken, in order.
+        self.dump_reasons: List[str] = []
+
+    def _record_new(
+        self, site: str, kind: str, qid: Any, parent: Optional[int], detail: Dict[str, Any]
+    ) -> Optional[int]:
+        if len(self.events) >= self._capacity:
+            del self.events[: len(self.events) - self._capacity + 1]
+            self.dropped += 1
+        return super()._record_new(site, kind, qid, parent, detail)
+
+    def record(self, event: TraceEvent) -> None:
+        """Ring-append one pre-built event (the tee/shipping path)."""
+        if event.kind not in self._kinds:
+            return
+        if len(self.events) >= self._capacity:
+            del self.events[: len(self.events) - self._capacity + 1]
+            self.dropped += 1
+        self.events.append(event)
+
+    def dump(self, qid: Any = "", reason: str = "manual", site: str = "cluster") -> Dict[str, Any]:
+        """Snapshot the ring: JSON-lines + Perfetto files when a
+        ``dump_dir`` is configured, memory-only otherwise.
+
+        Emits a ``flightrec`` event marking the dump (it lands in the
+        ring *after* the snapshot, so the artifact is the pre-dump
+        state).  Returns ``{"events", "reason", "jsonl", "chrome"}``;
+        the paths are ``None`` on a memory-only dump.
+        """
+        snapshot = list(self.events)
+        self.last_dump = snapshot
+        self.dump_reasons.append(reason)
+        jsonl_path = chrome_path = None
+        if self.config.dump_dir is not None:
+            import os
+
+            os.makedirs(self.config.dump_dir, exist_ok=True)
+            stem = f"flightrec-{_path_safe(str(qid)) or 'cluster'}-{_path_safe(reason)}"
+            frozen = QueryTracer(capacity=len(snapshot) + 1)
+            frozen.events = snapshot
+            jsonl_path = os.path.join(self.config.dump_dir, stem + ".jsonl")
+            frozen.write_jsonl(jsonl_path)
+            chrome_path = os.path.join(self.config.dump_dir, stem + ".json")
+            frozen.write_chrome_trace(chrome_path)
+        self.emit(site, "flightrec", "", reason=reason, for_qid=str(qid), events=len(snapshot))
+        return {"events": snapshot, "reason": reason, "jsonl": jsonl_path, "chrome": chrome_path}
+
+
+class TeeTracer:
+    """Duplicates every emitted event into a :class:`FlightRecorder`.
+
+    Used when a user tracer is attached *and* the flight recorder is
+    armed: nodes hold one ``tracer`` attribute, so the tee presents the
+    primary tracer's interface (same span ids — the ring holds the very
+    event objects the primary recorded) while keeping the ring current.
+    """
+
+    def __init__(self, primary: QueryTracer, recorder: FlightRecorder) -> None:
+        self.primary = primary
+        self.recorder = recorder
+
+    @property
+    def now_fn(self) -> Callable[[], float]:
+        return self.primary.now_fn
+
+    @now_fn.setter
+    def now_fn(self, fn: Callable[[], float]) -> None:
+        self.primary.now_fn = fn
+        self.recorder.now_fn = fn
+
+    def emit(
+        self, site: str, kind: str, qid: Any = "", parent: Optional[int] = None, **detail: Any
+    ) -> Optional[int]:
+        span = self.primary._record_new(site, kind, qid, parent, detail)
+        if span is not None:
+            self.recorder.record(self.primary.events[-1])
+        else:
+            # Primary at capacity (or filtering): the ring still records,
+            # with its own span ids — a postmortem beats a perfect tree.
+            span = self.recorder._record_new(site, kind, qid, parent, detail)
+        return span
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        return self.primary.events
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self.primary, name)
+
+
+def events_from_jsonl(path: str) -> List[TraceEvent]:
+    """Load a :meth:`QueryTracer.to_jsonl` / flight-recorder dump back
+    into :class:`TraceEvent` records (inputs to the profiling analyses,
+    notably ``credit_audit`` over a crash dump)."""
+    events: List[TraceEvent] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            detail = {
+                k: v for k, v in record.items()
+                if k not in ("t", "site", "kind", "qid", "span", "parent")
+            }
+            events.append(
+                TraceEvent(
+                    time=record["t"], site=record["site"], kind=record["kind"],
+                    qid=record.get("qid", ""), detail=detail,
+                    span=record.get("span", 0), parent=record.get("parent"),
+                )
+            )
+    return events
+
+
+def _path_safe(text: str) -> str:
+    return "".join(c if c.isalnum() or c in "-_." else "_" for c in text)
 
 
 #: Phase values the trace-event format defines (the subset we emit plus

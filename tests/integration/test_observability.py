@@ -14,21 +14,25 @@ The three headline guarantees:
   None`` check.
 """
 
+import time
 from fractions import Fraction
 
 import pytest
 
+from repro.api import make_cluster
 from repro.cluster import SimCluster
+from repro.config import ClusterConfig
 from repro.core import keyword_tuple, pointer_tuple
 from repro.core.parser import parse_query
 from repro.core.program import compile_query
 from repro.errors import TerminationLost
 from repro.faults import FaultPlan
+from repro.net.asyncio_cluster import AsyncCluster
 from repro.net.batching import BatchConfig
 from repro.net.sockets import SocketCluster
 from repro.net.threaded import ThreadedCluster
 from repro.profiling import credit_audit, critical_path, render_profile, tree_report
-from repro.tracing import QueryTracer
+from repro.tracing import FlightRecorderConfig, QueryTracer, events_from_jsonl
 
 CLOSURE = 'S [ (Pointer,"Ref",?X) ^^X ]* (Keyword,"K",?) -> T'
 CLOSURE_PROG = compile_query(parse_query(CLOSURE))
@@ -218,6 +222,210 @@ class TestCreditAudit:
         assert outcome.result.partial
         audit = credit_audit(tracer, outcome.qid)
         assert audit.timed_out and audit.lost > 0
+
+
+class TestObserverEffectEveryTransport:
+    """Zero observer effect on every transport, process mode included.
+
+    Wall-clock transports cannot promise identical timing, and traced
+    envelopes legitimately carry span varints on real wires, so the
+    invariant checked here is the part that must be bit-identical
+    everywhere: the result set and the data-plane message counts.
+    (Span shipping in process mode rides the control channel, which the
+    node counters never see.)
+    """
+
+    @pytest.mark.parametrize(
+        "transport,processes",
+        [("threaded", False), ("sockets", False), ("async", False), ("async", True)],
+        ids=["threaded", "sockets", "async", "processes"],
+    )
+    def test_traced_equals_untraced(self, transport, processes):
+        def run(traced):
+            config = ClusterConfig(processes=True) if processes else None
+            with make_cluster(transport, 3, config=config) as cluster:
+                oids = build_chain(cluster)
+                if traced:
+                    cluster.attach_tracer(QueryTracer())
+                    cluster.enable_metrics()
+                outcome = cluster.run_query(CLOSURE_PROG, [oids[0]], timeout_s=30.0)
+                stats = cluster.total_stats()
+                return outcome.result.oid_keys(), dict(stats.messages_sent)
+
+        assert run(traced=True) == run(traced=False)
+
+
+class TestProcessModeTracing:
+    """The tentpole: spans ship across process boundaries and the
+    reconstructed tree is indistinguishable from an in-process trace."""
+
+    def test_tree_connected_path_telescopes_credit_clean(self):
+        with AsyncCluster(3, config=ClusterConfig(processes=True)) as cluster:
+            oids = build_chain(cluster)
+            tracer = QueryTracer()
+            cluster.attach_tracer(tracer)
+            outcome = cluster.run_query(CLOSURE_PROG, [oids[0]], timeout_s=30.0)
+            report = tree_report(tracer, outcome.qid)
+            assert report.connected, report.describe()
+            assert report.root.site == outcome.qid.originator
+            # Every child process contributed events, in its own span lane.
+            assert len({e.site for e in tracer.events}) == 3
+            spans = [e.span for e in tracer.events if e.span]
+            assert len(spans) == len(set(spans)), "cross-process span collision"
+            path = critical_path(tracer, outcome.qid)
+            assert path.steps[0].kinds[0] == "submit"
+            assert sum(s.delta for s in path.steps) == pytest.approx(path.duration)
+            audit = credit_audit(tracer, outcome.qid)
+            assert audit.entries and audit.lost == 0
+
+    def test_render_profile_works_cross_process(self):
+        with AsyncCluster(3, config=ClusterConfig(processes=True)) as cluster:
+            oids = build_chain(cluster)
+            tracer = QueryTracer()
+            cluster.attach_tracer(tracer)
+            outcome = cluster.run_query(CLOSURE_PROG, [oids[0]], timeout_s=30.0)
+            text = render_profile(tracer, outcome.qid)
+            assert "span tree OK" in text
+            assert "credit audit" in text and "LOST" not in text
+
+    def test_detach_restores_untraced_path(self):
+        with AsyncCluster(2, config=ClusterConfig(processes=True)) as cluster:
+            s0 = cluster.store("site0")
+            obj = s0.create([keyword_tuple("K")])
+            tracer = QueryTracer()
+            cluster.attach_tracer(tracer)
+            cluster.run_query(
+                compile_query(parse_query('S (Keyword,"K",?) -> T')),
+                [obj.oid],
+                timeout_s=20.0,
+            )
+            drained = len(tracer.events)
+            assert drained > 0
+            cluster.detach_tracer()
+            cluster.run_query(
+                compile_query(parse_query('S (Keyword,"K",?) -> T')),
+                [obj.oid],
+                timeout_s=20.0,
+            )
+            assert len(tracer.events) == drained
+
+
+class TestFlightRecorder:
+    def test_sim_deadline_expiry_dumps_ring(self, tmp_path):
+        cluster = SimCluster(
+            3,
+            config=ClusterConfig(
+                fault_plan=FaultPlan(seed=1, drop=1.0),
+                flight_recorder=FlightRecorderConfig(capacity=256, dump_dir=tmp_path),
+            ),
+        )
+        oids = build_chain(cluster)
+        outcome = cluster.run_query(CLOSURE, [oids[0]], deadline_s=0.5)
+        assert outcome.result.partial
+        dumps = sorted(tmp_path.glob("flightrec-*.jsonl"))
+        assert dumps, "deadline expiry must dump the flight ring"
+        events = events_from_jsonl(dumps[0])
+        assert any(e.kind == "submit" for e in events)
+
+    def test_process_crash_dump_attributes_lost_credit(self, tmp_path):
+        # A permanent crash of site1, injected via the fault plan: the
+        # site goes down and every frame toward it is lost at the wire
+        # (drop=1.0 is the wire's view of the dead peer), taking its
+        # termination credit with it.  The detector can never fire; the
+        # parent must dump the merged per-site flight rings, and a credit
+        # audit over that dump must attribute the missing credit to
+        # sends that never landed at the crashed site.
+        plan = FaultPlan(seed=7).link("site0", "site1", drop=1.0)
+        plan.crash("site1", at=0.2)
+        config = ClusterConfig(
+            processes=True,
+            fault_plan=plan,
+            flight_recorder=FlightRecorderConfig(capacity=1024, dump_dir=tmp_path),
+        )
+        with AsyncCluster(3, config=config) as cluster:
+            oids = build_chain(cluster, 9)
+            qid = cluster.submit(CLOSURE_PROG, [oids[0]])
+            with pytest.raises(TerminationLost):
+                cluster.wait(qid, timeout_s=1.5)
+            dumps = sorted(tmp_path.glob("flightrec-*-termination_lost.jsonl"))
+            assert dumps, "TerminationLost must dump the flight ring"
+            events = events_from_jsonl(dumps[0])
+            audit = credit_audit(events, str(qid))
+            lost = [e for e in audit.entries if not e.delivered]
+            assert lost, "the audit must surface undelivered credit"
+            assert all(e.dst == "site1" for e in lost)
+            assert sum(e.credit for e in lost) > 0
+            assert "termination_lost" in cluster.flight_recorder.dump_reasons
+
+
+class TestStreamingStats:
+    def test_sim_timeline_samples_on_virtual_clock(self):
+        cluster = SimCluster(3, config=ClusterConfig(stats_stream_s=0.05))
+        oids = build_chain(cluster)
+        cluster.run_query(CLOSURE, [oids[0]])
+        timeline = cluster.stats_timeline
+        assert len(timeline) >= 2
+        assert set(timeline.sites()) == {"site0", "site1", "site2"}
+        series = timeline.series("bytes_sent", "site0")
+        assert series and series[-1][1] >= series[0][1]
+
+    def test_process_children_push_samples(self):
+        config = ClusterConfig(processes=True, stats_stream_s=0.05)
+        with AsyncCluster(3, config=config) as cluster:
+            oids = build_chain(cluster)
+            cluster.run_query(CLOSURE_PROG, [oids[0]], timeout_s=30.0)
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                if set(cluster.stats_timeline.sites()) == {"site0", "site1", "site2"}:
+                    break
+                time.sleep(0.05)
+            assert set(cluster.stats_timeline.sites()) == {"site0", "site1", "site2"}
+            series = cluster.stats_timeline.series("work_depth", "site1")
+            assert series, "children must stream work_depth samples"
+
+
+class TestSLOWatermarks:
+    def test_histograms_labelled_by_tenant_and_priority(self):
+        cluster = SimCluster(3)
+        oids = build_chain(cluster)
+        cluster.enable_metrics()
+        cluster.run_query(CLOSURE, [oids[0]], client="tenant-a", priority="interactive")
+        cluster.run_query(CLOSURE, [oids[0]], client="tenant-b")
+        reg = cluster.metrics
+        complete = reg.histogram("slo.complete_s", tenant="tenant-a", priority="interactive")
+        assert complete.count == 1
+        assert complete.quantile(0.99) is not None
+        first = reg.histogram("slo.first_result_s", tenant="tenant-a", priority="interactive")
+        assert first.count == 1
+        # first result can never land after completion
+        assert first.sum <= complete.sum + 1e-9
+        # Without a QoS config every query runs at the default priority,
+        # but the tenant label still separates the series.
+        other = reg.histogram("slo.complete_s", tenant="tenant-b", priority="interactive")
+        assert other.count == 1
+
+    def test_process_mode_merges_child_slo_histograms(self):
+        with AsyncCluster(3, config=ClusterConfig(processes=True)) as cluster:
+            oids = build_chain(cluster)
+            cluster.enable_metrics()
+            cluster.run_query(
+                CLOSURE_PROG,
+                [oids[0]],
+                timeout_s=30.0,
+                client="tenant-a",
+                priority="interactive",
+            )
+            snap = cluster.metrics_snapshot()
+            slo = [
+                m
+                for m in snap["metrics"]
+                if m["name"] == "slo.complete_s"
+                and m["labels"].get("tenant") == "tenant-a"
+            ]
+            assert slo, "merged snapshot must carry the child's SLO histogram"
+            from repro.metrics.registry import quantile_from_snapshot
+
+            assert quantile_from_snapshot(slo[0], 0.99) is not None
 
 
 class TestMetricsAcrossTransports:

@@ -153,11 +153,22 @@ class TestProcessMode:
                 "async", 2,
                 config=ClusterConfig(processes=True, replication=ReplicationConfig(k=2)),
             )
+
+    def test_tracing_and_metrics_work_across_processes(self):
+        # These used to be rejected alongside replication; now spans ship
+        # over the control channel and child registries merge on snapshot.
+        from repro.tracing import QueryTracer
+
         cluster = make_cluster("async", 2, config=ClusterConfig(processes=True))
         try:
-            with pytest.raises(HyperFileError):
-                cluster.attach_tracer(object())
-            with pytest.raises(HyperFileError):
-                cluster.enable_metrics()
+            oids = build_chain(cluster, 6)
+            tracer = QueryTracer()
+            cluster.attach_tracer(tracer)
+            cluster.enable_metrics()
+            cluster.run_query(CLOSURE, [oids[0]], timeout_s=30.0)
+            assert {e.site for e in tracer.events} == {"site0", "site1"}
+            snap = cluster.metrics_snapshot()
+            names = {m["name"] for m in snap["metrics"]}
+            assert "slo.complete_s" in names
         finally:
             cluster.close()

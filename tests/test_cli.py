@@ -5,7 +5,15 @@ import json
 
 import pytest
 
-from repro.cli import main, run_demo, run_experiments, run_profile, run_repl, run_trace
+from repro.cli import (
+    main,
+    run_demo,
+    run_experiments,
+    run_profile,
+    run_repl,
+    run_top,
+    run_trace,
+)
 
 
 def repl(script: str, **kwargs) -> str:
@@ -158,6 +166,65 @@ class TestTraceAndProfile:
         assert "schema OK" in capsys.readouterr().out
         assert main(["profile", "--objects", "90"]) == 0
         assert "critical path" in capsys.readouterr().out
+
+    def test_trace_dumps_flight_ring(self, tmp_path):
+        out = io.StringIO()
+        code = run_trace(sites=3, n_objects=90, flightrec=str(tmp_path), out=out)
+        assert code == 0
+        assert "flight recorder:" in out.getvalue()
+        dumps = sorted(tmp_path.glob("flightrec-*-cli.jsonl"))
+        assert dumps and dumps[0].read_text().count("\n") > 0
+
+    @pytest.mark.parametrize("transport", ["sim", "threaded", "sockets", "async"])
+    def test_trace_accepts_every_transport(self, transport):
+        out = io.StringIO()
+        assert run_trace(sites=3, n_objects=30, out=out, transport=transport) == 0
+        assert "span tree OK" in out.getvalue()
+
+    def test_processes_requires_async_transport(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["trace", "--processes"])
+        assert excinfo.value.code == 2
+        assert "--transport async" in capsys.readouterr().err
+
+    def test_trace_and_profile_across_processes(self):
+        out = io.StringIO()
+        code = run_trace(
+            sites=3, n_objects=30, out=out, transport="async", processes=True
+        )
+        assert code == 0
+        assert "span tree OK" in out.getvalue()
+        out = io.StringIO()
+        code = run_profile(
+            sites=3, n_objects=30, out=out, transport="async", processes=True
+        )
+        assert code == 0
+        assert "critical path" in out.getvalue()
+
+
+class TestTop:
+    def test_sim_frames_have_all_sites(self):
+        out = io.StringIO()
+        assert run_top(sites=3, n_objects=90, frames=4, out=out) == 0
+        text = out.getvalue()
+        assert "frame(s)" in text
+        assert "site0" in text and "site1" in text and "site2" in text
+        assert "msgs_out" in text
+
+    def test_via_main(self, capsys):
+        assert main(["top", "--objects", "90", "--frames", "2"]) == 0
+        assert "frame(s)" in capsys.readouterr().out
+
+    def test_process_mode_streams_from_children(self):
+        out = io.StringIO()
+        code = run_top(
+            sites=3, n_objects=30, frames=6, out=out,
+            transport="async", processes=True,
+        )
+        assert code == 0
+        text = out.getvalue()
+        assert "monotonic clock" in text
+        assert "site0" in text
 
 
 class TestExperiments:

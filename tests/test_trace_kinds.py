@@ -19,7 +19,7 @@ from repro.cluster import SimCluster
 from repro.faults import FaultPlan
 from repro.net.batching import BatchConfig
 from repro.qos import QoSConfig
-from repro.tracing import KINDS, QueryTracer
+from repro.tracing import KINDS, FlightRecorderConfig, QueryTracer
 
 SRC_ROOT = pathlib.Path(repro.__file__).resolve().parent
 
@@ -111,7 +111,12 @@ def traced(cluster_kwargs, run):
     tracer = QueryTracer()
     cluster.attach_tracer(tracer)
     run(cluster)
-    return {e.kind for e in tracer.events}
+    kinds = {e.kind for e in tracer.events}
+    if cluster.flight_recorder is not None:
+        # The dump marker is emitted into the ring itself (the artifact
+        # is the pre-dump state), so collect the recorder's kinds too.
+        kinds |= {e.kind for e in cluster.flight_recorder.events}
+    return kinds
 
 
 @pytest.fixture(scope="module")
@@ -147,6 +152,19 @@ def exercised_kinds():
         oids = build_chain(cluster)
         cluster.run_query(CLOSURE, [oids[0]], priority="batch")
     observed |= traced({"qos": QoSConfig(shed_watermark=0)}, shed)
+    # 5. The telemetry plane: streaming stats while a query is in flight,
+    # and a flight-recorder dump when the deadline expires under loss.
+    def telemetry(cluster):
+        oids = build_chain(cluster)
+        cluster.run_query(CLOSURE, [oids[0]], deadline_s=0.5)
+    observed |= traced(
+        {
+            "fault_plan": FaultPlan(seed=1, drop=1.0),
+            "stats_stream_s": 0.05,
+            "flight_recorder": FlightRecorderConfig(capacity=256),
+        },
+        telemetry,
+    )
     return observed
 
 
