@@ -28,7 +28,7 @@ from dataclasses import dataclass, fields, replace
 from typing import Any, Dict, Optional, Tuple, Union
 
 from .cache import CacheConfig
-from .errors import HyperFileError
+from .errors import ConfigError
 from .faults.plan import FaultPlan
 from .faults.reliable import ReliableConfig
 from .net.batching import BatchConfig
@@ -103,6 +103,27 @@ class ClusterConfig:
             raise ValueError("reconnect_backoff_s must be positive")
         if self.stats_stream_s is not None and self.stats_stream_s <= 0:
             raise ValueError("stats_stream_s must be positive when set")
+        # Combinations that no transport can honour fail here, at
+        # construction, with one typed error — not deep inside a
+        # transport at first use.  ``processes=True`` runs one OS
+        # process per site; the simulator-only knobs below configure a
+        # discrete-event kernel that has no process-mode counterpart.
+        if self.processes:
+            sim_only = [
+                name
+                for name, moved in (
+                    ("costs", self.costs is not None),
+                    ("mark_granularity", self.mark_granularity != "iteration"),
+                    ("gc_contexts", bool(self.gc_contexts)),
+                )
+                if moved
+            ]
+            if sim_only:
+                raise ConfigError(
+                    f"ClusterConfig(processes=True) cannot honour simulator-only "
+                    f"field(s) {sim_only}; process mode runs real OS processes, "
+                    "not the discrete-event kernel"
+                )
 
     def replace(self, **changes: Any) -> "ClusterConfig":
         """A copy with the given fields changed (frozen-dataclass idiom)."""
@@ -116,7 +137,7 @@ class ClusterConfig:
         """
         for name in names:
             if getattr(self, name) != _FIELD_DEFAULTS[name]:
-                raise HyperFileError(
+                raise ConfigError(
                     f"ClusterConfig.{name} does not apply to the {transport!r} transport"
                 )
 

@@ -12,6 +12,19 @@ class HyperFileError(Exception):
     """Base class for every error raised by this library."""
 
 
+class ConfigError(HyperFileError, ValueError):
+    """A deployment configuration is invalid or names a capability the
+    selected transport cannot honour.
+
+    Raised at :class:`~repro.config.ClusterConfig` construction time for
+    combinations that can never work (e.g. simulator-only knobs together
+    with ``processes=True``) and by ``require_default`` when a transport
+    rejects a field it does not implement — always *before* any process
+    is spawned or socket bound, never deep inside a transport at first
+    use.
+    """
+
+
 class ObjectNotFound(HyperFileError, KeyError):
     """An object id could not be resolved to a stored object.
 
@@ -89,6 +102,21 @@ class TransportClosed(HyperFileError):
     """An operation was attempted on a transport after shutdown."""
 
 
+class ChildProcessDied(HyperFileError):
+    """A site's child process died while the parent still needed it.
+
+    Raised by the process-mode control channel when a request cannot be
+    sent to — or a reply can no longer arrive from — a child whose
+    process or control link is gone.  Always names the site, so callers
+    never see a bare timeout for what is really a dead process.
+    """
+
+    def __init__(self, site: object, detail: str = "") -> None:
+        self.site = site
+        suffix = f": {detail}" if detail else ""
+        super().__init__(f"child process for site {site!r} died{suffix}")
+
+
 class QueryTimeout(HyperFileError):
     """A query's originator-side deadline expired before termination.
 
@@ -119,15 +147,24 @@ class TerminationLost(HyperFileError):
     the transport recorded as undeliverable.
     """
 
-    def __init__(self, qid: object, deficit: object = None, undeliverable: int = 0) -> None:
+    def __init__(
+        self,
+        qid: object,
+        deficit: object = None,
+        undeliverable: int = 0,
+        site: object = None,
+    ) -> None:
         self.qid = qid
         self.deficit = deficit
         self.undeliverable = undeliverable
+        self.site = site
         detail = []
         if deficit is not None:
             detail.append(f"credit deficit {deficit}")
         if undeliverable:
             detail.append(f"{undeliverable} undeliverable envelope(s)")
+        if site is not None:
+            detail.append(f"site {site!r} lost")
         suffix = f" ({', '.join(detail)})" if detail else ""
         super().__init__(
             f"query {qid} cannot terminate: the termination detector never fired{suffix}"

@@ -23,7 +23,9 @@ By default all sites share one event loop on a background thread —
 the whole conformance suite (faults, QoS, replication, tracing,
 metrics) runs unchanged.  ``ClusterConfig(processes=True)`` switches to
 one OS process per site (see :mod:`repro.net.procserver`) for genuine
-multi-core parallelism, at the price of the shared-memory conveniences.
+multi-core parallelism, with the same capability surface — replication,
+the reliable channel, fault plans, migration and telemetry all ride the
+parent↔child control channel instead of shared memory.
 
 Fault semantics mirror the socket transport exactly: a
 :class:`~repro.faults.plan.FaultPlan` drops/delays frames at the

@@ -180,6 +180,13 @@ class WallClockQueries:
         if tracer is not None:
             tracer.emit("cluster", "stats_push", "", sites=len(sites))
 
+    def _credit_deficit(self, qid: QueryId):
+        """Cluster-wide missing termination credit for ``qid`` (the
+        TerminationLost diagnostic).  The default reads the in-process
+        node contexts; process mode overrides this to ask each child
+        over the control channel."""
+        return credit_deficit(self.nodes, qid)
+
     def _flightrec_dump(self, qid: QueryId, reason: str) -> None:
         """Dump the flight-recorder ring once per dying query.  Process
         mode overrides this to pull each child's ring first."""
@@ -274,7 +281,7 @@ class WallClockQueries:
                 budget,
                 deadline_remaining,
                 expire=lambda: self._dispatch_expire(qid.originator, qid),
-                diagnose=lambda: (credit_deficit(self.nodes, qid), len(self.undeliverable)),
+                diagnose=lambda: (self._credit_deficit(qid), len(self.undeliverable)),
             )
         except TerminationLost:
             self._flightrec_dump(qid, "termination_lost")

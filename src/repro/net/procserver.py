@@ -44,18 +44,55 @@ has an explicit wire representation on a per-child *control* channel
   parent merges the rings and writes the postmortem dump when a query
   dies badly;
 * ``FAULTS`` — ships a :class:`~repro.faults.plan.FaultPlan`'s link
-  chaos parameters (the plan object itself is not picklable); scheduled
-  crashes stay parent-side as timers driving ``SET_DOWN``/``SET_UP``.
+  chaos parameters (the plan object itself is not picklable); every
+  drop/duplicate/reorder/jitter decision is then made child-side by the
+  sending child's own plan copy, exactly where the inline transports
+  make it; scheduled crashes stay parent-side as timers driving the
+  ``SET_DOWN``/``SET_UP`` broadcasts (semantically identical — a crash
+  *is* a set_down everywhere); ``FAULT_STATS`` pulls each child's chaos
+  counters back so the parent's plan object reports cluster totals;
+* ``PUT`` / ``CONTAINS`` / ``REMOVE`` / ``OIDS`` / ``OBJECTS`` /
+  ``STORE_META`` — the rest of the :class:`~repro.storage.memstore.MemStore`
+  surface, so :class:`StoreProxy` is a full drop-in (workload loading,
+  migration and replication all run against it unchanged);
+* ``FWD`` — the per-site forwarding table (record/drop/lookup), so
+  :func:`~repro.naming.names.migrate_object` maintains the paper's
+  naming invariants across process boundaries;
+* ``REPL_DIR`` / ``EPOCH`` — replication: the parent runs the ordinary
+  :class:`~repro.replication.ReplicationManager` against the store
+  proxies, and every directory change (holder list, version counter)
+  broadcasts to all children, which keep a local
+  :class:`~repro.naming.directory.ReplicaDirectory` replica — so
+  read-anycast routing and ``tried``-exclusion failover run child-side
+  with zero extra round-trips; ``EPOCH`` fans write epochs out to every
+  child's cache-invalidation listener (the PR 4/5 epoch listeners);
+* ``RELIABLE_ON`` — arms a per-child
+  :class:`~repro.faults.reliable.ReliableEndpoint` (ack + retransmit +
+  dedup state lives child-side, timers on the child's loop); a
+  retransmit give-up bounces detector credit child-side exactly like
+  the inline transports *and* pushes a ``GIVE_UP`` note to the parent,
+  which records it in ``cluster.undeliverable`` for diagnostics;
+* ``CREDIT`` — per-query termination-credit snapshots, merged by the
+  parent into the same ``credit_deficit`` number the inline transports
+  compute from shared memory.
 
 The parent serialises requests per child (one outstanding request, FIFO
-replies), so replies need no correlation ids; ``COMPLETE`` and
-``STATS_PUSH`` pushes are routed out-of-band by the per-child reader
-thread.  Trace drains and flight snaps run on the client thread (never
-the reader thread, which must stay free to route the replies).
+replies), so replies need no correlation ids; ``COMPLETE``,
+``STATS_PUSH`` and ``GIVE_UP`` pushes are routed out-of-band by the
+per-child reader thread.  Trace drains and flight snaps run on the
+client thread (never the reader thread, which must stay free to route
+the replies).
 
-Deliberately unsupported here (the config is rejected loudly, see
-``docs/ASYNC.md``): replication and the reliable channel — each assumes
-shared objects between sites and has no wire representation yet.
+A child that dies is detected two ways: its reader thread sees EOF and
+fails the link immediately (in-flight requests and waits raise
+:class:`~repro.errors.ChildProcessDied` / ``TerminationLost`` naming
+the site), and a request that times out checks ``process.is_alive()``
+before reporting anything vaguer.
+
+The only configs still rejected are the simulator-only knobs (``costs``,
+``mark_granularity``, ``gc_contexts``) — and those fail at
+``ClusterConfig`` construction with :class:`~repro.errors.ConfigError`,
+before any process is spawned (see ``docs/ASYNC.md``).
 """
 
 from __future__ import annotations
@@ -68,8 +105,9 @@ import queue
 import socket
 import threading
 import time
-from dataclasses import fields, replace
-from typing import Dict, Iterable, List, Optional, Tuple, Union
+from dataclasses import dataclass, fields, replace
+from fractions import Fraction
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
 from ..api import QueryOutcome
 from ..config import ClusterConfig
@@ -77,8 +115,20 @@ from ..core.oid import Oid
 from ..core.program import Program
 from ..core.tuples import HFTuple
 from ..engine.results import ExecutionStats, QueryResult, ResultSet
-from ..errors import HyperFileError, ObjectNotFound, TransportClosed, UnknownSite
+from ..errors import (
+    ChildProcessDied,
+    ConfigError,
+    DuplicateObject,
+    HyperFileError,
+    ObjectNotFound,
+    TerminationLost,
+    TransportClosed,
+    UnknownSite,
+)
 from ..faults.plan import FaultPlan
+from ..faults.reliable import ReliableConfig
+from ..naming.directory import ReplicaDirectory
+from ..replication import ReplicationManager
 from ..server.stats import NodeStats
 from ..tracing import KINDS, FlightRecorder, QueryTracer, TeeTracer, TraceEvent, _jsonable
 from .codec import (
@@ -114,23 +164,44 @@ _C_SHUTDOWN = 0x0C
 _C_TRACE_ON = 0x0D
 _C_TRACE_OFF = 0x0E
 _C_TRACE_DRAIN = 0x0F
+_C_CREDIT = 0x10
+_C_FAULT_STATS = 0x11
 _C_METRICS_ON = 0x12
 _C_METRICS_SNAP = 0x13
 _C_FLIGHT_SNAP = 0x14
 _C_FAULTS = 0x15
+_C_PUT = 0x16
+_C_CONTAINS = 0x17
+_C_REMOVE = 0x18
+_C_OIDS = 0x19
+_C_STORE_META = 0x1A
+_C_OBJECTS = 0x1B
+_C_FWD = 0x1C
+_C_REPL_DIR = 0x1D
+_C_EPOCH = 0x1E
+_C_RELIABLE_ON = 0x1F
 _C_OK = 0x20
 _C_ERR = 0x21
 _C_OBJECT = 0x22
 _C_STATS_REPLY = 0x23
 _C_TRACE_EVENTS = 0x24
 _C_METRICS_REPLY = 0x25
+_C_VALUE = 0x26
+_C_OBJECTS_REPLY = 0x27
+_C_CREDIT_REPLY = 0x28
 _C_COMPLETE = 0x30
 _C_STATS_PUSH = 0x31
+_C_GIVE_UP = 0x32
+
+#: ``FWD`` sub-operations (one tag, a sub-op byte).
+_FWD_RECORD, _FWD_DROP, _FWD_LOOKUP = 0, 1, 2
 
 #: Error types the control channel can re-raise parent-side by name.
 _ERROR_TYPES = {
     "ObjectNotFound": ObjectNotFound,
+    "DuplicateObject": DuplicateObject,
     "UnknownSite": UnknownSite,
+    "ConfigError": ConfigError,
     "HyperFileError": HyperFileError,
 }
 
@@ -270,6 +341,19 @@ class _ChildRuntime:
         self.messages_dropped = 0
         self._down: set = set()
         self._loop: Optional[asyncio.AbstractEventLoop] = None
+        #: Local copy of the cluster-wide replica directory, kept in sync
+        #: by REPL_DIR broadcasts; ``None`` when replication is off.
+        self.replicas: Optional[ReplicaDirectory] = None
+        #: This site's half of the reliable channel (RELIABLE_ON or the
+        #: shipped config arm it); ``None`` means raw delivery.
+        self._endpoint = None
+        #: Envelopes this child's reliable channel gave up on (the
+        #: inline transports' ``cluster.undeliverable``, kept per child
+        #: and mirrored to the parent via GIVE_UP pushes).
+        self.undeliverable: List = []
+        #: Writes one out-of-band frame to the control socket (set once
+        #: the control connection exists); GIVE_UP pushes ride this.
+        self.send_oob: Optional[Callable[[bytes], None]] = None
         # Telemetry plane (all driven over the control channel).
         #: Shipping tracer installed by TRACE_ON; its events[cursor:]
         #: are what drains and completion piggybacks carry to the parent.
@@ -302,10 +386,66 @@ class _ChildRuntime:
             raise UnknownSite(site) from None
 
     def _endpoint_for(self, site: str):
-        return None
+        """The sending site's reliable endpoint — in a child there is
+        exactly one site, so this is ours or nothing."""
+        return self._endpoint if site == self.site else None
 
-    def _reliable_ingest(self, env) -> None:  # pragma: no cover - reliable is rejected
-        raise HyperFileError("reliable channel is not supported in process mode")
+    def _reliable_ingest(self, env) -> None:
+        """A ReliableData/ReliableAck frame arrived on the wire."""
+        if self._endpoint is None:
+            # A peer is running the channel and we are not: the config
+            # diverged between processes, which should be impossible
+            # (the same ClusterConfig ships to every child).
+            raise HyperFileError(
+                f"reliable frame at {self.site} but the channel is not enabled here"
+            )
+        self._endpoint.on_wire(env)
+
+
+def _install_reliable(runtime: _ChildRuntime, asite, rconfig: ReliableConfig) -> None:
+    """Arm this child's half of the reliable channel.
+
+    Mirrors the inline transport's ``enable_reliable`` wiring exactly,
+    one site at a time: acks, retransmit timers and dedup state all live
+    on this child's event loop.  A give-up recovers detector credit
+    child-side (an ``Undeliverable`` bounce into our own inbox, exactly
+    like the inline ``_give_up``) and additionally pushes a GIVE_UP note
+    so the parent's ``undeliverable`` diagnostics stay truthful.
+    """
+    from ..faults.reliable import ReliableEndpoint
+    from .messages import BatchedQuery, DerefRequest, Envelope, SeedFromSaved, Undeliverable
+
+    loop = runtime._loop
+    node = asite.node
+
+    def give_up(env) -> None:
+        runtime.undeliverable.append(env)
+        if runtime.send_oob is not None:
+            w = _Writer()
+            w.byte(_C_GIVE_UP)
+            w.text(runtime.site)
+            w.text(env.src)
+            w.text(env.dst)
+            w.text(type(env.payload).__name__)
+            w.text(str(getattr(env.payload, "qid", "") or ""))
+            runtime.send_oob(w.getvalue())
+        if isinstance(env.payload, (DerefRequest, BatchedQuery, SeedFromSaved)):
+            asite.inbox.put_nowait(
+                Envelope(env.dst, env.src, Undeliverable(env), spans=env.spans)
+            )
+
+    runtime._endpoint = ReliableEndpoint(
+        runtime.site,
+        clock=time.monotonic,
+        # Everything that schedules runs on this child's loop thread.
+        scheduler=lambda delay, fn: loop.call_later(delay, fn),
+        send_raw=asite._send_raw,
+        # on_wire runs inside the drain task, which steps the node next.
+        deliver_up=node.on_message,
+        node=node,
+        config=rconfig,
+        on_give_up=give_up,
+    )
 
 
 def _child_main(site: str, names: List[str], parent_port: int, config: ClusterConfig) -> None:
@@ -342,6 +482,13 @@ async def _child_serve(
         payload = _encode_result(qid, result, counts, _events_to_json(shipped) if shipped else "")
         control_writer.write(FRAME_HEADER.pack(len(payload)) + payload)
 
+    # Replication: every child keeps a full local replica directory (it
+    # is small — holder lists and version counters), synced by REPL_DIR
+    # broadcasts from the parent's manager.  Routing and failover then
+    # consult it locally, exactly like the inline transports.
+    if config.replication is not None and config.replication.enabled:
+        runtime.replicas = ReplicaDirectory()
+
     node = ServerNode(
         site,
         store,
@@ -353,6 +500,7 @@ async def _child_serve(
         is_site_up=lambda s: not runtime.is_down(s),
         batching=config.batching,
         caching=config.caching,
+        replicas=runtime.replicas,
         qos=config.qos,
     )
     node.now_fn = time.monotonic
@@ -374,7 +522,19 @@ async def _child_serve(
     await asite.bootstrap()
     asite._drain_task = asyncio.get_running_loop().create_task(asite.drain())
 
+    if config.reliable:
+        _install_reliable(
+            runtime,
+            asite,
+            config.reliable if isinstance(config.reliable, ReliableConfig) else ReliableConfig(),
+        )
+
     reader, control_writer = await asyncio.open_connection(config.host, parent_port)
+
+    def send_oob(payload: bytes) -> None:
+        control_writer.write(FRAME_HEADER.pack(len(payload)) + payload)
+
+    runtime.send_oob = send_oob
     hello = _Writer()
     hello.byte(_C_HELLO)
     hello.text(site)
@@ -421,6 +581,8 @@ async def _child_serve(
         await control_writer.drain()
     if pusher_task is not None:
         pusher_task.cancel()
+    if runtime._endpoint is not None:
+        runtime._endpoint.close()
     asite.shutdown()
     control_writer.close()
 
@@ -547,6 +709,109 @@ def _handle_control(frame, runtime: _ChildRuntime, asite, store):
                 plan.partition(r.text(), r.text())
             runtime.fault_plan = plan
             return bytes((_C_OK,))
+        if tag == _C_FAULT_STATS:
+            plan = runtime.fault_plan
+            w = _Writer()
+            w.byte(_C_VALUE)
+            _write_value(
+                w,
+                (
+                    runtime.messages_dropped,
+                    plan.decisions if plan is not None else 0,
+                    plan.dropped if plan is not None else 0,
+                    plan.duplicated if plan is not None else 0,
+                    plan.delayed if plan is not None else 0,
+                    plan.partition_drops if plan is not None else 0,
+                ),
+            )
+            return w.getvalue()
+        if tag == _C_PUT:
+            obj = _read_object(r)
+            overwrite = r.byte() == 1
+            store.put(obj, overwrite=overwrite)
+            return bytes((_C_OK,))
+        if tag == _C_CONTAINS:
+            w = _Writer()
+            w.byte(_C_VALUE)
+            _write_value(w, store.contains(_read_value(r)))
+            return w.getvalue()
+        if tag == _C_REMOVE:
+            obj = store.remove(_read_value(r))
+            w = _Writer()
+            w.byte(_C_OBJECT)
+            _write_object(w, obj)
+            return w.getvalue()
+        if tag == _C_OIDS:
+            w = _Writer()
+            w.byte(_C_VALUE)
+            _write_value(w, tuple(store.oids()))
+            return w.getvalue()
+        if tag == _C_STORE_META:
+            w = _Writer()
+            w.byte(_C_VALUE)
+            _write_value(w, (store.epoch, store.alloc_high, len(store)))
+            return w.getvalue()
+        if tag == _C_OBJECTS:
+            objs = list(store.objects())
+            w = _Writer()
+            w.byte(_C_OBJECTS_REPLY)
+            w.varint(len(objs))
+            for obj in objs:
+                _write_object(w, obj)
+            return w.getvalue()
+        if tag == _C_FWD:
+            op = r.byte()
+            table = asite.node.forwarding
+            if op == _FWD_RECORD:
+                table.record(_read_value(r), r.text())
+                return bytes((_C_OK,))
+            if op == _FWD_DROP:
+                table.drop(_read_value(r))
+                return bytes((_C_OK,))
+            w = _Writer()
+            w.byte(_C_VALUE)
+            _write_value(w, table.lookup(_read_value(r)))
+            return w.getvalue()
+        if tag == _C_REPL_DIR:
+            oid = _read_value(r)
+            version = r.varint()
+            holders = tuple(r.text() for _ in range(r.varint()))
+            if runtime.replicas is not None:
+                if version == 0:  # drop sentinel: the entry is gone
+                    runtime.replicas.drop(oid)
+                else:
+                    runtime.replicas.record(oid, holders, version)
+            return bytes((_C_OK,))
+        if tag == _C_EPOCH:
+            target = r.text()
+            epoch = r.varint()
+            asite.node.observe_epoch(target, epoch)
+            return bytes((_C_OK,))
+        if tag == _C_RELIABLE_ON:
+            base = _read_value(r)
+            cap = _read_value(r)
+            retries = r.varint()
+            _install_reliable(
+                runtime, asite,
+                ReliableConfig(base_backoff_s=base, max_backoff_s=cap, max_retries=retries),
+            )
+            return bytes((_C_OK,))
+        if tag == _C_CREDIT:
+            qid = _read_qid(r)
+            ctx = asite.node.contexts.get(qid)
+            w = _Writer()
+            w.byte(_C_CREDIT_REPLY)
+            if ctx is None:
+                w.byte(0)
+            else:
+                state = ctx.term_state
+                credit = getattr(state, "credit", None)
+                recovered = getattr(state, "recovered", None)
+                w.byte(1)
+                _write_value(w, credit if isinstance(credit, Fraction) else None)
+                w.byte(1 if getattr(state, "is_originator", False) else 0)
+                _write_value(w, recovered if isinstance(recovered, Fraction) else None)
+            return w.getvalue()
         if tag == _C_SHUTDOWN:
             return _SHUTDOWN
         raise HyperFileError(f"unknown control tag 0x{tag:02x}")
@@ -562,9 +827,12 @@ def _handle_control(frame, runtime: _ChildRuntime, asite, store):
 class StoreProxy:
     """Parent-side handle on one child's object store.
 
-    Same ``create`` / ``get`` / ``replace`` surface as
-    :class:`~repro.storage.memstore.MemStore`; every call is one control
-    round-trip, objects crossing as codec bytes.
+    The complete public :class:`~repro.storage.memstore.MemStore`
+    surface (``tests/net/test_procserver.py`` introspects both classes
+    so any future drift fails loudly); every call is one control
+    round-trip, objects crossing as codec bytes.  ``scan`` filters
+    client-side over one ``OBJECTS`` fetch — the predicate is a Python
+    callable and does not cross the wire.
     """
 
     def __init__(self, cluster: "ProcessCluster", site: str) -> None:
@@ -575,6 +843,20 @@ class StoreProxy:
     def site(self) -> str:
         """The owning site's name (same surface as MemStore)."""
         return self._site
+
+    @property
+    def epoch(self) -> int:
+        """The child store's current mutation epoch."""
+        return self._meta()[0]
+
+    @property
+    def alloc_high(self) -> int:
+        """Exclusive upper bound on local ids minted at the child."""
+        return self._meta()[1]
+
+    def _meta(self) -> Tuple[int, int, int]:
+        reply = self._cluster._request(self._site, bytes((_C_STORE_META,)), expect=_C_VALUE)
+        return _read_value(reply)
 
     def create(self, tuples: Iterable[HFTuple] = (), size_hint: Optional[int] = None):
         w = _Writer()
@@ -589,6 +871,13 @@ class StoreProxy:
         reply = self._cluster._request(self._site, w.getvalue(), expect=_C_OBJECT)
         return _read_object(reply)
 
+    def put(self, obj, overwrite: bool = False) -> None:
+        w = _Writer()
+        w.byte(_C_PUT)
+        _write_object(w, obj)
+        w.byte(1 if overwrite else 0)
+        self._cluster._request(self._site, w.getvalue(), expect=_C_OK)
+
     def get(self, oid: Oid):
         w = _Writer()
         w.byte(_C_GET)
@@ -601,6 +890,154 @@ class StoreProxy:
         w.byte(_C_REPLACE)
         _write_object(w, obj)
         self._cluster._request(self._site, w.getvalue(), expect=_C_OK)
+
+    def contains(self, oid: Oid) -> bool:
+        w = _Writer()
+        w.byte(_C_CONTAINS)
+        _write_value(w, oid)
+        reply = self._cluster._request(self._site, w.getvalue(), expect=_C_VALUE)
+        return bool(_read_value(reply))
+
+    def remove(self, oid: Oid):
+        w = _Writer()
+        w.byte(_C_REMOVE)
+        _write_value(w, oid)
+        reply = self._cluster._request(self._site, w.getvalue(), expect=_C_OBJECT)
+        return _read_object(reply)
+
+    def oids(self) -> List[Oid]:
+        reply = self._cluster._request(self._site, bytes((_C_OIDS,)), expect=_C_VALUE)
+        return list(_read_value(reply))
+
+    def objects(self) -> Iterator:
+        reply = self._cluster._request(self._site, bytes((_C_OBJECTS,)), expect=_C_OBJECTS_REPLY)
+        return iter([_read_object(reply) for _ in range(reply.varint())])
+
+    def scan(self, predicate) -> Iterator:
+        for obj in self.objects():
+            if predicate(obj):
+                yield obj
+
+    def __len__(self) -> int:
+        return self._meta()[2]
+
+    def __contains__(self, oid: object) -> bool:
+        return isinstance(oid, Oid) and self.contains(oid)
+
+    def __repr__(self) -> str:
+        return f"StoreProxy(site={self._site!r})"
+
+
+class _ForwardingProxy:
+    """Parent-side handle on one child node's forwarding table, so
+    migration maintains the paper's naming invariants across processes
+    (:func:`~repro.naming.names.migrate_object` runs against these
+    unchanged)."""
+
+    def __init__(self, cluster: "ProcessCluster", site: str) -> None:
+        self._cluster = cluster
+        self._site = site
+
+    @property
+    def site(self) -> str:
+        return self._site
+
+    def _op(self, op: int, oid: Oid, new_site: str = "") -> _Reader:
+        w = _Writer()
+        w.byte(_C_FWD)
+        w.byte(op)
+        _write_value(w, oid)
+        if op == _FWD_RECORD:
+            w.text(new_site)
+        expect = _C_OK if op in (_FWD_RECORD, _FWD_DROP) else _C_VALUE
+        return self._cluster._request(self._site, w.getvalue(), expect=expect)
+
+    def record(self, oid: Oid, new_site: str) -> None:
+        self._op(_FWD_RECORD, oid, new_site)
+
+    def drop(self, oid: Oid) -> None:
+        self._op(_FWD_DROP, oid)
+
+    def lookup(self, oid: Oid) -> Optional[str]:
+        return _read_value(self._op(_FWD_LOOKUP, oid))
+
+    def __repr__(self) -> str:
+        return f"_ForwardingProxy(site={self._site!r})"
+
+
+class _SyncedDirectory(ReplicaDirectory):
+    """The parent's replica directory, broadcast to every child.
+
+    The ordinary :class:`~repro.replication.ReplicationManager` mutates
+    this exactly as it would a shared-memory directory; each change
+    additionally ships as one REPL_DIR frame per child, so the children's
+    local copies — the ones read-anycast routing and ``tried``-exclusion
+    failover consult on the query path — never lag a write.
+    """
+
+    def __init__(self, cluster: "ProcessCluster") -> None:
+        super().__init__()
+        self._cluster = cluster
+
+    def record(self, oid: Oid, sites, version: Optional[int] = None) -> None:
+        super().record(oid, sites, version)
+        self._push(oid)
+
+    def bump_version(self, oid: Oid) -> int:
+        version = super().bump_version(oid)
+        self._push(oid)
+        return version
+
+    def drop(self, oid: Oid) -> None:
+        super().drop(oid)
+        self._push(oid)
+
+    def _push(self, oid: Oid) -> None:
+        entry = self._entries.get(oid.key())  # not sites_of: no counter noise
+        w = _Writer()
+        w.byte(_C_REPL_DIR)
+        _write_value(w, oid)
+        if entry is None:  # dropped: version 0 is the tombstone
+            w.varint(0)
+            w.varint(0)
+        else:
+            w.varint(entry.version)
+            w.varint(len(entry.sites))
+            for site in entry.sites:
+                w.text(site)
+        self._cluster._broadcast(w.getvalue())
+
+
+@dataclass
+class _UndeliveredNote:
+    """Parent-side record of one child-side reliable give-up.
+
+    The envelope itself stays in the child (``runtime.undeliverable``
+    holds the real object); this note carries what diagnostics need —
+    who gave up on what — without shipping payload bytes.
+    """
+
+    site: str
+    src: str
+    dst: str
+    kind: str
+    qid: str
+
+
+class _ChildDeath:
+    """Completion-queue marker: the originator's process died mid-query."""
+
+    class _Result:
+        partial = False
+        partial_reason = None
+
+    def __init__(self, site: str) -> None:
+        self.site = site
+        self.result = self._Result()
+
+
+#: Reply-queue sentinel a dying reader thread leaves for a blocked request.
+_LINK_LOST = object()
 
 
 class _RemoteSiteHandle:
@@ -627,6 +1064,9 @@ class _ChildLink:
         self.lock = threading.Lock()
         self.replies: "queue.Queue" = queue.Queue()
         self.reader: Optional[threading.Thread] = None
+        #: Set by the reader thread on its way out; requests against a
+        #: dead link fail fast with ChildProcessDied instead of timing out.
+        self.dead = False
 
 
 class ProcessCluster(WallClockQueries):
@@ -644,9 +1084,11 @@ class ProcessCluster(WallClockQueries):
         self, sites: Union[int, Iterable[str]] = 3, config: Optional[ClusterConfig] = None
     ) -> None:
         config = config if config is not None else ClusterConfig(processes=True)
+        # ClusterConfig.__post_init__ rejects these when processes=True is
+        # set on the config itself; this catches a default-mode config
+        # handed straight to ProcessCluster.
         config.require_default(
             "costs", "mark_granularity", "gc_contexts",
-            "replication", "reliable",
             transport="async (process mode)",
         )
         self.config = config
@@ -727,6 +1169,20 @@ class ProcessCluster(WallClockQueries):
         for site in self._links:
             self._request(site, frame, expect=_C_OK)
 
+        # The shared data-management surface (WallClockQueries.migrate,
+        # replicate_all, ReplicationManager) runs against these proxies
+        # exactly as it runs against MemStore/ForwardingTable inline.
+        self.stores: Dict[str, StoreProxy] = {n: StoreProxy(self, n) for n in names}
+        self.forwarding: Dict[str, _ForwardingProxy] = {
+            n: _ForwardingProxy(self, n) for n in names
+        }
+        if config.replication is not None and config.replication.enabled:
+            self.replication = ReplicationManager(
+                config.replication, self.stores, self.forwarding, _SyncedDirectory(self)
+            )
+            self.replication.add_epoch_listener(self._broadcast_epoch)
+        self._reliable_enabled = bool(config.reliable)
+
         if config.fault_plan is not None:
             self.use_faults(config.fault_plan)
 
@@ -747,10 +1203,31 @@ class ProcessCluster(WallClockQueries):
                     r = _Reader(frame)
                     r.byte()
                     self._on_stats_push(r.text(), r.text())
+                elif frame[0] == _C_GIVE_UP:
+                    r = _Reader(frame)
+                    r.byte()
+                    self.undeliverable.append(
+                        _UndeliveredNote(r.text(), r.text(), r.text(), r.text(), r.text())
+                    )
                 else:
                     link.replies.put(frame)
         except (OSError, HyperFileError):
             return
+        finally:
+            self._on_link_lost(link)
+
+    def _on_link_lost(self, link: _ChildLink) -> None:
+        """Reader-thread epitaph: mark the link dead, wake any request
+        blocked on its reply queue, and fail every in-flight query whose
+        originator just vanished — a child death must surface as a typed
+        error naming the site, never as a silent 30s control timeout."""
+        link.dead = True
+        link.replies.put(_LINK_LOST)
+        if self._closed:
+            return  # clean shutdown tears links down on purpose
+        for qid in list(self._inflight):
+            if qid.originator == link.site and self._inflight.pop(qid, None) is not None:
+                self._completions.put((qid, _ChildDeath(link.site)))
 
     def _request(self, site: str, frame: bytes, expect: int) -> _Reader:
         link = self._links.get(site)
@@ -759,11 +1236,20 @@ class ProcessCluster(WallClockQueries):
         with link.lock:
             if self._closed:
                 raise TransportClosed("cluster is closed")
-            send_frame(link.conn, frame)
+            if link.dead:
+                raise ChildProcessDied(site)
+            try:
+                send_frame(link.conn, frame)
+            except OSError as exc:
+                raise ChildProcessDied(site, f"control send failed ({exc})") from None
             try:
                 reply = link.replies.get(timeout=self.RPC_TIMEOUT_S)
             except queue.Empty:
+                if not link.process.is_alive():
+                    raise ChildProcessDied(site, "no control reply") from None
                 raise HyperFileError(f"no control reply from {site}") from None
+        if reply is _LINK_LOST:
+            raise ChildProcessDied(site, "control link lost mid-request")
         r = _Reader(reply)
         tag = r.byte()
         if tag == _C_ERR:
@@ -771,6 +1257,10 @@ class ProcessCluster(WallClockQueries):
         if tag != expect:
             raise HyperFileError(f"unexpected control reply 0x{tag:02x} from {site}")
         return r
+
+    def _broadcast(self, frame: bytes, expect: int = _C_OK) -> None:
+        for site in list(self._links):
+            self._request(site, frame, expect=expect)
 
     def _on_stats_push(self, site: str, payload: str) -> None:
         """A child's periodic stats sample (reader thread).  Each push is
@@ -843,12 +1333,25 @@ class ProcessCluster(WallClockQueries):
         return list(self.nodes)
 
     def store(self, site: str) -> StoreProxy:
-        if site not in self._links:
+        proxy = self.stores.get(site)
+        if proxy is None:
             raise UnknownSite(site)
-        return StoreProxy(self, site)
+        return proxy
 
-    def migrate(self, oid: Oid, to_site: str) -> Oid:
-        raise HyperFileError("migrate is not supported in process mode")
+    # migrate/replicate_all: inherited from WallClockQueries — they run
+    # against the store/forwarding proxies (and the parent-side
+    # ReplicationManager when replication is on), so process mode keeps
+    # the exact inline semantics including epoch-listener fan-out.
+
+    def _broadcast_epoch(self, site: str, epoch: int) -> None:
+        """Epoch-listener hook: tell every child node that ``site``'s
+        store mutated, so PR 4/5 cache invalidation fires in each child
+        exactly as it does in each inline node."""
+        w = _Writer()
+        w.byte(_C_EPOCH)
+        w.text(site)
+        w.varint(epoch)
+        self._broadcast(w.getvalue())
 
     # -- availability ----------------------------------------------------
 
@@ -897,6 +1400,9 @@ class ProcessCluster(WallClockQueries):
         for crash in plan.crashes:
             if crash.site not in self._links:
                 raise UnknownSite(crash.site)
+        for timer in self._fault_timers:  # re-arming replaces, not stacks
+            timer.cancel()
+        self._fault_timers.clear()
         self.fault_plan = plan
         w = _Writer()
         w.byte(_C_FAULTS)
@@ -926,6 +1432,98 @@ class ProcessCluster(WallClockQueries):
             self._schedule_fault(crash.at, lambda s=crash.site: self.set_down(s))
             if crash.recover_at is not None:
                 self._schedule_fault(crash.recover_at, lambda s=crash.site: self.set_up(s))
+
+    def fault_stats(self) -> Dict[str, int]:
+        """Aggregate link-chaos counters across every child.
+
+        Also mirrors the totals into the parent's ``fault_plan`` (the
+        children run their own plan clones), so code that inspects
+        ``plan.dropped`` etc. after a run sees real numbers.
+        """
+        totals = [0, 0, 0, 0, 0, 0]
+        req = bytes((_C_FAULT_STATS,))
+        for site in list(self._links):
+            reply = self._request(site, req, expect=_C_VALUE)
+            for i, value in enumerate(_read_value(reply)):
+                totals[i] += value
+        stats = {
+            "messages_dropped": totals[0],
+            "decisions": totals[1],
+            "dropped": totals[2],
+            "duplicated": totals[3],
+            "delayed": totals[4],
+            "partition_drops": totals[5],
+        }
+        plan = self.fault_plan
+        if plan is not None:
+            plan.decisions = stats["decisions"]
+            plan.dropped = stats["dropped"]
+            plan.duplicated = stats["duplicated"]
+            plan.delayed = stats["delayed"]
+            plan.partition_drops = stats["partition_drops"]
+        return stats
+
+    @property
+    def messages_dropped(self) -> int:
+        """Frames eaten at the wire (down sites + chaos), cluster-wide."""
+        return self.fault_stats()["messages_dropped"]
+
+    # -- reliable channel ------------------------------------------------
+
+    def enable_reliable(self, config: Optional[ReliableConfig] = None) -> None:
+        """Arm ack+retransmit on every child's inter-site links."""
+        rconfig = config if config is not None else ReliableConfig()
+        w = _Writer()
+        w.byte(_C_RELIABLE_ON)
+        _write_value(w, float(rconfig.base_backoff_s))
+        _write_value(w, float(rconfig.max_backoff_s))
+        w.varint(rconfig.max_retries)
+        self._broadcast(w.getvalue())
+        self._reliable_enabled = True
+
+    @property
+    def reliable_enabled(self) -> bool:
+        return self._reliable_enabled
+
+    # -- termination diagnostics -----------------------------------------
+
+    def credit_deficit(self, qid: QueryId) -> Optional[Fraction]:
+        """Cluster-wide missing termination credit for ``qid``.
+
+        The exact merge :func:`repro.api.credit_deficit` performs over
+        in-process nodes, computed from one CREDIT round-trip per child:
+        ``1 - recovered - Σ held``.  ``None`` for detectors without a
+        credit ledger or once the originator's context is gone.
+        """
+        w = _Writer()
+        w.byte(_C_CREDIT)
+        _write_qid(w, qid)
+        frame = w.getvalue()
+        recovered: Optional[Fraction] = None
+        held = Fraction(0)
+        for site in list(self._links):
+            reply = self._request(site, frame, expect=_C_CREDIT_REPLY)
+            if reply.byte() == 0:
+                continue  # no context for qid at this child
+            credit = _read_value(reply)
+            is_originator = bool(reply.byte())
+            rec = _read_value(reply)
+            if not isinstance(credit, Fraction):
+                return None
+            held += credit
+            if is_originator:
+                recovered = rec if isinstance(rec, Fraction) else None
+        if recovered is None:
+            return None
+        return Fraction(1) - recovered - held
+
+    def _credit_deficit(self, qid: QueryId):
+        """TerminationLost diagnostics must never mask the original
+        failure — a child that died is exactly when this gets called."""
+        try:
+            return self.credit_deficit(qid)
+        except (HyperFileError, OSError):
+            return None
 
     def _schedule_fault(self, delay_s: float, fn) -> None:
         def fire() -> None:
@@ -1028,13 +1626,21 @@ class ProcessCluster(WallClockQueries):
 
     def wait(self, qid: QueryId, timeout_s: Optional[float] = None) -> QueryOutcome:
         try:
-            return super().wait(qid, timeout_s=timeout_s)
+            outcome = super().wait(qid, timeout_s=timeout_s)
         finally:
             # Completion piggybacks cover the originator; the post-wait
             # drain collects the other children's spans so the tree is
             # whole before the caller inspects it.
             if self._tracer is not None and not self._closed:
                 self._drain_traces()
+        if isinstance(outcome, _ChildDeath):
+            # The originator's process died mid-query; its detector state
+            # died with it, so this query can never terminate.
+            self._flightrec_dump(qid, "termination_lost")
+            raise TerminationLost(
+                qid, undeliverable=len(self.undeliverable), site=outcome.site
+            )
+        return outcome
 
     def _flightrec_dump(self, qid: QueryId, reason: str) -> None:
         """Postmortem for a dying query: pull every child's ring, merge

@@ -4,8 +4,10 @@ The point of the unified cluster API is that everything above the
 transport — sessions, benchmarks, applications — is written once.  These
 tests encode that contract directly: every test in this file runs
 verbatim against the simulator, the threaded transport, the socket
-transport and the asyncio transport, and must behave identically (same
-results, same error types, same deadline semantics) on all four.
+transport, the asyncio transport *and* the asyncio transport's
+process-per-site deployment (``ClusterConfig(processes=True)``), and
+must behave identically (same results, same error types, same deadline
+semantics) on all five.
 
 Clusters are built through the transport registry with a
 :class:`~repro.config.ClusterConfig`, so the suite also pins down the
@@ -27,6 +29,15 @@ CLOSURE = 'S [ (Pointer,"Ref",?X) ^^X ]* (Keyword,"K",?) -> T'
 
 TRANSPORTS = ("sim", "threaded", "sockets", "async")
 
+#: The asyncio transport's one-OS-process-per-site deployment.  Not a
+#: fifth registry name — the registry builds it from ``transport="async"``
+#: with ``ClusterConfig(processes=True)`` — but it IS a fifth way to run
+#: every scenario in this file, and the one most likely to regress (no
+#: shared memory to lean on).
+PROCESS_PARAM = "async+procs"
+
+ALL_PARAMS = (*sorted(TRANSPORTS), PROCESS_PARAM)
+
 #: Back-compat alias: transport name -> factory through the registry.
 FACTORIES = {name: (lambda s=3, _n=name, **kw: build_cluster(_n, s, **kw)) for name in TRANSPORTS}
 
@@ -35,12 +46,28 @@ FACTORIES = {name: (lambda s=3, _n=name, **kw: build_cluster(_n, s, **kw)) for n
 TIMEOUT = 30.0
 
 
-@pytest.fixture(params=sorted(TRANSPORTS))
+def build_param_cluster(param, sites=3, *, config=None):
+    if param == PROCESS_PARAM:
+        config = (config if config is not None else ClusterConfig()).replace(processes=True)
+        return build_cluster("async", sites, config=config)
+    return build_cluster(param, sites, config=config)
+
+
+def deficit_of(cluster, qid):
+    """Missing termination credit, transport-agnostically: process mode
+    answers over its control channel, everything else from node state."""
+    own = getattr(cluster, "credit_deficit", None)
+    if callable(own):
+        return own(qid)
+    return credit_deficit(cluster.nodes, qid)
+
+
+@pytest.fixture(params=ALL_PARAMS)
 def make_cluster(request):
     made = []
 
     def factory(**kwargs):
-        cluster = build_cluster(request.param, 3, config=ClusterConfig(**kwargs))
+        cluster = build_param_cluster(request.param, 3, config=ClusterConfig(**kwargs))
         made.append(cluster)
         return cluster
 
@@ -208,19 +235,69 @@ class TestFollowupQueries:
 class TestCrossTransportAgreement:
     def test_same_database_same_results_everywhere(self):
         """The whole point, in one assertion: an identical database gives
-        an identical result set on all four transports."""
+        an identical result set on all four transports — and on the
+        process-per-site deployment of the fourth."""
         results = {}
-        for name in sorted(TRANSPORTS):
-            cluster = build_cluster(name, 3)
+        for name in ALL_PARAMS:
+            cluster = build_param_cluster(name, 3)
             try:
                 oids = build_chain(cluster)
                 out = cluster.run_query(CLOSURE, [oids[0]], timeout_s=TIMEOUT)
                 results[name] = out.result.oid_keys()
             finally:
                 cluster.close()
-        assert (
-            results["sim"] == results["threaded"] == results["sockets"] == results["async"]
+        assert len(set(map(frozenset, results.values()))) == 1, results
+
+
+class TestProcessParity:
+    """Process mode vs. the simulator oracle, capability by capability.
+
+    The configs this class ships — replication at every k, the reliable
+    channel, seeded link chaos — are exactly the ones process mode used
+    to reject; each must now produce the oracle's result set with zero
+    termination-credit deficit.
+    """
+
+    def _run(self, param, **kwargs):
+        cluster = build_param_cluster(param, config=ClusterConfig(**kwargs))
+        try:
+            oids = build_chain(cluster)
+            if getattr(cluster, "replication", None) is not None:
+                cluster.replicate_all()
+            out = cluster.run_query(CLOSURE, [oids[0]], timeout_s=TIMEOUT)
+            return out.result.oid_keys(), deficit_of(cluster, out.qid)
+        finally:
+            cluster.close()
+
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_replication_matches_sim_oracle(self, k):
+        kwargs = dict(replication=ReplicationConfig(k=k))
+        oracle, _ = self._run("sim", **kwargs)
+        got, deficit = self._run(PROCESS_PARAM, **kwargs)
+        assert got == oracle
+        assert deficit == 0
+
+    def test_reliable_channel_matches_sim_oracle(self):
+        oracle, _ = self._run("sim")
+        got, deficit = self._run(PROCESS_PARAM, reliable=True)
+        assert got == oracle
+        assert deficit == 0
+
+    def test_seeded_chaos_under_reliable_recovers_the_full_result(self):
+        """Lossy links + retransmission must converge on the lossless
+        answer: every drop is retried through, every duplicate deduped,
+        and the detector's credit comes home whole."""
+        from repro.faults.reliable import ReliableConfig
+
+        oracle, _ = self._run("sim")
+        plan = FaultPlan(seed=42, drop=0.25, duplicate=0.25)
+        got, deficit = self._run(
+            PROCESS_PARAM,
+            fault_plan=plan,
+            reliable=ReliableConfig(base_backoff_s=0.02, max_backoff_s=0.2, max_retries=20),
         )
+        assert got == oracle
+        assert deficit == 0
 
 
 class TestQoS:
@@ -257,7 +334,7 @@ class TestQoS:
         assert cluster.total_stats().work_shed > 0
         # The detector's conservation survives shedding exactly: no
         # credit leaked with the dropped work.
-        assert credit_deficit(cluster.nodes, out.qid) == 0
+        assert deficit_of(cluster, out.qid) == 0
 
     def test_interactive_class_not_shed_by_default(self, make_cluster):
         cluster = make_cluster(qos=QoSConfig(shed_watermark=0))

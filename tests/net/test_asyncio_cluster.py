@@ -145,14 +145,34 @@ class TestProcessMode:
         finally:
             cluster.close()
 
-    def test_shared_memory_conveniences_are_rejected_loudly(self):
+    def test_simulator_only_knobs_are_rejected_at_construction(self):
+        # Replication/reliable/faults all ported to the control channel;
+        # what remains impossible — the discrete-event-kernel knobs — now
+        # fails typed at ClusterConfig construction, before any spawn.
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError) as excinfo:
+            ClusterConfig(processes=True, gc_contexts=True)
+        assert "gc_contexts" in str(excinfo.value)
+        with pytest.raises(ConfigError):
+            ClusterConfig(processes=True, mark_granularity="object")
+
+    def test_replication_is_supported_in_process_mode(self):
         from repro.replication import ReplicationConfig
 
-        with pytest.raises(HyperFileError):
-            make_cluster(
-                "async", 2,
-                config=ClusterConfig(processes=True, replication=ReplicationConfig(k=2)),
-            )
+        cluster = make_cluster(
+            "async", 2,
+            config=ClusterConfig(processes=True, replication=ReplicationConfig(k=2)),
+        )
+        try:
+            oids = build_chain(cluster, 4)
+            assert cluster.replicate_all() == len(oids)
+            for oid in oids:
+                holders = cluster.replication.directory.sites_of(oid)
+                assert len(holders) == 2
+                assert all(cluster.store(s).contains(oid) for s in holders)
+        finally:
+            cluster.close()
 
     def test_tracing_and_metrics_work_across_processes(self):
         # These used to be rejected alongside replication; now spans ship
