@@ -39,7 +39,12 @@ closure workload (:mod:`repro.sim.explore`), crashing and recovering a
 replica holder mid-flight on every run, and reports how many distinct
 interleavings completed with oracle-equal results and a zero
 termination-credit deficit — the command-line view of what
-``tests/schedules/`` asserts.
+``tests/schedules/`` asserts.  With ``--membership`` each run
+additionally injects a join, a graceful leave or a permanent crash
+mid-query (``docs/MEMBERSHIP.md``), and the report adds whether every
+run restored k copies at quiesce without losing an object;
+``--sig-log PATH`` appends each run's schedule signature for CI
+artifact diffing.
 
 ``trace`` runs one closure query over the paper's workload with causal
 tracing on and exports the event timeline — ``--jsonl`` for one JSON
@@ -179,6 +184,13 @@ def main(argv: Optional[List[str]] = None) -> int:
                          help="replication factor (default 2; 1 = replica-free)")
     explore.add_argument("--no-crashes", action="store_true",
                          help="reorder events only, inject no crashes")
+    explore.add_argument("--membership", action="store_true",
+                         help="inject joins, graceful leaves and permanent "
+                              "crashes mid-query (implies k-replicated "
+                              "membership cluster)")
+    explore.add_argument("--sig-log", metavar="PATH",
+                         help="append one schedule signature per run to PATH "
+                              "(CI uses this to diff explored interleavings)")
 
     args = parser.parse_args(argv)
     transport = args.transport
@@ -221,6 +233,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "explore":
         return run_explore(
             n_runs=args.runs, k=args.replicas, crashes=not args.no_crashes,
+            membership=args.membership, sig_log=args.sig_log,
             transport=transport,
         )
     return 2  # pragma: no cover - argparse enforces the choices
@@ -757,6 +770,8 @@ def run_explore(
     n_runs: int = 200,
     k: int = 2,
     crashes: bool = True,
+    membership: bool = False,
+    sig_log: Optional[str] = None,
     out: Optional[IO[str]] = None,
     transport: str = "sim",
 ) -> int:
@@ -770,11 +785,24 @@ def run_explore(
         )
         return 2
     from .core import keyword_tuple, pointer_tuple
+    from .membership import MembershipConfig
     from .replication import ReplicationConfig
-    from .sim.explore import CrashPoint, explore_random, run_schedule, summarize
+    from .sim.explore import (
+        CrashPoint,
+        CrashPermanentPoint,
+        JoinPoint,
+        LeavePoint,
+        explore_random,
+        run_schedule,
+        summarize,
+    )
 
     closure = 'S [ (Pointer,"Ref",?X) ^^X ]* (Keyword,"K",?) -> T'
     sites, length = 3, 8
+    if membership and k < 2:
+        print("--membership needs k >= 2 (a permanent crash with one copy "
+              "is data loss, not a schedule)", file=out)
+        return 2
 
     def load(cluster):
         stores = [cluster.store(s) for s in cluster.sites]
@@ -789,7 +817,11 @@ def run_explore(
 
     def make_setup(factor):
         def setup():
-            cluster = _build_cluster("sim", sites, replication=ReplicationConfig(k=factor))
+            cluster = _build_cluster(
+                "sim", sites,
+                replication=ReplicationConfig(k=factor),
+                membership=MembershipConfig() if membership and factor > 1 else None,
+            )
             oids = load(cluster)
             cluster.replicate_all()
             return cluster, oids[:1]
@@ -804,16 +836,37 @@ def run_explore(
         return (CrashPoint(site, at_decision=2 + seed % 7,
                            recover_at_decision=20 + seed % 9),)
 
+    def membership_for(seed):
+        victim = f"site{1 + seed % (sites - 1)}"
+        at = 2 + seed % 11
+        kind = seed % 4
+        if kind == 0:
+            return (JoinPoint(f"site{sites}", at),)
+        if kind == 1:
+            return (LeavePoint(victim, at),)
+        if kind == 2:
+            return (CrashPermanentPoint(victim, at),)
+        return (JoinPoint(f"site{sites}", at),
+                LeavePoint(victim, at + 5 + seed % 7))
+
     runs = explore_random(
         make_setup(k), closure, seeds=range(n_runs),
-        crashes_for_seed=crash_for if crashes else None, originator="site0",
+        crashes_for_seed=crash_for if crashes else None,
+        membership_for_seed=membership_for if membership else None,
+        originator="site0",
     )
+    if sig_log:
+        with open(sig_log, "a") as fh:
+            for r in runs:
+                fh.write(f"{r.seed} {r.signature}\n")
     summary = summarize(runs)
     matching = sum(
         1 for r in runs if r.status == "completed" and r.oid_keys == oracle.oid_keys
     )
     failovers = sum(r.stats.replica_failovers for r in runs)
     mode = "crash+recovery injected" if crashes else "reordering only"
+    if membership:
+        mode += ", membership churn"
     print(f"explored {summary['runs']} schedules (k={k}, {mode}):", file=out)
     print(f"  distinct interleavings: {summary['distinct']}", file=out)
     print(f"  completed:              {summary['completed']}", file=out)
@@ -822,6 +875,10 @@ def run_explore(
     print(f"  replica failovers:      {failovers}", file=out)
     print(f"  max decisions/run:      {summary['max_decisions']}", file=out)
     ok = matching == summary["zero_deficit"] == len(runs)
+    if membership:
+        print(f"  k restored at quiesce:  {summary['k_restored']}", file=out)
+        print(f"  objects lost:           {summary['lost_objects']}", file=out)
+        ok = ok and summary["k_restored"] == len(runs) and summary["lost_objects"] == 0
     print("every schedule equivalent and credit-exact"
           if ok else "DIVERGENT SCHEDULES FOUND", file=out)
     return 0 if ok else 1

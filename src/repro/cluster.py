@@ -27,16 +27,25 @@ from .api import QueryLike, QueryOutcome, compile_query_like, credit_deficit
 from .config import ClusterConfig, resolve_config
 from .core.oid import Oid
 from .engine.results import QueryResult
-from .errors import HyperFileError, Overloaded, QueryTimeout, TerminationLost, UnknownSite
+from .errors import (
+    ConfigError,
+    HyperFileError,
+    Overloaded,
+    QueryTimeout,
+    SiteDeparted,
+    TerminationLost,
+    UnknownSite,
+)
 from .faults.plan import FaultPlan
 from .faults.reliable import ReliableConfig
+from .membership import UP, MembershipService, MembershipView, Rebalancer
 from .naming.directory import ForwardingTable, ReplicaDirectory
 from .naming.names import migrate_object
 from .cache import CacheConfig
 from .net.batching import BatchConfig
 from .qos import PRIORITIES, ClientLimiter, QoSConfig
 from .replication import ReplicationConfig, ReplicationManager
-from .net.messages import QueryId
+from .net.messages import Envelope, Heartbeat, QueryId
 from .net.simnet import SimNetwork
 from .server.node import ServerNode
 from .server.stats import NodeStats
@@ -163,6 +172,26 @@ class SimCluster:
                 # the mutated holders immediately (version/epoch gating).
                 self.replication.add_epoch_listener(node.observe_epoch)
 
+        # Dynamic membership: view service + rebalancer + routing hooks.
+        # config.membership=None leaves every hook at its default, so the
+        # static-membership build runs bit-identically to before.
+        self.membership: Optional[MembershipService] = None
+        self.rebalancer: Optional[Rebalancer] = None
+        self._hb_armed = False
+        self._hb_outstanding = 0
+        self._last_failed_site: Optional[str] = None
+        if config.membership is not None:
+            self.membership = MembershipService(config.membership, names)
+            self.rebalancer = Rebalancer(
+                self.replication, self.stores, self.forwarding, self.membership
+            )
+            if self.replication is not None:
+                self.replication.active_sites = lambda: list(self.membership.view.active)
+            for node in self.nodes.values():
+                node.membership_status = self.membership.status_of
+                node.heartbeat_sink = self._on_heartbeat
+            self.membership.add_listener(self._on_view_change)
+
         self.qos = qos
         self._qos_limiter: Optional[ClientLimiter] = (
             ClientLimiter(qos.rate_limit_qps, qos.rate_burst, lambda: self.sim.now)
@@ -265,6 +294,211 @@ class SimCluster:
         """Override one link's wire latency (heterogeneous deployments)."""
         self.network.set_link_latency(a, b, seconds)
 
+    # ------------------------------------------------------------------
+    # dynamic membership (config.membership; see docs/MEMBERSHIP.md)
+    # ------------------------------------------------------------------
+
+    @property
+    def membership_view(self) -> Optional[MembershipView]:
+        """The current membership view (None without ``membership=``)."""
+        return self.membership.view if self.membership is not None else None
+
+    def _require_membership(self) -> MembershipService:
+        if self.membership is None:
+            raise ConfigError(
+                "membership",
+                "this cluster was built without ClusterConfig(membership=...)",
+            )
+        return self.membership
+
+    def join_site(self, site: str) -> MembershipView:
+        """Admit ``site`` to the cluster (a brand-new site, or a rejoin
+        of one that gracefully left).  The view change rebalances the
+        ring: the new site takes over its rendezvous share of backups.
+        """
+        service = self._require_membership()
+        if site not in self.nodes:
+            self._add_site(site)
+        self.network.set_up(site)
+        view = service.join(site)
+        self._maybe_finalize_membership()
+        return view
+
+    def leave_site(self, site: str) -> MembershipView:
+        """Begin a graceful leave: the site's placements move to the
+        remaining members immediately (routing stops targeting it), its
+        local copies linger until it has drained the work already in
+        hand, and the departure is finalized at the next idle point.
+        """
+        service = self._require_membership()
+        view = service.leave_begin(site)
+        self._maybe_finalize_membership()
+        return view
+
+    def fail_site(self, site: str) -> MembershipView:
+        """Declare ``site`` permanently crashed.
+
+        The machine is gone: queued work bounces back to its senders
+        (credit recovery), the store's content is formally lost, and the
+        rebalance restores k copies of everything it held from the
+        surviving replicas.  Work the site held *in execution* takes its
+        credit with it — the flight recorder attributes that loss.
+        """
+        service = self._require_membership()
+        self.network.crash_permanently(site)
+        self._last_failed_site = site
+        view = service.fail(site)
+        store = self.stores[site]
+        for oid in list(store.oids()):
+            store.remove(oid)
+        self._maybe_finalize_membership()
+        return view
+
+    def finalize_membership(self) -> None:
+        """Force the idle-point membership work now: finalize drained
+        leavers and delete displaced copies (tests/admin; the cluster
+        also runs this after every query completion)."""
+        self._maybe_finalize_membership()
+
+    def _on_view_change(self, old, new, reason: str) -> None:
+        tracer = self._cluster_tracer()
+        if tracer is not None:
+            tracer.emit(
+                "cluster", "member", "",
+                reason=reason, epoch=new.epoch, active=len(new.active),
+            )
+        cfg = self.config.membership
+        if (
+            cfg is not None
+            and cfg.auto_rebalance
+            and reason in ("join", "leave", "fail")
+            and self.rebalancer is not None
+        ):
+            report = self.rebalancer.rebalance(reason)
+            if tracer is not None:
+                tracer.emit(
+                    "cluster", "rebalance", "",
+                    reason=reason,
+                    epoch=new.epoch,
+                    moved=report.moved,
+                    installed=report.copies_installed,
+                    lost=report.lost,
+                )
+
+    def _maybe_finalize_membership(self) -> None:
+        """Idle-point membership work: finalize drained leavers, then —
+        once no query is in flight — delete the displaced copies the
+        rebalancer deferred (they may still be serving admitted work
+        while queries run; see docs/MEMBERSHIP.md)."""
+        if self.membership is None:
+            return
+        inflight = any(q not in self._completed for q in self._submitted_at)
+        for site in self.membership.view.leaving:
+            node = self.nodes[site]
+            originating = any(
+                q.originator == site and q not in self._completed
+                for q in self._submitted_at
+            )
+            if node.has_work or originating:
+                continue
+            self.network.set_down(site)
+            if self.rebalancer is not None:
+                self.rebalancer.flush_removals(lambda s, target=site: s == target)
+            store = self.stores[site]
+            for oid in list(store.oids()):
+                store.remove(oid)
+            self.membership.leave_finalize(site)
+        if self.rebalancer is not None and not inflight:
+            self.rebalancer.flush_removals(lambda _s: True)
+
+    def _add_site(self, name: str) -> None:
+        """Build the store/node/host stack for a site joining a running
+        cluster, wired exactly like a founding site's."""
+        from .storage.memstore import MemStore
+
+        cfg = self.config
+        store = MemStore(name)
+        table = ForwardingTable(name)
+        node = ServerNode(
+            name,
+            store,
+            costs=self.costs,
+            termination=self.termination,
+            discipline=cfg.discipline,
+            result_mode=cfg.result_mode,
+            mark_granularity=cfg.mark_granularity,
+            gc_contexts=cfg.gc_contexts,
+            forwarding=table,
+            batching=cfg.batching,
+            caching=cfg.caching,
+            replicas=self.replication.directory if self.replication is not None else None,
+            qos=cfg.qos,
+        )
+        self.stores[name] = store
+        self.forwarding[name] = table
+        self.nodes[name] = node
+        node.now_fn = lambda: self.sim.now
+        node.tracer = next(iter(self.nodes.values())).tracer
+        node.metrics = getattr(self, "metrics", None)
+        host = self.network.attach(node)
+        host.completion_sink = self._on_complete
+        if self.replication is not None:
+            self.replication.add_epoch_listener(node.observe_epoch)
+        if self.membership is not None:
+            node.membership_status = self.membership.status_of
+            node.heartbeat_sink = self._on_heartbeat
+
+    # -- gossip failure detector (simulator timers) --------------------
+
+    def _on_heartbeat(self, counters) -> None:
+        self._hb_outstanding = max(0, self._hb_outstanding - 1)
+        if self.membership is not None:
+            self.membership.observe_heartbeat(counters)
+
+    def _arm_heartbeat(self) -> None:
+        """Start the gossip pump if the detector is configured.
+
+        Same arming policy as the stats sampler: the pump runs while
+        queries are in flight and stops when it has nothing to suspect,
+        so it can never keep a dead simulation ticking forever."""
+        cfg = self.config.membership
+        if (
+            self.membership is None
+            or cfg is None
+            or cfg.heartbeat_s is None
+            or self._hb_armed
+        ):
+            return
+        self._hb_armed = True
+        self.sim.schedule(cfg.heartbeat_s, self._heartbeat_tick)
+
+    def _heartbeat_tick(self) -> None:
+        cfg = self.config.membership
+        service = self.membership
+        assert cfg is not None and service is not None
+        # Judge the evidence delivered during the previous period first,
+        # then produce this period's frames.
+        for site in service.detect():
+            if service.status_of(site) == UP and len(service.view.active) > 1:
+                self.fail_site(site)
+        self._hb_outstanding = 0
+        for site in service.view.active:
+            if not self.network.is_up(site):
+                continue  # a frozen site cannot run its own timer
+            counters = service.beat(site)
+            for peer in service.gossip_peers(site):
+                self.network.send(Envelope(site, peer, Heartbeat(site, counters)), self.sim.now)
+                self._hb_outstanding += 1
+        inflight = any(q not in self._completed for q in self._submitted_at)
+        other_pending = max(0, self.sim.pending - self._hb_outstanding)
+        if inflight and (other_pending > 0 or service.suspicious()):
+            self.sim.schedule(cfg.heartbeat_s, self._heartbeat_tick)
+        else:
+            self._hb_armed = False
+
+    def _cluster_tracer(self):
+        return next(iter(self.nodes.values())).tracer
+
     def use_faults(self, plan: FaultPlan) -> FaultPlan:
         """Adopt a chaos schedule: per-message faults apply from now on,
         and the plan's timed site crashes are scheduled on the clock."""
@@ -360,10 +594,16 @@ class SimCluster:
         origin = originator if originator is not None else self.sites[0]
         if origin not in self.nodes:
             raise UnknownSite(origin)
+        if self.membership is not None:
+            status = self.membership.status_of(origin)
+            if status != UP:
+                # A departing originator could never deliver its answer.
+                raise SiteDeparted(origin, status)
         self._admit(client)
         qid = self._next_qid(origin)
         self._submitted_at[qid] = self.sim.now
         self._arm_stats_sampler()
+        self._arm_heartbeat()
         self.network.hosts[origin].submit(
             qid, program, list(initial), priority=priority, tenant=client
         )
@@ -388,6 +628,10 @@ class SimCluster:
         the sites (paper §5's optimisation)."""
         program = self.compile(query)
         origin = originator if originator is not None else source_qid.originator
+        if self.membership is not None:
+            status = self.membership.status_of(origin)
+            if status != UP:
+                raise SiteDeparted(origin, status)
         qid = self._next_qid(origin)
         self._submitted_at[qid] = self.sim.now
         self.network.hosts[origin].submit_from_saved(qid, program, source_qid, self.sites)
@@ -421,6 +665,7 @@ class SimCluster:
                     qid,
                     deficit=credit_deficit(self.nodes, qid),
                     undeliverable=self.network.messages_dropped,
+                    site=self._last_failed_site,
                 )
             fired += 1
             if fired > max_events:
@@ -583,3 +828,4 @@ class SimCluster:
             metrics.histogram("cluster.response_time_s").observe(outcome.response_time)
             metrics.counter("cluster.queries_completed_total").inc()
         self._completed[qid] = outcome
+        self._maybe_finalize_membership()

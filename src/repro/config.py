@@ -31,6 +31,7 @@ from .cache import CacheConfig
 from .errors import ConfigError
 from .faults.plan import FaultPlan
 from .faults.reliable import ReliableConfig
+from .membership import MembershipConfig
 from .net.batching import BatchConfig
 from .qos import QoSConfig
 from .replication import ReplicationConfig
@@ -64,6 +65,13 @@ class ClusterConfig:
     caching: Optional[CacheConfig] = None
     replication: Optional[ReplicationConfig] = None
     qos: Optional[QoSConfig] = None
+    #: Dynamic membership (join / graceful leave / permanent-crash
+    #: detection + ring rebalancing).  ``None`` — the default — keeps
+    #: the static-membership build, bit for bit.  ``heartbeat_s`` is
+    #: simulator-only; the wall-clock transports accept administrative
+    #: membership (``join_site`` / ``leave_site`` / ``fail_site``) but
+    #: reject the timer-driven detector.
+    membership: Optional[MembershipConfig] = None
 
     # -- telemetry plane (every transport) ------------------------------
     #: Arm the crash flight recorder: a bounded ring of recent trace

@@ -117,6 +117,38 @@ class ChildProcessDied(HyperFileError):
         super().__init__(f"child process for site {site!r} died{suffix}")
 
 
+class MembershipError(HyperFileError):
+    """An invalid membership transition was requested.
+
+    Examples: joining a site that is already an up member, gracefully
+    leaving the last active site, failing a site that already departed.
+    The view is never left half-changed — the transition is rejected
+    before any listener fires.
+    """
+
+    def __init__(self, site: object, detail: str = "") -> None:
+        self.site = site
+        suffix = f": {detail}" if detail else ""
+        super().__init__(f"invalid membership transition for site {site!r}{suffix}")
+
+
+class SiteDeparted(HyperFileError):
+    """A query was submitted at a site that is leaving or has departed.
+
+    A departing originator could never deliver its answer — its drain
+    window exists to finish work already in hand, not to take on more —
+    so the submit is rejected with a typed error instead of accepting
+    work that would hang or vanish with the site.
+    """
+
+    def __init__(self, site: object, status: str = "departed") -> None:
+        self.site = site
+        self.status = status
+        super().__init__(
+            f"cannot originate a query at site {site!r}: membership status is {status!r}"
+        )
+
+
 class QueryTimeout(HyperFileError):
     """A query's originator-side deadline expired before termination.
 

@@ -1,0 +1,53 @@
+"""Membership configuration (the ``membership=`` field of ClusterConfig)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class MembershipConfig:
+    """How a deployment discovers and reacts to membership changes.
+
+    The default value (all fields at their defaults) enables
+    *administrative* membership only: ``join_site`` / ``leave_site`` /
+    ``fail_site`` drive view changes and rebalancing, but no heartbeat
+    traffic flows.  This is the mode the schedule explorer uses — view
+    changes land on exact scheduler decision counts instead of timers,
+    so every interleaving replays deterministically.
+
+    ``heartbeat_s`` arms the gossip failure detector on the simulator:
+    every period each live member increments its own heartbeat counter
+    and ships its counter table to ``fanout`` seeded-randomly chosen
+    peers as real :class:`~repro.net.messages.Heartbeat` frames (paying
+    wire costs).  A member whose counter stops advancing in the merged
+    table for ``fail_after`` consecutive rounds is declared permanently
+    failed, exactly as an administrative ``fail_site`` would.  The
+    wall-clock transports reject ``heartbeat_s`` (administrative
+    membership only there); the frames themselves round-trip through
+    the wire codec so a future wall-clock detector speaks the same
+    protocol.
+    """
+
+    #: Heartbeat period in (virtual) seconds; ``None`` = administrative
+    #: membership only, no heartbeat traffic.
+    heartbeat_s: Optional[float] = None
+    #: Rounds a member's merged counter may stall before it is declared
+    #: permanently failed.
+    fail_after: int = 3
+    #: Peers each member gossips its counter table to per round.
+    fanout: int = 2
+    #: Seed for the per-round gossip peer choice (determinism).
+    seed: int = 0
+    #: Run the Rebalancer synchronously on every view change.  Off, view
+    #: changes only update routing state — data stays where it was.
+    auto_rebalance: bool = True
+
+    def __post_init__(self) -> None:
+        if self.heartbeat_s is not None and self.heartbeat_s <= 0:
+            raise ValueError("heartbeat_s must be positive when set")
+        if self.fail_after < 1:
+            raise ValueError("fail_after must be >= 1")
+        if self.fanout < 1:
+            raise ValueError("fanout must be >= 1")

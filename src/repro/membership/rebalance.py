@@ -1,0 +1,231 @@
+"""Ring rebalancing: re-place exactly what a view change displaced.
+
+On every membership transition the :class:`Rebalancer` recomputes each
+replicated object's placement against the new active site set and moves
+only the objects whose placement actually changed — which, with the
+rendezvous-hashed :class:`~repro.replication.policy.RingPlacement`, is
+the minimum the change dictates (a join pulls ~1/n of the backups onto
+the new site; a leave or crash touches only the departing site's
+holdings).  All data movement goes through the same store/forwarding/
+directory objects the :class:`~repro.replication.ReplicationManager`
+maintains, and every touched store fires the manager's epoch listeners,
+so the PR 4/5 cache- and directory-invalidation machinery reacts to a
+membership change exactly as it reacts to a write.
+
+Two orderings keep in-flight queries correct while the ring moves:
+
+* **install-before-record** — a new holder's copy is written before the
+  directory lists it, so no route can target a holder without data;
+* **deferred removal** — a displaced copy at a still-serving site is
+  only deleted once that site is idle (the cluster supplies the idle
+  predicate to :meth:`flush_removals`).  Work already admitted against
+  the local copy finishes against it; routing ignores the lingering
+  copy because the directory — not store contents — is the routing
+  authority.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..core.oid import Oid
+from ..naming.directory import ForwardingTable
+from ..replication.manager import ReplicationManager
+from ..replication.policy import RingPlacement
+from ..storage.memstore import MemStore
+from .service import MembershipService
+from .view import DEPARTED, UP
+
+
+@dataclass
+class RebalanceReport:
+    """What one rebalancing pass did (telemetry + test assertions)."""
+
+    epoch: int
+    reason: str
+    #: Objects whose holder list changed.
+    moved: int = 0
+    #: Objects whose *primary* changed (leave/crash of a primary).
+    primaries_moved: int = 0
+    #: Fresh copies written to new holders.
+    copies_installed: int = 0
+    #: Displaced copies scheduled for (possibly deferred) deletion.
+    removals_scheduled: int = 0
+    #: Objects with no reachable copy left (every holder departed).
+    lost: int = 0
+    #: Oid keys of the lost objects, for postmortems.
+    lost_keys: List[Tuple[str, int]] = field(default_factory=list)
+
+
+class Rebalancer:
+    """Moves/re-replicates the objects a view change displaced."""
+
+    def __init__(
+        self,
+        manager: Optional[ReplicationManager],
+        stores: Dict[str, MemStore],
+        forwarding: Dict[str, ForwardingTable],
+        service: MembershipService,
+    ) -> None:
+        self.manager = manager
+        self.stores = stores
+        self.forwarding = forwarding
+        self.service = service
+        #: Displaced copies awaiting deletion: (site, oid).  Emptied by
+        #: :meth:`flush_removals` when the owning site is idle.
+        self.pending_removals: List[Tuple[str, Oid]] = []
+        self.last_report: Optional[RebalanceReport] = None
+
+    # ------------------------------------------------------------------
+
+    def rebalance(self, reason: str) -> RebalanceReport:
+        """One full pass against the service's *current* view."""
+        view = self.service.view
+        active = [s for s in self.stores if view.status_of(s) == UP]
+        report = RebalanceReport(epoch=view.epoch, reason=reason)
+        if self.manager is not None and self.manager.config.enabled:
+            self._rebalance_replicated(view, active, report)
+        else:
+            self._rebalance_unreplicated(view, active, report)
+        self.last_report = report
+        return report
+
+    def _rebalance_replicated(self, view, active: List[str], report) -> None:
+        manager = self.manager
+        assert manager is not None
+        directory = manager.directory
+        k_eff = min(manager.config.k, len(active)) if active else 0
+        oid_map = self._reachable_oids(view)
+        for key, entry in list(directory.entries()):
+            current = tuple(entry.sites)
+            reachable = [s for s in current if view.status_of(s) != DEPARTED]
+            oid = oid_map.get(key)
+            if oid is None or not reachable or k_eff == 0:
+                report.lost += 1
+                report.lost_keys.append(key)
+                continue
+            live = [s for s in current if view.status_of(s) == UP]
+            # Primary continuity: a live primary keeps authority (joins
+            # and backup changes never migrate primaries); a displaced
+            # primary hands over to a live backup that already has the
+            # data, and only when no holder survives does the policy
+            # pick a fresh site.
+            if current[0] in live:
+                anchor: Optional[str] = current[0]
+            elif live:
+                anchor = live[0]
+            else:
+                anchor = None
+            desired = self._placement(manager, oid, anchor, active, k_eff)
+            if desired == current:
+                continue
+            source = next((s for s in current if view.status_of(s) == UP), reachable[0])
+            obj = self.stores[source].get(oid)
+            for site in desired:
+                if not self.stores[site].contains(oid):
+                    self.stores[site].put(obj)
+                    manager.copies_installed += 1
+                    report.copies_installed += 1
+                    manager._announce(site)
+            for site in current:
+                if site in desired or view.status_of(site) == DEPARTED:
+                    continue
+                # The copy is displaced but may still be serving already
+                # admitted work; route away now, delete at idle.
+                self.forwarding[site].record(oid, desired[0])
+                self.pending_removals.append((site, oid))
+                report.removals_scheduled += 1
+            for site in desired:
+                self.forwarding[site].drop(oid)
+            birth = oid.birth_site
+            if (
+                birth in self.forwarding
+                and birth not in desired
+                and view.status_of(birth) != DEPARTED
+            ):
+                self.forwarding[birth].record(oid, desired[0])
+            directory.record(oid, desired)
+            directory.bump_version(oid)
+            report.moved += 1
+            if desired[0] != current[0]:
+                report.primaries_moved += 1
+
+    def _rebalance_unreplicated(self, view, active: List[str], report) -> None:
+        """k=1: a graceful leave migrates the leaving sites' objects; a
+        crash loses theirs (there is no second copy to restore from)."""
+        from ..naming.names import migrate_object
+
+        policy = RingPlacement()
+        for site in list(self.stores):
+            status = view.status_of(site)
+            if status == UP:
+                continue
+            store = self.stores[site]
+            for oid in list(store.oids()):
+                if status == DEPARTED:
+                    report.lost += 1
+                    report.lost_keys.append(oid.key())
+                    continue
+                if not active:
+                    report.lost += 1
+                    report.lost_keys.append(oid.key())
+                    continue
+                target = policy.place(oid, active, 1)[0]
+                migrate_object(oid, self.stores, self.forwarding, target)
+                report.moved += 1
+                report.primaries_moved += 1
+
+    def _placement(
+        self,
+        manager: ReplicationManager,
+        oid: Oid,
+        anchor: Optional[str],
+        active: List[str],
+        k_eff: int,
+    ) -> Tuple[str, ...]:
+        placement = manager.config.policy.place(oid, active, k_eff)
+        if anchor is None:
+            return tuple(placement)
+        if anchor not in placement:
+            return (anchor, *[s for s in placement if s != anchor][: k_eff - 1])
+        if placement[0] != anchor:
+            return (anchor, *[s for s in placement if s != anchor])
+        return tuple(placement)
+
+    def _reachable_oids(self, view) -> Dict[Tuple[str, int], Oid]:
+        """Oid objects for every key held by a non-departed store.  A
+        departed store is never read — in process mode its child may be
+        gone, and in the simulator its content is formally lost."""
+        oid_map: Dict[Tuple[str, int], Oid] = {}
+        for site, store in self.stores.items():
+            if view.status_of(site) == DEPARTED:
+                continue
+            for oid in store.oids():
+                oid_map.setdefault(oid.key(), oid)
+        return oid_map
+
+    # ------------------------------------------------------------------
+
+    def flush_removals(self, can_remove: Callable[[str], bool]) -> int:
+        """Delete displaced copies whose site ``can_remove`` says is safe
+        (idle, or departing with no work in hand).  Copies the directory
+        re-listed in the meantime (a rejoin) are kept.  Returns the
+        number of copies actually deleted."""
+        removed = 0
+        keep: List[Tuple[str, Oid]] = []
+        directory = self.manager.directory if self.manager is not None else None
+        for site, oid in self.pending_removals:
+            if directory is not None and directory.holds(site, oid):
+                continue  # re-placed back here; the removal is obsolete
+            if not can_remove(site):
+                keep.append((site, oid))
+                continue
+            store = self.stores.get(site)
+            if store is not None and store.contains(oid):
+                store.remove(oid)
+                removed += 1
+                if self.manager is not None:
+                    self.manager._announce(site)
+        self.pending_removals = keep
+        return removed

@@ -1,0 +1,83 @@
+"""The epoch-numbered membership view every component routes against."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+#: Site statuses.  ``up`` sites take new placements and new work;
+#: ``leaving`` sites finish work already in hand but receive nothing
+#: new (their data has been rebalanced away, the local copies linger
+#: until the site drains); ``departed`` sites are gone for good.
+UP = "up"
+LEAVING = "leaving"
+DEPARTED = "departed"
+
+_STATUSES = (UP, LEAVING, DEPARTED)
+
+
+@dataclass(frozen=True)
+class MembershipView:
+    """An immutable snapshot of the cluster's membership.
+
+    ``epoch`` increments on every change, so two views are ordered and a
+    component holding a stale one can tell.  ``statuses`` is a sorted
+    ``(site, status)`` table — frozen, hashable, and cheap to ship (the
+    :class:`~repro.net.messages.ViewChange` frame carries it verbatim).
+    """
+
+    epoch: int
+    statuses: Tuple[Tuple[str, str], ...]
+
+    def __post_init__(self) -> None:
+        for site, status in self.statuses:
+            if status not in _STATUSES:
+                raise ValueError(f"unknown membership status {status!r} for {site!r}")
+        if len({site for site, _ in self.statuses}) != len(self.statuses):
+            raise ValueError("a site appears twice in the membership view")
+
+    @classmethod
+    def initial(cls, sites) -> "MembershipView":
+        """Epoch-0 view: every founding site up."""
+        return cls(0, tuple(sorted((site, UP) for site in sites)))
+
+    def status_of(self, site: str) -> str:
+        """``site``'s status; unknown sites read as departed (they are
+        not members, so nothing may be routed to them)."""
+        for name, status in self.statuses:
+            if name == site:
+                return status
+        return DEPARTED
+
+    @property
+    def active(self) -> Tuple[str, ...]:
+        """Sites eligible for placements and new work (status ``up``)."""
+        return tuple(site for site, status in self.statuses if status == UP)
+
+    @property
+    def leaving(self) -> Tuple[str, ...]:
+        return tuple(site for site, status in self.statuses if status == LEAVING)
+
+    @property
+    def departed(self) -> Tuple[str, ...]:
+        return tuple(site for site, status in self.statuses if status == DEPARTED)
+
+    @property
+    def members(self) -> Tuple[str, ...]:
+        """Every site the view knows about, whatever its status."""
+        return tuple(site for site, _ in self.statuses)
+
+    def as_dict(self) -> Dict[str, str]:
+        return dict(self.statuses)
+
+    def with_status(self, site: str, status: str) -> "MembershipView":
+        """The successor view in which ``site`` has ``status``."""
+        if status not in _STATUSES:
+            raise ValueError(f"unknown membership status {status!r}")
+        table = self.as_dict()
+        table[site] = status
+        return MembershipView(self.epoch + 1, tuple(sorted(table.items())))
+
+    def __str__(self) -> str:
+        body = ", ".join(f"{site}={status}" for site, status in self.statuses)
+        return f"view#{self.epoch}({body})"

@@ -410,6 +410,7 @@ class AsyncCluster(WallClockQueries):
             for node in self.nodes.values():
                 self.replication.add_epoch_listener(node.observe_epoch)
 
+        self._init_membership(config)
         self._init_telemetry(config)
         self._loop = asyncio.new_event_loop()
         self._thread = threading.Thread(

@@ -42,10 +42,12 @@ from .messages import (
     Envelope,
     FetchReply,
     FetchRequest,
+    Heartbeat,
     PurgeContext,
     QueryId,
     ResultBatch,
     SeedFromSaved,
+    ViewChange,
 )
 
 
@@ -97,6 +99,8 @@ _M_RELIABLE_DATA = 0x47
 _M_RELIABLE_ACK = 0x48
 _M_BATCHED_QUERY = 0x49
 _M_BATCHED_RESULTS = 0x4A
+_M_HEARTBEAT = 0x4B
+_M_VIEW_CHANGE = 0x4C
 
 
 #: Magnitude bound for one encoded integer (512-byte ints).  Termination
@@ -621,6 +625,21 @@ def _encode_message_uncached(message: Any) -> bytes:
         w.varint(len(message.batches))
         for batch in message.batches:
             w.raw(preframe(batch))
+    elif isinstance(message, Heartbeat):
+        w.byte(_M_HEARTBEAT)
+        w.text(message.origin)
+        w.varint(len(message.counters))
+        for site, count in message.counters:
+            w.text(site)
+            w.varint(count)
+    elif isinstance(message, ViewChange):
+        w.byte(_M_VIEW_CHANGE)
+        w.varint(message.epoch)
+        w.varint(len(message.statuses))
+        for site, status in message.statuses:
+            w.text(site)
+            w.text(status)
+        w.text(message.reason)
     elif isinstance(message, ReliableData):
         w.byte(_M_RELIABLE_DATA)
         w.varint(message.seq)
@@ -696,6 +715,19 @@ def decode_message(frame: bytes) -> Any:
                 raise CodecError("batched-results frame may only carry ResultBatch")
             inner.append(batch)
         message = BatchedResults(tuple(inner))
+    elif tag == _M_HEARTBEAT:
+        origin = r.text()
+        n = r.varint()
+        if n > 100_000:
+            raise CodecError(f"implausible heartbeat table size {n}")
+        message = Heartbeat(origin, tuple((r.text(), r.varint()) for _ in range(n)))
+    elif tag == _M_VIEW_CHANGE:
+        epoch = r.varint()
+        n = r.varint()
+        if n > 100_000:
+            raise CodecError(f"implausible view size {n}")
+        statuses = tuple((r.text(), r.text()) for _ in range(n))
+        message = ViewChange(epoch, statuses, reason=r.text())
     elif tag == _M_RELIABLE_DATA:
         seq = r.varint()
         message = ReliableData(seq, decode_message(r.raw()))

@@ -20,7 +20,17 @@ from ..api import QueryLike, QueryOutcome, compile_query_like, credit_deficit
 from ..core.oid import Oid
 from ..core.program import Program
 from ..engine.results import QueryResult
-from ..errors import Overloaded, QueryTimeout, TerminationLost, TransportClosed, UnknownSite
+from ..errors import (
+    ConfigError,
+    HyperFileError,
+    Overloaded,
+    QueryTimeout,
+    SiteDeparted,
+    TerminationLost,
+    TransportClosed,
+    UnknownSite,
+)
+from ..membership import UP, MembershipService, MembershipView, Rebalancer
 from ..qos import PRIORITIES, ClientLimiter, QoSConfig
 from ..server.stats import NodeStats
 from .messages import QueryId
@@ -119,6 +129,152 @@ class WallClockQueries:
         self._flightrec_dumped: set = set()
         self._stats_stop = threading.Event()
         self._stats_thread: Optional[threading.Thread] = None
+        # Membership defaults, so transports that never call
+        # _init_membership still answer the API.
+        self.membership: Optional[MembershipService] = None
+        self.rebalancer: Optional[Rebalancer] = None
+
+    # -- membership (administrative) --------------------------------------
+
+    def _init_membership(self, config) -> None:
+        """Arm administrative membership from a ClusterConfig.
+
+        Call after ``nodes``, ``stores`` and ``replication`` exist.  The
+        wall-clock transports take *administrative* membership only —
+        ``join_site`` / ``leave_site`` / ``fail_site`` drive view changes
+        and rebalancing, but the gossip failure detector needs the
+        simulator's virtual clock, so ``heartbeat_s`` is rejected here.
+        """
+        membership = getattr(config, "membership", None) if config is not None else None
+        if membership is None:
+            return
+        if membership.heartbeat_s is not None:
+            raise ConfigError(
+                "membership.heartbeat_s",
+                "the gossip failure detector runs on the simulator's virtual "
+                "clock; wall-clock transports take administrative membership "
+                "only (join_site / leave_site / fail_site)",
+            )
+        self.membership = MembershipService(membership, list(self.sites))
+        self.rebalancer = Rebalancer(
+            self.replication, self.stores, self._membership_forwarding(), self.membership
+        )
+        if self.replication is not None:
+            self.replication.active_sites = lambda: list(self.membership.view.active)
+        self.membership.add_listener(self._on_membership_change)
+        self._apply_membership_view()
+
+    def _membership_forwarding(self) -> Dict[str, object]:
+        """Forwarding tables for the rebalancer, however this transport
+        stores them (an attribute, or hanging off each node)."""
+        forwarding = getattr(self, "forwarding", None)
+        if forwarding is not None:
+            return forwarding
+        return {site: node.forwarding for site, node in self.nodes.items()}
+
+    def _apply_membership_view(self) -> None:
+        """Push the current view into every node's routing guard."""
+        assert self.membership is not None
+        for node in self.nodes.values():
+            node.membership_status = self.membership.status_of
+
+    def _on_membership_change(self, old_view, new_view, reason: str) -> None:
+        self._apply_membership_view()
+        assert self.membership is not None
+        if self.membership.config.auto_rebalance and reason in ("join", "leave", "fail"):
+            assert self.rebalancer is not None
+            self.rebalancer.rebalance(reason)
+
+    @property
+    def membership_view(self) -> MembershipView:
+        self._require_membership()
+        assert self.membership is not None
+        return self.membership.view
+
+    def _require_membership(self) -> None:
+        if self.membership is None:
+            raise ConfigError(
+                "membership",
+                "this cluster was built without ClusterConfig(membership=...)",
+            )
+
+    def join_site(self, site: str) -> MembershipView:
+        """Re-admit a departed site (its endpoint stays provisioned).
+
+        Wall-clock transports cannot conjure a new endpoint mid-run —
+        threads, sockets and child processes are created at construction
+        — so only sites the cluster was built with can (re)join here;
+        brand-new sites join on the simulator.
+        """
+        self._require_membership()
+        if site not in self.nodes:
+            raise ConfigError(
+                "membership",
+                f"{site!r} has no provisioned endpoint; new sites can only "
+                "join on the simulator transport",
+            )
+        self.set_up(site)
+        assert self.membership is not None
+        return self.membership.join(site)
+
+    def leave_site(self, site: str) -> MembershipView:
+        """Start a graceful leave; finalized once nothing needs the site."""
+        self._require_membership()
+        assert self.membership is not None
+        view = self.membership.leave_begin(site)
+        self._maybe_finalize_membership()
+        return view
+
+    def fail_site(self, site: str) -> MembershipView:
+        """Declare ``site`` permanently crashed: stop routing to it,
+        restore the replication target from the survivors, and write the
+        dead machine's store off (a later rejoin starts empty — what was
+        only there is lost, and stays lost)."""
+        self._require_membership()
+        if site in self.nodes:
+            self.set_down(site)
+        assert self.membership is not None
+        view = self.membership.fail(site)
+        self._wipe_store(site)
+        self._maybe_finalize_membership()
+        return view
+
+    def finalize_membership(self) -> None:
+        """Complete pending leaves and deferred copy removals (idle only)."""
+        self._require_membership()
+        self._maybe_finalize_membership()
+
+    def _maybe_finalize_membership(self) -> None:
+        if self.membership is None:
+            return
+        for site in list(self.membership.view.leaving):
+            if any(qid.originator == site for qid in self._inflight):
+                continue
+            self.set_down(site)
+            if self.rebalancer is not None:
+                self.rebalancer.flush_removals(lambda s, target=site: s == target)
+            self._wipe_store(site)
+            self.membership.leave_finalize(site)
+        if self.rebalancer is not None and not self._inflight:
+            self.rebalancer.flush_removals(lambda _site: True)
+
+    def _wipe_store(self, site: str) -> None:
+        """Best-effort erase of a departed site's store (in process mode
+        the child carrying it may already be gone)."""
+        store = self.stores.get(site) if hasattr(self, "stores") else None
+        if store is None:
+            return
+        try:
+            for oid in list(store.oids()):
+                store.remove(oid)
+        except HyperFileError:
+            pass
+
+    def _check_membership_origin(self, origin: str) -> None:
+        if self.membership is not None:
+            status = self.membership.status_of(origin)
+            if status != UP:
+                raise SiteDeparted(origin, status)
 
     def _init_telemetry(self, config) -> None:
         """Arm the flight recorder and the streaming-stats sampler from a
@@ -238,6 +394,8 @@ class WallClockQueries:
         origin = originator if originator is not None else self.sites[0]
         if origin not in self.nodes:
             raise UnknownSite(origin)
+        # A departing originator could never deliver its answer.
+        self._check_membership_origin(origin)
         self._admit(client)
         qid = self._next_qid(origin)
         self._inflight[qid] = _Inflight(time.monotonic(), deadline_s)
@@ -257,6 +415,7 @@ class WallClockQueries:
         origin = originator if originator is not None else source_qid.originator
         if origin not in self.nodes:
             raise UnknownSite(origin)
+        self._check_membership_origin(origin)
         qid = self._next_qid(origin)
         self._inflight[qid] = _Inflight(time.monotonic(), None)
         self._dispatch_submit_from_saved(origin, qid, program, source_qid)
@@ -288,6 +447,10 @@ class WallClockQueries:
             raise
         if outcome.result.partial and outcome.result.partial_reason in ("crash", "deadline"):
             self._flightrec_dump(qid, outcome.result.partial_reason)
+        if self.membership is not None:
+            # The client thread is the safe place to complete pending
+            # leaves and deferred copy removals (never under a node lock).
+            self._maybe_finalize_membership()
         return outcome
 
     def run_query(

@@ -269,6 +269,48 @@ class Undeliverable:
 
 
 @dataclass(frozen=True)
+class Heartbeat:
+    """One gossip round's liveness evidence from ``origin``.
+
+    ``counters`` is the sender's merged heartbeat-counter table (its own
+    counter freshly ticked).  Receivers element-wise-max it into their
+    merged table; a member whose counter stops advancing everywhere is
+    eventually declared permanently failed.  Carried as a real frame so
+    the detector only ever acts on *delivered* evidence — a partitioned
+    or frozen site stops producing it, which is exactly the signal.
+    """
+
+    origin: str
+    counters: Tuple[Tuple[str, int], ...] = ()
+
+    def wire_size(self) -> int:
+        size = 4 + len(self.origin)
+        for site, _count in self.counters:
+            size += len(site) + 4
+        return size
+
+
+@dataclass(frozen=True)
+class ViewChange:
+    """A membership view broadcast: epoch + the full status table.
+
+    The table is tiny (sites are few), so the whole view ships rather
+    than a delta — receivers can adopt it idempotently and out-of-order
+    arrivals resolve by epoch comparison.
+    """
+
+    epoch: int
+    statuses: Tuple[Tuple[str, str], ...]
+    reason: str = ""
+
+    def wire_size(self) -> int:
+        size = 8 + len(self.reason)
+        for site, status in self.statuses:
+            size += len(site) + len(status) + 2
+        return size
+
+
+@dataclass(frozen=True)
 class Envelope:
     """A routed message: source site, destination site, payload.
 

@@ -189,6 +189,8 @@ _C_METRICS_REPLY = 0x25
 _C_VALUE = 0x26
 _C_OBJECTS_REPLY = 0x27
 _C_CREDIT_REPLY = 0x28
+_C_MEMB_VIEW = 0x29
+
 _C_COMPLETE = 0x30
 _C_STATS_PUSH = 0x31
 _C_GIVE_UP = 0x32
@@ -787,6 +789,12 @@ def _handle_control(frame, runtime: _ChildRuntime, asite, store):
             epoch = r.varint()
             asite.node.observe_epoch(target, epoch)
             return bytes((_C_OK,))
+        if tag == _C_MEMB_VIEW:
+            # The parent's membership view, as a full status table: the
+            # child's routing guard must skip leaving/departed peers.
+            statuses = {r.text(): r.text() for _ in range(r.varint())}
+            asite.node.membership_status = lambda site: statuses.get(site, "departed")
+            return bytes((_C_OK,))
         if tag == _C_RELIABLE_ON:
             base = _read_value(r)
             cap = _read_value(r)
@@ -1181,6 +1189,7 @@ class ProcessCluster(WallClockQueries):
                 config.replication, self.stores, self.forwarding, _SyncedDirectory(self)
             )
             self.replication.add_epoch_listener(self._broadcast_epoch)
+        self._init_membership(config)
         self._reliable_enabled = bool(config.reliable)
 
         if config.fault_plan is not None:
@@ -1261,6 +1270,26 @@ class ProcessCluster(WallClockQueries):
     def _broadcast(self, frame: bytes, expect: int = _C_OK) -> None:
         for site in list(self._links):
             self._request(site, frame, expect=expect)
+
+    def _apply_membership_view(self) -> None:
+        """Ship the full status table to every child so their routing
+        guards skip leaving/departed peers.  Best-effort per child: a
+        failed site's process may already be unreachable, and the view
+        declaring it departed is exactly the frame it cannot take."""
+        assert self.membership is not None
+        statuses = self.membership.view.statuses
+        w = _Writer()
+        w.byte(_C_MEMB_VIEW)
+        w.varint(len(statuses))
+        for site, status in statuses:
+            w.text(site)
+            w.text(status)
+        frame = w.getvalue()
+        for site in list(self._links):
+            try:
+                self._request(site, frame, expect=_C_OK)
+            except (ChildProcessDied, HyperFileError):
+                continue
 
     def _on_stats_push(self, site: str, payload: str) -> None:
         """A child's periodic stats sample (reader thread).  Each push is

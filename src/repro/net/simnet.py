@@ -115,6 +115,28 @@ class SimNetwork:
         self._down.discard(site)
         self.hosts[site].kick()
 
+    def crash_permanently(self, site: str) -> int:
+        """The machine is gone: mark the site down and *bounce* its queued
+        work back to the senders.
+
+        ``set_down`` freezes a site's queue because the site may come
+        back; a permanent crash never thaws, so queued work envelopes —
+        which carry termination credit — are returned as
+        :class:`~repro.net.messages.Undeliverable` exactly as if they had
+        arrived after the crash.  Non-work traffic in the queue is
+        dropped.  Returns the number of envelopes bounced.
+        """
+        self.set_down(site)
+        node = self.hosts[site].node
+        bounced = 0
+        for env in list(node.inbox):
+            self.messages_dropped += 1
+            if isinstance(env.payload, (DerefRequest, BatchedQuery, SeedFromSaved)):
+                self._bounce(env)
+                bounced += 1
+        node.inbox.clear()
+        return bounced
+
     def send(self, env: Envelope, depart: float) -> None:
         """Hand ``env`` to the wire at virtual time ``depart``.
 

@@ -377,6 +377,7 @@ class SocketCluster(WallClockQueries):
             )
             for node in self.nodes.values():
                 self.replication.add_epoch_listener(node.observe_epoch)
+        self._init_membership(config)
         self._init_telemetry(config)
         for site in self._sites.values():
             site.start()

@@ -230,6 +230,7 @@ class ThreadedCluster(WallClockQueries):
             )
             for node in self.nodes.values():
                 self.replication.add_epoch_listener(node.observe_epoch)
+        self._init_membership(config)
         self._init_telemetry(config)
         for t in self._threads.values():
             t.start()

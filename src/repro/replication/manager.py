@@ -51,6 +51,11 @@ class ReplicationManager:
         self._listeners: List[EpochListener] = []
         self.copies_installed = 0
         self.writes_fanned_out = 0
+        #: Optional membership hook: a callable returning the sites that
+        #: may take *new* placements.  ``None`` (the default, and every
+        #: membership-free deployment) places over all stores — the
+        #: pre-membership behaviour, bit for bit.
+        self.active_sites: Optional[Callable[[], List[str]]] = None
 
     # -- wiring ----------------------------------------------------------
 
@@ -62,6 +67,13 @@ class ReplicationManager:
         epoch = self.stores[site].epoch
         for listener in self._listeners:
             listener(site, epoch)
+
+    def _placement_sites(self) -> List[str]:
+        """Sites eligible for new placements (all stores, or the
+        membership hook's active set when one is wired)."""
+        if self.active_sites is not None:
+            return list(self.active_sites())
+        return list(self.stores)
 
     # -- placement -------------------------------------------------------
 
@@ -89,7 +101,7 @@ class ReplicationManager:
         if primary is None:
             raise ObjectNotFound(oid)
         obj = self.stores[primary].get(oid)
-        placement = self.config.policy.place(oid, list(self.stores), self.config.k)
+        placement = self.config.policy.place(oid, self._placement_sites(), self.config.k)
         if primary not in placement:
             # The object lives off its computed placement (e.g. it was
             # migrated); keep the actual holder as primary.
@@ -147,7 +159,8 @@ class ReplicationManager:
 
     def put(self, obj: HFObject) -> tuple:
         """Store a new object then place its replicas (workload loading)."""
-        primary = obj.oid.birth_site if obj.oid.birth_site in self.stores else next(iter(self.stores))
+        eligible = self._placement_sites()
+        primary = obj.oid.birth_site if obj.oid.birth_site in eligible else eligible[0]
         self.stores[primary].put(obj)
         self._announce(primary)
         return self.replicate(obj.oid)
@@ -176,7 +189,8 @@ class ReplicationManager:
                 self.directory.bump_version(moved)
             return moved
         obj = self.stores[old_sites[0]].get(oid)
-        keep = [s for s in old_sites if s != to_site]
+        eligible = set(self._placement_sites())
+        keep = [s for s in old_sites if s != to_site and s in eligible]
         new_sites = (to_site, *keep[: self.config.k - 1])
         for site in new_sites:
             if not self.stores[site].contains(oid):

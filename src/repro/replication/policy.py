@@ -26,13 +26,17 @@ class PlacementPolicy(Protocol):
 
 @dataclass(frozen=True)
 class RingPlacement:
-    """Primary-anchored ring placement.
+    """Primary-anchored rendezvous placement.
 
     The primary is the object's current holder (its birth/storage site
     keeps authority, matching the paper's naming scheme); the ``k-1``
-    backups are the next sites around a deterministic ring whose start
-    is the object id's hash — so backups spread uniformly instead of
-    piling onto the primary's neighbours.
+    backups are chosen by rendezvous (highest-random-weight) hashing
+    over the remaining sites.  Rendezvous placement is *stable* under
+    membership change: each (site, object) pair hashes independently,
+    so removing a site only re-places the objects that listed it, and
+    adding a site steals only the expected ``(k-1)/n`` fraction of
+    backups — unlike the earlier modulo ring, where one departure
+    shifted the ring start for almost every object.
     """
 
     def place(self, oid: Oid, sites: Sequence[str], k: int) -> Tuple[str, ...]:
@@ -42,10 +46,9 @@ class RingPlacement:
         k = min(k, len(ordered))
         primary = oid.birth_site if oid.birth_site in ordered else ordered[0]
         others = [s for s in ordered if s != primary]
-        token = f"{oid.birth_site}:{oid.key()[1]}".encode()
-        start = zlib.crc32(token) % len(others) if others else 0
-        ring = others[start:] + others[:start]
-        return (primary, *ring[: k - 1])
+        token = f"{oid.birth_site}:{oid.key()[1]}"
+        ranked = sorted(others, key=lambda s: (zlib.crc32(f"{s}|{token}".encode()), s))
+        return (primary, *ranked[: k - 1])
 
 
 @dataclass(frozen=True)

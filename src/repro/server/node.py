@@ -48,6 +48,7 @@ from ..net.messages import (
     Envelope,
     FetchReply,
     FetchRequest,
+    Heartbeat,
     PurgeContext,
     QueryId,
     ResultBatch,
@@ -176,6 +177,16 @@ class ServerNode:
         self.mark_granularity = mark_granularity
         self.forwarding = forwarding if forwarding is not None else ForwardingTable(site)
         self.is_site_up = is_site_up if is_site_up is not None else (lambda _site: True)
+        #: Membership routing hook: maps a site name to its view status
+        #: (``"up"`` / ``"leaving"`` / ``"departed"``).  Clusters with
+        #: dynamic membership point this at their MembershipService; the
+        #: default reports every site up, so a membership-free build
+        #: routes bit-identically to before.
+        self.membership_status: Callable[[str], str] = lambda _site: "up"
+        #: Membership heartbeat sink: called with a delivered
+        #: :class:`~repro.net.messages.Heartbeat`'s counter table.  Wired
+        #: by clusters running the gossip failure detector.
+        self.heartbeat_sink: Optional[Callable[[Tuple[Tuple[str, int], ...]], None]] = None
         self.on_query_complete = on_query_complete
         #: When True, the originator broadcasts PurgeContext on completion
         #: so participants free their per-query state.  Off by default:
@@ -280,9 +291,14 @@ class ServerNode:
         if self.site in sites and self.site not in exclude:
             return self.site
         for site in sites:
-            if site not in exclude and self.is_site_up(site):
+            if site not in exclude and self.is_site_up(site) and self._takes_work(site):
                 return site
         return sites[0]
+
+    def _takes_work(self, site: str) -> bool:
+        """May new work be sent to ``site``?  Leaving/departed members
+        finish what they hold but receive nothing new."""
+        return self.membership_status(site) == "up"
 
     def _next_replica(self, oid: Oid, exclude: set) -> Optional[str]:
         """The next live holder to fail a bounced dereference over to.
@@ -300,7 +316,7 @@ class ServerNode:
         if self.site in sites and self.site not in exclude:
             return self.site
         for site in sites:
-            if site not in exclude and self.is_site_up(site):
+            if site not in exclude and self.is_site_up(site) and self._takes_work(site):
                 return site
         return None
 
@@ -499,6 +515,20 @@ class ServerNode:
 
     def on_message(self, env: Envelope) -> None:
         """Enqueue an arriving message (costed when handled, not here)."""
+        if self.heartbeat_sink is not None and isinstance(env.payload, Heartbeat):
+            # Gossip is consumed entirely at arrival: the liveness
+            # evidence counts from the moment the bytes land (otherwise
+            # query load at the *receiver* would inflate failure
+            # suspicion of healthy *senders*), and the frame never
+            # enters the work queue — membership upkeep runs beside the
+            # query engine, not instead of it.  Wire costs were paid.
+            if self.tracer is not None:
+                self.tracer.emit(
+                    self.site, "heartbeat", "",
+                    origin=env.payload.origin, entries=len(env.payload.counters),
+                )
+            self.heartbeat_sink(env.payload.counters)
+            return
         self.inbox.append(env)
 
     def observe_epoch(self, site: str, epoch: int) -> None:
@@ -688,7 +718,22 @@ class ServerNode:
             return self._handle_fetch_request(env, payload)
         if isinstance(payload, FetchReply):
             return self._handle_fetch_reply(payload)
+        if isinstance(payload, Heartbeat):
+            return self._handle_heartbeat(payload)
         raise HyperFileError(f"site {self.site}: unhandled message {type(payload).__name__}")
+
+    def _handle_heartbeat(self, msg: Heartbeat) -> StepReport:
+        """Account a delivered gossip frame.
+
+        The evidence itself was merged at arrival (see :meth:`on_message`);
+        this step pays the receipt cost and stamps the trace.
+        """
+        if self.tracer is not None:
+            self.tracer.emit(
+                self.site, "heartbeat", "",
+                origin=msg.origin, entries=len(msg.counters), parent=self._step_span,
+            )
+        return StepReport(elapsed=self.costs.msg_recv_s)
 
     def _handle_deref(self, env: Envelope, msg: DerefRequest) -> StepReport:
         report = StepReport(elapsed=self.costs.msg_recv_s)

@@ -53,6 +53,7 @@ from ..api import credit_deficit
 from ..cluster import SimCluster
 from ..core.oid import Oid
 from ..errors import HyperFileError
+from ..net.messages import BatchedQuery, DerefRequest, SeedFromSaved
 
 #: Builds a fresh cluster + the query's initial oids for one run.  Must
 #: be deterministic: every call returns an identically-loaded deployment
@@ -79,6 +80,65 @@ class CrashPoint:
             raise ValueError("at_decision must be >= 0")
         if self.recover_at_decision is not None and self.recover_at_decision <= self.at_decision:
             raise ValueError("recovery must come after the crash")
+
+
+@dataclass(frozen=True)
+class JoinPoint:
+    """Admit ``site`` (new or rejoining) after the Nth scheduler decision."""
+
+    site: str
+    at_decision: int
+
+    def __post_init__(self) -> None:
+        if self.at_decision < 0:
+            raise ValueError("at_decision must be >= 0")
+
+
+@dataclass(frozen=True)
+class LeavePoint:
+    """Start a graceful leave of ``site`` after the Nth decision."""
+
+    site: str
+    at_decision: int
+
+    def __post_init__(self) -> None:
+        if self.at_decision < 0:
+            raise ValueError("at_decision must be >= 0")
+
+
+@dataclass(frozen=True)
+class CrashPermanentPoint:
+    """Permanently crash ``site`` at the first *credit-safe* decision at
+    or after ``at_decision``.
+
+    A permanent crash destroys the site's store, so unlike
+    :class:`CrashPoint` it can only preserve the sweep invariants
+    (result equivalence, zero deficit) when it fires at a moment where
+    no termination credit and no sole surviving copy would die with the
+    machine.  The explorer defers firing until
+    :func:`permanent_crash_is_safe` holds; if the query completes first
+    the crash fires post-completion, so the k-restoration invariant is
+    still exercised on every run.
+    """
+
+    site: str
+    at_decision: int
+
+    def __post_init__(self) -> None:
+        if self.at_decision < 0:
+            raise ValueError("at_decision must be >= 0")
+
+
+#: Any membership event the explorer can inject mid-schedule.
+MembershipPoint = object  # JoinPoint | LeavePoint | CrashPermanentPoint
+
+
+def _membership_tag(point) -> str:
+    if isinstance(point, JoinPoint):
+        return f"&J:{point.site}@{point.at_decision};"
+    if isinstance(point, LeavePoint):
+        return f"&L:{point.site}@{point.at_decision};"
+    return f"&X:{point.site}@{point.at_decision};"
 
 
 @dataclass
@@ -108,6 +168,15 @@ class ScheduleRun:
     #: Cluster-wide :class:`~repro.server.stats.NodeStats` at end of run
     #: (``replica_failovers`` etc. tell the tests which paths ran).
     stats: Optional[object] = None
+    #: Membership events this run injected (in firing order).
+    membership: Tuple = ()
+    #: After the run quiesced: does every surviving directory entry have
+    #: min(k, active) live up-to-date holders?  ``None`` when the cluster
+    #: ran without a membership plane; lost entries (no live holder at
+    #: all) are excluded here and counted in ``lost_objects``.
+    k_restored: Optional[bool] = None
+    #: Directory entries left with zero live holders (crash-lost data).
+    lost_objects: int = 0
 
 
 class _PolicyDriver:
@@ -142,12 +211,14 @@ class _PolicyDriver:
         self.choices.append((index, width))
         return index
 
-    def signature(self, crashes: Tuple[CrashPoint, ...]) -> str:
+    def signature(self, crashes: Tuple[CrashPoint, ...], membership: Tuple = ()) -> str:
         h = hashlib.sha1()
         for index, width in self.choices:
             h.update(f"{index}/{width};".encode())
         for c in crashes:
             h.update(f"!{c.site}@{c.at_decision}+{c.recover_at_decision};".encode())
+        for point in membership:
+            h.update(_membership_tag(point).encode())
         return h.hexdigest()
 
 
@@ -173,6 +244,78 @@ def crash_is_safe(cluster: SimCluster, down: Iterable[str], originator: str) -> 
     return True
 
 
+def permanent_crash_is_safe(cluster: SimCluster, site: str, originator: str) -> bool:
+    """Can ``site`` be permanently crashed *right now* without losing
+    termination credit or the last copy of any object?
+
+    The machine dies with whatever it holds, so the crash is credit-safe
+    only when: the site is not the originator, none of its query
+    contexts is mid-work, its send batcher is drained, everything in its
+    inbox is a *work* payload (those are bounced back to their senders,
+    recovering their credit — results and control frames would die), and
+    every object in its store has another live up holder.
+    """
+    if site == originator:
+        return False
+    node = cluster.nodes.get(site)
+    if node is None or not cluster.is_up(site):
+        return False
+    if any(ctx.busy for ctx in node.contexts.values()):
+        return False
+    if node._batcher is not None and node._batcher.has_pending:
+        return False
+    for env in node.inbox:
+        if not isinstance(env.payload, (DerefRequest, BatchedQuery, SeedFromSaved)):
+            return False
+    directory = cluster.replication.directory if cluster.replication is not None else None
+    membership = cluster.membership
+    for oid in cluster.stores[site].oids():
+        holders = directory.sites_of(oid) if directory is not None else ()
+        survivors = [
+            h
+            for h in holders
+            if h != site
+            and cluster.is_up(h)
+            and (membership is None or membership.status_of(h) == "up")
+            and cluster.stores[h].contains(oid)
+        ]
+        if not survivors:
+            return False
+    return True
+
+
+def _replication_health(cluster: SimCluster) -> Tuple[Optional[bool], int]:
+    """(k_restored, lost_objects) for a quiesced membership cluster."""
+    if cluster.membership is None or cluster.replication is None:
+        return None, 0
+    directory = cluster.replication.directory
+    active = list(cluster.membership.view.active)
+    want = min(cluster.replication.config.k, len(active))
+    restored = True
+    lost = 0
+    for key, entry in directory.entries():
+        oid = Oid(key[0], key[1])
+        live = [
+            s
+            for s in entry.sites
+            if cluster.membership.status_of(s) == "up" and cluster.stores[s].contains(oid)
+        ]
+        if not live:
+            lost += 1
+        elif len(live) < want:
+            restored = False
+    return restored, lost
+
+
+def _fire_membership(cluster: SimCluster, point) -> None:
+    if isinstance(point, JoinPoint):
+        cluster.join_site(point.site)
+    elif isinstance(point, LeavePoint):
+        cluster.leave_site(point.site)
+    else:
+        cluster.fail_site(point.site)
+
+
 def run_schedule(
     setup: Setup,
     query,
@@ -180,6 +323,7 @@ def run_schedule(
     seed: Optional[int] = None,
     prefix: Sequence[int] = (),
     crashes: Sequence[CrashPoint] = (),
+    membership: Sequence = (),
     originator: Optional[str] = None,
     max_decisions: int = 200_000,
     tracer_factory: Optional[Callable[[], object]] = None,
@@ -203,8 +347,10 @@ def run_schedule(
         cluster.attach_tracer(tracer)
     cluster.sim.set_policy(driver)
     crash_list = tuple(sorted(crashes, key=lambda c: c.at_decision))
+    member_list = tuple(sorted(membership, key=lambda p: p.at_decision))
     pending_down = list(crash_list)
     pending_up = [c for c in crash_list if c.recover_at_decision is not None]
+    pending_member = list(member_list)
     try:
         qid = cluster.submit(query, initial, originator=originator)
         status = "completed"
@@ -213,6 +359,20 @@ def run_schedule(
                 cluster.set_down(pending_down.pop(0).site)
             while pending_up and driver.decisions >= pending_up[0].recover_at_decision:
                 cluster.set_up(pending_up.pop(0).site)
+            if pending_member:
+                still = []
+                for point in pending_member:
+                    if driver.decisions < point.at_decision:
+                        still.append(point)
+                    elif isinstance(point, CrashPermanentPoint) and not permanent_crash_is_safe(
+                        cluster, point.site, qid.originator
+                    ):
+                        # Not credit-safe yet: retry at the next decision
+                        # (falls through to post-completion otherwise).
+                        still.append(point)
+                    else:
+                        _fire_membership(cluster, point)
+                pending_member = still
             if driver.decisions > max_decisions:
                 raise HyperFileError(
                     f"schedule exceeded {max_decisions} decisions (seed={seed})"
@@ -230,11 +390,29 @@ def run_schedule(
                     continue
                 status = "termination_lost"
                 break
+        # Membership points the query outran fire post-completion: the
+        # rebalance/k-restoration invariants are still exercised even
+        # when the schedule never reached a mid-query window.
+        for point in pending_member:
+            if isinstance(point, CrashPermanentPoint) and not permanent_crash_is_safe(
+                cluster, point.site, qid.originator
+            ):
+                continue
+            _fire_membership(cluster, point)
+        if cluster.membership is not None and member_list:
+            # Drain the rebalance traffic and deferred copy removals so
+            # the health check sees the settled directory.  Skipped when
+            # no membership points fired: an eventless membership cluster
+            # must walk bit-identically to a membership-free one.
+            while cluster.sim.step():
+                pass
+            cluster.finalize_membership()
         outcome = cluster.outcome(qid)
         deficit = credit_deficit(cluster.nodes, qid)
+        k_restored, lost_objects = _replication_health(cluster)
         return ScheduleRun(
             seed=seed,
-            signature=driver.signature(crash_list),
+            signature=driver.signature(crash_list, member_list),
             decisions=driver.decisions,
             crashes=crash_list,
             status=status,
@@ -245,6 +423,9 @@ def run_schedule(
             qid=qid,
             trace=list(tracer.events) if tracer is not None else None,
             stats=cluster.total_stats(),
+            membership=member_list,
+            k_restored=k_restored,
+            lost_objects=lost_objects,
         )
     finally:
         cluster.sim.set_policy(None)
@@ -257,20 +438,23 @@ def explore_random(
     *,
     seeds: Iterable[int],
     crashes_for_seed: Optional[Callable[[int], Sequence[CrashPoint]]] = None,
+    membership_for_seed: Optional[Callable[[int], Sequence]] = None,
     originator: Optional[str] = None,
     tracer_factory: Optional[Callable[[], object]] = None,
 ) -> List[ScheduleRun]:
     """Random-walk sweep: one :func:`run_schedule` per seed.
 
-    ``crashes_for_seed`` derives each run's crash points from its seed
-    (deterministic chaos — the same sweep replays bit-identically).
+    ``crashes_for_seed`` / ``membership_for_seed`` derive each run's
+    fault and membership events from its seed (deterministic chaos —
+    the same sweep replays bit-identically).
     """
     runs = []
     for seed in seeds:
         crashes = tuple(crashes_for_seed(seed)) if crashes_for_seed is not None else ()
+        member = tuple(membership_for_seed(seed)) if membership_for_seed is not None else ()
         runs.append(
             run_schedule(
-                setup, query, seed=seed, crashes=crashes,
+                setup, query, seed=seed, crashes=crashes, membership=member,
                 originator=originator, tracer_factory=tracer_factory,
             )
         )
@@ -285,6 +469,7 @@ def explore_dfs(
     branch_cap: int = 3,
     depth_limit: int = 10,
     crashes: Sequence[CrashPoint] = (),
+    membership: Sequence = (),
     originator: Optional[str] = None,
     tracer_factory: Optional[Callable[[], object]] = None,
 ) -> List[ScheduleRun]:
@@ -302,7 +487,7 @@ def explore_dfs(
     while stack and len(runs) < max_runs:
         prefix = stack.pop()
         run = run_schedule(
-            setup, query, prefix=prefix, crashes=crashes,
+            setup, query, prefix=prefix, crashes=crashes, membership=membership,
             originator=originator, tracer_factory=tracer_factory,
         )
         runs.append(run)
@@ -333,4 +518,6 @@ def summarize(runs: Sequence[ScheduleRun]) -> Dict[str, object]:
         "partial": sum(1 for r in runs if r.partial),
         "zero_deficit": sum(1 for r in runs if r.deficit == 0),
         "max_decisions": max((r.decisions for r in runs), default=0),
+        "k_restored": sum(1 for r in runs if r.k_restored),
+        "lost_objects": sum(r.lost_objects for r in runs),
     }

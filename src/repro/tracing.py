@@ -57,6 +57,9 @@ KINDS = (
     "slo",         #: originator SLO watermarks stamped at completion
     "stats_push",  #: a periodic streaming-stats sample was published
     "flightrec",   #: the flight recorder dumped its ring to disk
+    "member",      #: the membership view changed (join/leave/depart/fail)
+    "rebalance",   #: a view change re-placed objects around the ring
+    "heartbeat",   #: a gossip liveness frame was ingested
 )
 
 #: Swim-lane glyph per kind, most significant first (lane rendering keeps
@@ -65,6 +68,8 @@ _LANE_GLYPHS = (
     ("complete", "C"),
     ("timeout", "T"),
     ("flightrec", "F"),
+    ("member", "M"),
+    ("rebalance", "R"),
     ("submit", "Q"),
     ("slo", "$"),
     ("process", "#"),
@@ -76,6 +81,7 @@ _LANE_GLYPHS = (
     ("recv", "<"),
     ("drain", "d"),
     ("stats_push", "s"),
+    ("heartbeat", "h"),
     ("skip", "."),
 )
 #: Precomputed rank lookups (by kind and by rendered glyph) so lane

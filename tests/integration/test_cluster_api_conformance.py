@@ -348,3 +348,58 @@ class TestQoS:
         cluster = make_cluster(qos=QoSConfig())
         with pytest.raises(ValueError):
             cluster.submit(CLOSURE, [], priority="bulk")
+
+
+class TestMembership:
+    """Administrative membership is part of the ClusterAPI contract:
+    the same join/leave/fail scenario behaves identically on all five
+    transport params — same results as the healthy baseline, zero
+    termination-credit deficit, same typed errors."""
+
+    def test_leave_join_fail_scenario(self, make_cluster):
+        from repro.errors import SiteDeparted
+        from repro.membership import MembershipConfig
+
+        cluster = make_cluster(
+            replication=ReplicationConfig(k=2), membership=MembershipConfig()
+        )
+        oids = build_chain(cluster)
+        cluster.replicate_all()
+        expected = cluster.run_query(CLOSURE, [oids[0]], timeout_s=TIMEOUT).result.oid_keys()
+
+        cluster.leave_site("site2")
+        out = cluster.run_query(CLOSURE, [oids[0]], timeout_s=TIMEOUT)
+        assert out.result.oid_keys() == expected
+        assert not out.result.partial
+        assert deficit_of(cluster, out.qid) == 0
+
+        with pytest.raises(SiteDeparted):
+            cluster.submit(CLOSURE, [oids[0]], originator="site2")
+
+        cluster.join_site("site2")
+        cluster.fail_site("site1")
+        out = cluster.run_query(CLOSURE, [oids[0]], timeout_s=TIMEOUT)
+        assert out.result.oid_keys() == expected
+        assert not out.result.partial
+        assert deficit_of(cluster, out.qid) == 0
+        assert cluster.membership_view.status_of("site1") == "departed"
+
+    def test_membership_off_by_default(self, make_cluster):
+        from repro.errors import ConfigError
+
+        cluster = make_cluster()
+        assert cluster.membership is None
+        with pytest.raises(ConfigError):
+            cluster.join_site("site0")
+
+    @pytest.mark.parametrize("transport", sorted(set(TRANSPORTS) - {"sim"}))
+    def test_heartbeat_detector_is_simulator_only(self, transport):
+        from repro.errors import ConfigError
+        from repro.membership import MembershipConfig
+
+        with pytest.raises(ConfigError):
+            build_cluster(
+                transport,
+                3,
+                config=ClusterConfig(membership=MembershipConfig(heartbeat_s=0.05)),
+            )

@@ -327,3 +327,37 @@ class TestDeepCreditIntegers:
         with pytest.raises(CodecError):
             encode_message(DerefRequest(QID, prog(), WorkItem(Oid("s1", 0)),
                                         {"credit": too_big}))
+
+
+class TestMembershipFrames:
+    """The gossip/view frames round-trip so every transport can carry
+    the membership protocol, not just the simulator."""
+
+    def test_heartbeat_round_trip(self):
+        from repro.net.messages import Heartbeat
+
+        msg = Heartbeat("site1", (("site0", 3), ("site1", 17), ("site2", 0)))
+        out = roundtrip(msg)
+        assert out == msg
+
+    def test_heartbeat_empty_table(self):
+        from repro.net.messages import Heartbeat
+
+        assert roundtrip(Heartbeat("site9")) == Heartbeat("site9")
+
+    def test_view_change_round_trip(self):
+        from repro.net.messages import ViewChange
+
+        msg = ViewChange(
+            5,
+            (("site0", "up"), ("site1", "leaving"), ("site2", "departed")),
+            reason="fail",
+        )
+        out = roundtrip(msg)
+        assert out == msg
+
+    def test_view_change_default_reason(self):
+        from repro.net.messages import ViewChange
+
+        msg = ViewChange(0, (("a", "up"),))
+        assert roundtrip(msg) == msg

@@ -1,0 +1,200 @@
+"""Property-based membership tests (hypothesis).
+
+The membership contract, quantified: for *any* random pointer graph and
+*any* administrative join/leave/fail sequence that keeps at least two
+sites active (so every object always has a live replica — the rebalance
+after each view change restores k copies from the survivors before the
+next event can strike), query results between every pair of events equal
+the static healthy cluster's.  The property runs on the simulator and on
+the asyncio wall-clock transport, because administrative membership is
+part of the shared cluster API, not a simulator trick.
+
+And the off-switch: building with ``membership=None`` must be
+bit-identical to a membership-free cluster — same schedule signatures,
+same results, walk for walk — so the feature costs nothing when unused.
+"""
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.api import make_cluster
+from repro.cluster import SimCluster
+from repro.config import ClusterConfig
+from repro.core import keyword_tuple, pointer_tuple
+from repro.membership import MembershipConfig
+from repro.replication import ReplicationConfig
+from repro.sim.explore import run_schedule
+
+CLOSURE = 'S [ (Pointer,"Ref",?X) ^^X ]* (Keyword,"K",?) -> T'
+
+SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+ASYNC_SETTINGS = settings(
+    max_examples=6,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def load_random_graph(cluster, seed, n):
+    """Seeded random pointer graph, identical for the same ``(seed, n)``
+    on any cluster: ``n`` objects spread round the sites, ~half hits,
+    up to two outgoing pointers each."""
+    rng = random.Random(seed)
+    stores = [cluster.store(s) for s in cluster.sites]
+    oids, homes = [], []
+    for i in range(n):
+        key = keyword_tuple("K") if rng.random() < 0.5 else keyword_tuple("miss")
+        store = stores[rng.randrange(len(stores))]
+        oids.append(store.create([key]).oid)
+        homes.append(store)
+    for i in range(n):
+        for _ in range(rng.randint(0, 2)):
+            target = oids[rng.randrange(n)]
+            homes[i].replace(homes[i].get(oids[i]).with_tuple(pointer_tuple("Ref", target)))
+    return oids
+
+
+def event_sequence(seed, length):
+    """A seeded admissible event sequence over sites {site1, site2}.
+
+    site0 originates every query so it never departs; at least two
+    sites stay active at all times, which with k=2 and a rebalance after
+    every event keeps a live replica of everything.  Joins are rejoins
+    of departed sites only, so the same sequence is legal on wall-clock
+    transports (whose endpoints are provisioned up front)."""
+    rng = random.Random(seed)
+    active = {"site0", "site1", "site2"}
+    departed = set()
+    events = []
+    for _ in range(length):
+        options = []
+        removable = sorted(active - {"site0"})
+        if len(active) > 2:
+            options += [("leave", s) for s in removable]
+            options += [("fail", s) for s in removable]
+        options += [("join", s) for s in sorted(departed)]
+        if not options:
+            break
+        kind, site = options[rng.randrange(len(options))]
+        events.append((kind, site))
+        if kind == "join":
+            departed.discard(site)
+            active.add(site)
+        else:
+            active.discard(site)
+            departed.add(site)
+    return events
+
+
+def apply_event(cluster, kind, site):
+    if kind == "join":
+        cluster.join_site(site)
+    elif kind == "leave":
+        cluster.leave_site(site)
+    else:
+        cluster.fail_site(site)
+
+
+class TestEventSequencesPreserveResults:
+    @SETTINGS
+    @given(
+        seed=st.integers(0, 2**20),
+        n=st.integers(min_value=4, max_value=14),
+        events=st.integers(min_value=1, max_value=4),
+    )
+    def test_sim_results_equal_static_oracle_between_every_event(self, seed, n, events):
+        healthy = SimCluster(3)
+        oids = load_random_graph(healthy, seed, n)
+        oracle = healthy.run_query(CLOSURE, [oids[0]]).result.oid_keys()
+        healthy.close()
+
+        cluster = SimCluster(
+            3,
+            config=ClusterConfig(
+                replication=ReplicationConfig(k=2), membership=MembershipConfig()
+            ),
+        )
+        try:
+            load_random_graph(cluster, seed, n)
+            cluster.replicate_all()
+            for kind, site in event_sequence(seed, events):
+                apply_event(cluster, kind, site)
+                out = cluster.run_query(CLOSURE, [oids[0]])
+                assert out.result.oid_keys() == oracle
+                assert not out.result.partial
+        finally:
+            cluster.close()
+
+    @ASYNC_SETTINGS
+    @given(
+        seed=st.integers(0, 2**20),
+        n=st.integers(min_value=4, max_value=10),
+        events=st.integers(min_value=1, max_value=3),
+    )
+    def test_async_results_equal_static_oracle_between_every_event(self, seed, n, events):
+        healthy = SimCluster(3)
+        oids = load_random_graph(healthy, seed, n)
+        oracle = healthy.run_query(CLOSURE, [oids[0]]).result.oid_keys()
+        healthy.close()
+
+        cluster = make_cluster(
+            "async",
+            3,
+            config=ClusterConfig(
+                replication=ReplicationConfig(k=2), membership=MembershipConfig()
+            ),
+        )
+        try:
+            load_random_graph(cluster, seed, n)
+            cluster.replicate_all()
+            for kind, site in event_sequence(seed, events):
+                apply_event(cluster, kind, site)
+                out = cluster.run_query(CLOSURE, [oids[0]], timeout_s=30.0)
+                assert out.result.oid_keys() == oracle
+                assert not out.result.partial
+        finally:
+            cluster.close()
+
+
+class TestMembershipOffIsFree:
+    @SETTINGS
+    @given(
+        seed=st.integers(0, 2**20),
+        n=st.integers(min_value=4, max_value=12),
+    )
+    def test_schedule_signatures_identical_with_and_without_membership(self, seed, n):
+        """Attaching an (eventless, heartbeat-free) membership plane must
+        not perturb a single scheduling decision: signature and results
+        match the membership-free build walk for walk."""
+
+        def plain_setup():
+            cluster = SimCluster(3, config=ClusterConfig(replication=ReplicationConfig(k=2)))
+            oids = load_random_graph(cluster, seed, n)
+            cluster.replicate_all()
+            return cluster, [oids[0]]
+
+        def membership_setup():
+            cluster = SimCluster(
+                3,
+                config=ClusterConfig(
+                    replication=ReplicationConfig(k=2),
+                    membership=MembershipConfig(),
+                ),
+            )
+            oids = load_random_graph(cluster, seed, n)
+            cluster.replicate_all()
+            return cluster, [oids[0]]
+
+        base = run_schedule(plain_setup, CLOSURE, seed=seed)
+        with_membership = run_schedule(membership_setup, CLOSURE, seed=seed)
+        assert with_membership.signature == base.signature
+        assert with_membership.oid_keys == base.oid_keys
+        assert with_membership.deficit == base.deficit == 0
+        assert with_membership.status == base.status == "completed"

@@ -48,6 +48,46 @@ class TestRingPlacement:
         assert all(count > 0 for count in counts.values()), counts
 
 
+class TestPlacementStability:
+    """Rendezvous placement under membership change: a departure only
+    re-places the objects that listed the departed site, and a join
+    steals a bounded share — the earlier modulo ring failed both (one
+    departure shifted the ring start for nearly every object)."""
+
+    OIDS = [oid(n, site=SITES[n % len(SITES)]) for n in range(120)]
+
+    def test_leave_moves_only_objects_that_listed_the_leaver(self):
+        policy = RingPlacement()
+        before = {o.key(): policy.place(o, SITES, 2) for o in self.OIDS}
+        survivors = [s for s in SITES if s != "site3"]
+        after = {o.key(): policy.place(o, survivors, 2) for o in self.OIDS}
+        for o in self.OIDS:
+            if "site3" not in before[o.key()]:
+                assert after[o.key()] == before[o.key()], o.key()
+            else:
+                assert "site3" not in after[o.key()]
+
+    def test_join_steals_a_bounded_backup_share(self):
+        policy = RingPlacement()
+        grown = SITES + ["site4"]
+        before = {o.key(): policy.place(o, SITES, 2) for o in self.OIDS}
+        after = {o.key(): policy.place(o, grown, 2) for o in self.OIDS}
+        moved = sum(1 for o in self.OIDS if after[o.key()] != before[o.key()])
+        # Expected steal is (k-1)/n = 1/5 of placements; allow slack for
+        # hash variance but fail on anything like a global reshuffle.
+        assert moved <= len(self.OIDS) // 2, moved
+        # ... and the new site actually takes a share.
+        assert any("site4" in after[o.key()] for o in self.OIDS)
+
+    def test_join_never_moves_a_primary(self):
+        policy = RingPlacement()
+        grown = SITES + ["site4"]
+        for o in self.OIDS:
+            assert (
+                policy.place(o, grown, 2)[0] == policy.place(o, SITES, 2)[0]
+            )
+
+
 class TestReplicationConfig:
     def test_k_below_one_rejected(self):
         with pytest.raises(ValueError):

@@ -1,0 +1,150 @@
+"""The membership-exploration centerpiece: 1000+ interleavings with
+joins, graceful leaves, and permanent crashes landing mid-query.
+
+The contract under test (ISSUE 10 acceptance):
+
+* replaying ``N_RUNS`` (default 1000) distinct seeded interleavings of a
+  replicated membership-enabled cluster with one membership scenario per
+  seed (join / leave / permanent crash / join+leave, all keeping at
+  least one live replica of everything) *plus* a transient
+  crash-with-recovery of a non-originator site, every schedule completes
+  with the exact result set of the static replica-free oracle and a
+  weighted-termination credit deficit of exactly zero;
+* after every run quiesces, every surviving directory entry has
+  ``min(k, active)`` live up-to-date holders (``k_restored``) and no
+  entry lost all its copies (``lost_objects == 0``);
+* systematic DFS over choice prefixes holds the same invariants with a
+  membership event pinned into every branch.
+"""
+
+from repro.sim.explore import (
+    CrashPermanentPoint,
+    JoinPoint,
+    LeavePoint,
+    distinct_signatures,
+    explore_dfs,
+    explore_random,
+    run_schedule,
+    summarize,
+)
+
+from .workloads import (
+    CLOSURE,
+    N_RUNS,
+    ORIGINATOR,
+    make_membership_setup,
+    membership_events,
+    oracle_keys,
+    safe_crash,
+)
+
+
+def assert_clean(run, expected):
+    assert run.status == "completed", (run.seed, run.membership)
+    assert run.oid_keys == expected, (run.seed, run.membership)
+    assert not run.partial, run.seed
+    assert run.deficit == 0, (run.seed, run.deficit)
+    assert run.k_restored, (run.seed, run.membership)
+    assert run.lost_objects == 0, (run.seed, run.membership)
+
+
+class TestMembershipSweep:
+    def test_thousand_interleavings_with_membership_changes_match_oracle(self):
+        """The acceptance sweep: N_RUNS seeded random walks, each with a
+        membership scenario firing mid-query on top of a transient
+        crash-with-recovery.  Every schedule must end oracle-equivalent
+        with a zero deficit, every signature distinct, and the
+        replication target restored at quiesce."""
+        runs = explore_random(
+            make_membership_setup(k=2),
+            CLOSURE,
+            seeds=range(N_RUNS),
+            crashes_for_seed=safe_crash,
+            membership_for_seed=membership_events,
+            originator=ORIGINATOR,
+        )
+        assert len(runs) == N_RUNS
+        assert distinct_signatures(runs) == N_RUNS, summarize(runs)
+        expected = oracle_keys()
+        for run in runs:
+            assert_clean(run, expected)
+
+    def test_every_event_kind_covered_and_rebalances_ran(self):
+        """The sweep is only meaningful if all three event kinds fired
+        and rebalancing actually moved data: check the per-kind buckets
+        on a slice of the sweep."""
+        runs = explore_random(
+            make_membership_setup(k=2),
+            CLOSURE,
+            seeds=range(min(N_RUNS, 100)),
+            crashes_for_seed=safe_crash,
+            membership_for_seed=membership_events,
+            originator=ORIGINATOR,
+        )
+        kinds = {type(p).__name__ for run in runs for p in run.membership}
+        assert kinds == {"JoinPoint", "LeavePoint", "CrashPermanentPoint"}
+        expected = oracle_keys()
+        for run in runs:
+            assert_clean(run, expected)
+
+    def test_permanent_crash_defers_to_a_credit_safe_decision(self):
+        """A CrashPermanentPoint pinned absurdly early still never loses
+        credit: the explorer defers it to the first safe window."""
+        expected = oracle_keys()
+        for seed in range(30):
+            run = run_schedule(
+                make_membership_setup(k=2),
+                CLOSURE,
+                seed=seed,
+                membership=(CrashPermanentPoint(f"site{1 + seed % 2}", at_decision=0),),
+                originator=ORIGINATOR,
+            )
+            assert_clean(run, expected)
+
+    def test_static_membership_cluster_is_schedule_independent(self):
+        """membership= configured but no events injected: the membership
+        plane must be pure overheadless bookkeeping under reordering."""
+        expected = oracle_keys()
+        runs = explore_random(
+            make_membership_setup(k=2),
+            CLOSURE,
+            seeds=range(100),
+            originator=ORIGINATOR,
+        )
+        for run in runs:
+            assert_clean(run, expected)
+
+
+class TestMembershipDFS:
+    def test_dfs_branches_hold_the_invariants_with_a_leave(self):
+        runs = explore_dfs(
+            make_membership_setup(k=2),
+            CLOSURE,
+            max_runs=60,
+            branch_cap=3,
+            # An early leave drains concurrency before the walk branches,
+            # so fire it mid-flight where multi-way decisions still exist.
+            depth_limit=18,
+            membership=(LeavePoint("site1", at_decision=12),),
+            originator=ORIGINATOR,
+        )
+        assert len(runs) > 1, "DFS found no branch points"
+        assert distinct_signatures(runs) == len(runs)
+        expected = oracle_keys()
+        for run in runs:
+            assert_clean(run, expected)
+
+    def test_dfs_branches_hold_the_invariants_with_a_join(self):
+        runs = explore_dfs(
+            make_membership_setup(k=2),
+            CLOSURE,
+            max_runs=40,
+            branch_cap=2,
+            depth_limit=10,
+            membership=(JoinPoint("site3", at_decision=6),),
+            originator=ORIGINATOR,
+        )
+        assert distinct_signatures(runs) == len(runs)
+        expected = oracle_keys()
+        for run in runs:
+            assert_clean(run, expected)

@@ -17,12 +17,23 @@ import os
 from repro.cluster import SimCluster
 from repro.core.tuples import keyword_tuple, pointer_tuple
 from repro.config import ClusterConfig
+from repro.membership import MembershipConfig
 from repro.replication import ReplicationConfig
-from repro.sim.explore import CrashPoint, run_schedule
+from repro.sim.explore import (
+    CrashPermanentPoint,
+    CrashPoint,
+    JoinPoint,
+    LeavePoint,
+    run_schedule,
+)
 
 CLOSURE = 'S [ (Pointer,"Ref",?X) ^^X ]* (Keyword,"K",?) -> T'
 SITES = 3
-LENGTH = 8
+# Long enough that the 1000-seed sweeps' random walks stay pairwise
+# distinct: rendezvous-hashed backup placement spreads the chain's
+# copies differently from the old ring successor, and shorter chains
+# leave too few multi-way scheduling decisions per run.
+LENGTH = 14
 ORIGINATOR = "site0"
 
 #: Runs in the big random-walk sweep (acceptance floor: 1000).
@@ -64,6 +75,55 @@ def oracle_keys():
     assert run.status == "completed" and run.deficit == 0 and not run.partial
     assert run.oid_keys, "oracle produced an empty result set"
     return run.oid_keys
+
+
+def make_membership_setup(k=2, **membership_kwargs):
+    """The chain workload on a membership-enabled cluster.
+
+    Administrative membership (no heartbeat timers) keeps the explorer
+    deterministic: view changes land on exact decision counts.
+    """
+
+    def setup():
+        cluster = SimCluster(
+            SITES,
+            config=ClusterConfig(
+                replication=ReplicationConfig(k=k),
+                membership=MembershipConfig(**membership_kwargs),
+            ),
+        )
+        oids = load_chain(cluster)
+        cluster.replicate_all()
+        return cluster, oids[:1]
+
+    return setup
+
+
+def membership_events(seed):
+    """One membership scenario per seed, cycling the event kinds.
+
+    Every scenario keeps at least one live replica of every object (k=2
+    over 3 sites; the originator never leaves or crashes), so result
+    equivalence and zero deficit must hold on every schedule.
+    """
+    victim = f"site{1 + seed % (SITES - 1)}"
+    at = 2 + seed % 11
+    kind = seed % 4
+    if kind == 0:
+        # A new site joins mid-query; rebalancing spreads copies onto it.
+        return (JoinPoint(f"site{SITES}", at_decision=at),)
+    if kind == 1:
+        # A non-originator site leaves gracefully mid-query.
+        return (LeavePoint(victim, at_decision=at),)
+    if kind == 2:
+        # A non-originator site crashes permanently (fires at the first
+        # credit-safe decision at or after `at`).
+        return (CrashPermanentPoint(victim, at_decision=at),)
+    # Join and leave in the same run: the ring grows and shrinks.
+    return (
+        JoinPoint(f"site{SITES}", at_decision=at),
+        LeavePoint(victim, at_decision=at + 5 + seed % 7),
+    )
 
 
 def safe_crash(seed):

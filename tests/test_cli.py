@@ -262,6 +262,29 @@ class TestExplore:
         assert main(["explore", "-n", "10"]) == 0
         assert "explored 10 schedules" in capsys.readouterr().out
 
+    def test_membership_mode_with_signature_log(self, tmp_path):
+        from repro.cli import run_explore
+
+        out = io.StringIO()
+        sig_log = tmp_path / "sigs.log"
+        assert run_explore(
+            n_runs=12, membership=True, sig_log=str(sig_log), out=out
+        ) == 0
+        text = out.getvalue()
+        assert "membership churn" in text
+        assert "k restored at quiesce:  12" in text
+        assert "objects lost:           0" in text
+        lines = sig_log.read_text().splitlines()
+        assert len(lines) == 12
+        assert len(set(lines)) == 12  # every run logged a distinct walk
+
+    def test_membership_rejects_replica_free(self):
+        from repro.cli import run_explore
+
+        out = io.StringIO()
+        assert run_explore(n_runs=5, k=1, membership=True, out=out) == 2
+        assert "k >= 2" in out.getvalue()
+
 
 class TestCacheStats:
     def test_counters_and_savings(self):

@@ -17,7 +17,9 @@ import pytest
 import repro
 from repro.cluster import SimCluster
 from repro.faults import FaultPlan
+from repro.membership import MembershipConfig
 from repro.net.batching import BatchConfig
+from repro.replication import ReplicationConfig
 from repro.qos import QoSConfig
 from repro.tracing import KINDS, FlightRecorderConfig, QueryTracer
 
@@ -164,6 +166,26 @@ def exercised_kinds():
             "flight_recorder": FlightRecorderConfig(capacity=256),
         },
         telemetry,
+    )
+    # 6. Dynamic membership: the gossip detector's heartbeats plus the
+    # view-change and rebalance events a join and a leave produce.
+    def membership(cluster):
+        from repro.core import keyword_tuple
+
+        for site in cluster.sites:
+            cluster.store(site).create([keyword_tuple("K")])
+        cluster.replicate_all()
+        oids = build_chain(cluster)
+        cluster.run_query(CLOSURE, [oids[0]])
+        cluster.join_site("site3")
+        cluster.leave_site("site1")
+        cluster.run_query(CLOSURE, [oids[0]])
+    observed |= traced(
+        {
+            "replication": ReplicationConfig(k=2),
+            "membership": MembershipConfig(heartbeat_s=0.05),
+        },
+        membership,
     )
     return observed
 
